@@ -1,0 +1,577 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "baselines/deep_blocker.h"
+#include "baselines/supervised_baselines.h"
+#include "baselines/zero_er.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "core/blocking.h"
+#include "core/pipeline.h"
+#include "core/vector_cache.h"
+#include "datagen/csv.h"
+#include "datagen/dsm_datasets.h"
+#include "embed/model_registry.h"
+#include "match/supervised.h"
+#include "match/unsupervised.h"
+
+namespace ember::bench {
+
+namespace {
+
+std::string ScaleTag(const BenchEnv& env) {
+  return StrFormat("s%03d", static_cast<int>(env.scale * 100 + 0.5));
+}
+
+std::string ArtifactPath(const BenchEnv& env, const std::string& name) {
+  return env.artifacts_dir + "/" + name + "_" + ScaleTag(env) + ".csv";
+}
+
+double ParseDouble(const std::string& text) {
+  return text.empty() || text == "-" ? 0.0 : std::atof(text.c_str());
+}
+
+}  // namespace
+
+BenchEnv ParseArgs(int argc, char** argv) {
+  BenchEnv env;
+  if (const char* scale = std::getenv("EMBER_SCALE")) {
+    env.scale = std::atof(scale);
+  }
+  if (const char* dir = std::getenv("EMBER_ARTIFACTS")) {
+    env.artifacts_dir = dir;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      env.full = true;
+      env.scale = 1.0;
+    } else if (arg == "--no-cache") {
+      env.no_cache = true;
+    } else if (arg == "--scale" && i + 1 < argc) {
+      env.scale = std::atof(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      env.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scale f] [--full] [--no-cache] [--seed n]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  if (env.no_cache) core::VectorCache::Default().set_enabled(false);
+  std::error_code ec;
+  std::filesystem::create_directories(env.artifacts_dir, ec);
+  return env;
+}
+
+void PrintBanner(const BenchEnv& env, const std::string& experiment,
+                 const std::string& description) {
+  std::printf("=== %s ===\n%s\nscale=%.2f seed=%llu cache=%s\n\n",
+              experiment.c_str(), description.c_str(), env.scale,
+              static_cast<unsigned long long>(env.seed),
+              env.no_cache ? "off" : "on");
+  std::fflush(stdout);
+}
+
+const std::vector<std::string>& AllDatasetIds() {
+  static const std::vector<std::string>* const kIds =
+      new std::vector<std::string>{"D1", "D2", "D3", "D4", "D5",
+                                   "D6", "D7", "D8", "D9", "D10"};
+  return *kIds;
+}
+
+const datagen::CleanCleanDataset& GetDataset(const std::string& id,
+                                             const BenchEnv& env) {
+  static std::map<std::string, datagen::CleanCleanDataset>* const kCache =
+      new std::map<std::string, datagen::CleanCleanDataset>();
+  const std::string key = id + "_" + ScaleTag(env);
+  auto it = kCache->find(key);
+  if (it == kCache->end()) {
+    const auto spec = datagen::CleanCleanSpecById(id);
+    EMBER_CHECK_MSG(spec.ok(), "unknown dataset %s", id.c_str());
+    it = kCache
+             ->emplace(key, datagen::GenerateCleanClean(spec.value(),
+                                                        env.scale, env.seed))
+             .first;
+  }
+  return it->second;
+}
+
+eval::GroundTruth TruthOf(const datagen::CleanCleanDataset& dataset) {
+  eval::GroundTruth truth;
+  for (const auto& [l, r] : dataset.matches) truth.AddCleanCleanPair(l, r);
+  return truth;
+}
+
+la::Matrix VectorsKeyed(embed::EmbeddingModel& model, const std::string& key,
+                        const std::vector<std::string>& sentences,
+                        const BenchEnv& env, double* seconds) {
+  core::VectorCache& cache = core::VectorCache::Default();
+  double fresh = -1.0;
+  la::Matrix vectors = cache.GetOrCompute(model, key, sentences, &fresh);
+  // Record fresh timings next to the cache file so later (cached) runs can
+  // still report an honest vectorization time.
+  const std::string time_path =
+      cache.dir() + "/" + model.info().code + "_" + key + ".time";
+  if (fresh >= 0.0) {
+    std::ofstream out(time_path);
+    out << fresh << "\n";
+  } else if (seconds != nullptr) {
+    std::ifstream in(time_path);
+    if (in) in >> fresh;
+  }
+  if (seconds != nullptr) *seconds = fresh;
+  return vectors;
+}
+
+la::Matrix Vectors(embed::EmbeddingModel& model,
+                   const datagen::CleanCleanDataset& dataset, bool left_side,
+                   const BenchEnv& env, double* seconds) {
+  const std::string key = dataset.id + (left_side ? "_L_" : "_R_") +
+                          ScaleTag(env) + "_" + std::to_string(env.seed);
+  const datagen::EntityCollection& side =
+      left_side ? dataset.left : dataset.right;
+  return VectorsKeyed(model, key, side.AllSentences(), env, seconds);
+}
+
+Status SaveArtifact(const BenchEnv& env, const std::string& name,
+                    const eval::Table& table) {
+  return table.WriteCsv(ArtifactPath(env, name));
+}
+
+Result<std::vector<std::vector<std::string>>> LoadArtifact(
+    const BenchEnv& env, const std::string& name) {
+  std::ifstream file(ArtifactPath(env, name));
+  if (!file) return Status::NotFound(ArtifactPath(env, name));
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return datagen::ParseCsv(buffer.str());
+}
+
+const std::vector<std::string>& SupervisedModelCodes() {
+  // Section 4.3: EMTransformer cannot handle S-GTR-T5's seq2seq input and
+  // DeepMatcher cannot consume Word2Vec's format, so both are excluded.
+  static const std::vector<std::string>* const kCodes =
+      new std::vector<std::string>{"FT", "GE", "BT", "AT", "RA",
+                                   "DT", "XT", "ST", "SA", "SM"};
+  return *kCodes;
+}
+
+// ---------------------------------------------------------------------------
+// Blocking study
+// ---------------------------------------------------------------------------
+
+namespace {
+
+BlockingStudy ParseBlockingStudy(
+    const std::vector<std::vector<std::string>>& rows) {
+  BlockingStudy study;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() < 5) continue;
+    const std::string& kind = row[0];
+    if (kind == "recall") {
+      study.recall[row[1]][row[2]][std::atoi(row[3].c_str())] =
+          ParseDouble(row[4]);
+    } else if (kind == "vec_s") {
+      study.vectorize_seconds[row[1]][row[2]] = ParseDouble(row[4]);
+    } else if (kind == "block_s") {
+      study.block_seconds[row[1]][row[2]] = ParseDouble(row[4]);
+    } else if (kind == "db_recall") {
+      study.deepblocker_recall[row[2]][std::atoi(row[3].c_str())] =
+          ParseDouble(row[4]);
+    } else if (kind == "db_s") {
+      study.deepblocker_seconds[row[2]][std::atoi(row[3].c_str())] =
+          ParseDouble(row[4]);
+    }
+  }
+  return study;
+}
+
+}  // namespace
+
+BlockingStudy RunBlockingStudy(const BenchEnv& env) {
+  if (auto loaded = LoadArtifact(env, "blocking_study"); loaded.ok()) {
+    return ParseBlockingStudy(loaded.value());
+  }
+  BlockingStudy study;
+  const std::vector<int> ks = {1, 5, 10};
+
+  for (const embed::ModelId id : embed::AllModels()) {
+    auto model = embed::CreateModel(id);
+    const std::string code = model->info().code;
+    for (const std::string& dataset_id : AllDatasetIds()) {
+      const datagen::CleanCleanDataset& dataset = GetDataset(dataset_id, env);
+      const eval::GroundTruth truth = TruthOf(dataset);
+      double vec_left = 0, vec_right = 0;
+      const la::Matrix left = Vectors(*model, dataset, true, env, &vec_left);
+      const la::Matrix right = Vectors(*model, dataset, false, env,
+                                       &vec_right);
+      study.vectorize_seconds[code][dataset_id] =
+          std::max(0.0, vec_left) + std::max(0.0, vec_right);
+
+      core::BlockingOptions options;
+      options.k = 10;
+      const core::BlockingResult blocked =
+          core::BlockCleanClean(left, right, options);
+      study.block_seconds[code][dataset_id] = blocked.total_seconds();
+      // Queries return exactly k candidates in ascending distance order, so
+      // the k' < 10 candidate sets are per-query prefixes.
+      for (const int k : ks) {
+        std::vector<std::pair<uint32_t, uint32_t>> prefix;
+        prefix.reserve(blocked.candidates.size());
+        for (size_t start = 0; start < blocked.candidates.size();
+             start += options.k) {
+          const size_t end = std::min(start + static_cast<size_t>(k),
+                                      blocked.candidates.size());
+          for (size_t i = start; i < end; ++i) {
+            prefix.push_back(blocked.candidates[i]);
+          }
+        }
+        study.recall[code][dataset_id][k] =
+            eval::EvaluateCleanCleanCandidates(prefix, truth).recall;
+      }
+      std::fprintf(stderr, "[blocking] %s %s done\n", code.c_str(),
+                   dataset_id.c_str());
+    }
+  }
+
+  // DeepBlocker (Auto-Encoder + fastText), per dataset and k.
+  for (const std::string& dataset_id : AllDatasetIds()) {
+    const datagen::CleanCleanDataset& dataset = GetDataset(dataset_id, env);
+    const eval::GroundTruth truth = TruthOf(dataset);
+    const std::vector<std::string> left = dataset.left.AllSentences();
+    const std::vector<std::string> right = dataset.right.AllSentences();
+    for (const int k : ks) {
+      baselines::DeepBlockerOptions options;
+      options.k = static_cast<size_t>(k);
+      options.seed = env.seed ^ 0xdbULL;
+      baselines::DeepBlocker blocker(options);
+      const baselines::DeepBlockerResult result = blocker.Run(left, right);
+      study.deepblocker_recall[dataset_id][k] =
+          eval::EvaluateCleanCleanCandidates(result.candidates, truth).recall;
+      study.deepblocker_seconds[dataset_id][k] = result.total_seconds();
+    }
+    std::fprintf(stderr, "[blocking] DeepBlocker %s done\n",
+                 dataset_id.c_str());
+  }
+
+  // Persist.
+  eval::Table table("blocking_study");
+  table.SetHeader({"kind", "model", "dataset", "k", "value"});
+  for (const auto& [model, per_dataset] : study.recall) {
+    for (const auto& [dataset, per_k] : per_dataset) {
+      for (const auto& [k, value] : per_k) {
+        table.AddRow({"recall", model, dataset, std::to_string(k),
+                      eval::Table::Num(value, 6)});
+      }
+    }
+  }
+  for (const auto& [model, per_dataset] : study.vectorize_seconds) {
+    for (const auto& [dataset, value] : per_dataset) {
+      table.AddRow({"vec_s", model, dataset, "0",
+                    eval::Table::Num(value, 6)});
+    }
+  }
+  for (const auto& [model, per_dataset] : study.block_seconds) {
+    for (const auto& [dataset, value] : per_dataset) {
+      table.AddRow({"block_s", model, dataset, "0",
+                    eval::Table::Num(value, 6)});
+    }
+  }
+  for (const auto& [dataset, per_k] : study.deepblocker_recall) {
+    for (const auto& [k, value] : per_k) {
+      table.AddRow({"db_recall", "DB", dataset, std::to_string(k),
+                    eval::Table::Num(value, 6)});
+    }
+  }
+  for (const auto& [dataset, per_k] : study.deepblocker_seconds) {
+    for (const auto& [k, value] : per_k) {
+      table.AddRow({"db_s", "DB", dataset, std::to_string(k),
+                    eval::Table::Num(value, 6)});
+    }
+  }
+  SaveArtifact(env, "blocking_study", table);
+  return study;
+}
+
+// ---------------------------------------------------------------------------
+// Unsupervised matching study
+// ---------------------------------------------------------------------------
+
+namespace {
+
+UnsupStudy ParseUnsupStudy(const std::vector<std::vector<std::string>>& rows) {
+  UnsupStudy study;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() < 10) continue;
+    const std::string& kind = row[0];
+    if (kind == "cell") {
+      UnsupStudy::Cell& cell = study.cells[row[1]][row[2]][row[3]];
+      cell.precision = ParseDouble(row[4]);
+      cell.recall = ParseDouble(row[5]);
+      cell.f1 = ParseDouble(row[6]);
+      cell.best_threshold = ParseDouble(row[7]);
+      cell.termination_threshold = ParseDouble(row[8]);
+      cell.match_seconds = ParseDouble(row[9]);
+      if (row.size() > 10) cell.sweep_seconds = ParseDouble(row[10]);
+    } else if (kind == "zeroer") {
+      UnsupStudy::ZeroErCell& cell = study.zeroer[row[3]];
+      cell.precision = ParseDouble(row[4]);
+      cell.recall = ParseDouble(row[5]);
+      cell.f1 = ParseDouble(row[6]);
+      cell.prep_seconds = ParseDouble(row[7]);
+      cell.match_seconds = ParseDouble(row[8]);
+      cell.timed_out = row[9] == "1";
+    } else if (kind == "pipeline") {
+      UnsupStudy::PipelineCell& cell = study.pipeline[row[3]];
+      cell.precision = ParseDouble(row[4]);
+      cell.recall = ParseDouble(row[5]);
+      cell.f1 = ParseDouble(row[6]);
+      cell.prep_seconds = ParseDouble(row[7]);
+      cell.match_seconds = ParseDouble(row[8]);
+    }
+  }
+  return study;
+}
+
+}  // namespace
+
+UnsupStudy RunUnsupStudy(const BenchEnv& env) {
+  if (auto loaded = LoadArtifact(env, "unsup_study"); loaded.ok()) {
+    return ParseUnsupStudy(loaded.value());
+  }
+  UnsupStudy study;
+  const std::vector<match::ClusteringAlgorithm> algorithms = {
+      match::ClusteringAlgorithm::kUmc, match::ClusteringAlgorithm::kExact,
+      match::ClusteringAlgorithm::kKiraly};
+
+  for (const embed::ModelId id : embed::AllModels()) {
+    auto model = embed::CreateModel(id);
+    const std::string code = model->info().code;
+    for (const std::string& dataset_id : AllDatasetIds()) {
+      const datagen::CleanCleanDataset& dataset = GetDataset(dataset_id, env);
+      const eval::GroundTruth truth = TruthOf(dataset);
+      const la::Matrix left = Vectors(*model, dataset, true, env);
+      const la::Matrix right = Vectors(*model, dataset, false, env);
+      std::vector<cluster::ScoredPair> pairs =
+          match::UnsupervisedMatcher::AllPairSimilarities(left, right);
+      for (const match::ClusteringAlgorithm algorithm : algorithms) {
+        const match::SweepResult sweep = match::UnsupervisedMatcher::Sweep(
+            pairs, left.rows(), right.rows(), truth, algorithm);
+        UnsupStudy::Cell& cell =
+            study.cells[ClusteringAlgorithmName(algorithm)][code][dataset_id];
+        cell.precision = sweep.best.metrics.precision;
+        cell.recall = sweep.best.metrics.recall;
+        cell.f1 = sweep.best.metrics.f1;
+        cell.best_threshold = sweep.best.threshold;
+        cell.termination_threshold = sweep.termination_threshold;
+        cell.match_seconds = sweep.best.match_seconds;
+        cell.sweep_seconds = sweep.total_sweep_seconds;
+      }
+      std::fprintf(stderr, "[unsup] %s %s done\n", code.c_str(),
+                   dataset_id.c_str());
+    }
+  }
+
+  // ZeroER per dataset.
+  for (const std::string& dataset_id : AllDatasetIds()) {
+    const datagen::CleanCleanDataset& dataset = GetDataset(dataset_id, env);
+    const eval::GroundTruth truth = TruthOf(dataset);
+    baselines::ZeroEr zeroer;
+    const baselines::ZeroErResult result = zeroer.Run(dataset, truth);
+    UnsupStudy::ZeroErCell& cell = study.zeroer[dataset_id];
+    cell.precision = result.metrics.precision;
+    cell.recall = result.metrics.recall;
+    cell.f1 = result.metrics.f1;
+    cell.prep_seconds = result.blocking_seconds + result.feature_seconds;
+    cell.match_seconds = result.match_seconds;
+    cell.timed_out = result.timed_out;
+    std::fprintf(stderr, "[unsup] ZeroER %s done%s\n", dataset_id.c_str(),
+                 result.timed_out ? " (timeout)" : "");
+  }
+
+  // End-to-end S-GTR-T5 pipeline (k=10, delta=0.5) per dataset.
+  {
+    auto model = embed::CreateModel(embed::ModelId::kSGtrT5);
+    for (const std::string& dataset_id : AllDatasetIds()) {
+      const datagen::CleanCleanDataset& dataset = GetDataset(dataset_id, env);
+      const eval::GroundTruth truth = TruthOf(dataset);
+      double vec_left = 0, vec_right = 0;
+      const la::Matrix left = Vectors(*model, dataset, true, env, &vec_left);
+      const la::Matrix right =
+          Vectors(*model, dataset, false, env, &vec_right);
+      core::ErPipeline pipeline({});
+      const core::PipelineResult result = pipeline.RunOnVectors(left, right);
+      std::vector<std::pair<uint32_t, uint32_t>> predicted;
+      for (const auto& m : result.matches) {
+        predicted.emplace_back(m.left, m.right);
+      }
+      const eval::PrfMetrics metrics =
+          eval::EvaluateCleanCleanMatches(predicted, truth);
+      UnsupStudy::PipelineCell& cell = study.pipeline[dataset_id];
+      cell.precision = metrics.precision;
+      cell.recall = metrics.recall;
+      cell.f1 = metrics.f1;
+      cell.prep_seconds = std::max(0.0, vec_left) + std::max(0.0, vec_right) +
+                          result.blocking_seconds;
+      cell.match_seconds = result.matching_seconds;
+    }
+  }
+
+  // Persist.
+  eval::Table table("unsup_study");
+  table.SetHeader({"kind", "algorithm", "model", "dataset", "precision",
+                   "recall", "f1", "best_t", "term_t", "match_s", "sweep_s"});
+  for (const auto& [algorithm, per_model] : study.cells) {
+    for (const auto& [model, per_dataset] : per_model) {
+      for (const auto& [dataset, cell] : per_dataset) {
+        table.AddRow({"cell", algorithm, model, dataset,
+                      eval::Table::Num(cell.precision, 6),
+                      eval::Table::Num(cell.recall, 6),
+                      eval::Table::Num(cell.f1, 6),
+                      eval::Table::Num(cell.best_threshold, 4),
+                      eval::Table::Num(cell.termination_threshold, 4),
+                      eval::Table::Num(cell.match_seconds, 6),
+                      eval::Table::Num(cell.sweep_seconds, 6)});
+      }
+    }
+  }
+  for (const auto& [dataset, cell] : study.zeroer) {
+    table.AddRow({"zeroer", "-", "ZeroER", dataset,
+                  eval::Table::Num(cell.precision, 6),
+                  eval::Table::Num(cell.recall, 6),
+                  eval::Table::Num(cell.f1, 6),
+                  eval::Table::Num(cell.prep_seconds, 6),
+                  eval::Table::Num(cell.match_seconds, 6),
+                  cell.timed_out ? "1" : "0", "0"});
+  }
+  for (const auto& [dataset, cell] : study.pipeline) {
+    table.AddRow({"pipeline", "-", "S5-e2e", dataset,
+                  eval::Table::Num(cell.precision, 6),
+                  eval::Table::Num(cell.recall, 6),
+                  eval::Table::Num(cell.f1, 6),
+                  eval::Table::Num(cell.prep_seconds, 6),
+                  eval::Table::Num(cell.match_seconds, 6), "0", "0"});
+  }
+  SaveArtifact(env, "unsup_study", table);
+  return study;
+}
+
+// ---------------------------------------------------------------------------
+// Supervised matching study
+// ---------------------------------------------------------------------------
+
+namespace {
+
+SupStudy ParseSupStudy(const std::vector<std::vector<std::string>>& rows) {
+  SupStudy study;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() < 7) continue;
+    SupStudy::Cell& cell = study.cells[row[0]][row[1]];
+    cell.f1 = ParseDouble(row[2]);
+    cell.precision = ParseDouble(row[3]);
+    cell.recall = ParseDouble(row[4]);
+    cell.train_seconds = ParseDouble(row[5]);
+    cell.test_seconds = ParseDouble(row[6]);
+  }
+  return study;
+}
+
+const datagen::DsmDataset& GetDsm(const std::string& id, const BenchEnv& env) {
+  static std::map<std::string, datagen::DsmDataset>* const kCache =
+      new std::map<std::string, datagen::DsmDataset>();
+  const std::string key = id + "_" + ScaleTag(env);
+  auto it = kCache->find(key);
+  if (it == kCache->end()) {
+    const auto spec = datagen::DsmSpecById(id);
+    EMBER_CHECK(spec.ok());
+    it = kCache
+             ->emplace(key,
+                       datagen::GenerateDsm(spec.value(), env.scale, env.seed))
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+SupStudy RunSupStudy(const BenchEnv& env) {
+  if (auto loaded = LoadArtifact(env, "sup_study"); loaded.ok()) {
+    return ParseSupStudy(loaded.value());
+  }
+  SupStudy study;
+  const std::vector<std::string> dsm_ids = {"DSM1", "DSM2", "DSM3", "DSM4",
+                                            "DSM5"};
+  for (const std::string& code : SupervisedModelCodes()) {
+    const auto id = embed::ModelIdFromString(code);
+    EMBER_CHECK(id.ok());
+    auto model = embed::CreateModel(id.value());
+    for (const std::string& dsm_id : dsm_ids) {
+      const datagen::DsmDataset& data = GetDsm(dsm_id, env);
+      match::SupervisedOptions options =
+          match::SupervisedMatcher::DefaultOptionsFor(model->info());
+      options.mlp.seed = env.seed ^ 0x5afeULL;
+      match::SupervisedMatcher matcher(*model, options);
+      const match::SupervisedReport report = matcher.TrainAndEvaluate(data);
+      SupStudy::Cell& cell = study.cells[code][dsm_id];
+      cell.f1 = report.test_metrics.f1;
+      cell.precision = report.test_metrics.precision;
+      cell.recall = report.test_metrics.recall;
+      cell.train_seconds = report.train_seconds;
+      cell.test_seconds = report.test_seconds;
+      std::fprintf(stderr, "[sup] %s %s f1=%.3f\n", code.c_str(),
+                   dsm_id.c_str(), cell.f1);
+    }
+  }
+  for (const std::string& dsm_id : dsm_ids) {
+    const datagen::DsmDataset& data = GetDsm(dsm_id, env);
+    {
+      const match::SupervisedReport report =
+          baselines::RunDittoLike(data, env.seed);
+      SupStudy::Cell& cell = study.cells["DITTO"][dsm_id];
+      cell.f1 = report.test_metrics.f1;
+      cell.precision = report.test_metrics.precision;
+      cell.recall = report.test_metrics.recall;
+      cell.train_seconds = report.train_seconds;
+      cell.test_seconds = report.test_seconds;
+    }
+    {
+      const match::SupervisedReport report =
+          baselines::RunDeepMatcherPlus(data, env.seed);
+      SupStudy::Cell& cell = study.cells["DM+"][dsm_id];
+      cell.f1 = report.test_metrics.f1;
+      cell.precision = report.test_metrics.precision;
+      cell.recall = report.test_metrics.recall;
+      cell.train_seconds = report.train_seconds;
+      cell.test_seconds = report.test_seconds;
+    }
+    std::fprintf(stderr, "[sup] baselines %s done\n", dsm_id.c_str());
+  }
+
+  eval::Table table("sup_study");
+  table.SetHeader({"model", "dsm", "f1", "precision", "recall", "train_s",
+                   "test_s"});
+  for (const auto& [model, per_dsm] : study.cells) {
+    for (const auto& [dsm, cell] : per_dsm) {
+      table.AddRow({model, dsm, eval::Table::Num(cell.f1, 6),
+                    eval::Table::Num(cell.precision, 6),
+                    eval::Table::Num(cell.recall, 6),
+                    eval::Table::Num(cell.train_seconds, 6),
+                    eval::Table::Num(cell.test_seconds, 6)});
+    }
+  }
+  SaveArtifact(env, "sup_study", table);
+  return study;
+}
+
+}  // namespace ember::bench

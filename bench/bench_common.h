@@ -1,0 +1,132 @@
+#ifndef EMBER_BENCH_BENCH_COMMON_H_
+#define EMBER_BENCH_BENCH_COMMON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/benchmark_datasets.h"
+#include "embed/embedding_model.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "la/matrix.h"
+
+namespace ember::bench {
+
+/// Shared configuration of every bench binary.
+///
+/// Flags: --scale <f> (default 0.25, or $EMBER_SCALE), --full (scale 1.0 and
+/// the large scalability sizes), --no-cache (recompute all vectors),
+/// --seed <n>. Artifacts (cross-bench CSV exchange) go to $EMBER_ARTIFACTS
+/// or ./bench_artifacts.
+struct BenchEnv {
+  double scale = 0.25;
+  bool full = false;
+  bool no_cache = false;
+  uint64_t seed = 41;
+  std::string artifacts_dir = "bench_artifacts";
+};
+
+BenchEnv ParseArgs(int argc, char** argv);
+
+/// Prints the standard bench banner (experiment id, scale, seed) so
+/// EXPERIMENTS.md can record the effective configuration.
+void PrintBanner(const BenchEnv& env, const std::string& experiment,
+                 const std::string& description);
+
+/// Dataset ids D1..D10 in Table 2(a) order.
+const std::vector<std::string>& AllDatasetIds();
+
+/// Generates (and memoizes in-process) one Clean-Clean dataset.
+const datagen::CleanCleanDataset& GetDataset(const std::string& id,
+                                             const BenchEnv& env);
+
+eval::GroundTruth TruthOf(const datagen::CleanCleanDataset& dataset);
+
+/// Vectorizes one side of a dataset through the shared disk cache,
+/// recording fresh vectorization times into the artifacts dir so cached
+/// reruns still report honest timings. `seconds` receives the fresh or
+/// recorded vectorization time (-1 if unknown).
+la::Matrix Vectors(embed::EmbeddingModel& model,
+                   const datagen::CleanCleanDataset& dataset, bool left_side,
+                   const BenchEnv& env, double* seconds = nullptr);
+
+/// Same for an arbitrary keyed sentence collection (scalability benches).
+la::Matrix VectorsKeyed(embed::EmbeddingModel& model, const std::string& key,
+                        const std::vector<std::string>& sentences,
+                        const BenchEnv& env, double* seconds = nullptr);
+
+/// Saves a table as <artifacts>/<name>.csv.
+Status SaveArtifact(const BenchEnv& env, const std::string& name,
+                    const eval::Table& table);
+
+/// Loads <artifacts>/<name>.csv (header row included).
+Result<std::vector<std::vector<std::string>>> LoadArtifact(
+    const BenchEnv& env, const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Shared studies. Each is compute-once: it loads its artifact when present,
+// otherwise runs the experiment and saves it. Several bench binaries render
+// different tables/figures from the same study.
+// ---------------------------------------------------------------------------
+
+/// Blocking study (Figures 3, 4, 5, 12; Table 5(a)): recall and times for
+/// all 12 models x 10 datasets x k in {1, 5, 10}, plus DeepBlocker.
+struct BlockingStudy {
+  // [model][dataset] -> metric; k-indexed where applicable.
+  std::map<std::string, std::map<std::string, std::map<int, double>>> recall;
+  std::map<std::string, std::map<std::string, double>> vectorize_seconds;
+  std::map<std::string, std::map<std::string, double>> block_seconds;
+  // DeepBlocker per dataset per k.
+  std::map<std::string, std::map<int, double>> deepblocker_recall;
+  std::map<std::string, std::map<int, double>> deepblocker_seconds;
+};
+BlockingStudy RunBlockingStudy(const BenchEnv& env);
+
+/// Unsupervised matching study (Figures 2, 8, 9, 10, 14, 15): threshold
+/// sweeps for UMC/EXC/KRC for all models x datasets, plus ZeroER and the
+/// end-to-end S-GTR-T5 pipeline.
+struct UnsupStudy {
+  struct Cell {
+    double precision = 0, recall = 0, f1 = 0;
+    double best_threshold = 0, termination_threshold = 0;
+    double match_seconds = 0, sweep_seconds = 0;
+  };
+  // [algorithm][model][dataset]
+  std::map<std::string, std::map<std::string, std::map<std::string, Cell>>>
+      cells;
+  struct ZeroErCell {
+    double precision = 0, recall = 0, f1 = 0;
+    double prep_seconds = 0, match_seconds = 0;
+    bool timed_out = false;
+  };
+  std::map<std::string, ZeroErCell> zeroer;  // [dataset]
+  struct PipelineCell {
+    double precision = 0, recall = 0, f1 = 0;
+    double prep_seconds = 0, match_seconds = 0;
+  };
+  std::map<std::string, PipelineCell> pipeline;  // [dataset], S-GTR-T5 e2e
+};
+UnsupStudy RunUnsupStudy(const BenchEnv& env);
+
+/// Supervised matching study (Figure 11, Table 6): F1 and train/test times
+/// for the 10 supported models x DSM1..DSM5, plus DITTO-like and
+/// DeepMatcher+.
+struct SupStudy {
+  struct Cell {
+    double f1 = 0, precision = 0, recall = 0;
+    double train_seconds = 0, test_seconds = 0;
+  };
+  std::map<std::string, std::map<std::string, Cell>> cells;  // [model][dsm]
+};
+SupStudy RunSupStudy(const BenchEnv& env);
+
+/// Model codes evaluated in the supervised task (paper excludes Word2Vec
+/// and S-GTR-T5, Section 4.3).
+const std::vector<std::string>& SupervisedModelCodes();
+
+}  // namespace ember::bench
+
+#endif  // EMBER_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,102 @@
+// Tables 1-3: the descriptive tables of the paper, regenerated from the
+// library itself — Table 1 from the model registry, Table 2 from the
+// generated dataset analogues (entity/attribute/duplicate counts and the
+// average sentence length |S|), Table 3 from the supervised pair datasets.
+
+#include "bench_common.h"
+#include "datagen/dsm_datasets.h"
+#include "datagen/febrl.h"
+#include "embed/model_registry.h"
+
+int main(int argc, char** argv) {
+  using namespace ember;
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(env, "exp00 / Tables 1-3",
+                     "Model metadata, dataset characteristics, supervised "
+                     "dataset characteristics");
+
+  // --- Table 1: the language models ---
+  {
+    eval::Table table("Table 1 — language models");
+    table.SetHeader({"model", "code", "family", "dim", "seq", "param_M"});
+    for (const embed::ModelId id : embed::AllModels()) {
+      const embed::ModelInfo& info = embed::GetModelInfo(id);
+      table.AddRow({info.name, info.code,
+                    embed::ModelFamilyName(info.family),
+                    std::to_string(info.dim),
+                    info.max_seq_tokens == 0
+                        ? "-"
+                        : std::to_string(info.max_seq_tokens),
+                    info.param_millions < 0
+                        ? "-"
+                        : std::to_string(info.param_millions)});
+    }
+    table.Print();
+  }
+
+  // --- Table 2(a): the Clean-Clean ER datasets as generated ---
+  {
+    eval::Table table("Table 2(a) — Clean-Clean ER datasets (generated, "
+                      "scaled)");
+    table.SetHeader({"", "name", "|V1|", "|V2|", "|A1|", "|A2|", "|D|",
+                     "|S|"});
+    for (const auto& id : bench::AllDatasetIds()) {
+      const datagen::CleanCleanDataset& dataset = bench::GetDataset(id, env);
+      const double avg_len =
+          (datagen::AverageSentenceLength(dataset.left) +
+           datagen::AverageSentenceLength(dataset.right)) /
+          2.0;
+      table.AddRow({id, dataset.name, std::to_string(dataset.left.size()),
+                    std::to_string(dataset.right.size()),
+                    std::to_string(dataset.left.schema.size()),
+                    std::to_string(dataset.right.schema.size()),
+                    std::to_string(dataset.matches.size()),
+                    eval::Table::Num(avg_len, 1)});
+    }
+    table.Print();
+  }
+
+  // --- Table 2(b): one Febrl dirty-ER sample ---
+  {
+    datagen::FebrlOptions options;
+    options.n_records = std::max<size_t>(
+        1000, static_cast<size_t>(10000 * env.scale));
+    options.seed = env.seed;
+    const datagen::DirtyDataset dirty = datagen::GenerateFebrl(options);
+    eval::Table table("Table 2(b) — Febrl dirty-ER sample");
+    table.SetHeader({"dataset", "|V|", "|A|", "|D|", "|S|"});
+    table.AddRow({dirty.id, std::to_string(dirty.records.size()),
+                  std::to_string(dirty.records.schema.size()),
+                  std::to_string(dirty.matches.size()),
+                  eval::Table::Num(
+                      datagen::AverageSentenceLength(dirty.records), 1)});
+    table.Print();
+  }
+
+  // --- Table 3: the supervised matching datasets ---
+  {
+    eval::Table table("Table 3 — supervised matching datasets (generated, "
+                      "scaled)");
+    table.SetHeader({"", "name", "total", "train", "valid", "test",
+                     "duplicates", "attrs"});
+    for (const char* id : {"DSM1", "DSM2", "DSM3", "DSM4", "DSM5"}) {
+      const auto spec = datagen::DsmSpecById(id);
+      const datagen::DsmDataset data =
+          datagen::GenerateDsm(spec.value(), env.scale, env.seed);
+      size_t positives = 0;
+      for (const auto* split : {&data.train, &data.valid, &data.test}) {
+        for (const auto& pair : *split) positives += pair.label;
+      }
+      const size_t total =
+          data.train.size() + data.valid.size() + data.test.size();
+      table.AddRow({id, data.name, std::to_string(total),
+                    std::to_string(data.train.size()),
+                    std::to_string(data.valid.size()),
+                    std::to_string(data.test.size()),
+                    std::to_string(positives),
+                    std::to_string(spec.value().attrs)});
+    }
+    table.Print();
+  }
+  return 0;
+}

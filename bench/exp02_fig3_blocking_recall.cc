@@ -1,0 +1,48 @@
+// Figure 3: blocking recall per model across D1-D10 for k in {1, 5, 10},
+// with the rightmost-column comparison of S-GTR-T5 against DeepBlocker
+// (Auto-Encoder + fastText).
+
+#include "bench_common.h"
+#include "embed/model_registry.h"
+
+int main(int argc, char** argv) {
+  using namespace ember;
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(env, "exp02 / Figure 3",
+                     "Blocking recall (pairs completeness), exact NNS, "
+                     "12 models x D1-D10 x k in {1,5,10} + DeepBlocker");
+
+  const bench::BlockingStudy study = bench::RunBlockingStudy(env);
+
+  for (const int k : {1, 5, 10}) {
+    eval::Table table("Figure 3 — blocking recall, k=" + std::to_string(k));
+    std::vector<std::string> header = {"model"};
+    for (const auto& d : bench::AllDatasetIds()) header.push_back(d);
+    table.SetHeader(header);
+    for (const embed::ModelId id : embed::AllModels()) {
+      const std::string code = embed::GetModelInfo(id).code;
+      std::vector<std::string> row = {std::string(
+          embed::GetModelInfo(id).name)};
+      for (const auto& d : bench::AllDatasetIds()) {
+        row.push_back(eval::Table::Num(
+            study.recall.at(code).at(d).at(k), 3));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+
+  eval::Table sota("Figure 3 (rightmost) — S-GTR-T5 vs DeepBlocker recall");
+  sota.SetHeader({"dataset", "S5 k=1", "DB k=1", "S5 k=5", "DB k=5",
+                  "S5 k=10", "DB k=10"});
+  for (const auto& d : bench::AllDatasetIds()) {
+    sota.AddRow({d, eval::Table::Num(study.recall.at("S5").at(d).at(1), 3),
+                 eval::Table::Num(study.deepblocker_recall.at(d).at(1), 3),
+                 eval::Table::Num(study.recall.at("S5").at(d).at(5), 3),
+                 eval::Table::Num(study.deepblocker_recall.at(d).at(5), 3),
+                 eval::Table::Num(study.recall.at("S5").at(d).at(10), 3),
+                 eval::Table::Num(study.deepblocker_recall.at(d).at(10), 3)});
+  }
+  sota.Print();
+  return 0;
+}

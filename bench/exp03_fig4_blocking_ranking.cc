@@ -1,0 +1,71 @@
+// Figure 4: per-dataset ranking of the 12 models with respect to blocking
+// recall (k=10), plus the average ranking position (lower is better).
+
+#include "bench_common.h"
+#include "embed/model_registry.h"
+#include "eval/significance.h"
+
+int main(int argc, char** argv) {
+  using namespace ember;
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(env, "exp03 / Figure 4",
+                     "Model ranking wrt blocking recall (k=10); lower is "
+                     "better");
+
+  const bench::BlockingStudy study = bench::RunBlockingStudy(env);
+
+  std::vector<std::vector<double>> scores;
+  for (const embed::ModelId id : embed::AllModels()) {
+    const std::string code = embed::GetModelInfo(id).code;
+    std::vector<double> row;
+    for (const auto& d : bench::AllDatasetIds()) {
+      row.push_back(study.recall.at(code).at(d).at(10));
+    }
+    scores.push_back(std::move(row));
+  }
+  const std::vector<std::vector<double>> ranks = eval::RankMatrix(scores);
+
+  eval::Table table("Figure 4 — blocking recall ranking (k=10)");
+  std::vector<std::string> header = {"model"};
+  for (const auto& d : bench::AllDatasetIds()) header.push_back(d);
+  header.push_back("avg");
+  table.SetHeader(header);
+  size_t m = 0;
+  for (const embed::ModelId id : embed::AllModels()) {
+    std::vector<std::string> row = {std::string(embed::GetModelInfo(id).name)};
+    for (size_t c = 0; c < ranks[m].size(); ++c) {
+      row.push_back(eval::Table::Num(ranks[m][c], c + 1 == ranks[m].size()
+                                                      ? 2
+                                                      : 0));
+    }
+    table.AddRow(row);
+    ++m;
+  }
+  table.Print();
+  bench::SaveArtifact(env, "fig4", table);
+
+  // Is the headline ordering robust to the dataset sample? Paired bootstrap
+  // and Wilcoxon over the ten datasets for the key cross-family contrasts.
+  const auto series_of = [&](const char* code) {
+    std::vector<double> values;
+    for (const auto& d : bench::AllDatasetIds()) {
+      values.push_back(study.recall.at(code).at(d).at(10));
+    }
+    return values;
+  };
+  eval::Table significance("Ranking robustness (paired bootstrap / "
+                           "Wilcoxon over datasets)");
+  significance.SetHeader({"contrast", "P(A>=B)", "wilcoxon_p"});
+  const std::pair<const char*, const char*> contrasts[] = {
+      {"S5", "GE"}, {"S5", "FT"}, {"GE", "BT"}, {"DT", "AT"}};
+  for (const auto& [a, b] : contrasts) {
+    const auto sa = series_of(a);
+    const auto sb = series_of(b);
+    significance.AddRow(
+        {std::string(a) + " vs " + b,
+         eval::Table::Num(eval::BootstrapProbabilityBetter(sa, sb), 3),
+         eval::Table::Num(eval::WilcoxonSignedRankPValue(sa, sb), 4)});
+  }
+  significance.Print();
+  return 0;
+}

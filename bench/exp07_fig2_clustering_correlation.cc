@@ -1,0 +1,44 @@
+// Figure 2: Pearson correlation between the best-F1 scores of Unique
+// Mapping Clustering (UMC), Exact Clustering (EXC) and Kiraly Clustering
+// (KRC), computed over all (model, dataset) combinations — the robustness
+// check that justifies reporting only UMC in the matching experiments.
+
+#include "bench_common.h"
+#include "embed/model_registry.h"
+
+int main(int argc, char** argv) {
+  using namespace ember;
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(env, "exp07 / Figure 2",
+                     "Pearson correlation between UMC, EXC and KRC best F1 "
+                     "across all models and datasets");
+
+  const bench::UnsupStudy study = bench::RunUnsupStudy(env);
+
+  const std::vector<std::string> algorithms = {"UMC", "EXC", "KRC"};
+  std::map<std::string, std::vector<double>> series;
+  for (const std::string& algorithm : algorithms) {
+    for (const embed::ModelId id : embed::AllModels()) {
+      const std::string code = embed::GetModelInfo(id).code;
+      for (const auto& d : bench::AllDatasetIds()) {
+        series[algorithm].push_back(
+            study.cells.at(algorithm).at(code).at(d).f1);
+      }
+    }
+  }
+
+  eval::Table table("Figure 2 — Pearson correlation of clustering "
+                    "algorithms (best F1)");
+  table.SetHeader({"", "UMC", "EXC", "KRC"});
+  for (const std::string& a : algorithms) {
+    std::vector<std::string> row = {a};
+    for (const std::string& b : algorithms) {
+      row.push_back(eval::Table::Num(
+          eval::PearsonCorrelation(series[a], series[b]), 3));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  bench::SaveArtifact(env, "fig2", table);
+  return 0;
+}

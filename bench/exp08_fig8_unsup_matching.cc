@@ -1,0 +1,57 @@
+// Figure 8: unsupervised matching precision / recall / F1 per model across
+// D1-D10 (UMC at the best threshold of the delta sweep), plus panel (d):
+// the end-to-end S-GTR-T5 pipeline (k=10, delta=0.5) against ZeroER.
+
+#include "bench_common.h"
+#include "embed/model_registry.h"
+
+int main(int argc, char** argv) {
+  using namespace ember;
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(env, "exp08 / Figure 8",
+                     "Unsupervised matching P/R/F1 (UMC, best delta) "
+                     "+ S-GTR-T5 end-to-end vs ZeroER");
+
+  const bench::UnsupStudy study = bench::RunUnsupStudy(env);
+
+  for (const char* metric : {"precision", "recall", "f1"}) {
+    eval::Table table(std::string("Figure 8 — unsupervised matching ") +
+                      metric);
+    std::vector<std::string> header = {"model"};
+    for (const auto& d : bench::AllDatasetIds()) header.push_back(d);
+    table.SetHeader(header);
+    for (const embed::ModelId id : embed::AllModels()) {
+      const std::string code = embed::GetModelInfo(id).code;
+      std::vector<std::string> row = {
+          std::string(embed::GetModelInfo(id).name)};
+      for (const auto& d : bench::AllDatasetIds()) {
+        const bench::UnsupStudy::Cell& cell =
+            study.cells.at("UMC").at(code).at(d);
+        const double value = metric == std::string("precision")
+                                 ? cell.precision
+                                 : metric == std::string("recall")
+                                       ? cell.recall
+                                       : cell.f1;
+        row.push_back(eval::Table::Num(value, 3));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+
+  eval::Table sota("Figure 8(d) — end-to-end S-GTR-T5 vs ZeroER (F1)");
+  sota.SetHeader({"dataset", "S5-e2e P", "S5-e2e R", "S5-e2e F1", "ZeroER P",
+                  "ZeroER R", "ZeroER F1"});
+  for (const auto& d : bench::AllDatasetIds()) {
+    const auto& pipe = study.pipeline.at(d);
+    const auto& zero = study.zeroer.at(d);
+    sota.AddRow({d, eval::Table::Num(pipe.precision, 3),
+                 eval::Table::Num(pipe.recall, 3),
+                 eval::Table::Num(pipe.f1, 3),
+                 zero.timed_out ? "-" : eval::Table::Num(zero.precision, 3),
+                 zero.timed_out ? "-" : eval::Table::Num(zero.recall, 3),
+                 zero.timed_out ? "-" : eval::Table::Num(zero.f1, 3)});
+  }
+  sota.Print();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 9: per-dataset ranking of the 12 models with respect to
+// unsupervised matching F1 (lower is better), with the average position.
+
+#include "bench_common.h"
+#include "embed/model_registry.h"
+
+int main(int argc, char** argv) {
+  using namespace ember;
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(env, "exp09 / Figure 9",
+                     "Model ranking wrt unsupervised matching F1; lower is "
+                     "better");
+
+  const bench::UnsupStudy study = bench::RunUnsupStudy(env);
+
+  std::vector<std::vector<double>> scores;
+  for (const embed::ModelId id : embed::AllModels()) {
+    const std::string code = embed::GetModelInfo(id).code;
+    std::vector<double> row;
+    for (const auto& d : bench::AllDatasetIds()) {
+      row.push_back(study.cells.at("UMC").at(code).at(d).f1);
+    }
+    scores.push_back(std::move(row));
+  }
+  const std::vector<std::vector<double>> ranks = eval::RankMatrix(scores);
+
+  eval::Table table("Figure 9 — unsupervised matching F1 ranking");
+  std::vector<std::string> header = {"model"};
+  for (const auto& d : bench::AllDatasetIds()) header.push_back(d);
+  header.push_back("avg");
+  table.SetHeader(header);
+  size_t m = 0;
+  for (const embed::ModelId id : embed::AllModels()) {
+    std::vector<std::string> row = {std::string(embed::GetModelInfo(id).name)};
+    for (size_t c = 0; c < ranks[m].size(); ++c) {
+      row.push_back(
+          eval::Table::Num(ranks[m][c], c + 1 == ranks[m].size() ? 2 : 0));
+    }
+    table.AddRow(row);
+    ++m;
+  }
+  table.Print();
+  bench::SaveArtifact(env, "fig9", table);
+  return 0;
+}

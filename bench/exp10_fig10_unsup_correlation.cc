@@ -1,0 +1,43 @@
+// Figure 10: Pearson correlation between every pair of models with respect
+// to unsupervised matching F1 across the ten datasets.
+
+#include "bench_common.h"
+#include "embed/model_registry.h"
+
+int main(int argc, char** argv) {
+  using namespace ember;
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(env, "exp10 / Figure 10",
+                     "Pearson correlation of models wrt unsupervised "
+                     "matching F1");
+
+  const bench::UnsupStudy study = bench::RunUnsupStudy(env);
+
+  std::vector<std::string> codes;
+  std::vector<std::vector<double>> series;
+  for (const embed::ModelId id : embed::AllModels()) {
+    const std::string code = embed::GetModelInfo(id).code;
+    codes.push_back(code);
+    std::vector<double> row;
+    for (const auto& d : bench::AllDatasetIds()) {
+      row.push_back(study.cells.at("UMC").at(code).at(d).f1);
+    }
+    series.push_back(std::move(row));
+  }
+
+  eval::Table table("Figure 10 — Pearson correlation wrt unsupervised F1");
+  std::vector<std::string> header = {"model"};
+  for (const auto& c : codes) header.push_back(c);
+  table.SetHeader(header);
+  for (size_t a = 0; a < codes.size(); ++a) {
+    std::vector<std::string> row = {codes[a]};
+    for (size_t b = 0; b < codes.size(); ++b) {
+      row.push_back(eval::Table::Num(
+          eval::PearsonCorrelation(series[a], series[b]), 2));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  bench::SaveArtifact(env, "fig10", table);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 11: supervised matching F1 per model across DSM1-DSM5
+// (EMTransformer-style training with validation early stopping for dynamic
+// models, DeepMatcher-style hybrid features for static ones), plus panel
+// (d): DITTO-like and DeepMatcher+ baselines.
+
+#include "bench_common.h"
+#include "embed/model_registry.h"
+
+int main(int argc, char** argv) {
+  using namespace ember;
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(env, "exp11 / Figure 11",
+                     "Supervised matching F1, 10 models x DSM1-DSM5 + DITTO "
+                     "and DeepMatcher+");
+
+  const bench::SupStudy study = bench::RunSupStudy(env);
+  const std::vector<std::string> dsm_ids = {"DSM1", "DSM2", "DSM3", "DSM4",
+                                            "DSM5"};
+
+  eval::Table table("Figure 11 — supervised matching F1");
+  std::vector<std::string> header = {"model"};
+  for (const auto& d : dsm_ids) header.push_back(d);
+  table.SetHeader(header);
+  for (const std::string& code : bench::SupervisedModelCodes()) {
+    std::vector<std::string> row = {code};
+    for (const auto& d : dsm_ids) {
+      row.push_back(eval::Table::Num(study.cells.at(code).at(d).f1, 3));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  eval::Table sota("Figure 11(d) — SotA supervised matchers (F1)");
+  std::vector<std::string> sota_header = {"method"};
+  for (const auto& d : dsm_ids) sota_header.push_back(d);
+  sota.SetHeader(sota_header);
+  for (const std::string& method : {std::string("DITTO"), std::string("DM+")}) {
+    std::vector<std::string> row = {method};
+    for (const auto& d : dsm_ids) {
+      row.push_back(eval::Table::Num(study.cells.at(method).at(d).f1, 3));
+    }
+    sota.AddRow(row);
+  }
+  sota.Print();
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 12: blocking time per model and dataset (vectorization time
+// excluded here — the indexing+querying cost of exact NNS), plus the
+// S-GTR-T5 vs DeepBlocker end-to-end times of Table 5(a) context.
+
+#include "bench_common.h"
+#include "embed/model_registry.h"
+
+int main(int argc, char** argv) {
+  using namespace ember;
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(env, "exp12 / Figure 12",
+                     "Blocking (index+query) time in seconds per model and "
+                     "dataset, exact NNS, k=10");
+
+  const bench::BlockingStudy study = bench::RunBlockingStudy(env);
+
+  eval::Table table("Figure 12 — blocking time (s), exact NNS k=10");
+  std::vector<std::string> header = {"model"};
+  for (const auto& d : bench::AllDatasetIds()) header.push_back(d);
+  table.SetHeader(header);
+  for (const embed::ModelId id : embed::AllModels()) {
+    const std::string code = embed::GetModelInfo(id).code;
+    std::vector<std::string> row = {std::string(embed::GetModelInfo(id).name)};
+    for (const auto& d : bench::AllDatasetIds()) {
+      row.push_back(eval::Table::Num(study.block_seconds.at(code).at(d), 3));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  bench::SaveArtifact(env, "fig12", table);
+  return 0;
+}

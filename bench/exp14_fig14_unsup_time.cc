@@ -1,0 +1,37 @@
+// Figure 14: unsupervised matching time per model and dataset — the UMC
+// clustering time at the best-F1 threshold (blue in the paper) and the
+// total time of the full delta sweep (orange).
+
+#include "bench_common.h"
+#include "embed/model_registry.h"
+
+int main(int argc, char** argv) {
+  using namespace ember;
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(env, "exp14 / Figure 14",
+                     "Unsupervised matching time (s): UMC at best delta "
+                     "(best_s) and full sweep (sweep_s)");
+
+  const bench::UnsupStudy study = bench::RunUnsupStudy(env);
+
+  eval::Table table("Figure 14 — UMC matching time (s)");
+  std::vector<std::string> header = {"model"};
+  for (const auto& d : bench::AllDatasetIds()) {
+    header.push_back(d + " best");
+    header.push_back(d + " sweep");
+  }
+  table.SetHeader(header);
+  for (const embed::ModelId id : embed::AllModels()) {
+    const std::string code = embed::GetModelInfo(id).code;
+    std::vector<std::string> row = {std::string(embed::GetModelInfo(id).name)};
+    for (const auto& d : bench::AllDatasetIds()) {
+      const auto& cell = study.cells.at("UMC").at(code).at(d);
+      row.push_back(eval::Table::Num(cell.match_seconds, 4));
+      row.push_back(eval::Table::Num(cell.sweep_seconds, 3));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  bench::SaveArtifact(env, "fig14", table);
+  return 0;
+}

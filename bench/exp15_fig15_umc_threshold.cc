@@ -1,0 +1,37 @@
+// Figure 15: the UMC similarity threshold delta per model and dataset — the
+// delta achieving the best F1 (blue in the paper) and the delta at which
+// the unconstrained algorithm terminates (orange).
+
+#include "bench_common.h"
+#include "embed/model_registry.h"
+
+int main(int argc, char** argv) {
+  using namespace ember;
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(env, "exp15 / Figure 15",
+                     "UMC threshold delta: best-F1 delta and termination "
+                     "delta per model and dataset");
+
+  const bench::UnsupStudy study = bench::RunUnsupStudy(env);
+
+  eval::Table table("Figure 15 — UMC delta (best / termination)");
+  std::vector<std::string> header = {"model"};
+  for (const auto& d : bench::AllDatasetIds()) {
+    header.push_back(d + " best");
+    header.push_back(d + " term");
+  }
+  table.SetHeader(header);
+  for (const embed::ModelId id : embed::AllModels()) {
+    const std::string code = embed::GetModelInfo(id).code;
+    std::vector<std::string> row = {std::string(embed::GetModelInfo(id).name)};
+    for (const auto& d : bench::AllDatasetIds()) {
+      const auto& cell = study.cells.at("UMC").at(code).at(d);
+      row.push_back(eval::Table::Num(cell.best_threshold, 2));
+      row.push_back(eval::Table::Num(cell.termination_threshold, 2));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  bench::SaveArtifact(env, "fig15", table);
+  return 0;
+}

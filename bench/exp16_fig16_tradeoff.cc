@@ -1,0 +1,100 @@
+// Figure 16: the effectiveness / time-efficiency trade-off per task —
+// average effectiveness across datasets on the x axis, run-time normalized
+// by the fastest model on the y axis (1 = fastest, lower-right corner is
+// the ideal (1,1) point).
+
+#include "bench_common.h"
+#include "embed/model_registry.h"
+
+namespace {
+
+void PrintTradeoff(const std::string& title,
+                   const std::vector<std::string>& models,
+                   const std::vector<double>& effectiveness,
+                   const std::vector<double>& seconds) {
+  double fastest = 1e300;
+  for (const double s : seconds) fastest = std::min(fastest, s);
+  if (fastest <= 0) fastest = 1e-9;
+  ember::eval::Table table(title);
+  table.SetHeader({"model", "effectiveness", "normalized_time"});
+  for (size_t i = 0; i < models.size(); ++i) {
+    table.AddRow({models[i], ember::eval::Table::Num(effectiveness[i], 3),
+                  ember::eval::Table::Num(seconds[i] / fastest, 2)});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ember;
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(env, "exp16 / Figure 16",
+                     "Effectiveness vs normalized run-time per task "
+                     "(averages across datasets)");
+
+  const bench::BlockingStudy blocking = bench::RunBlockingStudy(env);
+  const bench::UnsupStudy unsup = bench::RunUnsupStudy(env);
+  const bench::SupStudy sup = bench::RunSupStudy(env);
+
+  // (a) Blocking, k=10: recall vs vectorization+blocking time.
+  {
+    std::vector<std::string> models;
+    std::vector<double> eff, secs;
+    for (const embed::ModelId id : embed::AllModels()) {
+      const std::string code = embed::GetModelInfo(id).code;
+      double recall = 0, time = 0;
+      for (const auto& d : bench::AllDatasetIds()) {
+        recall += blocking.recall.at(code).at(d).at(10);
+        time += blocking.vectorize_seconds.at(code).at(d) +
+                blocking.block_seconds.at(code).at(d);
+      }
+      models.push_back(embed::GetModelInfo(id).name);
+      eff.push_back(recall / bench::AllDatasetIds().size());
+      secs.push_back(time / bench::AllDatasetIds().size());
+    }
+    PrintTradeoff("Figure 16(a) — blocking (k=10)", models, eff, secs);
+  }
+
+  // (b) Unsupervised matching: best F1 vs end-to-end time (vectorization +
+  // sweep).
+  {
+    std::vector<std::string> models;
+    std::vector<double> eff, secs;
+    for (const embed::ModelId id : embed::AllModels()) {
+      const std::string code = embed::GetModelInfo(id).code;
+      double f1 = 0, time = 0;
+      for (const auto& d : bench::AllDatasetIds()) {
+        const auto& cell = unsup.cells.at("UMC").at(code).at(d);
+        f1 += cell.f1;
+        time += blocking.vectorize_seconds.at(code).at(d) +
+                cell.sweep_seconds;
+      }
+      models.push_back(embed::GetModelInfo(id).name);
+      eff.push_back(f1 / bench::AllDatasetIds().size());
+      secs.push_back(time / bench::AllDatasetIds().size());
+    }
+    PrintTradeoff("Figure 16(b) — unsupervised matching", models, eff, secs);
+  }
+
+  // (c) Supervised matching: F1 vs prediction time (training is a one-off
+  // cost, Section 7).
+  {
+    const std::vector<std::string> dsm_ids = {"DSM1", "DSM2", "DSM3", "DSM4",
+                                              "DSM5"};
+    std::vector<std::string> models;
+    std::vector<double> eff, secs;
+    for (const std::string& code : bench::SupervisedModelCodes()) {
+      double f1 = 0, time = 0;
+      for (const auto& d : dsm_ids) {
+        f1 += sup.cells.at(code).at(d).f1;
+        time += sup.cells.at(code).at(d).test_seconds;
+      }
+      models.push_back(code);
+      eff.push_back(f1 / dsm_ids.size());
+      secs.push_back(time / dsm_ids.size());
+    }
+    PrintTradeoff("Figure 16(c) — supervised matching", models, eff, secs);
+  }
+  return 0;
+}

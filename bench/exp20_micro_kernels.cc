@@ -1,0 +1,145 @@
+// Micro-benchmarks (google-benchmark) for the kernels behind the paper's
+// experiments: dot products, matrix multiply, the transformer-layer
+// forward, tokenization, string similarities, exact vs HNSW queries, and
+// Unique Mapping Clustering.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/bipartite_clustering.h"
+#include "common/rng.h"
+#include "index/exact_index.h"
+#include "index/hnsw_index.h"
+#include "index/lsh_index.h"
+#include "la/matrix.h"
+#include "la/vector_ops.h"
+#include "nn/transformer.h"
+#include "text/string_similarity.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using namespace ember;
+
+la::Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix m(rows, cols);
+  m.FillGaussian(rng, 1.f);
+  for (size_t r = 0; r < rows; ++r) la::NormalizeInPlace(m.Row(r), cols);
+  return m;
+}
+
+void BM_Dot(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const la::Matrix m = RandomMatrix(2, dim, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::Dot(m.Row(0), m.Row(1), dim));
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_Dot)->Arg(300)->Arg(384)->Arg(768);
+
+void BM_GemmBt(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const la::Matrix a = RandomMatrix(n, 128, 2);
+  const la::Matrix b = RandomMatrix(n, 128, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::GemmBt(a, b));
+  }
+}
+BENCHMARK(BM_GemmBt)->Arg(64)->Arg(256);
+
+void BM_TransformerLayer(benchmark::State& state) {
+  nn::TransformerConfig config;
+  config.dim = 64;
+  config.num_heads = 4;
+  config.num_layers = 1;
+  config.ffn_dim = 128;
+  const nn::TransformerEncoder encoder(config);
+  const la::Matrix tokens =
+      RandomMatrix(static_cast<size_t>(state.range(0)), 64, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Forward(tokens));
+  }
+}
+BENCHMARK(BM_TransformerLayer)->Arg(16)->Arg(64)->Arg(100);
+
+void BM_Tokenize(benchmark::State& state) {
+  const std::string sentence =
+      "acme deluxe wireless headset xk2400 with noise cancelling microphone "
+      "and 20 hour battery life premium comfort design";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::Tokenize(sentence));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_Levenshtein(benchmark::State& state) {
+  const std::string a = "hierarchical navigable small world graphs";
+  const std::string b = "hierarchicl navigble smal world grphs";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::LevenshteinSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_ExactQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const la::Matrix data = RandomMatrix(n, 300, 5);
+  index::ExactIndex idx;
+  idx.Build(data);
+  const la::Matrix queries = RandomMatrix(16, 300, 6);
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.Query(queries.Row(q++ % 16), 10));
+  }
+}
+BENCHMARK(BM_ExactQuery)->Arg(1000)->Arg(10000);
+
+void BM_HnswQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const la::Matrix data = RandomMatrix(n, 300, 7);
+  index::HnswIndex idx;
+  idx.Build(data);
+  const la::Matrix queries = RandomMatrix(16, 300, 8);
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.Query(queries.Row(q++ % 16), 10));
+  }
+}
+BENCHMARK(BM_HnswQuery)->Arg(1000)->Arg(10000);
+
+void BM_LshQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const la::Matrix data = RandomMatrix(n, 300, 7);
+  index::LshIndex idx;
+  idx.Build(data);
+  const la::Matrix queries = RandomMatrix(16, 300, 8);
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.Query(queries.Row(q++ % 16), 10));
+  }
+}
+BENCHMARK(BM_LshQuery)->Arg(1000)->Arg(10000);
+
+void BM_Umc(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(9);
+  std::vector<cluster::ScoredPair> pairs;
+  pairs.reserve(n * 20);
+  for (uint32_t l = 0; l < n; ++l) {
+    for (int j = 0; j < 20; ++j) {
+      pairs.push_back({l, static_cast<uint32_t>(rng.Below(n)),
+                       static_cast<float>(rng.Uniform())});
+    }
+  }
+  cluster::SortPairsDescending(pairs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cluster::UniqueMappingClustering(pairs, n, n, 0.3f));
+  }
+}
+BENCHMARK(BM_Umc)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,275 @@
+// Ablation benches for the design choices DESIGN.md calls out, run on the
+// D2 analogue (the paraphrase-heavy dataset where each mechanism matters):
+//
+//   (a) position-robust pooling: SBERT-style encoders with the BERT-scale
+//       positional-encoding amplitude — isolates why sentence encoders
+//       survive token drops/inserts;
+//   (b) encoder calibration: the same sentence encoder with un-calibrated
+//       (BERT-scale) weight gain — isolates the anisotropy mechanism;
+//   (c) subword robustness: FastText with the character-n-gram component
+//       disabled — isolates what n-grams buy under misspellings (D8);
+//   (d) HNSW beam width: recall/latency across efSearch.
+
+#include "bench_common.h"
+#include "core/blocking.h"
+#include "core/pipeline.h"
+#include "datagen/febrl.h"
+#include "embed/model_registry.h"
+#include "embed/static_model.h"
+#include "embed/token_encoder.h"
+#include "index/exact_index.h"
+#include "index/hnsw_index.h"
+#include "la/vector_ops.h"
+#include "nn/transformer.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using namespace ember;
+
+/// A configurable sentence encoder mirroring SentenceEmbeddingModel's
+/// pipeline, exposed here so the ablation can vary pos_scale / weight_gain /
+/// ngram_weight independently of the registry models.
+la::Matrix EncodeCollection(const std::vector<std::string>& sentences,
+                            const embed::TokenEncoderParams& token_params,
+                            const nn::TransformerConfig& encoder_config) {
+  const embed::TokenEncoder token_encoder(token_params);
+  const nn::TransformerEncoder encoder(encoder_config);
+  la::Matrix out(sentences.size(), encoder_config.dim);
+  for (size_t i = 0; i < sentences.size(); ++i) {
+    const std::vector<std::string> tokens = text::Tokenize(sentences[i]);
+    if (tokens.empty()) continue;
+    la::Matrix embeds(tokens.size(), encoder_config.dim);
+    for (size_t t = 0; t < tokens.size(); ++t) {
+      token_encoder.Encode(tokens[t], embeds.Row(t));
+    }
+    const la::Matrix states = encoder.Forward(embeds);
+    float* row = out.Row(i);
+    float total = 0.f;
+    for (size_t t = 0; t < tokens.size(); ++t) {
+      const float w = token_encoder.Idf(tokens[t]);
+      la::Axpy(w, states.Row(t + 1), row, encoder_config.dim);
+      total += w;
+    }
+    if (total > 0.f) la::Scale(1.f / total, row, encoder_config.dim);
+    la::NormalizeInPlace(row, encoder_config.dim);
+  }
+  return out;
+}
+
+double RecallAt10(const la::Matrix& left, const la::Matrix& right,
+                  const eval::GroundTruth& truth) {
+  core::BlockingOptions options;
+  options.k = 10;
+  const core::BlockingResult blocked =
+      core::BlockCleanClean(left, right, options);
+  return eval::EvaluateCleanCleanCandidates(blocked.candidates, truth).recall;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(env, "exp21 / ablations",
+                     "Design-choice ablations: positional robustness, "
+                     "encoder calibration, subword n-grams, HNSW efSearch");
+
+  const datagen::CleanCleanDataset& d2 = bench::GetDataset("D2", env);
+  const datagen::CleanCleanDataset& d8 = bench::GetDataset("D8", env);
+  const eval::GroundTruth truth2 = bench::TruthOf(d2);
+  const eval::GroundTruth truth8 = bench::TruthOf(d8);
+  const std::vector<std::string> left2 = d2.left.AllSentences();
+  const std::vector<std::string> right2 = d2.right.AllSentences();
+
+  // --- (a) + (b): sentence-encoder ablations on D2 ---
+  {
+    embed::TokenEncoderParams tp;
+    tp.dim = 80;
+    tp.seed = 0x5b3a7ULL;
+    tp.vocab_coverage = 0.97;
+    tp.synonym_coverage = 0.88;
+    tp.surface_weight = 0.18f;
+    tp.ngram_weight = 0.30f;
+    tp.ngram_min = 4;
+    tp.ngram_max = 5;
+    nn::TransformerConfig cfg;
+    cfg.dim = 80;
+    cfg.num_heads = 4;
+    cfg.num_layers = 12;
+    cfg.ffn_dim = 160;
+    cfg.weight_gain = 0.06f;
+    cfg.pos_scale = 0.015f;
+    cfg.seed = 0x5b3a7ULL ^ 0x5e2cULL;
+
+    eval::Table table("Ablation (a)/(b) — sentence encoder on D2, "
+                      "blocking recall (k=10)");
+    table.SetHeader({"variant", "pos_scale", "weight_gain", "recall"});
+    struct Variant {
+      const char* name;
+      float pos_scale;
+      float gain;
+    };
+    for (const Variant& v :
+         {Variant{"calibrated (S-MPNet-like)", 0.015f, 0.06f},
+          Variant{"BERT-scale positions", 0.10f, 0.06f},
+          Variant{"un-calibrated weights", 0.015f, 1.05f},
+          Variant{"both (BERT-like)", 0.10f, 1.05f}}) {
+      nn::TransformerConfig variant_cfg = cfg;
+      variant_cfg.pos_scale = v.pos_scale;
+      variant_cfg.weight_gain = v.gain;
+      const la::Matrix left = EncodeCollection(left2, tp, variant_cfg);
+      const la::Matrix right = EncodeCollection(right2, tp, variant_cfg);
+      table.AddRow({v.name, eval::Table::Num(v.pos_scale, 3),
+                    eval::Table::Num(v.gain, 2),
+                    eval::Table::Num(RecallAt10(left, right, truth2), 3)});
+    }
+    table.Print();
+  }
+
+  // --- (c): FastText n-gram ablation on D8 (misspelling-heavy) ---
+  {
+    eval::Table table("Ablation (c) — FastText subword n-grams on D8, "
+                      "blocking recall (k=10)");
+    table.SetHeader({"variant", "ngram_weight", "recall"});
+    for (const float ngram_weight : {0.55f, 0.30f, 0.0f}) {
+      embed::TokenEncoderParams tp;
+      tp.dim = 300;
+      tp.seed = 0x57a71cULL + 0x9e37ULL;  // FastText's stream
+      tp.vocab_coverage = 0.90;
+      tp.synonym_coverage = 0.30;
+      tp.surface_weight = 0.20f;
+      tp.ngram_weight = ngram_weight;
+      tp.ngram_min = 3;
+      tp.ngram_max = 5;
+      const embed::TokenEncoder encoder(tp);
+      const auto vectorize = [&](const datagen::EntityCollection& side) {
+        la::Matrix m(side.size(), tp.dim);
+        std::vector<float> token_vec(tp.dim);
+        for (size_t i = 0; i < side.size(); ++i) {
+          const auto tokens = text::Tokenize(side.SentenceOf(i));
+          float* row = m.Row(i);
+          for (const auto& token : tokens) {
+            if (encoder.Encode(token, token_vec.data())) {
+              la::Axpy(1.f, token_vec.data(), row, tp.dim);
+            }
+          }
+          la::NormalizeInPlace(row, tp.dim);
+        }
+        return m;
+      };
+      const la::Matrix left = vectorize(d8.left);
+      const la::Matrix right = vectorize(d8.right);
+      table.AddRow({ngram_weight > 0.5f   ? "fastText (3-5 grams, w=0.55)"
+                    : ngram_weight > 0.1f ? "halved n-gram weight"
+                                          : "no n-grams (word2vec-like)",
+                    eval::Table::Num(ngram_weight, 2),
+                    eval::Table::Num(RecallAt10(left, right, truth8), 3)});
+    }
+    table.Print();
+  }
+
+  // --- (c2): idf-weighted pooling for a static model (how much of the
+  // sentence models' edge is informativeness weighting alone?) ---
+  {
+    eval::Table table("Ablation (c2) — GloVe pooling on D2, blocking recall "
+                      "(k=10)");
+    table.SetHeader({"variant", "recall"});
+    for (const bool idf : {false, true}) {
+      embed::StaticEmbeddingModel glove(embed::ModelId::kGloVe, idf);
+      glove.Initialize();
+      const la::Matrix left = glove.VectorizeAll(left2);
+      const la::Matrix right = glove.VectorizeAll(right2);
+      table.AddRow({idf ? "idf-weighted mean" : "plain mean (real GloVe)",
+                    eval::Table::Num(RecallAt10(left, right, truth2), 3)});
+    }
+    table.Print();
+  }
+
+  // --- (e): data-driven threshold (Section 7 future work) vs the fixed
+  // default 0.5 for the end-to-end pipeline ---
+  {
+    eval::Table table("Ablation (e) — end-to-end S-GTR-T5: fixed delta=0.5 "
+                      "vs Otsu auto-threshold (F1)");
+    table.SetHeader({"dataset", "fixed F1", "auto F1", "auto delta"});
+    auto model = embed::CreateModel(embed::ModelId::kSGtrT5);
+    for (const char* dataset_id : {"D2", "D4", "D8"}) {
+      const datagen::CleanCleanDataset& dataset =
+          bench::GetDataset(dataset_id, env);
+      const eval::GroundTruth truth = bench::TruthOf(dataset);
+      const la::Matrix left = bench::Vectors(*model, dataset, true, env);
+      const la::Matrix right = bench::Vectors(*model, dataset, false, env);
+      double f1_fixed = 0, f1_auto = 0;
+      float delta_auto = 0;
+      for (const bool use_auto : {false, true}) {
+        core::PipelineOptions options;
+        options.auto_threshold = use_auto;
+        core::ErPipeline pipeline(options);
+        const core::PipelineResult result =
+            pipeline.RunOnVectors(left, right);
+        std::vector<std::pair<uint32_t, uint32_t>> predicted;
+        for (const auto& m : result.matches) {
+          predicted.emplace_back(m.left, m.right);
+        }
+        const double f1 =
+            eval::EvaluateCleanCleanMatches(predicted, truth).f1;
+        if (use_auto) {
+          f1_auto = f1;
+          delta_auto = result.threshold_used;
+        } else {
+          f1_fixed = f1;
+        }
+      }
+      table.AddRow({dataset_id, eval::Table::Num(f1_fixed, 3),
+                    eval::Table::Num(f1_auto, 3),
+                    eval::Table::Num(delta_auto, 3)});
+    }
+    table.Print();
+  }
+
+  // --- (d): HNSW efSearch sweep on a Febrl collection ---
+  {
+    datagen::FebrlOptions options;
+    options.n_records = std::max<size_t>(2000,
+                                         static_cast<size_t>(20000 * env.scale));
+    options.seed = env.seed;
+    const datagen::DirtyDataset dirty = datagen::GenerateFebrl(options);
+    eval::GroundTruth truth;
+    for (const auto& [a, b] : dirty.matches) truth.AddDirtyPair(a, b);
+    auto model = embed::CreateModel(embed::ModelId::kSGtrT5);
+    const la::Matrix vectors = bench::VectorsKeyed(
+        *model, "ablation_febrl_" + std::to_string(options.n_records),
+        dirty.records.AllSentences(), env);
+
+    eval::Table table("Ablation (d) — HNSW efSearch on Febrl-" +
+                      std::to_string(options.n_records) +
+                      " (S-GTR-T5 vectors, k=10)");
+    table.SetHeader({"efSearch", "recall", "query_s", "exact_recall",
+                     "exact_query_s"});
+    // Exact reference.
+    core::BlockingOptions exact;
+    exact.k = 10;
+    const core::BlockingResult exact_blocked =
+        core::BlockDirty(vectors, exact);
+    const double exact_recall =
+        eval::EvaluateDirtyCandidates(exact_blocked.candidates, truth).recall;
+    for (const size_t ef : {16, 32, 64, 128, 256}) {
+      core::BlockingOptions options_hnsw;
+      options_hnsw.k = 10;
+      options_hnsw.use_hnsw = true;
+      options_hnsw.hnsw.ef_search = ef;
+      options_hnsw.hnsw.seed = env.seed;
+      const core::BlockingResult blocked =
+          core::BlockDirty(vectors, options_hnsw);
+      table.AddRow({std::to_string(ef),
+                    eval::Table::Num(eval::EvaluateDirtyCandidates(
+                                         blocked.candidates, truth)
+                                         .recall,
+                                     3),
+                    eval::Table::Num(blocked.query_seconds, 3),
+                    eval::Table::Num(exact_recall, 3),
+                    eval::Table::Num(exact_blocked.query_seconds, 3)});
+    }
+    table.Print();
+  }
+  return 0;
+}
