@@ -10,6 +10,7 @@
 #include "baselines/supervised_baselines.h"
 #include "baselines/zero_er.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "common/timer.h"
 #include "core/blocking.h"
@@ -58,13 +59,17 @@ BenchEnv ParseArgs(int argc, char** argv) {
       env.scale = std::atof(argv[++i]);
     } else if (arg == "--seed" && i + 1 < argc) {
       env.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      env.threads = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--scale f] [--full] [--no-cache] [--seed n]\n",
+                   "usage: %s [--scale f] [--full] [--no-cache] [--seed n] "
+                   "[--threads n]\n",
                    argv[0]);
       std::exit(2);
     }
   }
+  if (env.threads > 0) SetThreads(static_cast<int>(env.threads));
   if (env.no_cache) core::VectorCache::Default().set_enabled(false);
   std::error_code ec;
   std::filesystem::create_directories(env.artifacts_dir, ec);

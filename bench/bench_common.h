@@ -19,13 +19,16 @@ namespace ember::bench {
 ///
 /// Flags: --scale <f> (default 0.25, or $EMBER_SCALE), --full (scale 1.0 and
 /// the large scalability sizes), --no-cache (recompute all vectors),
-/// --seed <n>. Artifacts (cross-bench CSV exchange) go to $EMBER_ARTIFACTS
-/// or ./bench_artifacts.
+/// --seed <n>, --threads <n> (thread-pool size; overrides $EMBER_THREADS —
+/// results are bit-identical at any setting). Artifacts (cross-bench CSV
+/// exchange) go to $EMBER_ARTIFACTS or ./bench_artifacts.
 struct BenchEnv {
   double scale = 0.25;
   bool full = false;
   bool no_cache = false;
   uint64_t seed = 41;
+  /// 0 = keep the pool's configured default.
+  size_t threads = 0;
   std::string artifacts_dir = "bench_artifacts";
 };
 

@@ -6,7 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include "cluster/bipartite_clustering.h"
+#include "common/parallel.h"
 #include "common/rng.h"
+#include "embed/embedding_model.h"
 #include "index/exact_index.h"
 #include "index/hnsw_index.h"
 #include "index/lsh_index.h"
@@ -139,6 +141,54 @@ void BM_Umc(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Umc)->Arg(1000)->Arg(10000);
+
+// --- Thread scaling (PR: deterministic thread pool) --------------------
+// Arg = thread count. Outputs are bit-identical across settings; only the
+// wall clock should move. On a single-core machine expect flat numbers.
+
+std::vector<std::string> ScalingSentences(size_t n) {
+  Rng rng(0xca11);
+  const char* words[] = {"acme",    "deluxe", "wireless", "headset",
+                         "premium", "noise",  "battery",  "comfort",
+                         "design",  "stereo", "adapter",  "charger"};
+  std::vector<std::string> sentences(n);
+  for (std::string& sentence : sentences) {
+    for (int w = 0; w < 12; ++w) {
+      if (w) sentence += ' ';
+      sentence += words[rng.Below(12)];
+    }
+  }
+  return sentences;
+}
+
+void BM_BatchTransformThreads(benchmark::State& state) {
+  SetThreads(static_cast<int>(state.range(0)));
+  auto model = embed::CreateModel(embed::ModelId::kSMiniLm);
+  model->Initialize();
+  const std::vector<std::string> sentences = ScalingSentences(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->VectorizeAll(sentences));
+  }
+  state.SetItemsProcessed(state.iterations() * sentences.size());
+  SetThreads(0);
+}
+BENCHMARK(BM_BatchTransformThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BatchQueryThreads(benchmark::State& state) {
+  SetThreads(static_cast<int>(state.range(0)));
+  const la::Matrix data = RandomMatrix(20000, 300, 10);
+  index::ExactIndex idx;
+  idx.Build(data);
+  const la::Matrix queries = RandomMatrix(2000, 300, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.QueryBatch(queries, 10));
+  }
+  state.SetItemsProcessed(state.iterations() * queries.rows());
+  SetThreads(0);
+}
+BENCHMARK(BM_BatchQueryThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

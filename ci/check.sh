@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Local CI gate: build Release and Debug+sanitizers, run the full test suite
+# in both. Usage: ci/check.sh [-j N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=2
+while getopts "j:" opt; do
+  case "$opt" in
+    j) JOBS="$OPTARG" ;;
+    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+  esac
+done
+
+run_config() {
+  local dir="$1"; shift
+  echo "==> configure ${dir} ($*)"
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  echo "==> build ${dir}"
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "==> ctest ${dir}"
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+}
+
+run_config build-release -DCMAKE_BUILD_TYPE=Release
+run_config build-asan -DCMAKE_BUILD_TYPE=Debug -DEMBER_SANITIZE=ON
+
+echo "==> all checks passed"

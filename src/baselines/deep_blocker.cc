@@ -1,0 +1,67 @@
+#include "baselines/deep_blocker.h"
+
+#include "common/timer.h"
+#include "embed/static_model.h"
+#include "index/exact_index.h"
+#include "la/vector_ops.h"
+#include "nn/mlp.h"
+
+namespace ember::baselines {
+
+DeepBlockerResult DeepBlocker::Run(const std::vector<std::string>& left,
+                                   const std::vector<std::string>& right) const {
+  DeepBlockerResult result;
+
+  WallTimer timer;
+  embed::StaticEmbeddingModel encoder(embed::ModelId::kFastText);
+  encoder.Initialize();
+  const la::Matrix left_vec = encoder.VectorizeAll(left);
+  const la::Matrix right_vec = encoder.VectorizeAll(right);
+  result.vectorize_seconds = timer.Restart();
+
+  // Self-supervised compression: train on both collections jointly, then
+  // re-encode every row into the (L2-normalized) bottleneck space.
+  la::Matrix all(left_vec.rows() + right_vec.rows(), left_vec.cols());
+  for (size_t r = 0; r < left_vec.rows(); ++r) {
+    std::copy(left_vec.Row(r), left_vec.Row(r) + left_vec.cols(), all.Row(r));
+  }
+  for (size_t r = 0; r < right_vec.rows(); ++r) {
+    std::copy(right_vec.Row(r), right_vec.Row(r) + right_vec.cols(),
+              all.Row(left_vec.rows() + r));
+  }
+  nn::Autoencoder::Options ae_options;
+  ae_options.input_dim = left_vec.cols();
+  ae_options.hidden_dim = options_.hidden_dim;
+  ae_options.epochs = options_.epochs;
+  ae_options.seed = options_.seed;
+  nn::Autoencoder autoencoder(ae_options);
+  autoencoder.Train(all);
+
+  const auto encode = [&](const la::Matrix& in) {
+    la::Matrix out(in.rows(), autoencoder.hidden_dim());
+    for (size_t r = 0; r < in.rows(); ++r) {
+      autoencoder.Encode(in.Row(r), out.Row(r));
+      la::NormalizeInPlace(out.Row(r), out.cols());
+    }
+    return out;
+  };
+  const la::Matrix left_enc = encode(left_vec);
+  const la::Matrix right_enc = encode(right_vec);
+  result.train_seconds = timer.Restart();
+
+  index::ExactIndex idx;
+  idx.Build(right_enc);
+  result.index_seconds = timer.Restart();
+
+  const auto neighbors = idx.QueryBatch(left_enc, options_.k);
+  result.candidates.reserve(left_enc.rows() * options_.k);
+  for (size_t q = 0; q < neighbors.size(); ++q) {
+    for (const index::Neighbor& n : neighbors[q]) {
+      result.candidates.emplace_back(static_cast<uint32_t>(q), n.id);
+    }
+  }
+  result.query_seconds = timer.Restart();
+  return result;
+}
+
+}  // namespace ember::baselines

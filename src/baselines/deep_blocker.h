@@ -1,0 +1,49 @@
+#ifndef EMBER_BASELINES_DEEP_BLOCKER_H_
+#define EMBER_BASELINES_DEEP_BLOCKER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ember::baselines {
+
+struct DeepBlockerOptions {
+  size_t k = 10;
+  uint64_t seed = 1;
+  /// Autoencoder bottleneck width.
+  size_t hidden_dim = 64;
+  size_t epochs = 8;
+};
+
+struct DeepBlockerResult {
+  /// (left index, right index), k ascending-distance neighbors per left.
+  std::vector<std::pair<uint32_t, uint32_t>> candidates;
+  double vectorize_seconds = 0;
+  double train_seconds = 0;
+  double index_seconds = 0;
+  double query_seconds = 0;
+  double total_seconds() const {
+    return vectorize_seconds + train_seconds + index_seconds + query_seconds;
+  }
+};
+
+/// DeepBlocker reproduction (Thirumuruganathan et al., self-supervised
+/// Auto-Encoder variant): fastText-style aggregated sentence embeddings are
+/// compressed by a small autoencoder and blocked with exact top-k search in
+/// the bottleneck space.
+class DeepBlocker {
+ public:
+  explicit DeepBlocker(const DeepBlockerOptions& options)
+      : options_(options) {}
+
+  DeepBlockerResult Run(const std::vector<std::string>& left,
+                        const std::vector<std::string>& right) const;
+
+ private:
+  DeepBlockerOptions options_;
+};
+
+}  // namespace ember::baselines
+
+#endif  // EMBER_BASELINES_DEEP_BLOCKER_H_

@@ -1,0 +1,33 @@
+#include "baselines/supervised_baselines.h"
+
+#include "embed/model_registry.h"
+#include "embed/static_model.h"
+
+namespace ember::baselines {
+
+match::SupervisedReport RunDittoLike(const datagen::DsmDataset& data,
+                                     uint64_t seed) {
+  auto model = embed::CreateModel(embed::ModelId::kSMpnet);
+  match::SupervisedOptions options =
+      match::SupervisedMatcher::DefaultOptionsFor(model->info());
+  options.mlp.hidden_dim = 64;
+  options.mlp.seed = seed ^ 0xd177dULL;
+  options.epochs = 20;
+  match::SupervisedMatcher matcher(*model, options);
+  return matcher.TrainAndEvaluate(data);
+}
+
+match::SupervisedReport RunDeepMatcherPlus(const datagen::DsmDataset& data,
+                                           uint64_t seed) {
+  embed::StaticEmbeddingModel model(embed::ModelId::kFastText,
+                                    /*idf_weighting=*/true);
+  match::SupervisedOptions options =
+      match::SupervisedMatcher::DefaultOptionsFor(model.info());
+  options.mlp.hidden_dim = 96;
+  options.mlp.seed = seed ^ 0xd3ebULL;
+  options.epochs = 16;
+  match::SupervisedMatcher matcher(model, options);
+  return matcher.TrainAndEvaluate(data);
+}
+
+}  // namespace ember::baselines

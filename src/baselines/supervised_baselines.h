@@ -1,0 +1,23 @@
+#ifndef EMBER_BASELINES_SUPERVISED_BASELINES_H_
+#define EMBER_BASELINES_SUPERVISED_BASELINES_H_
+
+#include <cstdint>
+
+#include "datagen/dsm_datasets.h"
+#include "match/supervised.h"
+
+namespace ember::baselines {
+
+/// DITTO-like matcher: a fine-tuned-LM stand-in built from the strongest
+/// sentence model (S-MPNet) with a deeper pair classifier and more epochs.
+match::SupervisedReport RunDittoLike(const datagen::DsmDataset& data,
+                                     uint64_t seed);
+
+/// DeepMatcher+-like matcher: fastText aggregation with a wide hybrid
+/// classifier, the strongest non-LM baseline of the paper's Figure 11(d).
+match::SupervisedReport RunDeepMatcherPlus(const datagen::DsmDataset& data,
+                                           uint64_t seed);
+
+}  // namespace ember::baselines
+
+#endif  // EMBER_BASELINES_SUPERVISED_BASELINES_H_

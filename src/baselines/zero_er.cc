@@ -1,0 +1,165 @@
+#include "baselines/zero_er.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "index/overlap_blocker.h"
+#include "text/string_similarity.h"
+
+namespace ember::baselines {
+
+namespace {
+
+constexpr size_t kNumFeatures = 6;
+
+void PairFeatures(const std::string& a, const std::string& b, double* out) {
+  out[0] = text::TokenJaccard(a, b);
+  out[1] = text::OverlapCoefficient(a, b);
+  out[2] = text::CosineOverTf(a, b);
+  out[3] = text::JaroWinklerSimilarity(a, b);
+  out[4] = text::LevenshteinSimilarity(a, b);
+  out[5] = text::MongeElkanSimilarity(a, b);
+}
+
+/// Two-component diagonal Gaussian mixture over the feature rows. Returns
+/// the posterior of the higher-mean ("match") component per row.
+std::vector<double> FitGmmPosteriors(const std::vector<double>& features,
+                                     size_t n, size_t iterations) {
+  constexpr double kVarFloor = 1e-4;
+  // Initialize the components from the rows below/above the median mean
+  // similarity, so "match" starts as the high-similarity half.
+  std::vector<double> row_mean(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    row_mean[i] = std::accumulate(features.begin() + i * kNumFeatures,
+                                  features.begin() + (i + 1) * kNumFeatures,
+                                  0.0) /
+                  kNumFeatures;
+  }
+  std::vector<double> sorted = row_mean;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[n / 2];
+
+  double mean[2][kNumFeatures] = {}, var[2][kNumFeatures], weight[2] = {};
+  size_t count[2] = {};
+  for (size_t i = 0; i < n; ++i) {
+    const int c = row_mean[i] > median ? 1 : 0;
+    ++count[c];
+    for (size_t f = 0; f < kNumFeatures; ++f) {
+      mean[c][f] += features[i * kNumFeatures + f];
+    }
+  }
+  for (int c = 0; c < 2; ++c) {
+    const double denom = std::max<size_t>(count[c], 1);
+    for (size_t f = 0; f < kNumFeatures; ++f) mean[c][f] /= denom;
+    for (size_t f = 0; f < kNumFeatures; ++f) var[c][f] = 0.05;
+    weight[c] = denom / static_cast<double>(n);
+  }
+
+  std::vector<double> posterior(n, 0);
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    // E-step: responsibility of the match component, in log space.
+    for (size_t i = 0; i < n; ++i) {
+      double logp[2];
+      for (int c = 0; c < 2; ++c) {
+        double lp = std::log(std::max(weight[c], 1e-12));
+        for (size_t f = 0; f < kNumFeatures; ++f) {
+          const double d = features[i * kNumFeatures + f] - mean[c][f];
+          lp += -0.5 * (std::log(2 * M_PI * var[c][f]) + d * d / var[c][f]);
+        }
+        logp[c] = lp;
+      }
+      const double mx = std::max(logp[0], logp[1]);
+      const double z = std::exp(logp[0] - mx) + std::exp(logp[1] - mx);
+      posterior[i] = std::exp(logp[1] - mx) / z;
+    }
+    // M-step.
+    double resp[2] = {};
+    double new_mean[2][kNumFeatures] = {}, new_var[2][kNumFeatures] = {};
+    for (size_t i = 0; i < n; ++i) {
+      const double r1 = posterior[i], r0 = 1 - r1;
+      resp[0] += r0;
+      resp[1] += r1;
+      for (size_t f = 0; f < kNumFeatures; ++f) {
+        new_mean[0][f] += r0 * features[i * kNumFeatures + f];
+        new_mean[1][f] += r1 * features[i * kNumFeatures + f];
+      }
+    }
+    for (int c = 0; c < 2; ++c) {
+      for (size_t f = 0; f < kNumFeatures; ++f) {
+        mean[c][f] = new_mean[c][f] / std::max(resp[c], 1e-12);
+      }
+      weight[c] = resp[c] / n;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const double r1 = posterior[i], r0 = 1 - r1;
+      for (size_t f = 0; f < kNumFeatures; ++f) {
+        const double d0 = features[i * kNumFeatures + f] - mean[0][f];
+        const double d1 = features[i * kNumFeatures + f] - mean[1][f];
+        new_var[0][f] += r0 * d0 * d0;
+        new_var[1][f] += r1 * d1 * d1;
+      }
+    }
+    for (int c = 0; c < 2; ++c) {
+      for (size_t f = 0; f < kNumFeatures; ++f) {
+        var[c][f] =
+            std::max(new_var[c][f] / std::max(resp[c], 1e-12), kVarFloor);
+      }
+    }
+  }
+  // Component 1 must be the match class; swap the posterior if EM drifted.
+  const double m0 = std::accumulate(mean[0], mean[0] + kNumFeatures, 0.0);
+  const double m1 = std::accumulate(mean[1], mean[1] + kNumFeatures, 0.0);
+  if (m0 > m1) {
+    for (double& p : posterior) p = 1 - p;
+  }
+  return posterior;
+}
+
+}  // namespace
+
+ZeroErResult ZeroEr::Run(const datagen::CleanCleanDataset& dataset,
+                         const eval::GroundTruth& truth) const {
+  ZeroErResult result;
+  const std::vector<std::string> left = dataset.left.AllSentences();
+  const std::vector<std::string> right = dataset.right.AllSentences();
+
+  WallTimer timer;
+  index::OverlapBlocker blocker;
+  blocker.Build(left);
+  // (right index, left index) pairs from the inverted token index.
+  const auto candidates =
+      blocker.CandidatesAgainst(right, options_.candidates_per_query);
+  result.blocking_seconds = timer.Restart();
+
+  if (candidates.size() > options_.max_pairs) {
+    result.timed_out = true;
+    return result;
+  }
+  if (candidates.empty()) return result;
+
+  std::vector<double> features(candidates.size() * kNumFeatures);
+  ParallelFor(0, candidates.size(), 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      PairFeatures(left[candidates[i].second], right[candidates[i].first],
+                   features.data() + i * kNumFeatures);
+    }
+  });
+  result.feature_seconds = timer.Restart();
+
+  const std::vector<double> posterior =
+      FitGmmPosteriors(features, candidates.size(), options_.em_iterations);
+  std::vector<std::pair<uint32_t, uint32_t>> predicted;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (posterior[i] > 0.5) {
+      predicted.emplace_back(candidates[i].second, candidates[i].first);
+    }
+  }
+  result.metrics = eval::EvaluateCleanCleanMatches(predicted, truth);
+  result.match_seconds = timer.Restart();
+  return result;
+}
+
+}  // namespace ember::baselines

@@ -1,0 +1,46 @@
+#ifndef EMBER_BASELINES_ZERO_ER_H_
+#define EMBER_BASELINES_ZERO_ER_H_
+
+#include <cstdint>
+
+#include "datagen/benchmark_datasets.h"
+#include "eval/metrics.h"
+
+namespace ember::baselines {
+
+struct ZeroErOptions {
+  /// Overlap-blocking candidates per right-collection record.
+  size_t candidates_per_query = 10;
+  /// Above this many candidate pairs the run is reported as timed out,
+  /// mirroring ZeroER's behaviour on the largest paper datasets.
+  size_t max_pairs = 2'000'000;
+  size_t em_iterations = 40;
+};
+
+struct ZeroErResult {
+  eval::PrfMetrics metrics;
+  double blocking_seconds = 0;
+  double feature_seconds = 0;
+  double match_seconds = 0;
+  bool timed_out = false;
+};
+
+/// ZeroER reproduction (Wu et al.): token-overlap blocking, a vector of
+/// classic string-similarity features per candidate pair, and an unsupervised
+/// two-component diagonal Gaussian mixture fitted with EM; the component with
+/// the higher mean similarity is the match class.
+class ZeroEr {
+ public:
+  ZeroEr() = default;
+  explicit ZeroEr(const ZeroErOptions& options) : options_(options) {}
+
+  ZeroErResult Run(const datagen::CleanCleanDataset& dataset,
+                   const eval::GroundTruth& truth) const;
+
+ private:
+  ZeroErOptions options_;
+};
+
+}  // namespace ember::baselines
+
+#endif  // EMBER_BASELINES_ZERO_ER_H_

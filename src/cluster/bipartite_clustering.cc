@@ -1,0 +1,107 @@
+#include "cluster/bipartite_clustering.h"
+
+#include <algorithm>
+
+namespace ember::cluster {
+
+void SortPairsDescending(std::vector<ScoredPair>& pairs) {
+  std::sort(pairs.begin(), pairs.end(),
+            [](const ScoredPair& a, const ScoredPair& b) {
+              if (a.sim != b.sim) return a.sim > b.sim;
+              if (a.left != b.left) return a.left < b.left;
+              return a.right < b.right;
+            });
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> UniqueMappingClustering(
+    const std::vector<ScoredPair>& pairs, size_t n_left, size_t n_right,
+    float threshold) {
+  std::vector<char> left_used(n_left, 0), right_used(n_right, 0);
+  std::vector<std::pair<uint32_t, uint32_t>> matches;
+  for (const ScoredPair& pair : pairs) {
+    if (pair.sim < threshold) break;  // sorted descending
+    if (left_used[pair.left] || right_used[pair.right]) continue;
+    left_used[pair.left] = 1;
+    right_used[pair.right] = 1;
+    matches.emplace_back(pair.left, pair.right);
+  }
+  return matches;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> ExactClustering(
+    const std::vector<ScoredPair>& pairs, size_t n_left, size_t n_right,
+    float threshold) {
+  constexpr uint32_t kNone = 0xffffffffu;
+  std::vector<uint32_t> best_left(n_left, kNone), best_right(n_right, kNone);
+  std::vector<float> best_left_sim(n_left, -1.f), best_right_sim(n_right,
+                                                                 -1.f);
+  for (const ScoredPair& pair : pairs) {
+    if (pair.sim < threshold) continue;
+    // Strict > keeps the first (lowest-index after sorting) of tied bests,
+    // deterministically.
+    if (pair.sim > best_left_sim[pair.left]) {
+      best_left_sim[pair.left] = pair.sim;
+      best_left[pair.left] = pair.right;
+    }
+    if (pair.sim > best_right_sim[pair.right]) {
+      best_right_sim[pair.right] = pair.sim;
+      best_right[pair.right] = pair.left;
+    }
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> matches;
+  for (uint32_t l = 0; l < n_left; ++l) {
+    const uint32_t r = best_left[l];
+    if (r != kNone && best_right[r] == l) matches.emplace_back(l, r);
+  }
+  return matches;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> KiralyClustering(
+    const std::vector<ScoredPair>& pairs, size_t n_left, size_t n_right,
+    float threshold) {
+  // Preference lists from the globally sorted pair stream: each left entity
+  // proposes down its own list; right entities accept their best proposal
+  // so far, freeing any previous fiancé (who resumes proposing).
+  std::vector<std::vector<std::pair<uint32_t, float>>> prefs(n_left);
+  for (const ScoredPair& pair : pairs) {
+    if (pair.sim < threshold) break;  // sorted descending
+    prefs[pair.left].push_back({pair.right, pair.sim});
+  }
+
+  constexpr uint32_t kNone = 0xffffffffu;
+  std::vector<size_t> next(n_left, 0);
+  std::vector<uint32_t> fiance(n_right, kNone);
+  std::vector<float> fiance_sim(n_right, -1.f);
+  std::vector<uint32_t> queue;
+  for (uint32_t l = 0; l < n_left; ++l) {
+    if (!prefs[l].empty()) queue.push_back(l);
+  }
+  size_t head = 0;
+  while (head < queue.size()) {
+    const uint32_t l = queue[head++];
+    while (next[l] < prefs[l].size()) {
+      const auto [r, sim] = prefs[l][next[l]++];
+      if (fiance[r] == kNone) {
+        fiance[r] = l;
+        fiance_sim[r] = sim;
+        break;
+      }
+      if (sim > fiance_sim[r] ||
+          (sim == fiance_sim[r] && l < fiance[r])) {
+        queue.push_back(fiance[r]);
+        fiance[r] = l;
+        fiance_sim[r] = sim;
+        break;
+      }
+    }
+  }
+
+  std::vector<std::pair<uint32_t, uint32_t>> matches;
+  for (uint32_t r = 0; r < n_right; ++r) {
+    if (fiance[r] != kNone) matches.emplace_back(fiance[r], r);
+  }
+  std::sort(matches.begin(), matches.end());
+  return matches;
+}
+
+}  // namespace ember::cluster

@@ -1,0 +1,44 @@
+#ifndef EMBER_CLUSTER_BIPARTITE_CLUSTERING_H_
+#define EMBER_CLUSTER_BIPARTITE_CLUSTERING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ember::cluster {
+
+/// One candidate match with its similarity in [0, 1].
+struct ScoredPair {
+  uint32_t left = 0;
+  uint32_t right = 0;
+  float sim = 0.f;
+};
+
+/// Descending similarity, ties by ascending (left, right) — the total order
+/// every greedy clustering below consumes.
+void SortPairsDescending(std::vector<ScoredPair>& pairs);
+
+/// Unique Mapping Clustering (the paper's best bipartite algorithm):
+/// consume pairs best-first, accept a pair when sim >= threshold and both
+/// sides are unmatched. `pairs` must already be sorted descending.
+std::vector<std::pair<uint32_t, uint32_t>> UniqueMappingClustering(
+    const std::vector<ScoredPair>& pairs, size_t n_left, size_t n_right,
+    float threshold);
+
+/// Exact Clustering: accept only reciprocal best pairs (each side is the
+/// other's single best candidate) with sim >= threshold.
+std::vector<std::pair<uint32_t, uint32_t>> ExactClustering(
+    const std::vector<ScoredPair>& pairs, size_t n_left, size_t n_right,
+    float threshold);
+
+/// Kiraly Clustering: Kiraly's linear-time 3/2-approximate maximum stable
+/// marriage, restricted to pairs with sim >= threshold. `pairs` must be
+/// sorted descending.
+std::vector<std::pair<uint32_t, uint32_t>> KiralyClustering(
+    const std::vector<ScoredPair>& pairs, size_t n_left, size_t n_right,
+    float threshold);
+
+}  // namespace ember::cluster
+
+#endif  // EMBER_CLUSTER_BIPARTITE_CLUSTERING_H_

@@ -1,0 +1,92 @@
+#include "cluster/extra_clustering.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ember::cluster {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+std::vector<std::pair<uint32_t, uint32_t>> PairsOfClusters(
+    const std::vector<std::vector<uint32_t>>& clusters) {
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  for (const auto& members : clusters) {
+    for (size_t a = 0; a < members.size(); ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        out.emplace_back(std::min(members[a], members[b]),
+                         std::max(members[a], members[b]));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::vector<uint32_t>> GroupByRoot(UnionFind& uf, size_t n) {
+  std::vector<std::vector<uint32_t>> groups(n);
+  for (uint32_t i = 0; i < n; ++i) groups[uf.Find(i)].push_back(i);
+  return groups;
+}
+
+}  // namespace
+
+std::vector<std::pair<uint32_t, uint32_t>> ConnectedComponentsClustering(
+    const std::vector<ScoredPair>& pairs, size_t n, float threshold) {
+  UnionFind uf(n);
+  for (const ScoredPair& pair : pairs) {
+    if (pair.sim >= threshold) uf.Union(pair.left, pair.right);
+  }
+  return PairsOfClusters(GroupByRoot(uf, n));
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> CenterClustering(
+    const std::vector<ScoredPair>& pairs, size_t n, float threshold) {
+  enum : char { kFree = 0, kCenter = 1, kAttached = 2 };
+  std::vector<char> state(n, kFree);
+  std::vector<std::vector<uint32_t>> clusters;
+  std::vector<uint32_t> cluster_of(n, 0);
+  for (const ScoredPair& pair : pairs) {
+    if (pair.sim < threshold) break;  // sorted descending
+    const uint32_t a = pair.left, b = pair.right;
+    if (a == b) continue;
+    if (state[a] == kFree && state[b] == kFree) {
+      state[a] = kCenter;
+      state[b] = kAttached;
+      cluster_of[a] = cluster_of[b] = static_cast<uint32_t>(clusters.size());
+      clusters.push_back({a, b});
+    } else if (state[a] == kCenter && state[b] == kFree) {
+      state[b] = kAttached;
+      cluster_of[b] = cluster_of[a];
+      clusters[cluster_of[a]].push_back(b);
+    } else if (state[b] == kCenter && state[a] == kFree) {
+      state[a] = kAttached;
+      cluster_of[a] = cluster_of[b];
+      clusters[cluster_of[b]].push_back(a);
+    }
+  }
+  return PairsOfClusters(clusters);
+}
+
+}  // namespace ember::cluster

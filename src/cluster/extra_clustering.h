@@ -1,0 +1,31 @@
+#ifndef EMBER_CLUSTER_EXTRA_CLUSTERING_H_
+#define EMBER_CLUSTER_EXTRA_CLUSTERING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cluster/bipartite_clustering.h"
+
+namespace ember::cluster {
+
+/// Dirty-ER clustering (DESIGN.md §5 extension): entities live in ONE
+/// collection and clusters may exceed size two. Both algorithms consume
+/// unordered scored pairs over record ids.
+
+/// Connected components over the similarity graph thresholded at
+/// `threshold`; returns every within-cluster pair (a < b).
+std::vector<std::pair<uint32_t, uint32_t>> ConnectedComponentsClustering(
+    const std::vector<ScoredPair>& pairs, size_t n, float threshold);
+
+/// Center clustering: pairs best-first; the first endpoint of an accepted
+/// pair becomes a cluster center, later records attach to at most one
+/// center and never become centers themselves. `pairs` must be sorted
+/// descending. Returns within-cluster pairs (a < b).
+std::vector<std::pair<uint32_t, uint32_t>> CenterClustering(
+    const std::vector<ScoredPair>& pairs, size_t n, float threshold);
+
+}  // namespace ember::cluster
+
+#endif  // EMBER_CLUSTER_EXTRA_CLUSTERING_H_

@@ -1,0 +1,36 @@
+#ifndef EMBER_COMMON_LOGGING_H_
+#define EMBER_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Fatal-on-false invariant checks. Library code reports recoverable errors
+/// through Status; EMBER_CHECK is reserved for programming errors.
+#define EMBER_CHECK(condition)                                             \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      std::fprintf(stderr, "EMBER_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #condition);                                  \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define EMBER_CHECK_MSG(condition, ...)                                    \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      std::fprintf(stderr, "EMBER_CHECK failed at %s:%d: ", __FILE__,      \
+                   __LINE__);                                              \
+      std::fprintf(stderr, __VA_ARGS__);                                   \
+      std::fprintf(stderr, "\n");                                          \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define EMBER_LOG(...)                        \
+  do {                                        \
+    std::fprintf(stderr, "[ember] ");         \
+    std::fprintf(stderr, __VA_ARGS__);        \
+    std::fprintf(stderr, "\n");               \
+  } while (0)
+
+#endif  // EMBER_COMMON_LOGGING_H_

@@ -1,0 +1,169 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ember {
+
+namespace {
+
+/// Set while a thread is executing chunks, so nested ParallelFor calls run
+/// serially inline instead of re-entering the pool.
+thread_local bool tls_in_parallel_region = false;
+
+/// Lazily started, process-global worker pool. Workers park on a condition
+/// variable between parallel regions; one region runs at a time (nested
+/// regions fall back to serial inline execution).
+class ThreadPool {
+ public:
+  static ThreadPool& Global() {
+    static ThreadPool* const kPool = new ThreadPool();
+    return *kPool;
+  }
+
+  /// Executes the current region's chunks on min(threads - 1, pool size)
+  /// workers plus the calling thread. Chunk claiming is dynamic (atomic
+  /// counter), but chunk boundaries are fixed by the caller, so scheduling
+  /// order never affects results.
+  void Run(int threads, size_t num_chunks,
+           const std::function<void(size_t)>& chunk_fn) {
+    EnsureWorkers(threads - 1);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      chunk_fn_ = &chunk_fn;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      num_chunks_ = num_chunks;
+      // Workers beyond the requested count sit this region out, so a lower
+      // --threads after a higher one measures what it claims to measure.
+      participating_workers_ = threads - 1;
+      active_workers_ = static_cast<int>(workers_.size());
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    // The caller participates too: with EMBER_THREADS=1 (no workers) this is
+    // the entire serial fallback path.
+    DrainChunks();
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+    chunk_fn_ = nullptr;
+  }
+
+ private:
+  ThreadPool() = default;
+
+  void EnsureWorkers(int target) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (static_cast<int>(workers_.size()) < target) {
+      const int id = static_cast<int>(workers_.size());
+      workers_.emplace_back([this, id] { WorkerLoop(id); });
+    }
+  }
+
+  void DrainChunks() {
+    const std::function<void(size_t)>* fn = chunk_fn_;
+    size_t chunk;
+    while ((chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed)) <
+           num_chunks_) {
+      (*fn)(chunk);
+    }
+  }
+
+  void WorkerLoop(int id) {
+    uint64_t seen_generation = 0;
+    for (;;) {
+      bool participate;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [&] { return generation_ != seen_generation; });
+        seen_generation = generation_;
+        participate = id < participating_workers_;
+      }
+      if (participate) {
+        tls_in_parallel_region = true;
+        DrainChunks();
+        tls_in_parallel_region = false;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--active_workers_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  const std::function<void(size_t)>* chunk_fn_ = nullptr;
+  std::atomic<size_t> next_chunk_{0};
+  size_t num_chunks_ = 0;
+  int participating_workers_ = 0;
+  int active_workers_ = 0;
+  uint64_t generation_ = 0;
+};
+
+std::atomic<int> g_thread_override{0};
+
+int DefaultThreads() {
+  if (const char* env = std::getenv("EMBER_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+int ConfiguredThreads() {
+  const int override = g_thread_override.load(std::memory_order_relaxed);
+  return override >= 1 ? override : DefaultThreads();
+}
+
+void SetThreads(int n) {
+  g_thread_override.store(n >= 1 ? n : 0, std::memory_order_relaxed);
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  // The partition is a pure function of (begin, end, grain): a fixed
+  // reference width (not the live thread count) sizes the default grain so
+  // chunk boundaries are reproducible on any machine and at any --threads.
+  constexpr size_t kReferenceChunks = 64;
+  size_t chunk = grain > 0 ? grain : (n + kReferenceChunks - 1) / kReferenceChunks;
+  if (chunk == 0) chunk = 1;
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+
+  const int threads = ConfiguredThreads();
+  if (threads <= 1 || num_chunks <= 1 || tls_in_parallel_region) {
+    // Serial fallback: identical chunk boundaries, same call sequence.
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t lo = begin + c * chunk;
+      fn(lo, std::min(end, lo + chunk));
+    }
+    return;
+  }
+
+  const auto chunk_fn = [&](size_t c) {
+    tls_in_parallel_region = true;
+    const size_t lo = begin + c * chunk;
+    fn(lo, std::min(end, lo + chunk));
+    tls_in_parallel_region = false;
+  };
+  ThreadPool::Global().Run(threads, num_chunks, chunk_fn);
+}
+
+void ParallelForEach(size_t begin, size_t end, size_t grain,
+                     const std::function<void(size_t)>& fn) {
+  ParallelFor(begin, end, grain, [&fn](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+}  // namespace ember

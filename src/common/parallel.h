@@ -1,0 +1,42 @@
+#ifndef EMBER_COMMON_PARALLEL_H_
+#define EMBER_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace ember {
+
+/// Number of worker threads the global pool uses. Resolution order:
+///   1. SetThreads(n) with n >= 1 (e.g. the benches' --threads flag),
+///   2. the EMBER_THREADS environment variable,
+///   3. std::thread::hardware_concurrency().
+/// A value of 1 selects the serial fallback: ParallelFor runs inline on the
+/// calling thread and the pool is never started.
+int ConfiguredThreads();
+
+/// Overrides the thread count for subsequent ParallelFor calls. Passing
+/// n <= 0 restores the EMBER_THREADS / hardware default. Safe to call
+/// between parallel regions (tests sweep 1/2/4 threads this way); must not
+/// be called from inside a ParallelFor body.
+void SetThreads(int n);
+
+/// Runs fn(chunk_begin, chunk_end) over a deterministic partition of
+/// [begin, end). The partition depends only on (begin, end, grain) — NEVER
+/// on the thread count — so any algorithm whose chunks write disjoint,
+/// preallocated output slots produces bit-identical results at every thread
+/// count, including the serial fallback.
+///
+/// `grain` is the maximum chunk length (0 means "one chunk per ~4x threads",
+/// still computed from a fixed reference width so the partition stays
+/// thread-count independent). fn must be thread-safe across chunks and must
+/// not throw. Nested ParallelFor calls run serially inline.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+/// Convenience wrapper: fn(i) per index, chunked under the hood.
+void ParallelForEach(size_t begin, size_t end, size_t grain,
+                     const std::function<void(size_t)>& fn);
+
+}  // namespace ember
+
+#endif  // EMBER_COMMON_PARALLEL_H_

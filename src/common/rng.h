@@ -1,0 +1,77 @@
+#ifndef EMBER_COMMON_RNG_H_
+#define EMBER_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace ember {
+
+/// SplitMix64 step: the stream seeder and the stateless hash primitive used
+/// throughout ember (deterministic model weights, lexicon entries, ...).
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over a byte string; stable across platforms.
+inline uint64_t HashBytes(const void* data, size_t n,
+                          uint64_t seed = 0xcbf29ce484222325ULL) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// xoshiro256** seeded via SplitMix64. Every stochastic component in ember
+/// takes an explicit seed so all outputs are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0) {
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) state_[i] = SplitMix64(x += 0x9e3779b97f4a7c15ULL);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Below(uint64_t n) { return Next() % n; }
+
+  /// Standard normal via Box-Muller.
+  double Gaussian() {
+    double u;
+    do {
+      u = Uniform();
+    } while (u <= 1e-300);
+    const double v = Uniform();
+    return std::sqrt(-2.0 * std::log(u)) * std::cos(6.283185307179586 * v);
+  }
+
+  /// Bernoulli trial.
+  bool Chance(double p) { return Uniform() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+}  // namespace ember
+
+#endif  // EMBER_COMMON_RNG_H_

@@ -1,0 +1,86 @@
+#ifndef EMBER_COMMON_STATUS_H_
+#define EMBER_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ember {
+
+/// RocksDB-style status object: library code reports errors through values,
+/// never exceptions.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kIoError,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(Code::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(Code::kNotFound, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(Code::kIoError, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(Code::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    switch (code_) {
+      case Code::kOk:
+        return "OK";
+      case Code::kInvalidArgument:
+        return "InvalidArgument: " + message_;
+      case Code::kNotFound:
+        return "NotFound: " + message_;
+      case Code::kIoError:
+        return "IoError: " + message_;
+      case Code::kInternal:
+        return "Internal: " + message_;
+    }
+    return "Unknown";
+  }
+
+ private:
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Either a value or a non-OK status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}           // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {}    // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(data_);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace ember
+
+#endif  // EMBER_COMMON_STATUS_H_

@@ -1,0 +1,49 @@
+#ifndef EMBER_COMMON_STRINGS_H_
+#define EMBER_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ember {
+
+/// printf-style formatting into a std::string.
+inline std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list copy;
+  va_copy(copy, args);
+  const int size = std::vsnprintf(nullptr, 0, format, copy);
+  va_end(copy);
+  std::string out(size > 0 ? static_cast<size_t>(size) : 0, '\0');
+  if (size > 0) std::vsnprintf(out.data(), out.size() + 1, format, args);
+  va_end(args);
+  return out;
+}
+
+inline std::vector<std::string> StrSplit(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      parts.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+inline std::string StrJoin(const std::vector<std::string>& parts,
+                           const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace ember
+
+#endif  // EMBER_COMMON_STRINGS_H_

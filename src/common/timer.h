@@ -1,0 +1,33 @@
+#ifndef EMBER_COMMON_TIMER_H_
+#define EMBER_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace ember {
+
+/// Monotonic wall-clock timer.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the timer and returns the seconds elapsed up to the reset, so a
+  /// single timer can split consecutive phases.
+  double Restart() {
+    const double elapsed = Seconds();
+    start_ = Clock::now();
+    return elapsed;
+  }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ember
+
+#endif  // EMBER_COMMON_TIMER_H_

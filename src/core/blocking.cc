@@ -1,0 +1,69 @@
+#include "core/blocking.h"
+
+#include "common/timer.h"
+#include "index/exact_index.h"
+
+namespace ember::core {
+
+namespace {
+
+/// Builds the chosen index over `data` and batch-queries `queries`.
+std::vector<std::vector<index::Neighbor>> BuildAndQuery(
+    const la::Matrix& data, const la::Matrix& queries, size_t k,
+    const BlockingOptions& options, BlockingResult& result) {
+  WallTimer timer;
+  std::vector<std::vector<index::Neighbor>> neighbors;
+  if (options.use_hnsw) {
+    index::HnswIndex idx(options.hnsw);
+    idx.Build(data);
+    result.index_seconds = timer.Restart();
+    neighbors = idx.QueryBatch(queries, k);
+  } else if (options.use_lsh) {
+    index::LshIndex idx(options.lsh);
+    idx.Build(data);
+    result.index_seconds = timer.Restart();
+    neighbors = idx.QueryBatch(queries, k);
+  } else {
+    index::ExactIndex idx;
+    idx.Build(data);
+    result.index_seconds = timer.Restart();
+    neighbors = idx.QueryBatch(queries, k);
+  }
+  result.query_seconds = timer.Restart();
+  return neighbors;
+}
+
+}  // namespace
+
+BlockingResult BlockCleanClean(const la::Matrix& left, const la::Matrix& right,
+                               const BlockingOptions& options) {
+  BlockingResult result;
+  const auto neighbors =
+      BuildAndQuery(right, left, options.k, options, result);
+  result.candidates.reserve(neighbors.size() * options.k);
+  for (size_t q = 0; q < neighbors.size(); ++q) {
+    for (const index::Neighbor& n : neighbors[q]) {
+      result.candidates.emplace_back(static_cast<uint32_t>(q), n.id);
+    }
+  }
+  return result;
+}
+
+BlockingResult BlockDirty(const la::Matrix& vectors,
+                          const BlockingOptions& options) {
+  BlockingResult result;
+  const auto neighbors =
+      BuildAndQuery(vectors, vectors, options.k + 1, options, result);
+  result.candidates.reserve(neighbors.size() * options.k);
+  for (size_t q = 0; q < neighbors.size(); ++q) {
+    size_t kept = 0;
+    for (const index::Neighbor& n : neighbors[q]) {
+      if (n.id == q) continue;
+      if (kept++ == options.k) break;
+      result.candidates.emplace_back(static_cast<uint32_t>(q), n.id);
+    }
+  }
+  return result;
+}
+
+}  // namespace ember::core

@@ -1,0 +1,44 @@
+#ifndef EMBER_CORE_BLOCKING_H_
+#define EMBER_CORE_BLOCKING_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "index/hnsw_index.h"
+#include "index/lsh_index.h"
+#include "la/matrix.h"
+
+namespace ember::core {
+
+struct BlockingOptions {
+  size_t k = 10;
+  bool use_hnsw = false;
+  index::HnswOptions hnsw;
+  bool use_lsh = false;
+  index::LshOptions lsh;
+};
+
+struct BlockingResult {
+  /// Clean-Clean: (left index, right index). Dirty: (query, neighbor).
+  /// Per query: exactly min(k, collection size) pairs, ascending distance.
+  std::vector<std::pair<uint32_t, uint32_t>> candidates;
+  double index_seconds = 0;
+  double query_seconds = 0;
+  double total_seconds() const { return index_seconds + query_seconds; }
+};
+
+/// Blocking via top-k nearest-neighbor search (Section 4.2): indexes the
+/// right collection and batch-queries every left entity through the global
+/// thread pool.
+BlockingResult BlockCleanClean(const la::Matrix& left, const la::Matrix& right,
+                               const BlockingOptions& options);
+
+/// Dirty-ER blocking: the collection is indexed against itself; each record
+/// retrieves k + 1 neighbors and drops itself.
+BlockingResult BlockDirty(const la::Matrix& vectors,
+                          const BlockingOptions& options);
+
+}  // namespace ember::core
+
+#endif  // EMBER_CORE_BLOCKING_H_

@@ -1,0 +1,91 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "cluster/bipartite_clustering.h"
+#include "common/timer.h"
+#include "embed/embedding_model.h"
+#include "la/vector_ops.h"
+
+namespace ember::core {
+
+namespace {
+
+/// Otsu's method over a fixed 64-bin histogram of the similarities: the
+/// threshold maximizing between-class variance of the two sides.
+float OtsuThreshold(const std::vector<cluster::ScoredPair>& pairs) {
+  constexpr size_t kBins = 64;
+  std::array<double, kBins> histogram{};
+  for (const cluster::ScoredPair& pair : pairs) {
+    const size_t bin = std::min<size_t>(
+        static_cast<size_t>(std::max(0.f, pair.sim) * kBins), kBins - 1);
+    histogram[bin] += 1;
+  }
+  const double total = static_cast<double>(pairs.size());
+  double sum_all = 0;
+  for (size_t b = 0; b < kBins; ++b) sum_all += (b + 0.5) * histogram[b];
+
+  double best_variance = -1, best_threshold = 0.5;
+  double weight_lo = 0, sum_lo = 0;
+  for (size_t b = 0; b + 1 < kBins; ++b) {
+    weight_lo += histogram[b];
+    sum_lo += (b + 0.5) * histogram[b];
+    const double weight_hi = total - weight_lo;
+    if (weight_lo == 0 || weight_hi == 0) continue;
+    const double mean_lo = sum_lo / weight_lo;
+    const double mean_hi = (sum_all - sum_lo) / weight_hi;
+    const double variance =
+        weight_lo * weight_hi * (mean_lo - mean_hi) * (mean_lo - mean_hi);
+    if (variance > best_variance) {
+      best_variance = variance;
+      best_threshold = static_cast<double>(b + 1) / kBins;
+    }
+  }
+  return static_cast<float>(best_threshold);
+}
+
+}  // namespace
+
+PipelineResult ErPipeline::RunOnVectors(const la::Matrix& left,
+                                        const la::Matrix& right) const {
+  PipelineResult result;
+  const BlockingResult blocked =
+      BlockCleanClean(left, right, options_.blocking);
+  result.blocking_seconds = blocked.total_seconds();
+
+  WallTimer timer;
+  std::vector<cluster::ScoredPair> pairs;
+  pairs.reserve(blocked.candidates.size());
+  for (const auto& [l, r] : blocked.candidates) {
+    const float cos = la::Dot(left.Row(l), right.Row(r), left.cols());
+    pairs.push_back({l, r, 0.5f * (1.f + cos)});
+  }
+  result.threshold_used =
+      options_.auto_threshold ? OtsuThreshold(pairs) : options_.delta;
+
+  cluster::SortPairsDescending(pairs);
+  std::map<std::pair<uint32_t, uint32_t>, float> sims;
+  for (const cluster::ScoredPair& pair : pairs) sims[{pair.left, pair.right}] = pair.sim;
+  const auto matched = cluster::UniqueMappingClustering(
+      pairs, left.rows(), right.rows(), result.threshold_used);
+  result.matches.reserve(matched.size());
+  for (const auto& [l, r] : matched) {
+    result.matches.push_back({l, r, sims.at({l, r})});
+  }
+  result.matching_seconds = timer.Seconds();
+  return result;
+}
+
+PipelineResult ErPipeline::Run(
+    const std::vector<std::string>& left_sentences,
+    const std::vector<std::string>& right_sentences) const {
+  auto model = embed::CreateModel(embed::ModelId::kSGtrT5);
+  model->Initialize();
+  const la::Matrix left = model->VectorizeAll(left_sentences);
+  const la::Matrix right = model->VectorizeAll(right_sentences);
+  return RunOnVectors(left, right);
+}
+
+}  // namespace ember::core

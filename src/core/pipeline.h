@@ -1,0 +1,57 @@
+#ifndef EMBER_CORE_PIPELINE_H_
+#define EMBER_CORE_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/blocking.h"
+#include "la/matrix.h"
+
+namespace ember::core {
+
+struct PipelineOptions {
+  BlockingOptions blocking;  // k = 10, exact index
+  /// Fixed similarity threshold in [0, 1] (sim = (1 + cos) / 2).
+  float delta = 0.5f;
+  /// Replace `delta` with Otsu's threshold over the candidate similarity
+  /// histogram (Section 7's data-driven alternative).
+  bool auto_threshold = false;
+};
+
+struct PipelineMatch {
+  uint32_t left = 0;
+  uint32_t right = 0;
+  float sim = 0;
+};
+
+struct PipelineResult {
+  std::vector<PipelineMatch> matches;
+  double blocking_seconds = 0;
+  double matching_seconds = 0;
+  float threshold_used = 0;
+};
+
+/// The end-to-end ER pipeline of Section 6: top-k blocking over pre-computed
+/// vectors, candidate scoring, thresholding, and Unique Mapping Clustering.
+class ErPipeline {
+ public:
+  explicit ErPipeline(const PipelineOptions& options) : options_(options) {}
+
+  PipelineResult RunOnVectors(const la::Matrix& left,
+                              const la::Matrix& right) const;
+
+  /// Convenience entry point mirroring the paper's Figure 1 recommendation:
+  /// embeds both collections with S-GTR-T5 (batch transform is parallelised
+  /// over entities) and runs the vector pipeline. Model build time is NOT
+  /// charged to the reported phase timings.
+  PipelineResult Run(const std::vector<std::string>& left_sentences,
+                     const std::vector<std::string>& right_sentences) const;
+
+ private:
+  PipelineOptions options_;
+};
+
+}  // namespace ember::core
+
+#endif  // EMBER_CORE_PIPELINE_H_

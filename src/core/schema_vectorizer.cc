@@ -1,0 +1,31 @@
+#include "core/schema_vectorizer.h"
+
+#include <vector>
+
+#include "common/parallel.h"
+#include "la/vector_ops.h"
+
+namespace ember::core {
+
+la::Matrix SchemaBasedVectorize(embed::EmbeddingModel& model,
+                                const datagen::EntityCollection& collection) {
+  model.Initialize();
+  const size_t dim = model.info().dim;
+  la::Matrix out(collection.size(), dim);
+  ParallelForEach(0, collection.size(), 0, [&](size_t entity) {
+    std::vector<float> attribute(dim);
+    float* row = out.Row(entity);
+    size_t used = 0;
+    for (const std::string& value : collection.ValuesOf(entity)) {
+      if (value.empty()) continue;
+      model.EncodeInto(value, attribute.data());
+      la::Axpy(1.f, attribute.data(), row, dim);
+      ++used;
+    }
+    if (used > 0) la::Scale(1.f / static_cast<float>(used), row, dim);
+    la::NormalizeInPlace(row, dim);
+  });
+  return out;
+}
+
+}  // namespace ember::core

@@ -1,0 +1,18 @@
+#ifndef EMBER_CORE_SCHEMA_VECTORIZER_H_
+#define EMBER_CORE_SCHEMA_VECTORIZER_H_
+
+#include "datagen/benchmark_datasets.h"
+#include "embed/embedding_model.h"
+#include "la/matrix.h"
+
+namespace ember::core {
+
+/// Schema-based vectorization (Section 6 application): each attribute value
+/// is embedded separately and the entity vector is the L2-normalized mean of
+/// its non-empty attribute embeddings. Parallelized over entities.
+la::Matrix SchemaBasedVectorize(embed::EmbeddingModel& model,
+                                const datagen::EntityCollection& collection);
+
+}  // namespace ember::core
+
+#endif  // EMBER_CORE_SCHEMA_VECTORIZER_H_

@@ -1,0 +1,84 @@
+#include "core/vector_cache.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/timer.h"
+
+namespace ember::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'M', 'B', 'V', '0', '0', '0', '2'};
+
+bool LoadMatrix(const std::string& path, la::Matrix& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[8];
+  uint64_t rows = 0, cols = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  if (rows > (1ull << 32) || cols > (1ull << 20)) return false;
+  out = la::Matrix(rows, cols);
+  in.read(reinterpret_cast<char*>(out.Row(0)),
+          static_cast<std::streamsize>(rows * cols * sizeof(float)));
+  return static_cast<bool>(in);
+}
+
+void SaveMatrix(const std::string& path, const la::Matrix& m) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return;
+  const uint64_t rows = m.rows(), cols = m.cols();
+  out.write(kMagic, sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out.write(reinterpret_cast<const char*>(m.Row(0)),
+            static_cast<std::streamsize>(rows * cols * sizeof(float)));
+}
+
+}  // namespace
+
+VectorCache& VectorCache::Default() {
+  static VectorCache* const kInstance = [] {
+    const char* env = std::getenv("EMBER_CACHE");
+    return new VectorCache(env != nullptr && *env != '\0' ? env
+                                                          : "ember_cache");
+  }();
+  return *kInstance;
+}
+
+std::string VectorCache::path_for(const std::string& code,
+                                  const std::string& key) const {
+  return dir_ + "/" + code + "_" + key + ".vec";
+}
+
+la::Matrix VectorCache::GetOrCompute(embed::EmbeddingModel& model,
+                                     const std::string& key,
+                                     const std::vector<std::string>& sentences,
+                                     double* fresh_seconds) {
+  const std::string path = path_for(model.info().code, key);
+  la::Matrix cached;
+  if (enabled_ && LoadMatrix(path, cached) &&
+      cached.rows() == sentences.size() && cached.cols() == model.info().dim) {
+    if (fresh_seconds != nullptr) *fresh_seconds = -1.0;
+    return cached;
+  }
+  model.Initialize();  // weight building stays out of the reported time
+  WallTimer timer;
+  la::Matrix fresh = model.VectorizeAll(sentences);
+  const double seconds = timer.Seconds();
+  if (fresh_seconds != nullptr) *fresh_seconds = seconds;
+  if (enabled_) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    SaveMatrix(path, fresh);
+  }
+  return fresh;
+}
+
+}  // namespace ember::core

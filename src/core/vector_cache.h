@@ -1,0 +1,42 @@
+#ifndef EMBER_CORE_VECTOR_CACHE_H_
+#define EMBER_CORE_VECTOR_CACHE_H_
+
+#include <string>
+#include <vector>
+
+#include "embed/embedding_model.h"
+#include "la/matrix.h"
+
+namespace ember::core {
+
+/// On-disk cache of batch-vectorized sentence matrices, keyed by model code
+/// and a caller-chosen key. Files are raw little-endian dumps behind an
+/// "EMBV0002" magic; stale-format files simply miss.
+class VectorCache {
+ public:
+  /// Process-wide instance rooted at $EMBER_CACHE or ./ember_cache.
+  static VectorCache& Default();
+
+  explicit VectorCache(std::string dir) : dir_(std::move(dir)) {}
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Returns the cached matrix for (model code, key) or vectorizes
+  /// `sentences` and caches the result. When `fresh_seconds` is non-null it
+  /// receives the vectorization time, or -1 on a cache hit.
+  la::Matrix GetOrCompute(embed::EmbeddingModel& model, const std::string& key,
+                          const std::vector<std::string>& sentences,
+                          double* fresh_seconds = nullptr);
+
+ private:
+  std::string path_for(const std::string& code, const std::string& key) const;
+
+  std::string dir_;
+  bool enabled_ = true;
+};
+
+}  // namespace ember::core
+
+#endif  // EMBER_CORE_VECTOR_CACHE_H_

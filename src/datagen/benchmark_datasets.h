@@ -1,0 +1,80 @@
+#ifndef EMBER_DATAGEN_BENCHMARK_DATASETS_H_
+#define EMBER_DATAGEN_BENCHMARK_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/vocab.h"
+
+namespace ember::datagen {
+
+/// A collection of entities sharing one schema. Values are stored per
+/// attribute; the schema-agnostic "sentence" of an entity is the space-join
+/// of its non-empty attribute values (Section 3 of the paper).
+class EntityCollection {
+ public:
+  std::vector<std::string> schema;
+
+  size_t size() const { return rows_.size(); }
+
+  void Add(std::vector<std::string> values) { rows_.push_back(std::move(values)); }
+
+  const std::vector<std::string>& ValuesOf(size_t entity) const {
+    return rows_[entity];
+  }
+
+  std::string SentenceOf(size_t entity) const;
+  std::vector<std::string> AllSentences() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Average schema-agnostic sentence length in tokens.
+double AverageSentenceLength(const EntityCollection& collection);
+
+/// Spec of one Clean-Clean ER dataset analogue (Table 2(a) profile).
+struct CleanCleanSpec {
+  std::string id;
+  std::string name;
+  size_t left_count = 0;
+  size_t right_count = 0;
+  size_t attrs = 0;
+  size_t duplicates = 0;
+  /// Target schema-agnostic sentence length in tokens.
+  double avg_words = 10;
+  size_t vocab_size = 2000;
+  /// Per-side noise applied to the two copies of each duplicate.
+  NoiseProfile noise;
+  /// Per-dataset vocabulary stream.
+  uint64_t salt = 0;
+};
+
+/// All ten specs in Table 2(a) order (D1..D10).
+const std::vector<CleanCleanSpec>& AllCleanCleanSpecs();
+
+/// Spec lookup by id ("D1".."D10").
+Result<CleanCleanSpec> CleanCleanSpecById(const std::string& id);
+
+/// A generated Clean-Clean dataset: two duplicate-free collections plus the
+/// ground-truth match pairs (left index, right index).
+struct CleanCleanDataset {
+  std::string id;
+  std::string name;
+  EntityCollection left;
+  EntityCollection right;
+  std::vector<std::pair<uint32_t, uint32_t>> matches;
+};
+
+/// Generates the dataset at `scale` (entity and duplicate counts multiplied;
+/// floors keep tiny scales usable). Fully deterministic in (spec, scale,
+/// seed).
+CleanCleanDataset GenerateCleanClean(const CleanCleanSpec& spec, double scale,
+                                     uint64_t seed);
+
+}  // namespace ember::datagen
+
+#endif  // EMBER_DATAGEN_BENCHMARK_DATASETS_H_

@@ -1,0 +1,94 @@
+#include "datagen/csv.h"
+
+namespace ember::datagen {
+
+std::vector<std::vector<std::string>> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  const auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  const auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        field_started = true;  // next field exists even if empty
+        break;
+      case '\r':
+        break;
+      case '\n':
+        end_row();
+        break;
+      default:
+        field += c;
+        field_started = true;
+        break;
+    }
+  }
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  for (const char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (const std::vector<std::string>& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      if (NeedsQuoting(row[i])) {
+        out += '"';
+        for (const char c : row[i]) {
+          if (c == '"') out += '"';
+          out += c;
+        }
+        out += '"';
+      } else {
+        out += row[i];
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ember::datagen

@@ -1,0 +1,19 @@
+#ifndef EMBER_DATAGEN_CSV_H_
+#define EMBER_DATAGEN_CSV_H_
+
+#include <string>
+#include <vector>
+
+namespace ember::datagen {
+
+/// Parses RFC-4180-style CSV text: comma separated, double quotes guard
+/// embedded commas/newlines, `""` escapes a quote. Handles both \n and \r\n
+/// line endings; a trailing newline does not produce an empty record.
+std::vector<std::vector<std::string>> ParseCsv(const std::string& text);
+
+/// Serializes rows back to CSV, quoting only when needed.
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace ember::datagen
+
+#endif  // EMBER_DATAGEN_CSV_H_

@@ -1,0 +1,155 @@
+#include "datagen/dsm_datasets.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "datagen/benchmark_datasets.h"
+
+namespace ember::datagen {
+
+namespace {
+
+NoiseProfile DsmNoise(double char_edit, double drop, double synonym,
+                      double missing) {
+  NoiseProfile n;
+  n.char_edit_rate = char_edit;
+  n.token_drop_rate = drop;
+  n.token_insert_rate = drop / 2;
+  n.synonym_rate = synonym;
+  n.missing_rate = missing;
+  return n;
+}
+
+std::vector<DsmSpec> BuildSpecs() {
+  // DSM3/DSM4 are the easy bibliographic sets; DSM1/DSM2/DSM5 the noisy
+  // product sets (Section 4.3 / Figure 11 calibration).
+  std::vector<DsmSpec> specs(5);
+  specs[0] = {"DSM1", "Abt-Buy (pairs)", 3, 9575, 0.107, 30.0, 2600,
+              DsmNoise(0.05, 0.16, 0.28, 0.08), 0x5d01ULL};
+  specs[1] = {"DSM2", "Amazon-Google (pairs)", 4, 11460, 0.102, 24.0, 3200,
+              DsmNoise(0.06, 0.16, 0.24, 0.10), 0x5d02ULL};
+  specs[2] = {"DSM3", "DBLP-ACM (pairs)", 4, 12363, 0.180, 16.0, 2400,
+              DsmNoise(0.015, 0.03, 0.02, 0.01), 0x5d03ULL};
+  specs[3] = {"DSM4", "DBLP-Scholar (pairs)", 4, 28707, 0.187, 15.0, 2600,
+              DsmNoise(0.04, 0.08, 0.05, 0.04), 0x5d04ULL};
+  specs[4] = {"DSM5", "Walmart-Amazon (pairs)", 5, 10242, 0.094, 22.0, 3600,
+              DsmNoise(0.20, 0.10, 0.08, 0.10), 0x5d05ULL};
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<DsmSpec>& AllDsmSpecs() {
+  static const std::vector<DsmSpec>* const kSpecs =
+      new std::vector<DsmSpec>(BuildSpecs());
+  return *kSpecs;
+}
+
+Result<DsmSpec> DsmSpecById(const std::string& id) {
+  for (const DsmSpec& spec : AllDsmSpecs()) {
+    if (spec.id == id) return spec;
+  }
+  return Status::NotFound("no DSM spec " + id);
+}
+
+DsmDataset GenerateDsm(const DsmSpec& spec, double scale, uint64_t seed) {
+  DsmDataset dataset;
+  dataset.id = spec.id;
+  dataset.name = spec.name;
+
+  const size_t n_pairs = std::max<size_t>(
+      200, static_cast<size_t>(static_cast<double>(spec.total_pairs) * scale +
+                               0.5));
+  const size_t n_positives = std::max<size_t>(
+      20, static_cast<size_t>(static_cast<double>(n_pairs) *
+                              spec.positive_fraction));
+
+  // Reuse the Clean-Clean machinery: a pool of base entities on the spec's
+  // own vocabulary stream; positives are two noisy copies of one base,
+  // negatives mix distinct bases (half of them "hard": sharing name words).
+  CleanCleanSpec base_spec;
+  base_spec.attrs = spec.attrs;
+  base_spec.avg_words = spec.avg_words;
+  base_spec.vocab_size = spec.vocab_size;
+  const Vocabulary vocab(SplitMix64(spec.salt), spec.vocab_size);
+  Rng rng(SplitMix64(seed ^ spec.salt));
+
+  NoiseProfile half = spec.noise;
+  half.char_edit_rate /= 2;
+  half.token_drop_rate /= 2;
+  half.token_insert_rate /= 2;
+  half.synonym_rate /= 2;
+  half.missing_rate /= 2;
+  const Perturber perturber(half, &vocab);
+
+  const size_t pool_size = std::max<size_t>(64, n_pairs / 3);
+  std::vector<std::string> sentences;
+  sentences.reserve(pool_size);
+  {
+    CleanCleanSpec gen = base_spec;
+    gen.left_count = pool_size;
+    gen.right_count = 20;
+    gen.duplicates = 0;
+    gen.salt = spec.salt;
+    const CleanCleanDataset generated =
+        GenerateCleanClean(gen, 1.0, seed ^ spec.salt);
+    for (size_t i = 0; i < generated.left.size(); ++i) {
+      sentences.push_back(generated.left.SentenceOf(i));
+    }
+  }
+
+  const auto perturb_sentence = [&](const std::string& sentence) {
+    return perturber.PerturbValue(sentence, rng);
+  };
+
+  std::vector<DsmPair> pairs;
+  pairs.reserve(n_pairs);
+  for (size_t i = 0; i < n_positives; ++i) {
+    const std::string& base = sentences[rng.Below(sentences.size())];
+    DsmPair pair;
+    pair.left = perturb_sentence(base);
+    pair.right = perturb_sentence(base);
+    pair.label = 1;
+    pairs.push_back(std::move(pair));
+  }
+  for (size_t i = n_positives; i < n_pairs; ++i) {
+    const size_t a = rng.Below(sentences.size());
+    size_t b = rng.Below(sentences.size());
+    if (b == a) b = (b + 1) % sentences.size();
+    DsmPair pair;
+    pair.left = sentences[a];
+    if (rng.Chance(0.5)) {
+      // Hard negative: splice the head of a onto the tail of b, so token
+      // overlap alone cannot separate the classes.
+      const std::string& other = sentences[b];
+      const size_t cut_a = pair.left.find(' ');
+      const size_t cut_b = other.find(' ');
+      pair.right = cut_a != std::string::npos && cut_b != std::string::npos
+                       ? pair.left.substr(0, cut_a) + other.substr(cut_b)
+                       : other;
+    } else {
+      pair.right = sentences[b];
+    }
+    pair.label = 0;
+    pairs.push_back(std::move(pair));
+  }
+
+  // Deterministic shuffle, then 60/20/20 split.
+  for (size_t i = pairs.size(); i > 1; --i) {
+    std::swap(pairs[i - 1], pairs[rng.Below(i)]);
+  }
+  const size_t n_train = pairs.size() * 3 / 5;
+  const size_t n_valid = pairs.size() / 5;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (i < n_train) {
+      dataset.train.push_back(std::move(pairs[i]));
+    } else if (i < n_train + n_valid) {
+      dataset.valid.push_back(std::move(pairs[i]));
+    } else {
+      dataset.test.push_back(std::move(pairs[i]));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace ember::datagen

@@ -1,0 +1,51 @@
+#ifndef EMBER_DATAGEN_DSM_DATASETS_H_
+#define EMBER_DATAGEN_DSM_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/vocab.h"
+
+namespace ember::datagen {
+
+/// Spec of one DeepMatcher-style supervised matching dataset (Table 3
+/// analogue): labelled entity pairs split 60/20/20.
+struct DsmSpec {
+  std::string id;
+  std::string name;
+  size_t attrs = 4;
+  size_t total_pairs = 10000;
+  double positive_fraction = 0.12;
+  double avg_words = 14;
+  size_t vocab_size = 2600;
+  NoiseProfile noise;
+  uint64_t salt = 0;
+};
+
+const std::vector<DsmSpec>& AllDsmSpecs();
+Result<DsmSpec> DsmSpecById(const std::string& id);
+
+/// One labelled pair: schema-agnostic sentences plus the match label.
+struct DsmPair {
+  std::string left;
+  std::string right;
+  int label = 0;
+};
+
+struct DsmDataset {
+  std::string id;
+  std::string name;
+  std::vector<DsmPair> train;
+  std::vector<DsmPair> valid;
+  std::vector<DsmPair> test;
+};
+
+/// Generates the dataset at `scale` (pair count multiplied, floor 200).
+/// Deterministic in (spec, scale, seed).
+DsmDataset GenerateDsm(const DsmSpec& spec, double scale, uint64_t seed);
+
+}  // namespace ember::datagen
+
+#endif  // EMBER_DATAGEN_DSM_DATASETS_H_

@@ -1,0 +1,148 @@
+#include "datagen/febrl.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace ember::datagen {
+
+namespace {
+
+/// Frequency tables: small deterministic name pools on fixed streams, shared
+/// by every Febrl collection (the original tool ships fixed lookup files).
+const Vocabulary& GivenNames() {
+  static const Vocabulary* const kPool = new Vocabulary(0xfeb1ULL, 400);
+  return *kPool;
+}
+const Vocabulary& Surnames() {
+  static const Vocabulary* const kPool = new Vocabulary(0xfeb2ULL, 800);
+  return *kPool;
+}
+const Vocabulary& StreetNames() {
+  static const Vocabulary* const kPool = new Vocabulary(0xfeb3ULL, 1000);
+  return *kPool;
+}
+const Vocabulary& Suburbs() {
+  static const Vocabulary* const kPool = new Vocabulary(0xfeb4ULL, 600);
+  return *kPool;
+}
+const Vocabulary& States() {
+  static const Vocabulary* const kPool = new Vocabulary(0xfeb5ULL, 8);
+  return *kPool;
+}
+
+std::vector<std::string> MakeRecord(Rng& rng) {
+  std::vector<std::string> values(7);
+  values[0] = GivenNames().Sample(rng);
+  values[1] = Surnames().Sample(rng);
+  values[2] = std::to_string(1 + rng.Below(399));            // street number
+  values[3] = StreetNames().Sample(rng) + " " +
+              (rng.Chance(0.5) ? "street" : "road");          // address_1
+  values[4] = Suburbs().Sample(rng);                          // suburb
+  values[5] = std::to_string(1000 + rng.Below(8999));         // postcode
+  values[6] = States().Sample(rng);                           // state
+  return values;
+}
+
+/// Applies Febrl-style modifications: char edits within values plus
+/// occasional word swaps, capped per attribute and per record.
+void ModifyRecord(std::vector<std::string>& values, size_t max_per_attribute,
+                  size_t max_per_record, Rng& rng) {
+  size_t record_mods = 0;
+  for (std::string& value : values) {
+    if (record_mods >= max_per_record) break;
+    const size_t mods = rng.Below(max_per_attribute + 1);
+    for (size_t m = 0; m < mods && record_mods < max_per_record; ++m) {
+      if (value.empty()) break;
+      if (rng.Chance(0.15)) {
+        // Swap two words when the value has them.
+        const size_t space = value.find(' ');
+        if (space != std::string::npos) {
+          value = value.substr(space + 1) + " " + value.substr(0, space);
+          ++record_mods;
+          continue;
+        }
+      }
+      value = Perturber::CharEdit(value, rng);
+      ++record_mods;
+    }
+  }
+}
+
+}  // namespace
+
+DirtyDataset GenerateFebrl(const FebrlOptions& options) {
+  EMBER_CHECK(options.n_records > 0);
+  DirtyDataset dataset;
+  dataset.id = "Febrl-" + std::to_string(options.n_records);
+  dataset.records.schema = {"given_name", "surname",  "street_number",
+                            "address_1",  "suburb",   "postcode",
+                            "state"};
+
+  Rng rng(SplitMix64(options.seed ^ 0xfeb0ULL));
+  const size_t n_duplicates = static_cast<size_t>(
+      static_cast<double>(options.n_records) * options.duplicate_fraction);
+  const size_t n_originals = options.n_records - n_duplicates;
+
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(options.n_records);
+  for (size_t i = 0; i < n_originals; ++i) rows.push_back(MakeRecord(rng));
+
+  // Duplicates attach to random originals, capped per original. Cluster
+  // membership (original + its duplicates) defines the ground truth: every
+  // within-cluster pair is a match.
+  std::vector<std::vector<uint32_t>> clusters(n_originals);
+  std::vector<size_t> dup_count(n_originals, 0);
+  for (size_t d = 0; d < n_duplicates; ++d) {
+    size_t original = rng.Below(n_originals);
+    for (size_t attempts = 0;
+         dup_count[original] >= options.max_duplicates_per_record &&
+         attempts < 16;
+         ++attempts) {
+      original = rng.Below(n_originals);
+    }
+    ++dup_count[original];
+    std::vector<std::string> copy = rows[original];
+    ModifyRecord(copy, options.max_modifications_per_attribute,
+                 options.max_modifications_per_record, rng);
+    clusters[original].push_back(static_cast<uint32_t>(rows.size()));
+    rows.push_back(std::move(copy));
+  }
+
+  for (uint32_t original = 0; original < n_originals; ++original) {
+    std::vector<uint32_t> members = {original};
+    members.insert(members.end(), clusters[original].begin(),
+                   clusters[original].end());
+    for (size_t a = 0; a < members.size(); ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        dataset.matches.emplace_back(members[a], members[b]);
+      }
+    }
+  }
+
+  // Shuffle record order so duplicates are not adjacent to their originals.
+  std::vector<uint32_t> perm(rows.size());
+  for (uint32_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  for (size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.Below(i)]);
+  }
+  std::vector<uint32_t> pos(rows.size());
+  for (uint32_t i = 0; i < perm.size(); ++i) pos[perm[i]] = i;
+  for (uint32_t i = 0; i < perm.size(); ++i) {
+    dataset.records.Add(std::move(rows[perm[i]]));
+  }
+  for (auto& [a, b] : dataset.matches) {
+    a = pos[a];
+    b = pos[b];
+  }
+  return dataset;
+}
+
+const std::vector<size_t>& FebrlScalabilitySizes() {
+  static const std::vector<size_t>* const kSizes = new std::vector<size_t>{
+      10000, 50000, 100000, 200000, 300000, 1000000, 2000000};
+  return *kSizes;
+}
+
+}  // namespace ember::datagen

@@ -1,0 +1,41 @@
+#ifndef EMBER_DATAGEN_FEBRL_H_
+#define EMBER_DATAGEN_FEBRL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datagen/benchmark_datasets.h"
+
+namespace ember::datagen {
+
+/// Options of the Febrl-style dirty-ER generator (Section 4.1 of the paper):
+/// frequency-table person records, 40% duplicate records, at most 9
+/// duplicates per original, at most 3 modifications per attribute and 10 per
+/// record.
+struct FebrlOptions {
+  size_t n_records = 10000;
+  double duplicate_fraction = 0.4;
+  size_t max_duplicates_per_record = 9;
+  size_t max_modifications_per_attribute = 3;
+  size_t max_modifications_per_record = 10;
+  uint64_t seed = 1;
+};
+
+/// A single dirty collection with ground-truth duplicate pairs (unordered
+/// record-index pairs within the collection).
+struct DirtyDataset {
+  std::string id;
+  EntityCollection records;
+  std::vector<std::pair<uint32_t, uint32_t>> matches;
+};
+
+DirtyDataset GenerateFebrl(const FebrlOptions& options);
+
+/// The seven scalability sizes of Table 2(b): 10K .. 2M records.
+const std::vector<size_t>& FebrlScalabilitySizes();
+
+}  // namespace ember::datagen
+
+#endif  // EMBER_DATAGEN_FEBRL_H_

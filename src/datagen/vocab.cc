@@ -1,0 +1,118 @@
+#include "datagen/vocab.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "text/tokenizer.h"
+
+namespace ember::datagen {
+
+namespace {
+
+constexpr const char* kOnsets[] = {"b", "c",  "d",  "f",  "g",  "h",  "k",
+                                   "l", "m",  "n",  "p",  "r",  "s",  "t",
+                                   "v", "br", "cr", "st", "tr", "pl", "gr"};
+constexpr const char* kVowels[] = {"a", "e", "i", "o", "u", "ai", "ea", "ou"};
+constexpr const char* kCodas[] = {"",  "",  "n", "r", "s",
+                                  "l", "t", "m", "x", "nd"};
+
+}  // namespace
+
+std::string MakeWord(uint64_t seed) {
+  uint64_t h = SplitMix64(seed);
+  const size_t syllables = 2 + (h & 1) + ((h >> 1) & 1);
+  std::string word;
+  for (size_t s = 0; s < syllables; ++s) {
+    h = SplitMix64(h);
+    word += kOnsets[h % (sizeof(kOnsets) / sizeof(kOnsets[0]))];
+    word += kVowels[(h >> 8) % (sizeof(kVowels) / sizeof(kVowels[0]))];
+    if (s + 1 == syllables) {
+      word += kCodas[(h >> 16) % (sizeof(kCodas) / sizeof(kCodas[0]))];
+    }
+  }
+  return word;
+}
+
+Vocabulary::Vocabulary(uint64_t seed, size_t size) {
+  EMBER_CHECK(size > 0);
+  words_.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    words_.push_back(MakeWord(seed ^ (0x10001ULL * (i + 1))));
+  }
+}
+
+const std::string& Vocabulary::Sample(Rng& rng) const {
+  const double u = rng.Uniform();
+  const size_t i = static_cast<size_t>(u * u * static_cast<double>(size()));
+  return words_[std::min(i, size() - 1)];
+}
+
+const std::string& Vocabulary::SampleRare(Rng& rng) const {
+  const size_t half = size() / 2;
+  return words_[half + rng.Below(size() - half)];
+}
+
+std::string Perturber::CharEdit(const std::string& word, Rng& rng) {
+  if (word.empty()) return word;
+  std::string out = word;
+  const char random_char = static_cast<char>('a' + rng.Below(26));
+  switch (rng.Below(3)) {
+    case 0:  // insert
+      out.insert(out.begin() + rng.Below(out.size() + 1), random_char);
+      break;
+    case 1:  // delete
+      if (out.size() > 1) out.erase(out.begin() + rng.Below(out.size()));
+      break;
+    default:  // replace
+      out[rng.Below(out.size())] = random_char;
+      break;
+  }
+  return out;
+}
+
+std::string Perturber::PerturbValue(const std::string& value, Rng& rng) const {
+  std::vector<std::string> tokens = text::Tokenize(value);
+  std::vector<std::string> kept;
+  kept.reserve(tokens.size() + 1);
+  for (std::string& token : tokens) {
+    if (tokens.size() > 1 && rng.Chance(profile_.token_drop_rate)) continue;
+    const bool alphabetic =
+        !token.empty() && token[0] >= 'a' && token[0] <= 'z';
+    if (alphabetic && rng.Chance(profile_.synonym_rate)) {
+      token = text::MakeSynonymSurface(text::CanonicalWordForm(token),
+                                       static_cast<int>(rng.Below(9)));
+    } else if (rng.Chance(profile_.char_edit_rate)) {
+      token = CharEdit(token, rng);
+    }
+    kept.push_back(std::move(token));
+  }
+  if (vocab_ != nullptr && rng.Chance(profile_.token_insert_rate)) {
+    kept.insert(kept.begin() + rng.Below(kept.size() + 1),
+                vocab_->Sample(rng));
+  }
+  std::string out;
+  for (size_t i = 0; i < kept.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += kept[i];
+  }
+  return out;
+}
+
+void Perturber::PerturbEntity(std::vector<std::string>& values,
+                              Rng& rng) const {
+  for (std::string& value : values) {
+    if (value.empty()) continue;
+    if (rng.Chance(profile_.missing_rate)) {
+      value.clear();
+      continue;
+    }
+    value = PerturbValue(value, rng);
+  }
+  if (values.size() > 1 && rng.Chance(profile_.misplace_rate)) {
+    const size_t a = rng.Below(values.size());
+    const size_t b = rng.Below(values.size());
+    if (a != b) std::swap(values[a], values[b]);
+  }
+}
+
+}  // namespace ember::datagen

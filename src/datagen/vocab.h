@@ -1,0 +1,74 @@
+#ifndef EMBER_DATAGEN_VOCAB_H_
+#define EMBER_DATAGEN_VOCAB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ember::datagen {
+
+/// Deterministic pseudo-word from a 64-bit seed: 2-4 lowercase syllables,
+/// purely alphabetic so the synonym surface encoding of text/tokenizer.h
+/// stays unambiguous.
+std::string MakeWord(uint64_t seed);
+
+/// A domain vocabulary: `size` deterministic words on a per-domain stream.
+/// Sampling is Zipf-biased (low indices are frequent) to mimic natural
+/// token-frequency skew — frequent words end up in many entities, creating
+/// the non-trivial non-match similarity real datasets have.
+class Vocabulary {
+ public:
+  Vocabulary(uint64_t seed, size_t size);
+
+  size_t size() const { return words_.size(); }
+  const std::string& WordAt(size_t i) const { return words_[i]; }
+
+  /// Zipf-biased draw (u^2-warped uniform index).
+  const std::string& Sample(Rng& rng) const;
+  /// Uniform draw over the rare half — used for discriminative tokens.
+  const std::string& SampleRare(Rng& rng) const;
+
+ private:
+  std::vector<std::string> words_;
+};
+
+/// Per-dataset noise profile, applied independently to each side of a
+/// duplicate pair. Rates are per-token (edit/drop/synonym/insert) or
+/// per-attribute (missing/misplace).
+struct NoiseProfile {
+  double char_edit_rate = 0;
+  double token_drop_rate = 0;
+  double token_insert_rate = 0;
+  double synonym_rate = 0;
+  double missing_rate = 0;
+  double misplace_rate = 0;
+};
+
+/// Applies a NoiseProfile to entities. Synonym replacement uses
+/// text::MakeSynonymSurface, the surface form the embedding models' lexicons
+/// can (coverage permitting) map back to the canonical sense — the axis that
+/// separates semantic from lexical matchers.
+class Perturber {
+ public:
+  Perturber(const NoiseProfile& profile, const Vocabulary* vocab)
+      : profile_(profile), vocab_(vocab) {}
+
+  /// Perturbs one attribute-value vector in place.
+  void PerturbEntity(std::vector<std::string>& values, Rng& rng) const;
+
+  /// Perturbs one whitespace-joined value.
+  std::string PerturbValue(const std::string& value, Rng& rng) const;
+
+  /// Applies a single random character edit (insert / delete / replace).
+  static std::string CharEdit(const std::string& word, Rng& rng);
+
+ private:
+  NoiseProfile profile_;
+  const Vocabulary* vocab_;
+};
+
+}  // namespace ember::datagen
+
+#endif  // EMBER_DATAGEN_VOCAB_H_

@@ -1,0 +1,30 @@
+#include "embed/embedding_model.h"
+
+#include "common/parallel.h"
+#include "common/timer.h"
+
+namespace ember::embed {
+
+double EmbeddingModel::Initialize() {
+  if (!initialized_) {
+    WallTimer timer;
+    BuildWeights();
+    init_seconds_ = timer.Seconds();
+    initialized_ = true;
+  }
+  return init_seconds_;
+}
+
+la::Matrix EmbeddingModel::VectorizeAll(
+    const std::vector<std::string>& sentences) {
+  Initialize();
+  la::Matrix out(sentences.size(), info_.dim);
+  // Deterministic data parallelism: each sentence writes only its own
+  // preallocated row, and the chunking never depends on the thread count.
+  ParallelForEach(0, sentences.size(), 0, [&](size_t i) {
+    EncodeInto(sentences[i], out.Row(i));
+  });
+  return out;
+}
+
+}  // namespace ember::embed

@@ -1,0 +1,53 @@
+#ifndef EMBER_EMBED_EMBEDDING_MODEL_H_
+#define EMBER_EMBED_EMBEDDING_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "embed/model_registry.h"
+#include "la/matrix.h"
+
+namespace ember::embed {
+
+/// Base class of every embedding model. The contract that makes batch
+/// vectorization parallel AND deterministic:
+///
+///   - Initialize() builds all weights once (idempotent, NOT thread-safe);
+///   - EncodeInto() is const and thread-safe — all scratch is call-local —
+///     and each output row depends only on its own sentence;
+///   - VectorizeAll() therefore fans rows out over the global thread pool
+///     (common/parallel.h) into disjoint preallocated rows, producing
+///     bit-identical matrices at every thread count.
+class EmbeddingModel {
+ public:
+  explicit EmbeddingModel(const ModelInfo& info) : info_(info) {}
+  virtual ~EmbeddingModel() = default;
+
+  const ModelInfo& info() const { return info_; }
+
+  /// Builds the model weights on first call; later calls are no-ops.
+  /// Returns the build time in seconds of the first call (Table 4's Init
+  /// row).
+  double Initialize();
+
+  /// Embeds one sentence into out[0..info().dim), L2-normalized (zero for
+  /// an empty/fully-OOV sentence). Requires Initialize(); const and
+  /// thread-safe.
+  virtual void EncodeInto(const std::string& sentence, float* out) const = 0;
+
+  /// Embeds a batch: one row per sentence, parallelized over sentences.
+  la::Matrix VectorizeAll(const std::vector<std::string>& sentences);
+
+ protected:
+  /// One-time weight construction.
+  virtual void BuildWeights() = 0;
+
+ private:
+  ModelInfo info_;
+  bool initialized_ = false;
+  double init_seconds_ = 0;
+};
+
+}  // namespace ember::embed
+
+#endif  // EMBER_EMBED_EMBEDDING_MODEL_H_

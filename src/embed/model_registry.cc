@@ -1,0 +1,104 @@
+#include "embed/model_registry.h"
+
+#include "common/logging.h"
+#include "embed/static_model.h"
+#include "embed/transformer_model.h"
+
+namespace ember::embed {
+
+namespace {
+
+std::vector<ModelInfo> BuildInfos() {
+  // Table 1. Dim/seq/params follow the real models; the family drives the
+  // implementation regime.
+  std::vector<ModelInfo> infos;
+  const auto add = [&infos](ModelId id, const char* code, const char* name,
+                            ModelFamily family, size_t dim, size_t seq,
+                            int params) {
+    ModelInfo info;
+    info.id = id;
+    info.code = code;
+    info.name = name;
+    info.family = family;
+    info.dim = dim;
+    info.max_seq_tokens = seq;
+    info.param_millions = params;
+    infos.push_back(std::move(info));
+  };
+  add(ModelId::kWord2Vec, "WC", "Word2Vec", ModelFamily::kStatic, 300, 0, -1);
+  add(ModelId::kFastText, "FT", "FastText", ModelFamily::kStatic, 300, 0, -1);
+  add(ModelId::kGloVe, "GE", "GloVe", ModelFamily::kStatic, 300, 0, -1);
+  add(ModelId::kBert, "BT", "BERT", ModelFamily::kBertLike, 768, 512, 110);
+  add(ModelId::kAlbert, "AT", "ALBERT", ModelFamily::kBertLike, 768, 512, 12);
+  add(ModelId::kRoberta, "RA", "RoBERTa", ModelFamily::kBertLike, 768, 514,
+      125);
+  add(ModelId::kDistilBert, "DT", "DistilBERT", ModelFamily::kBertLike, 768,
+      512, 66);
+  add(ModelId::kXlnet, "XT", "XLNet", ModelFamily::kBertLike, 768, 0, 110);
+  add(ModelId::kSMpnet, "ST", "S-MPNet", ModelFamily::kSentence, 768, 384,
+      110);
+  add(ModelId::kSGtrT5, "S5", "S-GTR-T5", ModelFamily::kSentence, 768, 512,
+      335);
+  add(ModelId::kSDistilRoberta, "SA", "S-DistilRoBERTa",
+      ModelFamily::kSentence, 768, 512, 82);
+  add(ModelId::kSMiniLm, "SM", "S-MiniLM", ModelFamily::kSentence, 384, 256,
+      22);
+  return infos;
+}
+
+const std::vector<ModelInfo>& AllInfos() {
+  static const std::vector<ModelInfo>* const kInfos =
+      new std::vector<ModelInfo>(BuildInfos());
+  return *kInfos;
+}
+
+}  // namespace
+
+const char* ModelFamilyName(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kStatic:
+      return "static";
+    case ModelFamily::kBertLike:
+      return "BERT-like";
+    case ModelFamily::kSentence:
+      return "SentenceBERT";
+  }
+  return "?";
+}
+
+const std::vector<ModelId>& AllModels() {
+  static const std::vector<ModelId>* const kIds = [] {
+    auto* ids = new std::vector<ModelId>();
+    for (const ModelInfo& info : AllInfos()) ids->push_back(info.id);
+    return ids;
+  }();
+  return *kIds;
+}
+
+const ModelInfo& GetModelInfo(ModelId id) {
+  const size_t index = static_cast<size_t>(id);
+  EMBER_CHECK(index < AllInfos().size());
+  return AllInfos()[index];
+}
+
+Result<ModelId> ModelIdFromString(const std::string& text) {
+  for (const ModelInfo& info : AllInfos()) {
+    if (info.code == text || info.name == text) return info.id;
+  }
+  return Status::NotFound("no model named " + text);
+}
+
+std::unique_ptr<EmbeddingModel> CreateModel(ModelId id) {
+  switch (GetModelInfo(id).family) {
+    case ModelFamily::kStatic:
+      return std::make_unique<StaticEmbeddingModel>(id);
+    case ModelFamily::kBertLike:
+    case ModelFamily::kSentence:
+      return std::make_unique<TransformerEmbeddingModel>(
+          GetModelInfo(id), TransformerConfigFor(id));
+  }
+  EMBER_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace ember::embed

@@ -1,0 +1,66 @@
+#ifndef EMBER_EMBED_MODEL_REGISTRY_H_
+#define EMBER_EMBED_MODEL_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ember::embed {
+
+class EmbeddingModel;
+
+/// The 12 language models of Table 1, in the paper's canonical order.
+enum class ModelId {
+  kWord2Vec = 0,     // WC
+  kFastText,         // FT
+  kGloVe,            // GE
+  kBert,             // BT
+  kAlbert,           // AT
+  kRoberta,          // RA
+  kDistilBert,       // DT
+  kXlnet,            // XT
+  kSMpnet,           // ST
+  kSGtrT5,           // S5
+  kSDistilRoberta,   // SA
+  kSMiniLm,          // SM
+};
+
+enum class ModelFamily {
+  kStatic = 0,   // frozen word vectors, mean-pooled
+  kBertLike,     // transformer encoders, CLS-pooled, not fine-tuned
+  kSentence,     // SentenceBERT-style calibrated encoders
+};
+
+const char* ModelFamilyName(ModelFamily family);
+
+struct ModelInfo {
+  ModelId id = ModelId::kWord2Vec;
+  std::string code;   // two-letter code used across the paper's figures
+  std::string name;   // display name
+  ModelFamily family = ModelFamily::kStatic;
+  size_t dim = 300;
+  /// Maximum input length in tokens; 0 means unbounded (rendered as "-").
+  size_t max_seq_tokens = 0;
+  /// Parameter count in millions; negative means not applicable.
+  int param_millions = -1;
+};
+
+/// All model ids in canonical order (WC, FT, GE, BT, AT, RA, DT, XT, ST,
+/// S5, SA, SM).
+const std::vector<ModelId>& AllModels();
+
+const ModelInfo& GetModelInfo(ModelId id);
+
+/// Accepts either the two-letter code ("S5") or the display name
+/// ("S-GTR-T5").
+Result<ModelId> ModelIdFromString(const std::string& text);
+
+/// Instantiates a model. The instance is cheap until Initialize() (or the
+/// first VectorizeAll) builds its weights.
+std::unique_ptr<EmbeddingModel> CreateModel(ModelId id);
+
+}  // namespace ember::embed
+
+#endif  // EMBER_EMBED_MODEL_REGISTRY_H_

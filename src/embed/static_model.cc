@@ -1,0 +1,75 @@
+#include "embed/static_model.h"
+
+#include <vector>
+
+#include "common/logging.h"
+#include "la/vector_ops.h"
+#include "text/tokenizer.h"
+
+namespace ember::embed {
+
+namespace {
+
+/// Per-model lexicon streams: FastText's must match exp21's ablation
+/// (0x57a71c + 0x9e37), so all three share the 0x57a71c base.
+TokenEncoderParams StaticParams(ModelId id) {
+  TokenEncoderParams p;
+  p.dim = 300;
+  p.surface_weight = 0.20f;
+  switch (id) {
+    case ModelId::kWord2Vec:
+      p.seed = 0x57a71cULL;
+      p.vocab_coverage = 0.85;
+      p.synonym_coverage = 0.15;
+      break;
+    case ModelId::kFastText:
+      p.seed = 0x57a71cULL + 0x9e37ULL;
+      p.vocab_coverage = 0.90;
+      p.synonym_coverage = 0.30;
+      p.ngram_weight = 0.55f;
+      p.ngram_min = 3;
+      p.ngram_max = 5;
+      break;
+    case ModelId::kGloVe:
+      p.seed = 0x57a71cULL + 2 * 0x9e37ULL;
+      p.vocab_coverage = 0.92;
+      p.synonym_coverage = 0.22;
+      break;
+    default:
+      EMBER_CHECK_MSG(false, "not a static model id");
+  }
+  return p;
+}
+
+}  // namespace
+
+StaticEmbeddingModel::StaticEmbeddingModel(ModelId id, bool idf_weighting)
+    : EmbeddingModel(GetModelInfo(id)),
+      params_(StaticParams(id)),
+      idf_weighting_(idf_weighting) {}
+
+void StaticEmbeddingModel::BuildWeights() {
+  // The lexicon is hash-defined; warming a handful of vectors stands in for
+  // the (fast) mmap of a real embedding table.
+  const TokenEncoder encoder(params_);
+  std::vector<float> scratch(params_.dim);
+  encoder.Encode("warmup", scratch.data());
+}
+
+void StaticEmbeddingModel::EncodeInto(const std::string& sentence,
+                                      float* out) const {
+  const TokenEncoder encoder(params_);
+  std::vector<float> token_vec(params_.dim);
+  for (size_t d = 0; d < params_.dim; ++d) out[d] = 0.f;
+  float total = 0.f;
+  for (const std::string& token : text::Tokenize(sentence)) {
+    if (!encoder.Encode(token, token_vec.data())) continue;
+    const float w = idf_weighting_ ? encoder.Idf(token) : 1.f;
+    la::Axpy(w, token_vec.data(), out, params_.dim);
+    total += w;
+  }
+  if (total > 0.f) la::Scale(1.f / total, out, params_.dim);
+  la::NormalizeInPlace(out, params_.dim);
+}
+
+}  // namespace ember::embed

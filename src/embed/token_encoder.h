@@ -1,0 +1,54 @@
+#ifndef EMBER_EMBED_TOKEN_ENCODER_H_
+#define EMBER_EMBED_TOKEN_ENCODER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ember::embed {
+
+/// Knobs of the deterministic token-level "pre-trained lexicon". Every
+/// vector is a pure hash of (seed, key), so two encoders with the same
+/// params agree exactly and no table has to be materialized.
+struct TokenEncoderParams {
+  size_t dim = 300;
+  uint64_t seed = 1;
+  /// Fraction of canonical words the model "knows" (in-vocabulary).
+  double vocab_coverage = 0.9;
+  /// Fraction of synonym surface forms the model maps back to their
+  /// canonical sense (the semantic axis separating sentence encoders from
+  /// lexical models).
+  double synonym_coverage = 0.3;
+  /// Weight of the surface-form-specific component mixed into a resolved
+  /// synonym (distinct surfaces of one sense stay close, not identical).
+  float surface_weight = 0.2f;
+  /// Weight of the character-n-gram component (fastText-style subwords;
+  /// 0 disables it). Grants robustness to misspellings and OOV words.
+  float ngram_weight = 0.0f;
+  size_t ngram_min = 3;
+  size_t ngram_max = 5;
+};
+
+/// Stateless deterministic token embedder shared by all embedding models.
+/// Thread-safe: Encode/Idf only read params and hash.
+class TokenEncoder {
+ public:
+  explicit TokenEncoder(const TokenEncoderParams& params) : params_(params) {}
+
+  const TokenEncoderParams& params() const { return params_; }
+
+  /// Writes the token's vector (length params().dim, NOT normalized) into
+  /// `out`. Returns false — leaving `out` zeroed — when the token is fully
+  /// out of vocabulary and no n-gram component is enabled.
+  bool Encode(const std::string& token, float* out) const;
+
+  /// Deterministic pseudo-idf weight in [0.2, 1.0] of the token's canonical
+  /// sense; shared across encoders so pooling weights agree between models.
+  float Idf(const std::string& token) const;
+
+ private:
+  TokenEncoderParams params_;
+};
+
+}  // namespace ember::embed
+
+#endif  // EMBER_EMBED_TOKEN_ENCODER_H_

@@ -1,0 +1,82 @@
+#include "eval/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace ember::eval {
+
+namespace {
+
+constexpr size_t kHeight = 12;
+constexpr size_t kColWidth = 9;
+constexpr char kMarks[] = "*o+x#@%&";
+
+}  // namespace
+
+void AsciiChart::Print() const {
+  std::printf("%s%s\n", title_.c_str(), log_y_ ? " (log y)" : "");
+  if (series_.empty() || x_labels_.empty()) {
+    std::printf("  (no data)\n\n");
+    return;
+  }
+
+  const auto transform = [this](double v) {
+    return log_y_ ? std::log10(std::max(v, 1e-9)) : v;
+  };
+  double lo = 1e300, hi = -1e300;
+  for (const ChartSeries& s : series_) {
+    for (const double v : s.values) {
+      lo = std::min(lo, transform(v));
+      hi = std::max(hi, transform(v));
+    }
+  }
+  if (lo > hi) {
+    std::printf("  (no data)\n\n");
+    return;
+  }
+  if (hi - lo < 1e-12) hi = lo + 1.0;
+
+  const size_t width = x_labels_.size() * kColWidth;
+  std::vector<std::string> canvas(kHeight, std::string(width, ' '));
+  for (size_t s = 0; s < series_.size(); ++s) {
+    const char mark = kMarks[s % (sizeof(kMarks) - 1)];
+    for (size_t i = 0; i < series_[s].values.size() && i < x_labels_.size();
+         ++i) {
+      const double t = (transform(series_[s].values[i]) - lo) / (hi - lo);
+      const size_t row =
+          kHeight - 1 -
+          std::min(kHeight - 1, static_cast<size_t>(t * (kHeight - 1) + 0.5));
+      const size_t col = i * kColWidth + kColWidth / 2;
+      canvas[row][col] = mark;
+    }
+  }
+
+  const auto axis_value = [this, lo, hi](double t) {
+    const double v = lo + t * (hi - lo);
+    return log_y_ ? std::pow(10.0, v) : v;
+  };
+  for (size_t r = 0; r < kHeight; ++r) {
+    const double t =
+        1.0 - static_cast<double>(r) / static_cast<double>(kHeight - 1);
+    std::printf("%10s |%s\n",
+                r % 3 == 0 ? StrFormat("%.3g", axis_value(t)).c_str() : "",
+                canvas[r].c_str());
+  }
+  std::printf("%10s +%s\n", "", std::string(width, '-').c_str());
+  std::printf("%10s  ", "");
+  for (const std::string& label : x_labels_) {
+    std::printf("%-*s", static_cast<int>(kColWidth), label.c_str());
+  }
+  std::printf("\n  legend: ");
+  for (size_t s = 0; s < series_.size(); ++s) {
+    std::printf("%c=%s ", kMarks[s % (sizeof(kMarks) - 1)],
+                series_[s].label.c_str());
+  }
+  std::printf("\n\n");
+  std::fflush(stdout);
+}
+
+}  // namespace ember::eval

@@ -1,0 +1,35 @@
+#ifndef EMBER_EVAL_ASCII_CHART_H_
+#define EMBER_EVAL_ASCII_CHART_H_
+
+#include <string>
+#include <vector>
+
+namespace ember::eval {
+
+struct ChartSeries {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Minimal multi-series line chart rendered with ASCII characters — enough
+/// to eyeball the trend figures of the paper in a terminal.
+class AsciiChart {
+ public:
+  AsciiChart(std::string title, std::vector<std::string> x_labels)
+      : title_(std::move(title)), x_labels_(std::move(x_labels)) {}
+
+  void AddSeries(ChartSeries series) { series_.push_back(std::move(series)); }
+  void set_log_y(bool log_y) { log_y_ = log_y; }
+
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> x_labels_;
+  std::vector<ChartSeries> series_;
+  bool log_y_ = false;
+};
+
+}  // namespace ember::eval
+
+#endif  // EMBER_EVAL_ASCII_CHART_H_

@@ -1,0 +1,114 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ember::eval {
+
+namespace {
+
+PrfMetrics FromCounts(size_t true_positives, size_t predicted, size_t actual) {
+  PrfMetrics m;
+  m.precision = predicted == 0 ? 0.0
+                               : static_cast<double>(true_positives) /
+                                     static_cast<double>(predicted);
+  m.recall = actual == 0 ? 0.0
+                         : static_cast<double>(true_positives) /
+                               static_cast<double>(actual);
+  m.f1 = m.precision + m.recall == 0
+             ? 0.0
+             : 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  return m;
+}
+
+}  // namespace
+
+PrfMetrics EvaluateCleanCleanCandidates(
+    const std::vector<std::pair<uint32_t, uint32_t>>& candidates,
+    const GroundTruth& truth) {
+  std::set<std::pair<uint32_t, uint32_t>> unique(candidates.begin(),
+                                                 candidates.end());
+  size_t hits = 0;
+  for (const auto& [l, r] : unique) hits += truth.ContainsCleanClean(l, r);
+  return FromCounts(hits, unique.size(), truth.size());
+}
+
+PrfMetrics EvaluateCleanCleanMatches(
+    const std::vector<std::pair<uint32_t, uint32_t>>& predicted,
+    const GroundTruth& truth) {
+  return EvaluateCleanCleanCandidates(predicted, truth);
+}
+
+PrfMetrics EvaluateDirtyCandidates(
+    const std::vector<std::pair<uint32_t, uint32_t>>& candidates,
+    const GroundTruth& truth) {
+  std::set<std::pair<uint32_t, uint32_t>> unique;
+  for (auto [a, b] : candidates) {
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    unique.emplace(a, b);
+  }
+  size_t hits = 0;
+  for (const auto& [a, b] : unique) hits += truth.ContainsDirty(a, b);
+  return FromCounts(hits, unique.size(), truth.size());
+}
+
+std::vector<std::vector<double>> RankMatrix(
+    const std::vector<std::vector<double>>& scores) {
+  std::vector<std::vector<double>> ranks(scores.size());
+  if (scores.empty()) return ranks;
+  const size_t cols = scores[0].size();
+  for (auto& row : ranks) row.assign(cols + 1, 0.0);
+  for (size_t c = 0; c < cols; ++c) {
+    std::vector<size_t> order(scores.size());
+    for (size_t r = 0; r < order.size(); ++r) order[r] = r;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return scores[a][c] > scores[b][c];
+    });
+    // Fractional ranks: tied scores share the average of their positions.
+    size_t i = 0;
+    while (i < order.size()) {
+      size_t j = i;
+      while (j + 1 < order.size() &&
+             scores[order[j + 1]][c] == scores[order[i]][c]) {
+        ++j;
+      }
+      const double shared = (static_cast<double>(i) + static_cast<double>(j)) /
+                                2.0 +
+                            1.0;
+      for (size_t k = i; k <= j; ++k) ranks[order[k]][c] = shared;
+      i = j + 1;
+    }
+  }
+  for (auto& row : ranks) {
+    double sum = 0;
+    for (size_t c = 0; c < cols; ++c) sum += row[c];
+    row[cols] = cols == 0 ? 0.0 : sum / static_cast<double>(cols);
+  }
+  return ranks;
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  double mean_a = 0, mean_b = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0, var_a = 0, var_b = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0 || var_b <= 0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace ember::eval

@@ -1,0 +1,77 @@
+#ifndef EMBER_EVAL_METRICS_H_
+#define EMBER_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace ember::eval {
+
+/// Ground-truth duplicate pairs. Clean-Clean pairs relate a left-collection
+/// index to a right-collection index; dirty pairs relate two record indices
+/// of one collection (stored unordered).
+class GroundTruth {
+ public:
+  void AddCleanCleanPair(uint32_t left, uint32_t right) {
+    pairs_.emplace(left, right);
+  }
+  void AddDirtyPair(uint32_t a, uint32_t b) {
+    if (a > b) std::swap(a, b);
+    pairs_.emplace(a, b);
+  }
+
+  bool ContainsCleanClean(uint32_t left, uint32_t right) const {
+    return pairs_.count({left, right}) > 0;
+  }
+  bool ContainsDirty(uint32_t a, uint32_t b) const {
+    if (a > b) std::swap(a, b);
+    return pairs_.count({a, b}) > 0;
+  }
+
+  size_t size() const { return pairs_.size(); }
+
+ private:
+  std::set<std::pair<uint32_t, uint32_t>> pairs_;
+};
+
+struct PrfMetrics {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+};
+
+/// Precision / recall / F1 of a Clean-Clean candidate (or predicted match)
+/// set against the ground truth. Duplicate candidate pairs count once.
+PrfMetrics EvaluateCleanCleanCandidates(
+    const std::vector<std::pair<uint32_t, uint32_t>>& candidates,
+    const GroundTruth& truth);
+
+/// Alias with match semantics: a predicted match set is scored exactly like
+/// a candidate set (set-level precision / recall / F1).
+PrfMetrics EvaluateCleanCleanMatches(
+    const std::vector<std::pair<uint32_t, uint32_t>>& predicted,
+    const GroundTruth& truth);
+
+/// Same for dirty-ER candidates: pairs within one collection, unordered,
+/// self-pairs ignored.
+PrfMetrics EvaluateDirtyCandidates(
+    const std::vector<std::pair<uint32_t, uint32_t>>& candidates,
+    const GroundTruth& truth);
+
+/// Per-column fractional ranking of the rows of `scores` (higher score ==
+/// better == rank closer to 1; ties share the average rank). Returns one row
+/// per input row holding the per-column ranks with the average rank appended
+/// as the last element.
+std::vector<std::vector<double>> RankMatrix(
+    const std::vector<std::vector<double>>& scores);
+
+/// Pearson correlation coefficient of two equally-sized series (0 when
+/// either side is constant).
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+}  // namespace ember::eval
+
+#endif  // EMBER_EVAL_METRICS_H_

@@ -1,0 +1,74 @@
+#include "eval/report.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace ember::eval {
+
+namespace {
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::Print() const {
+  std::vector<size_t> widths;
+  const auto widen = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::printf("%s\n", title_.c_str());
+  const auto print_row = [&widths](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%s%-*s", c == 0 ? "  " : "  ",
+                  static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    size_t total = 2;
+    for (const size_t w : widths) total += w + 2;
+    std::printf("  %s\n", std::string(total > 4 ? total - 4 : 0, '-').c_str());
+  }
+  for (const auto& row : rows_) print_row(row);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+Status Table::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  const auto write_row = [&out](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << CsvEscape(row[c]);
+    }
+    out << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+  return out ? Status::Ok() : Status::IoError("short write to " + path);
+}
+
+std::string Table::Num(double value, int precision) {
+  return StrFormat("%.*f", precision, value);
+}
+
+}  // namespace ember::eval

@@ -1,0 +1,41 @@
+#ifndef EMBER_EVAL_REPORT_H_
+#define EMBER_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ember::eval {
+
+/// A titled text table: the single rendering primitive of the bench suite.
+/// Print() writes an aligned ASCII table to stdout; WriteCsv() persists the
+/// header + rows as a CSV artifact round-trippable by datagen::ParseCsv.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header) {
+    header_ = std::move(header);
+  }
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  void Print() const;
+  Status WriteCsv(const std::string& path) const;
+
+  /// Fixed-precision numeric cell.
+  static std::string Num(double value, int precision);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ember::eval
+
+#endif  // EMBER_EVAL_REPORT_H_

@@ -1,0 +1,71 @@
+#include "eval/significance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ember::eval {
+
+double BootstrapProbabilityBetter(const std::vector<double>& a,
+                                  const std::vector<double>& b,
+                                  size_t resamples) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.5;
+  Rng rng(0xb0075ULL);
+  size_t wins = 0;
+  for (size_t r = 0; r < resamples; ++r) {
+    double sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t j = rng.Below(n);
+      sum += a[j] - b[j];
+    }
+    wins += sum >= 0;
+  }
+  return static_cast<double>(wins) / static_cast<double>(resamples);
+}
+
+double WilcoxonSignedRankPValue(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  std::vector<double> diffs;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    if (d != 0.0) diffs.push_back(d);
+  }
+  if (diffs.empty()) return 1.0;
+
+  std::vector<size_t> order(diffs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return std::fabs(diffs[x]) < std::fabs(diffs[y]);
+  });
+  std::vector<double> ranks(diffs.size(), 0.0);
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() && std::fabs(diffs[order[j + 1]]) ==
+                                       std::fabs(diffs[order[i]])) {
+      ++j;
+    }
+    const double shared =
+        (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = shared;
+    i = j + 1;
+  }
+
+  double w_plus = 0;
+  for (size_t k = 0; k < diffs.size(); ++k) {
+    if (diffs[k] > 0) w_plus += ranks[k];
+  }
+  const double m = static_cast<double>(diffs.size());
+  const double mean = m * (m + 1.0) / 4.0;
+  const double stddev = std::sqrt(m * (m + 1.0) * (2.0 * m + 1.0) / 24.0);
+  if (stddev <= 0) return 1.0;
+  // Continuity-corrected normal approximation, two-sided.
+  const double z = (std::fabs(w_plus - mean) - 0.5) / stddev;
+  const double p = std::erfc(std::max(0.0, z) / std::sqrt(2.0));
+  return std::min(1.0, p);
+}
+
+}  // namespace ember::eval

@@ -1,0 +1,24 @@
+#ifndef EMBER_EVAL_SIGNIFICANCE_H_
+#define EMBER_EVAL_SIGNIFICANCE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ember::eval {
+
+/// Paired bootstrap over the (small) dataset sample: the probability that
+/// the mean of `a` is >= the mean of `b` when datasets are resampled with
+/// replacement. Deterministic (fixed internal seed).
+double BootstrapProbabilityBetter(const std::vector<double>& a,
+                                  const std::vector<double>& b,
+                                  size_t resamples = 10000);
+
+/// Two-sided Wilcoxon signed-rank test p-value for paired samples (normal
+/// approximation with tie/zero handling; exact enough for n <= 10 sanity
+/// checks).
+double WilcoxonSignedRankPValue(const std::vector<double>& a,
+                                const std::vector<double>& b);
+
+}  // namespace ember::eval
+
+#endif  // EMBER_EVAL_SIGNIFICANCE_H_

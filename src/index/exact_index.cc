@@ -1,0 +1,111 @@
+#include "index/exact_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "la/vector_ops.h"
+
+namespace ember::index {
+
+namespace {
+
+/// Data rows per scoring block: 256 rows x 768 floats ≈ 768 KB streamed
+/// against a query tile that stays L1/L2-resident.
+constexpr size_t kDataBlock = 256;
+/// Queries per GemmBt tile in QueryBatch.
+constexpr size_t kQueryBlock = 16;
+
+/// Fixed-capacity top-k tracker: max-heap on the CloserThan order, so the
+/// root is the current worst kept neighbor.
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(k) { heap_.reserve(k); }
+
+  void Offer(uint32_t id, float distance) {
+    const Neighbor candidate{id, distance};
+    if (heap_.size() < k_) {
+      heap_.push_back(candidate);
+      std::push_heap(heap_.begin(), heap_.end(), CloserThan);
+    } else if (CloserThan(candidate, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), CloserThan);
+      heap_.back() = candidate;
+      std::push_heap(heap_.begin(), heap_.end(), CloserThan);
+    }
+  }
+
+  std::vector<Neighbor> Sorted() && {
+    std::sort(heap_.begin(), heap_.end(), CloserThan);
+    return std::move(heap_);
+  }
+
+ private:
+  size_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+}  // namespace
+
+void ExactIndex::Build(const la::Matrix& data) { data_ = data; }
+
+std::vector<Neighbor> ExactIndex::Query(const float* query, size_t k) const {
+  TopK top(std::min(k, data_.rows()));
+  // Blocked scan: the same row order as the tiled batch path, so results
+  // match bit-for-bit.
+  for (size_t start = 0; start < data_.rows(); start += kDataBlock) {
+    const size_t end = std::min(start + kDataBlock, data_.rows());
+    for (size_t r = start; r < end; ++r) {
+      top.Offer(static_cast<uint32_t>(r),
+                1.f - la::Dot(query, data_.Row(r), data_.cols()));
+    }
+  }
+  return std::move(top).Sorted();
+}
+
+std::vector<std::vector<Neighbor>> ExactIndex::QueryBatch(
+    const la::Matrix& queries, size_t k) const {
+  EMBER_CHECK(queries.cols() == data_.cols() || data_.rows() == 0);
+  std::vector<std::vector<Neighbor>> results(queries.rows());
+  if (data_.rows() == 0) return results;
+  const size_t kept = std::min(k, data_.rows());
+
+  // Parallel over query tiles; each tile writes only its own result slots.
+  // Within a tile, scores come from GemmBt over (tile x data-block) panes —
+  // bit-identical to Dot() per pair — consumed in ascending data order.
+  ParallelFor(0, queries.rows(), kQueryBlock, [&](size_t qb, size_t qe) {
+    for (size_t q0 = qb; q0 < qe; q0 += kQueryBlock) {
+      const size_t q1 = std::min(q0 + kQueryBlock, qe);
+      la::Matrix tile(q1 - q0, queries.cols());
+      for (size_t q = q0; q < q1; ++q) {
+        const float* src = queries.Row(q);
+        std::copy(src, src + queries.cols(), tile.Row(q - q0));
+      }
+      std::vector<TopK> tops;
+      tops.reserve(q1 - q0);
+      for (size_t q = q0; q < q1; ++q) tops.emplace_back(kept);
+
+      for (size_t start = 0; start < data_.rows(); start += kDataBlock) {
+        const size_t end = std::min(start + kDataBlock, data_.rows());
+        la::Matrix block(end - start, data_.cols());
+        for (size_t r = start; r < end; ++r) {
+          const float* src = data_.Row(r);
+          std::copy(src, src + data_.cols(), block.Row(r - start));
+        }
+        const la::Matrix scores = la::GemmBt(tile, block);
+        for (size_t q = q0; q < q1; ++q) {
+          const float* row = scores.Row(q - q0);
+          TopK& top = tops[q - q0];
+          for (size_t r = start; r < end; ++r) {
+            top.Offer(static_cast<uint32_t>(r), 1.f - row[r - start]);
+          }
+        }
+      }
+      for (size_t q = q0; q < q1; ++q) {
+        results[q] = std::move(tops[q - q0]).Sorted();
+      }
+    }
+  });
+  return results;
+}
+
+}  // namespace ember::index

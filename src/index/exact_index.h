@@ -1,0 +1,39 @@
+#ifndef EMBER_INDEX_EXACT_INDEX_H_
+#define EMBER_INDEX_EXACT_INDEX_H_
+
+#include <vector>
+
+#include "index/neighbor.h"
+#include "la/matrix.h"
+
+namespace ember::index {
+
+/// Brute-force cosine index. Scoring is cache-blocked: batched queries tile
+/// (query block x data block) through the GemmBt micro-kernel, which
+/// accumulates every score in exactly the scalar Dot() order — so the
+/// blocked path returns bit-identical results to the naive per-pair scan,
+/// and QueryBatch is bit-identical at every thread count (each query owns
+/// its result slot; the data scan order never changes).
+class ExactIndex {
+ public:
+  void Build(const la::Matrix& data);
+
+  size_t size() const { return data_.rows(); }
+  size_t dim() const { return data_.cols(); }
+
+  /// Top-k by ascending cosine distance, ties by ascending id. Returns
+  /// min(k, size()) neighbors.
+  std::vector<Neighbor> Query(const float* query, size_t k) const;
+
+  /// Batched queries, parallelized over per-query chunks of the global
+  /// thread pool with one top-k heap per query.
+  std::vector<std::vector<Neighbor>> QueryBatch(const la::Matrix& queries,
+                                                size_t k) const;
+
+ private:
+  la::Matrix data_;
+};
+
+}  // namespace ember::index
+
+#endif  // EMBER_INDEX_EXACT_INDEX_H_

@@ -1,0 +1,175 @@
+#include "index/hnsw_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "la/vector_ops.h"
+
+namespace ember::index {
+
+namespace {
+
+/// Max-heap comparator (worst on top) for the result set.
+bool WorseOnTop(const Neighbor& a, const Neighbor& b) {
+  return CloserThan(a, b);
+}
+
+/// Min-heap comparator (best on top) for the expansion frontier.
+bool BestOnTop(const Neighbor& a, const Neighbor& b) {
+  return CloserThan(b, a);
+}
+
+}  // namespace
+
+float HnswIndex::DistanceTo(const float* query, uint32_t node) const {
+  return 1.f - la::Dot(query, data_.Row(node), data_.cols());
+}
+
+std::vector<uint32_t>& HnswIndex::NeighborsOf(uint32_t node, size_t level) {
+  return links_[node][level];
+}
+
+const std::vector<uint32_t>& HnswIndex::NeighborsOf(uint32_t node,
+                                                    size_t level) const {
+  return links_[node][level];
+}
+
+std::vector<Neighbor> HnswIndex::SearchLayer(const float* query,
+                                             Neighbor entry, size_t ef,
+                                             size_t level) const {
+  std::vector<char> visited(data_.rows(), 0);
+  visited[entry.id] = 1;
+  std::vector<Neighbor> frontier = {entry};  // min-heap
+  std::vector<Neighbor> best = {entry};      // max-heap, capped at ef
+  while (!frontier.empty()) {
+    std::pop_heap(frontier.begin(), frontier.end(), BestOnTop);
+    const Neighbor current = frontier.back();
+    frontier.pop_back();
+    if (best.size() >= ef && CloserThan(best.front(), current)) break;
+    for (const uint32_t next : NeighborsOf(current.id, level)) {
+      if (visited[next]) continue;
+      visited[next] = 1;
+      const Neighbor candidate{next, DistanceTo(query, next)};
+      if (best.size() < ef || CloserThan(candidate, best.front())) {
+        frontier.push_back(candidate);
+        std::push_heap(frontier.begin(), frontier.end(), BestOnTop);
+        best.push_back(candidate);
+        std::push_heap(best.begin(), best.end(), WorseOnTop);
+        if (best.size() > ef) {
+          std::pop_heap(best.begin(), best.end(), WorseOnTop);
+          best.pop_back();
+        }
+      }
+    }
+  }
+  std::sort(best.begin(), best.end(), CloserThan);
+  return best;
+}
+
+void HnswIndex::Insert(uint32_t node, size_t node_level) {
+  const float* vec = data_.Row(node);
+  Neighbor entry{entry_, DistanceTo(vec, entry_)};
+
+  // Greedy descent through levels above the node's top level.
+  for (size_t level = max_level_; level > node_level; --level) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (const uint32_t next : NeighborsOf(entry.id, level)) {
+        const float d = DistanceTo(vec, next);
+        if (d < entry.distance) {
+          entry = {next, d};
+          improved = true;
+        }
+      }
+    }
+  }
+
+  // Connect on [min(node_level, max_level_) .. 0].
+  for (size_t level = std::min(node_level, max_level_) + 1; level-- > 0;) {
+    const std::vector<Neighbor> found =
+        SearchLayer(vec, entry, options_.ef_construction, level);
+    const size_t cap = level == 0 ? 2 * options_.m : options_.m;
+    std::vector<uint32_t>& mine = NeighborsOf(node, level);
+    for (const Neighbor& n : found) {
+      if (mine.size() >= cap) break;
+      mine.push_back(n.id);
+      std::vector<uint32_t>& theirs = NeighborsOf(n.id, level);
+      theirs.push_back(node);
+      if (theirs.size() > cap) {
+        // Keep the cap closest links of the overfull node (simple pruning).
+        std::vector<Neighbor> ranked;
+        ranked.reserve(theirs.size());
+        for (const uint32_t t : theirs) {
+          ranked.push_back({t, DistanceTo(data_.Row(n.id), t)});
+        }
+        std::sort(ranked.begin(), ranked.end(), CloserThan);
+        theirs.clear();
+        for (size_t i = 0; i < cap; ++i) theirs.push_back(ranked[i].id);
+      }
+    }
+    entry = found.front();
+  }
+
+  if (node_level > max_level_) {
+    max_level_ = node_level;
+    entry_ = node;
+  }
+}
+
+void HnswIndex::Build(const la::Matrix& data) {
+  data_ = data;
+  links_.assign(data_.rows(), {});
+  if (data_.rows() == 0) return;
+
+  const double level_mult = 1.0 / std::log(static_cast<double>(options_.m));
+  Rng rng(SplitMix64(options_.seed ^ 0x6a57ULL));
+  entry_ = 0;
+  max_level_ = 0;
+  for (uint32_t node = 0; node < data_.rows(); ++node) {
+    double u = rng.Uniform();
+    if (u <= 1e-12) u = 1e-12;
+    const size_t node_level = static_cast<size_t>(-std::log(u) * level_mult);
+    links_[node].assign(node_level + 1, {});
+    if (node == 0) {
+      max_level_ = node_level;
+      continue;
+    }
+    Insert(node, node_level);
+  }
+}
+
+std::vector<Neighbor> HnswIndex::Query(const float* query, size_t k) const {
+  if (data_.rows() == 0) return {};
+  Neighbor entry{entry_, DistanceTo(query, entry_)};
+  for (size_t level = max_level_; level > 0; --level) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (const uint32_t next : NeighborsOf(entry.id, level)) {
+        const float d = DistanceTo(query, next);
+        if (d < entry.distance) {
+          entry = {next, d};
+          improved = true;
+        }
+      }
+    }
+  }
+  std::vector<Neighbor> best =
+      SearchLayer(query, entry, std::max(k, options_.ef_search), 0);
+  if (best.size() > k) best.resize(k);
+  return best;
+}
+
+std::vector<std::vector<Neighbor>> HnswIndex::QueryBatch(
+    const la::Matrix& queries, size_t k) const {
+  std::vector<std::vector<Neighbor>> results(queries.rows());
+  ParallelForEach(0, queries.rows(), 0, [&](size_t q) {
+    results[q] = Query(queries.Row(q), k);
+  });
+  return results;
+}
+
+}  // namespace ember::index

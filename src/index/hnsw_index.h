@@ -1,0 +1,60 @@
+#ifndef EMBER_INDEX_HNSW_INDEX_H_
+#define EMBER_INDEX_HNSW_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/neighbor.h"
+#include "la/matrix.h"
+
+namespace ember::index {
+
+/// HNSW build/search parameters (Malkov & Yashunin defaults scaled to
+/// ember's dataset sizes).
+struct HnswOptions {
+  size_t m = 16;               // neighbors kept per node above level 0
+  size_t ef_construction = 100;
+  size_t ef_search = 64;
+  uint64_t seed = 1;
+};
+
+/// Hierarchical Navigable Small World graph over normalized vectors.
+/// Build is sequential and deterministic in (data, options). Search is
+/// const and thread-safe; QueryBatch parallelizes over queries and is
+/// bit-identical at every thread count (per-query results depend only on
+/// the graph and the query).
+class HnswIndex {
+ public:
+  HnswIndex() = default;
+  explicit HnswIndex(const HnswOptions& options) : options_(options) {}
+
+  void Build(const la::Matrix& data);
+
+  size_t size() const { return data_.rows(); }
+
+  std::vector<Neighbor> Query(const float* query, size_t k) const;
+
+  std::vector<std::vector<Neighbor>> QueryBatch(const la::Matrix& queries,
+                                                size_t k) const;
+
+ private:
+  float DistanceTo(const float* query, uint32_t node) const;
+  /// Beam search on one level starting from `entry`; returns up to `ef`
+  /// closest nodes, ascending.
+  std::vector<Neighbor> SearchLayer(const float* query, Neighbor entry,
+                                    size_t ef, size_t level) const;
+  void Insert(uint32_t node, size_t node_level);
+  std::vector<uint32_t>& NeighborsOf(uint32_t node, size_t level);
+  const std::vector<uint32_t>& NeighborsOf(uint32_t node, size_t level) const;
+
+  HnswOptions options_;
+  la::Matrix data_;
+  /// links_[node][level] -> neighbor ids; node exists on [0, levels(node)].
+  std::vector<std::vector<std::vector<uint32_t>>> links_;
+  uint32_t entry_ = 0;
+  size_t max_level_ = 0;
+};
+
+}  // namespace ember::index
+
+#endif  // EMBER_INDEX_HNSW_INDEX_H_

@@ -1,0 +1,71 @@
+#include "index/lsh_index.h"
+
+#include <algorithm>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "la/vector_ops.h"
+
+namespace ember::index {
+
+uint32_t LshIndex::HashOf(const float* vector, size_t table) const {
+  uint32_t code = 0;
+  for (size_t b = 0; b < options_.bits; ++b) {
+    const float* plane = planes_.Row(table * options_.bits + b);
+    code = (code << 1) |
+           (la::Dot(vector, plane, data_.cols()) >= 0.f ? 1u : 0u);
+  }
+  return code;
+}
+
+void LshIndex::Build(const la::Matrix& data) {
+  data_ = data;
+  buckets_.assign(options_.tables, {});
+  if (data_.rows() == 0) return;
+  planes_ = la::Matrix(options_.tables * options_.bits, data_.cols());
+  Rng rng(SplitMix64(options_.seed ^ 0x15aULL));
+  planes_.FillGaussian(rng, 1.f);
+  for (uint32_t r = 0; r < data_.rows(); ++r) {
+    for (size_t t = 0; t < options_.tables; ++t) {
+      buckets_[t][HashOf(data_.Row(r), t)].push_back(r);
+    }
+  }
+}
+
+std::vector<Neighbor> LshIndex::Query(const float* query, size_t k) const {
+  if (data_.rows() == 0) return {};
+  const size_t kept = std::min(k, data_.rows());
+  std::vector<uint32_t> candidates;
+  for (size_t t = 0; t < options_.tables; ++t) {
+    const auto it = buckets_[t].find(HashOf(query, t));
+    if (it == buckets_[t].end()) continue;
+    candidates.insert(candidates.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  if (candidates.size() < kept) {
+    // Bucket miss: exact fallback keeps the k-per-query contract.
+    candidates.resize(data_.rows());
+    for (uint32_t r = 0; r < data_.rows(); ++r) candidates[r] = r;
+  }
+  std::vector<Neighbor> ranked;
+  ranked.reserve(candidates.size());
+  for (const uint32_t r : candidates) {
+    ranked.push_back({r, 1.f - la::Dot(query, data_.Row(r), data_.cols())});
+  }
+  std::sort(ranked.begin(), ranked.end(), CloserThan);
+  ranked.resize(kept);
+  return ranked;
+}
+
+std::vector<std::vector<Neighbor>> LshIndex::QueryBatch(
+    const la::Matrix& queries, size_t k) const {
+  std::vector<std::vector<Neighbor>> results(queries.rows());
+  ParallelForEach(0, queries.rows(), 0, [&](size_t q) {
+    results[q] = Query(queries.Row(q), k);
+  });
+  return results;
+}
+
+}  // namespace ember::index

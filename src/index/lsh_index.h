@@ -1,0 +1,48 @@
+#ifndef EMBER_INDEX_LSH_INDEX_H_
+#define EMBER_INDEX_LSH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "index/neighbor.h"
+#include "la/matrix.h"
+
+namespace ember::index {
+
+struct LshOptions {
+  size_t tables = 8;
+  size_t bits = 12;
+  uint64_t seed = 1;
+};
+
+/// Random-hyperplane (SimHash) LSH for cosine similarity. Candidates are
+/// gathered from the query's bucket in every table and re-ranked exactly;
+/// when the buckets yield fewer than k candidates the query falls back to
+/// an exact scan, so callers always receive min(k, size()) results.
+class LshIndex {
+ public:
+  LshIndex() = default;
+  explicit LshIndex(const LshOptions& options) : options_(options) {}
+
+  void Build(const la::Matrix& data);
+
+  size_t size() const { return data_.rows(); }
+
+  std::vector<Neighbor> Query(const float* query, size_t k) const;
+
+  std::vector<std::vector<Neighbor>> QueryBatch(const la::Matrix& queries,
+                                                size_t k) const;
+
+ private:
+  uint32_t HashOf(const float* vector, size_t table) const;
+
+  LshOptions options_;
+  la::Matrix data_;
+  la::Matrix planes_;  // (tables * bits) x dim
+  std::vector<std::unordered_map<uint32_t, std::vector<uint32_t>>> buckets_;
+};
+
+}  // namespace ember::index
+
+#endif  // EMBER_INDEX_LSH_INDEX_H_

@@ -1,0 +1,25 @@
+#ifndef EMBER_INDEX_NEIGHBOR_H_
+#define EMBER_INDEX_NEIGHBOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ember::index {
+
+/// One nearest-neighbor result. Distance is cosine distance (1 - dot) over
+/// the normalized vectors all ember indexes store.
+struct Neighbor {
+  uint32_t id = 0;
+  float distance = 0.f;
+};
+
+/// Strict-weak order used everywhere results are ranked: ascending
+/// distance, ties broken by ascending id — total and deterministic.
+inline bool CloserThan(const Neighbor& a, const Neighbor& b) {
+  return a.distance < b.distance ||
+         (a.distance == b.distance && a.id < b.id);
+}
+
+}  // namespace ember::index
+
+#endif  // EMBER_INDEX_NEIGHBOR_H_

@@ -1,0 +1,68 @@
+#include "index/overlap_blocker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.h"
+#include "text/tokenizer.h"
+
+namespace ember::index {
+
+void OverlapBlocker::Build(const std::vector<std::string>& sentences) {
+  postings_.clear();
+  size_ = sentences.size();
+  for (uint32_t i = 0; i < sentences.size(); ++i) {
+    std::vector<std::string> tokens = text::Tokenize(sentences[i]);
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    for (const std::string& token : tokens) {
+      postings_[token].push_back(i);
+    }
+  }
+}
+
+std::vector<uint32_t> OverlapBlocker::Query(const std::string& sentence,
+                                            size_t max_per_query) const {
+  std::vector<std::string> tokens = text::Tokenize(sentence);
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+
+  std::unordered_map<uint32_t, double> scores;
+  for (const std::string& token : tokens) {
+    const auto it = postings_.find(token);
+    if (it == postings_.end()) continue;
+    // Rare shared tokens are the informative ones.
+    const double idf =
+        std::log(1.0 + static_cast<double>(size_) /
+                           static_cast<double>(it->second.size()));
+    for (const uint32_t id : it->second) scores[id] += idf;
+  }
+
+  std::vector<std::pair<double, uint32_t>> ranked;
+  ranked.reserve(scores.size());
+  for (const auto& [id, score] : scores) ranked.push_back({score, id});
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.first > b.first || (a.first == b.first && a.second < b.second);
+  });
+  if (ranked.size() > max_per_query) ranked.resize(max_per_query);
+
+  std::vector<uint32_t> out;
+  out.reserve(ranked.size());
+  for (const auto& [score, id] : ranked) out.push_back(id);
+  return out;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> OverlapBlocker::CandidatesAgainst(
+    const std::vector<std::string>& queries, size_t max_per_query) const {
+  std::vector<std::vector<uint32_t>> per_query(queries.size());
+  ParallelForEach(0, queries.size(), 0, [&](size_t q) {
+    per_query[q] = Query(queries[q], max_per_query);
+  });
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    for (const uint32_t id : per_query[q]) out.emplace_back(q, id);
+  }
+  return out;
+}
+
+}  // namespace ember::index

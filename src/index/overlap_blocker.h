@@ -1,0 +1,39 @@
+#ifndef EMBER_INDEX_OVERLAP_BLOCKER_H_
+#define EMBER_INDEX_OVERLAP_BLOCKER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ember::index {
+
+/// Token-overlap blocker (the classic symbolic baseline, used by the ZeroER
+/// reproduction for candidate generation): an inverted index over tokens,
+/// candidates ranked by idf-weighted shared-token count.
+class OverlapBlocker {
+ public:
+  void Build(const std::vector<std::string>& sentences);
+
+  size_t size() const { return size_; }
+
+  /// Up to max_per_query candidate ids per query sentence, best overlap
+  /// first, ties by ascending id. Queries with no shared token return
+  /// nothing.
+  std::vector<uint32_t> Query(const std::string& sentence,
+                              size_t max_per_query) const;
+
+  /// (query_index, candidate_id) pairs over a whole query collection,
+  /// parallelized over queries.
+  std::vector<std::pair<uint32_t, uint32_t>> CandidatesAgainst(
+      const std::vector<std::string>& queries, size_t max_per_query) const;
+
+ private:
+  std::unordered_map<std::string, std::vector<uint32_t>> postings_;
+  size_t size_ = 0;
+};
+
+}  // namespace ember::index
+
+#endif  // EMBER_INDEX_OVERLAP_BLOCKER_H_

@@ -1,0 +1,50 @@
+#ifndef EMBER_LA_MATRIX_H_
+#define EMBER_LA_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ember::la {
+
+/// Dense row-major float matrix. Rows are contiguous, so Row(r) is a valid
+/// length-cols() float span for the kernels in vector_ops.h.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.f) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  float* Row(size_t r) { return data_.data() + r * cols_; }
+  const float* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Fills every entry with an independent N(0, stddev^2) draw from rng.
+  void FillGaussian(Rng& rng, float stddev) {
+    for (float& v : data_) v = static_cast<float>(rng.Gaussian()) * stddev;
+  }
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace ember::la
+
+#endif  // EMBER_LA_MATRIX_H_

@@ -1,0 +1,168 @@
+#include "la/vector_ops.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+
+namespace ember::la {
+
+namespace {
+
+/// Reduces kDotLanes partial sums in a fixed pairwise order. Keeping the
+/// reduction shape constant is what makes the blocked and scalar paths
+/// bit-identical.
+inline float ReduceLanes(const float* acc) {
+  float a01 = acc[0] + acc[1];
+  float a23 = acc[2] + acc[3];
+  float a45 = acc[4] + acc[5];
+  float a67 = acc[6] + acc[7];
+  return (a01 + a23) + (a45 + a67);
+}
+
+inline void DotLanes(const float* a, const float* b, size_t n, float* acc) {
+  for (size_t l = 0; l < kDotLanes; ++l) acc[l] = 0.f;
+  size_t i = 0;
+  for (; i + kDotLanes <= n; i += kDotLanes) {
+    for (size_t l = 0; l < kDotLanes; ++l) acc[l] += a[i + l] * b[i + l];
+  }
+  for (; i < n; ++i) acc[i % kDotLanes] += a[i] * b[i];
+}
+
+}  // namespace
+
+float Dot(const float* a, const float* b, size_t n) {
+  float acc[kDotLanes];
+  DotLanes(a, b, n, acc);
+  return ReduceLanes(acc);
+}
+
+float SquaredDistance(const float* a, const float* b, size_t n) {
+  float acc[kDotLanes] = {0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f};
+  size_t i = 0;
+  for (; i + kDotLanes <= n; i += kDotLanes) {
+    for (size_t l = 0; l < kDotLanes; ++l) {
+      const float d = a[i + l] - b[i + l];
+      acc[l] += d * d;
+    }
+  }
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    acc[i % kDotLanes] += d * d;
+  }
+  return ReduceLanes(acc);
+}
+
+void Axpy(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Scale(float alpha, float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+float Norm(const float* x, size_t n) { return std::sqrt(Dot(x, x, n)); }
+
+void NormalizeInPlace(float* x, size_t n) {
+  const float norm = Norm(x, n);
+  if (norm > 0.f) Scale(1.f / norm, x, n);
+}
+
+Matrix GemmBt(const Matrix& a, const Matrix& b) {
+  EMBER_CHECK(a.cols() == b.cols());
+  const size_t m = a.rows(), n = b.rows(), k = a.cols();
+  Matrix c(m, n);
+  // Register-blocked 4x4 micro-kernel inside L2-sized row tiles. Each output
+  // element keeps its own kDotLanes accumulators walked in Dot() order, so
+  // blocking changes memory traffic but not a single bit of the result.
+  constexpr size_t kTileA = 64;
+  constexpr size_t kTileB = 64;
+  constexpr size_t kMr = 4;
+  constexpr size_t kNr = 4;
+  for (size_t i0 = 0; i0 < m; i0 += kTileA) {
+    const size_t i1 = std::min(m, i0 + kTileA);
+    for (size_t j0 = 0; j0 < n; j0 += kTileB) {
+      const size_t j1 = std::min(n, j0 + kTileB);
+      size_t i = i0;
+      for (; i + kMr <= i1; i += kMr) {
+        size_t j = j0;
+        for (; j + kNr <= j1; j += kNr) {
+          float acc[kMr][kNr][kDotLanes] = {};
+          size_t p = 0;
+          for (; p + kDotLanes <= k; p += kDotLanes) {
+            for (size_t r = 0; r < kMr; ++r) {
+              const float* ar = a.Row(i + r) + p;
+              for (size_t s = 0; s < kNr; ++s) {
+                const float* bs = b.Row(j + s) + p;
+                for (size_t l = 0; l < kDotLanes; ++l) {
+                  acc[r][s][l] += ar[l] * bs[l];
+                }
+              }
+            }
+          }
+          for (; p < k; ++p) {
+            for (size_t r = 0; r < kMr; ++r) {
+              for (size_t s = 0; s < kNr; ++s) {
+                acc[r][s][p % kDotLanes] += a.At(i + r, p) * b.At(j + s, p);
+              }
+            }
+          }
+          for (size_t r = 0; r < kMr; ++r) {
+            for (size_t s = 0; s < kNr; ++s) {
+              c.At(i + r, j + s) = ReduceLanes(acc[r][s]);
+            }
+          }
+        }
+        for (; j < j1; ++j) {
+          for (size_t r = 0; r < kMr; ++r) {
+            c.At(i + r, j) = Dot(a.Row(i + r), b.Row(j), k);
+          }
+        }
+      }
+      for (; i < i1; ++i) {
+        for (size_t j = j0; j < j1; ++j) {
+          c.At(i, j) = Dot(a.Row(i), b.Row(j), k);
+        }
+      }
+    }
+  }
+  return c;
+}
+
+void Gemv(const Matrix& m, const float* x, float* out) {
+  for (size_t r = 0; r < m.rows(); ++r) out[r] = Dot(m.Row(r), x, m.cols());
+}
+
+void SoftmaxInPlace(float* x, size_t n) {
+  if (n == 0) return;
+  float max = x[0];
+  for (size_t i = 1; i < n; ++i) max = std::max(max, x[i]);
+  float sum = 0.f;
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = std::exp(x[i] - max);
+    sum += x[i];
+  }
+  if (sum > 0.f) Scale(1.f / sum, x, n);
+}
+
+void LayerNormInPlace(float* x, size_t n, const float* gain,
+                      const float* bias) {
+  if (n == 0) return;
+  float mean = 0.f;
+  for (size_t i = 0; i < n; ++i) mean += x[i];
+  mean /= static_cast<float>(n);
+  float var = 0.f;
+  for (size_t i = 0; i < n; ++i) {
+    const float d = x[i] - mean;
+    var += d * d;
+  }
+  var /= static_cast<float>(n);
+  const float inv = 1.f / std::sqrt(var + 1e-5f);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = (x[i] - mean) * inv;
+    if (gain != nullptr) x[i] *= gain[i];
+    if (bias != nullptr) x[i] += bias[i];
+  }
+}
+
+}  // namespace ember::la

@@ -1,0 +1,53 @@
+#ifndef EMBER_LA_VECTOR_OPS_H_
+#define EMBER_LA_VECTOR_OPS_H_
+
+#include <cstddef>
+
+#include "la/matrix.h"
+
+namespace ember::la {
+
+/// Number of independent accumulator lanes in the unrolled kernels. The
+/// lane-partitioned accumulation order is fixed in source, so results are
+/// bit-identical whether or not the compiler vectorizes the lane loop, and
+/// identical between the scalar one-pair path and the blocked GEMM path.
+inline constexpr size_t kDotLanes = 8;
+
+/// Dot product with 8 independent partial sums (auto-vectorizes under -O3)
+/// and a fixed pairwise lane reduction.
+float Dot(const float* a, const float* b, size_t n);
+
+/// Squared Euclidean distance, same lane structure as Dot.
+float SquaredDistance(const float* a, const float* b, size_t n);
+
+/// y += alpha * x.
+void Axpy(float alpha, const float* x, float* y, size_t n);
+
+/// x *= alpha.
+void Scale(float alpha, float* x, size_t n);
+
+/// Euclidean norm (sqrt of the lane-reduced Dot(x, x)).
+float Norm(const float* x, size_t n);
+
+/// x /= ||x|| (no-op on the zero vector). Fused single pass over the lanes
+/// for the norm, then one scale pass.
+void NormalizeInPlace(float* x, size_t n);
+
+/// C = A * B^T, where A is (m x k) and B is (n x k); C is (m x n). Uses a
+/// register-blocked micro-kernel tiled for L2 residency; every C entry is
+/// accumulated in exactly the Dot() lane order, so GemmBt(a, b).At(i, j) ==
+/// Dot(a.Row(i), b.Row(j), k) bit-for-bit.
+Matrix GemmBt(const Matrix& a, const Matrix& b);
+
+/// out[i] = Dot(m.Row(i), x) for every row of m.
+void Gemv(const Matrix& m, const float* x, float* out);
+
+/// In-place softmax over x[0..n).
+void SoftmaxInPlace(float* x, size_t n);
+
+/// In-place layer norm (mean 0, variance 1, then gain/bias) over x[0..n).
+void LayerNormInPlace(float* x, size_t n, const float* gain, const float* bias);
+
+}  // namespace ember::la
+
+#endif  // EMBER_LA_VECTOR_OPS_H_

@@ -1,0 +1,97 @@
+#include "match/supervised.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/timer.h"
+#include "la/vector_ops.h"
+
+namespace ember::match {
+
+namespace {
+
+/// [|l - r| ; l * r ; cos(l, r)] for one pair of embedding rows.
+void PairFeatures(const float* l, const float* r, size_t dim, float* out) {
+  for (size_t d = 0; d < dim; ++d) out[d] = std::fabs(l[d] - r[d]);
+  for (size_t d = 0; d < dim; ++d) out[dim + d] = l[d] * r[d];
+  out[2 * dim] = la::Dot(l, r, dim);  // rows are L2-normalized
+}
+
+/// Vectorizes a split (left column then right column, one batch each so the
+/// parallel fan-out sees large batches) and emits the pair feature matrix.
+la::Matrix FeaturizeSplit(embed::EmbeddingModel& model,
+                          const std::vector<datagen::DsmPair>& split) {
+  const size_t dim = model.info().dim;
+  std::vector<std::string> lefts, rights;
+  lefts.reserve(split.size());
+  rights.reserve(split.size());
+  for (const datagen::DsmPair& pair : split) {
+    lefts.push_back(pair.left);
+    rights.push_back(pair.right);
+  }
+  const la::Matrix lvec = model.VectorizeAll(lefts);
+  const la::Matrix rvec = model.VectorizeAll(rights);
+  la::Matrix features(split.size(), 2 * dim + 1);
+  for (size_t i = 0; i < split.size(); ++i) {
+    PairFeatures(lvec.Row(i), rvec.Row(i), dim, features.Row(i));
+  }
+  return features;
+}
+
+std::vector<int> Labels(const std::vector<datagen::DsmPair>& split) {
+  std::vector<int> labels(split.size());
+  for (size_t i = 0; i < split.size(); ++i) labels[i] = split[i].label ? 1 : 0;
+  return labels;
+}
+
+}  // namespace
+
+SupervisedMatcher::SupervisedMatcher(embed::EmbeddingModel& model,
+                                     const SupervisedOptions& options)
+    : model_(model), options_(options) {}
+
+SupervisedOptions SupervisedMatcher::DefaultOptionsFor(
+    const embed::ModelInfo& info) {
+  SupervisedOptions options;
+  options.mlp.input_dim = 2 * info.dim + 1;
+  return options;
+}
+
+SupervisedReport SupervisedMatcher::TrainAndEvaluate(
+    const datagen::DsmDataset& data) {
+  model_.Initialize();
+  SupervisedReport report;
+
+  WallTimer train_timer;
+  const la::Matrix train_features = FeaturizeSplit(model_, data.train);
+  const std::vector<int> train_labels = Labels(data.train);
+  nn::MlpClassifier classifier(options_.mlp);
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    report.final_train_loss =
+        classifier.TrainEpoch(train_features, train_labels);
+  }
+  report.train_seconds = train_timer.Seconds();
+
+  WallTimer test_timer;
+  const la::Matrix test_features = FeaturizeSplit(model_, data.test);
+  size_t tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < data.test.size(); ++i) {
+    const bool predicted =
+        classifier.Predict(test_features.Row(i)) >= options_.decision_threshold;
+    const bool actual = data.test[i].label;
+    tp += predicted && actual;
+    fp += predicted && !actual;
+    fn += !predicted && actual;
+  }
+  report.test_seconds = test_timer.Seconds();
+  report.test_metrics.precision = tp + fp ? double(tp) / double(tp + fp) : 0;
+  report.test_metrics.recall = tp + fn ? double(tp) / double(tp + fn) : 0;
+  const double pr = report.test_metrics.precision + report.test_metrics.recall;
+  report.test_metrics.f1 =
+      pr > 0 ? 2 * report.test_metrics.precision * report.test_metrics.recall /
+                   pr
+             : 0;
+  return report;
+}
+
+}  // namespace ember::match

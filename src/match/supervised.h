@@ -1,0 +1,49 @@
+#ifndef EMBER_MATCH_SUPERVISED_H_
+#define EMBER_MATCH_SUPERVISED_H_
+
+#include <cstdint>
+
+#include "datagen/dsm_datasets.h"
+#include "embed/embedding_model.h"
+#include "embed/model_registry.h"
+#include "eval/metrics.h"
+#include "nn/mlp.h"
+
+namespace ember::match {
+
+struct SupervisedOptions {
+  nn::MlpClassifier::Options mlp;
+  size_t epochs = 12;
+  float decision_threshold = 0.5f;
+};
+
+struct SupervisedReport {
+  eval::PrfMetrics test_metrics;
+  /// Vectorization of the train split + MLP epochs (Table 6 t_t).
+  double train_seconds = 0;
+  /// Vectorization of the test split + prediction (Table 6 t_e).
+  double test_seconds = 0;
+  float final_train_loss = 0;
+};
+
+/// Supervised matching (Section 4.4): each labelled pair (l, r) becomes the
+/// feature vector [|l - r| ; l * r ; cos(l, r)] over the model's embeddings,
+/// classified by a small MLP.
+class SupervisedMatcher {
+ public:
+  SupervisedMatcher(embed::EmbeddingModel& model,
+                    const SupervisedOptions& options);
+
+  /// Options sized for `info` (mlp.input_dim = 2 * dim + 1).
+  static SupervisedOptions DefaultOptionsFor(const embed::ModelInfo& info);
+
+  SupervisedReport TrainAndEvaluate(const datagen::DsmDataset& data);
+
+ private:
+  embed::EmbeddingModel& model_;
+  SupervisedOptions options_;
+};
+
+}  // namespace ember::match
+
+#endif  // EMBER_MATCH_SUPERVISED_H_

@@ -1,0 +1,129 @@
+#include "match/unsupervised.h"
+
+#include <algorithm>
+
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "la/vector_ops.h"
+
+namespace ember::match {
+
+namespace {
+
+/// Above this many total pairs, keep only the per-left top candidates.
+constexpr size_t kDensePairCap = 4u << 20;
+constexpr size_t kTopPerLeft = 64;
+/// Left rows per GemmBt panel.
+constexpr size_t kPanelRows = 128;
+
+}  // namespace
+
+const char* ClusteringAlgorithmName(ClusteringAlgorithm algorithm) {
+  switch (algorithm) {
+    case ClusteringAlgorithm::kUmc:
+      return "UMC";
+    case ClusteringAlgorithm::kExact:
+      return "EXC";
+    case ClusteringAlgorithm::kKiraly:
+      return "KRC";
+  }
+  return "?";
+}
+
+std::vector<cluster::ScoredPair> UnsupervisedMatcher::AllPairSimilarities(
+    const la::Matrix& left, const la::Matrix& right) {
+  const size_t n_left = left.rows(), n_right = right.rows();
+  const bool dense = n_left * n_right <= kDensePairCap;
+  const size_t per_left = dense ? n_right : std::min(kTopPerLeft, n_right);
+
+  std::vector<cluster::ScoredPair> pairs(n_left * per_left);
+  // Panel the left side through GemmBt; each panel writes its own disjoint
+  // slice of `pairs`, so the parallel fan-out is bit-deterministic.
+  ParallelFor(0, n_left, kPanelRows, [&](size_t begin, size_t end) {
+    for (size_t p0 = begin; p0 < end; p0 += kPanelRows) {
+      const size_t p1 = std::min(p0 + kPanelRows, end);
+      la::Matrix panel(p1 - p0, left.cols());
+      for (size_t r = p0; r < p1; ++r) {
+        const float* src = left.Row(r);
+        std::copy(src, src + left.cols(), panel.Row(r - p0));
+      }
+      const la::Matrix scores = la::GemmBt(panel, right);
+      for (size_t r = p0; r < p1; ++r) {
+        const float* row = scores.Row(r - p0);
+        cluster::ScoredPair* out = pairs.data() + r * per_left;
+        if (dense) {
+          for (size_t c = 0; c < n_right; ++c) {
+            out[c] = {static_cast<uint32_t>(r), static_cast<uint32_t>(c),
+                      0.5f * (1.f + row[c])};
+          }
+        } else {
+          // Deterministic partial selection of the per-left top candidates.
+          std::vector<cluster::ScoredPair> ranked(n_right);
+          for (size_t c = 0; c < n_right; ++c) {
+            ranked[c] = {static_cast<uint32_t>(r), static_cast<uint32_t>(c),
+                         0.5f * (1.f + row[c])};
+          }
+          std::partial_sort(ranked.begin(), ranked.begin() + per_left,
+                            ranked.end(),
+                            [](const cluster::ScoredPair& a,
+                               const cluster::ScoredPair& b) {
+                              return a.sim > b.sim ||
+                                     (a.sim == b.sim && a.right < b.right);
+                            });
+          std::copy(ranked.begin(), ranked.begin() + per_left, out);
+        }
+      }
+    }
+  });
+  return pairs;
+}
+
+SweepResult UnsupervisedMatcher::Sweep(std::vector<cluster::ScoredPair>& pairs,
+                                       size_t n_left, size_t n_right,
+                                       const eval::GroundTruth& truth,
+                                       ClusteringAlgorithm algorithm) {
+  WallTimer sweep_timer;
+  cluster::SortPairsDescending(pairs);
+
+  SweepResult result;
+  result.best.metrics = eval::PrfMetrics{};
+  bool have_best = false;
+  for (int step = 1; step <= 19; ++step) {
+    const float threshold = static_cast<float>(step) * 0.05f;
+    WallTimer timer;
+    std::vector<std::pair<uint32_t, uint32_t>> matches;
+    switch (algorithm) {
+      case ClusteringAlgorithm::kUmc:
+        matches =
+            cluster::UniqueMappingClustering(pairs, n_left, n_right,
+                                             threshold);
+        break;
+      case ClusteringAlgorithm::kExact:
+        matches = cluster::ExactClustering(pairs, n_left, n_right, threshold);
+        break;
+      case ClusteringAlgorithm::kKiraly:
+        matches = cluster::KiralyClustering(pairs, n_left, n_right,
+                                            threshold);
+        break;
+    }
+    SweepPoint point;
+    point.threshold = threshold;
+    point.match_seconds = timer.Seconds();
+    point.metrics = eval::EvaluateCleanCleanMatches(matches, truth);
+    if (!have_best || point.metrics.f1 > result.best.metrics.f1) {
+      result.best = point;
+      have_best = true;
+    }
+    result.points.push_back(point);
+  }
+  for (const SweepPoint& point : result.points) {
+    if (point.metrics.f1 >= 0.95 * result.best.metrics.f1) {
+      result.termination_threshold =
+          std::max(result.termination_threshold, point.threshold);
+    }
+  }
+  result.total_sweep_seconds = sweep_timer.Seconds();
+  return result;
+}
+
+}  // namespace ember::match

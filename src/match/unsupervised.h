@@ -1,0 +1,55 @@
+#ifndef EMBER_MATCH_UNSUPERVISED_H_
+#define EMBER_MATCH_UNSUPERVISED_H_
+
+#include <vector>
+
+#include "cluster/bipartite_clustering.h"
+#include "eval/metrics.h"
+#include "la/matrix.h"
+
+namespace ember::match {
+
+enum class ClusteringAlgorithm { kUmc, kExact, kKiraly };
+
+const char* ClusteringAlgorithmName(ClusteringAlgorithm algorithm);
+
+/// One evaluated threshold of a sweep.
+struct SweepPoint {
+  double threshold = 0;
+  eval::PrfMetrics metrics;
+  /// Clustering time at this threshold (similarities precomputed).
+  double match_seconds = 0;
+};
+
+struct SweepResult {
+  SweepPoint best;
+  /// The largest threshold whose F1 stays within 95% of the best — the
+  /// right edge of the F1 plateau (Figure 15's termination criterion).
+  double termination_threshold = 0;
+  double total_sweep_seconds = 0;
+  std::vector<SweepPoint> points;
+};
+
+/// Unsupervised matching (Section 4.3): cosine similarities mapped to
+/// sim = (1 + cos) / 2 in [0, 1], a bipartite clustering algorithm, and a
+/// threshold sweep over delta in {0.05, 0.10, ..., 0.95}.
+class UnsupervisedMatcher {
+ public:
+  /// Scored pairs between every left and right entity, computed through the
+  /// blocked GemmBt kernel panel by panel. To bound memory on the largest
+  /// datasets, when |left| x |right| exceeds an internal cap only the top
+  /// 64 pairs per left entity are kept (a superset of anything the greedy
+  /// bipartite algorithms can accept at any threshold of the sweep grid).
+  static std::vector<cluster::ScoredPair> AllPairSimilarities(
+      const la::Matrix& left, const la::Matrix& right);
+
+  /// Sorts `pairs` descending in place, then sweeps the threshold grid.
+  static SweepResult Sweep(
+      std::vector<cluster::ScoredPair>& pairs, size_t n_left, size_t n_right,
+      const eval::GroundTruth& truth,
+      ClusteringAlgorithm algorithm = ClusteringAlgorithm::kUmc);
+};
+
+}  // namespace ember::match
+
+#endif  // EMBER_MATCH_UNSUPERVISED_H_

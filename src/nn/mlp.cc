@@ -1,0 +1,168 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "la/vector_ops.h"
+
+namespace ember::nn {
+
+namespace {
+
+void FillGaussian(std::vector<float>& w, float stddev, Rng& rng) {
+  for (float& v : w) v = static_cast<float>(rng.Gaussian()) * stddev;
+}
+
+float Sigmoid(float z) { return 1.f / (1.f + std::exp(-z)); }
+
+}  // namespace
+
+MlpClassifier::MlpClassifier(const Options& options) : options_(options) {
+  EMBER_CHECK(options.input_dim > 0);
+  Rng rng(SplitMix64(options.seed ^ 0x313dULL));
+  const size_t in = options.input_dim, hid = options.hidden_dim;
+  w1_.resize(hid * in);
+  b1_.assign(hid, 0.f);
+  w2_.resize(hid);
+  b2_.assign(1, 0.f);
+  FillGaussian(w1_, std::sqrt(2.f / static_cast<float>(in)), rng);
+  FillGaussian(w2_, std::sqrt(2.f / static_cast<float>(hid)), rng);
+  s_w1_ = {std::vector<float>(w1_.size(), 0.f), std::vector<float>(w1_.size(), 0.f)};
+  s_b1_ = {std::vector<float>(b1_.size(), 0.f), std::vector<float>(b1_.size(), 0.f)};
+  s_w2_ = {std::vector<float>(w2_.size(), 0.f), std::vector<float>(w2_.size(), 0.f)};
+  s_b2_ = {std::vector<float>(b2_.size(), 0.f), std::vector<float>(b2_.size(), 0.f)};
+}
+
+void MlpClassifier::AdamStep(std::vector<float>& w,
+                             const std::vector<float>& grad, AdamState& state) {
+  constexpr float kBeta1 = 0.9f, kBeta2 = 0.999f, kEps = 1e-8f;
+  const float t = static_cast<float>(step_);
+  const float correction1 = 1.f - std::pow(kBeta1, t);
+  const float correction2 = 1.f - std::pow(kBeta2, t);
+  for (size_t i = 0; i < w.size(); ++i) {
+    state.m[i] = kBeta1 * state.m[i] + (1.f - kBeta1) * grad[i];
+    state.v[i] = kBeta2 * state.v[i] + (1.f - kBeta2) * grad[i] * grad[i];
+    const float mhat = state.m[i] / correction1;
+    const float vhat = state.v[i] / correction2;
+    w[i] -= options_.learning_rate * mhat / (std::sqrt(vhat) + kEps);
+  }
+}
+
+float MlpClassifier::TrainEpoch(const la::Matrix& features,
+                                const std::vector<int>& labels) {
+  EMBER_CHECK(features.rows() == labels.size());
+  EMBER_CHECK(features.cols() == options_.input_dim);
+  const size_t in = options_.input_dim, hid = options_.hidden_dim;
+  const size_t n = features.rows();
+  std::vector<float> g_w1(w1_.size()), g_b1(hid), g_w2(hid), g_b2(1);
+  std::vector<float> hidden(hid), delta_hidden(hid);
+  double total_loss = 0.0;
+  for (size_t start = 0; start < n; start += options_.batch_size) {
+    const size_t end = std::min(n, start + options_.batch_size);
+    const float inv_batch = 1.f / static_cast<float>(end - start);
+    std::fill(g_w1.begin(), g_w1.end(), 0.f);
+    std::fill(g_b1.begin(), g_b1.end(), 0.f);
+    std::fill(g_w2.begin(), g_w2.end(), 0.f);
+    g_b2[0] = 0.f;
+    for (size_t r = start; r < end; ++r) {
+      const float* x = features.Row(r);
+      for (size_t h = 0; h < hid; ++h) {
+        hidden[h] =
+            std::max(0.f, la::Dot(&w1_[h * in], x, in) + b1_[h]);
+      }
+      const float z = la::Dot(w2_.data(), hidden.data(), hid) + b2_[0];
+      const float p = Sigmoid(z);
+      const float y = static_cast<float>(labels[r]);
+      total_loss += -(y * std::log(std::max(p, 1e-7f)) +
+                      (1.f - y) * std::log(std::max(1.f - p, 1e-7f)));
+      const float dz = (p - y) * inv_batch;
+      for (size_t h = 0; h < hid; ++h) {
+        g_w2[h] += dz * hidden[h];
+        delta_hidden[h] = hidden[h] > 0.f ? dz * w2_[h] : 0.f;
+      }
+      g_b2[0] += dz;
+      for (size_t h = 0; h < hid; ++h) {
+        if (delta_hidden[h] == 0.f) continue;
+        la::Axpy(delta_hidden[h], x, &g_w1[h * in], in);
+        g_b1[h] += delta_hidden[h];
+      }
+    }
+    ++step_;
+    AdamStep(w1_, g_w1, s_w1_);
+    AdamStep(b1_, g_b1, s_b1_);
+    AdamStep(w2_, g_w2, s_w2_);
+    AdamStep(b2_, g_b2, s_b2_);
+  }
+  return n == 0 ? 0.f : static_cast<float>(total_loss / n);
+}
+
+float MlpClassifier::Predict(const float* features) const {
+  const size_t in = options_.input_dim, hid = options_.hidden_dim;
+  float z = b2_[0];
+  for (size_t h = 0; h < hid; ++h) {
+    const float a = std::max(0.f, la::Dot(&w1_[h * in], features, in) + b1_[h]);
+    z += w2_[h] * a;
+  }
+  return Sigmoid(z);
+}
+
+Autoencoder::Autoencoder(const Options& options) : options_(options) {
+  Rng rng(SplitMix64(options.seed ^ 0xae0ULL));
+  enc_ = la::Matrix(options.hidden_dim, options.input_dim);
+  dec_ = la::Matrix(options.input_dim, options.hidden_dim);
+  enc_.FillGaussian(rng, std::sqrt(1.f / static_cast<float>(options.input_dim)));
+  dec_.FillGaussian(rng, std::sqrt(1.f / static_cast<float>(options.hidden_dim)));
+  enc_bias_.assign(options.hidden_dim, 0.f);
+  dec_bias_.assign(options.input_dim, 0.f);
+}
+
+float Autoencoder::Train(const la::Matrix& data) {
+  EMBER_CHECK(data.cols() == options_.input_dim);
+  const size_t in = options_.input_dim, hid = options_.hidden_dim;
+  std::vector<float> hidden(hid), recon(in), d_recon(in), d_hidden(hid);
+  float mse = 0.f;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    const float lr = options_.learning_rate /
+                     (1.f + 0.5f * static_cast<float>(epoch));
+    double sum = 0.0;
+    for (size_t r = 0; r < data.rows(); ++r) {
+      const float* x = data.Row(r);
+      for (size_t h = 0; h < hid; ++h) {
+        hidden[h] = std::tanh(la::Dot(enc_.Row(h), x, in) + enc_bias_[h]);
+      }
+      for (size_t i = 0; i < in; ++i) {
+        recon[i] = la::Dot(dec_.Row(i), hidden.data(), hid) + dec_bias_[i];
+        d_recon[i] = recon[i] - x[i];
+        sum += d_recon[i] * d_recon[i];
+      }
+      const float scale = 2.f / static_cast<float>(in);
+      for (size_t h = 0; h < hid; ++h) {
+        float g = 0.f;
+        for (size_t i = 0; i < in; ++i) g += d_recon[i] * dec_.At(i, h);
+        d_hidden[h] = g * (1.f - hidden[h] * hidden[h]) * scale;
+      }
+      for (size_t i = 0; i < in; ++i) {
+        la::Axpy(-lr * scale * d_recon[i], hidden.data(), dec_.Row(i), hid);
+        dec_bias_[i] -= lr * scale * d_recon[i];
+      }
+      for (size_t h = 0; h < hid; ++h) {
+        la::Axpy(-lr * d_hidden[h], x, enc_.Row(h), in);
+        enc_bias_[h] -= lr * d_hidden[h];
+      }
+    }
+    mse = data.rows() == 0
+              ? 0.f
+              : static_cast<float>(sum / (data.rows() * in));
+  }
+  return mse;
+}
+
+void Autoencoder::Encode(const float* in, float* out) const {
+  for (size_t h = 0; h < options_.hidden_dim; ++h) {
+    out[h] = std::tanh(la::Dot(enc_.Row(h), in, options_.input_dim) +
+                       enc_bias_[h]);
+  }
+}
+
+}  // namespace ember::nn

@@ -1,0 +1,76 @@
+#ifndef EMBER_NN_MLP_H_
+#define EMBER_NN_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace ember::nn {
+
+/// Two-layer ReLU MLP with a sigmoid output, trained by Adam with manual
+/// backprop. Used as the pair classifier of the supervised matchers.
+class MlpClassifier {
+ public:
+  struct Options {
+    size_t input_dim = 0;
+    size_t hidden_dim = 32;
+    float learning_rate = 1e-3f;
+    size_t batch_size = 32;
+    uint64_t seed = 1;
+  };
+
+  explicit MlpClassifier(const Options& options);
+
+  /// One Adam epoch over (features, labels) in the fixed given order.
+  /// Returns mean binary cross-entropy loss.
+  float TrainEpoch(const la::Matrix& features, const std::vector<int>& labels);
+
+  /// P(match) for one feature row.
+  float Predict(const float* features) const;
+
+ private:
+  struct AdamState {
+    std::vector<float> m, v;
+  };
+  void AdamStep(std::vector<float>& w, const std::vector<float>& grad,
+                AdamState& state);
+
+  Options options_;
+  std::vector<float> w1_, b1_, w2_, b2_;  // w1: hidden x input, w2: hidden
+  AdamState s_w1_, s_b1_, s_w2_, s_b2_;
+  int64_t step_ = 0;
+};
+
+/// Tied-ish 300->hidden->300 autoencoder trained with plain SGD; the
+/// DeepBlocker encoder.
+class Autoencoder {
+ public:
+  struct Options {
+    size_t input_dim = 300;
+    size_t hidden_dim = 64;
+    float learning_rate = 5e-2f;
+    size_t epochs = 8;
+    uint64_t seed = 1;
+  };
+
+  explicit Autoencoder(const Options& options);
+
+  /// SGD-trains on the rows of data (fixed order). Returns final mean
+  /// squared reconstruction error.
+  float Train(const la::Matrix& data);
+
+  /// Encodes one input row into the hidden representation.
+  void Encode(const float* in, float* out) const;
+
+  size_t hidden_dim() const { return options_.hidden_dim; }
+
+ private:
+  Options options_;
+  la::Matrix enc_, dec_;  // hidden x input, input x hidden
+  std::vector<float> enc_bias_, dec_bias_;
+};
+
+}  // namespace ember::nn
+
+#endif  // EMBER_NN_MLP_H_

@@ -1,0 +1,127 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "la/vector_ops.h"
+
+namespace ember::nn {
+
+namespace {
+
+la::Matrix InitWeight(size_t rows, size_t cols, float gain, Rng& rng) {
+  la::Matrix w(rows, cols);
+  const float scale = gain * std::sqrt(2.f / static_cast<float>(rows + cols));
+  w.FillGaussian(rng, scale);
+  return w;
+}
+
+}  // namespace
+
+TransformerEncoder::TransformerEncoder(const TransformerConfig& config)
+    : config_(config) {
+  EMBER_CHECK(config.dim % config.num_heads == 0);
+  Rng rng(SplitMix64(config.seed ^ 0x7a45f03eULL));
+  cls_.resize(config.dim);
+  for (float& v : cls_) v = static_cast<float>(rng.Gaussian()) * 0.5f;
+  layers_.resize(config.num_layers);
+  for (Layer& layer : layers_) {
+    layer.wq = InitWeight(config.dim, config.dim, config.weight_gain, rng);
+    layer.wk = InitWeight(config.dim, config.dim, config.weight_gain, rng);
+    layer.wv = InitWeight(config.dim, config.dim, config.weight_gain, rng);
+    layer.wo = InitWeight(config.dim, config.dim, config.weight_gain, rng);
+    layer.ffn1 = InitWeight(config.ffn_dim, config.dim, config.weight_gain, rng);
+    layer.ffn2 = InitWeight(config.dim, config.ffn_dim, config.weight_gain, rng);
+    layer.ln1_gain.assign(config.dim, 1.f);
+    layer.ln1_bias.assign(config.dim, 0.f);
+    layer.ln2_gain.assign(config.dim, 1.f);
+    layer.ln2_bias.assign(config.dim, 0.f);
+  }
+  final_gain_.assign(config.dim, 1.f);
+  final_bias_.assign(config.dim, 0.f);
+}
+
+la::Matrix TransformerEncoder::Forward(const la::Matrix& tokens) const {
+  EMBER_CHECK(tokens.cols() == config_.dim);
+  const size_t dim = config_.dim;
+  const size_t seq = tokens.rows() + 1;
+  const size_t heads = config_.num_heads;
+  const size_t head_dim = dim / heads;
+
+  la::Matrix x(seq, dim);
+  for (size_t c = 0; c < dim; ++c) x.At(0, c) = cls_[c];
+  for (size_t t = 1; t < seq; ++t) {
+    const float* in = tokens.Row(t - 1);
+    float* row = x.Row(t);
+    for (size_t c = 0; c < dim; ++c) row[c] = in[c];
+    // Sinusoidal positional encoding scaled by pos_scale: large amplitudes
+    // make the representation order-sensitive (BERT regime), small ones
+    // yield the position-robust pooling of sentence encoders.
+    for (size_t c = 0; c < dim; ++c) {
+      const double rate =
+          std::pow(10000.0, -static_cast<double>(c / 2 * 2) / dim);
+      const double angle = static_cast<double>(t) * rate;
+      row[c] += config_.pos_scale *
+                static_cast<float>(c % 2 == 0 ? std::sin(angle) : std::cos(angle));
+    }
+  }
+
+  la::Matrix normed(seq, dim), q(seq, dim), k(seq, dim), v(seq, dim);
+  la::Matrix attended(seq, dim);
+  std::vector<float> scores(seq), hidden(config_.ffn_dim);
+  for (const Layer& layer : layers_) {
+    // --- Attention block (pre-LN residual) ---
+    for (size_t t = 0; t < seq; ++t) {
+      float* row = normed.Row(t);
+      const float* src = x.Row(t);
+      for (size_t c = 0; c < dim; ++c) row[c] = src[c];
+      la::LayerNormInPlace(row, dim, layer.ln1_gain.data(),
+                           layer.ln1_bias.data());
+      la::Gemv(layer.wq, row, q.Row(t));
+      la::Gemv(layer.wk, row, k.Row(t));
+      la::Gemv(layer.wv, row, v.Row(t));
+    }
+    const float inv_sqrt = 1.f / std::sqrt(static_cast<float>(head_dim));
+    for (size_t h = 0; h < heads; ++h) {
+      const size_t off = h * head_dim;
+      for (size_t t = 0; t < seq; ++t) {
+        for (size_t u = 0; u < seq; ++u) {
+          scores[u] =
+              la::Dot(q.Row(t) + off, k.Row(u) + off, head_dim) * inv_sqrt;
+        }
+        la::SoftmaxInPlace(scores.data(), seq);
+        float* out = attended.Row(t) + off;
+        for (size_t c = 0; c < head_dim; ++c) out[c] = 0.f;
+        for (size_t u = 0; u < seq; ++u) {
+          la::Axpy(scores[u], v.Row(u) + off, out, head_dim);
+        }
+      }
+    }
+    for (size_t t = 0; t < seq; ++t) {
+      la::Gemv(layer.wo, attended.Row(t), normed.Row(t));  // reuse as scratch
+      la::Axpy(1.f, normed.Row(t), x.Row(t), dim);
+    }
+    // --- FFN block (pre-LN residual, GELU-ish tanh activation) ---
+    for (size_t t = 0; t < seq; ++t) {
+      float* row = normed.Row(t);
+      const float* src = x.Row(t);
+      for (size_t c = 0; c < dim; ++c) row[c] = src[c];
+      la::LayerNormInPlace(row, dim, layer.ln2_gain.data(),
+                           layer.ln2_bias.data());
+      la::Gemv(layer.ffn1, row, hidden.data());
+      for (size_t c = 0; c < config_.ffn_dim; ++c) {
+        const float z = hidden[c];
+        hidden[c] = 0.5f * z * (1.f + std::tanh(0.79788456f * (z + 0.044715f * z * z * z)));
+      }
+      la::Gemv(layer.ffn2, hidden.data(), row);
+      la::Axpy(1.f, row, x.Row(t), dim);
+    }
+  }
+  for (size_t t = 0; t < seq; ++t) {
+    la::LayerNormInPlace(x.Row(t), dim, final_gain_.data(), final_bias_.data());
+  }
+  return x;
+}
+
+}  // namespace ember::nn

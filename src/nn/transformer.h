@@ -1,0 +1,55 @@
+#ifndef EMBER_NN_TRANSFORMER_H_
+#define EMBER_NN_TRANSFORMER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace ember::nn {
+
+/// Configuration of a forward-only transformer encoder stack.
+struct TransformerConfig {
+  size_t dim = 64;
+  size_t num_heads = 4;
+  size_t num_layers = 2;
+  size_t ffn_dim = 128;
+  /// Weight init scale relative to Xavier. ~1 reproduces the un-fine-tuned
+  /// BERT regime (anisotropic CLS embeddings); sentence encoders use a
+  /// calibrated small gain.
+  float weight_gain = 1.0f;
+  /// Amplitude of the sinusoidal positional encoding added to the inputs.
+  float pos_scale = 0.1f;
+  uint64_t seed = 1;
+};
+
+/// Multi-head self-attention + FFN encoder stack with pre-layer-norm
+/// residual blocks and deterministic pseudo-random ("pre-trained but not
+/// fine-tuned") weights. Forward is const and thread-safe: all scratch is
+/// local to the call.
+class TransformerEncoder {
+ public:
+  explicit TransformerEncoder(const TransformerConfig& config);
+
+  const TransformerConfig& config() const { return config_; }
+
+  /// Input: (T x dim) token embeddings. Output: (T+1 x dim) hidden states,
+  /// row 0 being the prepended CLS token after the final layer norm.
+  la::Matrix Forward(const la::Matrix& tokens) const;
+
+ private:
+  struct Layer {
+    la::Matrix wq, wk, wv, wo;       // dim x dim
+    la::Matrix ffn1, ffn2;           // ffn_dim x dim, dim x ffn_dim
+    std::vector<float> ln1_gain, ln1_bias, ln2_gain, ln2_bias;
+  };
+
+  TransformerConfig config_;
+  std::vector<float> cls_;
+  std::vector<Layer> layers_;
+  std::vector<float> final_gain_, final_bias_;
+};
+
+}  // namespace ember::nn
+
+#endif  // EMBER_NN_TRANSFORMER_H_

@@ -1,0 +1,137 @@
+#include "text/string_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "text/tokenizer.h"
+
+namespace ember::text {
+
+double LevenshteinSimilarity(const std::string& a, const std::string& b) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+  std::vector<size_t> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      const size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  const double dist = static_cast<double>(prev[m]);
+  return 1.0 - dist / static_cast<double>(std::max(n, m));
+}
+
+double JaroSimilarity(const std::string& a, const std::string& b) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+  const size_t window = std::max<size_t>(1, std::max(n, m) / 2) - 1;
+  std::vector<bool> matched_a(n, false), matched_b(m, false);
+  size_t matches = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i > window ? i - window : 0;
+    const size_t hi = std::min(m, i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!matched_b[j] && a[i] == b[j]) {
+        matched_a[i] = matched_b[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+  size_t transpositions = 0, j = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!matched_a[i]) continue;
+    while (!matched_b[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double mm = static_cast<double>(matches);
+  return (mm / n + mm / m + (mm - transpositions / 2.0) / mm) / 3.0;
+}
+
+double JaroWinklerSimilarity(const std::string& a, const std::string& b) {
+  const double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  const size_t cap = std::min<size_t>({4, a.size(), b.size()});
+  while (prefix < cap && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
+}
+
+namespace {
+
+std::set<std::string> TokenSet(const std::string& s) {
+  const auto tokens = Tokenize(s);
+  return std::set<std::string>(tokens.begin(), tokens.end());
+}
+
+double JaccardOfSets(const std::set<std::string>& sa,
+                     const std::set<std::string>& sb) {
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t inter = 0;
+  for (const auto& t : sa) inter += sb.count(t);
+  const size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+double TokenJaccard(const std::string& a, const std::string& b) {
+  return JaccardOfSets(TokenSet(a), TokenSet(b));
+}
+
+double NgramJaccard(const std::string& a, const std::string& b, size_t n) {
+  std::set<std::string> sa, sb;
+  for (const auto& tok : Tokenize(a)) {
+    for (auto& g : CharNgrams(tok, n)) sa.insert(std::move(g));
+  }
+  for (const auto& tok : Tokenize(b)) {
+    for (auto& g : CharNgrams(tok, n)) sb.insert(std::move(g));
+  }
+  return JaccardOfSets(sa, sb);
+}
+
+double OverlapCoefficient(const std::string& a, const std::string& b) {
+  const auto sa = TokenSet(a), sb = TokenSet(b);
+  if (sa.empty() || sb.empty()) return 0.0;
+  size_t inter = 0;
+  for (const auto& t : sa) inter += sb.count(t);
+  return static_cast<double>(inter) /
+         static_cast<double>(std::min(sa.size(), sb.size()));
+}
+
+double MongeElkanSimilarity(const std::string& a, const std::string& b) {
+  const auto ta = Tokenize(a), tb = Tokenize(b);
+  if (ta.empty() || tb.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& x : ta) {
+    double best = 0.0;
+    for (const auto& y : tb) best = std::max(best, JaroWinklerSimilarity(x, y));
+    total += best;
+  }
+  return total / static_cast<double>(ta.size());
+}
+
+double CosineOverTf(const std::string& a, const std::string& b) {
+  std::map<std::string, double> ta, tb;
+  for (const auto& t : Tokenize(a)) ta[t] += 1.0;
+  for (const auto& t : Tokenize(b)) tb[t] += 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto& [t, f] : ta) {
+    na += f * f;
+    const auto it = tb.find(t);
+    if (it != tb.end()) dot += f * it->second;
+  }
+  for (const auto& [t, f] : tb) nb += f * f;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace ember::text

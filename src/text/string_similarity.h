@@ -1,0 +1,35 @@
+#ifndef EMBER_TEXT_STRING_SIMILARITY_H_
+#define EMBER_TEXT_STRING_SIMILARITY_H_
+
+#include <string>
+#include <vector>
+
+namespace ember::text {
+
+/// 1 - edit_distance / max(len); 1.0 for two empty strings.
+double LevenshteinSimilarity(const std::string& a, const std::string& b);
+
+/// Jaro similarity in [0, 1].
+double JaroSimilarity(const std::string& a, const std::string& b);
+
+/// Jaro-Winkler with the standard 0.1 prefix scale, 4-char prefix cap.
+double JaroWinklerSimilarity(const std::string& a, const std::string& b);
+
+/// |A ∩ B| / |A ∪ B| over whitespace/punct tokens.
+double TokenJaccard(const std::string& a, const std::string& b);
+
+/// Jaccard over character n-grams.
+double NgramJaccard(const std::string& a, const std::string& b, size_t n);
+
+/// |A ∩ B| / min(|A|, |B|) over tokens; 0 when either side is empty.
+double OverlapCoefficient(const std::string& a, const std::string& b);
+
+/// Monge-Elkan: mean over tokens of a of the best Jaro-Winkler match in b.
+double MongeElkanSimilarity(const std::string& a, const std::string& b);
+
+/// Cosine over term-frequency vectors of the two token multisets.
+double CosineOverTf(const std::string& a, const std::string& b);
+
+}  // namespace ember::text
+
+#endif  // EMBER_TEXT_STRING_SIMILARITY_H_

@@ -1,0 +1,50 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace ember::text {
+
+std::vector<std::string> Tokenize(const std::string& sentence) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char ch : sentence) {
+    const unsigned char u = static_cast<unsigned char>(ch);
+    if (std::isalnum(u)) {
+      current.push_back(static_cast<char>(std::tolower(u)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> CharNgrams(const std::string& word, size_t n) {
+  std::vector<std::string> grams;
+  if (word.size() < n) return grams;
+  grams.reserve(word.size() - n + 1);
+  for (size_t i = 0; i + n <= word.size(); ++i) grams.push_back(word.substr(i, n));
+  return grams;
+}
+
+std::string MakeSynonymSurface(const std::string& base, int variant) {
+  return "s" + std::to_string(1 + (variant % 9)) + base;
+}
+
+std::string CanonicalWordForm(const std::string& token) {
+  if (token.size() > 3 && token[0] == 's' && token[1] >= '1' &&
+      token[1] <= '9') {
+    bool alpha_tail = true;
+    for (size_t i = 2; i < token.size(); ++i) {
+      if (token[i] < 'a' || token[i] > 'z') {
+        alpha_tail = false;
+        break;
+      }
+    }
+    if (alpha_tail) return token.substr(2);
+  }
+  return token;
+}
+
+}  // namespace ember::text

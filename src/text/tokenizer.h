@@ -1,0 +1,27 @@
+#ifndef EMBER_TEXT_TOKENIZER_H_
+#define EMBER_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+namespace ember::text {
+
+/// Lowercases and splits on non-alphanumeric runs. "Unicode-light": bytes
+/// outside ASCII letters/digits act as separators.
+std::vector<std::string> Tokenize(const std::string& sentence);
+
+/// Character n-grams of a word (no padding); empty when the word is shorter
+/// than n.
+std::vector<std::string> CharNgrams(const std::string& word, size_t n);
+
+/// ember's synthetic vocabulary encodes synonym surface forms as
+/// "s<digit><base>" (generated words are purely alphabetic, so the prefix is
+/// unambiguous). MakeSynonymSurface produces such a form; CanonicalWordForm
+/// strips it, recovering the canonical sense shared by datagen's perturber
+/// and the embedding models' lexicons.
+std::string MakeSynonymSurface(const std::string& base, int variant);
+std::string CanonicalWordForm(const std::string& token);
+
+}  // namespace ember::text
+
+#endif  // EMBER_TEXT_TOKENIZER_H_

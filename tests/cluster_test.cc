@@ -1,0 +1,83 @@
+#include "cluster/bipartite_clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/extra_clustering.h"
+
+namespace ember::cluster {
+namespace {
+
+using Matches = std::vector<std::pair<uint32_t, uint32_t>>;
+
+TEST(SortPairsTest, DescendingSimThenAscendingIds) {
+  std::vector<ScoredPair> pairs = {
+      {1, 1, 0.5f}, {0, 0, 0.9f}, {0, 1, 0.5f}, {2, 2, 0.5f}};
+  SortPairsDescending(pairs);
+  EXPECT_EQ(pairs[0].sim, 0.9f);
+  EXPECT_EQ(pairs[1].left, 0u);
+  EXPECT_EQ(pairs[1].right, 1u);
+  EXPECT_EQ(pairs[2].left, 1u);
+  EXPECT_EQ(pairs[3].left, 2u);
+}
+
+TEST(UmcTest, GreedyOneToOne) {
+  std::vector<ScoredPair> pairs = {
+      {0, 0, 0.9f}, {0, 1, 0.8f}, {1, 0, 0.7f}, {1, 1, 0.6f}};
+  SortPairsDescending(pairs);
+  const Matches matches = UniqueMappingClustering(pairs, 2, 2, 0.5f);
+  const Matches expected = {{0, 0}, {1, 1}};
+  EXPECT_EQ(matches, expected);
+}
+
+TEST(UmcTest, ThresholdCutsLowPairs) {
+  std::vector<ScoredPair> pairs = {{0, 0, 0.9f}, {1, 1, 0.3f}};
+  SortPairsDescending(pairs);
+  const Matches matches = UniqueMappingClustering(pairs, 2, 2, 0.5f);
+  const Matches expected = {{0, 0}};
+  EXPECT_EQ(matches, expected);
+}
+
+TEST(ExcTest, RequiresReciprocalBest) {
+  // 0's best is right-0, but right-0's best is left-1: no reciprocity for
+  // (0,0). (1,0) is reciprocal.
+  std::vector<ScoredPair> pairs = {
+      {0, 0, 0.8f}, {1, 0, 0.9f}, {1, 1, 0.2f}, {0, 1, 0.1f}};
+  SortPairsDescending(pairs);
+  const Matches matches = ExactClustering(pairs, 2, 2, 0.05f);
+  const Matches expected = {{1, 0}};
+  EXPECT_EQ(matches, expected);
+}
+
+TEST(KrcTest, StableMarriageResolvesContention) {
+  // Both lefts prefer right-0; left-0 wins it (higher sim), left-1 falls
+  // back to right-1.
+  std::vector<ScoredPair> pairs = {
+      {0, 0, 0.9f}, {1, 0, 0.8f}, {1, 1, 0.7f}, {0, 1, 0.6f}};
+  SortPairsDescending(pairs);
+  const Matches matches = KiralyClustering(pairs, 2, 2, 0.5f);
+  const Matches expected = {{0, 0}, {1, 1}};
+  EXPECT_EQ(matches, expected);
+}
+
+TEST(ConnectedComponentsTest, TransitiveClosure) {
+  const std::vector<ScoredPair> pairs = {
+      {0, 1, 0.9f}, {1, 2, 0.8f}, {3, 4, 0.7f}};
+  const Matches matches = ConnectedComponentsClustering(pairs, 5, 0.5f);
+  const Matches expected = {{0, 1}, {0, 2}, {1, 2}, {3, 4}};
+  EXPECT_EQ(matches, expected);
+}
+
+TEST(CenterClusteringTest, AttachedRecordsNeverBecomeCenters) {
+  std::vector<ScoredPair> pairs = {
+      {0, 1, 0.9f},  // 0 becomes center, 1 attaches
+      {1, 2, 0.8f},  // 1 is attached, cannot adopt 2
+      {0, 3, 0.7f},  // 3 attaches to center 0
+  };
+  SortPairsDescending(pairs);
+  const Matches matches = CenterClustering(pairs, 4, 0.5f);
+  const Matches expected = {{0, 1}, {0, 3}, {1, 3}};
+  EXPECT_EQ(matches, expected);
+}
+
+}  // namespace
+}  // namespace ember::cluster

@@ -1,0 +1,129 @@
+#include "core/blocking.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "core/schema_vectorizer.h"
+#include "core/vector_cache.h"
+#include "datagen/benchmark_datasets.h"
+#include "embed/static_model.h"
+#include "la/vector_ops.h"
+
+namespace ember::core {
+namespace {
+
+la::Matrix RandomUnitRows(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix m(rows, cols);
+  m.FillGaussian(rng, 1.f);
+  for (size_t r = 0; r < rows; ++r) la::NormalizeInPlace(m.Row(r), cols);
+  return m;
+}
+
+TEST(BlockingTest, ExactlyKAscendingCandidatesPerQuery) {
+  const la::Matrix left = RandomUnitRows(20, 16, 1);
+  const la::Matrix right = RandomUnitRows(50, 16, 2);
+  BlockingOptions options;
+  options.k = 5;
+  const BlockingResult blocked = BlockCleanClean(left, right, options);
+  ASSERT_EQ(blocked.candidates.size(), 20u * 5u);
+  for (size_t q = 0; q < 20; ++q) {
+    for (size_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(blocked.candidates[q * 5 + i].first, q);
+      EXPECT_LT(blocked.candidates[q * 5 + i].second, 50u);
+    }
+  }
+  EXPECT_GE(blocked.total_seconds(), 0.0);
+}
+
+TEST(BlockingTest, PerfectRecallOnIdenticalCollections) {
+  const la::Matrix data = RandomUnitRows(30, 16, 3);
+  BlockingOptions options;
+  options.k = 1;
+  const BlockingResult blocked = BlockCleanClean(data, data, options);
+  for (size_t q = 0; q < 30; ++q) {
+    EXPECT_EQ(blocked.candidates[q].second, q);
+  }
+}
+
+TEST(BlockingTest, DirtyBlockingDropsSelf) {
+  const la::Matrix data = RandomUnitRows(40, 16, 4);
+  BlockingOptions options;
+  options.k = 3;
+  const BlockingResult blocked = BlockDirty(data, options);
+  ASSERT_EQ(blocked.candidates.size(), 40u * 3u);
+  for (const auto& [q, n] : blocked.candidates) {
+    EXPECT_NE(q, n);
+  }
+}
+
+TEST(PipelineTest, RecoversPlantedMatchesWithFixedDelta) {
+  la::Matrix left(8, 16), right(8, 16);
+  for (size_t r = 0; r < 8; ++r) {
+    left.At(r, r) = 1.f;
+    right.At(r, r) = 1.f;
+  }
+  ErPipeline pipeline({});
+  const PipelineResult result = pipeline.RunOnVectors(left, right);
+  EXPECT_FLOAT_EQ(result.threshold_used, 0.5f);
+  ASSERT_EQ(result.matches.size(), 8u);
+  for (const PipelineMatch& m : result.matches) {
+    EXPECT_EQ(m.left, m.right);
+    EXPECT_NEAR(m.sim, 1.f, 1e-5f);
+  }
+}
+
+TEST(PipelineTest, AutoThresholdReportsChosenDelta) {
+  const la::Matrix left = RandomUnitRows(30, 16, 5);
+  const la::Matrix right = RandomUnitRows(30, 16, 6);
+  PipelineOptions options;
+  options.auto_threshold = true;
+  ErPipeline pipeline(options);
+  const PipelineResult result = pipeline.RunOnVectors(left, right);
+  EXPECT_GT(result.threshold_used, 0.f);
+  EXPECT_LT(result.threshold_used, 1.f);
+}
+
+TEST(VectorCacheTest, MissComputesHitLoads) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ember_cache_test").string();
+  std::filesystem::remove_all(dir);
+  VectorCache cache(dir);
+
+  embed::StaticEmbeddingModel model(embed::ModelId::kGloVe);
+  const std::vector<std::string> sentences = {"alpha beta", "gamma delta"};
+  double fresh = 0;
+  const la::Matrix first = cache.GetOrCompute(model, "key1", sentences,
+                                              &fresh);
+  EXPECT_GE(fresh, 0.0);
+  const la::Matrix second = cache.GetOrCompute(model, "key1", sentences,
+                                               &fresh);
+  EXPECT_EQ(fresh, -1.0);
+  EXPECT_EQ(first, second);
+
+  cache.set_enabled(false);
+  const la::Matrix third = cache.GetOrCompute(model, "key1", sentences,
+                                              &fresh);
+  EXPECT_GE(fresh, 0.0);
+  EXPECT_EQ(first, third);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SchemaVectorizerTest, NormalizedRowsFromAttributes) {
+  datagen::EntityCollection collection;
+  collection.schema = {"name", "brand"};
+  collection.Add({"deluxe headset", "acme"});
+  collection.Add({"", ""});
+  embed::StaticEmbeddingModel model(embed::ModelId::kFastText);
+  const la::Matrix out = SchemaBasedVectorize(model, collection);
+  ASSERT_EQ(out.rows(), 2u);
+  EXPECT_NEAR(la::Norm(out.Row(0), out.cols()), 1.f, 1e-4f);
+  EXPECT_EQ(la::Norm(out.Row(1), out.cols()), 0.f);
+}
+
+}  // namespace
+}  // namespace ember::core

@@ -1,0 +1,108 @@
+#include "datagen/benchmark_datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/csv.h"
+#include "datagen/dsm_datasets.h"
+#include "datagen/febrl.h"
+
+namespace ember::datagen {
+namespace {
+
+TEST(BenchmarkDatasetsTest, TenSpecsInPaperOrder) {
+  const auto& specs = AllCleanCleanSpecs();
+  ASSERT_EQ(specs.size(), 10u);
+  EXPECT_EQ(specs.front().id, "D1");
+  EXPECT_EQ(specs.back().id, "D10");
+  EXPECT_TRUE(CleanCleanSpecById("D4").ok());
+  EXPECT_FALSE(CleanCleanSpecById("D11").ok());
+}
+
+TEST(BenchmarkDatasetsTest, GenerateIsDeterministic) {
+  const auto spec = CleanCleanSpecById("D2").value();
+  const CleanCleanDataset a = GenerateCleanClean(spec, 0.1, 41);
+  const CleanCleanDataset b = GenerateCleanClean(spec, 0.1, 41);
+  ASSERT_EQ(a.left.size(), b.left.size());
+  EXPECT_EQ(a.left.AllSentences(), b.left.AllSentences());
+  EXPECT_EQ(a.matches, b.matches);
+  const CleanCleanDataset c = GenerateCleanClean(spec, 0.1, 42);
+  EXPECT_NE(a.left.AllSentences(), c.left.AllSentences());
+}
+
+TEST(BenchmarkDatasetsTest, MatchesReferenceValidIndices) {
+  const auto spec = CleanCleanSpecById("D1").value();
+  const CleanCleanDataset data = GenerateCleanClean(spec, 0.1, 7);
+  EXPECT_GT(data.matches.size(), 0u);
+  std::set<uint32_t> lefts, rights;
+  for (const auto& [l, r] : data.matches) {
+    EXPECT_LT(l, data.left.size());
+    EXPECT_LT(r, data.right.size());
+    lefts.insert(l);
+    rights.insert(r);
+  }
+  // Clean-Clean: both sides are duplicate-free.
+  EXPECT_EQ(lefts.size(), data.matches.size());
+  EXPECT_EQ(rights.size(), data.matches.size());
+}
+
+TEST(DsmDatasetsTest, FiveSpecsWithSplits) {
+  ASSERT_EQ(AllDsmSpecs().size(), 5u);
+  const auto spec = DsmSpecById("DSM1").value();
+  const DsmDataset data = GenerateDsm(spec, 0.1, 41);
+  EXPECT_GT(data.train.size(), 0u);
+  EXPECT_GT(data.valid.size(), 0u);
+  EXPECT_GT(data.test.size(), 0u);
+  EXPECT_GT(data.train.size(), data.test.size());
+  size_t positives = 0;
+  for (const auto& pair : data.train) positives += pair.label ? 1 : 0;
+  EXPECT_GT(positives, 0u);
+  EXPECT_LT(positives, data.train.size());
+}
+
+TEST(DsmDatasetsTest, Deterministic) {
+  const auto spec = DsmSpecById("DSM3").value();
+  const DsmDataset a = GenerateDsm(spec, 0.1, 5);
+  const DsmDataset b = GenerateDsm(spec, 0.1, 5);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].left, b.train[i].left);
+    EXPECT_EQ(a.train[i].label, b.train[i].label);
+  }
+}
+
+TEST(CsvTest, RoundTripsQuotedFields) {
+  const std::vector<std::vector<std::string>> rows = {
+      {"id", "name", "note"},
+      {"1", "acme, inc", "said \"hi\""},
+      {"2", "line\nbreak", ""},
+  };
+  const std::string text = WriteCsv(rows);
+  const auto parsed = ParseCsv(text);
+  EXPECT_EQ(parsed, rows);
+}
+
+TEST(CsvTest, ParsesCrlfAndTrailingNewline) {
+  const auto parsed = ParseCsv("a,b\r\nc,d\n");
+  const std::vector<std::vector<std::string>> expected = {{"a", "b"},
+                                                          {"c", "d"}};
+  EXPECT_EQ(parsed, expected);
+}
+
+TEST(FebrlTest, DirtyCollectionWithDuplicates) {
+  FebrlOptions options;
+  options.n_records = 500;
+  options.seed = 3;
+  const DirtyDataset data = GenerateFebrl(options);
+  EXPECT_EQ(data.records.size(), 500u);
+  EXPECT_GT(data.matches.size(), 0u);
+  for (const auto& [a, b] : data.matches) {
+    EXPECT_NE(a, b);
+    EXPECT_LT(a, data.records.size());
+    EXPECT_LT(b, data.records.size());
+  }
+}
+
+}  // namespace
+}  // namespace ember::datagen

@@ -1,0 +1,118 @@
+#include "embed/model_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "embed/embedding_model.h"
+#include "embed/static_model.h"
+#include "embed/token_encoder.h"
+#include "la/vector_ops.h"
+
+namespace ember::embed {
+namespace {
+
+TEST(ModelRegistryTest, TwelveModelsInPaperOrder) {
+  const auto& models = AllModels();
+  ASSERT_EQ(models.size(), 12u);
+  EXPECT_EQ(GetModelInfo(models.front()).code, "WC");
+  EXPECT_EQ(GetModelInfo(models.back()).code, "SM");
+}
+
+TEST(ModelRegistryTest, DimsMatchTable1) {
+  EXPECT_EQ(GetModelInfo(ModelId::kWord2Vec).dim, 300u);
+  EXPECT_EQ(GetModelInfo(ModelId::kFastText).dim, 300u);
+  EXPECT_EQ(GetModelInfo(ModelId::kBert).dim, 768u);
+  EXPECT_EQ(GetModelInfo(ModelId::kSMpnet).dim, 768u);
+  EXPECT_EQ(GetModelInfo(ModelId::kSMiniLm).dim, 384u);
+}
+
+TEST(ModelRegistryTest, LookupByCodeAndName) {
+  ASSERT_TRUE(ModelIdFromString("FT").ok());
+  EXPECT_EQ(ModelIdFromString("FT").value(), ModelId::kFastText);
+  ASSERT_TRUE(ModelIdFromString("S-MiniLM").ok());
+  EXPECT_EQ(ModelIdFromString("S-MiniLM").value(), ModelId::kSMiniLm);
+  EXPECT_FALSE(ModelIdFromString("nope").ok());
+}
+
+TEST(TokenEncoderTest, DeterministicAndNormNonZeroForCoveredTokens) {
+  TokenEncoderParams params;
+  params.dim = 64;
+  params.seed = 123;
+  params.vocab_coverage = 1.0;
+  const TokenEncoder a(params), b(params);
+  std::vector<float> va(params.dim), vb(params.dim);
+  ASSERT_TRUE(a.Encode("battery", va.data()));
+  ASSERT_TRUE(b.Encode("battery", vb.data()));
+  EXPECT_EQ(va, vb);
+  EXPECT_GT(la::Norm(va.data(), params.dim), 0.f);
+}
+
+TEST(TokenEncoderTest, PartialCoverageDropsSomeTokens) {
+  TokenEncoderParams params;
+  params.dim = 32;
+  params.seed = 9;
+  params.vocab_coverage = 0.5;
+  params.ngram_weight = 0.f;
+  const TokenEncoder encoder(params);
+  std::vector<float> v(params.dim);
+  int covered = 0;
+  const char* words[] = {"alpha", "bravo",  "charlie", "delta", "echo",
+                         "fox",   "golf",   "hotel",   "india", "juliet",
+                         "kilo",  "lima",   "mike",    "nov",   "oscar",
+                         "papa",  "quebec", "romeo",   "sierra", "tango"};
+  for (const char* w : words) covered += encoder.Encode(w, v.data()) ? 1 : 0;
+  EXPECT_GT(covered, 2);
+  EXPECT_LT(covered, 18);
+}
+
+TEST(TokenEncoderTest, IdfInRange) {
+  TokenEncoderParams params;
+  params.dim = 16;
+  params.seed = 5;
+  const TokenEncoder encoder(params);
+  for (const char* w : {"one", "two", "three"}) {
+    const float idf = encoder.Idf(w);
+    EXPECT_GE(idf, 0.2f);
+    EXPECT_LE(idf, 1.0f);
+  }
+}
+
+TEST(EmbeddingModelTest, RowsAreNormalizedOrZero) {
+  for (const ModelId id : {ModelId::kFastText, ModelId::kSMiniLm}) {
+    auto model = CreateModel(id);
+    model->Initialize();
+    const la::Matrix out = model->VectorizeAll(
+        {"acme deluxe wireless headset", "premium stereo adapter", ""});
+    ASSERT_EQ(out.rows(), 3u);
+    ASSERT_EQ(out.cols(), model->info().dim);
+    for (size_t r = 0; r < 2; ++r) {
+      EXPECT_NEAR(la::Norm(out.Row(r), out.cols()), 1.f, 1e-4f);
+    }
+    EXPECT_EQ(la::Norm(out.Row(2), out.cols()), 0.f);
+  }
+}
+
+TEST(EmbeddingModelTest, InitializeIsIdempotent) {
+  auto model = CreateModel(ModelId::kGloVe);
+  const double first = model->Initialize();
+  EXPECT_GE(first, 0.0);
+  const la::Matrix a = model->VectorizeAll({"alpha beta"});
+  model->Initialize();
+  const la::Matrix b = model->VectorizeAll({"alpha beta"});
+  EXPECT_EQ(a, b);
+}
+
+TEST(EmbeddingModelTest, SimilarSentencesScoreHigherThanRandom) {
+  embed::StaticEmbeddingModel model(ModelId::kFastText);
+  model.Initialize();
+  const la::Matrix out = model.VectorizeAll({
+      "acme deluxe wireless headset xk2400",
+      "acme deluxe wireless headset xk2401",
+      "completely different thing entirely unrelated",
+  });
+  const float near = la::Dot(out.Row(0), out.Row(1), out.cols());
+  const float far = la::Dot(out.Row(0), out.Row(2), out.cols());
+  EXPECT_GT(near, far);
+}
+
+}  // namespace
+}  // namespace ember::embed

@@ -1,0 +1,70 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ember::eval {
+namespace {
+
+TEST(MetricsTest, CleanCleanPrf) {
+  GroundTruth truth;
+  truth.AddCleanCleanPair(0, 0);
+  truth.AddCleanCleanPair(1, 1);
+  truth.AddCleanCleanPair(2, 2);
+  truth.AddCleanCleanPair(3, 3);
+
+  // 2 true positives, 2 false positives, 2 missed.
+  const std::vector<std::pair<uint32_t, uint32_t>> predicted = {
+      {0, 0}, {1, 1}, {0, 1}, {5, 5}};
+  const PrfMetrics m = EvaluateCleanCleanMatches(predicted, truth);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  EXPECT_DOUBLE_EQ(m.f1, 0.5);
+}
+
+TEST(MetricsTest, DuplicateCandidatesCountOnce) {
+  GroundTruth truth;
+  truth.AddCleanCleanPair(0, 0);
+  const std::vector<std::pair<uint32_t, uint32_t>> predicted = {
+      {0, 0}, {0, 0}, {0, 0}};
+  const PrfMetrics m = EvaluateCleanCleanCandidates(predicted, truth);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST(MetricsTest, DirtyPairsAreUnordered) {
+  GroundTruth truth;
+  truth.AddDirtyPair(5, 2);
+  EXPECT_TRUE(truth.ContainsDirty(2, 5));
+  const std::vector<std::pair<uint32_t, uint32_t>> predicted = {{5, 2}};
+  EXPECT_DOUBLE_EQ(EvaluateDirtyCandidates(predicted, truth).recall, 1.0);
+}
+
+TEST(MetricsTest, EmptyPredictionsScoreZero) {
+  GroundTruth truth;
+  truth.AddCleanCleanPair(0, 0);
+  const PrfMetrics m = EvaluateCleanCleanMatches({}, truth);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(MetricsTest, RankMatrixAveragesTies) {
+  // Two columns; second row wins column 0, ties split column 1.
+  const auto ranks = RankMatrix({{0.1, 0.5}, {0.9, 0.5}});
+  ASSERT_EQ(ranks.size(), 2u);
+  EXPECT_DOUBLE_EQ(ranks[0][0], 2.0);
+  EXPECT_DOUBLE_EQ(ranks[1][0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[0][1], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[1][1], 1.5);
+  // Last element is the mean rank.
+  EXPECT_DOUBLE_EQ(ranks[0].back(), (2.0 + 1.5) / 2);
+}
+
+TEST(MetricsTest, PearsonCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-9);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+}  // namespace
+}  // namespace ember::eval

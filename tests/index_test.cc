@@ -1,0 +1,147 @@
+#include "index/exact_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "index/hnsw_index.h"
+#include "index/lsh_index.h"
+#include "index/overlap_blocker.h"
+#include "la/vector_ops.h"
+
+namespace ember::index {
+namespace {
+
+la::Matrix RandomUnitRows(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix m(rows, cols);
+  m.FillGaussian(rng, 1.f);
+  for (size_t r = 0; r < rows; ++r) la::NormalizeInPlace(m.Row(r), cols);
+  return m;
+}
+
+TEST(ExactIndexTest, SelfIsNearestNeighbor) {
+  const la::Matrix data = RandomUnitRows(50, 32, 1);
+  ExactIndex idx;
+  idx.Build(data);
+  for (size_t r = 0; r < data.rows(); ++r) {
+    const auto neighbors = idx.Query(data.Row(r), 3);
+    ASSERT_EQ(neighbors.size(), 3u);
+    EXPECT_EQ(neighbors[0].id, r);
+    EXPECT_NEAR(neighbors[0].distance, 0.f, 1e-5f);
+  }
+}
+
+TEST(ExactIndexTest, DistancesAscendingAndKRespected) {
+  const la::Matrix data = RandomUnitRows(100, 16, 2);
+  ExactIndex idx;
+  idx.Build(data);
+  const la::Matrix queries = RandomUnitRows(5, 16, 3);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto neighbors = idx.Query(queries.Row(q), 10);
+    ASSERT_EQ(neighbors.size(), 10u);
+    for (size_t i = 1; i < neighbors.size(); ++i) {
+      EXPECT_LE(neighbors[i - 1].distance, neighbors[i].distance);
+    }
+  }
+  EXPECT_EQ(idx.Query(queries.Row(0), 500).size(), data.rows());
+}
+
+TEST(ExactIndexTest, QueryBatchMatchesSingleQueries) {
+  const la::Matrix data = RandomUnitRows(200, 24, 4);
+  ExactIndex idx;
+  idx.Build(data);
+  const la::Matrix queries = RandomUnitRows(33, 24, 5);
+  const auto batch = idx.QueryBatch(queries, 7);
+  ASSERT_EQ(batch.size(), queries.rows());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto single = idx.Query(queries.Row(q), 7);
+    ASSERT_EQ(batch[q].size(), single.size());
+    for (size_t i = 0; i < single.size(); ++i) {
+      EXPECT_EQ(batch[q][i].id, single[i].id);
+      EXPECT_EQ(batch[q][i].distance, single[i].distance);
+    }
+  }
+}
+
+TEST(ExactIndexTest, TiesBrokenByAscendingId) {
+  // Three identical vectors: all distances equal, ids must come in order.
+  la::Matrix data(3, 4);
+  for (size_t r = 0; r < 3; ++r) data.At(r, 0) = 1.f;
+  ExactIndex idx;
+  idx.Build(data);
+  const auto neighbors = idx.Query(data.Row(0), 3);
+  ASSERT_EQ(neighbors.size(), 3u);
+  EXPECT_EQ(neighbors[0].id, 0u);
+  EXPECT_EQ(neighbors[1].id, 1u);
+  EXPECT_EQ(neighbors[2].id, 2u);
+}
+
+TEST(HnswIndexTest, HighRecallAgainstExact) {
+  const la::Matrix data = RandomUnitRows(1000, 32, 6);
+  ExactIndex exact;
+  exact.Build(data);
+  HnswOptions options;
+  options.seed = 7;
+  HnswIndex hnsw(options);
+  hnsw.Build(data);
+
+  const la::Matrix queries = RandomUnitRows(50, 32, 8);
+  size_t hits = 0, total = 0;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto truth = exact.Query(queries.Row(q), 10);
+    const auto approx = hnsw.Query(queries.Row(q), 10);
+    ASSERT_EQ(approx.size(), 10u);
+    std::set<uint32_t> truth_ids;
+    for (const Neighbor& n : truth) truth_ids.insert(n.id);
+    for (const Neighbor& n : approx) hits += truth_ids.count(n.id);
+    total += truth.size();
+  }
+  EXPECT_GT(static_cast<double>(hits) / total, 0.85);
+}
+
+TEST(HnswIndexTest, DeterministicAcrossRebuilds) {
+  const la::Matrix data = RandomUnitRows(300, 16, 9);
+  const la::Matrix queries = RandomUnitRows(10, 16, 10);
+  HnswOptions options;
+  options.seed = 11;
+  HnswIndex a(options), b(options);
+  a.Build(data);
+  b.Build(data);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto na = a.Query(queries.Row(q), 5);
+    const auto nb = b.Query(queries.Row(q), 5);
+    ASSERT_EQ(na.size(), nb.size());
+    for (size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i].id, nb[i].id);
+  }
+}
+
+TEST(LshIndexTest, ReturnsKExactRankedCandidates) {
+  const la::Matrix data = RandomUnitRows(500, 32, 12);
+  LshIndex idx;
+  idx.Build(data);
+  const la::Matrix queries = RandomUnitRows(10, 32, 13);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto neighbors = idx.Query(queries.Row(q), 10);
+    ASSERT_EQ(neighbors.size(), 10u);
+    for (size_t i = 1; i < neighbors.size(); ++i) {
+      EXPECT_LE(neighbors[i - 1].distance, neighbors[i].distance);
+    }
+  }
+}
+
+TEST(OverlapBlockerTest, RanksSharedRareTokensFirst) {
+  OverlapBlocker blocker;
+  blocker.Build({"alpha beta gamma", "alpha beta", "delta epsilon",
+                 "gamma zeta"});
+  const auto candidates = blocker.Query("alpha beta gamma", 2);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0], 0u);  // shares all three tokens
+  const auto none = blocker.Query("unrelated words", 5);
+  EXPECT_TRUE(none.empty());
+}
+
+}  // namespace
+}  // namespace ember::index

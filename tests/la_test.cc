@@ -1,0 +1,97 @@
+#include "la/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/matrix.h"
+
+namespace ember::la {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  m.FillGaussian(rng, 1.f);
+  return m;
+}
+
+TEST(VectorOpsTest, DotMatchesSmallCases) {
+  const float a[] = {1.f, 2.f, 3.f};
+  const float b[] = {4.f, -5.f, 6.f};
+  EXPECT_FLOAT_EQ(Dot(a, b, 3), 4.f - 10.f + 18.f);
+  EXPECT_FLOAT_EQ(Dot(a, b, 0), 0.f);
+}
+
+TEST(VectorOpsTest, GemmBtBitIdenticalToDot) {
+  // The contract the blocked index and matcher rely on: every GemmBt cell
+  // equals the scalar Dot of the corresponding rows, bit for bit, at sizes
+  // that do and do not divide the kernel's blocking factors.
+  for (const size_t k : {1ul, 7ul, 8ul, 60ul, 300ul}) {
+    const Matrix a = RandomMatrix(13, k, 17 + k);
+    const Matrix b = RandomMatrix(9, k, 99 + k);
+    const Matrix c = GemmBt(a, b);
+    ASSERT_EQ(c.rows(), a.rows());
+    ASSERT_EQ(c.cols(), b.rows());
+    for (size_t i = 0; i < a.rows(); ++i) {
+      for (size_t j = 0; j < b.rows(); ++j) {
+        const float expected = Dot(a.Row(i), b.Row(j), k);
+        EXPECT_EQ(c.At(i, j), expected) << "k=" << k << " (" << i << "," << j
+                                        << ")";
+      }
+    }
+  }
+}
+
+TEST(VectorOpsTest, NormalizeInPlaceGivesUnitNorm) {
+  Matrix m = RandomMatrix(4, 37, 5);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    NormalizeInPlace(m.Row(r), m.cols());
+    EXPECT_NEAR(Norm(m.Row(r), m.cols()), 1.f, 1e-5f);
+  }
+}
+
+TEST(VectorOpsTest, NormalizeZeroVectorStaysZero) {
+  Matrix m(1, 16);
+  NormalizeInPlace(m.Row(0), 16);
+  for (size_t c = 0; c < 16; ++c) EXPECT_EQ(m.At(0, c), 0.f);
+}
+
+TEST(VectorOpsTest, AxpyAndScale) {
+  float x[] = {1.f, 2.f};
+  const float y[] = {10.f, 20.f};
+  Axpy(2.f, y, x, 2);
+  EXPECT_FLOAT_EQ(x[0], 21.f);
+  EXPECT_FLOAT_EQ(x[1], 42.f);
+  Scale(0.5f, x, 2);
+  EXPECT_FLOAT_EQ(x[0], 10.5f);
+  EXPECT_FLOAT_EQ(x[1], 21.f);
+}
+
+TEST(VectorOpsTest, SoftmaxSumsToOne) {
+  float v[] = {1.f, 2.f, 3.f, 4.f};
+  SoftmaxInPlace(v, 4);
+  float sum = 0;
+  for (const float x : v) sum += x;
+  EXPECT_NEAR(sum, 1.f, 1e-5f);
+  EXPECT_GT(v[3], v[0]);
+}
+
+TEST(VectorOpsTest, GemvMatchesManual) {
+  Matrix m(2, 3);
+  m.At(0, 0) = 1;
+  m.At(0, 1) = 2;
+  m.At(0, 2) = 3;
+  m.At(1, 0) = -1;
+  m.At(1, 1) = 0;
+  m.At(1, 2) = 1;
+  const float x[] = {1.f, 1.f, 1.f};
+  float out[2];
+  Gemv(m, x, out);
+  EXPECT_FLOAT_EQ(out[0], 6.f);
+  EXPECT_FLOAT_EQ(out[1], 0.f);
+}
+
+}  // namespace
+}  // namespace ember::la

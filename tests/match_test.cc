@@ -1,0 +1,84 @@
+#include "match/unsupervised.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/dsm_datasets.h"
+#include "embed/static_model.h"
+#include "la/vector_ops.h"
+#include "match/supervised.h"
+
+namespace ember::match {
+namespace {
+
+TEST(ClusteringAlgorithmTest, PaperAbbreviations) {
+  EXPECT_STREQ(ClusteringAlgorithmName(ClusteringAlgorithm::kUmc), "UMC");
+  EXPECT_STREQ(ClusteringAlgorithmName(ClusteringAlgorithm::kExact), "EXC");
+  EXPECT_STREQ(ClusteringAlgorithmName(ClusteringAlgorithm::kKiraly), "KRC");
+}
+
+la::Matrix RandomUnitRows(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix m(rows, cols);
+  m.FillGaussian(rng, 1.f);
+  for (size_t r = 0; r < rows; ++r) la::NormalizeInPlace(m.Row(r), cols);
+  return m;
+}
+
+TEST(UnsupervisedMatcherTest, AllPairsMatchManualDots) {
+  const la::Matrix left = RandomUnitRows(7, 24, 1);
+  const la::Matrix right = RandomUnitRows(5, 24, 2);
+  const auto pairs =
+      UnsupervisedMatcher::AllPairSimilarities(left, right);
+  ASSERT_EQ(pairs.size(), 35u);
+  for (const cluster::ScoredPair& pair : pairs) {
+    const float cos =
+        la::Dot(left.Row(pair.left), right.Row(pair.right), 24);
+    EXPECT_EQ(pair.sim, 0.5f * (1.f + cos));
+    EXPECT_GE(pair.sim, 0.f);
+    EXPECT_LE(pair.sim, 1.f);
+  }
+}
+
+TEST(UnsupervisedMatcherTest, SweepRecoversPlantedMatches) {
+  // Left row i == right row i exactly; everything else is far away.
+  la::Matrix left(6, 16), right(6, 16);
+  for (size_t r = 0; r < 6; ++r) {
+    left.At(r, r) = 1.f;
+    right.At(r, r) = 1.f;
+  }
+  eval::GroundTruth truth;
+  for (uint32_t i = 0; i < 6; ++i) truth.AddCleanCleanPair(i, i);
+
+  auto pairs = UnsupervisedMatcher::AllPairSimilarities(left, right);
+  const SweepResult sweep =
+      UnsupervisedMatcher::Sweep(pairs, 6, 6, truth);
+  EXPECT_DOUBLE_EQ(sweep.best.metrics.f1, 1.0);
+  EXPECT_EQ(sweep.points.size(), 19u);
+  EXPECT_GE(sweep.termination_threshold, sweep.best.threshold);
+}
+
+TEST(SupervisedMatcherTest, DefaultOptionsSizeTheMlp) {
+  const auto info = embed::GetModelInfo(embed::ModelId::kSMiniLm);
+  const SupervisedOptions options =
+      SupervisedMatcher::DefaultOptionsFor(info);
+  EXPECT_EQ(options.mlp.input_dim, 2 * info.dim + 1);
+}
+
+TEST(SupervisedMatcherTest, BeatsChanceOnGeneratedDsm) {
+  const auto spec = datagen::DsmSpecById("DSM3").value();
+  const datagen::DsmDataset data = datagen::GenerateDsm(spec, 0.05, 41);
+
+  embed::StaticEmbeddingModel model(embed::ModelId::kFastText);
+  SupervisedOptions options =
+      SupervisedMatcher::DefaultOptionsFor(model.info());
+  options.mlp.seed = 17;
+  SupervisedMatcher matcher(model, options);
+  const SupervisedReport report = matcher.TrainAndEvaluate(data);
+  EXPECT_GE(report.train_seconds, 0.0);
+  EXPECT_GE(report.test_seconds, 0.0);
+  EXPECT_GT(report.test_metrics.f1, 0.3);
+}
+
+}  // namespace
+}  // namespace ember::match

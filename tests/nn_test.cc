@@ -1,0 +1,118 @@
+#include "nn/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/matrix.h"
+#include "nn/transformer.h"
+
+namespace ember::nn {
+namespace {
+
+TEST(MlpClassifierTest, LearnsLinearlySeparableData) {
+  MlpClassifier::Options options;
+  options.input_dim = 2;
+  options.seed = 3;
+  MlpClassifier classifier(options);
+
+  Rng rng(4);
+  la::Matrix features(200, 2);
+  std::vector<int> labels(200);
+  for (size_t i = 0; i < 200; ++i) {
+    const float x = static_cast<float>(rng.Uniform()) * 2 - 1;
+    const float y = static_cast<float>(rng.Uniform()) * 2 - 1;
+    features.At(i, 0) = x;
+    features.At(i, 1) = y;
+    labels[i] = x + y > 0 ? 1 : 0;
+  }
+  float first = 0, last = 0;
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    last = classifier.TrainEpoch(features, labels);
+    if (epoch == 0) first = last;
+  }
+  EXPECT_LT(last, first);
+
+  size_t correct = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    const bool predicted = classifier.Predict(features.Row(i)) >= 0.5f;
+    correct += predicted == (labels[i] == 1);
+  }
+  EXPECT_GT(correct, 175u);
+}
+
+TEST(MlpClassifierTest, DeterministicForFixedSeed) {
+  MlpClassifier::Options options;
+  options.input_dim = 4;
+  options.seed = 11;
+  MlpClassifier a(options), b(options);
+  la::Matrix features(8, 4);
+  Rng rng(5);
+  features.FillGaussian(rng, 1.f);
+  const std::vector<int> labels = {0, 1, 0, 1, 1, 0, 1, 0};
+  EXPECT_EQ(a.TrainEpoch(features, labels), b.TrainEpoch(features, labels));
+  EXPECT_EQ(a.Predict(features.Row(0)), b.Predict(features.Row(0)));
+}
+
+TEST(AutoencoderTest, ReconstructionImprovesOverRandom) {
+  Autoencoder::Options options;
+  options.input_dim = 32;
+  options.hidden_dim = 8;
+  options.epochs = 12;
+  options.seed = 7;
+  Autoencoder autoencoder(options);
+
+  Rng rng(8);
+  la::Matrix data(100, 32);
+  data.FillGaussian(rng, 0.3f);
+  const float final_error = autoencoder.Train(data);
+  EXPECT_TRUE(std::isfinite(final_error));
+
+  std::vector<float> hidden(autoencoder.hidden_dim());
+  autoencoder.Encode(data.Row(0), hidden.data());
+  EXPECT_EQ(hidden.size(), 8u);
+}
+
+TEST(TransformerEncoderTest, ForwardShapeAndDeterminism) {
+  TransformerConfig config;
+  config.dim = 32;
+  config.num_heads = 4;
+  config.num_layers = 2;
+  config.ffn_dim = 64;
+  config.seed = 21;
+  const TransformerEncoder encoder(config);
+
+  Rng rng(9);
+  la::Matrix tokens(10, 32);
+  tokens.FillGaussian(rng, 1.f);
+  const la::Matrix a = encoder.Forward(tokens);
+  // Row 0 is the CLS summary state; rows 1..T mirror the inputs.
+  ASSERT_EQ(a.rows(), 11u);
+  ASSERT_EQ(a.cols(), 32u);
+  const TransformerEncoder same(config);
+  EXPECT_EQ(same.Forward(tokens), a);
+}
+
+TEST(TransformerEncoderTest, PositionMattersWhenScaled) {
+  TransformerConfig config;
+  config.dim = 32;
+  config.num_heads = 4;
+  config.num_layers = 1;
+  config.ffn_dim = 64;
+  config.pos_scale = 0.5f;
+  config.seed = 22;
+  const TransformerEncoder encoder(config);
+
+  Rng rng(10);
+  la::Matrix tokens(4, 32);
+  tokens.FillGaussian(rng, 1.f);
+  la::Matrix swapped = tokens;
+  for (size_t c = 0; c < 32; ++c) {
+    std::swap(swapped.At(0, c), swapped.At(3, c));
+  }
+  EXPECT_NE(encoder.Forward(tokens), encoder.Forward(swapped));
+}
+
+}  // namespace
+}  // namespace ember::nn

@@ -1,0 +1,93 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace ember {
+namespace {
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  for (const size_t grain : {0ul, 1ul, 7ul, 1000ul}) {
+    std::vector<std::atomic<int>> hits(257);
+    ParallelFor(0, hits.size(), grain, [&](size_t begin, size_t end) {
+      ASSERT_LE(begin, end);
+      for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelFor(5, 5, 4, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, ChunkPartitionIndependentOfThreadCount) {
+  const auto partition_at = [](int threads) {
+    SetThreads(threads);
+    std::mutex mu;
+    std::vector<std::pair<size_t, size_t>> chunks;
+    ParallelFor(3, 1003, 0, [&](size_t begin, size_t end) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(begin, end);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  const auto reference = partition_at(1);
+  for (const int threads : {2, 3, 4, 8}) {
+    EXPECT_EQ(partition_at(threads), reference) << threads << " threads";
+  }
+  SetThreads(0);
+}
+
+TEST(ParallelForTest, DisjointWritesAreDeterministic) {
+  const auto compute_at = [](int threads) {
+    SetThreads(threads);
+    std::vector<double> out(5000);
+    ParallelForEach(0, out.size(), 16, [&](size_t i) {
+      out[i] = static_cast<double>(i) * 1.0000001 + 0.5;
+    });
+    return out;
+  };
+  const auto reference = compute_at(1);
+  EXPECT_EQ(compute_at(2), reference);
+  EXPECT_EQ(compute_at(4), reference);
+  SetThreads(0);
+}
+
+TEST(ParallelForTest, NestedCallsRunInline) {
+  SetThreads(4);
+  std::vector<std::atomic<int>> hits(64);
+  ParallelFor(0, 8, 1, [&](size_t begin, size_t end) {
+    for (size_t outer = begin; outer < end; ++outer) {
+      ParallelFor(0, 8, 1, [&](size_t b, size_t e) {
+        for (size_t inner = b; inner < e; ++inner) {
+          hits[outer * 8 + inner].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  SetThreads(0);
+}
+
+TEST(ParallelForTest, SerialFallbackRunsOnCallingThread) {
+  SetThreads(1);
+  EXPECT_EQ(ConfiguredThreads(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  ParallelFor(0, 100, 10, [&](size_t, size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  SetThreads(0);
+}
+
+}  // namespace
+}  // namespace ember

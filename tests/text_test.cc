@@ -1,0 +1,62 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include "text/string_similarity.h"
+
+namespace ember::text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  const auto tokens = Tokenize("Acme DELUXE headset, 20-hour battery!");
+  const std::vector<std::string> expected = {"acme",  "deluxe", "headset",
+                                             "20",    "hour",   "battery"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(TokenizerTest, EmptyAndSeparatorOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize(" ,;- ").empty());
+}
+
+TEST(TokenizerTest, CharNgrams) {
+  const auto grams = CharNgrams("abcd", 3);
+  const std::vector<std::string> expected = {"abc", "bcd"};
+  EXPECT_EQ(grams, expected);
+  EXPECT_TRUE(CharNgrams("ab", 3).empty());
+}
+
+TEST(TokenizerTest, SynonymSurfaceRoundTrip) {
+  const std::string surface = MakeSynonymSurface("battery", 2);
+  EXPECT_NE(surface, "battery");
+  EXPECT_EQ(CanonicalWordForm(surface), "battery");
+  EXPECT_EQ(CanonicalWordForm("battery"), "battery");
+}
+
+TEST(StringSimilarityTest, LevenshteinBounds) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", ""), 0.0);
+  EXPECT_GT(LevenshteinSimilarity("kitten", "sitten"), 0.8);
+}
+
+TEST(StringSimilarityTest, JaroWinklerFavorsSharedPrefix) {
+  const double jw_prefix = JaroWinklerSimilarity("martha", "marhta");
+  const double jaro = JaroSimilarity("martha", "marhta");
+  EXPECT_GE(jw_prefix, jaro);
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("same", "same"), 1.0);
+}
+
+TEST(StringSimilarityTest, TokenMeasures) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b c", "a b c"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b", "c d"), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient("a b", "a b c d"), 1.0);
+  EXPECT_NEAR(CosineOverTf("a b", "a c"), 0.5, 1e-9);
+}
+
+TEST(StringSimilarityTest, MongeElkanHandlesWordReorder) {
+  EXPECT_GT(MongeElkanSimilarity("john smith", "smith john"), 0.9);
+}
+
+}  // namespace
+}  // namespace ember::text

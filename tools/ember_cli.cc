@@ -1,0 +1,157 @@
+// Small command-line front end to the library:
+//
+//   ember_cli models
+//       List the 12 reproduced embedding models (Table 1 metadata).
+//   ember_cli block <D1..D10> [--k n] [--scale f] [--seed n] [--hnsw]
+//       Generate the dataset, embed with S-GTR-T5, top-k block, report
+//       recall.
+//   ember_cli pipeline <D1..D10> [--scale f] [--seed n] [--auto]
+//       End-to-end blocking + matching with Unique Mapping Clustering.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/blocking.h"
+#include "core/pipeline.h"
+#include "datagen/benchmark_datasets.h"
+#include "embed/embedding_model.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+
+using namespace ember;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s models\n"
+               "       %s block <D1..D10> [--k n] [--scale f] [--seed n] "
+               "[--hnsw]\n"
+               "       %s pipeline <D1..D10> [--scale f] [--seed n] [--auto]\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+struct CliArgs {
+  std::string dataset;
+  size_t k = 10;
+  double scale = 0.1;
+  uint64_t seed = 41;
+  bool hnsw = false;
+  bool auto_threshold = false;
+};
+
+bool ParseCli(int argc, char** argv, int first, CliArgs& args) {
+  if (first >= argc) return false;
+  args.dataset = argv[first];
+  for (int i = first + 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--k" && i + 1 < argc) {
+      args.k = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--scale" && i + 1 < argc) {
+      args.scale = std::atof(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      args.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--hnsw") {
+      args.hnsw = true;
+    } else if (arg == "--auto") {
+      args.auto_threshold = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunModels() {
+  eval::Table table("ember models (Table 1)");
+  table.SetHeader({"code", "name", "family", "dim", "max_seq", "params_M"});
+  for (const embed::ModelId id : embed::AllModels()) {
+    const embed::ModelInfo& info = embed::GetModelInfo(id);
+    table.AddRow({info.code, info.name, embed::ModelFamilyName(info.family),
+                  std::to_string(info.dim),
+                  info.max_seq_tokens == 0 ? "-"
+                                           : std::to_string(info.max_seq_tokens),
+                  info.param_millions < 0
+                      ? "-"
+                      : eval::Table::Num(info.param_millions, 0)});
+  }
+  table.Print();
+  return 0;
+}
+
+struct LoadedDataset {
+  datagen::CleanCleanDataset data;
+  eval::GroundTruth truth;
+  la::Matrix left, right;
+};
+
+bool LoadAndEmbed(const CliArgs& args, LoadedDataset& out) {
+  const auto spec = datagen::CleanCleanSpecById(args.dataset);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "unknown dataset '%s'\n", args.dataset.c_str());
+    return false;
+  }
+  out.data = datagen::GenerateCleanClean(spec.value(), args.scale, args.seed);
+  for (const auto& [l, r] : out.data.matches) {
+    out.truth.AddCleanCleanPair(l, r);
+  }
+  auto model = embed::CreateModel(embed::ModelId::kSGtrT5);
+  model->Initialize();
+  out.left = model->VectorizeAll(out.data.left.AllSentences());
+  out.right = model->VectorizeAll(out.data.right.AllSentences());
+  return true;
+}
+
+int RunBlock(const CliArgs& args) {
+  LoadedDataset loaded;
+  if (!LoadAndEmbed(args, loaded)) return 1;
+  core::BlockingOptions options;
+  options.k = args.k;
+  options.use_hnsw = args.hnsw;
+  options.hnsw.seed = args.seed;
+  const core::BlockingResult blocked =
+      core::BlockCleanClean(loaded.left, loaded.right, options);
+  const eval::PrfMetrics metrics =
+      eval::EvaluateCleanCleanCandidates(blocked.candidates, loaded.truth);
+  std::printf("%s  %s  k=%zu  recall=%.4f  index=%.3fs query=%.3fs\n",
+              args.dataset.c_str(), args.hnsw ? "hnsw" : "exact", args.k,
+              metrics.recall, blocked.index_seconds, blocked.query_seconds);
+  return 0;
+}
+
+int RunPipeline(const CliArgs& args) {
+  LoadedDataset loaded;
+  if (!LoadAndEmbed(args, loaded)) return 1;
+  core::PipelineOptions options;
+  options.auto_threshold = args.auto_threshold;
+  core::ErPipeline pipeline(options);
+  const core::PipelineResult result =
+      pipeline.RunOnVectors(loaded.left, loaded.right);
+  std::vector<std::pair<uint32_t, uint32_t>> predicted;
+  for (const auto& m : result.matches) predicted.emplace_back(m.left, m.right);
+  const eval::PrfMetrics metrics =
+      eval::EvaluateCleanCleanMatches(predicted, loaded.truth);
+  std::printf(
+      "%s  delta=%.3f  precision=%.4f recall=%.4f f1=%.4f  "
+      "block=%.3fs match=%.3fs\n",
+      args.dataset.c_str(), result.threshold_used, metrics.precision,
+      metrics.recall, metrics.f1, result.blocking_seconds,
+      result.matching_seconds);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  const std::string command = argv[1];
+  if (command == "models") return RunModels();
+  CliArgs args;
+  if (!ParseCli(argc, argv, 2, args)) return Usage(argv[0]);
+  if (command == "block") return RunBlock(args);
+  if (command == "pipeline") return RunPipeline(args);
+  return Usage(argv[0]);
+}
