@@ -31,6 +31,11 @@ class ThreadPool {
   /// order never affects results.
   void Run(int threads, size_t num_chunks,
            const std::function<void(size_t)>& chunk_fn) {
+    // One top-level region at a time: the public entry points (QueryBatch,
+    // VectorizeAll, ...) are documented thread-safe, so two user threads may
+    // reach here concurrently. Without this lock both would overwrite
+    // chunk_fn_/next_chunk_/generation_ mid-region.
+    std::lock_guard<std::mutex> region_lock(region_mutex_);
     EnsureWorkers(threads - 1);
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -59,7 +64,14 @@ class ThreadPool {
     std::lock_guard<std::mutex> lock(mutex_);
     while (static_cast<int>(workers_.size()) < target) {
       const int id = static_cast<int>(workers_.size());
-      workers_.emplace_back([this, id] { WorkerLoop(id); });
+      // A worker spawned after earlier regions ran must start at the CURRENT
+      // generation, not 0 — otherwise it wakes on the stale generation and
+      // its spurious active_workers_ decrement can signal done_cv_ while
+      // another worker is still inside the chunk function (use-after-free of
+      // the caller's chunk_fn and captured state).
+      const uint64_t spawn_generation = generation_;
+      workers_.emplace_back(
+          [this, id, spawn_generation] { WorkerLoop(id, spawn_generation); });
     }
   }
 
@@ -72,8 +84,7 @@ class ThreadPool {
     }
   }
 
-  void WorkerLoop(int id) {
-    uint64_t seen_generation = 0;
+  void WorkerLoop(int id, uint64_t seen_generation) {
     for (;;) {
       bool participate;
       {
@@ -94,6 +105,10 @@ class ThreadPool {
     }
   }
 
+  /// Serializes top-level regions from different user threads; held for the
+  /// whole of Run. Distinct from mutex_, which only guards pool state and is
+  /// released while chunks execute.
+  std::mutex region_mutex_;
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;

@@ -26,10 +26,11 @@ void SetThreads(int n);
 /// preallocated output slots produces bit-identical results at every thread
 /// count, including the serial fallback.
 ///
-/// `grain` is the maximum chunk length (0 means "one chunk per ~4x threads",
-/// still computed from a fixed reference width so the partition stays
+/// `grain` is the maximum chunk length (0 partitions the range into ~64
+/// fixed chunks regardless of thread count, so the partition stays
 /// thread-count independent). fn must be thread-safe across chunks and must
-/// not throw. Nested ParallelFor calls run serially inline.
+/// not throw. Nested ParallelFor calls run serially inline; concurrent
+/// top-level calls from different threads are serialized by the pool.
 void ParallelFor(size_t begin, size_t end, size_t grain,
                  const std::function<void(size_t, size_t)>& fn);
 

@@ -79,6 +79,50 @@ TEST(ParallelForTest, NestedCallsRunInline) {
   SetThreads(0);
 }
 
+TEST(ParallelForTest, GrowingPoolAfterEarlierRegionsStaysCorrect) {
+  // Regression: a worker spawned after earlier regions ran (generation > 0)
+  // used to start with seen_generation=0, wake on the stale generation, and
+  // decrement the active-worker count for a region it never joined — which
+  // could signal completion while another worker was still executing the
+  // chunk function. Sweep thread counts upward so every step spawns fresh
+  // workers into a pool with a nonzero generation.
+  for (const int threads : {2, 3, 4, 8}) {
+    SetThreads(threads);
+    for (int rep = 0; rep < 50; ++rep) {
+      std::vector<std::atomic<int>> hits(513);
+      ParallelFor(0, hits.size(), 1, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+      for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+    }
+  }
+  SetThreads(0);
+}
+
+TEST(ParallelForTest, ConcurrentTopLevelCallersAreSerialized) {
+  // Two user threads may hit ParallelFor at once through the thread-safe
+  // public APIs (QueryBatch, VectorizeAll); the pool must serialize the
+  // regions rather than let them overwrite each other's chunk state.
+  SetThreads(4);
+  constexpr int kCallers = 4;
+  constexpr int kReps = 20;
+  std::vector<std::vector<int>> out(kCallers, std::vector<int>(2048, 0));
+  std::vector<std::thread> callers;
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&out, t] {
+      for (int rep = 0; rep < kReps; ++rep) {
+        ParallelForEach(0, out[t].size(), 16,
+                        [&out, t](size_t i) { out[t][i] += 1; });
+      }
+    });
+  }
+  for (auto& th : callers) th.join();
+  for (const auto& v : out) {
+    for (const int x : v) ASSERT_EQ(x, kReps);
+  }
+  SetThreads(0);
+}
+
 TEST(ParallelForTest, SerialFallbackRunsOnCallingThread) {
   SetThreads(1);
   EXPECT_EQ(ConfiguredThreads(), 1);
