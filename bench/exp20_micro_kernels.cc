@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <utility>
+
 #include "cluster/bipartite_clustering.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -59,11 +61,33 @@ void BM_TransformerLayer(benchmark::State& state) {
   const nn::TransformerEncoder encoder(config);
   const la::Matrix tokens =
       RandomMatrix(static_cast<size_t>(state.range(0)), 64, 4);
+  // Reused workspace, as in the production encode path: after the first
+  // iteration warms it up, Forward performs no heap allocation.
+  nn::TransformerEncoder::Workspace ws;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(encoder.Forward(tokens));
+    benchmark::DoNotOptimize(encoder.Forward(tokens, ws));
   }
 }
 BENCHMARK(BM_TransformerLayer)->Arg(16)->Arg(64)->Arg(100);
+
+// Full multi-layer forward at the sentence-encoder scale used by the BERT
+// family models in exp12: the whole-sequence GEMM path end to end.
+void BM_TransformerForward(benchmark::State& state) {
+  nn::TransformerConfig config;
+  config.dim = 64;
+  config.num_heads = 4;
+  config.num_layers = 4;
+  config.ffn_dim = 128;
+  const nn::TransformerEncoder encoder(config);
+  const la::Matrix tokens =
+      RandomMatrix(static_cast<size_t>(state.range(0)), 64, 4);
+  nn::TransformerEncoder::Workspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Forward(tokens, ws));
+  }
+  state.SetItemsProcessed(state.iterations() * tokens.rows());
+}
+BENCHMARK(BM_TransformerForward)->Arg(16)->Arg(64)->Arg(128);
 
 void BM_Tokenize(benchmark::State& state) {
   const std::string sentence =
@@ -96,6 +120,21 @@ void BM_ExactQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExactQuery)->Arg(1000)->Arg(10000);
+
+void BM_HnswBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const la::Matrix data = RandomMatrix(n, 300, 7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    la::Matrix copy = data;  // moved into the index; rebuilt every iteration
+    state.ResumeTiming();
+    index::HnswIndex idx;
+    idx.Build(std::move(copy));
+    benchmark::DoNotOptimize(idx.data().rows());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HnswBuild)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
 
 void BM_HnswQuery(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Local CI gate: build Release and Debug+sanitizers, run the full test suite
-# in both. Usage: ci/check.sh [-j N]
+# in both, then smoke-run the micro-benchmarks on the Release build. New
+# warnings in src/la and src/nn fail the build (-Werror on those targets).
+# Usage: ci/check.sh [-j N]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,5 +26,8 @@ run_config() {
 
 run_config build-release -DCMAKE_BUILD_TYPE=Release
 run_config build-asan -DCMAKE_BUILD_TYPE=Debug -DEMBER_SANITIZE=ON
+
+echo "==> exp20 micro-kernel smoke (Release)"
+./build-release/bench/exp20_micro_kernels --benchmark_min_time=0.01
 
 echo "==> all checks passed"

@@ -1,5 +1,7 @@
 #include "core/blocking.h"
 
+#include <utility>
+
 #include "common/timer.h"
 #include "index/exact_index.h"
 
@@ -7,30 +9,60 @@ namespace ember::core {
 
 namespace {
 
-/// Builds the chosen index over `data` and batch-queries `queries`.
+/// Builds the chosen index over `data` (moved in, never copied again) and
+/// batch-queries `queries`. A null `queries` means self-join: the queries
+/// are the index's own stored vectors, which is how the dirty path avoids
+/// keeping a second copy of the collection alive.
 std::vector<std::vector<index::Neighbor>> BuildAndQuery(
-    const la::Matrix& data, const la::Matrix& queries, size_t k,
+    la::Matrix data, const la::Matrix* queries, size_t k,
     const BlockingOptions& options, BlockingResult& result) {
   WallTimer timer;
   std::vector<std::vector<index::Neighbor>> neighbors;
   if (options.use_hnsw) {
     index::HnswIndex idx(options.hnsw);
-    idx.Build(data);
+    idx.Build(std::move(data));
     result.index_seconds = timer.Restart();
-    neighbors = idx.QueryBatch(queries, k);
+    neighbors = idx.QueryBatch(queries != nullptr ? *queries : idx.data(), k);
   } else if (options.use_lsh) {
     index::LshIndex idx(options.lsh);
-    idx.Build(data);
+    idx.Build(std::move(data));
     result.index_seconds = timer.Restart();
-    neighbors = idx.QueryBatch(queries, k);
+    neighbors = idx.QueryBatch(queries != nullptr ? *queries : idx.data(), k);
   } else {
     index::ExactIndex idx;
-    idx.Build(data);
+    idx.Build(std::move(data));
     result.index_seconds = timer.Restart();
-    neighbors = idx.QueryBatch(queries, k);
+    neighbors = idx.QueryBatch(queries != nullptr ? *queries : idx.data(), k);
   }
   result.query_seconds = timer.Restart();
   return neighbors;
+}
+
+BlockingResult CleanCleanFromNeighbors(
+    const std::vector<std::vector<index::Neighbor>>& neighbors,
+    BlockingResult result, size_t k) {
+  result.candidates.reserve(neighbors.size() * k);
+  for (size_t q = 0; q < neighbors.size(); ++q) {
+    for (const index::Neighbor& n : neighbors[q]) {
+      result.candidates.emplace_back(static_cast<uint32_t>(q), n.id);
+    }
+  }
+  return result;
+}
+
+BlockingResult DirtyFromNeighbors(
+    const std::vector<std::vector<index::Neighbor>>& neighbors,
+    BlockingResult result, size_t k) {
+  result.candidates.reserve(neighbors.size() * k);
+  for (size_t q = 0; q < neighbors.size(); ++q) {
+    size_t kept = 0;
+    for (const index::Neighbor& n : neighbors[q]) {
+      if (n.id == q) continue;
+      if (kept++ == k) break;
+      result.candidates.emplace_back(static_cast<uint32_t>(q), n.id);
+    }
+  }
+  return result;
 }
 
 }  // namespace
@@ -39,31 +71,32 @@ BlockingResult BlockCleanClean(const la::Matrix& left, const la::Matrix& right,
                                const BlockingOptions& options) {
   BlockingResult result;
   const auto neighbors =
-      BuildAndQuery(right, left, options.k, options, result);
-  result.candidates.reserve(neighbors.size() * options.k);
-  for (size_t q = 0; q < neighbors.size(); ++q) {
-    for (const index::Neighbor& n : neighbors[q]) {
-      result.candidates.emplace_back(static_cast<uint32_t>(q), n.id);
-    }
-  }
-  return result;
+      BuildAndQuery(right, &left, options.k, options, result);
+  return CleanCleanFromNeighbors(neighbors, std::move(result), options.k);
+}
+
+BlockingResult BlockCleanClean(const la::Matrix& left, la::Matrix&& right,
+                               const BlockingOptions& options) {
+  BlockingResult result;
+  const auto neighbors =
+      BuildAndQuery(std::move(right), &left, options.k, options, result);
+  return CleanCleanFromNeighbors(neighbors, std::move(result), options.k);
 }
 
 BlockingResult BlockDirty(const la::Matrix& vectors,
                           const BlockingOptions& options) {
   BlockingResult result;
   const auto neighbors =
-      BuildAndQuery(vectors, vectors, options.k + 1, options, result);
-  result.candidates.reserve(neighbors.size() * options.k);
-  for (size_t q = 0; q < neighbors.size(); ++q) {
-    size_t kept = 0;
-    for (const index::Neighbor& n : neighbors[q]) {
-      if (n.id == q) continue;
-      if (kept++ == options.k) break;
-      result.candidates.emplace_back(static_cast<uint32_t>(q), n.id);
-    }
-  }
-  return result;
+      BuildAndQuery(vectors, nullptr, options.k + 1, options, result);
+  return DirtyFromNeighbors(neighbors, std::move(result), options.k);
+}
+
+BlockingResult BlockDirty(la::Matrix&& vectors,
+                          const BlockingOptions& options) {
+  BlockingResult result;
+  const auto neighbors =
+      BuildAndQuery(std::move(vectors), nullptr, options.k + 1, options, result);
+  return DirtyFromNeighbors(neighbors, std::move(result), options.k);
 }
 
 }  // namespace ember::core

@@ -34,10 +34,19 @@ struct BlockingResult {
 BlockingResult BlockCleanClean(const la::Matrix& left, const la::Matrix& right,
                                const BlockingOptions& options);
 
+/// Move-in overload for callers done with `right`: the matrix is moved into
+/// the index instead of copied, halving peak vector memory on large builds.
+BlockingResult BlockCleanClean(const la::Matrix& left, la::Matrix&& right,
+                               const BlockingOptions& options);
+
 /// Dirty-ER blocking: the collection is indexed against itself; each record
 /// retrieves k + 1 neighbors and drops itself.
 BlockingResult BlockDirty(const la::Matrix& vectors,
                           const BlockingOptions& options);
+
+/// Move-in overload for callers done with `vectors`; the self-join queries
+/// run against the index's own (moved-in) copy.
+BlockingResult BlockDirty(la::Matrix&& vectors, const BlockingOptions& options);
 
 }  // namespace ember::core
 

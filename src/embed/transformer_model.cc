@@ -1,5 +1,6 @@
 #include "embed/transformer_model.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/logging.h"
@@ -9,10 +10,37 @@
 
 namespace ember::embed {
 
+namespace {
+
+/// Per-thread reusable scratch for EncodeInto: the transformer workspace
+/// plus the token-embedding and pooling buffers. Thread-local storage keeps
+/// EncodeInto const and thread-safe under VectorizeAll's parallel encode
+/// (each pool worker owns one scratch), while amortizing all per-sentence
+/// heap allocations away after the first call at peak shape. Values never
+/// leak between calls: every buffer is fully overwritten before being read,
+/// so outputs stay bit-identical regardless of scratch history or thread
+/// assignment.
+struct EncodeScratch {
+  nn::TransformerEncoder::Workspace workspace;
+  la::Matrix embeds;
+  std::vector<float> pooled;
+};
+
+EncodeScratch& LocalScratch() {
+  thread_local EncodeScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
 TransformerEmbeddingModel::TransformerEmbeddingModel(const ModelInfo& info,
                                                      const Config& config)
     : EmbeddingModel(info), config_(config) {
   EMBER_CHECK(config_.token.dim == config_.encoder.dim);
+  // The encoder never sees more than max_tokens inputs (plus CLS), so the
+  // precomputed positional table only needs that many rows.
+  config_.encoder.max_positions =
+      std::min(config_.encoder.max_positions, config_.max_tokens + 1);
 }
 
 void TransformerEmbeddingModel::BuildWeights() {
@@ -31,15 +59,18 @@ void TransformerEmbeddingModel::EncodeInto(const std::string& sentence,
   for (size_t d = 0; d < info().dim; ++d) out[d] = 0.f;
   if (tokens.empty()) return;
 
-  la::Matrix embeds(tokens.size(), dim);
+  EncodeScratch& scratch = LocalScratch();
+  scratch.embeds.Resize(tokens.size(), dim);
   for (size_t t = 0; t < tokens.size(); ++t) {
     // Subword tokenization leaves nothing OOV: when the lexicon misses a
-    // token, its n-gram/surface hash vector still fills the slot.
-    token_encoder_->Encode(tokens[t], embeds.Row(t));
+    // token, its n-gram/surface hash vector still fills the slot (Encode
+    // zeroes the row first, so reusing scratch memory is safe).
+    token_encoder_->Encode(tokens[t], scratch.embeds.Row(t));
   }
-  const la::Matrix states = encoder_->Forward(embeds);
+  const la::Matrix& states = encoder_->Forward(scratch.embeds, scratch.workspace);
 
-  std::vector<float> pooled(dim, 0.f);
+  scratch.pooled.assign(dim, 0.f);
+  float* pooled = scratch.pooled.data();
   if (config_.cls_pooling) {
     const float* cls = states.Row(0);
     for (size_t d = 0; d < dim; ++d) pooled[d] = cls[d];
@@ -47,13 +78,13 @@ void TransformerEmbeddingModel::EncodeInto(const std::string& sentence,
     float total = 0.f;
     for (size_t t = 0; t < tokens.size(); ++t) {
       const float w = token_encoder_->Idf(tokens[t]);
-      la::Axpy(w, states.Row(t + 1), pooled.data(), dim);
+      la::Axpy(w, states.Row(t + 1), pooled, dim);
       total += w;
     }
-    if (total > 0.f) la::Scale(1.f / total, pooled.data(), dim);
+    if (total > 0.f) la::Scale(1.f / total, pooled, dim);
   }
 
-  la::Gemv(projection_, pooled.data(), out);
+  la::Gemv(projection_, pooled, out);
   la::NormalizeInPlace(out, info().dim);
 }
 

@@ -34,6 +34,10 @@ class TransformerEmbeddingModel : public EmbeddingModel {
 
   TransformerEmbeddingModel(const ModelInfo& info, const Config& config);
 
+  /// Const and thread-safe: the transformer workspace and pooling buffers
+  /// live in thread-local scratch (one per pool worker under VectorizeAll),
+  /// fully overwritten each call, so repeated encodes are allocation-free
+  /// after warmup and bit-identical at any thread count.
   void EncodeInto(const std::string& sentence, float* out) const override;
 
  protected:

@@ -1,6 +1,7 @@
 #include "index/exact_index.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/parallel.h"
@@ -46,7 +47,7 @@ class TopK {
 
 }  // namespace
 
-void ExactIndex::Build(const la::Matrix& data) { data_ = data; }
+void ExactIndex::Build(la::Matrix data) { data_ = std::move(data); }
 
 std::vector<Neighbor> ExactIndex::Query(const float* query, size_t k) const {
   TopK top(std::min(k, data_.rows()));

@@ -16,10 +16,16 @@ namespace ember::index {
 /// its result slot; the data scan order never changes).
 class ExactIndex {
  public:
-  void Build(const la::Matrix& data);
+  /// Takes the data by value: pass an lvalue to copy, or std::move the
+  /// matrix in to avoid doubling peak memory.
+  void Build(la::Matrix data);
 
   size_t size() const { return data_.rows(); }
   size_t dim() const { return data_.cols(); }
+
+  /// The indexed vectors (e.g. for self-join querying after a move-in
+  /// Build).
+  const la::Matrix& data() const { return data_; }
 
   /// Top-k by ascending cosine distance, ties by ascending id. Returns
   /// min(k, size()) neighbors.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -21,6 +22,15 @@ bool BestOnTop(const Neighbor& a, const Neighbor& b) {
   return CloserThan(b, a);
 }
 
+/// Per-thread visited scratch for the const query path. Shared across
+/// HnswIndex instances (Clear resizes on demand); safe because queries
+/// never nest on one thread, and value-irrelevant because the set is
+/// cleared before every search.
+VisitedSet& QueryVisited() {
+  thread_local VisitedSet visited;
+  return visited;
+}
+
 }  // namespace
 
 float HnswIndex::DistanceTo(const float* query, uint32_t node) const {
@@ -38,9 +48,10 @@ const std::vector<uint32_t>& HnswIndex::NeighborsOf(uint32_t node,
 
 std::vector<Neighbor> HnswIndex::SearchLayer(const float* query,
                                              Neighbor entry, size_t ef,
-                                             size_t level) const {
-  std::vector<char> visited(data_.rows(), 0);
-  visited[entry.id] = 1;
+                                             size_t level,
+                                             VisitedSet& visited) const {
+  visited.Clear(data_.rows());
+  visited.TestAndSet(entry.id);
   std::vector<Neighbor> frontier = {entry};  // min-heap
   std::vector<Neighbor> best = {entry};      // max-heap, capped at ef
   while (!frontier.empty()) {
@@ -49,8 +60,7 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query,
     frontier.pop_back();
     if (best.size() >= ef && CloserThan(best.front(), current)) break;
     for (const uint32_t next : NeighborsOf(current.id, level)) {
-      if (visited[next]) continue;
-      visited[next] = 1;
+      if (visited.TestAndSet(next)) continue;
       const Neighbor candidate{next, DistanceTo(query, next)};
       if (best.size() < ef || CloserThan(candidate, best.front())) {
         frontier.push_back(candidate);
@@ -90,7 +100,8 @@ void HnswIndex::Insert(uint32_t node, size_t node_level) {
   // Connect on [min(node_level, max_level_) .. 0].
   for (size_t level = std::min(node_level, max_level_) + 1; level-- > 0;) {
     const std::vector<Neighbor> found =
-        SearchLayer(vec, entry, options_.ef_construction, level);
+        SearchLayer(vec, entry, options_.ef_construction, level,
+                    build_visited_);
     const size_t cap = level == 0 ? 2 * options_.m : options_.m;
     std::vector<uint32_t>& mine = NeighborsOf(node, level);
     for (const Neighbor& n : found) {
@@ -119,8 +130,8 @@ void HnswIndex::Insert(uint32_t node, size_t node_level) {
   }
 }
 
-void HnswIndex::Build(const la::Matrix& data) {
-  data_ = data;
+void HnswIndex::Build(la::Matrix data) {
+  data_ = std::move(data);
   links_.assign(data_.rows(), {});
   if (data_.rows() == 0) return;
 
@@ -157,8 +168,8 @@ std::vector<Neighbor> HnswIndex::Query(const float* query, size_t k) const {
       }
     }
   }
-  std::vector<Neighbor> best =
-      SearchLayer(query, entry, std::max(k, options_.ef_search), 0);
+  std::vector<Neighbor> best = SearchLayer(
+      query, entry, std::max(k, options_.ef_search), 0, QueryVisited());
   if (best.size() > k) best.resize(k);
   return best;
 }

@@ -1,6 +1,7 @@
 #ifndef EMBER_INDEX_HNSW_INDEX_H_
 #define EMBER_INDEX_HNSW_INDEX_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -18,19 +19,55 @@ struct HnswOptions {
   uint64_t seed = 1;
 };
 
+/// Epoch-stamped visited set (the hnswlib VisitedList trick): clearing
+/// between searches is one epoch increment instead of an O(n) allocation +
+/// memset, so the buffer is reused across every SearchLayer of a query and
+/// across queries on the same thread.
+class VisitedSet {
+ public:
+  /// Makes ids [0, n) unvisited. Allocates only when growing past the
+  /// largest n seen; otherwise O(1) except on (u32) epoch wraparound.
+  void Clear(size_t n) {
+    if (stamps_.size() < n) stamps_.assign(n, 0);
+    if (++epoch_ == 0) {
+      std::fill(stamps_.begin(), stamps_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  /// Marks id visited; returns whether it already was.
+  bool TestAndSet(uint32_t id) {
+    if (stamps_[id] == epoch_) return true;
+    stamps_[id] = epoch_;
+    return false;
+  }
+
+ private:
+  std::vector<uint32_t> stamps_;
+  uint32_t epoch_ = 0;
+};
+
 /// Hierarchical Navigable Small World graph over normalized vectors.
 /// Build is sequential and deterministic in (data, options). Search is
 /// const and thread-safe; QueryBatch parallelizes over queries and is
 /// bit-identical at every thread count (per-query results depend only on
-/// the graph and the query).
+/// the graph and the query; visited buffers are per-thread scratch that
+/// never influences values).
 class HnswIndex {
  public:
   HnswIndex() = default;
   explicit HnswIndex(const HnswOptions& options) : options_(options) {}
 
-  void Build(const la::Matrix& data);
+  /// Takes the data by value: pass an lvalue to copy (the index always owns
+  /// its vectors), or std::move the matrix in to avoid doubling peak memory
+  /// on large builds.
+  void Build(la::Matrix data);
 
   size_t size() const { return data_.rows(); }
+
+  /// The indexed vectors (e.g. for self-join querying after a move-in
+  /// Build).
+  const la::Matrix& data() const { return data_; }
 
   std::vector<Neighbor> Query(const float* query, size_t k) const;
 
@@ -40,9 +77,10 @@ class HnswIndex {
  private:
   float DistanceTo(const float* query, uint32_t node) const;
   /// Beam search on one level starting from `entry`; returns up to `ef`
-  /// closest nodes, ascending.
+  /// closest nodes, ascending. `visited` is caller-provided scratch.
   std::vector<Neighbor> SearchLayer(const float* query, Neighbor entry,
-                                    size_t ef, size_t level) const;
+                                    size_t ef, size_t level,
+                                    VisitedSet& visited) const;
   void Insert(uint32_t node, size_t node_level);
   std::vector<uint32_t>& NeighborsOf(uint32_t node, size_t level);
   const std::vector<uint32_t>& NeighborsOf(uint32_t node, size_t level) const;
@@ -53,6 +91,9 @@ class HnswIndex {
   std::vector<std::vector<std::vector<uint32_t>>> links_;
   uint32_t entry_ = 0;
   size_t max_level_ = 0;
+  /// Scratch for the sequential Build/Insert path (queries use a
+  /// per-thread set instead).
+  VisitedSet build_visited_;
 };
 
 }  // namespace ember::index

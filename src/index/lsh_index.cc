@@ -1,6 +1,7 @@
 #include "index/lsh_index.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -18,8 +19,8 @@ uint32_t LshIndex::HashOf(const float* vector, size_t table) const {
   return code;
 }
 
-void LshIndex::Build(const la::Matrix& data) {
-  data_ = data;
+void LshIndex::Build(la::Matrix data) {
+  data_ = std::move(data);
   buckets_.assign(options_.tables, {});
   if (data_.rows() == 0) return;
   planes_ = la::Matrix(options_.tables * options_.bits, data_.cols());

@@ -25,9 +25,15 @@ class LshIndex {
   LshIndex() = default;
   explicit LshIndex(const LshOptions& options) : options_(options) {}
 
-  void Build(const la::Matrix& data);
+  /// Takes the data by value: pass an lvalue to copy, or std::move the
+  /// matrix in to avoid doubling peak memory.
+  void Build(la::Matrix data);
 
   size_t size() const { return data_.rows(); }
+
+  /// The indexed vectors (e.g. for self-join querying after a move-in
+  /// Build).
+  const la::Matrix& data() const { return data_; }
 
   std::vector<Neighbor> Query(const float* query, size_t k) const;
 

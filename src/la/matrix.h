@@ -23,6 +23,16 @@ class Matrix {
   float* Row(size_t r) { return data_.data() + r * cols_; }
   const float* Row(size_t r) const { return data_.data() + r * cols_; }
 
+  /// Reshapes to (rows x cols) reusing the existing heap block whenever the
+  /// new size fits its capacity, so workspaces that were warmed up at their
+  /// peak shape never reallocate. Contents are unspecified afterwards —
+  /// callers must overwrite every entry they read.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
   float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
 

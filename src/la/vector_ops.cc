@@ -1,6 +1,8 @@
 #include "la/vector_ops.h"
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "common/logging.h"
 #include "common/parallel.h"
@@ -8,6 +10,38 @@
 namespace ember::la {
 
 namespace {
+
+/// Branch-free exp approximation (range reduction by powers of two plus a
+/// degree-6 polynomial; max error ~2 ULP against libm). Pure float
+/// arithmetic in a fixed order, so it is deterministic and the softmax loop
+/// over it auto-vectorizes — libm's expf is the single hottest call in the
+/// attention path and cannot be vectorized by the compiler.
+inline float FastExp(float x) {
+  constexpr float kLog2e = 1.442695041f;
+  constexpr float kLn2Hi = 0.693359375f;
+  constexpr float kLn2Lo = -2.12194440e-4f;
+  // 1.5 * 2^23: adding it rounds x * log2(e) to the nearest integer in the
+  // mantissa (the libm floor() call would block vectorization).
+  constexpr float kMagic = 12582912.f;
+  // Upper clamp keeps 2^n finite (n <= 127); softmax inputs are <= 0 and
+  // GELU saturates well before either bound.
+  x = std::max(-87.33f, std::min(88.0f, x));
+  const float t = x * kLog2e + kMagic;
+  const float nf = t - kMagic;
+  const int32_t n =
+      std::bit_cast<int32_t>(t) - std::bit_cast<int32_t>(kMagic);
+  float r = x - nf * kLn2Hi;
+  r -= nf * kLn2Lo;
+  float p = 1.9875691500e-4f;
+  p = p * r + 1.3981999507e-3f;
+  p = p * r + 8.3334519073e-3f;
+  p = p * r + 4.1665795894e-2f;
+  p = p * r + 1.6666665459e-1f;
+  p = p * r + 5.0000001201e-1f;
+  p = p * r * r + r + 1.f;
+  const auto bits = static_cast<uint32_t>(n + 127) << 23;
+  return p * std::bit_cast<float>(bits);
+}
 
 /// Reduces kDotLanes partial sums in a fixed pairwise order. Keeping the
 /// reduction shape constant is what makes the blocked and scalar paths
@@ -70,15 +104,29 @@ void NormalizeInPlace(float* x, size_t n) {
 
 Matrix GemmBt(const Matrix& a, const Matrix& b) {
   EMBER_CHECK(a.cols() == b.cols());
-  const size_t m = a.rows(), n = b.rows(), k = a.cols();
-  Matrix c(m, n);
-  // Register-blocked 4x4 micro-kernel inside L2-sized row tiles. Each output
+  Matrix c(a.rows(), b.rows());
+  GemmBtInto(a, b, &c);
+  return c;
+}
+
+void GemmBtInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  EMBER_CHECK(a.cols() == b.cols());
+  EMBER_CHECK(out->rows() == a.rows() && out->cols() == b.rows());
+  GemmBtStrided(a.data(), a.rows(), a.cols(), b.data(), b.rows(), b.cols(),
+                a.cols(), out->data(), b.rows());
+}
+
+void GemmBtStrided(const float* a, size_t m, size_t lda, const float* b,
+                   size_t n, size_t ldb, size_t k, float* c, size_t ldc) {
+  // Register-blocked 8x2 micro-kernel inside L2-sized row tiles. Each output
   // element keeps its own kDotLanes accumulators walked in Dot() order, so
-  // blocking changes memory traffic but not a single bit of the result.
+  // blocking changes memory traffic but not a single bit of the result. The
+  // tall-skinny tile amortizes each b-panel load across eight a rows while
+  // the 16 accumulator vectors still fit the register file.
   constexpr size_t kTileA = 64;
   constexpr size_t kTileB = 64;
-  constexpr size_t kMr = 4;
-  constexpr size_t kNr = 4;
+  constexpr size_t kMr = 8;
+  constexpr size_t kNr = 2;
   for (size_t i0 = 0; i0 < m; i0 += kTileA) {
     const size_t i1 = std::min(m, i0 + kTileA);
     for (size_t j0 = 0; j0 < n; j0 += kTileB) {
@@ -91,9 +139,9 @@ Matrix GemmBt(const Matrix& a, const Matrix& b) {
           size_t p = 0;
           for (; p + kDotLanes <= k; p += kDotLanes) {
             for (size_t r = 0; r < kMr; ++r) {
-              const float* ar = a.Row(i + r) + p;
+              const float* ar = a + (i + r) * lda + p;
               for (size_t s = 0; s < kNr; ++s) {
-                const float* bs = b.Row(j + s) + p;
+                const float* bs = b + (j + s) * ldb + p;
                 for (size_t l = 0; l < kDotLanes; ++l) {
                   acc[r][s][l] += ar[l] * bs[l];
                 }
@@ -103,30 +151,58 @@ Matrix GemmBt(const Matrix& a, const Matrix& b) {
           for (; p < k; ++p) {
             for (size_t r = 0; r < kMr; ++r) {
               for (size_t s = 0; s < kNr; ++s) {
-                acc[r][s][p % kDotLanes] += a.At(i + r, p) * b.At(j + s, p);
+                acc[r][s][p % kDotLanes] +=
+                    a[(i + r) * lda + p] * b[(j + s) * ldb + p];
               }
             }
           }
           for (size_t r = 0; r < kMr; ++r) {
             for (size_t s = 0; s < kNr; ++s) {
-              c.At(i + r, j + s) = ReduceLanes(acc[r][s]);
+              c[(i + r) * ldc + j + s] = ReduceLanes(acc[r][s]);
             }
           }
         }
         for (; j < j1; ++j) {
           for (size_t r = 0; r < kMr; ++r) {
-            c.At(i + r, j) = Dot(a.Row(i + r), b.Row(j), k);
+            c[(i + r) * ldc + j] = Dot(a + (i + r) * lda, b + j * ldb, k);
           }
         }
       }
       for (; i < i1; ++i) {
         for (size_t j = j0; j < j1; ++j) {
-          c.At(i, j) = Dot(a.Row(i), b.Row(j), k);
+          c[i * ldc + j] = Dot(a + i * lda, b + j * ldb, k);
         }
       }
     }
   }
-  return c;
+}
+
+void WeightedSumRows(const float* w, const float* rows, size_t m,
+                     size_t stride, size_t n, float* out) {
+  // Column blocks sized to keep the accumulators register-resident; within a
+  // block every element is accumulated i = 0..m-1 in order, matching the
+  // sequential Axpy chain bit-for-bit.
+  constexpr size_t kBlock = 16;
+  size_t j = 0;
+  for (; j + kBlock <= n; j += kBlock) {
+    float acc[kBlock] = {};
+    for (size_t i = 0; i < m; ++i) {
+      const float wi = w[i];
+      const float* row = rows + i * stride + j;
+      for (size_t c = 0; c < kBlock; ++c) acc[c] += wi * row[c];
+    }
+    for (size_t c = 0; c < kBlock; ++c) out[j + c] = acc[c];
+  }
+  if (j < n) {
+    float acc[kBlock] = {};
+    const size_t rem = n - j;
+    for (size_t i = 0; i < m; ++i) {
+      const float wi = w[i];
+      const float* row = rows + i * stride + j;
+      for (size_t c = 0; c < rem; ++c) acc[c] += wi * row[c];
+    }
+    for (size_t c = 0; c < rem; ++c) out[j + c] = acc[c];
+  }
 }
 
 void Gemv(const Matrix& m, const float* x, float* out) {
@@ -137,12 +213,29 @@ void SoftmaxInPlace(float* x, size_t n) {
   if (n == 0) return;
   float max = x[0];
   for (size_t i = 1; i < n; ++i) max = std::max(max, x[i]);
-  float sum = 0.f;
-  for (size_t i = 0; i < n; ++i) {
-    x[i] = std::exp(x[i] - max);
-    sum += x[i];
+  // Exponentiation pass kept free of the sum dependency so it vectorizes;
+  // the sum then uses the fixed kDotLanes reduction shape shared by Dot.
+  for (size_t i = 0; i < n; ++i) x[i] = FastExp(x[i] - max);
+  float acc[kDotLanes] = {};
+  size_t i = 0;
+  for (; i + kDotLanes <= n; i += kDotLanes) {
+    for (size_t l = 0; l < kDotLanes; ++l) acc[l] += x[i + l];
   }
+  for (; i < n; ++i) acc[i % kDotLanes] += x[i];
+  const float sum = ReduceLanes(acc);
   if (sum > 0.f) Scale(1.f / sum, x, n);
+}
+
+void GeluTanhInPlace(float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const float z = x[i];
+    // tanh(a) = (e^2a - 1) / (e^2a + 1) with a = sqrt(2/pi) (z + 0.044715
+    // z^3); the constant below is 2 * sqrt(2/pi). FastExp's input clamp
+    // saturates the ratio to +/-1 for large |a|, exactly like tanh.
+    const float u = 1.59576912f * (z + 0.044715f * z * z * z);
+    const float e = FastExp(u);
+    x[i] = 0.5f * z * (1.f + (e - 1.f) / (e + 1.f));
+  }
 }
 
 void LayerNormInPlace(float* x, size_t n, const float* gain,

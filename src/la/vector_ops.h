@@ -39,11 +39,40 @@ void NormalizeInPlace(float* x, size_t n);
 /// Dot(a.Row(i), b.Row(j), k) bit-for-bit.
 Matrix GemmBt(const Matrix& a, const Matrix& b);
 
+/// Allocation-free GemmBt: writes A * B^T into the preallocated
+/// (a.rows() x b.rows()) matrix `out`. Bit-identical to GemmBt.
+void GemmBtInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// Strided-view GemmBt over raw panels: row i of A starts at a + i * lda
+/// (k valid floats), row j of B at b + j * ldb, and C(i, j) lands at
+/// c[i * ldc + j]. Runs the same register-blocked micro-kernel with the
+/// same kDotLanes accumulation order as GemmBt, so
+/// c[i * ldc + j] == Dot(a + i * lda, b + j * ldb, k) bit-for-bit. This is
+/// what lets per-head attention panels (head-strided slices of packed Q/K
+/// matrices) go through the blocked kernel without materializing copies.
+void GemmBtStrided(const float* a, size_t m, size_t lda, const float* b,
+                   size_t n, size_t ldb, size_t k, float* c, size_t ldc);
+
+/// out[j] = sum_i w[i] * rows[i * stride + j] for j in [0, n), with each
+/// output element accumulated in strictly ascending-i order — the exact FP
+/// operation sequence of the naive "zero out, then Axpy row by row" loop it
+/// replaces (attention's softmax-weighted V aggregation), but with the
+/// accumulators blocked into registers across the whole i sweep instead of
+/// streaming out[] through memory once per row.
+void WeightedSumRows(const float* w, const float* rows, size_t m,
+                     size_t stride, size_t n, float* out);
+
 /// out[i] = Dot(m.Row(i), x) for every row of m.
 void Gemv(const Matrix& m, const float* x, float* out);
 
 /// In-place softmax over x[0..n).
 void SoftmaxInPlace(float* x, size_t n);
+
+/// In-place tanh-approximation GELU: x = 0.5 x (1 + tanh(sqrt(2/pi) (x +
+/// 0.044715 x^3))). The tanh goes through the same branch-free exp core as
+/// SoftmaxInPlace, so the loop vectorizes; absolute error vs the libm
+/// formulation is below 1e-6, far inside the regime the encoder cares about.
+void GeluTanhInPlace(float* x, size_t n);
 
 /// In-place layer norm (mean 0, variance 1, then gain/bias) over x[0..n).
 void LayerNormInPlace(float* x, size_t n, const float* gain, const float* bias);

@@ -22,6 +22,7 @@ la::Matrix InitWeight(size_t rows, size_t cols, float gain, Rng& rng) {
 TransformerEncoder::TransformerEncoder(const TransformerConfig& config)
     : config_(config) {
   EMBER_CHECK(config.dim % config.num_heads == 0);
+  EMBER_CHECK(config.max_positions > 0);
   Rng rng(SplitMix64(config.seed ^ 0x7a45f03eULL));
   cls_.resize(config.dim);
   for (float& v : cls_) v = static_cast<float>(rng.Gaussian()) * 0.5f;
@@ -40,88 +41,116 @@ TransformerEncoder::TransformerEncoder(const TransformerConfig& config)
   }
   final_gain_.assign(config.dim, 1.f);
   final_bias_.assign(config.dim, 0.f);
+
+  // Sinusoidal positional encoding, hoisted out of Forward: large
+  // amplitudes make the representation order-sensitive (BERT regime),
+  // small ones yield the position-robust pooling of sentence encoders.
+  // Each entry stores the already-scaled term Forward adds to the input.
+  pos_table_ = la::Matrix(config.max_positions, config.dim);
+  for (size_t t = 0; t < config.max_positions; ++t) {
+    float* row = pos_table_.Row(t);
+    for (size_t c = 0; c < config.dim; ++c) {
+      const double rate =
+          std::pow(10000.0, -static_cast<double>(c / 2 * 2) / config.dim);
+      const double angle = static_cast<double>(t) * rate;
+      row[c] = config.pos_scale *
+               static_cast<float>(c % 2 == 0 ? std::sin(angle) : std::cos(angle));
+    }
+  }
 }
 
-la::Matrix TransformerEncoder::Forward(const la::Matrix& tokens) const {
+const la::Matrix& TransformerEncoder::Forward(const la::Matrix& tokens,
+                                              Workspace& ws) const {
   EMBER_CHECK(tokens.cols() == config_.dim);
   const size_t dim = config_.dim;
   const size_t seq = tokens.rows() + 1;
+  EMBER_CHECK(seq <= config_.max_positions);
   const size_t heads = config_.num_heads;
   const size_t head_dim = dim / heads;
 
-  la::Matrix x(seq, dim);
+  // Everything below writes only into the workspace; after it has been
+  // warmed up at its peak shape, Forward performs no heap allocation.
+  ws.x.Resize(seq, dim);
+  ws.normed.Resize(seq, dim);
+  ws.q.Resize(seq, dim);
+  ws.k.Resize(seq, dim);
+  ws.v.Resize(seq, dim);
+  ws.attended.Resize(seq, dim);
+  ws.hidden.Resize(seq, config_.ffn_dim);
+  ws.scores.Resize(seq, seq);
+  la::Matrix& x = ws.x;
+
   for (size_t c = 0; c < dim; ++c) x.At(0, c) = cls_[c];
   for (size_t t = 1; t < seq; ++t) {
     const float* in = tokens.Row(t - 1);
+    const float* pos = pos_table_.Row(t);
     float* row = x.Row(t);
-    for (size_t c = 0; c < dim; ++c) row[c] = in[c];
-    // Sinusoidal positional encoding scaled by pos_scale: large amplitudes
-    // make the representation order-sensitive (BERT regime), small ones
-    // yield the position-robust pooling of sentence encoders.
-    for (size_t c = 0; c < dim; ++c) {
-      const double rate =
-          std::pow(10000.0, -static_cast<double>(c / 2 * 2) / dim);
-      const double angle = static_cast<double>(t) * rate;
-      row[c] += config_.pos_scale *
-                static_cast<float>(c % 2 == 0 ? std::sin(angle) : std::cos(angle));
-    }
+    for (size_t c = 0; c < dim; ++c) row[c] = in[c] + pos[c];
   }
 
-  la::Matrix normed(seq, dim), q(seq, dim), k(seq, dim), v(seq, dim);
-  la::Matrix attended(seq, dim);
-  std::vector<float> scores(seq), hidden(config_.ffn_dim);
   for (const Layer& layer : layers_) {
     // --- Attention block (pre-LN residual) ---
     for (size_t t = 0; t < seq; ++t) {
-      float* row = normed.Row(t);
+      float* row = ws.normed.Row(t);
       const float* src = x.Row(t);
       for (size_t c = 0; c < dim; ++c) row[c] = src[c];
       la::LayerNormInPlace(row, dim, layer.ln1_gain.data(),
                            layer.ln1_bias.data());
-      la::Gemv(layer.wq, row, q.Row(t));
-      la::Gemv(layer.wk, row, k.Row(t));
-      la::Gemv(layer.wv, row, v.Row(t));
     }
+    // Sequence-level projections: row t of each product is exactly the
+    // Gemv(w, normed.Row(t)) of the per-token formulation, bit for bit.
+    la::GemmBtInto(ws.normed, layer.wq, &ws.q);
+    la::GemmBtInto(ws.normed, layer.wk, &ws.k);
+    la::GemmBtInto(ws.normed, layer.wv, &ws.v);
     const float inv_sqrt = 1.f / std::sqrt(static_cast<float>(head_dim));
     for (size_t h = 0; h < heads; ++h) {
       const size_t off = h * head_dim;
+      // One blocked QK^T panel per head over head-strided views of the
+      // packed Q/K matrices; each (t, u) entry keeps the Dot reduction
+      // order of the scalar path.
+      la::GemmBtStrided(ws.q.data() + off, seq, dim, ws.k.data() + off, seq,
+                        dim, head_dim, ws.scores.data(), seq);
       for (size_t t = 0; t < seq; ++t) {
-        for (size_t u = 0; u < seq; ++u) {
-          scores[u] =
-              la::Dot(q.Row(t) + off, k.Row(u) + off, head_dim) * inv_sqrt;
-        }
-        la::SoftmaxInPlace(scores.data(), seq);
-        float* out = attended.Row(t) + off;
-        for (size_t c = 0; c < head_dim; ++c) out[c] = 0.f;
-        for (size_t u = 0; u < seq; ++u) {
-          la::Axpy(scores[u], v.Row(u) + off, out, head_dim);
-        }
+        float* scores = ws.scores.Row(t);
+        for (size_t u = 0; u < seq; ++u) scores[u] *= inv_sqrt;
+        la::SoftmaxInPlace(scores, seq);
+        // The softmax-weighted V aggregation keeps the sequential
+        // ascending-u accumulation order (WeightedSumRows holds that chain
+        // in registers), so outputs remain exactly reproducible.
+        la::WeightedSumRows(scores, ws.v.data() + off, seq, dim, head_dim,
+                            ws.attended.Row(t) + off);
       }
     }
+    la::GemmBtInto(ws.attended, layer.wo, &ws.normed);  // reuse as scratch
     for (size_t t = 0; t < seq; ++t) {
-      la::Gemv(layer.wo, attended.Row(t), normed.Row(t));  // reuse as scratch
-      la::Axpy(1.f, normed.Row(t), x.Row(t), dim);
+      la::Axpy(1.f, ws.normed.Row(t), x.Row(t), dim);
     }
     // --- FFN block (pre-LN residual, GELU-ish tanh activation) ---
     for (size_t t = 0; t < seq; ++t) {
-      float* row = normed.Row(t);
+      float* row = ws.normed.Row(t);
       const float* src = x.Row(t);
       for (size_t c = 0; c < dim; ++c) row[c] = src[c];
       la::LayerNormInPlace(row, dim, layer.ln2_gain.data(),
                            layer.ln2_bias.data());
-      la::Gemv(layer.ffn1, row, hidden.data());
-      for (size_t c = 0; c < config_.ffn_dim; ++c) {
-        const float z = hidden[c];
-        hidden[c] = 0.5f * z * (1.f + std::tanh(0.79788456f * (z + 0.044715f * z * z * z)));
-      }
-      la::Gemv(layer.ffn2, hidden.data(), row);
-      la::Axpy(1.f, row, x.Row(t), dim);
+    }
+    la::GemmBtInto(ws.normed, layer.ffn1, &ws.hidden);
+    // Rows are contiguous, so the activation runs as one flat vector pass.
+    la::GeluTanhInPlace(ws.hidden.data(), seq * config_.ffn_dim);
+    la::GemmBtInto(ws.hidden, layer.ffn2, &ws.normed);
+    for (size_t t = 0; t < seq; ++t) {
+      la::Axpy(1.f, ws.normed.Row(t), x.Row(t), dim);
     }
   }
   for (size_t t = 0; t < seq; ++t) {
     la::LayerNormInPlace(x.Row(t), dim, final_gain_.data(), final_bias_.data());
   }
   return x;
+}
+
+la::Matrix TransformerEncoder::Forward(const la::Matrix& tokens) const {
+  Workspace ws;
+  Forward(tokens, ws);
+  return std::move(ws.x);
 }
 
 }  // namespace ember::nn

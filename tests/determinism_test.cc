@@ -49,14 +49,17 @@ la::Matrix RandomUnitRows(size_t rows, size_t cols, uint64_t seed) {
 
 TEST_F(ThreadSweepTest, BatchTransformBitIdenticalAcrossThreadCounts) {
   const std::vector<std::string> sentences = TestSentences(64);
-  // One static and one transformer model cover both EncodeInto paths.
+  // A static model plus both transformer pooling regimes (kSMiniLm mean,
+  // kBert CLS) cover every EncodeInto path, including the per-worker
+  // thread-local encoder workspaces.
   for (const embed::ModelId id :
-       {embed::ModelId::kFastText, embed::ModelId::kSMiniLm}) {
+       {embed::ModelId::kFastText, embed::ModelId::kSMiniLm,
+        embed::ModelId::kBert}) {
     auto model = embed::CreateModel(id);
     model->Initialize();
     SetThreads(1);
     const la::Matrix reference = model->VectorizeAll(sentences);
-    for (const int threads : {2, 4}) {
+    for (const int threads : {2, 4, 8}) {
       SetThreads(threads);
       EXPECT_EQ(model->VectorizeAll(sentences), reference)
           << model->info().code << " at " << threads << " threads";

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "index/hnsw_index.h"
@@ -116,6 +118,70 @@ TEST(HnswIndexTest, DeterministicAcrossRebuilds) {
     ASSERT_EQ(na.size(), nb.size());
     for (size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i].id, nb[i].id);
   }
+}
+
+TEST(HnswIndexTest, MoveBuildEquivalentToCopyBuild) {
+  // Build(Matrix&&) must produce the exact same graph and results as the
+  // copying build — it only changes how the vectors arrive.
+  const la::Matrix data = RandomUnitRows(300, 16, 12);
+  la::Matrix movable = data;
+  HnswOptions options;
+  options.seed = 13;
+  HnswIndex copied(options), moved(options);
+  copied.Build(data);
+  moved.Build(std::move(movable));
+  ASSERT_EQ(moved.data().rows(), data.rows());
+  const la::Matrix queries = RandomUnitRows(20, 16, 14);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto a = copied.Query(queries.Row(q), 5);
+    const auto b = moved.Query(queries.Row(q), 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_EQ(a[i].distance, b[i].distance);
+    }
+  }
+}
+
+TEST(HnswIndexTest, RepeatedQueriesReuseVisitedSetCleanly) {
+  // The epoch-stamped visited set is reused across queries (and across
+  // indexes of different sizes on the same thread). Interleaving queries
+  // against a large and a small index must not leak visited state.
+  const la::Matrix big_data = RandomUnitRows(500, 16, 15);
+  const la::Matrix small_data = RandomUnitRows(60, 16, 16);
+  HnswOptions options;
+  options.seed = 17;
+  HnswIndex big(options), small(options);
+  big.Build(big_data);
+  small.Build(small_data);
+  const la::Matrix queries = RandomUnitRows(10, 16, 18);
+  std::vector<std::vector<Neighbor>> first;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    first.push_back(big.Query(queries.Row(q), 5));
+    small.Query(queries.Row(q), 5);
+  }
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto again = big.Query(queries.Row(q), 5);
+    ASSERT_EQ(again.size(), first[q].size());
+    for (size_t i = 0; i < again.size(); ++i) {
+      EXPECT_EQ(again[i].id, first[q][i].id) << "query " << q;
+    }
+  }
+}
+
+TEST(VisitedSetTest, EpochClearAndWraparound) {
+  VisitedSet visited;
+  visited.Clear(8);
+  EXPECT_FALSE(visited.TestAndSet(3));
+  EXPECT_TRUE(visited.TestAndSet(3));
+  EXPECT_FALSE(visited.TestAndSet(7));
+  visited.Clear(8);  // O(1): bumps the epoch, no refill
+  EXPECT_FALSE(visited.TestAndSet(3));
+  // Growing resets everything, shrinking logically hides the tail.
+  visited.Clear(16);
+  EXPECT_FALSE(visited.TestAndSet(15));
+  visited.Clear(4);
+  EXPECT_FALSE(visited.TestAndSet(3));
 }
 
 TEST(LshIndexTest, ReturnsKExactRankedCandidates) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "common/rng.h"
 #include "la/matrix.h"
@@ -42,6 +43,104 @@ TEST(VectorOpsTest, GemmBtBitIdenticalToDot) {
       }
     }
   }
+}
+
+TEST(VectorOpsTest, GemmBtIntoMatchesGemmBtInPreallocatedOutput) {
+  const Matrix a = RandomMatrix(11, 37, 41);
+  const Matrix b = RandomMatrix(6, 37, 43);
+  const Matrix expected = GemmBt(a, b);
+  Matrix out(11, 6);
+  GemmBtInto(a, b, &out);
+  EXPECT_EQ(out, expected);
+}
+
+TEST(VectorOpsTest, GemmBtStridedMatchesDotOnHeadViews) {
+  // The attention use case: per-head panels are column slices of packed
+  // (seq x dim) matrices, i.e. rows strided by the full dim. Every cell
+  // must still equal the scalar Dot of the strided rows, bit for bit.
+  const size_t dim = 24;
+  const Matrix q = RandomMatrix(19, dim, 51);
+  const Matrix k = RandomMatrix(19, dim, 52);
+  for (const size_t head_dim : {3ul, 8ul, 12ul}) {
+    for (size_t off = 0; off + head_dim <= dim; off += head_dim) {
+      Matrix scores(q.rows(), k.rows());
+      GemmBtStrided(q.data() + off, q.rows(), dim, k.data() + off, k.rows(),
+                    dim, head_dim, scores.data(), k.rows());
+      for (size_t i = 0; i < q.rows(); ++i) {
+        for (size_t j = 0; j < k.rows(); ++j) {
+          EXPECT_EQ(scores.At(i, j),
+                    Dot(q.Row(i) + off, k.Row(j) + off, head_dim))
+              << "head_dim=" << head_dim << " off=" << off;
+        }
+      }
+    }
+  }
+}
+
+TEST(VectorOpsTest, WeightedSumRowsMatchesSequentialAxpyChain) {
+  // WeightedSumRows must reproduce the zero-then-Axpy-per-row loop exactly:
+  // attention's determinism story depends on the accumulation order being
+  // the same chain, just held in registers.
+  for (const size_t n : {1ul, 5ul, 16ul, 20ul, 37ul}) {
+    const size_t m = 23, stride = 41;
+    const Matrix rows = RandomMatrix(m, stride, 61 + n);
+    const Matrix w = RandomMatrix(1, m, 62 + n);
+    std::vector<float> expected(n, 0.f);
+    for (size_t i = 0; i < m; ++i) {
+      Axpy(w.At(0, i), rows.Row(i), expected.data(), n);
+    }
+    std::vector<float> got(n);
+    WeightedSumRows(w.Row(0), rows.data(), m, stride, n, got.data());
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(got[j], expected[j]) << "n=" << n << " j=" << j;
+    }
+  }
+}
+
+TEST(VectorOpsTest, SoftmaxMatchesDoubleReference) {
+  // The vectorized exp inside SoftmaxInPlace is an approximation; it must
+  // stay within a few ULP of an exact double-precision softmax.
+  Matrix logits = RandomMatrix(8, 101, 71);
+  Scale(4.f, logits.data(), logits.rows() * logits.cols());
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    float* row = logits.Row(r);
+    std::vector<double> ref(logits.cols());
+    double max = row[0];
+    for (size_t i = 0; i < logits.cols(); ++i) {
+      max = std::max(max, static_cast<double>(row[i]));
+    }
+    double sum = 0;
+    for (size_t i = 0; i < logits.cols(); ++i) {
+      ref[i] = std::exp(row[i] - max);
+      sum += ref[i];
+    }
+    SoftmaxInPlace(row, logits.cols());
+    double check = 0;
+    for (size_t i = 0; i < logits.cols(); ++i) {
+      EXPECT_NEAR(row[i], ref[i] / sum, 1e-6);
+      check += row[i];
+    }
+    EXPECT_NEAR(check, 1.0, 1e-5);
+  }
+}
+
+TEST(VectorOpsTest, GeluTanhMatchesLibmFormula) {
+  Matrix x = RandomMatrix(1, 4096, 73);
+  Scale(3.f, x.Row(0), x.cols());
+  Matrix got = x;
+  GeluTanhInPlace(got.Row(0), x.cols());
+  for (size_t i = 0; i < x.cols(); ++i) {
+    const double z = x.At(0, i);
+    const double ref =
+        0.5 * z * (1.0 + std::tanh(0.7978845608 * (z + 0.044715 * z * z * z)));
+    EXPECT_NEAR(got.At(0, i), ref, 1e-5) << "z=" << z;
+  }
+  // Saturation: far outside the polynomial's core range the result must be
+  // exactly z (tanh -> 1) or exactly 0 (tanh -> -1), like the libm version.
+  float big[2] = {30.f, -30.f};
+  GeluTanhInPlace(big, 2);
+  EXPECT_EQ(big[0], 30.f);
+  EXPECT_EQ(big[1], 0.f);
 }
 
 TEST(VectorOpsTest, NormalizeInPlaceGivesUnitNorm) {

@@ -2,14 +2,55 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
+#include <vector>
 
 #include "common/rng.h"
 #include "la/matrix.h"
+#include "la/vector_ops.h"
 #include "nn/transformer.h"
+
+// --- Counting allocator ---------------------------------------------------
+// Global operator new/delete replacements local to this test binary (each
+// test file links into its own executable). Counting is off by default so
+// gtest's own bookkeeping is invisible; tests flip it on around the exact
+// region they want to prove allocation-free.
+
+namespace {
+std::atomic<size_t> g_live_allocations{0};
+std::atomic<bool> g_count_allocations{false};
+
+void* CountedAlloc(std::size_t size) {
+  if (g_count_allocations.load(std::memory_order_relaxed)) {
+    g_live_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace ember::nn {
 namespace {
+
+/// Counts heap allocations performed by `fn`.
+template <typename Fn>
+size_t AllocationsIn(Fn&& fn) {
+  g_live_allocations.store(0, std::memory_order_relaxed);
+  g_count_allocations.store(true, std::memory_order_relaxed);
+  fn();
+  g_count_allocations.store(false, std::memory_order_relaxed);
+  return g_live_allocations.load(std::memory_order_relaxed);
+}
 
 TEST(MlpClassifierTest, LearnsLinearlySeparableData) {
   MlpClassifier::Options options;
@@ -92,6 +133,182 @@ TEST(TransformerEncoderTest, ForwardShapeAndDeterminism) {
   ASSERT_EQ(a.cols(), 32u);
   const TransformerEncoder same(config);
   EXPECT_EQ(same.Forward(tokens), a);
+}
+
+/// Naive one-token-at-a-time reference forward: every projection is a
+/// per-row Gemv, attention scores are scalar Dots, and the weighted V sum
+/// is the plain zero-then-Axpy chain. This is the pre-GEMM formulation the
+/// production path must reproduce bit for bit (0 ULP) — see DESIGN.md §8.
+la::Matrix NaiveForward(const TransformerEncoder& encoder,
+                        const la::Matrix& tokens) {
+  const TransformerConfig& config = encoder.config();
+  const size_t dim = config.dim;
+  const size_t heads = config.num_heads;
+  const size_t head_dim = dim / heads;
+  const size_t seq = tokens.rows() + 1;
+
+  la::Matrix x(seq, dim);
+  for (size_t c = 0; c < dim; ++c) x.At(0, c) = encoder.cls()[c];
+  for (size_t t = 1; t < seq; ++t) {
+    const float* in = tokens.Row(t - 1);
+    const float* pos = encoder.pos_table().Row(t);
+    for (size_t c = 0; c < dim; ++c) x.At(t, c) = in[c] + pos[c];
+  }
+
+  la::Matrix normed(seq, dim), q(seq, dim), k(seq, dim), v(seq, dim);
+  la::Matrix attended(seq, dim), hidden(seq, config.ffn_dim);
+  std::vector<float> scores(seq), scratch(dim);
+  const float inv_sqrt = 1.f / std::sqrt(static_cast<float>(head_dim));
+  for (size_t li = 0; li < encoder.num_layers(); ++li) {
+    const TransformerEncoder::Layer& layer = encoder.layer(li);
+    for (size_t t = 0; t < seq; ++t) {
+      float* row = normed.Row(t);
+      const float* src = x.Row(t);
+      for (size_t c = 0; c < dim; ++c) row[c] = src[c];
+      la::LayerNormInPlace(row, dim, layer.ln1_gain.data(),
+                           layer.ln1_bias.data());
+      la::Gemv(layer.wq, row, q.Row(t));
+      la::Gemv(layer.wk, row, k.Row(t));
+      la::Gemv(layer.wv, row, v.Row(t));
+    }
+    for (size_t h = 0; h < heads; ++h) {
+      const size_t off = h * head_dim;
+      for (size_t t = 0; t < seq; ++t) {
+        for (size_t u = 0; u < seq; ++u) {
+          scores[u] = la::Dot(q.Row(t) + off, k.Row(u) + off, head_dim);
+          scores[u] *= inv_sqrt;
+        }
+        la::SoftmaxInPlace(scores.data(), seq);
+        float* out = attended.Row(t) + off;
+        for (size_t c = 0; c < head_dim; ++c) out[c] = 0.f;
+        for (size_t u = 0; u < seq; ++u) {
+          la::Axpy(scores[u], v.Row(u) + off, out, head_dim);
+        }
+      }
+    }
+    for (size_t t = 0; t < seq; ++t) {
+      la::Gemv(layer.wo, attended.Row(t), scratch.data());
+      la::Axpy(1.f, scratch.data(), x.Row(t), dim);
+    }
+    for (size_t t = 0; t < seq; ++t) {
+      float* row = normed.Row(t);
+      const float* src = x.Row(t);
+      for (size_t c = 0; c < dim; ++c) row[c] = src[c];
+      la::LayerNormInPlace(row, dim, layer.ln2_gain.data(),
+                           layer.ln2_bias.data());
+      la::Gemv(layer.ffn1, row, hidden.Row(t));
+      la::GeluTanhInPlace(hidden.Row(t), config.ffn_dim);
+      la::Gemv(layer.ffn2, hidden.Row(t), scratch.data());
+      la::Axpy(1.f, scratch.data(), x.Row(t), dim);
+    }
+  }
+  for (size_t t = 0; t < seq; ++t) {
+    la::LayerNormInPlace(x.Row(t), dim, encoder.final_gain().data(),
+                         encoder.final_bias().data());
+  }
+  return x;
+}
+
+la::Matrix GaussianTokens(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix tokens(rows, cols);
+  tokens.FillGaussian(rng, 1.f);
+  return tokens;
+}
+
+TEST(TransformerEncoderTest, GemmForwardBitIdenticalToNaiveReference) {
+  // The tentpole contract: the whole-sequence GEMM forward is a pure
+  // restructuring. Sweep sequence lengths through every tiling tail of the
+  // 8x2 micro-kernel and both sides of the kDotLanes boundary.
+  TransformerConfig config;
+  config.dim = 32;
+  config.num_heads = 4;
+  config.num_layers = 2;
+  config.ffn_dim = 64;
+  config.pos_scale = 0.5f;
+  config.seed = 31;
+  const TransformerEncoder encoder(config);
+  TransformerEncoder::Workspace ws;  // shared across lengths, like prod
+  for (const size_t seq : {1ul, 2ul, 3ul, 7ul, 8ul, 16ul, 33ul, 64ul, 100ul,
+                           127ul, 128ul}) {
+    const la::Matrix tokens = GaussianTokens(seq, config.dim, 1000 + seq);
+    const la::Matrix& got = encoder.Forward(tokens, ws);
+    const la::Matrix expected = NaiveForward(encoder, tokens);
+    ASSERT_EQ(got.rows(), expected.rows());
+    bool equal = true;
+    for (size_t t = 0; t < got.rows() && equal; ++t) {
+      for (size_t c = 0; c < got.cols(); ++c) {
+        if (got.At(t, c) != expected.At(t, c)) {
+          ADD_FAILURE() << "seq=" << seq << " mismatch at (" << t << "," << c
+                        << "): " << got.At(t, c) << " vs "
+                        << expected.At(t, c);
+          equal = false;
+          break;
+        }
+      }
+    }
+  }
+}
+
+TEST(TransformerEncoderTest, GemmForwardParityOnOddDimensions) {
+  // Head and FFN widths that do not divide any blocking factor (head_dim 9,
+  // ffn 52), in both weight regimes: BERT-like (gain 1, CLS row is what
+  // pooling reads) and sentence-encoder-like (small gain, mean pooling
+  // reads every row). Since all rows must match, both pooling styles see
+  // bit-identical embeddings.
+  for (const float gain : {1.0f, 0.1f}) {
+    TransformerConfig config;
+    config.dim = 36;
+    config.num_heads = 4;
+    config.num_layers = 1;
+    config.ffn_dim = 52;
+    config.weight_gain = gain;
+    config.pos_scale = gain > 0.5f ? 0.5f : 0.05f;
+    config.seed = 37;
+    const TransformerEncoder encoder(config);
+    for (const size_t seq : {5ul, 31ul}) {
+      const la::Matrix tokens = GaussianTokens(seq, config.dim, 2000 + seq);
+      EXPECT_EQ(encoder.Forward(tokens), NaiveForward(encoder, tokens))
+          << "gain=" << gain << " seq=" << seq;
+    }
+  }
+}
+
+TEST(TransformerEncoderTest, WorkspaceReuseAcrossShapesMatchesFresh) {
+  TransformerConfig config;
+  config.dim = 32;
+  config.num_heads = 4;
+  config.num_layers = 2;
+  config.ffn_dim = 64;
+  config.seed = 41;
+  const TransformerEncoder encoder(config);
+  // Shrink then regrow the sequence: the reused buffers must behave exactly
+  // like freshly allocated ones at every step.
+  TransformerEncoder::Workspace reused;
+  for (const size_t seq : {48ul, 6ul, 48ul, 17ul, 64ul}) {
+    const la::Matrix tokens = GaussianTokens(seq, config.dim, 3000 + seq);
+    TransformerEncoder::Workspace fresh;
+    EXPECT_EQ(encoder.Forward(tokens, reused), encoder.Forward(tokens, fresh))
+        << "seq=" << seq;
+  }
+}
+
+TEST(TransformerEncoderTest, ForwardIsAllocationFreeAfterWarmup) {
+  TransformerConfig config;
+  config.dim = 32;
+  config.num_heads = 4;
+  config.num_layers = 2;
+  config.ffn_dim = 64;
+  config.seed = 43;
+  const TransformerEncoder encoder(config);
+  const la::Matrix tokens = GaussianTokens(24, config.dim, 4000);
+  const la::Matrix small = GaussianTokens(5, config.dim, 4001);
+  TransformerEncoder::Workspace ws;
+  encoder.Forward(tokens, ws);  // warm up at the peak shape
+  EXPECT_EQ(AllocationsIn([&] { encoder.Forward(tokens, ws); }), 0u);
+  // Smaller sequences reuse the warmed capacity without reallocating.
+  EXPECT_EQ(AllocationsIn([&] { encoder.Forward(small, ws); }), 0u);
+  EXPECT_EQ(AllocationsIn([&] { encoder.Forward(tokens, ws); }), 0u);
 }
 
 TEST(TransformerEncoderTest, PositionMattersWhenScaled) {
