@@ -1,0 +1,248 @@
+// Online serving benchmark (beyond the paper; DESIGN.md §9): freezes the
+// S-GTR-T5 blocking pipeline into a snapshot for each index kind, verifies
+// the save/load round trip answers bit-identically, then drives the
+// serve::Engine micro-batcher with
+//
+//   (a) a closed-loop capacity probe (P producers, each submitting the
+//       next record when the previous one completes), and
+//   (b) an open-loop sweep of offered QPS x batch window, where the
+//       generator fires on schedule regardless of engine health, so
+//       overload surfaces as rejections and deadline misses.
+//
+// Artifacts: exp22_snapshot_*.csv (startup costs) and exp22_serving_*.csv
+// (latency percentiles per operating point), both under bench_artifacts/.
+
+#include <atomic>
+#include <fstream>
+#include <thread>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
+
+namespace {
+
+using namespace ember;
+
+constexpr double kProbeSeconds = 2.0;
+constexpr double kPointSeconds = 2.0;
+constexpr double kDeadlineMs = 50.0;
+
+serve::Snapshot BuildSnapshot(serve::IndexKind kind, const la::Matrix& corpus,
+                              const std::string& model_code,
+                              const std::string& dataset, uint64_t seed) {
+  serve::SnapshotManifest manifest;
+  manifest.model_code = model_code;
+  manifest.default_k = 10;
+  manifest.kind = kind;
+  manifest.dataset = dataset;
+  index::HnswOptions hnsw_options;
+  hnsw_options.seed = seed;
+  index::LshOptions lsh_options;
+  lsh_options.seed = seed;
+  return serve::Snapshot::Build(std::move(manifest), corpus, hnsw_options,
+                                lsh_options);
+}
+
+bool SameResults(const std::vector<std::vector<index::Neighbor>>& a,
+                 const std::vector<std::vector<index::Neighbor>>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t q = 0; q < a.size(); ++q) {
+    if (a[q].size() != b[q].size()) return false;
+    for (size_t i = 0; i < a[q].size(); ++i) {
+      if (a[q][i].id != b[q][i].id ||
+          a[q][i].distance != b[q][i].distance) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Closed-loop probe: `producers` threads each keep exactly one request in
+/// flight. Returns achieved QPS — the engine's capacity under this policy.
+double ClosedLoopCapacity(serve::Engine& engine,
+                          const std::vector<std::string>& queries,
+                          size_t producers) {
+  std::atomic<uint64_t> done{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  const SteadyTime start = SteadyNow();
+  for (size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      size_t i = p;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto submitted = engine.Submit(queries[i % queries.size()]);
+        i += producers;
+        if (!submitted.ok()) continue;  // backpressure: retry immediately
+        if (submitted.value().get().ok()) {
+          done.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(kProbeSeconds));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  return static_cast<double>(done.load()) /
+         MicrosBetween(start, SteadyNow()) * 1e6;
+}
+
+struct OpenLoopPoint {
+  double offered_qps = 0;
+  int64_t window_micros = 0;
+  double achieved_qps = 0;
+  double p50_ms = 0, p99_ms = 0;
+  double reject_pct = 0;
+  uint64_t expired = 0, late = 0;
+  double mean_batch = 0;
+};
+
+OpenLoopPoint OpenLoop(serve::Engine& engine,
+                       const std::vector<std::string>& queries,
+                       double offered_qps) {
+  OpenLoopPoint point;
+  point.offered_qps = offered_qps;
+  point.window_micros = engine.options().max_wait_micros;
+  const auto total = static_cast<size_t>(offered_qps * kPointSeconds + 0.5);
+  std::vector<std::future<Result<serve::QueryReply>>> futures;
+  futures.reserve(total);
+  size_t rejected = 0;
+  const SteadyTime start = SteadyNow();
+  for (size_t i = 0; i < total; ++i) {
+    std::this_thread::sleep_until(
+        AfterMicros(start, static_cast<int64_t>(i * 1e6 / offered_qps)));
+    auto submitted =
+        engine.Submit(queries[i % queries.size()],
+                      AfterMicros(SteadyNow(),
+                                  static_cast<int64_t>(kDeadlineMs * 1e3)));
+    if (submitted.ok()) {
+      futures.push_back(std::move(submitted).value());
+    } else {
+      ++rejected;
+    }
+  }
+  size_t ok = 0;
+  for (auto& future : futures) ok += future.get().ok() ? 1 : 0;
+  const double wall_seconds = MicrosBetween(start, SteadyNow()) / 1e6;
+
+  const serve::EngineMetrics metrics = engine.Metrics();
+  point.achieved_qps = static_cast<double>(ok) / wall_seconds;
+  point.p50_ms = metrics.total_micros.Percentile(0.5) / 1e3;
+  point.p99_ms = metrics.total_micros.Percentile(0.99) / 1e3;
+  point.reject_pct = 100.0 * static_cast<double>(rejected) /
+                     static_cast<double>(total == 0 ? 1 : total);
+  point.expired = metrics.expired;
+  point.late = metrics.deadline_misses;
+  point.mean_batch = metrics.batch_size.Mean();
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(env, "exp22 / serving",
+                     "Online ER serving: snapshot startup, closed-loop "
+                     "capacity, open-loop QPS x batch-window sweep");
+
+  const datagen::CleanCleanDataset& d2 = bench::GetDataset("D2", env);
+  auto model = std::shared_ptr<embed::EmbeddingModel>(
+      embed::CreateModel(embed::ModelId::kSGtrT5));
+  model->Initialize();
+  la::Matrix corpus = bench::Vectors(*model, d2, /*left_side=*/false, env);
+  const std::vector<std::string> queries = d2.left.AllSentences();
+  const la::Matrix query_vectors =
+      bench::Vectors(*model, d2, /*left_side=*/true, env);
+
+  // --- Snapshot startup: build vs save+load, with round-trip identity. ---
+  eval::Table snapshot_table("exp22: snapshot persistence (D2, " +
+                             std::to_string(corpus.rows()) + " rows)");
+  snapshot_table.SetHeader({"index", "build_ms", "save_ms", "load_ms",
+                            "file_kb", "roundtrip_identical"});
+  std::vector<std::pair<serve::IndexKind, serve::Snapshot>> snapshots;
+  for (const serve::IndexKind kind :
+       {serve::IndexKind::kExact, serve::IndexKind::kHnsw,
+        serve::IndexKind::kLsh}) {
+    WallTimer timer;
+    serve::Snapshot built =
+        BuildSnapshot(kind, corpus, model->info().code, "D2", env.seed);
+    const double build_ms = timer.Restart() * 1e3;
+    const std::string path = env.artifacts_dir + "/exp22_" +
+                             serve::IndexKindName(kind) + ".snap";
+    const Status saved = built.SaveTo(path);
+    EMBER_CHECK_MSG(saved.ok(), "snapshot save: %s",
+                    saved.ToString().c_str());
+    const double save_ms = timer.Restart() * 1e3;
+    auto loaded = serve::Snapshot::LoadFrom(path);
+    EMBER_CHECK_MSG(loaded.ok(), "snapshot load: %s",
+                    loaded.status().ToString().c_str());
+    const double load_ms = timer.Restart() * 1e3;
+    const bool identical =
+        SameResults(built.QueryBatch(query_vectors, 10),
+                    loaded.value().QueryBatch(query_vectors, 10));
+    std::ifstream file(path, std::ios::binary | std::ios::ate);
+    const double file_kb = static_cast<double>(file.tellg()) / 1024.0;
+    snapshot_table.AddRow({serve::IndexKindName(kind),
+                           eval::Table::Num(build_ms, 1),
+                           eval::Table::Num(save_ms, 1),
+                           eval::Table::Num(load_ms, 1),
+                           eval::Table::Num(file_kb, 1),
+                           identical ? "yes" : "NO"});
+    snapshots.emplace_back(kind, std::move(built));
+  }
+  snapshot_table.Print();
+  bench::SaveArtifact(env, "exp22_snapshot", snapshot_table);
+
+  // --- Closed-loop capacity probe on the exact index. ---
+  serve::EngineOptions probe_options;
+  probe_options.max_batch = 64;
+  probe_options.max_wait_micros = 500;
+  probe_options.max_queue = 512;
+  auto probe_engine =
+      serve::Engine::Create(snapshots[0].second, model, probe_options);
+  EMBER_CHECK_MSG(probe_engine.ok(), "engine: %s",
+                  probe_engine.status().ToString().c_str());
+  const double capacity =
+      ClosedLoopCapacity(*probe_engine.value(), queries, /*producers=*/8);
+  probe_engine.value()->Stop();
+  std::printf("\nclosed-loop capacity (exact, 8 producers): %.0f qps\n\n",
+              capacity);
+
+  // --- Open-loop sweep: offered QPS x batch window. ---
+  eval::Table sweep_table("exp22: open-loop sweep (exact index, deadline " +
+                          eval::Table::Num(kDeadlineMs, 0) + " ms)");
+  sweep_table.SetHeader({"offered_qps", "window_us", "achieved_qps", "p50_ms",
+                         "p99_ms", "reject_pct", "expired", "late",
+                         "mean_batch"});
+  for (const int64_t window_micros : {int64_t{500}, int64_t{4000}}) {
+    for (const double fraction : {0.5, 1.0, 2.0, 4.0}) {
+      const double offered = std::max(20.0, capacity * fraction);
+      serve::EngineOptions options;
+      options.max_batch = 64;
+      options.max_wait_micros = window_micros;
+      // Sized so sustained overload actually fills the queue (and shows up
+      // as rejections) instead of hiding behind deadline shedding alone.
+      options.max_queue = 64;
+      auto engine = serve::Engine::Create(snapshots[0].second, model, options);
+      EMBER_CHECK_MSG(engine.ok(), "engine: %s",
+                      engine.status().ToString().c_str());
+      const OpenLoopPoint point =
+          OpenLoop(*engine.value(), queries, offered);
+      engine.value()->Stop();
+      sweep_table.AddRow(
+          {eval::Table::Num(point.offered_qps, 0),
+           std::to_string(point.window_micros),
+           eval::Table::Num(point.achieved_qps, 0),
+           eval::Table::Num(point.p50_ms, 2), eval::Table::Num(point.p99_ms, 2),
+           eval::Table::Num(point.reject_pct, 1),
+           std::to_string(point.expired), std::to_string(point.late),
+           eval::Table::Num(point.mean_batch, 1)});
+    }
+  }
+  sweep_table.Print();
+  bench::SaveArtifact(env, "exp22_serving", sweep_table);
+  return 0;
+}

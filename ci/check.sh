@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Local CI gate: build Release and Debug+sanitizers, run the full test suite
-# in both, then smoke-run the micro-benchmarks on the Release build. New
+# in both, run the concurrency suites under ThreadSanitizer, then smoke-run
+# the micro-benchmarks and the serving engine on the Release build. New
 # warnings in src/la and src/nn fail the build (-Werror on those targets).
 # Usage: ci/check.sh [-j N]
 set -euo pipefail
@@ -27,7 +28,27 @@ run_config() {
 run_config build-release -DCMAKE_BUILD_TYPE=Release
 run_config build-asan -DCMAKE_BUILD_TYPE=Debug -DEMBER_SANITIZE=ON
 
+# ThreadSanitizer leg: only the suites that exercise real concurrency (the
+# thread pool, the serving engine's MPMC queue/batcher, and the
+# thread-count-invariance sweeps) — TSan on the full numeric suite is slow
+# without adding coverage.
+echo "==> configure build-tsan (EMBER_SANITIZE=tsan)"
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DEMBER_SANITIZE=tsan >/dev/null
+echo "==> build build-tsan"
+cmake --build build-tsan -j "${JOBS}" --target parallel_test serve_test determinism_test
+echo "==> ctest build-tsan (parallel/serve/determinism)"
+(cd build-tsan && ctest --output-on-failure -R '^(parallel|serve|determinism)_test$')
+
 echo "==> exp20 micro-kernel smoke (Release)"
 ./build-release/bench/exp20_micro_kernels --benchmark_min_time=0.01
+
+echo "==> exp22 serving smoke (Release)"
+./build-release/bench/exp22_serving --scale 0.05
+
+echo "==> serve CLI smoke (Release)"
+./build-release/tools/ember_cli serve-bench D2 --scale 0.05 --qps 50 \
+  --duration 1 --snapshot build-release/d2_smoke.snap
+./build-release/tools/ember_cli serve-bench D2 --scale 0.05 --qps 50 \
+  --duration 1 --snapshot build-release/d2_smoke.snap
 
 echo "==> all checks passed"

@@ -1,0 +1,79 @@
+#include "common/binary_io.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace ember {
+
+uint64_t Fnv1a64(const void* data, size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+Status WriteFileAtomic(const std::string& path, const char (&magic)[8],
+                       const std::string& payload) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + tmp);
+    const uint64_t length = payload.size();
+    const uint64_t checksum = Fnv1a64(payload.data(), payload.size());
+    out.write(magic, sizeof(magic));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.write(reinterpret_cast<const char*>(&length), sizeof(length));
+    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::IoError("short write to " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename " + tmp + " -> " + path + ": " +
+                           ec.message());
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadFileVerified(const std::string& path,
+                                     const char (&magic)[8]) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::NotFound("cannot open " + path);
+  const std::streamoff size = in.tellg();
+  constexpr std::streamoff kOverhead = 8 + 2 * sizeof(uint64_t);
+  if (size < kOverhead) return Status::IoError(path + ": truncated header");
+  in.seekg(0);
+  std::string file(static_cast<size_t>(size), '\0');
+  in.read(file.data(), size);
+  if (!in) return Status::IoError(path + ": short read");
+  if (std::memcmp(file.data(), magic, sizeof(magic)) != 0) {
+    return Status::IoError(path + ": bad magic");
+  }
+  const size_t payload_size = static_cast<size_t>(size - kOverhead);
+  uint64_t length = 0, checksum = 0;
+  std::memcpy(&length, file.data() + 8 + payload_size, sizeof(length));
+  std::memcpy(&checksum, file.data() + 8 + payload_size + sizeof(length),
+              sizeof(checksum));
+  if (length != payload_size) {
+    return Status::IoError(path + ": length mismatch (torn write?)");
+  }
+  if (checksum != Fnv1a64(file.data() + 8, payload_size)) {
+    return Status::IoError(path + ": checksum mismatch");
+  }
+  return file.substr(8, payload_size);
+}
+
+}  // namespace ember

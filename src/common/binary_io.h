@@ -1,0 +1,143 @@
+#ifndef EMBER_COMMON_BINARY_IO_H_
+#define EMBER_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ember {
+
+/// FNV-1a over `n` bytes — the integrity checksum of every on-disk ember
+/// artifact (vector-cache entries, serving snapshots). Not cryptographic;
+/// it exists to turn torn writes and bit flips into clean load failures.
+uint64_t Fnv1a64(const void* data, size_t n);
+
+/// Append-only little-endian serializer. All ember formats are written on
+/// and read by little-endian hosts (x86-64), so fields are memcpy'd raw;
+/// the container checksum rejects any foreign-endian file wholesale.
+class BinaryWriter {
+ public:
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF64(double v) { WriteRaw(&v, sizeof(v)); }
+
+  /// u64 length prefix + bytes.
+  void WriteString(std::string_view s) {
+    WriteU64(s.size());
+    WriteRaw(s.data(), s.size());
+  }
+
+  /// u64 count prefix + raw POD payload.
+  template <typename T>
+  void WritePodVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(v.size());
+    WriteRaw(v.data(), v.size() * sizeof(T));
+  }
+
+  void WriteRaw(const void* data, size_t n) {
+    buffer_.append(static_cast<const char*>(data), n);
+  }
+
+  const std::string& buffer() const { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked deserializer over an in-memory payload. Every read past
+/// the end (or failed invariant reported via Fail()) latches ok() to false
+/// and yields zero values from then on, so loaders can parse straight
+/// through and check ok() once at the end — corrupt input degrades to a
+/// clean failure, never undefined behaviour.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view payload) : data_(payload) {}
+
+  bool ok() const { return ok_; }
+  /// Latches the reader into the failed state (loader-detected invariant
+  /// violations use the same fail-closed channel as truncation).
+  void Fail() { ok_ = false; }
+  size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+
+  uint32_t ReadU32() { return ReadPod<uint32_t>(); }
+  uint64_t ReadU64() { return ReadPod<uint64_t>(); }
+  float ReadF32() { return ReadPod<float>(); }
+  double ReadF64() { return ReadPod<double>(); }
+
+  std::string ReadString() {
+    const uint64_t n = ReadU64();
+    if (n > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> ReadPodVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const uint64_t n = ReadU64();
+    if (n > remaining() / sizeof(T)) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<T> v(n);
+    ReadRaw(v.data(), n * sizeof(T));
+    return v;
+  }
+
+  bool ReadRaw(void* out, size_t n) {
+    if (n > remaining()) {
+      ok_ = false;
+      if (n > 0) std::memset(out, 0, n);
+      return false;
+    }
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  template <typename T>
+  T ReadPod() {
+    T v{};
+    ReadRaw(&v, sizeof(v));
+    return v;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// On-disk container shared by all ember binary artifacts:
+///
+///   magic(8) | payload | payload_length(u64) | fnv1a64(payload)(u64)
+///
+/// The trailer makes truncation detectable (length mismatch) and bit flips
+/// detectable (checksum mismatch); the atomic write makes a torn file at
+/// the final path impossible.
+
+/// Serializes `payload` into the container and publishes it atomically:
+/// the bytes go to `path + ".tmp.<pid>"` first and are renamed into place,
+/// so concurrent readers see either the old file or the complete new one.
+Status WriteFileAtomic(const std::string& path, const char (&magic)[8],
+                       const std::string& payload);
+
+/// Reads and verifies a container written by WriteFileAtomic. Fails closed:
+/// wrong magic, short file, length mismatch, or checksum mismatch all
+/// return a non-OK status without touching the payload.
+Result<std::string> ReadFileVerified(const std::string& path,
+                                     const char (&magic)[8]);
+
+}  // namespace ember
+
+#endif  // EMBER_COMMON_BINARY_IO_H_

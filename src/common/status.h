@@ -17,6 +17,8 @@ class Status {
     kNotFound,
     kIoError,
     kInternal,
+    kUnavailable,        // transient overload: retry later (serve backpressure)
+    kDeadlineExceeded,   // the request's deadline passed before completion
   };
 
   Status() : code_(Code::kOk) {}
@@ -32,6 +34,12 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(Code::kInternal, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(Code::kUnavailable, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(Code::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == Code::kOk; }
@@ -50,6 +58,10 @@ class Status {
         return "IoError: " + message_;
       case Code::kInternal:
         return "Internal: " + message_;
+      case Code::kUnavailable:
+        return "Unavailable: " + message_;
+      case Code::kDeadlineExceeded:
+        return "DeadlineExceeded: " + message_;
     }
     return "Unknown";
   }

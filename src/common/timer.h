@@ -28,6 +28,24 @@ class WallTimer {
   Clock::time_point start_;
 };
 
+/// Shared monotonic time base for deadlines and latency measurement
+/// (serve::Engine, bench load generators).
+using SteadyTime = std::chrono::steady_clock::time_point;
+
+inline SteadyTime SteadyNow() { return std::chrono::steady_clock::now(); }
+
+/// The "no deadline" sentinel: later than any real instant.
+inline constexpr SteadyTime kNoDeadline = SteadyTime::max();
+
+inline SteadyTime AfterMicros(SteadyTime from, int64_t micros) {
+  return from + std::chrono::microseconds(micros);
+}
+
+/// Signed microseconds from `from` to `to` (negative if `to` is earlier).
+inline double MicrosBetween(SteadyTime from, SteadyTime to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
 }  // namespace ember
 
 #endif  // EMBER_COMMON_TIMER_H_

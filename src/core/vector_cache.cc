@@ -2,43 +2,35 @@
 
 #include <cstdint>
 #include <cstdlib>
-#include <cstring>
 #include <filesystem>
-#include <fstream>
 
+#include "common/binary_io.h"
 #include "common/timer.h"
+#include "la/matrix_io.h"
 
 namespace ember::core {
 
 namespace {
 
-constexpr char kMagic[8] = {'E', 'M', 'B', 'V', '0', '0', '0', '2'};
+/// 0003 added the checksummed container (trailing length + FNV-1a) and the
+/// temp-file + rename publish. 0002 files — and any torn, truncated, or
+/// bit-flipped file — simply miss and are recomputed.
+constexpr char kMagic[8] = {'E', 'M', 'B', 'V', '0', '0', '0', '3'};
 
 bool LoadMatrix(const std::string& path, la::Matrix& out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  char magic[8];
-  uint64_t rows = 0, cols = 0;
-  in.read(magic, sizeof(magic));
-  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
-  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
-  if (rows > (1ull << 32) || cols > (1ull << 20)) return false;
-  out = la::Matrix(rows, cols);
-  in.read(reinterpret_cast<char*>(out.Row(0)),
-          static_cast<std::streamsize>(rows * cols * sizeof(float)));
-  return static_cast<bool>(in);
+  Result<std::string> payload = ReadFileVerified(path, kMagic);
+  if (!payload.ok()) return false;
+  BinaryReader reader(payload.value());
+  return la::ReadMatrix(reader, out) && reader.ok() &&
+         reader.remaining() == 0;
 }
 
 void SaveMatrix(const std::string& path, const la::Matrix& m) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return;
-  const uint64_t rows = m.rows(), cols = m.cols();
-  out.write(kMagic, sizeof(kMagic));
-  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
-  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
-  out.write(reinterpret_cast<const char*>(m.Row(0)),
-            static_cast<std::streamsize>(rows * cols * sizeof(float)));
+  BinaryWriter writer;
+  la::WriteMatrix(writer, m);
+  // Atomic publish: a crashed or concurrent writer never leaves a torn
+  // file at the final path. A failed write only costs a future recompute.
+  WriteFileAtomic(path, kMagic, writer.buffer());
 }
 
 }  // namespace

@@ -10,8 +10,10 @@
 namespace ember::core {
 
 /// On-disk cache of batch-vectorized sentence matrices, keyed by model code
-/// and a caller-chosen key. Files are raw little-endian dumps behind an
-/// "EMBV0002" magic; stale-format files simply miss.
+/// and a caller-chosen key. Files are little-endian dumps in the
+/// checksummed "EMBV0003" container (common/binary_io.h), published
+/// atomically via temp file + rename; stale-format, truncated, or
+/// corrupted files fail closed — they miss and are recomputed.
 class VectorCache {
  public:
   /// Process-wide instance rooted at $EMBER_CACHE or ./ember_cache.

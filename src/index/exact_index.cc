@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/binary_io.h"
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "la/matrix_io.h"
 #include "la/vector_ops.h"
 
 namespace ember::index {
@@ -107,6 +109,27 @@ std::vector<std::vector<Neighbor>> ExactIndex::QueryBatch(
     }
   });
   return results;
+}
+
+namespace {
+constexpr uint32_t kExactFormatVersion = 1;
+}  // namespace
+
+void ExactIndex::Save(BinaryWriter& writer) const {
+  writer.WriteU32(kExactFormatVersion);
+  la::WriteMatrix(writer, data_);
+}
+
+bool ExactIndex::Load(BinaryReader& reader) {
+  *this = ExactIndex();
+  if (reader.ReadU32() != kExactFormatVersion) {
+    reader.Fail();
+    return false;
+  }
+  la::Matrix data;
+  if (!la::ReadMatrix(reader, data)) return false;
+  data_ = std::move(data);
+  return true;
 }
 
 }  // namespace ember::index

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <utility>
 
+#include "common/binary_io.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "la/matrix_io.h"
 #include "la/vector_ops.h"
 
 namespace ember::index {
@@ -181,6 +183,86 @@ std::vector<std::vector<Neighbor>> HnswIndex::QueryBatch(
     results[q] = Query(queries.Row(q), k);
   });
   return results;
+}
+
+namespace {
+constexpr uint32_t kHnswFormatVersion = 1;
+/// Level-count ceiling on load: with level_mult = 1/ln(2) the chance of a
+/// node drawing level 64 is ~2^-64, so anything above it is corruption.
+constexpr uint64_t kMaxLevels = 64;
+}  // namespace
+
+void HnswIndex::Save(BinaryWriter& writer) const {
+  writer.WriteU32(kHnswFormatVersion);
+  writer.WriteU64(options_.m);
+  writer.WriteU64(options_.ef_construction);
+  writer.WriteU64(options_.ef_search);
+  writer.WriteU64(options_.seed);
+  la::WriteMatrix(writer, data_);
+  writer.WriteU32(entry_);
+  writer.WriteU64(max_level_);
+  for (const auto& levels : links_) {
+    writer.WriteU64(levels.size());
+    for (const auto& neighbors : levels) writer.WritePodVector(neighbors);
+  }
+}
+
+bool HnswIndex::Load(BinaryReader& reader) {
+  *this = HnswIndex();
+  if (reader.ReadU32() != kHnswFormatVersion) {
+    reader.Fail();
+    return false;
+  }
+  options_.m = reader.ReadU64();
+  options_.ef_construction = reader.ReadU64();
+  options_.ef_search = reader.ReadU64();
+  options_.seed = reader.ReadU64();
+  la::Matrix data;
+  if (!la::ReadMatrix(reader, data)) return false;
+  const uint32_t entry = reader.ReadU32();
+  const uint64_t max_level = reader.ReadU64();
+  const size_t rows = data.rows();
+  std::vector<std::vector<std::vector<uint32_t>>> links(rows);
+  for (size_t node = 0; node < rows; ++node) {
+    const uint64_t levels = reader.ReadU64();
+    if (!reader.ok() || levels == 0 || levels > kMaxLevels) {
+      reader.Fail();
+      return false;
+    }
+    links[node].resize(levels);
+    for (uint64_t level = 0; level < levels; ++level) {
+      links[node][level] = reader.ReadPodVector<uint32_t>();
+      for (const uint32_t target : links[node][level]) {
+        if (target >= rows) {
+          reader.Fail();
+          return false;
+        }
+      }
+    }
+  }
+  // Graph invariants the search paths rely on: a valid entry point that
+  // actually exists on every level up to max_level_, and every level-l link
+  // pointing at a node that has a level-l adjacency list of its own.
+  if (!reader.ok() ||
+      (rows > 0 && (entry >= rows || max_level >= links[entry].size()))) {
+    reader.Fail();
+    return false;
+  }
+  for (size_t node = 0; node < rows; ++node) {
+    for (size_t level = 0; level < links[node].size(); ++level) {
+      for (const uint32_t target : links[node][level]) {
+        if (links[target].size() <= level) {
+          reader.Fail();
+          return false;
+        }
+      }
+    }
+  }
+  data_ = std::move(data);
+  links_ = std::move(links);
+  entry_ = entry;
+  max_level_ = max_level;
+  return true;
 }
 
 }  // namespace ember::index

@@ -8,6 +8,11 @@
 #include "index/neighbor.h"
 #include "la/matrix.h"
 
+namespace ember {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace ember
+
 namespace ember::index {
 
 /// HNSW build/search parameters (Malkov & Yashunin defaults scaled to
@@ -73,6 +78,16 @@ class HnswIndex {
 
   std::vector<std::vector<Neighbor>> QueryBatch(const la::Matrix& queries,
                                                 size_t k) const;
+
+  /// Appends a versioned binary image (options, vectors, graph, entry
+  /// point); a Load() of those bytes answers queries bit-identically to
+  /// this index — no rebuild, no RNG.
+  void Save(BinaryWriter& writer) const;
+
+  /// Restores an index saved by Save(). Fail-closed: validates every link
+  /// target and the entry point before accepting, returns false and leaves
+  /// the index empty on any corruption.
+  bool Load(BinaryReader& reader);
 
  private:
   float DistanceTo(const float* query, uint32_t node) const;

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/binary_io.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "la/matrix_io.h"
 #include "la/vector_ops.h"
 
 namespace ember::index {
@@ -67,6 +69,86 @@ std::vector<std::vector<Neighbor>> LshIndex::QueryBatch(
     results[q] = Query(queries.Row(q), k);
   });
   return results;
+}
+
+namespace {
+constexpr uint32_t kLshFormatVersion = 1;
+}  // namespace
+
+void LshIndex::Save(BinaryWriter& writer) const {
+  writer.WriteU32(kLshFormatVersion);
+  writer.WriteU64(options_.tables);
+  writer.WriteU64(options_.bits);
+  writer.WriteU64(options_.seed);
+  la::WriteMatrix(writer, data_);
+  la::WriteMatrix(writer, planes_);
+  writer.WriteU64(buckets_.size());
+  for (const auto& table : buckets_) {
+    // Sorted by hash so the byte image is deterministic regardless of the
+    // unordered_map's iteration order (snapshots of equal indexes are
+    // byte-equal, which the round-trip tests exploit).
+    std::vector<uint32_t> hashes;
+    hashes.reserve(table.size());
+    for (const auto& [hash, ids] : table) hashes.push_back(hash);
+    std::sort(hashes.begin(), hashes.end());
+    writer.WriteU64(hashes.size());
+    for (const uint32_t hash : hashes) {
+      writer.WriteU32(hash);
+      writer.WritePodVector(table.at(hash));
+    }
+  }
+}
+
+bool LshIndex::Load(BinaryReader& reader) {
+  *this = LshIndex();
+  if (reader.ReadU32() != kLshFormatVersion) {
+    reader.Fail();
+    return false;
+  }
+  LshOptions options;
+  options.tables = reader.ReadU64();
+  options.bits = reader.ReadU64();
+  options.seed = reader.ReadU64();
+  la::Matrix data, planes;
+  if (!la::ReadMatrix(reader, data) || !la::ReadMatrix(reader, planes)) {
+    return false;
+  }
+  const uint64_t tables = reader.ReadU64();
+  if (!reader.ok() || tables != options.tables ||
+      tables > reader.remaining()) {  // each table costs >= 1 byte
+    reader.Fail();
+    return false;
+  }
+  std::vector<std::unordered_map<uint32_t, std::vector<uint32_t>>> buckets(
+      tables);
+  for (auto& table : buckets) {
+    const uint64_t entries = reader.ReadU64();
+    if (!reader.ok() || entries > reader.remaining() / sizeof(uint32_t)) {
+      reader.Fail();
+      return false;
+    }
+    table.reserve(entries);
+    for (uint64_t e = 0; e < entries; ++e) {
+      const uint32_t hash = reader.ReadU32();
+      std::vector<uint32_t> ids = reader.ReadPodVector<uint32_t>();
+      for (const uint32_t id : ids) {
+        if (id >= data.rows()) {
+          reader.Fail();
+          return false;
+        }
+      }
+      if (!table.emplace(hash, std::move(ids)).second) {
+        reader.Fail();  // duplicate bucket hash
+        return false;
+      }
+    }
+  }
+  if (!reader.ok()) return false;
+  options_ = options;
+  data_ = std::move(data);
+  planes_ = std::move(planes);
+  buckets_ = std::move(buckets);
+  return true;
 }
 
 }  // namespace ember::index

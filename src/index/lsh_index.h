@@ -8,6 +8,11 @@
 #include "index/neighbor.h"
 #include "la/matrix.h"
 
+namespace ember {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace ember
+
 namespace ember::index {
 
 struct LshOptions {
@@ -39,6 +44,14 @@ class LshIndex {
 
   std::vector<std::vector<Neighbor>> QueryBatch(const la::Matrix& queries,
                                                 size_t k) const;
+
+  /// Appends a versioned binary image (options, vectors, hyperplanes,
+  /// buckets); a Load() of those bytes answers queries bit-identically.
+  void Save(BinaryWriter& writer) const;
+
+  /// Restores an index saved by Save(). Fail-closed: returns false and
+  /// leaves the index empty on truncated/corrupt payloads.
+  bool Load(BinaryReader& reader);
 
  private:
   uint32_t HashOf(const float* vector, size_t table) const;

@@ -1,0 +1,37 @@
+#ifndef EMBER_LA_MATRIX_IO_H_
+#define EMBER_LA_MATRIX_IO_H_
+
+#include "common/binary_io.h"
+#include "la/matrix.h"
+
+namespace ember::la {
+
+/// Appends `m` as (rows u64, cols u64, row-major f32 payload).
+inline void WriteMatrix(BinaryWriter& writer, const Matrix& m) {
+  writer.WriteU64(m.rows());
+  writer.WriteU64(m.cols());
+  writer.WriteRaw(m.data(), m.rows() * m.cols() * sizeof(float));
+}
+
+/// Reads a WriteMatrix payload. Fail-closed: the payload size is validated
+/// against the remaining bytes BEFORE the matrix is allocated, so a corrupt
+/// header can neither over-allocate nor leave `out` partially filled. On
+/// failure the reader is failed and `out` is untouched.
+inline bool ReadMatrix(BinaryReader& reader, Matrix& out) {
+  const uint64_t rows = reader.ReadU64();
+  const uint64_t cols = reader.ReadU64();
+  if (!reader.ok() || cols > (uint64_t{1} << 20) ||
+      (cols != 0 && rows > reader.remaining() / (cols * sizeof(float))) ||
+      (cols == 0 && rows != 0)) {
+    reader.Fail();
+    return false;
+  }
+  Matrix m(rows, cols);
+  if (!reader.ReadRaw(m.data(), rows * cols * sizeof(float))) return false;
+  out = std::move(m);
+  return true;
+}
+
+}  // namespace ember::la
+
+#endif  // EMBER_LA_MATRIX_IO_H_

@@ -1,0 +1,178 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ember::serve {
+
+Result<std::unique_ptr<Engine>> Engine::Create(
+    Snapshot snapshot, std::shared_ptr<embed::EmbeddingModel> model,
+    const EngineOptions& options) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("engine requires a query-side model");
+  }
+  const SnapshotManifest& manifest = snapshot.manifest();
+  if (model->info().code != manifest.model_code) {
+    return Status::InvalidArgument(
+        "snapshot was built with model '" + manifest.model_code +
+        "' but the engine embeds with '" + model->info().code + "'");
+  }
+  if (model->info().dim != manifest.dim && manifest.rows > 0) {
+    return Status::InvalidArgument("snapshot/model dimensionality mismatch");
+  }
+  // Weight building is neither thread-safe nor cheap; force it here so the
+  // workers (and every Submit) only ever see an initialized model.
+  model->Initialize();
+  return std::unique_ptr<Engine>(
+      new Engine(std::move(snapshot), std::move(model), options));
+}
+
+Engine::Engine(Snapshot snapshot, std::shared_ptr<embed::EmbeddingModel> model,
+               const EngineOptions& options)
+    : snapshot_(std::move(snapshot)),
+      model_(std::move(model)),
+      options_(options) {
+  options_.max_queue = std::max<size_t>(1, options_.max_queue);
+  options_.max_batch = std::max<size_t>(1, options_.max_batch);
+  options_.workers = std::max<size_t>(1, options_.workers);
+  options_.max_wait_micros = std::max<int64_t>(0, options_.max_wait_micros);
+  k_ = options_.k > 0 ? options_.k
+                      : std::max<size_t>(1, snapshot_.manifest().default_k);
+  workers_.reserve(options_.workers);
+  for (size_t w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Engine::~Engine() { Stop(); }
+
+void Engine::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+Result<std::future<Result<QueryReply>>> Engine::Submit(std::string record,
+                                                       SteadyTime deadline) {
+  Request request;
+  request.record = std::move(record);
+  request.deadline = deadline;
+  request.enqueued = SteadyNow();
+  std::future<Result<QueryReply>> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("engine is stopped");
+    }
+    if (queue_.size() >= options_.max_queue) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("queue full (" +
+                                 std::to_string(options_.max_queue) + ")");
+    }
+    queue_.push_back(std::move(request));
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void Engine::WorkerLoop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;  // drained: stop only once the queue is empty
+        continue;
+      }
+      // Micro-batch window: drain as soon as max_batch requests are ready,
+      // or once the OLDEST queued request has waited out max_wait_micros.
+      // wait_until releases the lock, so another worker may drain the queue
+      // meanwhile — hence the re-check below instead of assuming front().
+      const SteadyTime window_end =
+          AfterMicros(queue_.front().enqueued, options_.max_wait_micros);
+      queue_cv_.wait_until(lock, window_end, [this] {
+        return stopping_ || queue_.size() >= options_.max_batch;
+      });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      const size_t take = std::min(queue_.size(), options_.max_batch);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    ProcessBatch(std::move(batch));
+  }
+}
+
+void Engine::ProcessBatch(std::vector<Request> batch) {
+  const SteadyTime drained = SteadyNow();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+
+  // Deadline shedding BEFORE the expensive embed: a request that already
+  // missed its deadline gets its status immediately and costs no compute.
+  std::vector<Request> live;
+  live.reserve(batch.size());
+  for (Request& request : batch) {
+    queue_micros_.Record(MicrosBetween(request.enqueued, drained));
+    if (request.deadline < drained) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      request.promise.set_value(
+          Status::DeadlineExceeded("shed before embedding"));
+    } else {
+      live.push_back(std::move(request));
+    }
+  }
+  if (live.empty()) return;
+  batch_size_.Record(static_cast<double>(live.size()));
+
+  std::vector<std::string> sentences;
+  sentences.reserve(live.size());
+  for (const Request& request : live) sentences.push_back(request.record);
+
+  WallTimer timer;
+  const la::Matrix vectors = model_->VectorizeAll(sentences);
+  embed_micros_.Record(timer.Restart() * 1e6);
+  std::vector<std::vector<index::Neighbor>> neighbors =
+      snapshot_.QueryBatch(vectors, k_);
+  query_micros_.Record(timer.Seconds() * 1e6);
+
+  const SteadyTime done = SteadyNow();
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (live[i].deadline < done) {
+      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    total_micros_.Record(MicrosBetween(live[i].enqueued, done));
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    live[i].promise.set_value(QueryReply{std::move(neighbors[i])});
+  }
+}
+
+EngineMetrics Engine::Metrics() const {
+  EngineMetrics metrics;
+  metrics.submitted = submitted_.load(std::memory_order_relaxed);
+  metrics.completed = completed_.load(std::memory_order_relaxed);
+  metrics.rejected = rejected_.load(std::memory_order_relaxed);
+  metrics.expired = expired_.load(std::memory_order_relaxed);
+  metrics.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+  metrics.batches = batches_.load(std::memory_order_relaxed);
+  metrics.queue_micros = queue_micros_.Snapshot();
+  metrics.embed_micros = embed_micros_.Snapshot();
+  metrics.query_micros = query_micros_.Snapshot();
+  metrics.total_micros = total_micros_.Snapshot();
+  metrics.batch_size = batch_size_.Snapshot();
+  return metrics;
+}
+
+}  // namespace ember::serve

@@ -1,0 +1,149 @@
+#ifndef EMBER_SERVE_ENGINE_H_
+#define EMBER_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "embed/embedding_model.h"
+#include "index/neighbor.h"
+#include "serve/snapshot.h"
+
+namespace ember::serve {
+
+struct EngineOptions {
+  /// Per-query neighbor count; 0 uses the snapshot manifest's default_k.
+  size_t k = 0;
+  /// Bounded queue capacity. A full queue REJECTS new submissions
+  /// immediately (backpressure) — Submit never blocks the caller.
+  size_t max_queue = 1024;
+  /// Batching policy: a worker drains as soon as `max_batch` requests are
+  /// queued, or when the oldest queued request has waited `max_wait_micros`,
+  /// whichever comes first. Larger windows amortize the embed/query batch
+  /// cost; smaller windows cut tail latency at low load.
+  size_t max_batch = 32;
+  int64_t max_wait_micros = 2000;
+  /// Batcher threads. Each drains whole batches, so >1 mainly helps when
+  /// embedding and index search can overlap on spare cores.
+  size_t workers = 1;
+};
+
+/// A completed query: top-k corpus neighbors of the submitted record.
+struct QueryReply {
+  std::vector<index::Neighbor> neighbors;
+};
+
+/// Monotone counters + latency histograms, readable at any time. Counter
+/// identity: submitted == completed + expired + still-in-flight (rejected
+/// submissions are counted separately and never enter the queue).
+struct EngineMetrics {
+  uint64_t submitted = 0;  // accepted into the queue
+  uint64_t completed = 0;  // future fulfilled with neighbors
+  uint64_t rejected = 0;   // refused at Submit (queue full / stopped)
+  uint64_t expired = 0;    // shed before embedding (deadline passed)
+  uint64_t deadline_misses = 0;  // completed, but after their deadline
+  uint64_t batches = 0;
+
+  HistogramSnapshot queue_micros;  // submit -> drained from the queue
+  HistogramSnapshot embed_micros;  // per batch: vectorization
+  HistogramSnapshot query_micros;  // per batch: index search
+  HistogramSnapshot total_micros;  // submit -> future completed
+  HistogramSnapshot batch_size;    // live requests per processed batch
+};
+
+/// Long-lived online ER query engine in the inference-server style:
+/// producers Submit() single records with optional deadlines into a bounded
+/// MPMC queue; worker threads drain it under the max-batch/max-wait policy,
+/// vectorize each batch through the model's parallel VectorizeAll, run one
+/// QueryBatch against the snapshot, and complete the futures.
+///
+/// Determinism caveat (DESIGN.md §9): batch composition varies under load,
+/// but per-request results never do — each embedding row depends only on
+/// its own record and each query only on the frozen index, so a record
+/// returns the same neighbors whether it shared a batch or rode alone.
+class Engine {
+ public:
+  /// Takes ownership of the snapshot and shares the query-side model
+  /// (Initialize() is forced here, before any worker can race it). Fails
+  /// with InvalidArgument when the model's code/dim disagree with the
+  /// snapshot manifest. Workers start immediately on success.
+  static Result<std::unique_ptr<Engine>> Create(
+      Snapshot snapshot, std::shared_ptr<embed::EmbeddingModel> model,
+      const EngineOptions& options);
+
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Non-blocking submit of one record. On acceptance returns the future
+  /// that will carry the top-k neighbors (or DeadlineExceeded if shed);
+  /// when the queue is full or the engine is stopped it returns
+  /// Unavailable immediately — backpressure is reported, never dropped.
+  Result<std::future<Result<QueryReply>>> Submit(
+      std::string record, SteadyTime deadline = kNoDeadline);
+
+  /// Stops accepting new work, drains every queued request (expired ones
+  /// are shed, the rest are answered), and joins the workers. Idempotent;
+  /// also run by the destructor.
+  void Stop();
+
+  /// Point-in-time metrics (concurrent-safe; counters are monotone).
+  EngineMetrics Metrics() const;
+
+  const Snapshot& snapshot() const { return snapshot_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    std::string record;
+    SteadyTime deadline;
+    SteadyTime enqueued;
+    std::promise<Result<QueryReply>> promise;
+  };
+
+  Engine(Snapshot snapshot, std::shared_ptr<embed::EmbeddingModel> model,
+         const EngineOptions& options);
+
+  void WorkerLoop();
+  void ProcessBatch(std::vector<Request> batch);
+
+  Snapshot snapshot_;
+  std::shared_ptr<embed::EmbeddingModel> model_;
+  EngineOptions options_;
+  size_t k_ = 10;
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  // Counters are atomics (not guarded by mu_): Metrics() must stay cheap
+  // enough to call from a live load generator.
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> deadline_misses_{0};
+  std::atomic<uint64_t> batches_{0};
+  LatencyHistogram queue_micros_;
+  LatencyHistogram embed_micros_;
+  LatencyHistogram query_micros_;
+  LatencyHistogram total_micros_;
+  LatencyHistogram batch_size_;
+};
+
+}  // namespace ember::serve
+
+#endif  // EMBER_SERVE_ENGINE_H_

@@ -1,0 +1,155 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+#include "common/binary_io.h"
+
+namespace ember::serve {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'M', 'B', 'S', '0', '0', '0', '1'};
+constexpr uint32_t kManifestVersion = 1;
+
+void WriteManifest(BinaryWriter& writer, const SnapshotManifest& manifest) {
+  writer.WriteU32(kManifestVersion);
+  writer.WriteString(manifest.model_code);
+  writer.WriteU32(manifest.dim);
+  writer.WriteU32(manifest.default_k);
+  writer.WriteU32(static_cast<uint32_t>(manifest.kind));
+  writer.WriteU64(manifest.rows);
+  writer.WriteString(manifest.dataset);
+}
+
+bool ReadManifest(BinaryReader& reader, SnapshotManifest& manifest) {
+  if (reader.ReadU32() != kManifestVersion) {
+    reader.Fail();
+    return false;
+  }
+  manifest.model_code = reader.ReadString();
+  manifest.dim = reader.ReadU32();
+  manifest.default_k = reader.ReadU32();
+  const uint32_t kind = reader.ReadU32();
+  manifest.rows = reader.ReadU64();
+  manifest.dataset = reader.ReadString();
+  if (!reader.ok() || kind > static_cast<uint32_t>(IndexKind::kLsh)) {
+    reader.Fail();
+    return false;
+  }
+  manifest.kind = static_cast<IndexKind>(kind);
+  return true;
+}
+
+}  // namespace
+
+const char* IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kExact:
+      return "exact";
+    case IndexKind::kHnsw:
+      return "hnsw";
+    case IndexKind::kLsh:
+      return "lsh";
+  }
+  return "unknown";
+}
+
+Result<IndexKind> IndexKindFromString(const std::string& text) {
+  if (text == "exact") return IndexKind::kExact;
+  if (text == "hnsw") return IndexKind::kHnsw;
+  if (text == "lsh") return IndexKind::kLsh;
+  return Status::InvalidArgument("unknown index kind '" + text + "'");
+}
+
+Snapshot Snapshot::Build(SnapshotManifest manifest, la::Matrix corpus,
+                         const index::HnswOptions& hnsw_options,
+                         const index::LshOptions& lsh_options) {
+  Snapshot snapshot;
+  manifest.rows = corpus.rows();
+  manifest.dim = static_cast<uint32_t>(corpus.cols());
+  snapshot.manifest_ = std::move(manifest);
+  switch (snapshot.manifest_.kind) {
+    case IndexKind::kExact:
+      snapshot.exact_.Build(std::move(corpus));
+      break;
+    case IndexKind::kHnsw:
+      snapshot.hnsw_ = index::HnswIndex(hnsw_options);
+      snapshot.hnsw_.Build(std::move(corpus));
+      break;
+    case IndexKind::kLsh:
+      snapshot.lsh_ = index::LshIndex(lsh_options);
+      snapshot.lsh_.Build(std::move(corpus));
+      break;
+  }
+  return snapshot;
+}
+
+Status Snapshot::SaveTo(const std::string& path) const {
+  BinaryWriter writer;
+  WriteManifest(writer, manifest_);
+  switch (manifest_.kind) {
+    case IndexKind::kExact:
+      exact_.Save(writer);
+      break;
+    case IndexKind::kHnsw:
+      hnsw_.Save(writer);
+      break;
+    case IndexKind::kLsh:
+      lsh_.Save(writer);
+      break;
+  }
+  return WriteFileAtomic(path, kMagic, writer.buffer());
+}
+
+Result<Snapshot> Snapshot::LoadFrom(const std::string& path) {
+  Result<std::string> payload = ReadFileVerified(path, kMagic);
+  if (!payload.ok()) return payload.status();
+  BinaryReader reader(payload.value());
+  Snapshot snapshot;
+  if (!ReadManifest(reader, snapshot.manifest_)) {
+    return Status::IoError(path + ": corrupt snapshot manifest");
+  }
+  bool loaded = false;
+  size_t rows = 0, cols = 0;
+  switch (snapshot.manifest_.kind) {
+    case IndexKind::kExact:
+      loaded = snapshot.exact_.Load(reader);
+      rows = snapshot.exact_.size();
+      cols = snapshot.exact_.data().cols();
+      break;
+    case IndexKind::kHnsw:
+      loaded = snapshot.hnsw_.Load(reader);
+      rows = snapshot.hnsw_.size();
+      cols = snapshot.hnsw_.data().cols();
+      break;
+    case IndexKind::kLsh:
+      loaded = snapshot.lsh_.Load(reader);
+      rows = snapshot.lsh_.size();
+      cols = snapshot.lsh_.data().cols();
+      break;
+  }
+  // Cross-checking the index against the manifest (and requiring the
+  // payload fully consumed) keeps a snapshot whose sections disagree from
+  // ever serving.
+  if (!loaded || !reader.ok() || reader.remaining() != 0 ||
+      rows != snapshot.manifest_.rows ||
+      (rows > 0 && cols != snapshot.manifest_.dim)) {
+    return Status::IoError(path + ": corrupt snapshot index payload");
+  }
+  return snapshot;
+}
+
+std::vector<std::vector<index::Neighbor>> Snapshot::QueryBatch(
+    const la::Matrix& queries, size_t k) const {
+  switch (manifest_.kind) {
+    case IndexKind::kHnsw:
+      return hnsw_.QueryBatch(queries, k);
+    case IndexKind::kLsh:
+      return lsh_.QueryBatch(queries, k);
+    case IndexKind::kExact:
+      break;
+  }
+  return exact_.QueryBatch(queries, k);
+}
+
+}  // namespace ember::serve

@@ -1,0 +1,74 @@
+#ifndef EMBER_SERVE_SNAPSHOT_H_
+#define EMBER_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/exact_index.h"
+#include "index/hnsw_index.h"
+#include "index/lsh_index.h"
+#include "index/neighbor.h"
+#include "la/matrix.h"
+
+namespace ember::serve {
+
+/// Which NNS index a snapshot carries (Section 4.2's blocking back ends).
+enum class IndexKind : uint32_t { kExact = 0, kHnsw = 1, kLsh = 2 };
+
+const char* IndexKindName(IndexKind kind);
+Result<IndexKind> IndexKindFromString(const std::string& text);
+
+/// Provenance and defaults bundled with the serialized index. The engine
+/// refuses to serve a snapshot with a model/dim that does not match its
+/// query-side embedding model, so a stale snapshot fails loudly at startup
+/// instead of silently returning garbage neighbors.
+struct SnapshotManifest {
+  std::string model_code;  // embedding model that produced the vectors
+  uint32_t dim = 0;        // embedding dimensionality
+  uint32_t default_k = 10; // per-query neighbor count the service defaults to
+  IndexKind kind = IndexKind::kExact;
+  uint64_t rows = 0;       // corpus size
+  std::string dataset;     // free-form provenance tag (e.g. "D2@0.25")
+};
+
+/// A built blocking pipeline frozen into one loadable unit: the manifest
+/// plus exactly one index, which owns the corpus embedding matrix. Stored
+/// in the checksummed "EMBS0001" container (common/binary_io.h), written
+/// atomically — LoadFrom fails closed on truncation or bit flips and a
+/// loaded snapshot answers QueryBatch bit-identically to the freshly built
+/// pipeline it was saved from.
+class Snapshot {
+ public:
+  Snapshot() = default;
+
+  /// Builds the index named by `manifest.kind` over `corpus` (pass the
+  /// matrix by value and move it in to avoid doubling peak memory).
+  /// `manifest.rows` and `manifest.dim` are overwritten from the corpus.
+  static Snapshot Build(SnapshotManifest manifest, la::Matrix corpus,
+                        const index::HnswOptions& hnsw_options = {},
+                        const index::LshOptions& lsh_options = {});
+
+  Status SaveTo(const std::string& path) const;
+
+  static Result<Snapshot> LoadFrom(const std::string& path);
+
+  const SnapshotManifest& manifest() const { return manifest_; }
+  size_t size() const { return manifest_.rows; }
+
+  /// Top-k against whichever index the snapshot carries. Thread-safe.
+  std::vector<std::vector<index::Neighbor>> QueryBatch(
+      const la::Matrix& queries, size_t k) const;
+
+ private:
+  SnapshotManifest manifest_;
+  // Exactly one is populated, per manifest_.kind.
+  index::ExactIndex exact_;
+  index::HnswIndex hnsw_;
+  index::LshIndex lsh_;
+};
+
+}  // namespace ember::serve
+
+#endif  // EMBER_SERVE_SNAPSHOT_H_

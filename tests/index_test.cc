@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <set>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/rng.h"
 #include "index/hnsw_index.h"
 #include "index/lsh_index.h"
@@ -196,6 +199,90 @@ TEST(LshIndexTest, ReturnsKExactRankedCandidates) {
       EXPECT_LE(neighbors[i - 1].distance, neighbors[i].distance);
     }
   }
+}
+
+/// Serializes `built`, restores it into a fresh index, and asserts the
+/// reloaded index answers QueryBatch bit-identically (ids AND distances).
+template <typename Index>
+void ExpectRoundTripIdentical(const Index& built, const la::Matrix& queries,
+                              size_t k) {
+  BinaryWriter writer;
+  built.Save(writer);
+  BinaryReader reader(writer.buffer());
+  Index reloaded;
+  ASSERT_TRUE(reloaded.Load(reader));
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader.remaining(), 0u);
+  ASSERT_EQ(reloaded.size(), built.size());
+  const auto before = built.QueryBatch(queries, k);
+  const auto after = reloaded.QueryBatch(queries, k);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t q = 0; q < before.size(); ++q) {
+    ASSERT_EQ(before[q].size(), after[q].size()) << "query " << q;
+    for (size_t i = 0; i < before[q].size(); ++i) {
+      EXPECT_EQ(before[q][i].id, after[q][i].id) << "query " << q;
+      EXPECT_EQ(before[q][i].distance, after[q][i].distance) << "query " << q;
+    }
+  }
+}
+
+template <typename Index>
+void RoundTripAllSizes(uint64_t seed) {
+  const la::Matrix queries = RandomUnitRows(16, 24, seed);
+  for (const size_t rows : {size_t{0}, size_t{1}, size_t{200}}) {
+    Index built;
+    built.Build(RandomUnitRows(rows, 24, seed + rows));
+    ExpectRoundTripIdentical(built, queries, 5);
+  }
+}
+
+TEST(IndexSerializationTest, ExactRoundTripBitIdentical) {
+  RoundTripAllSizes<ExactIndex>(21);
+}
+
+TEST(IndexSerializationTest, HnswRoundTripBitIdentical) {
+  RoundTripAllSizes<HnswIndex>(22);
+}
+
+TEST(IndexSerializationTest, LshRoundTripBitIdentical) {
+  RoundTripAllSizes<LshIndex>(23);
+}
+
+TEST(IndexSerializationTest, TruncatedPayloadFailsClosed) {
+  // Any prefix of a valid image must be rejected without crashing and
+  // leave the target index empty. (Bit flips are caught one level up by
+  // the snapshot container checksum; structural truncation is the index
+  // loader's own job.)
+  HnswIndex built;
+  built.Build(RandomUnitRows(60, 16, 24));
+  BinaryWriter writer;
+  built.Save(writer);
+  const std::string& image = writer.buffer();
+  for (size_t len = 0; len < image.size(); len += 97) {
+    BinaryReader reader(std::string_view(image.data(), len));
+    HnswIndex reloaded;
+    EXPECT_FALSE(reloaded.Load(reader)) << "prefix " << len;
+    EXPECT_FALSE(reader.ok()) << "prefix " << len;
+    EXPECT_EQ(reloaded.size(), 0u) << "prefix " << len;
+  }
+}
+
+TEST(IndexSerializationTest, HnswRejectsDanglingLinks) {
+  // Corrupt a link target to an out-of-range id: the loader must refuse
+  // rather than hand the search path an out-of-bounds neighbor.
+  HnswIndex built;
+  built.Build(RandomUnitRows(50, 8, 25));
+  BinaryWriter writer;
+  built.Save(writer);
+  std::string image = writer.buffer();
+  // The last WritePodVector in the image is a neighbor list; smash 4
+  // trailing bytes (one stored id) to a huge value.
+  ASSERT_GE(image.size(), 4u);
+  const uint32_t bogus = 0x7fffffff;
+  std::memcpy(image.data() + image.size() - 4, &bogus, 4);
+  BinaryReader reader(image);
+  HnswIndex reloaded;
+  EXPECT_FALSE(reloaded.Load(reader));
 }
 
 TEST(OverlapBlockerTest, RanksSharedRareTokensFirst) {

@@ -7,18 +7,30 @@
 //       recall.
 //   ember_cli pipeline <D1..D10> [--scale f] [--seed n] [--auto]
 //       End-to-end blocking + matching with Unique Mapping Clustering.
+//   ember_cli serve-bench <D1..D10> [--scale f] [--seed n] [--k n]
+//       [--index exact|hnsw|lsh] [--snapshot path] [--qps n]
+//       [--duration s] [--batch n] [--wait-us n] [--queue n]
+//       [--deadline-ms f] [--workers n]
+//       Freeze the blocking pipeline into a snapshot (built, or loaded
+//       from --snapshot when the file exists), start the online serving
+//       engine, drive an open-loop load, and dump latency metrics.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "common/timer.h"
 #include "core/blocking.h"
 #include "core/pipeline.h"
 #include "datagen/benchmark_datasets.h"
 #include "embed/embedding_model.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
 
 using namespace ember;
 
@@ -29,8 +41,12 @@ int Usage(const char* argv0) {
                "usage: %s models\n"
                "       %s block <D1..D10> [--k n] [--scale f] [--seed n] "
                "[--hnsw]\n"
-               "       %s pipeline <D1..D10> [--scale f] [--seed n] [--auto]\n",
-               argv0, argv0, argv0);
+               "       %s pipeline <D1..D10> [--scale f] [--seed n] [--auto]\n"
+               "       %s serve-bench <D1..D10> [--scale f] [--seed n] "
+               "[--k n] [--index exact|hnsw|lsh] [--snapshot path]\n"
+               "           [--qps n] [--duration s] [--batch n] [--wait-us n] "
+               "[--queue n] [--deadline-ms f] [--workers n]\n",
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -41,6 +57,16 @@ struct CliArgs {
   uint64_t seed = 41;
   bool hnsw = false;
   bool auto_threshold = false;
+  // serve-bench
+  std::string index_kind = "exact";
+  std::string snapshot_path;
+  double qps = 200;
+  double duration_seconds = 3;
+  size_t max_batch = 32;
+  int64_t wait_micros = 2000;
+  size_t max_queue = 256;
+  double deadline_ms = 50;
+  size_t workers = 1;
 };
 
 bool ParseCli(int argc, char** argv, int first, CliArgs& args) {
@@ -58,6 +84,24 @@ bool ParseCli(int argc, char** argv, int first, CliArgs& args) {
       args.hnsw = true;
     } else if (arg == "--auto") {
       args.auto_threshold = true;
+    } else if (arg == "--index" && i + 1 < argc) {
+      args.index_kind = argv[++i];
+    } else if (arg == "--snapshot" && i + 1 < argc) {
+      args.snapshot_path = argv[++i];
+    } else if (arg == "--qps" && i + 1 < argc) {
+      args.qps = std::atof(argv[++i]);
+    } else if (arg == "--duration" && i + 1 < argc) {
+      args.duration_seconds = std::atof(argv[++i]);
+    } else if (arg == "--batch" && i + 1 < argc) {
+      args.max_batch = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--wait-us" && i + 1 < argc) {
+      args.wait_micros = std::atoll(argv[++i]);
+    } else if (arg == "--queue" && i + 1 < argc) {
+      args.max_queue = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      args.deadline_ms = std::atof(argv[++i]);
+    } else if (arg == "--workers" && i + 1 < argc) {
+      args.workers = static_cast<size_t>(std::atoi(argv[++i]));
     } else {
       return false;
     }
@@ -143,6 +187,135 @@ int RunPipeline(const CliArgs& args) {
   return 0;
 }
 
+int RunServeBench(const CliArgs& args) {
+  const auto spec = datagen::CleanCleanSpecById(args.dataset);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "unknown dataset '%s'\n", args.dataset.c_str());
+    return 1;
+  }
+  const auto kind = serve::IndexKindFromString(args.index_kind);
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    return 1;
+  }
+  const datagen::CleanCleanDataset data =
+      datagen::GenerateCleanClean(spec.value(), args.scale, args.seed);
+  auto model = std::shared_ptr<embed::EmbeddingModel>(
+      embed::CreateModel(embed::ModelId::kSGtrT5));
+  model->Initialize();
+
+  // Snapshot acquisition: load when --snapshot names an existing valid
+  // file, otherwise build from scratch (and persist for the next start).
+  serve::Snapshot snapshot;
+  bool loaded = false;
+  WallTimer timer;
+  if (!args.snapshot_path.empty()) {
+    auto from_disk = serve::Snapshot::LoadFrom(args.snapshot_path);
+    if (from_disk.ok()) {
+      snapshot = std::move(from_disk).value();
+      loaded = true;
+      std::printf("snapshot: loaded %s in %.1f ms (%zu rows, %s)\n",
+                  args.snapshot_path.c_str(), timer.Seconds() * 1e3,
+                  snapshot.size(), IndexKindName(snapshot.manifest().kind));
+    }
+  }
+  if (!loaded) {
+    la::Matrix corpus = model->VectorizeAll(data.right.AllSentences());
+    const double embed_seconds = timer.Restart();
+    serve::SnapshotManifest manifest;
+    manifest.model_code = model->info().code;
+    manifest.default_k = static_cast<uint32_t>(args.k);
+    manifest.kind = kind.value();
+    manifest.dataset = args.dataset;
+    index::HnswOptions hnsw_options;
+    hnsw_options.seed = args.seed;
+    index::LshOptions lsh_options;
+    lsh_options.seed = args.seed;
+    snapshot = serve::Snapshot::Build(std::move(manifest), std::move(corpus),
+                                      hnsw_options, lsh_options);
+    std::printf("snapshot: built from scratch in %.1f ms embed + %.1f ms "
+                "index (%zu rows, %s)\n",
+                embed_seconds * 1e3, timer.Seconds() * 1e3, snapshot.size(),
+                IndexKindName(snapshot.manifest().kind));
+    if (!args.snapshot_path.empty()) {
+      const Status saved = snapshot.SaveTo(args.snapshot_path);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "snapshot save failed: %s\n",
+                     saved.ToString().c_str());
+      } else {
+        std::printf("snapshot: saved to %s\n", args.snapshot_path.c_str());
+      }
+    }
+  }
+
+  serve::EngineOptions options;
+  options.k = args.k;
+  options.max_queue = args.max_queue;
+  options.max_batch = args.max_batch;
+  options.max_wait_micros = args.wait_micros;
+  options.workers = args.workers;
+  auto engine = serve::Engine::Create(std::move(snapshot), model, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // Open-loop load: submissions fire on the offered-QPS schedule no matter
+  // how the engine is doing, so overload shows up as rejections and
+  // deadline misses instead of a silently slowed generator.
+  const std::vector<std::string> queries = data.left.AllSentences();
+  if (queries.empty()) {
+    std::fprintf(stderr, "dataset has no query records\n");
+    return 1;
+  }
+  const auto total =
+      static_cast<size_t>(args.qps * args.duration_seconds + 0.5);
+  std::vector<std::future<Result<serve::QueryReply>>> futures;
+  futures.reserve(total);
+  const SteadyTime start = SteadyNow();
+  for (size_t i = 0; i < total; ++i) {
+    const SteadyTime at =
+        AfterMicros(start, static_cast<int64_t>(i * 1e6 / args.qps));
+    std::this_thread::sleep_until(at);
+    auto submitted = engine.value()->Submit(
+        queries[i % queries.size()],
+        AfterMicros(SteadyNow(),
+                    static_cast<int64_t>(args.deadline_ms * 1e3)));
+    if (submitted.ok()) futures.push_back(std::move(submitted).value());
+  }
+  size_t ok = 0, missed = 0;
+  for (auto& future : futures) {
+    ok += future.get().ok() ? 1 : 0;
+  }
+  const double wall = MicrosBetween(start, SteadyNow()) / 1e6;
+  engine.value()->Stop();
+  const serve::EngineMetrics metrics = engine.value()->Metrics();
+  missed = metrics.expired;
+
+  std::printf(
+      "\n%s %s k=%zu: offered %.0f qps for %.1fs -> achieved %.0f qps\n",
+      args.dataset.c_str(), args.index_kind.c_str(), args.k, args.qps,
+      args.duration_seconds, static_cast<double>(ok) / wall);
+  std::printf("accepted=%llu completed=%llu rejected=%llu expired=%llu "
+              "late=%llu batches=%llu mean_batch=%.1f\n",
+              static_cast<unsigned long long>(metrics.submitted),
+              static_cast<unsigned long long>(metrics.completed),
+              static_cast<unsigned long long>(metrics.rejected),
+              static_cast<unsigned long long>(missed),
+              static_cast<unsigned long long>(metrics.deadline_misses),
+              static_cast<unsigned long long>(metrics.batches),
+              metrics.batch_size.Mean());
+  const auto dump = [](const char* name, const HistogramSnapshot& h) {
+    std::printf("%-12s p50=%8.0f us  p99=%8.0f us  max=%8.0f us\n", name,
+                h.Percentile(0.5), h.Percentile(0.99), h.max);
+  };
+  dump("queue", metrics.queue_micros);
+  dump("embed", metrics.embed_micros);
+  dump("query", metrics.query_micros);
+  dump("total", metrics.total_micros);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -153,5 +326,6 @@ int main(int argc, char** argv) {
   if (!ParseCli(argc, argv, 2, args)) return Usage(argv[0]);
   if (command == "block") return RunBlock(args);
   if (command == "pipeline") return RunPipeline(args);
+  if (command == "serve-bench") return RunServeBench(args);
   return Usage(argv[0]);
 }
