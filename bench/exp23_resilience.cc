@@ -1,0 +1,255 @@
+// Resilience benchmark (beyond the paper; DESIGN.md §10): drives the
+// serve::Engine open-loop while failpoints inject embed/query faults, and
+// measures what the resilience machinery buys:
+//
+//   (a) a fault-rate sweep on the embed stage (0/1/5/20/100% per-attempt
+//       failure probability) recording availability, p99, retry counts,
+//       breaker short-circuits, and the exact counter reconciliation
+//       submitted == completed + expired + failed;
+//   (b) a degraded-mode point (5% query-stage faults answered by the exact
+//       fallback scan instead of failing); and
+//   (c) hot snapshot reloads under load — one good swap and one corrupt
+//       rejection mid-run — demonstrating zero swap-attributable failures.
+//
+// Requires a build with EMBER_FAILPOINTS_ENABLED=ON for (a) and (b); the
+// reload experiment (c) runs in any build. Artifacts: exp23_faults.csv and
+// exp23_reload.csv under bench_artifacts/.
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "bench_common.h"
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
+
+namespace {
+
+using namespace ember;
+
+constexpr double kPointSeconds = 2.0;
+constexpr double kOfferedQps = 300.0;
+constexpr double kDeadlineMs = 100.0;
+constexpr size_t kK = 10;
+
+serve::Snapshot BuildSnapshot(const la::Matrix& corpus,
+                              const std::string& model_code,
+                              const std::string& dataset) {
+  serve::SnapshotManifest manifest;
+  manifest.model_code = model_code;
+  manifest.default_k = kK;
+  manifest.kind = serve::IndexKind::kExact;
+  manifest.dataset = dataset;
+  return serve::Snapshot::Build(std::move(manifest), corpus);
+}
+
+serve::EngineOptions ResilientOptions() {
+  serve::EngineOptions options;
+  options.max_batch = 64;
+  options.max_wait_micros = 2000;
+  options.max_queue = 256;
+  options.embed_retry.max_attempts = 3;
+  options.embed_retry.initial_backoff_micros = 200;
+  options.embed_retry.max_backoff_micros = 5'000;
+  options.breaker.window = 32;
+  options.breaker.min_samples = 8;
+  options.breaker.trip_ratio = 0.5;
+  options.breaker.open_micros = 100'000;
+  return options;
+}
+
+struct RunResult {
+  double availability_pct = 0;  // completed / offered
+  double p50_ms = 0, p99_ms = 0;
+  serve::EngineMetrics metrics;
+  uint64_t offered = 0;
+  uint64_t submit_refused = 0;  // queue-full rejections + breaker sheds
+  bool reconciled = false;
+};
+
+/// Open-loop run against `engine`: fires on schedule regardless of engine
+/// health, drains every future, then reconciles engine counters against the
+/// generator's books (in-flight is zero once all futures resolved).
+RunResult DriveOpenLoop(serve::Engine& engine,
+                        const std::vector<std::string>& queries,
+                        double seconds = kPointSeconds) {
+  RunResult result;
+  const auto total = static_cast<size_t>(kOfferedQps * seconds + 0.5);
+  result.offered = total;
+  std::vector<std::future<Result<serve::QueryReply>>> futures;
+  futures.reserve(total);
+  const SteadyTime start = SteadyNow();
+  for (size_t i = 0; i < total; ++i) {
+    std::this_thread::sleep_until(
+        AfterMicros(start, static_cast<int64_t>(i * 1e6 / kOfferedQps)));
+    auto submitted =
+        engine.Submit(queries[i % queries.size()],
+                      AfterMicros(SteadyNow(),
+                                  static_cast<int64_t>(kDeadlineMs * 1e3)));
+    if (submitted.ok()) {
+      futures.push_back(std::move(submitted).value());
+    } else {
+      ++result.submit_refused;
+    }
+  }
+  uint64_t ok = 0;
+  for (auto& future : futures) ok += future.get().ok() ? 1 : 0;
+
+  result.metrics = engine.Metrics();
+  result.availability_pct =
+      100.0 * static_cast<double>(ok) / static_cast<double>(total);
+  result.p50_ms = result.metrics.total_micros.Percentile(0.5) / 1e3;
+  result.p99_ms = result.metrics.total_micros.Percentile(0.99) / 1e3;
+  result.reconciled =
+      result.metrics.completed + result.metrics.expired +
+          result.metrics.failed ==
+      result.metrics.submitted;
+  return result;
+}
+
+void AddRunRow(eval::Table& table, const std::string& label,
+               const RunResult& r) {
+  table.AddRow({label, eval::Table::Num(r.availability_pct, 1),
+                eval::Table::Num(r.p50_ms, 2), eval::Table::Num(r.p99_ms, 2),
+                std::to_string(r.metrics.completed),
+                std::to_string(r.metrics.failed),
+                std::to_string(r.metrics.retries),
+                std::to_string(r.metrics.fallbacks),
+                std::to_string(r.metrics.breaker_trips),
+                std::to_string(r.metrics.short_circuits +
+                               r.metrics.rejected),
+                r.reconciled ? "yes" : "NO"});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(env, "exp23 / resilience",
+                     "Serving under injected faults: embed fault-rate sweep, "
+                     "degraded mode, hot snapshot reload under load");
+
+  const datagen::CleanCleanDataset& d2 = bench::GetDataset("D2", env);
+  auto model = std::shared_ptr<embed::EmbeddingModel>(
+      embed::CreateModel(embed::ModelId::kSGtrT5));
+  model->Initialize();
+  la::Matrix corpus = bench::Vectors(*model, d2, /*left_side=*/false, env);
+  const std::vector<std::string> queries = d2.left.AllSentences();
+  const serve::Snapshot snapshot =
+      BuildSnapshot(corpus, model->info().code, "D2");
+
+  // --- (a)+(b): fault-rate sweep (needs a failpoint-enabled build). ---
+  eval::Table fault_table(
+      "exp23: open-loop " + eval::Table::Num(kOfferedQps, 0) +
+      " qps for " + eval::Table::Num(kPointSeconds, 0) +
+      " s, embed retry x3, breaker 50%/32");
+  fault_table.SetHeader({"fault", "avail_pct", "p50_ms", "p99_ms",
+                         "completed", "failed", "retries", "fallbacks",
+                         "trips", "refused", "reconciled"});
+  if (fail::kEnabled) {
+    for (const double rate : {0.0, 0.01, 0.05, 0.20, 1.0}) {
+      fail::DisarmAll();
+      if (rate > 0.0) {
+        const std::string spec =
+            rate >= 1.0 ? "error:unavailable"
+                        : "error:unavailable,p=" + eval::Table::Num(rate, 2) +
+                              ",seed=" + std::to_string(env.seed);
+        const Status armed = fail::ConfigureSpec("engine/embed", spec);
+        EMBER_CHECK_MSG(armed.ok(), "arm: %s", armed.ToString().c_str());
+      }
+      auto engine =
+          serve::Engine::Create(snapshot, model, ResilientOptions());
+      EMBER_CHECK_MSG(engine.ok(), "engine: %s",
+                      engine.status().ToString().c_str());
+      const RunResult r = DriveOpenLoop(*engine.value(), queries);
+      engine.value()->Stop();
+      AddRunRow(fault_table,
+                "embed " + eval::Table::Num(100.0 * rate, 0) + "%", r);
+    }
+    // Degraded mode: query-stage faults answered by the exact fallback.
+    fail::DisarmAll();
+    const Status armed = fail::ConfigureSpec(
+        "engine/query", "error:io,p=0.05,seed=" + std::to_string(env.seed));
+    EMBER_CHECK_MSG(armed.ok(), "arm: %s", armed.ToString().c_str());
+    auto engine = serve::Engine::Create(snapshot, model, ResilientOptions());
+    EMBER_CHECK_MSG(engine.ok(), "engine: %s",
+                    engine.status().ToString().c_str());
+    const RunResult r = DriveOpenLoop(*engine.value(), queries);
+    engine.value()->Stop();
+    AddRunRow(fault_table, "query 5%", r);
+    fail::DisarmAll();
+  } else {
+    std::printf("(failpoints compiled out: skipping the fault sweep; build "
+                "with -DEMBER_FAILPOINTS_ENABLED=ON)\n");
+  }
+  fault_table.Print();
+  bench::SaveArtifact(env, "exp23_faults", fault_table);
+
+  // --- (c): hot reload under load (works in any build). ---
+  const std::string good_path = env.artifacts_dir + "/exp23_reload.snap";
+  const std::string corrupt_path =
+      env.artifacts_dir + "/exp23_reload_corrupt.snap";
+  const Status saved = snapshot.SaveTo(good_path);
+  EMBER_CHECK_MSG(saved.ok(), "save: %s", saved.ToString().c_str());
+  {
+    // The corrupt replacement: a truncated copy of the real container, so
+    // it passes no-such-file checks and fails only at verification.
+    std::ifstream in(good_path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string image = buffer.str();
+    std::ofstream out(corrupt_path, std::ios::binary | std::ios::trunc);
+    out.write(image.data(), static_cast<std::streamsize>(image.size() / 2));
+  }
+
+  auto engine = serve::Engine::Create(snapshot, model, ResilientOptions());
+  EMBER_CHECK_MSG(engine.ok(), "engine: %s",
+                  engine.status().ToString().c_str());
+
+  Status good_reload, corrupt_reload;
+  std::thread reloader([&] {
+    // Mid-run: one good swap, then one corrupt replacement that must be
+    // rejected while the old snapshot keeps serving.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(kPointSeconds * 0.4));
+    good_reload = engine.value()->ReloadSnapshot(good_path);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(kPointSeconds * 0.2));
+    corrupt_reload = engine.value()->ReloadSnapshot(corrupt_path);
+  });
+  const RunResult r = DriveOpenLoop(*engine.value(), queries);
+  reloader.join();
+  engine.value()->Stop();
+  EMBER_CHECK_MSG(good_reload.ok(), "good reload failed: %s",
+                  good_reload.ToString().c_str());
+  EMBER_CHECK_MSG(!corrupt_reload.ok(),
+                  "corrupt reload was accepted — validation hole");
+
+  eval::Table reload_table("exp23: hot reload under load (good swap + "
+                           "corrupt rejection mid-run)");
+  reload_table.SetHeader({"avail_pct", "p50_ms", "p99_ms", "completed",
+                          "failed", "reloads", "reload_failures",
+                          "reconciled"});
+  reload_table.AddRow({eval::Table::Num(r.availability_pct, 1),
+                       eval::Table::Num(r.p50_ms, 2),
+                       eval::Table::Num(r.p99_ms, 2),
+                       std::to_string(r.metrics.completed),
+                       std::to_string(r.metrics.failed),
+                       std::to_string(r.metrics.reloads),
+                       std::to_string(r.metrics.reload_failures),
+                       r.reconciled ? "yes" : "NO"});
+  reload_table.Print();
+  bench::SaveArtifact(env, "exp23_reload", reload_table);
+
+  EMBER_CHECK_MSG(r.metrics.failed == 0,
+                  "reload run saw %llu failed requests",
+                  static_cast<unsigned long long>(r.metrics.failed));
+  std::printf("\nreload under load: %llu completed, 0 failed, good swap "
+              "applied, corrupt replacement rejected (rollback)\n",
+              static_cast<unsigned long long>(r.metrics.completed));
+  return 0;
+}

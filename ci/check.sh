@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Local CI gate: build Release and Debug+sanitizers, run the full test suite
-# in both, run the concurrency suites under ThreadSanitizer, then smoke-run
-# the micro-benchmarks and the serving engine on the Release build. New
-# warnings in src/la and src/nn fail the build (-Werror on those targets).
+# in both, run the fault-injection suite and an $EMBER_FAILPOINTS env smoke
+# under ASan, run the concurrency suites under ThreadSanitizer (serve/fault
+# repeated until-fail:3), prove the -DEMBER_FAILPOINTS_ENABLED=OFF build,
+# then smoke-run the micro-benchmarks and the serving/resilience benches on
+# the Release build. New warnings in src/la and src/nn fail the build
+# (-Werror on those targets).
 # Usage: ci/check.sh [-j N]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,24 +29,63 @@ run_config() {
 }
 
 run_config build-release -DCMAKE_BUILD_TYPE=Release
-run_config build-asan -DCMAKE_BUILD_TYPE=Debug -DEMBER_SANITIZE=ON
+run_config build-asan -DCMAKE_BUILD_TYPE=Debug -DEMBER_SANITIZE=ON -DEMBER_FAILPOINTS_ENABLED=ON
+
+# Fault-injection leg: the fault suite (failpoints, retries, breaker,
+# degraded mode, hot reload, the exhaustive corruption sweep) under ASan so
+# every injected error path is also leak/UB-clean, plus an env-spec smoke
+# proving $EMBER_FAILPOINTS reaches the engine through the CLI.
+echo "==> fault-injection suite under ASan"
+(cd build-asan && ctest --output-on-failure -R '^fault_test$')
+echo "==> EMBER_FAILPOINTS env smoke"
+# A malformed spec must refuse to start.
+EMBER_FAILPOINTS="not a valid spec" \
+  ./build-asan/tools/ember_cli models >/dev/null 2>&1 \
+  && { echo "malformed EMBER_FAILPOINTS was accepted" >&2; exit 1; }
+# An env-armed save fault must fire: the run serves (build-from-scratch
+# path) but the snapshot file must NOT be published.
+rm -f build-asan/d2_fp_smoke.snap
+EMBER_FAILPOINTS="snapshot/save=error:io" \
+  ./build-asan/tools/ember_cli serve-bench D2 --scale 0.05 --qps 20 \
+  --duration 1 --snapshot build-asan/d2_fp_smoke.snap >/dev/null
+[ -e build-asan/d2_fp_smoke.snap ] \
+  && { echo "env-armed snapshot/save failpoint did not fire" >&2; exit 1; }
+# Clean run: saves, then the second run loads what the first published.
+./build-asan/tools/ember_cli serve-bench D2 --scale 0.05 --qps 20 \
+  --duration 1 --snapshot build-asan/d2_fp_smoke.snap >/dev/null
+./build-asan/tools/ember_cli serve-bench D2 --scale 0.05 --qps 20 \
+  --duration 1 --snapshot build-asan/d2_fp_smoke.snap >/dev/null
 
 # ThreadSanitizer leg: only the suites that exercise real concurrency (the
-# thread pool, the serving engine's MPMC queue/batcher, and the
-# thread-count-invariance sweeps) — TSan on the full numeric suite is slow
-# without adding coverage.
+# thread pool, the serving engine's MPMC queue/batcher, the fault/reload
+# paths, and the thread-count-invariance sweeps) — TSan on the full numeric
+# suite is slow without adding coverage. serve/fault repeat until-fail:3 to
+# shake out schedule-dependent races in the breaker/reload machinery.
 echo "==> configure build-tsan (EMBER_SANITIZE=tsan)"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DEMBER_SANITIZE=tsan >/dev/null
 echo "==> build build-tsan"
-cmake --build build-tsan -j "${JOBS}" --target parallel_test serve_test determinism_test
-echo "==> ctest build-tsan (parallel/serve/determinism)"
-(cd build-tsan && ctest --output-on-failure -R '^(parallel|serve|determinism)_test$')
+cmake --build build-tsan -j "${JOBS}" --target parallel_test serve_test fault_test determinism_test
+echo "==> ctest build-tsan (parallel/determinism once; serve/fault x3)"
+(cd build-tsan && ctest --output-on-failure -R '^(parallel|determinism)_test$')
+(cd build-tsan && ctest --output-on-failure --repeat until-fail:3 -R '^(serve|fault)_test$')
+
+# No-failpoint leg: -DEMBER_FAILPOINTS_ENABLED=OFF must still build and pass
+# (injection tests skip themselves; the macro compiles to a no-op).
+echo "==> configure build-nofp (EMBER_FAILPOINTS_ENABLED=OFF)"
+cmake -B build-nofp -S . -DCMAKE_BUILD_TYPE=Release -DEMBER_FAILPOINTS_ENABLED=OFF >/dev/null
+echo "==> build build-nofp"
+cmake --build build-nofp -j "${JOBS}" --target serve_test fault_test exp22_serving ember_cli
+echo "==> ctest build-nofp (serve/fault)"
+(cd build-nofp && ctest --output-on-failure -R '^(serve|fault)_test$')
 
 echo "==> exp20 micro-kernel smoke (Release)"
 ./build-release/bench/exp20_micro_kernels --benchmark_min_time=0.01
 
 echo "==> exp22 serving smoke (Release)"
 ./build-release/bench/exp22_serving --scale 0.05
+
+echo "==> exp23 resilience smoke (Release)"
+./build-release/bench/exp23_resilience --scale 0.05
 
 echo "==> serve CLI smoke (Release)"
 ./build-release/tools/ember_cli serve-bench D2 --scale 0.05 --qps 50 \

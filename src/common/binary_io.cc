@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/failpoint.h"
+
 namespace ember {
 
 uint64_t Fnv1a64(const void* data, size_t n) {
@@ -20,6 +22,7 @@ uint64_t Fnv1a64(const void* data, size_t n) {
 
 Status WriteFileAtomic(const std::string& path, const char (&magic)[8],
                        const std::string& payload) {
+  EMBER_FAILPOINT("binary_io/write");
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   {
@@ -38,6 +41,13 @@ Status WriteFileAtomic(const std::string& path, const char (&magic)[8],
       return Status::IoError("short write to " + tmp);
     }
   }
+  // Publish-step failpoint: simulates a crash between the temp write and
+  // the rename — the temp file must be cleaned up, the final path untouched.
+  const Status publish_fp = fail::Check("binary_io/rename");
+  if (!publish_fp.ok()) {
+    std::remove(tmp.c_str());
+    return publish_fp;
+  }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
@@ -50,6 +60,7 @@ Status WriteFileAtomic(const std::string& path, const char (&magic)[8],
 
 Result<std::string> ReadFileVerified(const std::string& path,
                                      const char (&magic)[8]) {
+  EMBER_FAILPOINT("binary_io/read");
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return Status::NotFound("cannot open " + path);
   const std::streamoff size = in.tellg();

@@ -1,0 +1,345 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace ember::fail {
+
+namespace internal {
+std::atomic<int> g_armed_points{0};
+}  // namespace internal
+
+namespace {
+
+Status MakeInjected(Status::Code code, const std::string& name) {
+  const std::string message = "failpoint '" + name + "' injected";
+  switch (code) {
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case Status::Code::kNotFound:
+      return Status::NotFound(message);
+    case Status::Code::kInternal:
+      return Status::Internal(message);
+    case Status::Code::kUnavailable:
+      return Status::Unavailable(message);
+    case Status::Code::kDeadlineExceeded:
+      return Status::DeadlineExceeded(message);
+    case Status::Code::kIoError:
+    case Status::Code::kOk:
+      break;
+  }
+  return Status::IoError(message);
+}
+
+struct Point {
+  PointConfig config;
+  bool armed = false;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+  Rng rng{0};
+};
+
+/// Registry of every point ever armed. Guarded by one mutex: armed points
+/// exist only in tests/benches, where per-hit lock cost is irrelevant next
+/// to the deterministic ordering it buys.
+class Registry {
+ public:
+  static Registry& Instance() {
+    static Registry* const kInstance = new Registry();
+    return *kInstance;
+  }
+
+  Status Configure(const std::string& name, const PointConfig& config) {
+    if (config.probability < 0.0 || config.probability > 1.0) {
+      return Status::InvalidArgument("failpoint '" + name +
+                                     "': probability must be in [0,1]");
+    }
+    if (config.nth == 0) {
+      return Status::InvalidArgument("failpoint '" + name +
+                                     "': nth must be >= 1");
+    }
+    if (config.delay_micros < 0) {
+      return Status::InvalidArgument("failpoint '" + name +
+                                     "': negative delay");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    Point& point = points_[name];
+    if (!point.armed) {
+      internal::g_armed_points.fetch_add(1, std::memory_order_release);
+    }
+    point.config = config;
+    point.armed = true;
+    point.hits = 0;
+    point.fires = 0;
+    point.rng = Rng(config.seed);
+    return Status::Ok();
+  }
+
+  void Disarm(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(name);
+    if (it == points_.end() || !it->second.armed) return;
+    it->second.armed = false;
+    internal::g_armed_points.fetch_sub(1, std::memory_order_release);
+  }
+
+  void DisarmAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, point] : points_) {
+      if (point.armed) {
+        point.armed = false;
+        internal::g_armed_points.fetch_sub(1, std::memory_order_release);
+      }
+    }
+  }
+
+  PointStats Stats(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    PointStats stats;
+    auto it = points_.find(name);
+    if (it == points_.end()) return stats;
+    stats.hits = it->second.hits;
+    stats.fires = it->second.fires;
+    stats.armed = it->second.armed;
+    return stats;
+  }
+
+  std::vector<std::string> ArmedPoints() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    for (const auto& [name, point] : points_) {
+      if (point.armed) names.push_back(name);
+    }
+    return names;
+  }
+
+  Status Evaluate(const char* name) {
+    int64_t delay_micros = 0;
+    Status injected;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = points_.find(name);
+      if (it == points_.end() || !it->second.armed) return Status::Ok();
+      Point& point = it->second;
+      ++point.hits;
+      if (point.config.max_fires >= 0 &&
+          point.fires >= static_cast<uint64_t>(point.config.max_fires)) {
+        return Status::Ok();
+      }
+      if (point.hits % point.config.nth != 0) return Status::Ok();
+      if (point.config.probability < 1.0 &&
+          point.rng.Uniform() >= point.config.probability) {
+        return Status::Ok();
+      }
+      ++point.fires;
+      if (point.config.action == PointConfig::Action::kDelay) {
+        delay_micros = point.config.delay_micros;
+      } else {
+        injected = MakeInjected(point.config.code, name);
+      }
+    }
+    // Sleep outside the registry lock so a delay point never serializes
+    // unrelated failpoints.
+    if (delay_micros > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_micros));
+    }
+    return injected;
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::string, Point> points_;
+};
+
+Status CompiledOut() {
+  return Status::Unavailable(
+      "failpoints compiled out (build with -DEMBER_FAILPOINTS_ENABLED=ON)");
+}
+
+bool ParseUint(const std::string& text, uint64_t& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(text.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+std::string Trim(const std::string& text) {
+  size_t begin = text.find_first_not_of(" \t");
+  size_t end = text.find_last_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  return text.substr(begin, end - begin + 1);
+}
+
+Status ParseAction(const std::string& token, PointConfig& config) {
+  const size_t colon = token.find(':');
+  const std::string action = token.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? "" : token.substr(colon + 1);
+  if (action == "error") {
+    config.action = PointConfig::Action::kError;
+    if (arg.empty() || arg == "io") {
+      config.code = Status::Code::kIoError;
+    } else if (arg == "unavailable") {
+      config.code = Status::Code::kUnavailable;
+    } else if (arg == "notfound") {
+      config.code = Status::Code::kNotFound;
+    } else if (arg == "internal") {
+      config.code = Status::Code::kInternal;
+    } else if (arg == "invalid") {
+      config.code = Status::Code::kInvalidArgument;
+    } else if (arg == "deadline") {
+      config.code = Status::Code::kDeadlineExceeded;
+    } else {
+      return Status::InvalidArgument("unknown failpoint error code '" + arg +
+                                     "'");
+    }
+    return Status::Ok();
+  }
+  if (action == "delay") {
+    uint64_t micros = 0;
+    if (!ParseUint(arg, micros)) {
+      return Status::InvalidArgument("failpoint delay needs 'delay:micros'");
+    }
+    config.action = PointConfig::Action::kDelay;
+    config.delay_micros = static_cast<int64_t>(micros);
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown failpoint action '" + action + "'");
+}
+
+Status ParseModifier(const std::string& token, PointConfig& config) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos) {
+    return Status::InvalidArgument("failpoint modifier '" + token +
+                                   "' is not key=value");
+  }
+  const std::string key = token.substr(0, eq);
+  const std::string value = token.substr(eq + 1);
+  if (key == "p" || key == "prob") {
+    char* end = nullptr;
+    config.probability = std::strtod(value.c_str(), &end);
+    if (end == nullptr || *end != '\0' || config.probability < 0.0 ||
+        config.probability > 1.0) {
+      return Status::InvalidArgument("failpoint p= wants a float in [0,1]");
+    }
+    return Status::Ok();
+  }
+  uint64_t n = 0;
+  if (!ParseUint(value, n)) {
+    return Status::InvalidArgument("failpoint " + key +
+                                   "= wants an unsigned integer");
+  }
+  if (key == "nth") {
+    if (n == 0) return Status::InvalidArgument("failpoint nth= must be >= 1");
+    config.nth = n;
+  } else if (key == "max") {
+    config.max_fires = static_cast<int64_t>(n);
+  } else if (key == "seed") {
+    config.seed = n;
+  } else {
+    return Status::InvalidArgument("unknown failpoint modifier '" + key + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Configure(const std::string& name, const PointConfig& config) {
+  if (!kEnabled) return CompiledOut();
+  if (name.empty()) {
+    return Status::InvalidArgument("failpoint name must be non-empty");
+  }
+  return Registry::Instance().Configure(name, config);
+}
+
+Status ConfigureSpec(const std::string& name, const std::string& spec) {
+  const std::string trimmed = Trim(spec);
+  if (trimmed == "off") {
+    Disarm(name);
+    return Status::Ok();
+  }
+  PointConfig config;
+  size_t start = 0;
+  bool first = true;
+  while (start <= trimmed.size()) {
+    size_t comma = trimmed.find(',', start);
+    if (comma == std::string::npos) comma = trimmed.size();
+    const std::string token = Trim(trimmed.substr(start, comma - start));
+    if (token.empty()) {
+      return Status::InvalidArgument("empty token in failpoint spec '" +
+                                     spec + "'");
+    }
+    const Status parsed =
+        first ? ParseAction(token, config) : ParseModifier(token, config);
+    if (!parsed.ok()) return parsed;
+    first = false;
+    start = comma + 1;
+  }
+  if (first) {
+    return Status::InvalidArgument("empty failpoint spec for '" + name + "'");
+  }
+  return Configure(name, config);
+}
+
+Status ConfigureList(const std::string& list) {
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t semi = list.find(';', start);
+    if (semi == std::string::npos) semi = list.size();
+    const std::string entry = Trim(list.substr(start, semi - start));
+    start = semi + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint entry '" + entry +
+                                     "' is not point=spec");
+    }
+    const Status configured =
+        ConfigureSpec(Trim(entry.substr(0, eq)), entry.substr(eq + 1));
+    if (!configured.ok()) return configured;
+  }
+  return Status::Ok();
+}
+
+Status ConfigureFromEnv() {
+  const char* env = std::getenv("EMBER_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return Status::Ok();
+  if (!kEnabled) return CompiledOut();
+  return ConfigureList(env);
+}
+
+void Disarm(const std::string& name) {
+  if (!kEnabled) return;
+  Registry::Instance().Disarm(name);
+}
+
+void DisarmAll() {
+  if (!kEnabled) return;
+  Registry::Instance().DisarmAll();
+}
+
+PointStats Stats(const std::string& name) {
+  if (!kEnabled) return {};
+  return Registry::Instance().Stats(name);
+}
+
+std::vector<std::string> ArmedPoints() {
+  if (!kEnabled) return {};
+  return Registry::Instance().ArmedPoints();
+}
+
+namespace internal {
+
+Status Evaluate(const char* name) {
+  return Registry::Instance().Evaluate(name);
+}
+
+}  // namespace internal
+
+}  // namespace ember::fail

@@ -1,8 +1,12 @@
 #ifndef EMBER_COMMON_LOGGING_H_
 #define EMBER_COMMON_LOGGING_H_
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 /// Fatal-on-false invariant checks. Library code reports recoverable errors
 /// through Status; EMBER_CHECK is reserved for programming errors.
@@ -31,6 +35,74 @@
     std::fprintf(stderr, "[ember] ");         \
     std::fprintf(stderr, __VA_ARGS__);        \
     std::fprintf(stderr, "\n");               \
+  } while (0)
+
+namespace ember::internal {
+
+/// Token bucket behind EMBER_WARN's per-call-site rate limit. Thread-safe;
+/// time is passed in (monotonic micros) so tests can drive it directly.
+class LogTokenBucket {
+ public:
+  LogTokenBucket(double capacity, double refill_per_second)
+      : capacity_(capacity),
+        refill_per_second_(refill_per_second),
+        tokens_(capacity) {}
+
+  /// Returns -1 when this event must be dropped; otherwise the number of
+  /// events suppressed since the last one that was admitted.
+  int64_t Admit(int64_t now_micros) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (last_micros_ >= 0 && now_micros > last_micros_) {
+      tokens_ = std::min(
+          capacity_, tokens_ + static_cast<double>(now_micros - last_micros_) *
+                                   1e-6 * refill_per_second_);
+    }
+    last_micros_ = now_micros;
+    if (tokens_ < 1.0) {
+      ++suppressed_;
+      return -1;
+    }
+    tokens_ -= 1.0;
+    const int64_t suppressed = suppressed_;
+    suppressed_ = 0;
+    return suppressed;
+  }
+
+ private:
+  const double capacity_;
+  const double refill_per_second_;
+  std::mutex mu_;
+  double tokens_;
+  int64_t last_micros_ = -1;
+  int64_t suppressed_ = 0;
+};
+
+inline int64_t LogNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace ember::internal
+
+/// Rate-limited warning for conditions that can storm (retry loops, breaker
+/// trips, cache-store failures): each call site gets its own token bucket —
+/// an 8-message burst refilling at 2/s — and reports how many warnings the
+/// limiter swallowed once it readmits. EMBER_LOG stays unlimited.
+#define EMBER_WARN(...)                                                       \
+  do {                                                                        \
+    static ::ember::internal::LogTokenBucket ember_warn_bucket_(8.0, 2.0);    \
+    const int64_t ember_warn_suppressed_ =                                    \
+        ember_warn_bucket_.Admit(::ember::internal::LogNowMicros());          \
+    if (ember_warn_suppressed_ >= 0) {                                        \
+      std::fprintf(stderr, "[ember:warn] ");                                  \
+      std::fprintf(stderr, __VA_ARGS__);                                      \
+      if (ember_warn_suppressed_ > 0) {                                       \
+        std::fprintf(stderr, " (+%lld earlier warnings suppressed)",          \
+                     static_cast<long long>(ember_warn_suppressed_));         \
+      }                                                                       \
+      std::fprintf(stderr, "\n");                                             \
+    }                                                                         \
   } while (0)
 
 #endif  // EMBER_COMMON_LOGGING_H_

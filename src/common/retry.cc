@@ -1,0 +1,26 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ember {
+
+int64_t RetryPolicy::BackoffMicros(size_t attempt, uint64_t salt) const {
+  double backoff = static_cast<double>(initial_backoff_micros) *
+                   std::pow(multiplier, static_cast<double>(attempt));
+  backoff = std::min(backoff, static_cast<double>(max_backoff_micros));
+  if (jitter > 0.0) {
+    // One SplitMix64 draw per (seed, salt, attempt): deterministic, cheap,
+    // and uncorrelated across salts, which is all backoff jitter needs.
+    const uint64_t draw = SplitMix64(seed ^ (salt * 0x9e3779b97f4a7c15ULL) ^
+                                     (static_cast<uint64_t>(attempt) + 1));
+    const double uniform =
+        static_cast<double>(draw >> 11) * 0x1.0p-53;  // [0, 1)
+    backoff *= 1.0 - jitter + 2.0 * jitter * uniform;
+  }
+  return std::max<int64_t>(0, std::llround(backoff));
+}
+
+}  // namespace ember

@@ -1,0 +1,75 @@
+#ifndef EMBER_COMMON_RETRY_H_
+#define EMBER_COMMON_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ember {
+
+/// Bounded exponential backoff with deterministic, seeded jitter. Every
+/// transient I/O boundary in ember (vector-cache stores, snapshot loads,
+/// the serving engine's embed stage) retries under one of these instead of
+/// an ad-hoc loop, so attempt counts and sleep schedules are reproducible:
+/// the jitter for (seed, salt, attempt) is a pure function, not wall-clock
+/// entropy.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retrying.
+  size_t max_attempts = 3;
+  int64_t initial_backoff_micros = 500;
+  double multiplier = 2.0;
+  int64_t max_backoff_micros = 50'000;
+  /// Fraction of the backoff randomized: the sleep is drawn uniformly from
+  /// [backoff*(1-jitter), backoff*(1+jitter)). 0 = fully deterministic.
+  double jitter = 0.5;
+  uint64_t seed = 0x5eed5eedULL;
+
+  /// Sleep before attempt `attempt`+1 (0-based). `salt` decorrelates
+  /// concurrent retry loops (use a request/batch id) so they do not stampede
+  /// in lockstep.
+  int64_t BackoffMicros(size_t attempt, uint64_t salt = 0) const;
+
+  /// Which failures are worth retrying: transient conditions (I/O, overload,
+  /// internal hiccups) yes; semantic errors (invalid argument, not found,
+  /// deadline already spent) no.
+  static bool IsRetriable(const Status& status) {
+    switch (status.code()) {
+      case Status::Code::kIoError:
+      case Status::Code::kUnavailable:
+      case Status::Code::kInternal:
+        return true;
+      default:
+        return false;
+    }
+  }
+};
+
+/// Runs `fn` (returning Status) under `policy`: retries retriable failures
+/// with backoff sleeps between attempts, returns the final status. When
+/// `retries` is non-null it is incremented once per retry actually taken,
+/// so callers can surface retry counters without re-deriving them.
+template <typename Fn>
+Status RetryStatus(const RetryPolicy& policy, uint64_t salt, Fn&& fn,
+                   uint64_t* retries = nullptr) {
+  const size_t attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
+  Status status;
+  for (size_t attempt = 0;; ++attempt) {
+    status = fn();
+    if (status.ok() || attempt + 1 >= attempts ||
+        !RetryPolicy::IsRetriable(status)) {
+      return status;
+    }
+    if (retries != nullptr) ++*retries;
+    const int64_t backoff_micros = policy.BackoffMicros(attempt, salt);
+    if (backoff_micros > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_micros));
+    }
+  }
+}
+
+}  // namespace ember
+
+#endif  // EMBER_COMMON_RETRY_H_

@@ -5,6 +5,9 @@
 #include <filesystem>
 
 #include "common/binary_io.h"
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/rng.h"
 #include "common/timer.h"
 #include "la/matrix_io.h"
 
@@ -18,6 +21,7 @@ namespace {
 constexpr char kMagic[8] = {'E', 'M', 'B', 'V', '0', '0', '0', '3'};
 
 bool LoadMatrix(const std::string& path, la::Matrix& out) {
+  if (!fail::Check("cache/load").ok()) return false;  // injected miss
   Result<std::string> payload = ReadFileVerified(path, kMagic);
   if (!payload.ok()) return false;
   BinaryReader reader(payload.value());
@@ -25,12 +29,13 @@ bool LoadMatrix(const std::string& path, la::Matrix& out) {
          reader.remaining() == 0;
 }
 
-void SaveMatrix(const std::string& path, const la::Matrix& m) {
+Status SaveMatrix(const std::string& path, const la::Matrix& m) {
+  EMBER_FAILPOINT("cache/store");
   BinaryWriter writer;
   la::WriteMatrix(writer, m);
   // Atomic publish: a crashed or concurrent writer never leaves a torn
   // file at the final path. A failed write only costs a future recompute.
-  WriteFileAtomic(path, kMagic, writer.buffer());
+  return WriteFileAtomic(path, kMagic, writer.buffer());
 }
 
 }  // namespace
@@ -68,7 +73,17 @@ la::Matrix VectorCache::GetOrCompute(embed::EmbeddingModel& model,
   if (enabled_) {
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
-    SaveMatrix(path, fresh);
+    // Stores ride the retry policy: a transient write failure (full disk
+    // blip, injected fault) gets another chance; a persistent one is
+    // reported once per storm thanks to the rate-limited warn, and the
+    // caller still gets its freshly computed matrix either way.
+    const Status stored = RetryStatus(
+        store_retry_, HashBytes(path.data(), path.size()),
+        [&] { return SaveMatrix(path, fresh); });
+    if (!stored.ok()) {
+      EMBER_WARN("vector cache store failed after %zu attempts: %s",
+                 store_retry_.max_attempts, stored.ToString().c_str());
+    }
   }
   return fresh;
 }

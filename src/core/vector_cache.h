@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "embed/embedding_model.h"
 #include "la/matrix.h"
 
@@ -25,6 +26,12 @@ class VectorCache {
   bool enabled() const { return enabled_; }
   const std::string& dir() const { return dir_; }
 
+  /// Backoff policy for transient store failures (a failed store only costs
+  /// a future recompute, so attempts stay small). Loads are never retried:
+  /// a corrupt entry misses deterministically and is recomputed.
+  void set_store_retry(const RetryPolicy& policy) { store_retry_ = policy; }
+  const RetryPolicy& store_retry() const { return store_retry_; }
+
   /// Returns the cached matrix for (model code, key) or vectorizes
   /// `sentences` and caches the result. When `fresh_seconds` is non-null it
   /// receives the vectorization time, or -1 on a cache hit.
@@ -37,6 +44,7 @@ class VectorCache {
 
   std::string dir_;
   bool enabled_ = true;
+  RetryPolicy store_retry_;
 };
 
 }  // namespace ember::core

@@ -2,22 +2,31 @@
 
 namespace ember::datagen {
 
-std::vector<std::vector<std::string>> ParseCsv(const std::string& text) {
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text) {
   std::vector<std::vector<std::string>> rows;
   std::vector<std::string> row;
   std::string field;
   bool in_quotes = false;
   bool field_started = false;
+  // Set between a field's closing quote and the next separator: the only
+  // legal followers are ',', '\n', '\r\n', or end of input.
+  bool after_quote = false;
 
   const auto end_field = [&] {
     row.push_back(std::move(field));
     field.clear();
     field_started = false;
+    after_quote = false;
   };
   const auto end_row = [&] {
     end_field();
     rows.push_back(std::move(row));
     row.clear();
+  };
+  const auto malformed = [&](size_t offset, const std::string& what) {
+    return Status::InvalidArgument("csv: " + what + " at byte " +
+                                   std::to_string(offset));
   };
 
   for (size_t i = 0; i < text.size(); ++i) {
@@ -29,14 +38,18 @@ std::vector<std::vector<std::string>> ParseCsv(const std::string& text) {
           ++i;
         } else {
           in_quotes = false;
+          after_quote = true;
         }
       } else {
-        field += c;
+        field += c;  // commas, newlines, and \r are all data inside quotes
       }
       continue;
     }
     switch (c) {
       case '"':
+        if (after_quote) {
+          return malformed(i, "quote after closing quote");
+        }
         in_quotes = true;
         field_started = true;
         break;
@@ -45,15 +58,29 @@ std::vector<std::vector<std::string>> ParseCsv(const std::string& text) {
         field_started = true;  // next field exists even if empty
         break;
       case '\r':
+        // Outside quotes \r is only valid as the first half of \r\n; a
+        // bare one is a truncation/corruption tell, not a line ending.
+        if (i + 1 >= text.size() || text[i + 1] != '\n') {
+          return malformed(i, "bare carriage return");
+        }
+        end_row();
+        ++i;  // consume the \n
         break;
       case '\n':
         end_row();
         break;
       default:
+        if (after_quote) {
+          return malformed(i, std::string("character '") + c +
+                                  "' after closing quote");
+        }
         field += c;
         field_started = true;
         break;
     }
+  }
+  if (in_quotes) {
+    return malformed(text.size(), "unterminated quoted field at end of input");
   }
   if (field_started || !field.empty() || !row.empty()) end_row();
   return rows;

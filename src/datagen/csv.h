@@ -4,12 +4,22 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace ember::datagen {
 
 /// Parses RFC-4180-style CSV text: comma separated, double quotes guard
-/// embedded commas/newlines, `""` escapes a quote. Handles both \n and \r\n
-/// line endings; a trailing newline does not produce an empty record.
-std::vector<std::vector<std::string>> ParseCsv(const std::string& text);
+/// embedded commas/newlines (including \r), `""` escapes a quote. Handles
+/// both \n and \r\n line endings; a trailing newline does not produce an
+/// empty record.
+///
+/// Fails closed (InvalidArgument, with the offending byte offset) instead
+/// of guessing on malformed input: an unterminated quoted field at EOF, a
+/// bare \r outside quotes that is not part of \r\n, or any character other
+/// than a separator after a closing quote. A truncated or corrupted file
+/// therefore surfaces as an error, never as a silently shortened table.
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text);
 
 /// Serializes rows back to CSV, quoting only when needed.
 std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/binary_io.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "la/matrix_io.h"
@@ -67,10 +68,16 @@ std::vector<Neighbor> ExactIndex::Query(const float* query, size_t k) const {
 
 std::vector<std::vector<Neighbor>> ExactIndex::QueryBatch(
     const la::Matrix& queries, size_t k) const {
-  EMBER_CHECK(queries.cols() == data_.cols() || data_.rows() == 0);
+  return BruteForceTopK(data_, queries, k);
+}
+
+std::vector<std::vector<Neighbor>> BruteForceTopK(const la::Matrix& data,
+                                                  const la::Matrix& queries,
+                                                  size_t k) {
+  EMBER_CHECK(queries.cols() == data.cols() || data.rows() == 0);
   std::vector<std::vector<Neighbor>> results(queries.rows());
-  if (data_.rows() == 0) return results;
-  const size_t kept = std::min(k, data_.rows());
+  if (data.rows() == 0) return results;
+  const size_t kept = std::min(k, data.rows());
 
   // Parallel over query tiles; each tile writes only its own result slots.
   // Within a tile, scores come from GemmBt over (tile x data-block) panes —
@@ -87,12 +94,12 @@ std::vector<std::vector<Neighbor>> ExactIndex::QueryBatch(
       tops.reserve(q1 - q0);
       for (size_t q = q0; q < q1; ++q) tops.emplace_back(kept);
 
-      for (size_t start = 0; start < data_.rows(); start += kDataBlock) {
-        const size_t end = std::min(start + kDataBlock, data_.rows());
-        la::Matrix block(end - start, data_.cols());
+      for (size_t start = 0; start < data.rows(); start += kDataBlock) {
+        const size_t end = std::min(start + kDataBlock, data.rows());
+        la::Matrix block(end - start, data.cols());
         for (size_t r = start; r < end; ++r) {
-          const float* src = data_.Row(r);
-          std::copy(src, src + data_.cols(), block.Row(r - start));
+          const float* src = data.Row(r);
+          std::copy(src, src + data.cols(), block.Row(r - start));
         }
         const la::Matrix scores = la::GemmBt(tile, block);
         for (size_t q = q0; q < q1; ++q) {
@@ -122,6 +129,10 @@ void ExactIndex::Save(BinaryWriter& writer) const {
 
 bool ExactIndex::Load(BinaryReader& reader) {
   *this = ExactIndex();
+  if (!fail::Check("index/load").ok()) {
+    reader.Fail();
+    return false;
+  }
   if (reader.ReadU32() != kExactFormatVersion) {
     reader.Fail();
     return false;

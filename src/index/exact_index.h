@@ -13,6 +13,15 @@ class BinaryWriter;
 
 namespace ember::index {
 
+/// Brute-force top-k of every `queries` row against the rows of `data`
+/// (ascending cosine distance, ties by ascending id), parallelized over
+/// query tiles. This is ExactIndex::QueryBatch without the ownership — the
+/// serving layer's degraded mode scans another index's corpus matrix with
+/// it, bit-identically to a real ExactIndex over the same data.
+std::vector<std::vector<Neighbor>> BruteForceTopK(const la::Matrix& data,
+                                                  const la::Matrix& queries,
+                                                  size_t k);
+
 /// Brute-force cosine index. Scoring is cache-blocked: batched queries tile
 /// (query block x data block) through the GemmBt micro-kernel, which
 /// accumulates every score in exactly the scalar Dot() order — so the

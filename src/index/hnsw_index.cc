@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/binary_io.h"
+#include "common/failpoint.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "la/matrix_io.h"
@@ -209,6 +210,10 @@ void HnswIndex::Save(BinaryWriter& writer) const {
 
 bool HnswIndex::Load(BinaryReader& reader) {
   *this = HnswIndex();
+  if (!fail::Check("index/load").ok()) {
+    reader.Fail();
+    return false;
+  }
   if (reader.ReadU32() != kHnswFormatVersion) {
     reader.Fail();
     return false;
@@ -262,6 +267,25 @@ bool HnswIndex::Load(BinaryReader& reader) {
   links_ = std::move(links);
   entry_ = entry;
   max_level_ = max_level;
+  return true;
+}
+
+bool HnswIndex::ValidateGraph() const {
+  const size_t rows = data_.rows();
+  if (links_.size() != rows) return false;
+  if (rows == 0) return true;
+  if (entry_ >= rows || links_[entry_].empty() ||
+      max_level_ >= links_[entry_].size()) {
+    return false;
+  }
+  for (size_t node = 0; node < rows; ++node) {
+    if (links_[node].empty()) return false;
+    for (size_t level = 0; level < links_[node].size(); ++level) {
+      for (const uint32_t target : links_[node][level]) {
+        if (target >= rows || links_[target].size() <= level) return false;
+      }
+    }
+  }
   return true;
 }
 

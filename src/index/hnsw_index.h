@@ -89,6 +89,12 @@ class HnswIndex {
   /// the index empty on any corruption.
   bool Load(BinaryReader& reader);
 
+  /// Re-checks the graph invariants the search paths rely on (entry point
+  /// and every link target in bounds, adjacency lists present on every
+  /// level they are referenced from). Load() already enforces these; the
+  /// serving layer re-runs them before trusting a hot-reloaded snapshot.
+  bool ValidateGraph() const;
+
  private:
   float DistanceTo(const float* query, uint32_t node) const;
   /// Beam search on one level starting from `entry`; returns up to `ef`

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/binary_io.h"
+#include "common/failpoint.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "la/matrix_io.h"
@@ -101,6 +102,10 @@ void LshIndex::Save(BinaryWriter& writer) const {
 
 bool LshIndex::Load(BinaryReader& reader) {
   *this = LshIndex();
+  if (!fail::Check("index/load").ok()) {
+    reader.Fail();
+    return false;
+  }
   if (reader.ReadU32() != kLshFormatVersion) {
     reader.Fail();
     return false;

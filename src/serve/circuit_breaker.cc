@@ -1,0 +1,128 @@
+#include "serve/circuit_breaker.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ember::serve {
+
+CircuitBreaker::CircuitBreaker(const BreakerOptions& options)
+    : options_([&] {
+        BreakerOptions clamped = options;
+        clamped.window = std::max<size_t>(1, clamped.window);
+        clamped.min_samples =
+            std::max<size_t>(1, std::min(clamped.min_samples, clamped.window));
+        clamped.trip_ratio = std::clamp(clamped.trip_ratio, 0.0, 1.0);
+        clamped.half_open_successes =
+            std::max<size_t>(1, clamped.half_open_successes);
+        return clamped;
+      }()) {
+  ring_.assign(options_.window, 0);
+}
+
+bool CircuitBreaker::Allow(SteadyTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (MicrosBetween(opened_at_, now) >= options_.open_micros) {
+        state_ = State::kHalfOpen;
+        probe_successes_ = 0;
+        return true;
+      }
+      return false;
+    case State::kHalfOpen:
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess(SteadyTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      PushOutcomeLocked(/*failure=*/false, now);
+      break;
+    case State::kHalfOpen:
+      if (++probe_successes_ >= options_.half_open_successes) {
+        state_ = State::kClosed;
+        ResetWindowLocked();
+      }
+      break;
+    case State::kOpen:
+      // A batch that was in flight when the breaker opened; stale, ignore.
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure(SteadyTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      PushOutcomeLocked(/*failure=*/true, now);
+      break;
+    case State::kHalfOpen:
+      TripLocked(now);  // failed probe: reopen, restart the cool-down
+      break;
+    case State::kOpen:
+      break;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+void CircuitBreaker::TripLocked(SteadyTime now) {
+  state_ = State::kOpen;
+  opened_at_ = now;
+  ++trips_;
+  probe_successes_ = 0;
+  ResetWindowLocked();
+  EMBER_WARN("circuit breaker opened (trip #%llu)",
+             static_cast<unsigned long long>(trips_));
+}
+
+void CircuitBreaker::ResetWindowLocked() {
+  std::fill(ring_.begin(), ring_.end(), 0);
+  ring_pos_ = 0;
+  ring_count_ = 0;
+  ring_failures_ = 0;
+}
+
+void CircuitBreaker::PushOutcomeLocked(bool failure, SteadyTime now) {
+  if (ring_count_ < ring_.size()) {
+    ++ring_count_;
+  } else {
+    ring_failures_ -= ring_[ring_pos_];
+  }
+  ring_[ring_pos_] = failure ? 1 : 0;
+  ring_failures_ += ring_[ring_pos_];
+  ring_pos_ = (ring_pos_ + 1) % ring_.size();
+  if (ring_failures_ > 0 && ring_count_ >= options_.min_samples &&
+      static_cast<double>(ring_failures_) >=
+          options_.trip_ratio * static_cast<double>(ring_count_)) {
+    TripLocked(now);
+  }
+}
+
+const char* BreakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace ember::serve

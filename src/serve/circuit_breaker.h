@@ -1,0 +1,77 @@
+#ifndef EMBER_SERVE_CIRCUIT_BREAKER_H_
+#define EMBER_SERVE_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace ember::serve {
+
+/// Circuit-breaker tuning. The window counts stage outcomes (one per
+/// processed batch), not individual requests, so thresholds are stable
+/// across batch sizes.
+struct BreakerOptions {
+  /// Sliding window of the most recent outcomes considered for tripping.
+  size_t window = 32;
+  /// No tripping before this many outcomes are in the window — a single
+  /// early failure must not open the breaker.
+  size_t min_samples = 8;
+  /// Failure fraction of the window that opens the breaker.
+  double trip_ratio = 0.5;
+  /// Cool-down after opening before half-open probes are admitted.
+  int64_t open_micros = 50'000;
+  /// Consecutive successful probes required in half-open to close again;
+  /// any half-open failure reopens immediately.
+  size_t half_open_successes = 2;
+};
+
+/// Classic three-state circuit breaker (closed -> open -> half-open) over a
+/// sliding window of failure outcomes. The serving engine consults Allow()
+/// at Submit time — an open breaker sheds doomed work in O(1) instead of
+/// queueing it behind a failing stage — and reports each batch outcome via
+/// RecordSuccess/RecordFailure. All methods are thread-safe; state
+/// transitions are driven by the caller-supplied monotonic time, so tests
+/// control the clock.
+class CircuitBreaker {
+ public:
+  enum class State : uint32_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  explicit CircuitBreaker(const BreakerOptions& options = {});
+
+  /// May work be admitted now? Transitions open -> half-open once the
+  /// cool-down has elapsed.
+  bool Allow(SteadyTime now);
+
+  void RecordSuccess(SteadyTime now);
+  void RecordFailure(SteadyTime now);
+
+  /// Last observed state (no time-based transition; an open breaker whose
+  /// cool-down has lapsed still reads kOpen until the next Allow()).
+  State state() const;
+  /// Times the breaker transitioned closed/half-open -> open.
+  uint64_t trips() const;
+
+ private:
+  void TripLocked(SteadyTime now);
+  void ResetWindowLocked();
+  void PushOutcomeLocked(bool failure, SteadyTime now);
+
+  const BreakerOptions options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  std::vector<uint8_t> ring_;  // 1 = failure
+  size_t ring_pos_ = 0;
+  size_t ring_count_ = 0;
+  size_t ring_failures_ = 0;
+  SteadyTime opened_at_{};
+  size_t probe_successes_ = 0;
+  uint64_t trips_ = 0;
+};
+
+const char* BreakerStateName(CircuitBreaker::State state);
+
+}  // namespace ember::serve
+
+#endif  // EMBER_SERVE_CIRCUIT_BREAKER_H_

@@ -1,9 +1,40 @@
 #include "serve/engine.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
+#include "common/failpoint.h"
+#include "common/logging.h"
+
 namespace ember::serve {
+
+const char* HealthName(Health health) {
+  switch (health) {
+    case Health::kServing:
+      return "serving";
+    case Health::kDegraded:
+      return "degraded";
+    case Health::kTripped:
+      return "tripped";
+    case Health::kLoading:
+      return "loading";
+  }
+  return "unknown";
+}
+
+Status Engine::CheckModelCompatible(const SnapshotManifest& manifest,
+                                    const embed::EmbeddingModel& model) {
+  if (model.info().code != manifest.model_code) {
+    return Status::InvalidArgument(
+        "snapshot was built with model '" + manifest.model_code +
+        "' but the engine embeds with '" + model.info().code + "'");
+  }
+  if (model.info().dim != manifest.dim && manifest.rows > 0) {
+    return Status::InvalidArgument("snapshot/model dimensionality mismatch");
+  }
+  return Status::Ok();
+}
 
 Result<std::unique_ptr<Engine>> Engine::Create(
     Snapshot snapshot, std::shared_ptr<embed::EmbeddingModel> model,
@@ -11,15 +42,8 @@ Result<std::unique_ptr<Engine>> Engine::Create(
   if (model == nullptr) {
     return Status::InvalidArgument("engine requires a query-side model");
   }
-  const SnapshotManifest& manifest = snapshot.manifest();
-  if (model->info().code != manifest.model_code) {
-    return Status::InvalidArgument(
-        "snapshot was built with model '" + manifest.model_code +
-        "' but the engine embeds with '" + model->info().code + "'");
-  }
-  if (model->info().dim != manifest.dim && manifest.rows > 0) {
-    return Status::InvalidArgument("snapshot/model dimensionality mismatch");
-  }
+  Status compatible = CheckModelCompatible(snapshot.manifest(), *model);
+  if (!compatible.ok()) return compatible;
   // Weight building is neither thread-safe nor cheap; force it here so the
   // workers (and every Submit) only ever see an initialized model.
   model->Initialize();
@@ -29,15 +53,16 @@ Result<std::unique_ptr<Engine>> Engine::Create(
 
 Engine::Engine(Snapshot snapshot, std::shared_ptr<embed::EmbeddingModel> model,
                const EngineOptions& options)
-    : snapshot_(std::move(snapshot)),
+    : snapshot_(std::make_shared<const Snapshot>(std::move(snapshot))),
       model_(std::move(model)),
-      options_(options) {
+      options_(options),
+      breaker_(options.breaker) {
   options_.max_queue = std::max<size_t>(1, options_.max_queue);
   options_.max_batch = std::max<size_t>(1, options_.max_batch);
   options_.workers = std::max<size_t>(1, options_.workers);
   options_.max_wait_micros = std::max<int64_t>(0, options_.max_wait_micros);
   k_ = options_.k > 0 ? options_.k
-                      : std::max<size_t>(1, snapshot_.manifest().default_k);
+                      : std::max<size_t>(1, snapshot_->manifest().default_k);
   workers_.reserve(options_.workers);
   for (size_t w = 0; w < options_.workers; ++w) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -59,6 +84,13 @@ void Engine::Stop() {
 
 Result<std::future<Result<QueryReply>>> Engine::Submit(std::string record,
                                                        SteadyTime deadline) {
+  // Breaker fast-fail outside the queue lock: while the embed/query stages
+  // are known-broken, shedding here keeps the queue from filling with work
+  // that would only be failed milliseconds later.
+  if (!breaker_.Allow(SteadyNow())) {
+    short_circuits_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("circuit breaker open");
+  }
   Request request;
   request.record = std::move(record);
   request.deadline = deadline;
@@ -118,7 +150,7 @@ void Engine::WorkerLoop() {
 
 void Engine::ProcessBatch(std::vector<Request> batch) {
   const SteadyTime drained = SteadyNow();
-  batches_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t batch_no = batches_.fetch_add(1, std::memory_order_relaxed);
 
   // Deadline shedding BEFORE the expensive embed: a request that already
   // missed its deadline gets its status immediately and costs no compute.
@@ -137,18 +169,72 @@ void Engine::ProcessBatch(std::vector<Request> batch) {
   if (live.empty()) return;
   batch_size_.Record(static_cast<double>(live.size()));
 
+  // Pin the snapshot for the whole batch: a concurrent ReloadSnapshot may
+  // swap the engine past it, but this batch's queries all answer from one
+  // coherent corpus.
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  const size_t k = k_.load(std::memory_order_relaxed);
+
   std::vector<std::string> sentences;
   sentences.reserve(live.size());
   for (const Request& request : live) sentences.push_back(request.record);
 
+  // Embed stage, under the retry policy. VectorizeAll itself cannot fail
+  // (pure compute), so the fallible part is the boundary the failpoint
+  // models: upstream tokenizer/model-server hiccups.
   WallTimer timer;
-  const la::Matrix vectors = model_->VectorizeAll(sentences);
+  la::Matrix vectors;
+  uint64_t embed_retries = 0;
+  const Status embedded = RetryStatus(
+      options_.embed_retry, batch_no,
+      [&] {
+        Status injected = fail::Check("engine/embed");
+        if (!injected.ok()) return injected;
+        vectors = model_->VectorizeAll(sentences);
+        return Status::Ok();
+      },
+      &embed_retries);
+  retries_.fetch_add(embed_retries, std::memory_order_relaxed);
   embed_micros_.Record(timer.Restart() * 1e6);
-  std::vector<std::vector<index::Neighbor>> neighbors =
-      snapshot_.QueryBatch(vectors, k_);
+  if (!embedded.ok()) {
+    // Permanent embed failure: feed the breaker first (so the trip is
+    // visible by the time waiters observe their error), then fail the
+    // batch loudly — never silently drop it.
+    breaker_.RecordFailure(SteadyNow());
+    failed_.fetch_add(live.size(), std::memory_order_relaxed);
+    for (Request& request : live) request.promise.set_value(embedded);
+    EMBER_WARN("embed stage failed after %llu retries: %s",
+               static_cast<unsigned long long>(embed_retries),
+               embedded.ToString().c_str());
+    return;
+  }
+
+  // Query stage. A failing primary index degrades to the exact brute-force
+  // scan of the same corpus (options_.allow_degraded) instead of failing
+  // the batch: availability first, and for exact snapshots the fallback is
+  // bit-identical anyway.
+  std::vector<std::vector<index::Neighbor>> neighbors;
+  bool via_fallback = false;
+  const Status query_fault = fail::Check("engine/query");
+  if (query_fault.ok()) {
+    neighbors = snap->QueryBatch(vectors, k);
+  } else if (options_.allow_degraded) {
+    neighbors = snap->FallbackQueryBatch(vectors, k);
+    via_fallback = true;
+    fallbacks_.fetch_add(live.size(), std::memory_order_relaxed);
+    EMBER_WARN("primary index query failed (%s); served by exact fallback",
+               query_fault.ToString().c_str());
+  } else {
+    breaker_.RecordFailure(SteadyNow());
+    failed_.fetch_add(live.size(), std::memory_order_relaxed);
+    for (Request& request : live) request.promise.set_value(query_fault);
+    return;
+  }
+  degraded_.store(via_fallback, std::memory_order_relaxed);
   query_micros_.Record(timer.Seconds() * 1e6);
 
   const SteadyTime done = SteadyNow();
+  breaker_.RecordSuccess(done);
   for (size_t i = 0; i < live.size(); ++i) {
     if (live[i].deadline < done) {
       deadline_misses_.fetch_add(1, std::memory_order_relaxed);
@@ -159,14 +245,95 @@ void Engine::ProcessBatch(std::vector<Request> batch) {
   }
 }
 
+Status Engine::ReloadSnapshot(const std::string& path,
+                              const RetryPolicy& policy) {
+  // One reload at a time; serving continues on the old snapshot throughout.
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  reloading_.store(true, std::memory_order_release);
+  struct ClearLoading {
+    std::atomic<bool>& flag;
+    ~ClearLoading() { flag.store(false, std::memory_order_release); }
+  } clear_loading{reloading_};
+
+  uint64_t load_retries = 0;
+  Result<Snapshot> loaded = Snapshot::LoadWithRetry(path, policy,
+                                                    &load_retries);
+  retries_.fetch_add(load_retries, std::memory_order_relaxed);
+  Status status = loaded.status();
+  if (status.ok()) status = CheckModelCompatible(loaded.value().manifest(), *model_);
+  if (status.ok()) status = loaded.value().Validate();
+  if (!status.ok()) {
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    EMBER_WARN("snapshot reload from '%s' rejected (still serving the old "
+               "snapshot): %s",
+               path.c_str(), status.ToString().c_str());
+    return status;
+  }
+
+  auto fresh = std::make_shared<const Snapshot>(std::move(loaded.value()));
+
+  // Warm probe: run a real query over a few corpus rows BEFORE the swap, so
+  // the first production batch on the new snapshot pays no cold-start cost
+  // and a snapshot whose index crashes on use never goes live.
+  const la::Matrix& corpus = fresh->data();
+  const size_t probe_rows = std::min<size_t>(4, corpus.rows());
+  if (probe_rows > 0) {
+    la::Matrix probe(probe_rows, corpus.cols());
+    std::memcpy(probe.data(), corpus.data(),
+                probe_rows * corpus.cols() * sizeof(float));
+    const size_t probe_k =
+        std::min<size_t>(k_.load(std::memory_order_relaxed), corpus.rows());
+    const auto warm = fresh->QueryBatch(probe, std::max<size_t>(1, probe_k));
+    if (warm.size() != probe_rows) {
+      reload_failures_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Internal("snapshot reload: warm probe returned " +
+                              std::to_string(warm.size()) + " results for " +
+                              std::to_string(probe_rows) + " queries");
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(fresh);
+    if (options_.k == 0) {
+      k_.store(std::max<size_t>(1, snapshot_->manifest().default_k),
+               std::memory_order_relaxed);
+    }
+  }
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Health Engine::health() const {
+  if (reloading_.load(std::memory_order_acquire)) return Health::kLoading;
+  if (breaker_.state() != CircuitBreaker::State::kClosed) {
+    return Health::kTripped;
+  }
+  if (degraded_.load(std::memory_order_relaxed)) return Health::kDegraded;
+  return Health::kServing;
+}
+
+std::shared_ptr<const Snapshot> Engine::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
 EngineMetrics Engine::Metrics() const {
   EngineMetrics metrics;
   metrics.submitted = submitted_.load(std::memory_order_relaxed);
   metrics.completed = completed_.load(std::memory_order_relaxed);
   metrics.rejected = rejected_.load(std::memory_order_relaxed);
   metrics.expired = expired_.load(std::memory_order_relaxed);
+  metrics.failed = failed_.load(std::memory_order_relaxed);
   metrics.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
   metrics.batches = batches_.load(std::memory_order_relaxed);
+  metrics.health = health();
+  metrics.retries = retries_.load(std::memory_order_relaxed);
+  metrics.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+  metrics.breaker_trips = breaker_.trips();
+  metrics.short_circuits = short_circuits_.load(std::memory_order_relaxed);
+  metrics.reloads = reloads_.load(std::memory_order_relaxed);
+  metrics.reload_failures = reload_failures_.load(std::memory_order_relaxed);
   metrics.queue_micros = queue_micros_.Snapshot();
   metrics.embed_micros = embed_micros_.Snapshot();
   metrics.query_micros = query_micros_.Snapshot();

@@ -13,13 +13,29 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/timer.h"
 #include "embed/embedding_model.h"
 #include "index/neighbor.h"
+#include "serve/circuit_breaker.h"
 #include "serve/snapshot.h"
 
 namespace ember::serve {
+
+/// Coarse engine health, surfaced in EngineMetrics (DESIGN.md §10):
+///   kServing  — normal operation
+///   kDegraded — last batch answered by the exact-scan fallback
+///   kTripped  — circuit breaker open; Submits are short-circuited
+///   kLoading  — a hot snapshot reload is validating/warming
+enum class Health : uint32_t {
+  kServing = 0,
+  kDegraded = 1,
+  kTripped = 2,
+  kLoading = 3,
+};
+
+const char* HealthName(Health health);
 
 struct EngineOptions {
   /// Per-query neighbor count; 0 uses the snapshot manifest's default_k.
@@ -36,6 +52,17 @@ struct EngineOptions {
   /// Batcher threads. Each drains whole batches, so >1 mainly helps when
   /// embedding and index search can overlap on spare cores.
   size_t workers = 1;
+  /// Bounded attempts around the embed stage: transient failures back off
+  /// (deterministic seeded jitter) and retry before the batch is failed.
+  RetryPolicy embed_retry;
+  /// Circuit breaker over batch outcomes: after `trip_ratio` of the recent
+  /// window fails, Submit answers kUnavailable in O(1) instead of queueing
+  /// doomed work behind a failing stage.
+  BreakerOptions breaker;
+  /// Degraded mode: when the primary index query stage fails, answer from
+  /// an exact brute-force scan of the snapshot's corpus matrix instead of
+  /// failing the batch. OFF fails the batch with the stage error.
+  bool allow_degraded = true;
 };
 
 /// A completed query: top-k corpus neighbors of the submitted record.
@@ -44,15 +71,27 @@ struct QueryReply {
 };
 
 /// Monotone counters + latency histograms, readable at any time. Counter
-/// identity: submitted == completed + expired + still-in-flight (rejected
-/// submissions are counted separately and never enter the queue).
+/// identity: submitted == completed + expired + failed + still-in-flight
+/// (rejected and short_circuited submissions never enter the queue and are
+/// counted separately; retries/fallbacks/trips are rate counters, not part
+/// of the identity).
 struct EngineMetrics {
   uint64_t submitted = 0;  // accepted into the queue
   uint64_t completed = 0;  // future fulfilled with neighbors
   uint64_t rejected = 0;   // refused at Submit (queue full / stopped)
   uint64_t expired = 0;    // shed before embedding (deadline passed)
+  uint64_t failed = 0;     // future fulfilled with a non-deadline error
   uint64_t deadline_misses = 0;  // completed, but after their deadline
   uint64_t batches = 0;
+
+  // Resilience counters (PR 4).
+  Health health = Health::kServing;
+  uint64_t retries = 0;          // embed attempts beyond each batch's first
+  uint64_t fallbacks = 0;        // requests answered by the degraded scan
+  uint64_t breaker_trips = 0;    // closed/half-open -> open transitions
+  uint64_t short_circuits = 0;   // Submits refused fast while tripped
+  uint64_t reloads = 0;          // successful hot snapshot swaps
+  uint64_t reload_failures = 0;  // rejected reloads (old snapshot kept)
 
   HistogramSnapshot queue_micros;  // submit -> drained from the queue
   HistogramSnapshot embed_micros;  // per batch: vectorization
@@ -66,6 +105,13 @@ struct EngineMetrics {
 /// MPMC queue; worker threads drain it under the max-batch/max-wait policy,
 /// vectorize each batch through the model's parallel VectorizeAll, run one
 /// QueryBatch against the snapshot, and complete the futures.
+///
+/// Resilience (DESIGN.md §10): the embed stage retries under
+/// options.embed_retry; a circuit breaker trips on persistent batch
+/// failures and short-circuits Submits; a failing primary index degrades to
+/// the exact-scan fallback; and ReloadSnapshot swaps a validated + warmed
+/// replacement under an RCU-style shared_ptr without dropping in-flight
+/// queries.
 ///
 /// Determinism caveat (DESIGN.md §9): batch composition varies under load,
 /// but per-request results never do — each embedding row depends only on
@@ -88,10 +134,27 @@ class Engine {
 
   /// Non-blocking submit of one record. On acceptance returns the future
   /// that will carry the top-k neighbors (or DeadlineExceeded if shed);
-  /// when the queue is full or the engine is stopped it returns
-  /// Unavailable immediately — backpressure is reported, never dropped.
+  /// when the queue is full, the engine is stopped, or the circuit breaker
+  /// is open it returns Unavailable immediately — backpressure and
+  /// fail-fast are reported, never dropped.
   Result<std::future<Result<QueryReply>>> Submit(
       std::string record, SteadyTime deadline = kNoDeadline);
+
+  /// Hot snapshot reload: loads `path` (retrying transient failures under
+  /// `policy`), validates it against the manifest, the engine's model, and
+  /// the index invariants, warms it with a probe query, then swaps it in
+  /// atomically. In-flight and concurrent batches keep the snapshot they
+  /// already hold (shared_ptr pin), so no query ever observes a torn swap.
+  /// On ANY failure the old snapshot keeps serving and the error is
+  /// returned — a corrupt replacement costs nothing but the attempt.
+  /// Serialized: concurrent reloads run one at a time. Safe under load.
+  Status ReloadSnapshot(const std::string& path,
+                        const RetryPolicy& policy = {});
+
+  /// Coarse health: kLoading while a reload is validating, kTripped while
+  /// the breaker is open, kDegraded while the fallback is answering,
+  /// kServing otherwise.
+  Health health() const;
 
   /// Stops accepting new work, drains every queued request (expired ones
   /// are shed, the rest are answered), and joins the workers. Idempotent;
@@ -101,7 +164,11 @@ class Engine {
   /// Point-in-time metrics (concurrent-safe; counters are monotone).
   EngineMetrics Metrics() const;
 
-  const Snapshot& snapshot() const { return snapshot_; }
+  /// The currently served snapshot, pinned: a reload may swap the engine
+  /// past it, but the returned pointer stays valid for as long as the
+  /// caller holds it.
+  std::shared_ptr<const Snapshot> snapshot() const;
+
   const EngineOptions& options() const { return options_; }
 
  private:
@@ -117,11 +184,16 @@ class Engine {
 
   void WorkerLoop();
   void ProcessBatch(std::vector<Request> batch);
+  /// Validates a snapshot against the engine's embedding model (same checks
+  /// as Create) — shared by Create and ReloadSnapshot.
+  static Status CheckModelCompatible(const SnapshotManifest& manifest,
+                                     const embed::EmbeddingModel& model);
 
-  Snapshot snapshot_;
+  std::shared_ptr<const Snapshot> snapshot_;  // swapped by ReloadSnapshot
+  mutable std::mutex snapshot_mu_;            // guards snapshot_ and k_
   std::shared_ptr<embed::EmbeddingModel> model_;
   EngineOptions options_;
-  size_t k_ = 10;
+  std::atomic<size_t> k_{10};
 
   std::mutex mu_;
   std::condition_variable queue_cv_;
@@ -129,14 +201,25 @@ class Engine {
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 
+  CircuitBreaker breaker_;
+  std::mutex reload_mu_;  // serializes ReloadSnapshot callers
+  std::atomic<bool> reloading_{false};
+  std::atomic<bool> degraded_{false};
+
   // Counters are atomics (not guarded by mu_): Metrics() must stay cheap
   // enough to call from a live load generator.
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> deadline_misses_{0};
   std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> fallbacks_{0};
+  std::atomic<uint64_t> short_circuits_{0};
+  std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> reload_failures_{0};
   LatencyHistogram queue_micros_;
   LatencyHistogram embed_micros_;
   LatencyHistogram query_micros_;

@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/binary_io.h"
+#include "common/failpoint.h"
+#include "common/rng.h"
 
 namespace ember::serve {
 
@@ -85,6 +87,7 @@ Snapshot Snapshot::Build(SnapshotManifest manifest, la::Matrix corpus,
 }
 
 Status Snapshot::SaveTo(const std::string& path) const {
+  EMBER_FAILPOINT("snapshot/save");
   BinaryWriter writer;
   WriteManifest(writer, manifest_);
   switch (manifest_.kind) {
@@ -102,6 +105,7 @@ Status Snapshot::SaveTo(const std::string& path) const {
 }
 
 Result<Snapshot> Snapshot::LoadFrom(const std::string& path) {
+  EMBER_FAILPOINT("snapshot/load");
   Result<std::string> payload = ReadFileVerified(path, kMagic);
   if (!payload.ok()) return payload.status();
   BinaryReader reader(payload.value());
@@ -139,6 +143,54 @@ Result<Snapshot> Snapshot::LoadFrom(const std::string& path) {
   return snapshot;
 }
 
+Result<Snapshot> Snapshot::LoadWithRetry(const std::string& path,
+                                         const RetryPolicy& policy,
+                                         uint64_t* retries) {
+  Result<Snapshot> loaded = Status::Internal("snapshot load never attempted");
+  RetryStatus(
+      policy, HashBytes(path.data(), path.size()),
+      [&] {
+        loaded = LoadFrom(path);
+        return loaded.status();
+      },
+      retries);
+  return loaded;
+}
+
+const la::Matrix& Snapshot::data() const {
+  switch (manifest_.kind) {
+    case IndexKind::kHnsw:
+      return hnsw_.data();
+    case IndexKind::kLsh:
+      return lsh_.data();
+    case IndexKind::kExact:
+      break;
+  }
+  return exact_.data();
+}
+
+Status Snapshot::Validate() const {
+  EMBER_FAILPOINT("snapshot/validate");
+  const la::Matrix& corpus = data();
+  if (corpus.rows() != manifest_.rows) {
+    return Status::Internal("snapshot validation: index holds " +
+                            std::to_string(corpus.rows()) +
+                            " rows but the manifest claims " +
+                            std::to_string(manifest_.rows));
+  }
+  if (manifest_.rows > 0 && corpus.cols() != manifest_.dim) {
+    return Status::Internal("snapshot validation: index dim " +
+                            std::to_string(corpus.cols()) +
+                            " != manifest dim " +
+                            std::to_string(manifest_.dim));
+  }
+  if (manifest_.kind == IndexKind::kHnsw && !hnsw_.ValidateGraph()) {
+    return Status::Internal("snapshot validation: HNSW graph invariants"
+                            " violated");
+  }
+  return Status::Ok();
+}
+
 std::vector<std::vector<index::Neighbor>> Snapshot::QueryBatch(
     const la::Matrix& queries, size_t k) const {
   switch (manifest_.kind) {
@@ -150,6 +202,11 @@ std::vector<std::vector<index::Neighbor>> Snapshot::QueryBatch(
       break;
   }
   return exact_.QueryBatch(queries, k);
+}
+
+std::vector<std::vector<index::Neighbor>> Snapshot::FallbackQueryBatch(
+    const la::Matrix& queries, size_t k) const {
+  return index::BruteForceTopK(data(), queries, k);
 }
 
 }  // namespace ember::serve

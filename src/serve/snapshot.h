@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "index/exact_index.h"
 #include "index/hnsw_index.h"
@@ -54,11 +55,38 @@ class Snapshot {
 
   static Result<Snapshot> LoadFrom(const std::string& path);
 
+  /// LoadFrom under a retry policy: transient load failures (I/O blips,
+  /// injected faults) back off and retry; corrupt-payload failures are
+  /// still surfaced after the attempt budget. `retries`, when non-null,
+  /// receives the number of retries actually taken.
+  static Result<Snapshot> LoadWithRetry(const std::string& path,
+                                        const RetryPolicy& policy,
+                                        uint64_t* retries = nullptr);
+
   const SnapshotManifest& manifest() const { return manifest_; }
   size_t size() const { return manifest_.rows; }
 
+  /// The corpus matrix owned by whichever index is active (the degraded
+  /// serving path brute-force scans it directly).
+  const la::Matrix& data() const;
+
+  /// Re-validates the loaded snapshot: manifest vs index row/dim agreement
+  /// plus the HNSW graph invariants (entry point and link targets in
+  /// bounds). Load() enforces all of this already; the serving engine runs
+  /// it again before trusting a hot-reloaded snapshot, and the
+  /// "snapshot/validate" failpoint injects failures here.
+  Status Validate() const;
+
   /// Top-k against whichever index the snapshot carries. Thread-safe.
   std::vector<std::vector<index::Neighbor>> QueryBatch(
+      const la::Matrix& queries, size_t k) const;
+
+  /// Degraded-mode top-k: an exact brute-force scan over data(), bypassing
+  /// the index structure entirely — the answer of last resort when the
+  /// primary index is suspect. For kExact snapshots this is bit-identical
+  /// to QueryBatch; for kHnsw/kLsh it returns the true exact neighbors
+  /// (a recall upgrade at a latency cost). Thread-safe.
+  std::vector<std::vector<index::Neighbor>> FallbackQueryBatch(
       const la::Matrix& queries, size_t k) const;
 
  private:

@@ -80,14 +80,48 @@ TEST(CsvTest, RoundTripsQuotedFields) {
   };
   const std::string text = WriteCsv(rows);
   const auto parsed = ParseCsv(text);
-  EXPECT_EQ(parsed, rows);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value(), rows);
 }
 
 TEST(CsvTest, ParsesCrlfAndTrailingNewline) {
   const auto parsed = ParseCsv("a,b\r\nc,d\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   const std::vector<std::vector<std::string>> expected = {{"a", "b"},
                                                           {"c", "d"}};
-  EXPECT_EQ(parsed, expected);
+  EXPECT_EQ(parsed.value(), expected);
+}
+
+TEST(CsvTest, UnterminatedQuoteFailsClosed) {
+  // Truncated mid-quote: the old parser returned a silently shortened
+  // table; it must be a loud error.
+  const auto parsed = ParseCsv("a,b\n\"unterminated");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(CsvTest, BareCarriageReturnFailsClosed) {
+  // \r outside quotes is only valid as part of \r\n.
+  EXPECT_FALSE(ParseCsv("a,b\rc,d\n").ok());
+  EXPECT_FALSE(ParseCsv("a,b\r").ok());
+  // Inside quotes \r is data, and \r\n is a normal line ending.
+  const auto quoted = ParseCsv("\"a\rb\",c\r\n");
+  ASSERT_TRUE(quoted.ok()) << quoted.status().ToString();
+  const std::vector<std::vector<std::string>> expected = {{"a\rb", "c"}};
+  EXPECT_EQ(quoted.value(), expected);
+}
+
+TEST(CsvTest, GarbageAfterClosingQuoteFailsClosed) {
+  EXPECT_FALSE(ParseCsv("\"a\"b,c\n").ok());
+  EXPECT_FALSE(ParseCsv("\"a\"\"\n").ok());  // reopened quote, never closed
+  EXPECT_FALSE(ParseCsv("\"a\" ,b\n").ok());
+  // The legal followers still parse: separator, newline, EOF, and the
+  // escaped-quote form.
+  const auto ok = ParseCsv("\"a\",\"b\"\n\"say \"\"hi\"\"\"");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  const std::vector<std::vector<std::string>> expected = {{"a", "b"},
+                                                          {"say \"hi\""}};
+  EXPECT_EQ(ok.value(), expected);
 }
 
 TEST(FebrlTest, DirtyCollectionWithDuplicates) {

@@ -1,0 +1,1024 @@
+// Fault-injection and resilience tests (DESIGN.md §10): the failpoint
+// registry itself, the retry/backoff and circuit-breaker primitives, the
+// exhaustive snapshot corruption sweep, and the serving engine under
+// injected embed/query faults, degraded mode, and hot snapshot reloads.
+//
+// Most tests arm failpoints, so they are built and run in every sanitizer
+// config; injection tests skip themselves in -DEMBER_FAILPOINTS_ENABLED=OFF
+// builds, where only the pure-primitive and corruption tests remain.
+
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/logging.h"
+#include "common/retry.h"
+#include "common/timer.h"
+#include "core/vector_cache.h"
+#include "la/vector_ops.h"
+#include "serve/circuit_breaker.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
+
+#define SKIP_IF_FAILPOINTS_OFF()                                    \
+  do {                                                              \
+    if (!::ember::fail::kEnabled) {                                 \
+      GTEST_SKIP() << "failpoints compiled out of this build";      \
+    }                                                               \
+  } while (0)
+
+namespace ember {
+namespace {
+
+using serve::BreakerOptions;
+using serve::CircuitBreaker;
+using serve::Engine;
+using serve::EngineMetrics;
+using serve::EngineOptions;
+using serve::Health;
+using serve::IndexKind;
+using serve::QueryReply;
+using serve::Snapshot;
+using serve::SnapshotManifest;
+
+// ---------------------------------------------------------------------------
+// Shared fixtures: the deterministic hash model and snapshot builders from
+// serve_test, plus automatic failpoint cleanup around every test.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kDim = 16;
+
+embed::ModelInfo HashModelInfo(const std::string& code) {
+  embed::ModelInfo info;
+  info.code = code;
+  info.name = "hash-test-model";
+  info.dim = kDim;
+  return info;
+}
+
+class HashModel : public embed::EmbeddingModel {
+ public:
+  explicit HashModel(std::string code = "HT")
+      : EmbeddingModel(HashModelInfo(code)) {}
+
+  void EncodeInto(const std::string& sentence, float* out) const override {
+    for (size_t d = 0; d < kDim; ++d) out[d] = 0.f;
+    uint64_t hash = 1469598103934665603ull;
+    for (const char c : sentence) {
+      hash = (hash ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+      out[hash % kDim] += 1.f + static_cast<float>((hash >> 32) & 0xff);
+    }
+    la::NormalizeInPlace(out, kDim);
+  }
+
+ protected:
+  void BuildWeights() override {}
+};
+
+std::vector<std::string> Sentences(size_t n, const std::string& tag) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(tag + " record " + std::to_string(i) + " token" +
+                  std::to_string(i % 23) + " value" +
+                  std::to_string((i * 13) % 41));
+  }
+  return out;
+}
+
+Snapshot MakeSnapshot(IndexKind kind, size_t rows,
+                      const std::string& corpus_tag = "corpus",
+                      const std::string& model_code = "HT",
+                      uint32_t default_k = 5) {
+  HashModel model(model_code);
+  model.Initialize();
+  la::Matrix corpus = model.VectorizeAll(Sentences(rows, corpus_tag));
+  SnapshotManifest manifest;
+  manifest.model_code = model_code;
+  manifest.default_k = default_k;
+  manifest.kind = kind;
+  manifest.dataset = "fault-test";
+  index::HnswOptions hnsw_options;
+  hnsw_options.seed = 7;
+  index::LshOptions lsh_options;
+  lsh_options.seed = 7;
+  return Snapshot::Build(std::move(manifest), std::move(corpus),
+                         hnsw_options, lsh_options);
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("ember_fault_test_" + name + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Every test starts and ends with no failpoint armed, even on failure.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fail::DisarmAll(); }
+  void TearDown() override { fail::DisarmAll(); }
+};
+
+// ---------------------------------------------------------------------------
+// Failpoint registry semantics
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTest, UnarmedPointIsOk) {
+  EXPECT_TRUE(fail::Check("nonexistent/point").ok());
+}
+
+TEST_F(FaultTest, ErrorCodesRoundTripThroughSpecs) {
+  SKIP_IF_FAILPOINTS_OFF();
+  const std::vector<std::pair<std::string, Status::Code>> cases = {
+      {"error", Status::Code::kIoError},
+      {"error:io", Status::Code::kIoError},
+      {"error:unavailable", Status::Code::kUnavailable},
+      {"error:notfound", Status::Code::kNotFound},
+      {"error:internal", Status::Code::kInternal},
+      {"error:invalid", Status::Code::kInvalidArgument},
+      {"error:deadline", Status::Code::kDeadlineExceeded},
+  };
+  for (const auto& [spec, code] : cases) {
+    ASSERT_TRUE(fail::ConfigureSpec("t/point", spec).ok()) << spec;
+    const Status injected = fail::Check("t/point");
+    EXPECT_EQ(injected.code(), code) << spec;
+  }
+}
+
+TEST_F(FaultTest, MalformedSpecsAreRejected) {
+  SKIP_IF_FAILPOINTS_OFF();
+  for (const std::string spec :
+       {"", "explode", "error:bogus", "delay", "delay:abc", "error,p=2",
+        "error,p=-0.5", "error,nth=0", "error,frequency=3", "error,p"}) {
+    const Status parsed = fail::ConfigureSpec("t/bad", spec);
+    EXPECT_FALSE(parsed.ok()) << "spec '" << spec << "' was accepted";
+    EXPECT_EQ(parsed.code(), Status::Code::kInvalidArgument) << spec;
+  }
+  EXPECT_FALSE(fail::ConfigureList("missing-equals-sign").ok());
+  // A bad entry never half-applies the rest of a list silently.
+  EXPECT_FALSE(fail::ConfigureList("t/a=error;t/b=explode").ok());
+}
+
+TEST_F(FaultTest, OneShotFiresExactlyOnce) {
+  SKIP_IF_FAILPOINTS_OFF();
+  ASSERT_TRUE(fail::ConfigureSpec("t/oneshot", "error:io,max=1").ok());
+  EXPECT_FALSE(fail::Check("t/oneshot").ok());
+  EXPECT_TRUE(fail::Check("t/oneshot").ok());
+  EXPECT_TRUE(fail::Check("t/oneshot").ok());
+  const fail::PointStats stats = fail::Stats("t/oneshot");
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.fires, 1u);
+  EXPECT_TRUE(stats.armed);
+}
+
+TEST_F(FaultTest, NthFiresOnEveryNthHit) {
+  SKIP_IF_FAILPOINTS_OFF();
+  ASSERT_TRUE(fail::ConfigureSpec("t/nth", "error,nth=3").ok());
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) fired.push_back(!fail::Check("t/nth").ok());
+  const std::vector<bool> expected = {false, false, true, false, false,
+                                      true,  false, false, true};
+  EXPECT_EQ(fired, expected);
+}
+
+TEST_F(FaultTest, SeededProbabilityIsDeterministic) {
+  SKIP_IF_FAILPOINTS_OFF();
+  const auto run = [] {
+    EXPECT_TRUE(fail::ConfigureSpec("t/prob", "error,p=0.5,seed=123").ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(!fail::Check("t/prob").ok());
+    return fired;
+  };
+  const std::vector<bool> first = run();
+  const std::vector<bool> second = run();  // re-arming reseeds the stream
+  EXPECT_EQ(first, second);
+  const size_t fires =
+      static_cast<size_t>(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fires, 60u);  // p=0.5 over 200 hits: wildly off means broken rng
+  EXPECT_LT(fires, 140u);
+
+  // A different seed yields a different firing pattern.
+  ASSERT_TRUE(fail::ConfigureSpec("t/prob", "error,p=0.5,seed=124").ok());
+  std::vector<bool> other;
+  for (int i = 0; i < 200; ++i) other.push_back(!fail::Check("t/prob").ok());
+  EXPECT_NE(first, other);
+}
+
+TEST_F(FaultTest, DelayActionSleepsThenProceeds) {
+  SKIP_IF_FAILPOINTS_OFF();
+  ASSERT_TRUE(fail::ConfigureSpec("t/delay", "delay:3000").ok());
+  WallTimer timer;
+  EXPECT_TRUE(fail::Check("t/delay").ok());  // delay never fails the caller
+  EXPECT_GE(timer.Seconds(), 0.002);
+  EXPECT_EQ(fail::Stats("t/delay").fires, 1u);
+}
+
+TEST_F(FaultTest, DisarmAndOffSpecStopInjection) {
+  SKIP_IF_FAILPOINTS_OFF();
+  ASSERT_TRUE(fail::ConfigureSpec("t/a", "error").ok());
+  ASSERT_TRUE(fail::ConfigureSpec("t/b", "error").ok());
+  EXPECT_EQ(fail::ArmedPoints().size(), 2u);
+  ASSERT_TRUE(fail::ConfigureSpec("t/a", "off").ok());
+  EXPECT_TRUE(fail::Check("t/a").ok());
+  EXPECT_FALSE(fail::Check("t/b").ok());
+  fail::DisarmAll();
+  EXPECT_TRUE(fail::Check("t/b").ok());
+  EXPECT_TRUE(fail::ArmedPoints().empty());
+  // Stats survive disarming so runs can reconcile afterwards.
+  EXPECT_EQ(fail::Stats("t/b").fires, 1u);
+  EXPECT_FALSE(fail::Stats("t/b").armed);
+}
+
+TEST_F(FaultTest, ConfigureFromEnvAppliesTheList) {
+  SKIP_IF_FAILPOINTS_OFF();
+  ::setenv("EMBER_FAILPOINTS", "t/env=error:unavailable,max=1; t/env2=off",
+           /*overwrite=*/1);
+  const Status configured = fail::ConfigureFromEnv();
+  ::unsetenv("EMBER_FAILPOINTS");
+  ASSERT_TRUE(configured.ok()) << configured.ToString();
+  const Status injected = fail::Check("t/env");
+  EXPECT_EQ(injected.code(), Status::Code::kUnavailable);
+  EXPECT_TRUE(fail::Check("t/env").ok());  // max=1 spent
+
+  ::setenv("EMBER_FAILPOINTS", "not a valid list", 1);
+  EXPECT_FALSE(fail::ConfigureFromEnv().ok());
+  ::unsetenv("EMBER_FAILPOINTS");
+  EXPECT_TRUE(fail::ConfigureFromEnv().ok());  // unset: clean no-op
+}
+
+TEST_F(FaultTest, EveryCatalogSiteArmsAndReports) {
+  SKIP_IF_FAILPOINTS_OFF();
+  for (const char* name : fail::kCatalog) {
+    ASSERT_TRUE(fail::ConfigureSpec(name, "error:io,max=1").ok()) << name;
+    EXPECT_TRUE(fail::Stats(name).armed) << name;
+  }
+  EXPECT_EQ(fail::ArmedPoints().size(), std::size(fail::kCatalog));
+}
+
+// ---------------------------------------------------------------------------
+// Per-site liveness: arming each catalog point fails the real operation it
+// guards, and the operation recovers once the point disarms.
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTest, BinaryIoSitesAreLive) {
+  SKIP_IF_FAILPOINTS_OFF();
+  static constexpr char kMagic[8] = {'T', 'E', 'S', 'T', '0', '0', '0', '1'};
+  const std::string path = TempPath("binary_io");
+
+  ASSERT_TRUE(fail::ConfigureSpec("binary_io/write", "error:io,max=1").ok());
+  EXPECT_FALSE(WriteFileAtomic(path, kMagic, "payload").ok());
+  EXPECT_FALSE(std::filesystem::exists(path));
+
+  // A publish (rename) failure must not leak the temp file either.
+  ASSERT_TRUE(fail::ConfigureSpec("binary_io/rename", "error:io,max=1").ok());
+  EXPECT_FALSE(WriteFileAtomic(path, kMagic, "payload").ok());
+  EXPECT_FALSE(std::filesystem::exists(path));
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::filesystem::temp_directory_path())) {
+    EXPECT_EQ(entry.path().string().find(path + ".tmp"), std::string::npos)
+        << "leaked temp file " << entry.path();
+  }
+
+  ASSERT_TRUE(WriteFileAtomic(path, kMagic, "payload").ok());
+  ASSERT_TRUE(fail::ConfigureSpec("binary_io/read", "error:io,max=1").ok());
+  EXPECT_FALSE(ReadFileVerified(path, kMagic).ok());
+  EXPECT_TRUE(ReadFileVerified(path, kMagic).ok());  // recovered
+  std::filesystem::remove(path);
+}
+
+TEST_F(FaultTest, CacheLoadFaultMissesAndRecomputes) {
+  SKIP_IF_FAILPOINTS_OFF();
+  const std::string dir = TempPath("cache_dir");
+  std::filesystem::create_directories(dir);
+  core::VectorCache cache(dir);
+  HashModel model;
+  const auto sentences = Sentences(8, "cached");
+
+  const la::Matrix fresh = cache.GetOrCompute(model, "k", sentences);
+  ASSERT_TRUE(fail::ConfigureSpec("cache/load", "error:io").ok());
+  double seconds = -2;
+  const la::Matrix recomputed =
+      cache.GetOrCompute(model, "k", sentences, &seconds);
+  EXPECT_GE(seconds, 0.0);  // fault -> miss -> recompute, never garbage
+  EXPECT_TRUE(recomputed == fresh);
+  fail::DisarmAll();
+  double hit_seconds = 0;
+  cache.GetOrCompute(model, "k", sentences, &hit_seconds);
+  EXPECT_EQ(hit_seconds, -1.0);  // healthy again: served from disk
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FaultTest, CacheStoreFaultIsRetriedAndNonFatal) {
+  SKIP_IF_FAILPOINTS_OFF();
+  const std::string dir = TempPath("cache_store_dir");
+  std::filesystem::create_directories(dir);
+  core::VectorCache cache(dir);
+  RetryPolicy store_retry;
+  store_retry.max_attempts = 3;
+  store_retry.initial_backoff_micros = 10;
+  store_retry.max_backoff_micros = 50;
+  cache.set_store_retry(store_retry);
+  HashModel model;
+  const auto sentences = Sentences(8, "stored");
+
+  // Persistent store failure: the caller still gets the computed matrix,
+  // every attempt is consumed, and nothing is cached.
+  ASSERT_TRUE(fail::ConfigureSpec("cache/store", "error:io").ok());
+  const la::Matrix computed = cache.GetOrCompute(model, "k", sentences);
+  EXPECT_EQ(computed.rows(), sentences.size());
+  EXPECT_EQ(fail::Stats("cache/store").fires, store_retry.max_attempts);
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+
+  // Transient failure (one-shot): the retry rescues the store.
+  ASSERT_TRUE(fail::ConfigureSpec("cache/store", "error:io,max=1").ok());
+  cache.GetOrCompute(model, "k", sentences);
+  EXPECT_FALSE(std::filesystem::is_empty(dir));
+  double hit_seconds = 0;
+  const la::Matrix cached = cache.GetOrCompute(model, "k", sentences,
+                                               &hit_seconds);
+  EXPECT_EQ(hit_seconds, -1.0);
+  EXPECT_TRUE(cached == computed);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FaultTest, SnapshotSitesAreLive) {
+  SKIP_IF_FAILPOINTS_OFF();
+  const Snapshot built = MakeSnapshot(IndexKind::kHnsw, 40);
+  const std::string path = TempPath("snapshot_sites");
+
+  ASSERT_TRUE(fail::ConfigureSpec("snapshot/save", "error:io,max=1").ok());
+  EXPECT_FALSE(built.SaveTo(path).ok());
+  ASSERT_TRUE(built.SaveTo(path).ok());
+
+  ASSERT_TRUE(fail::ConfigureSpec("snapshot/load", "error:io,max=1").ok());
+  EXPECT_FALSE(Snapshot::LoadFrom(path).ok());
+  ASSERT_TRUE(Snapshot::LoadFrom(path).ok());
+
+  ASSERT_TRUE(fail::ConfigureSpec("index/load", "error:io,max=1").ok());
+  EXPECT_FALSE(Snapshot::LoadFrom(path).ok());
+
+  ASSERT_TRUE(fail::ConfigureSpec("snapshot/validate", "error:io,max=1").ok());
+  EXPECT_FALSE(built.Validate().ok());
+  EXPECT_TRUE(built.Validate().ok());
+  std::filesystem::remove(path);
+}
+
+TEST_F(FaultTest, LoadWithRetryRidesOutTransientFaults) {
+  SKIP_IF_FAILPOINTS_OFF();
+  const Snapshot built = MakeSnapshot(IndexKind::kExact, 30);
+  const std::string path = TempPath("load_retry");
+  ASSERT_TRUE(built.SaveTo(path).ok());
+
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_micros = 10;
+  policy.max_backoff_micros = 100;
+
+  ASSERT_TRUE(fail::ConfigureSpec("snapshot/load", "error:io,max=2").ok());
+  uint64_t retries = 0;
+  auto loaded = Snapshot::LoadWithRetry(path, policy, &retries);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(retries, 2u);
+
+  // Exhausted budget surfaces the error instead of spinning forever.
+  ASSERT_TRUE(fail::ConfigureSpec("snapshot/load", "error:io").ok());
+  retries = 0;
+  EXPECT_FALSE(Snapshot::LoadWithRetry(path, policy, &retries).ok());
+  EXPECT_EQ(retries, policy.max_attempts - 1);
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------------
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndClamps) {
+  RetryPolicy policy;
+  policy.initial_backoff_micros = 100;
+  policy.multiplier = 2.0;
+  policy.max_backoff_micros = 1000;
+  policy.jitter = 0.0;
+  EXPECT_EQ(policy.BackoffMicros(0), 100);
+  EXPECT_EQ(policy.BackoffMicros(1), 200);
+  EXPECT_EQ(policy.BackoffMicros(2), 400);
+  EXPECT_EQ(policy.BackoffMicros(3), 800);
+  EXPECT_EQ(policy.BackoffMicros(4), 1000);  // clamped
+  EXPECT_EQ(policy.BackoffMicros(40), 1000); // no overflow blow-up
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicBoundedAndSaltSensitive) {
+  RetryPolicy policy;
+  policy.initial_backoff_micros = 1000;
+  policy.jitter = 0.5;
+  for (size_t attempt = 0; attempt < 4; ++attempt) {
+    const int64_t a = policy.BackoffMicros(attempt, /*salt=*/1);
+    EXPECT_EQ(a, policy.BackoffMicros(attempt, 1));  // pure function
+    const int64_t base = std::min<int64_t>(
+        policy.max_backoff_micros,
+        static_cast<int64_t>(1000 * std::pow(2.0, attempt)));
+    EXPECT_GE(a, base / 2);
+    EXPECT_LE(a, base + base / 2 + 1);
+  }
+  // Different salts decorrelate concurrent retry loops.
+  EXPECT_NE(policy.BackoffMicros(0, 1), policy.BackoffMicros(0, 2));
+}
+
+TEST(RetryPolicyTest, RetriesTransientsStopsOnSemanticErrors) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_micros = 1;
+  policy.max_backoff_micros = 5;
+
+  int calls = 0;
+  uint64_t retries = 0;
+  Status status = RetryStatus(policy, 0, [&] {
+    return ++calls < 3 ? Status::IoError("transient") : Status::Ok();
+  }, &retries);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+
+  calls = 0;
+  status = RetryStatus(policy, 0, [&] {
+    ++calls;
+    return Status::InvalidArgument("semantic");
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(calls, 1);  // not worth retrying
+
+  calls = 0;
+  status = RetryStatus(policy, 0, [&] {
+    ++calls;
+    return Status::Unavailable("always down");
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(calls, 5);  // budget respected
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker (driven with a synthetic clock)
+// ---------------------------------------------------------------------------
+
+TEST(CircuitBreakerTest, TripsAtThresholdAndShortCircuits) {
+  BreakerOptions options;
+  options.window = 8;
+  options.min_samples = 4;
+  options.trip_ratio = 0.5;
+  options.open_micros = 1000;
+  CircuitBreaker breaker(options);
+  SteadyTime t = SteadyNow();
+
+  breaker.RecordSuccess(t);
+  breaker.RecordFailure(t);
+  breaker.RecordSuccess(t);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure(t);  // 2 failures / 4 samples = ratio hit
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_FALSE(breaker.Allow(t));
+  EXPECT_FALSE(breaker.Allow(AfterMicros(t, 999)));
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbesCloseOrReopen) {
+  BreakerOptions options;
+  options.window = 8;
+  options.min_samples = 2;
+  options.trip_ratio = 1.0;
+  options.open_micros = 1000;
+  options.half_open_successes = 2;
+  CircuitBreaker breaker(options);
+  SteadyTime t = SteadyNow();
+
+  breaker.RecordFailure(t);
+  breaker.RecordFailure(t);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  // Cool-down elapses: probes are admitted.
+  t = AfterMicros(t, 1001);
+  EXPECT_TRUE(breaker.Allow(t));
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+
+  // A failing probe reopens immediately and restarts the cool-down.
+  breaker.RecordFailure(t);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+  EXPECT_FALSE(breaker.Allow(AfterMicros(t, 500)));
+
+  // Next cool-down: enough successful probes close the breaker for good.
+  t = AfterMicros(t, 1001);
+  EXPECT_TRUE(breaker.Allow(t));
+  breaker.RecordSuccess(t);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.RecordSuccess(t);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  // The window restarted clean: one old-style failure does not re-trip.
+  breaker.RecordFailure(t);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, MinSamplesSuppressesEarlyTrips) {
+  BreakerOptions options;
+  options.window = 16;
+  options.min_samples = 8;
+  options.trip_ratio = 0.25;
+  CircuitBreaker breaker(options);
+  const SteadyTime t = SteadyNow();
+  for (int i = 0; i < 7; ++i) breaker.RecordFailure(t);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure(t);  // 8th sample crosses min_samples
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+}
+
+// ---------------------------------------------------------------------------
+// Log rate limiting
+// ---------------------------------------------------------------------------
+
+TEST(LogTokenBucketTest, BurstsThenDropsThenRefills) {
+  internal::LogTokenBucket bucket(/*capacity=*/3.0, /*refill_per_second=*/1.0);
+  int64_t now = 0;
+  EXPECT_EQ(bucket.Admit(now), 0);
+  EXPECT_EQ(bucket.Admit(now), 0);
+  EXPECT_EQ(bucket.Admit(now), 0);
+  EXPECT_EQ(bucket.Admit(now), -1);  // burst spent
+  EXPECT_EQ(bucket.Admit(now), -1);
+  now += 1'000'000;  // 1s -> one token back
+  EXPECT_EQ(bucket.Admit(now), 2);  // reports what the limiter swallowed
+  EXPECT_EQ(bucket.Admit(now), -1);
+  now += 10'000'000;  // refill clamps at capacity
+  EXPECT_EQ(bucket.Admit(now), 1);
+  EXPECT_EQ(bucket.Admit(now), 0);
+  EXPECT_EQ(bucket.Admit(now), 0);
+  EXPECT_EQ(bucket.Admit(now), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive corruption sweep: EVERY prefix truncation and EVERY single-byte
+// flip of a serialized snapshot must load as a clean error — never a crash,
+// hang, or huge allocation. (Runs in the ASan CI leg; needs no failpoints.)
+// ---------------------------------------------------------------------------
+
+TEST(CorruptionSweepTest, EveryTruncationAndByteFlipFailsClosed) {
+  const Snapshot built = MakeSnapshot(IndexKind::kHnsw, 6);
+  const std::string path = TempPath("sweep_src");
+  ASSERT_TRUE(built.SaveTo(path).ok());
+  const std::string image = ReadAll(path);
+  std::filesystem::remove(path);
+  ASSERT_GT(image.size(), 64u);
+  ASSERT_LT(image.size(), 16384u) << "sweep corpus grew too big to be "
+                                     "exhaustive; shrink the snapshot";
+
+  const std::string victim = TempPath("sweep_victim");
+  for (size_t len = 0; len < image.size(); ++len) {
+    WriteAll(victim, image.substr(0, len));
+    EXPECT_FALSE(Snapshot::LoadFrom(victim).ok()) << "truncated to " << len;
+  }
+  std::string flipped = image;
+  for (size_t pos = 0; pos < image.size(); ++pos) {
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x5a);
+    WriteAll(victim, flipped);
+    EXPECT_FALSE(Snapshot::LoadFrom(victim).ok()) << "byte flip at " << pos;
+    flipped[pos] = image[pos];  // restore for the next position
+  }
+  WriteAll(victim, image);
+  EXPECT_TRUE(Snapshot::LoadFrom(victim).ok());  // sweep harness is sound
+  std::filesystem::remove(victim);
+}
+
+// ---------------------------------------------------------------------------
+// Engine under injected faults
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<index::Neighbor>> ExpectedNeighbors(
+    const Snapshot& snapshot, const std::vector<std::string>& queries,
+    size_t k) {
+  HashModel model;
+  model.Initialize();
+  return snapshot.QueryBatch(model.VectorizeAll(queries), k);
+}
+
+void ExpectReplyMatches(const Result<QueryReply>& reply,
+                        const std::vector<index::Neighbor>& expected,
+                        size_t q) {
+  ASSERT_TRUE(reply.ok()) << "query " << q;
+  const auto& neighbors = reply.value().neighbors;
+  ASSERT_EQ(neighbors.size(), expected.size()) << "query " << q;
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    EXPECT_EQ(neighbors[i].id, expected[i].id) << "query " << q;
+    EXPECT_EQ(neighbors[i].distance, expected[i].distance) << "query " << q;
+  }
+}
+
+TEST_F(FaultTest, EmbedFaultsAreRetriedWithExactAccounting) {
+  SKIP_IF_FAILPOINTS_OFF();
+  const Snapshot snapshot = MakeSnapshot(IndexKind::kExact, 64);
+  const std::vector<std::string> queries = Sentences(60, "query");
+  const auto expected = ExpectedNeighbors(snapshot, queries, 5);
+
+  EngineOptions options;
+  options.max_batch = 8;
+  options.max_wait_micros = 300;
+  options.embed_retry.max_attempts = 6;
+  options.embed_retry.initial_backoff_micros = 10;
+  options.embed_retry.max_backoff_micros = 100;
+  // Keep the breaker out of this test's way; it has its own test below.
+  options.breaker.min_samples = 1000;
+  auto engine =
+      Engine::Create(snapshot, std::make_shared<HashModel>(), options);
+  ASSERT_TRUE(engine.ok());
+
+  // Every third embed attempt fails: every batch needs retries, and with a
+  // 6-attempt budget every batch eventually succeeds.
+  ASSERT_TRUE(
+      fail::ConfigureSpec("engine/embed", "error:unavailable,nth=3").ok());
+
+  std::vector<std::future<Result<QueryReply>>> futures;
+  for (const std::string& query : queries) {
+    auto submitted = engine.value()->Submit(query);
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  for (size_t q = 0; q < futures.size(); ++q) {
+    // Success under injected faults must be bit-identical to the no-fault
+    // answer — resilience may cost latency, never correctness.
+    ExpectReplyMatches(futures[q].get(), expected[q], q);
+  }
+  engine.value()->Stop();
+
+  const EngineMetrics metrics = engine.value()->Metrics();
+  EXPECT_EQ(metrics.submitted, queries.size());
+  EXPECT_EQ(metrics.completed, queries.size());
+  EXPECT_EQ(metrics.failed, 0u);
+  EXPECT_GT(metrics.retries, 0u);
+  EXPECT_EQ(metrics.retries, fail::Stats("engine/embed").fires);
+  EXPECT_EQ(metrics.completed + metrics.expired + metrics.failed,
+            metrics.submitted);
+}
+
+TEST_F(FaultTest, ExhaustedEmbedRetriesFailTheBatchLoudly) {
+  SKIP_IF_FAILPOINTS_OFF();
+  EngineOptions options;
+  options.max_batch = 4;
+  options.max_wait_micros = 200;
+  options.embed_retry.max_attempts = 2;
+  options.embed_retry.initial_backoff_micros = 10;
+  options.breaker.min_samples = 1000;
+  auto engine = Engine::Create(MakeSnapshot(IndexKind::kExact, 32),
+                               std::make_shared<HashModel>(), options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(fail::ConfigureSpec("engine/embed", "error:io").ok());
+
+  std::vector<std::future<Result<QueryReply>>> futures;
+  for (int i = 0; i < 8; ++i) {
+    auto submitted = engine.value()->Submit("doomed " + std::to_string(i));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  for (auto& future : futures) {
+    const Result<QueryReply> reply = future.get();
+    ASSERT_FALSE(reply.ok());
+    EXPECT_EQ(reply.status().code(), Status::Code::kIoError);
+  }
+  engine.value()->Stop();
+  const EngineMetrics metrics = engine.value()->Metrics();
+  EXPECT_EQ(metrics.failed, 8u);
+  EXPECT_EQ(metrics.completed, 0u);
+  EXPECT_EQ(metrics.completed + metrics.expired + metrics.failed,
+            metrics.submitted);
+}
+
+TEST_F(FaultTest, QueryFaultDegradesToExactFallbackBitIdentically) {
+  SKIP_IF_FAILPOINTS_OFF();
+  // kExact snapshot: the fallback scan IS the primary algorithm, so
+  // degraded answers are bit-identical and correctness is fully checkable.
+  const Snapshot snapshot = MakeSnapshot(IndexKind::kExact, 80);
+  const std::vector<std::string> queries = Sentences(24, "query");
+  const auto expected = ExpectedNeighbors(snapshot, queries, 5);
+
+  EngineOptions options;
+  options.max_batch = 6;
+  options.max_wait_micros = 300;
+  options.breaker.min_samples = 1000;
+  auto engine =
+      Engine::Create(snapshot, std::make_shared<HashModel>(), options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(fail::ConfigureSpec("engine/query", "error:internal").ok());
+
+  std::vector<std::future<Result<QueryReply>>> futures;
+  for (const std::string& query : queries) {
+    auto submitted = engine.value()->Submit(query);
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  for (size_t q = 0; q < futures.size(); ++q) {
+    ExpectReplyMatches(futures[q].get(), expected[q], q);
+  }
+  const EngineMetrics metrics = engine.value()->Metrics();
+  EXPECT_EQ(metrics.completed, queries.size());
+  EXPECT_EQ(metrics.fallbacks, queries.size());
+  EXPECT_EQ(metrics.failed, 0u);
+  EXPECT_EQ(engine.value()->health(), Health::kDegraded);
+
+  // Primary heals: the next batch leaves degraded mode.
+  fail::DisarmAll();
+  auto healed = engine.value()->Submit(queries[0]);
+  ASSERT_TRUE(healed.ok());
+  ExpectReplyMatches(healed.value().get(), expected[0], 0);
+  EXPECT_EQ(engine.value()->health(), Health::kServing);
+}
+
+TEST_F(FaultTest, QueryFaultFailsBatchWhenDegradedModeDisabled) {
+  SKIP_IF_FAILPOINTS_OFF();
+  EngineOptions options;
+  options.max_batch = 4;
+  options.allow_degraded = false;
+  options.breaker.min_samples = 1000;
+  auto engine = Engine::Create(MakeSnapshot(IndexKind::kExact, 32),
+                               std::make_shared<HashModel>(), options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(fail::ConfigureSpec("engine/query", "error:internal").ok());
+  auto submitted = engine.value()->Submit("record");
+  ASSERT_TRUE(submitted.ok());
+  const Result<QueryReply> reply = submitted.value().get();
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), Status::Code::kInternal);
+  EXPECT_EQ(engine.value()->Metrics().fallbacks, 0u);
+}
+
+TEST_F(FaultTest, FallbackOnHnswReturnsTrueExactNeighbors) {
+  SKIP_IF_FAILPOINTS_OFF();
+  // For approximate indexes the fallback is a recall UPGRADE: it must
+  // equal a brute-force scan of the same corpus.
+  const Snapshot snapshot = MakeSnapshot(IndexKind::kHnsw, 100);
+  const std::vector<std::string> queries = Sentences(12, "query");
+  HashModel model;
+  model.Initialize();
+  const la::Matrix vectors = model.VectorizeAll(queries);
+  const auto exact = index::BruteForceTopK(snapshot.data(), vectors, 5);
+
+  EngineOptions options;
+  options.max_batch = 12;
+  options.breaker.min_samples = 1000;
+  auto engine =
+      Engine::Create(snapshot, std::make_shared<HashModel>(), options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(fail::ConfigureSpec("engine/query", "error:io").ok());
+  std::vector<std::future<Result<QueryReply>>> futures;
+  for (const std::string& query : queries) {
+    auto submitted = engine.value()->Submit(query);
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  for (size_t q = 0; q < futures.size(); ++q) {
+    ExpectReplyMatches(futures[q].get(), exact[q], q);
+  }
+}
+
+TEST_F(FaultTest, BreakerTripsShortCircuitsAndRecovers) {
+  SKIP_IF_FAILPOINTS_OFF();
+  EngineOptions options;
+  options.max_batch = 1;
+  options.max_wait_micros = 0;
+  options.embed_retry.max_attempts = 1;  // surface every failure to the breaker
+  options.breaker.window = 8;
+  options.breaker.min_samples = 2;
+  options.breaker.trip_ratio = 1.0;
+  options.breaker.open_micros = 20'000;
+  options.breaker.half_open_successes = 1;
+  auto engine = Engine::Create(MakeSnapshot(IndexKind::kExact, 32),
+                               std::make_shared<HashModel>(), options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(fail::ConfigureSpec("engine/embed", "error:unavailable").ok());
+
+  // Two serially-failed batches trip the breaker.
+  for (int i = 0; i < 2; ++i) {
+    auto submitted = engine.value()->Submit("fail " + std::to_string(i));
+    ASSERT_TRUE(submitted.ok());
+    EXPECT_FALSE(submitted.value().get().ok());
+  }
+  EXPECT_EQ(engine.value()->health(), Health::kTripped);
+
+  // While open, Submit sheds in O(1) without queueing.
+  size_t shed = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (!engine.value()->Submit("shed").ok()) ++shed;
+  }
+  EXPECT_GT(shed, 0u);
+  EngineMetrics metrics = engine.value()->Metrics();
+  EXPECT_EQ(metrics.short_circuits, shed);
+  EXPECT_GE(metrics.breaker_trips, 1u);
+
+  // Fault clears; after the cool-down a successful probe closes the breaker.
+  fail::DisarmAll();
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  Result<QueryReply> probe = Status::Unavailable("never ran");
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    auto submitted = engine.value()->Submit("probe");
+    if (submitted.ok()) {
+      probe = submitted.value().get();
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_EQ(engine.value()->health(), Health::kServing);
+  metrics = engine.value()->Metrics();
+  EXPECT_EQ(metrics.completed + metrics.expired + metrics.failed,
+            metrics.submitted);
+}
+
+// ---------------------------------------------------------------------------
+// Hot snapshot reload
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTest, ReloadSwapsToTheNewCorpusAtomically) {
+  const Snapshot original = MakeSnapshot(IndexKind::kExact, 64, "corpusA");
+  const Snapshot replacement = MakeSnapshot(IndexKind::kExact, 96, "corpusB");
+  const std::vector<std::string> queries = Sentences(10, "query");
+  const auto expected_old = ExpectedNeighbors(original, queries, 5);
+  const auto expected_new = ExpectedNeighbors(replacement, queries, 5);
+  const std::string path = TempPath("reload_good");
+  ASSERT_TRUE(replacement.SaveTo(path).ok());
+
+  auto engine = Engine::Create(original, std::make_shared<HashModel>(),
+                               EngineOptions{});
+  ASSERT_TRUE(engine.ok());
+  auto before = engine.value()->Submit(queries[0]);
+  ASSERT_TRUE(before.ok());
+  ExpectReplyMatches(before.value().get(), expected_old[0], 0);
+
+  ASSERT_TRUE(engine.value()->ReloadSnapshot(path).ok());
+  EXPECT_EQ(engine.value()->Metrics().reloads, 1u);
+  EXPECT_EQ(engine.value()->snapshot()->manifest().rows, 96u);
+
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto submitted = engine.value()->Submit(queries[q]);
+    ASSERT_TRUE(submitted.ok());
+    ExpectReplyMatches(submitted.value().get(), expected_new[q], q);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(FaultTest, CorruptOrIncompatibleReloadRollsBack) {
+  const Snapshot original = MakeSnapshot(IndexKind::kExact, 64, "corpusA");
+  const std::vector<std::string> queries = Sentences(6, "query");
+  const auto expected = ExpectedNeighbors(original, queries, 5);
+  auto engine = Engine::Create(original, std::make_shared<HashModel>(),
+                               EngineOptions{});
+  ASSERT_TRUE(engine.ok());
+
+  const std::string garbage = TempPath("reload_garbage");
+  WriteAll(garbage, "this is not a snapshot container at all");
+  EXPECT_FALSE(engine.value()->ReloadSnapshot(garbage).ok());
+
+  const std::string missing = TempPath("reload_missing_nonexistent");
+  EXPECT_FALSE(engine.value()->ReloadSnapshot(missing).ok());
+
+  const std::string wrong_model = TempPath("reload_wrong_model");
+  ASSERT_TRUE(MakeSnapshot(IndexKind::kExact, 32, "corpusC", "XX")
+                  .SaveTo(wrong_model)
+                  .ok());
+  const Status mismatched = engine.value()->ReloadSnapshot(wrong_model);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.code(), Status::Code::kInvalidArgument);
+
+  // Every rejection was counted, nothing swapped, and the old snapshot
+  // still answers bit-identically.
+  const EngineMetrics metrics = engine.value()->Metrics();
+  EXPECT_EQ(metrics.reload_failures, 3u);
+  EXPECT_EQ(metrics.reloads, 0u);
+  EXPECT_EQ(engine.value()->snapshot()->manifest().rows, 64u);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto submitted = engine.value()->Submit(queries[q]);
+    ASSERT_TRUE(submitted.ok());
+    ExpectReplyMatches(submitted.value().get(), expected[q], q);
+  }
+  std::filesystem::remove(garbage);
+  std::filesystem::remove(wrong_model);
+}
+
+TEST_F(FaultTest, ReloadValidationFailpointRollsBack) {
+  SKIP_IF_FAILPOINTS_OFF();
+  const Snapshot original = MakeSnapshot(IndexKind::kExact, 64, "corpusA");
+  const Snapshot replacement = MakeSnapshot(IndexKind::kExact, 96, "corpusB");
+  const std::string path = TempPath("reload_validate");
+  ASSERT_TRUE(replacement.SaveTo(path).ok());
+  auto engine = Engine::Create(original, std::make_shared<HashModel>(),
+                               EngineOptions{});
+  ASSERT_TRUE(engine.ok());
+
+  // The replacement loads fine but flunks deep validation — the reload
+  // must reject it and keep serving the old snapshot.
+  ASSERT_TRUE(
+      fail::ConfigureSpec("snapshot/validate", "error:internal,max=1").ok());
+  EXPECT_FALSE(engine.value()->ReloadSnapshot(path).ok());
+  EXPECT_EQ(engine.value()->snapshot()->manifest().rows, 64u);
+  EXPECT_EQ(engine.value()->Metrics().reload_failures, 1u);
+
+  // Same file, validation healthy: the swap goes through.
+  ASSERT_TRUE(engine.value()->ReloadSnapshot(path).ok());
+  EXPECT_EQ(engine.value()->snapshot()->manifest().rows, 96u);
+  std::filesystem::remove(path);
+}
+
+TEST_F(FaultTest, ReloadUnderLoadLosesNothing) {
+  // Producers hammer the engine while snapshots swap (good and corrupt)
+  // mid-stream. Invariants: no crash, no torn result (every reply is valid
+  // against one of the two corpora), exact counter reconciliation.
+  const Snapshot original = MakeSnapshot(IndexKind::kExact, 64, "corpusA");
+  const Snapshot replacement = MakeSnapshot(IndexKind::kExact, 96, "corpusB");
+  const std::string good = TempPath("reload_load_good");
+  const std::string corrupt = TempPath("reload_load_corrupt");
+  ASSERT_TRUE(replacement.SaveTo(good).ok());
+  WriteAll(corrupt, "garbage bytes, not a container");
+
+  EngineOptions options;
+  options.max_batch = 8;
+  options.max_wait_micros = 200;
+  options.workers = 2;
+  auto engine = Engine::Create(original, std::make_shared<HashModel>(),
+                               options);
+  ASSERT_TRUE(engine.ok());
+
+  std::atomic<uint64_t> accepted{0}, rejected{0}, ok_replies{0}, wrong{0};
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < 3; ++p) {
+    producers.emplace_back([&, p] {
+      for (size_t i = 0; i < 200; ++i) {
+        auto submitted = engine.value()->Submit(
+            "p" + std::to_string(p) + "i" + std::to_string(i));
+        if (!submitted.ok()) {
+          rejected.fetch_add(1);
+          continue;
+        }
+        accepted.fetch_add(1);
+        const Result<QueryReply> reply = submitted.value().get();
+        if (!reply.ok()) {
+          wrong.fetch_add(1);
+          continue;
+        }
+        const auto& neighbors = reply.value().neighbors;
+        bool valid = neighbors.size() == 5;
+        for (size_t n = 0; valid && n < neighbors.size(); ++n) {
+          valid = neighbors[n].id < 96 &&
+                  (n == 0 ||
+                   neighbors[n - 1].distance <= neighbors[n].distance);
+        }
+        valid ? ok_replies.fetch_add(1) : wrong.fetch_add(1);
+      }
+    });
+  }
+
+  // Interleave good swaps and corrupt rejections under load.
+  uint64_t good_reloads = 0, failed_reloads = 0;
+  for (int round = 0; round < 6; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    if (round % 2 == 0) {
+      ASSERT_TRUE(engine.value()->ReloadSnapshot(good).ok());
+      ++good_reloads;
+    } else {
+      ASSERT_FALSE(engine.value()->ReloadSnapshot(corrupt).ok());
+      ++failed_reloads;
+    }
+  }
+  for (auto& producer : producers) producer.join();
+  engine.value()->Stop();
+
+  const EngineMetrics metrics = engine.value()->Metrics();
+  EXPECT_EQ(wrong.load(), 0u);  // zero swap-attributable failures
+  EXPECT_EQ(metrics.submitted, accepted.load());
+  EXPECT_EQ(metrics.completed, ok_replies.load());
+  EXPECT_EQ(metrics.reloads, good_reloads);
+  EXPECT_EQ(metrics.reload_failures, failed_reloads);
+  EXPECT_EQ(metrics.completed + metrics.expired + metrics.failed,
+            metrics.submitted);
+  std::filesystem::remove(good);
+  std::filesystem::remove(corrupt);
+}
+
+}  // namespace
+}  // namespace ember

@@ -14,6 +14,10 @@
 //       Freeze the blocking pipeline into a snapshot (built, or loaded
 //       from --snapshot when the file exists), start the online serving
 //       engine, drive an open-loop load, and dump latency metrics.
+//
+// When the build compiles failpoints in (the default), the EMBER_FAILPOINTS
+// environment variable arms fault-injection sites before any command runs;
+// see common/failpoint.h for the spec grammar.
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/timer.h"
 #include "core/blocking.h"
 #include "core/pipeline.h"
@@ -305,6 +310,15 @@ int RunServeBench(const CliArgs& args) {
               static_cast<unsigned long long>(metrics.deadline_misses),
               static_cast<unsigned long long>(metrics.batches),
               metrics.batch_size.Mean());
+  std::printf("health=%s failed=%llu retries=%llu fallbacks=%llu trips=%llu "
+              "short_circuits=%llu reloads=%llu\n",
+              serve::HealthName(metrics.health),
+              static_cast<unsigned long long>(metrics.failed),
+              static_cast<unsigned long long>(metrics.retries),
+              static_cast<unsigned long long>(metrics.fallbacks),
+              static_cast<unsigned long long>(metrics.breaker_trips),
+              static_cast<unsigned long long>(metrics.short_circuits),
+              static_cast<unsigned long long>(metrics.reloads));
   const auto dump = [](const char* name, const HistogramSnapshot& h) {
     std::printf("%-12s p50=%8.0f us  p99=%8.0f us  max=%8.0f us\n", name,
                 h.Percentile(0.5), h.Percentile(0.99), h.max);
@@ -319,6 +333,15 @@ int RunServeBench(const CliArgs& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Fault-injection builds honor $EMBER_FAILPOINTS (see common/failpoint.h
+  // for the spec grammar), so resilience behavior is reproducible from the
+  // command line without recompiling.
+  const Status failpoints = fail::ConfigureFromEnv();
+  if (!failpoints.ok()) {
+    std::fprintf(stderr, "EMBER_FAILPOINTS: %s\n",
+                 failpoints.ToString().c_str());
+    return 2;
+  }
   if (argc < 2) return Usage(argv[0]);
   const std::string command = argv[1];
   if (command == "models") return RunModels();
