@@ -1,0 +1,218 @@
+// Observability overhead and per-stage attribution (beyond the paper;
+// DESIGN.md §11): quantifies what the obs layer costs and what it buys.
+//
+//   (a) span-site microbenchmark: ns per would-be span while the tracer is
+//       disabled (the always-on price every instrumented call site pays —
+//       one relaxed atomic load) and ns per recorded span while enabled;
+//   (b) serving overhead: the same fixed closed-loop serve workload run
+//       twice with tracing OFF (establishing the run-to-run noise floor)
+//       and once with tracing ON. Criterion: the traced run stays within
+//       max(5%, 2x noise) of the untraced one;
+//   (c) per-stage latency attribution: the traced run's spans, rolled up by
+//       StageBreakdown into the paper-style "where does a request's time
+//       go" table, cross-checked against the engine's own stage histograms
+//       (two independent clocks over the same run must agree).
+//
+// Artifacts: exp24_overhead.csv and exp24_stages.csv under bench_artifacts/,
+// plus exp24_trace.json — a Chrome trace_event file; open it at
+// https://ui.perfetto.dev to see the run's span forest.
+
+#include <algorithm>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
+
+namespace {
+
+using namespace ember;
+
+constexpr size_t kK = 10;
+
+serve::Snapshot BuildSnapshot(const la::Matrix& corpus,
+                              const std::string& model_code) {
+  serve::SnapshotManifest manifest;
+  manifest.model_code = model_code;
+  manifest.default_k = kK;
+  manifest.kind = serve::IndexKind::kExact;
+  manifest.dataset = "D2";
+  return serve::Snapshot::Build(std::move(manifest), corpus);
+}
+
+serve::EngineOptions ServeOptions() {
+  serve::EngineOptions options;
+  options.max_batch = 32;
+  options.max_wait_micros = 1000;
+  options.max_queue = 512;
+  return options;
+}
+
+/// Submits `n` requests as fast as backpressure admits them, then drains
+/// every future. Returns the wall seconds for the whole fixed workload, so
+/// OFF/ON runs are comparable request-for-request.
+double RunFixedLoad(serve::Engine& engine,
+                    const std::vector<std::string>& queries, size_t n) {
+  WallTimer timer;
+  std::vector<std::future<Result<serve::QueryReply>>> futures;
+  futures.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (;;) {
+      auto submitted = engine.Submit(queries[i % queries.size()]);
+      if (submitted.ok()) {
+        futures.push_back(std::move(submitted).value());
+        break;
+      }
+      // Queue full: yield to the batcher instead of spinning.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  for (auto& f : futures) {
+    const auto reply = f.get();
+    EMBER_CHECK_MSG(reply.ok(), "request failed: %s",
+                    reply.status().ToString().c_str());
+  }
+  return timer.Seconds();
+}
+
+/// Sum of recorded durations for one span name, in milliseconds.
+double SpanTotalMs(const std::vector<obs::SpanRecord>& records,
+                   const char* name) {
+  double total = 0;
+  for (const auto& r : records) {
+    if (std::strcmp(r.name, name) == 0) total += r.duration_micros;
+  }
+  return total / 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(env, "exp24 / observability",
+                     "Tracing/metrics overhead (span-site micro + serve "
+                     "closed loop OFF vs ON) and per-stage attribution");
+
+  obs::Tracer& tracer = obs::Tracer::Global();
+
+  // --- (a) span-site microbenchmark. ---
+  tracer.SetEnabled(false);
+  tracer.Clear();
+  constexpr size_t kDisabledIters = 4'000'000;
+  WallTimer micro;
+  for (size_t i = 0; i < kDisabledIters; ++i) {
+    obs::Span span("exp24/micro_off");
+  }
+  const double disabled_ns = micro.Seconds() / kDisabledIters * 1e9;
+
+  constexpr size_t kEnabledIters = 400'000;
+  tracer.SetEnabled(true);
+  tracer.Clear();
+  micro.Restart();
+  for (size_t i = 0; i < kEnabledIters; ++i) {
+    obs::Span span("exp24/micro_on");
+    span.AddCount("i", i);
+  }
+  const double enabled_ns = micro.Seconds() / kEnabledIters * 1e9;
+  tracer.SetEnabled(false);
+  tracer.Clear();
+  std::printf("span site: disabled %.1f ns, enabled+counter %.1f ns\n\n",
+              disabled_ns, enabled_ns);
+
+  // --- Workload: the exp22 serving setup (D2, S-GTR-T5, exact index). ---
+  const datagen::CleanCleanDataset& d2 = bench::GetDataset("D2", env);
+  auto model = std::shared_ptr<embed::EmbeddingModel>(
+      embed::CreateModel(embed::ModelId::kSGtrT5));
+  model->Initialize();
+  la::Matrix corpus = bench::Vectors(*model, d2, /*left_side=*/false, env);
+  const std::vector<std::string> queries = d2.left.AllSentences();
+  serve::Snapshot snapshot = BuildSnapshot(corpus, model->info().code);
+  const size_t requests = std::clamp(queries.size(), size_t{64}, size_t{512});
+
+  // --- (b) fixed workload OFF / OFF / ON. Fresh engine per run so queue
+  // and histogram state never leak across measurements. ---
+  double seconds[3] = {0, 0, 0};
+  serve::EngineMetrics traced_metrics;
+  std::vector<obs::SpanRecord> records;
+  for (int run = 0; run < 3; ++run) {
+    const bool traced = run == 2;
+    tracer.Clear();
+    tracer.SetEnabled(traced);
+    auto engine = serve::Engine::Create(snapshot, model, ServeOptions());
+    EMBER_CHECK_MSG(engine.ok(), "engine: %s",
+                    engine.status().ToString().c_str());
+    seconds[run] = RunFixedLoad(*engine.value(), queries, requests);
+    if (traced) traced_metrics = engine.value()->Metrics();
+    // Join the workers BEFORE disabling/draining: the last batch's spans
+    // close on the worker thread after its futures are already fulfilled.
+    engine.value()->Stop();
+    tracer.SetEnabled(false);
+    if (traced) records = tracer.Drain();
+  }
+  const double off = std::min(seconds[0], seconds[1]);
+  const double noise_pct =
+      (std::max(seconds[0], seconds[1]) - off) / off * 100.0;
+  const double overhead_pct = (seconds[2] - off) / off * 100.0;
+  const double budget_pct = std::max(5.0, 2.0 * noise_pct);
+  const bool within_budget = overhead_pct <= budget_pct;
+
+  eval::Table overhead_table("exp24: tracing overhead (" +
+                             std::to_string(requests) + " requests, D2)");
+  overhead_table.SetHeader({"metric", "value"});
+  overhead_table.AddRow({"span_site_disabled_ns",
+                         eval::Table::Num(disabled_ns, 1)});
+  overhead_table.AddRow({"span_site_enabled_ns",
+                         eval::Table::Num(enabled_ns, 1)});
+  overhead_table.AddRow({"serve_off_s", eval::Table::Num(off, 3)});
+  overhead_table.AddRow({"serve_off_noise_pct",
+                         eval::Table::Num(noise_pct, 1)});
+  overhead_table.AddRow({"serve_on_s", eval::Table::Num(seconds[2], 3)});
+  overhead_table.AddRow({"serve_on_overhead_pct",
+                         eval::Table::Num(overhead_pct, 1)});
+  overhead_table.AddRow({"overhead_budget_pct",
+                         eval::Table::Num(budget_pct, 1)});
+  overhead_table.AddRow({"within_budget", within_budget ? "yes" : "NO"});
+  overhead_table.Print();
+  bench::SaveArtifact(env, "exp24_overhead", overhead_table);
+  if (!within_budget) {
+    std::printf("WARNING: traced run exceeded the overhead budget "
+                "(%.1f%% > %.1f%%)\n",
+                overhead_pct, budget_pct);
+  }
+
+  // --- (c) per-stage attribution from the traced run. ---
+  EMBER_CHECK_MSG(!records.empty(), "traced run recorded no spans");
+  const auto breakdown = obs::StageBreakdown(records);
+  eval::Table stage_table("exp24: per-stage latency attribution (traced run)");
+  stage_table.SetHeader({"stage", "spans", "total_ms", "self_ms"});
+  for (const auto& row : breakdown) {
+    stage_table.AddRow({row.name, std::to_string(row.spans),
+                        eval::Table::Num(row.total_micros / 1e3, 2),
+                        eval::Table::Num(row.self_micros / 1e3, 2)});
+  }
+  stage_table.Print();
+  bench::SaveArtifact(env, "exp24_stages", stage_table);
+
+  // Cross-check: the spans and the engine's own histograms timed the same
+  // stages with independent clocks; their totals must tell the same story.
+  std::printf("\nstage totals, spans vs engine histograms (ms):\n");
+  std::printf("  embed  %.2f vs %.2f\n", SpanTotalMs(records, "serve/embed"),
+              traced_metrics.embed_micros.sum / 1e3);
+  std::printf("  query  %.2f vs %.2f\n", SpanTotalMs(records, "serve/query"),
+              traced_metrics.query_micros.sum / 1e3);
+
+  const std::string trace_path = env.artifacts_dir + "/exp24_trace.json";
+  const Status written = obs::WriteChromeTrace(records, trace_path);
+  EMBER_CHECK_MSG(written.ok(), "trace write: %s",
+                  written.ToString().c_str());
+  std::printf("\nwrote %zu spans to %s (open at https://ui.perfetto.dev)\n",
+              records.size(), trace_path.c_str());
+  return 0;
+}

@@ -3,9 +3,11 @@
 # in both, run the fault-injection suite and an $EMBER_FAILPOINTS env smoke
 # under ASan, run the concurrency suites under ThreadSanitizer (serve/fault
 # repeated until-fail:3), prove the -DEMBER_FAILPOINTS_ENABLED=OFF build,
-# then smoke-run the micro-benchmarks and the serving/resilience benches on
-# the Release build. New warnings in src/la and src/nn fail the build
-# (-Werror on those targets).
+# then smoke-run the micro-benchmarks and the serving/resilience/
+# observability benches on the Release build, validate the metrics-dump /
+# trace-dump exporter output with a real parser, and hold src/obs+src/serve
+# to a >= 85% line-coverage floor (Debug+gcov leg). New warnings in src/la
+# and src/nn fail the build (-Werror on those targets).
 # Usage: ci/check.sh [-j N]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -64,10 +66,43 @@ EMBER_FAILPOINTS="snapshot/save=error:io" \
 echo "==> configure build-tsan (EMBER_SANITIZE=tsan)"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DEMBER_SANITIZE=tsan >/dev/null
 echo "==> build build-tsan"
-cmake --build build-tsan -j "${JOBS}" --target parallel_test serve_test fault_test determinism_test
+cmake --build build-tsan -j "${JOBS}" --target parallel_test serve_test fault_test determinism_test obs_test
 echo "==> ctest build-tsan (parallel/determinism once; serve/fault x3)"
 (cd build-tsan && ctest --output-on-failure -R '^(parallel|determinism)_test$')
-(cd build-tsan && ctest --output-on-failure --repeat until-fail:3 -R '^(serve|fault)_test$')
+(cd build-tsan && ctest --output-on-failure --repeat until-fail:3 -R '^(serve|fault|obs)_test$')
+
+# Coverage leg: Debug + gcov, run the obs/serve suites, and hold the line
+# on the subsystems this repo treats as infrastructure — src/obs and
+# src/serve each need >= 85% line coverage, so untested exporter or engine
+# paths fail the gate instead of rotting silently.
+echo "==> configure build-cov (EMBER_COVERAGE=ON)"
+cmake -B build-cov -S . -DCMAKE_BUILD_TYPE=Debug -DEMBER_COVERAGE=ON >/dev/null
+echo "==> build build-cov"
+cmake --build build-cov -j "${JOBS}" --target obs_test serve_test fault_test
+echo "==> ctest build-cov (obs/serve/fault) + coverage floor"
+(cd build-cov && find . -name '*.gcda' -delete && \
+  ctest --output-on-failure -R '^(obs|serve|fault)_test$')
+python3 - <<'PYEOF'
+import glob, re, subprocess, sys
+floor = 85.0
+failed = False
+for d in ["obs", "serve"]:
+    gcda = glob.glob(f"build-cov/src/{d}/CMakeFiles/ember_{d}.dir/*.gcda")
+    out = subprocess.run(["gcov", "-n"] + gcda, capture_output=True,
+                         text=True).stdout
+    total = covered = 0
+    for m in re.finditer(r"File '([^']+)'\nLines executed:([\d.]+)% of (\d+)",
+                         out):
+        path, pct, n = m.group(1), float(m.group(2)), int(m.group(3))
+        if f"/src/{d}/" in path:
+            total += n
+            covered += pct * n / 100.0
+    pct = covered / total * 100.0 if total else 0.0
+    status = "ok" if pct >= floor else "BELOW FLOOR"
+    print(f"coverage src/{d}: {pct:.1f}% of {total} lines ({status})")
+    failed |= pct < floor
+sys.exit(1 if failed else 0)
+PYEOF
 
 # No-failpoint leg: -DEMBER_FAILPOINTS_ENABLED=OFF must still build and pass
 # (injection tests skip themselves; the macro compiles to a no-op).
@@ -86,6 +121,27 @@ echo "==> exp22 serving smoke (Release)"
 
 echo "==> exp23 resilience smoke (Release)"
 ./build-release/bench/exp23_resilience --scale 0.05
+
+echo "==> exp24 observability smoke (Release)"
+./build-release/bench/exp24_observability --scale 0.05
+
+echo "==> metrics/trace CLI smoke (Release): exporters must be parseable"
+./build-release/tools/ember_cli metrics-dump D2 --scale 0.05 > /tmp/ember_metrics.prom
+grep -q '^# TYPE ember_serve_submitted_total counter$' /tmp/ember_metrics.prom
+grep -q 'ember_serve_queue_micros_bucket{.*le="+Inf"}' /tmp/ember_metrics.prom
+./build-release/tools/ember_cli metrics-dump D2 --scale 0.05 --json > /tmp/ember_metrics.json
+python3 -c "import json; json.load(open('/tmp/ember_metrics.json'))"
+./build-release/tools/ember_cli trace-dump D2 --scale 0.05 --out /tmp/ember_trace.json >/dev/null
+python3 - <<'PYEOF'
+import json
+trace = json.load(open("/tmp/ember_trace.json"))
+events = trace["traceEvents"]
+assert events, "trace-dump produced no spans"
+names = {e["name"] for e in events}
+for stage in ("serve/batch", "serve/embed", "serve/query", "serve/request"):
+    assert stage in names, f"missing stage span {stage}: {sorted(names)}"
+print(f"trace-dump: {len(events)} spans, {len(names)} distinct stages")
+PYEOF
 
 echo "==> serve CLI smoke (Release)"
 ./build-release/tools/ember_cli serve-bench D2 --scale 0.05 --qps 50 \

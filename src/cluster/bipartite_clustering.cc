@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace ember::cluster {
 
 void SortPairsDescending(std::vector<ScoredPair>& pairs) {
@@ -16,6 +18,8 @@ void SortPairsDescending(std::vector<ScoredPair>& pairs) {
 std::vector<std::pair<uint32_t, uint32_t>> UniqueMappingClustering(
     const std::vector<ScoredPair>& pairs, size_t n_left, size_t n_right,
     float threshold) {
+  obs::Span span("cluster/unique_mapping");
+  span.AddCount("pairs", pairs.size());
   std::vector<char> left_used(n_left, 0), right_used(n_right, 0);
   std::vector<std::pair<uint32_t, uint32_t>> matches;
   for (const ScoredPair& pair : pairs) {
@@ -31,6 +35,8 @@ std::vector<std::pair<uint32_t, uint32_t>> UniqueMappingClustering(
 std::vector<std::pair<uint32_t, uint32_t>> ExactClustering(
     const std::vector<ScoredPair>& pairs, size_t n_left, size_t n_right,
     float threshold) {
+  obs::Span span("cluster/exact");
+  span.AddCount("pairs", pairs.size());
   constexpr uint32_t kNone = 0xffffffffu;
   std::vector<uint32_t> best_left(n_left, kNone), best_right(n_right, kNone);
   std::vector<float> best_left_sim(n_left, -1.f), best_right_sim(n_right,
@@ -59,6 +65,8 @@ std::vector<std::pair<uint32_t, uint32_t>> ExactClustering(
 std::vector<std::pair<uint32_t, uint32_t>> KiralyClustering(
     const std::vector<ScoredPair>& pairs, size_t n_left, size_t n_right,
     float threshold) {
+  obs::Span span("cluster/kiraly");
+  span.AddCount("pairs", pairs.size());
   // Preference lists from the globally sorted pair stream: each left entity
   // proposes down its own list; right entities accept their best proposal
   // so far, freeing any previous fiancé (who resumes proposing).

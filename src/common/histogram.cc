@@ -46,6 +46,9 @@ double HistogramSnapshot::Percentile(double p) const {
   uint64_t total = 0;
   for (const uint64_t c : counts) total += c;
   if (total == 0) return 0;
+  // One sample has no within-bucket distribution to interpolate over: the
+  // recorded max IS that sample, exactly.
+  if (total == 1) return max;
   const double rank = p * static_cast<double>(total);
   uint64_t seen = 0;
   for (size_t i = 0; i < kBuckets; ++i) {
@@ -55,11 +58,19 @@ double HistogramSnapshot::Percentile(double p) const {
     if (static_cast<double>(seen) >= rank) {
       const double lower =
           i == 0 ? 0.0 : LatencyHistogram::BucketUpperBound(i - 1);
-      const double upper = LatencyHistogram::BucketUpperBound(i);
+      double upper = LatencyHistogram::BucketUpperBound(i);
+      // The top bucket absorbs every value >= 2^24, so its nominal bound
+      // says nothing about the mass inside it; interpolate toward the
+      // observed max instead of collapsing all-outlier histograms to the
+      // bound.
+      if (i == kBuckets - 1 && max > upper) upper = max;
       const double fraction =
           (rank - below) / static_cast<double>(counts[i]);
       const double value = lower + (upper - lower) * fraction;
-      return max > 0 && value > max ? max : value;
+      // Never report beyond the observed max: without this, an all-zero
+      // histogram (max == 0) would yield a positive "latency" interpolated
+      // out of bucket 0.
+      return value > max ? max : value;
     }
   }
   return max;

@@ -4,6 +4,7 @@
 
 #include "common/timer.h"
 #include "index/exact_index.h"
+#include "obs/trace.h"
 
 namespace ember::core {
 
@@ -16,6 +17,8 @@ namespace {
 std::vector<std::vector<index::Neighbor>> BuildAndQuery(
     la::Matrix data, const la::Matrix* queries, size_t k,
     const BlockingOptions& options, BlockingResult& result) {
+  obs::Span span("core/block_build_query");
+  span.AddCount("corpus_rows", data.rows());
   WallTimer timer;
   std::vector<std::vector<index::Neighbor>> neighbors;
   if (options.use_hnsw) {

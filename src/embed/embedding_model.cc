@@ -2,6 +2,7 @@
 
 #include "common/parallel.h"
 #include "common/timer.h"
+#include "obs/trace.h"
 
 namespace ember::embed {
 
@@ -19,10 +20,19 @@ la::Matrix EmbeddingModel::VectorizeAll(
     const std::vector<std::string>& sentences) {
   Initialize();
   la::Matrix out(sentences.size(), info_.dim);
+  obs::Span span("embed/vectorize_all");
+  span.AddCount("sentences", sentences.size());
+  const obs::SpanContext parent = span.context();
   // Deterministic data parallelism: each sentence writes only its own
   // preallocated row, and the chunking never depends on the thread count.
-  ParallelForEach(0, sentences.size(), 0, [&](size_t i) {
-    EncodeInto(sentences[i], out.Row(i));
+  // Chunk spans take the chunk offset as ordinal, so the span tree is
+  // identical at every thread count.
+  ParallelFor(0, sentences.size(), 0, [&](size_t lo, size_t hi) {
+    obs::Span chunk("embed/encode_chunk", parent, lo);
+    chunk.AddCount("rows", hi - lo);
+    for (size_t i = lo; i < hi; ++i) {
+      EncodeInto(sentences[i], out.Row(i));
+    }
   });
   return out;
 }

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "la/vector_ops.h"
 #include "text/tokenizer.h"
 
@@ -67,7 +68,13 @@ void TransformerEmbeddingModel::EncodeInto(const std::string& sentence,
     // zeroes the row first, so reusing scratch memory is safe).
     token_encoder_->Encode(tokens[t], scratch.embeds.Row(t));
   }
-  const la::Matrix& states = encoder_->Forward(scratch.embeds, scratch.workspace);
+  const la::Matrix* states_out = nullptr;
+  {
+    obs::Span forward_span("embed/transformer_forward");
+    forward_span.AddCount("tokens", tokens.size());
+    states_out = &encoder_->Forward(scratch.embeds, scratch.workspace);
+  }
+  const la::Matrix& states = *states_out;
 
   scratch.pooled.assign(dim, 0.f);
   float* pooled = scratch.pooled.data();

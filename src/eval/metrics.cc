@@ -57,7 +57,10 @@ std::vector<std::vector<double>> RankMatrix(
     const std::vector<std::vector<double>>& scores) {
   std::vector<std::vector<double>> ranks(scores.size());
   if (scores.empty()) return ranks;
-  const size_t cols = scores[0].size();
+  // Ragged input: rank only the columns every row has, instead of reading
+  // past the end of the short rows.
+  size_t cols = scores[0].size();
+  for (const auto& row : scores) cols = std::min(cols, row.size());
   for (auto& row : ranks) row.assign(cols + 1, 0.0);
   for (size_t c = 0; c < cols; ++c) {
     std::vector<size_t> order(scores.size());

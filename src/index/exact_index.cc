@@ -9,6 +9,7 @@
 #include "common/parallel.h"
 #include "la/matrix_io.h"
 #include "la/vector_ops.h"
+#include "obs/trace.h"
 
 namespace ember::index {
 
@@ -50,7 +51,11 @@ class TopK {
 
 }  // namespace
 
-void ExactIndex::Build(la::Matrix data) { data_ = std::move(data); }
+void ExactIndex::Build(la::Matrix data) {
+  obs::Span span("index/exact_build");
+  span.AddCount("rows", data.rows());
+  data_ = std::move(data);
+}
 
 std::vector<Neighbor> ExactIndex::Query(const float* query, size_t k) const {
   TopK top(std::min(k, data_.rows()));
@@ -75,6 +80,10 @@ std::vector<std::vector<Neighbor>> BruteForceTopK(const la::Matrix& data,
                                                   const la::Matrix& queries,
                                                   size_t k) {
   EMBER_CHECK(queries.cols() == data.cols() || data.rows() == 0);
+  obs::Span span("index/exact_query_batch");
+  span.AddCount("queries", queries.rows());
+  span.AddCount("corpus_rows", data.rows());
+  const obs::SpanContext parent = span.context();
   std::vector<std::vector<Neighbor>> results(queries.rows());
   if (data.rows() == 0) return results;
   const size_t kept = std::min(k, data.rows());
@@ -83,6 +92,8 @@ std::vector<std::vector<Neighbor>> BruteForceTopK(const la::Matrix& data,
   // Within a tile, scores come from GemmBt over (tile x data-block) panes —
   // bit-identical to Dot() per pair — consumed in ascending data order.
   ParallelFor(0, queries.rows(), kQueryBlock, [&](size_t qb, size_t qe) {
+    obs::Span chunk("index/exact_score_chunk", parent, qb);
+    chunk.AddCount("queries", qe - qb);
     for (size_t q0 = qb; q0 < qe; q0 += kQueryBlock) {
       const size_t q1 = std::min(q0 + kQueryBlock, qe);
       la::Matrix tile(q1 - q0, queries.cols());

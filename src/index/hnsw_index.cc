@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "la/matrix_io.h"
 #include "la/vector_ops.h"
+#include "obs/trace.h"
 
 namespace ember::index {
 
@@ -52,7 +53,8 @@ const std::vector<uint32_t>& HnswIndex::NeighborsOf(uint32_t node,
 std::vector<Neighbor> HnswIndex::SearchLayer(const float* query,
                                              Neighbor entry, size_t ef,
                                              size_t level,
-                                             VisitedSet& visited) const {
+                                             VisitedSet& visited,
+                                             SearchStats* stats) const {
   visited.Clear(data_.rows());
   visited.TestAndSet(entry.id);
   std::vector<Neighbor> frontier = {entry};  // min-heap
@@ -62,8 +64,10 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query,
     const Neighbor current = frontier.back();
     frontier.pop_back();
     if (best.size() >= ef && CloserThan(best.front(), current)) break;
+    if (stats != nullptr) ++stats->hops;
     for (const uint32_t next : NeighborsOf(current.id, level)) {
       if (visited.TestAndSet(next)) continue;
+      if (stats != nullptr) ++stats->distance_evals;
       const Neighbor candidate{next, DistanceTo(query, next)};
       if (best.size() < ef || CloserThan(candidate, best.front())) {
         frontier.push_back(candidate);
@@ -134,6 +138,8 @@ void HnswIndex::Insert(uint32_t node, size_t node_level) {
 }
 
 void HnswIndex::Build(la::Matrix data) {
+  obs::Span span("index/hnsw_build");
+  span.AddCount("rows", data.rows());
   data_ = std::move(data);
   links_.assign(data_.rows(), {});
   if (data_.rows() == 0) return;
@@ -155,15 +161,19 @@ void HnswIndex::Build(la::Matrix data) {
   }
 }
 
-std::vector<Neighbor> HnswIndex::Query(const float* query, size_t k) const {
+std::vector<Neighbor> HnswIndex::Query(const float* query, size_t k,
+                                       SearchStats* stats) const {
   if (data_.rows() == 0) return {};
   Neighbor entry{entry_, DistanceTo(query, entry_)};
+  if (stats != nullptr) ++stats->distance_evals;
   for (size_t level = max_level_; level > 0; --level) {
     bool improved = true;
     while (improved) {
       improved = false;
+      if (stats != nullptr) ++stats->hops;
       for (const uint32_t next : NeighborsOf(entry.id, level)) {
         const float d = DistanceTo(query, next);
+        if (stats != nullptr) ++stats->distance_evals;
         if (d < entry.distance) {
           entry = {next, d};
           improved = true;
@@ -171,17 +181,32 @@ std::vector<Neighbor> HnswIndex::Query(const float* query, size_t k) const {
       }
     }
   }
-  std::vector<Neighbor> best = SearchLayer(
-      query, entry, std::max(k, options_.ef_search), 0, QueryVisited());
+  std::vector<Neighbor> best =
+      SearchLayer(query, entry, std::max(k, options_.ef_search), 0,
+                  QueryVisited(), stats);
   if (best.size() > k) best.resize(k);
   return best;
 }
 
 std::vector<std::vector<Neighbor>> HnswIndex::QueryBatch(
     const la::Matrix& queries, size_t k) const {
+  obs::Span span("index/hnsw_query_batch");
+  span.AddCount("queries", queries.rows());
+  const obs::SpanContext parent = span.context();
   std::vector<std::vector<Neighbor>> results(queries.rows());
   ParallelForEach(0, queries.rows(), 0, [&](size_t q) {
-    results[q] = Query(queries.Row(q), k);
+    // Per-query spans are keyed by the query index, and the search-work
+    // counters ride on the span; with tracing off the stats pointer is
+    // null and Query's counting branches never fire.
+    if (obs::Tracer::Enabled()) {
+      obs::Span query_span("index/hnsw_query", parent, q);
+      SearchStats stats;
+      results[q] = Query(queries.Row(q), k, &stats);
+      query_span.AddCount("hops", stats.hops);
+      query_span.AddCount("distance_evals", stats.distance_evals);
+    } else {
+      results[q] = Query(queries.Row(q), k);
+    }
   });
   return results;
 }

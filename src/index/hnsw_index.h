@@ -24,6 +24,14 @@ struct HnswOptions {
   uint64_t seed = 1;
 };
 
+/// Work counters for one HNSW search, filled when the caller asks (the
+/// traced QueryBatch path attaches them as span counters). Counting is
+/// opt-in: a null stats pointer keeps the hot loop increment-free.
+struct SearchStats {
+  uint64_t hops = 0;            // nodes expanded (greedy steps + beam pops)
+  uint64_t distance_evals = 0;  // la::Dot calls against the corpus
+};
+
 /// Epoch-stamped visited set (the hnswlib VisitedList trick): clearing
 /// between searches is one epoch increment instead of an O(n) allocation +
 /// memset, so the buffer is reused across every SearchLayer of a query and
@@ -74,7 +82,10 @@ class HnswIndex {
   /// Build).
   const la::Matrix& data() const { return data_; }
 
-  std::vector<Neighbor> Query(const float* query, size_t k) const;
+  /// `stats`, when non-null, accumulates the search's hop/distance-eval
+  /// counts (it is not reset: callers aggregate across queries).
+  std::vector<Neighbor> Query(const float* query, size_t k,
+                              SearchStats* stats = nullptr) const;
 
   std::vector<std::vector<Neighbor>> QueryBatch(const la::Matrix& queries,
                                                 size_t k) const;
@@ -101,7 +112,8 @@ class HnswIndex {
   /// closest nodes, ascending. `visited` is caller-provided scratch.
   std::vector<Neighbor> SearchLayer(const float* query, Neighbor entry,
                                     size_t ef, size_t level,
-                                    VisitedSet& visited) const;
+                                    VisitedSet& visited,
+                                    SearchStats* stats = nullptr) const;
   void Insert(uint32_t node, size_t node_level);
   std::vector<uint32_t>& NeighborsOf(uint32_t node, size_t level);
   const std::vector<uint32_t>& NeighborsOf(uint32_t node, size_t level) const;

@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "la/matrix_io.h"
 #include "la/vector_ops.h"
+#include "obs/trace.h"
 
 namespace ember::index {
 
@@ -23,6 +24,8 @@ uint32_t LshIndex::HashOf(const float* vector, size_t table) const {
 }
 
 void LshIndex::Build(la::Matrix data) {
+  obs::Span span("index/lsh_build");
+  span.AddCount("rows", data.rows());
   data_ = std::move(data);
   buckets_.assign(options_.tables, {});
   if (data_.rows() == 0) return;
@@ -65,9 +68,16 @@ std::vector<Neighbor> LshIndex::Query(const float* query, size_t k) const {
 
 std::vector<std::vector<Neighbor>> LshIndex::QueryBatch(
     const la::Matrix& queries, size_t k) const {
+  obs::Span span("index/lsh_query_batch");
+  span.AddCount("queries", queries.rows());
+  const obs::SpanContext parent = span.context();
   std::vector<std::vector<Neighbor>> results(queries.rows());
-  ParallelForEach(0, queries.rows(), 0, [&](size_t q) {
-    results[q] = Query(queries.Row(q), k);
+  ParallelFor(0, queries.rows(), 0, [&](size_t lo, size_t hi) {
+    obs::Span chunk("index/lsh_query_chunk", parent, lo);
+    chunk.AddCount("queries", hi - lo);
+    for (size_t q = lo; q < hi; ++q) {
+      results[q] = Query(queries.Row(q), k);
+    }
   });
   return results;
 }

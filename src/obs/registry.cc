@@ -1,0 +1,340 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ember::obs {
+
+namespace {
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+/// Prometheus/JSON share the same escaping needs for label values.
+void AppendEscaped(std::string& out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+/// Integers render without a decimal point so counter series read
+/// naturally; everything else gets shortest-round-trip %.17g trimmed
+/// through %.6g precision (metrics are statistics, not bit patterns).
+void AppendNumber(std::string& out, double value) {
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      value >= -9.2e18 && value <= 9.2e18) {
+    out += std::to_string(static_cast<int64_t>(value));
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out += buf;
+}
+
+void AppendLabels(std::string& out, const Labels& labels) {
+  if (labels.empty()) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    AppendEscaped(out, value);
+    out += '"';
+  }
+  out += '}';
+}
+
+/// Labels plus one extra pair (for histogram `le=`), keeping sort order
+/// irrelevant: `le` is appended last, matching common exporters.
+void AppendLabelsWithLe(std::string& out, const Labels& labels,
+                        const std::string& le) {
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    AppendEscaped(out, value);
+    out += '"';
+  }
+  if (!first) out += ',';
+  out += "le=\"";
+  out += le;
+  out += '"';
+  out += '}';
+}
+
+std::string FormatLe(double upper) {
+  std::string out;
+  AppendNumber(out, upper);
+  return out;
+}
+
+}  // namespace
+
+Registry& Registry::Global() {
+  static Registry* const kRegistry = new Registry();
+  return *kRegistry;
+}
+
+Registry::Instrument& Registry::GetOrCreate(const std::string& name,
+                                            const std::string& help,
+                                            const Labels& labels,
+                                            MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto key = std::make_pair(name, labels);
+  auto it = instruments_.find(key);
+  if (it != instruments_.end()) {
+    if (it->second->kind != kind) {
+      std::fprintf(stderr,
+                   "obs::Registry: metric '%s' re-requested as %s but "
+                   "registered as %s\n",
+                   name.c_str(), KindName(kind), KindName(it->second->kind));
+      std::abort();
+    }
+    return *it->second;
+  }
+  auto instrument = std::make_unique<Instrument>();
+  instrument->kind = kind;
+  instrument->name = name;
+  instrument->help = help;
+  instrument->labels = labels;
+  switch (kind) {
+    case MetricKind::kCounter:
+      instrument->counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      instrument->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      instrument->histogram = std::make_unique<LatencyHistogram>();
+      break;
+  }
+  Instrument& ref = *instrument;
+  instruments_.emplace(std::move(key), std::move(instrument));
+  return ref;
+}
+
+Counter& Registry::GetCounter(const std::string& name, const std::string& help,
+                              const Labels& labels) {
+  return *GetOrCreate(name, help, labels, MetricKind::kCounter).counter;
+}
+
+Gauge& Registry::GetGauge(const std::string& name, const std::string& help,
+                          const Labels& labels) {
+  return *GetOrCreate(name, help, labels, MetricKind::kGauge).gauge;
+}
+
+LatencyHistogram& Registry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         const Labels& labels) {
+  return *GetOrCreate(name, help, labels, MetricKind::kHistogram).histogram;
+}
+
+uint64_t Registry::AddCollector(Collector collector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_collector_id_++;
+  collectors_.emplace(id, std::move(collector));
+  return id;
+}
+
+void Registry::RemoveCollector(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.erase(id);
+}
+
+std::vector<Sample> Registry::Collect() const {
+  std::vector<Sample> samples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples.reserve(instruments_.size());
+    for (const auto& [key, instrument] : instruments_) {
+      Sample sample;
+      sample.name = instrument->name;
+      sample.help = instrument->help;
+      sample.kind = instrument->kind;
+      sample.labels = instrument->labels;
+      switch (instrument->kind) {
+        case MetricKind::kCounter:
+          sample.value = static_cast<double>(instrument->counter->Value());
+          break;
+        case MetricKind::kGauge:
+          sample.value = instrument->gauge->Value();
+          break;
+        case MetricKind::kHistogram:
+          sample.histogram = instrument->histogram->Snapshot();
+          break;
+      }
+      samples.push_back(std::move(sample));
+    }
+    for (const auto& [id, collector] : collectors_) {
+      std::vector<Sample> extra = collector();
+      for (Sample& sample : extra) samples.push_back(std::move(sample));
+    }
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return samples;
+}
+
+std::string Registry::ToPrometheusText() const {
+  const std::vector<Sample> samples = Collect();
+  std::string out;
+  out.reserve(samples.size() * 96 + 64);
+  std::string last_family;
+  for (const Sample& sample : samples) {
+    if (sample.name != last_family) {
+      last_family = sample.name;
+      out += "# HELP ";
+      out += sample.name;
+      out += ' ';
+      out += sample.help.empty() ? "(no help)" : sample.help;
+      out += '\n';
+      out += "# TYPE ";
+      out += sample.name;
+      out += ' ';
+      out += KindName(sample.kind);
+      out += '\n';
+    }
+    if (sample.kind != MetricKind::kHistogram) {
+      out += sample.name;
+      AppendLabels(out, sample.labels);
+      out += ' ';
+      AppendNumber(out, sample.value);
+      out += '\n';
+      continue;
+    }
+    // Histogram: cumulative buckets. The 96 geometric buckets are sparse
+    // in practice, so only boundaries whose cumulative count changes are
+    // emitted (plus +Inf, which Prometheus requires).
+    const HistogramSnapshot& h = sample.histogram;
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      if (h.counts[i] == 0) continue;
+      cumulative += h.counts[i];
+      out += sample.name;
+      out += "_bucket";
+      AppendLabelsWithLe(out, sample.labels,
+                         FormatLe(LatencyHistogram::BucketUpperBound(i)));
+      out += ' ';
+      AppendNumber(out, static_cast<double>(cumulative));
+      out += '\n';
+    }
+    out += sample.name;
+    out += "_bucket";
+    AppendLabelsWithLe(out, sample.labels, "+Inf");
+    out += ' ';
+    AppendNumber(out, static_cast<double>(h.count));
+    out += '\n';
+    out += sample.name;
+    out += "_sum";
+    AppendLabels(out, sample.labels);
+    out += ' ';
+    AppendNumber(out, h.sum);
+    out += '\n';
+    out += sample.name;
+    out += "_count";
+    AppendLabels(out, sample.labels);
+    out += ' ';
+    AppendNumber(out, static_cast<double>(h.count));
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Registry::ToJson() const {
+  const std::vector<Sample> samples = Collect();
+  std::string out;
+  out.reserve(samples.size() * 128 + 16);
+  out += "[";
+  bool first = true;
+  for (const Sample& sample : samples) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":\"";
+    AppendEscaped(out, sample.name);
+    out += "\",\"kind\":\"";
+    out += KindName(sample.kind);
+    out += "\",\"labels\":{";
+    bool first_label = true;
+    for (const auto& [key, value] : sample.labels) {
+      if (!first_label) out += ',';
+      first_label = false;
+      out += '"';
+      AppendEscaped(out, key);
+      out += "\":\"";
+      AppendEscaped(out, value);
+      out += '"';
+    }
+    out += '}';
+    if (sample.kind != MetricKind::kHistogram) {
+      out += ",\"value\":";
+      AppendNumber(out, sample.value);
+    } else {
+      const HistogramSnapshot& h = sample.histogram;
+      out += ",\"count\":";
+      AppendNumber(out, static_cast<double>(h.count));
+      out += ",\"sum\":";
+      AppendNumber(out, h.sum);
+      out += ",\"max\":";
+      AppendNumber(out, h.max);
+      out += ",\"p50\":";
+      AppendNumber(out, h.Percentile(0.50));
+      out += ",\"p99\":";
+      AppendNumber(out, h.Percentile(0.99));
+      out += ",\"buckets\":[";
+      bool first_bucket = true;
+      for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+        if (h.counts[i] == 0) continue;
+        if (!first_bucket) out += ',';
+        first_bucket = false;
+        out += "{\"le\":";
+        AppendNumber(out, LatencyHistogram::BucketUpperBound(i));
+        out += ",\"count\":";
+        AppendNumber(out, static_cast<double>(h.counts[i]));
+        out += '}';
+      }
+      out += ']';
+    }
+    out += '}';
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  instruments_.clear();
+  collectors_.clear();
+  next_collector_id_ = 1;
+}
+
+}  // namespace ember::obs

@@ -1,0 +1,146 @@
+#ifndef EMBER_OBS_REGISTRY_H_
+#define EMBER_OBS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+/// Central metrics registry (DESIGN.md §11).
+///
+/// One process-global (or test-local) Registry owns every named metric and
+/// renders them for scraping. Three instrument kinds, all built on the
+/// primitives the codebase already uses:
+///   - Counter: monotone uint64, relaxed atomics (the serve engine idiom);
+///   - Gauge: last-written double, for levels like queue depth;
+///   - Histogram: common/histogram LatencyHistogram, re-exposed with its
+///     geometric buckets intact so Prometheus sees real `le=` boundaries.
+/// Handles returned by GetCounter/GetGauge/GetHistogram are stable for the
+/// registry's lifetime; hot-path updates never touch the registry mutex.
+///
+/// Components whose metrics already live in their own structs (e.g.
+/// serve::EngineMetrics) register a *collector* callback instead of
+/// mirroring every counter: at scrape time the registry invokes collectors
+/// and splices their samples into the export alongside owned metrics.
+namespace ember::obs {
+
+/// Sorted key=value metric labels, e.g. {{"model","sbert"}}. Ordering makes
+/// label sets canonical so (name, labels) is a stable identity.
+using Labels = std::map<std::string, std::string>;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One exported time series: a scalar for counters/gauges, a snapshot for
+/// histograms. Collectors produce these; exporters render them.
+struct Sample {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  Labels labels;
+  double value = 0;               // counters and gauges
+  HistogramSnapshot histogram{};  // kind == kHistogram only
+};
+
+/// Monotone counter handle. Add/Increment are lock-free relaxed atomics.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value gauge handle (queue depth, in-flight requests).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+class Registry {
+ public:
+  /// Callback returning samples for externally-owned metrics. Invoked under
+  /// the registry mutex at scrape time, so Unregister() is a clean barrier:
+  /// once it returns, the callback will never run again.
+  using Collector = std::function<std::vector<Sample>()>;
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Process-global instance used by default instrumentation.
+  static Registry& Global();
+
+  /// Returns the metric with this (name, labels) identity, creating it on
+  /// first use. The reference stays valid for the registry's lifetime.
+  /// `help` is recorded on first creation. A name must keep one kind:
+  /// requesting an existing name as a different kind aborts (programmer
+  /// error, same contract as registering two gtest fixtures per name).
+  Counter& GetCounter(const std::string& name, const std::string& help,
+                      const Labels& labels = {});
+  Gauge& GetGauge(const std::string& name, const std::string& help,
+                  const Labels& labels = {});
+  LatencyHistogram& GetHistogram(const std::string& name,
+                                 const std::string& help,
+                                 const Labels& labels = {});
+
+  /// Registers a collector; returns an id for RemoveCollector.
+  uint64_t AddCollector(Collector collector);
+  void RemoveCollector(uint64_t id);
+
+  /// All samples — owned metrics plus collector output — sorted by
+  /// (name, labels) so exports are deterministic.
+  std::vector<Sample> Collect() const;
+
+  /// Prometheus text exposition format (text/plain; version 0.0.4):
+  /// `# HELP` / `# TYPE` per family, histograms as cumulative
+  /// `_bucket{le="..."}` series plus `_sum` and `_count`.
+  std::string ToPrometheusText() const;
+
+  /// The same samples as a JSON array of objects.
+  std::string ToJson() const;
+
+  /// Drops every owned metric and collector (tests only).
+  void Reset();
+
+ private:
+  struct Instrument {
+    MetricKind kind;
+    std::string name;
+    std::string help;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+
+  Instrument& GetOrCreate(const std::string& name, const std::string& help,
+                          const Labels& labels, MetricKind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, Labels>, std::unique_ptr<Instrument>>
+      instruments_;
+  std::map<uint64_t, Collector> collectors_;
+  uint64_t next_collector_id_ = 1;
+};
+
+}  // namespace ember::obs
+
+#endif  // EMBER_OBS_REGISTRY_H_

@@ -1,0 +1,241 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace ember::obs {
+
+namespace {
+
+/// Innermost open span on this thread; implicit Span(name) children hang
+/// off it. Plain pointer: only the owning thread reads or writes it.
+thread_local Span* tls_current_span = nullptr;
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             SteadyNow().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+/// Per-thread span ring. The owning thread appends under `mu`; Drain and
+/// Clear lock the same mutex from other threads. The mutex is uncontended
+/// on the hot path (Drain is a post-run operation), so the append cost is
+/// one atomic RMW pair — well inside the <=5% enabled-overhead budget.
+struct Tracer::ThreadBuffer {
+  std::mutex mu;
+  std::vector<SpanRecord> ring;
+  size_t capacity = 0;
+  uint64_t total = 0;  // lifetime appends; total - stored = dropped
+  uint32_t index = 0;  // stable thread index, assigned at registration
+
+  void Append(const SpanRecord& record) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (ring.size() < capacity) {
+      ring.push_back(record);
+    } else if (capacity > 0) {
+      ring[total % capacity] = record;
+    }
+    ++total;
+  }
+};
+
+Tracer::Tracer() : epoch_nanos_(NowNanos()) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* const kTracer = new Tracer();
+  return *kTracer;
+}
+
+void Tracer::SetEnabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  for (ThreadBuffer* buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->ring.clear();
+    buffer->total = 0;
+  }
+  root_ordinal_.store(0, std::memory_order_relaxed);
+  epoch_nanos_.store(NowNanos(), std::memory_order_relaxed);
+}
+
+void Tracer::SetRingCapacity(size_t spans) {
+  ring_capacity_.store(spans, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  for (ThreadBuffer* buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->ring.clear();
+    buffer->ring.reserve(spans);
+    buffer->capacity = spans;
+    buffer->total = 0;
+  }
+}
+
+Tracer::ThreadBuffer& Tracer::LocalBuffer() {
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    buffer = new ThreadBuffer();  // leaked: records must outlive the thread
+    buffer->capacity = ring_capacity_.load(std::memory_order_relaxed);
+    buffer->ring.reserve(buffer->capacity);
+    std::lock_guard<std::mutex> lock(buffers_mu_);
+    buffer->index = static_cast<uint32_t>(buffers_.size());
+    buffers_.push_back(buffer);
+  }
+  return *buffer;
+}
+
+void Tracer::Record(const SpanRecord& record) {
+  ThreadBuffer& buffer = LocalBuffer();
+  SpanRecord stamped = record;
+  stamped.thread_index = buffer.index;
+  buffer.Append(stamped);
+}
+
+uint64_t Tracer::NextRootOrdinal() {
+  return root_ordinal_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> Tracer::Drain() const {
+  std::vector<SpanRecord> all;
+  {
+    std::lock_guard<std::mutex> lock(buffers_mu_);
+    for (ThreadBuffer* buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      const size_t stored = buffer->ring.size();
+      // Oldest-first: the ring wraps at total % capacity.
+      const size_t head =
+          buffer->total > stored ? buffer->total % buffer->capacity : 0;
+      for (size_t i = 0; i < stored; ++i) {
+        all.push_back(buffer->ring[(head + i) % stored]);
+      }
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_micros != b.start_micros) {
+                return a.start_micros < b.start_micros;
+              }
+              return a.span_id < b.span_id;
+            });
+  return all;
+}
+
+uint64_t Tracer::DroppedCount() const {
+  uint64_t dropped = 0;
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  for (ThreadBuffer* buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    dropped += buffer->total - buffer->ring.size();
+  }
+  return dropped;
+}
+
+double Tracer::NowMicros() const {
+  const int64_t epoch = epoch_nanos_.load(std::memory_order_relaxed);
+  return static_cast<double>(NowNanos() - epoch) * 1e-3;
+}
+
+double Tracer::MicrosSinceEpoch(SteadyTime t) const {
+  const int64_t epoch = epoch_nanos_.load(std::memory_order_relaxed);
+  const int64_t nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            t.time_since_epoch())
+                            .count();
+  return static_cast<double>(nanos - epoch) * 1e-3;
+}
+
+uint64_t DeriveSpanId(uint64_t parent_id, const char* name, uint64_t ordinal) {
+  const uint64_t name_hash = HashBytes(name, std::strlen(name));
+  uint64_t id = SplitMix64(parent_id ^ name_hash ^
+                           (ordinal * 0x9e3779b97f4a7c15ULL + 1));
+  // 0 is the "no parent" sentinel; remap the (2^-64) collision.
+  return id == 0 ? 1 : id;
+}
+
+void Span::Open(const char* name, uint64_t trace_id, uint64_t parent_id,
+                uint64_t ordinal) {
+  active_ = true;
+  record_.name = name;
+  record_.parent_id = parent_id;
+  record_.span_id = DeriveSpanId(parent_id, name, ordinal);
+  record_.trace_id = trace_id == 0 ? record_.span_id : trace_id;
+  record_.start_micros = Tracer::Global().NowMicros();
+  prev_ = tls_current_span;
+  tls_current_span = this;
+}
+
+Span::Span(const char* name) {
+  if (!Tracer::Enabled()) return;
+  Span* parent = tls_current_span;
+  if (parent != nullptr && parent->active_) {
+    Open(name, parent->record_.trace_id, parent->record_.span_id,
+         parent->next_child_++);
+  } else {
+    Open(name, 0, 0, Tracer::Global().NextRootOrdinal());
+  }
+}
+
+Span::Span(const char* name, const SpanContext& parent, uint64_t ordinal) {
+  if (!Tracer::Enabled()) return;
+  if (parent.valid()) {
+    Open(name, parent.trace_id, parent.span_id, ordinal);
+  } else {
+    Open(name, 0, 0, ordinal);
+  }
+}
+
+Span::Span(const char* name, RootTag, uint64_t ordinal) {
+  if (!Tracer::Enabled()) return;
+  Open(name, 0, 0, ordinal);
+}
+
+Span::~Span() {
+  if (!active_) return;
+  tls_current_span = prev_;
+  record_.duration_micros =
+      Tracer::Global().NowMicros() - record_.start_micros;
+  Tracer::Global().Record(record_);
+}
+
+void Span::AddCount(const char* name, uint64_t delta) {
+  if (!active_) return;
+  for (SpanRecord::Counter& slot : record_.counters) {
+    if (slot.name == nullptr) {
+      slot.name = name;
+      slot.value = delta;
+      return;
+    }
+    if (slot.name == name || std::strcmp(slot.name, name) == 0) {
+      slot.value += delta;
+      return;
+    }
+  }
+  // All slots taken by other names: the count is dropped by design.
+}
+
+SpanContext Span::context() const {
+  if (!active_) return SpanContext{};
+  return SpanContext{record_.trace_id, record_.span_id};
+}
+
+void EmitSpan(const char* name, const SpanContext& parent, uint64_t ordinal,
+              SteadyTime start, SteadyTime end) {
+  if (!Tracer::Enabled()) return;
+  Tracer& tracer = Tracer::Global();
+  SpanRecord record;
+  record.name = name;
+  record.parent_id = parent.span_id;
+  record.span_id = DeriveSpanId(parent.span_id, name, ordinal);
+  record.trace_id = parent.valid() ? parent.trace_id : record.span_id;
+  record.start_micros = tracer.MicrosSinceEpoch(start);
+  record.duration_micros =
+      tracer.MicrosSinceEpoch(end) - record.start_micros;
+  tracer.Record(record);
+}
+
+}  // namespace ember::obs

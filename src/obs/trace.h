@@ -1,0 +1,173 @@
+#ifndef EMBER_OBS_TRACE_H_
+#define EMBER_OBS_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/timer.h"
+
+/// Span-based structured tracing (DESIGN.md §11).
+///
+/// The idiom mirrors common/failpoint.h: a process-global Tracer that costs
+/// one relaxed atomic load per would-be span while disabled, and cheap
+/// per-thread ring buffers while enabled. Library code opens obs::Span RAII
+/// objects around its stages; the finished spans accumulate per thread and
+/// Drain() merges them into one chronological record stream that the
+/// exporters (obs/trace_export.h) turn into a Chrome trace_event file any
+/// Perfetto instance can open.
+///
+/// Span identity is DETERMINISTIC, never random: a span's 64-bit id is a
+/// SplitMix64 mix of (parent id, static name, ordinal). For sequential code
+/// the ordinal is the parent's running child count (single-threaded, so
+/// reproducible); for parallel sections the instrumentation passes an
+/// explicit ordinal that only depends on the data partition (a ParallelFor
+/// chunk offset, a batch number, a query index) — NEVER on the thread
+/// count — so the id set and the parent/child tree of a traced run are
+/// bit-identical at 1, 2, 4, or 8 threads, and golden-trace tests can
+/// assert exact tree structure.
+namespace ember::obs {
+
+/// One finished span, as stored in the ring buffers and returned by Drain.
+struct SpanRecord {
+  static constexpr size_t kMaxCounters = 4;
+
+  /// A named monotone count attached to the span (HNSW hops, rows encoded).
+  struct Counter {
+    const char* name = nullptr;  // nullptr = unused slot
+    uint64_t value = 0;
+  };
+
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  // 0 = trace root
+  const char* name = nullptr;  // static-lifetime string, never owned
+  double start_micros = 0;     // relative to the tracer epoch
+  double duration_micros = 0;
+  uint32_t thread_index = 0;   // ring-buffer owner, stable per thread
+  std::array<Counter, kMaxCounters> counters{};
+};
+
+/// Identity handle passed across threads so a parallel worker can parent
+/// its span under the spawning span (span_id == 0 means "no parent": the
+/// child becomes a trace root).
+struct SpanContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  bool valid() const { return span_id != 0; }
+};
+
+/// Process-global trace collector. All methods are thread-safe.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Hot-path gate: one relaxed load, mirroring fail::Check.
+  static bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+  /// Turns span recording on/off. Enabling does not clear prior records;
+  /// spans already open when tracing is disabled still record on close (so
+  /// trees are never torn), new spans become no-ops.
+  void SetEnabled(bool on);
+
+  /// Drops every buffered record and resets the epoch and the root-span
+  /// ordinal counter, so a fresh traced run is reproducible bit-for-bit.
+  void Clear();
+
+  /// Per-thread ring capacity in spans (default 8192). Applies to every
+  /// existing and future thread buffer; resizing clears existing buffers.
+  void SetRingCapacity(size_t spans);
+
+  /// Snapshot of every thread's buffered spans, merged and sorted by
+  /// (start time, span id). Cheap enough to call after a run, not per span.
+  std::vector<SpanRecord> Drain() const;
+
+  /// Total spans overwritten by ring wraparound since the last Clear.
+  uint64_t DroppedCount() const;
+
+  /// Microseconds since the tracer epoch (monotonic clock).
+  double NowMicros() const;
+  double MicrosSinceEpoch(SteadyTime t) const;
+
+  // Internal use by Span/EmitSpan.
+  void Record(const SpanRecord& record);
+  uint64_t NextRootOrdinal();
+
+ private:
+  Tracer();
+  struct ThreadBuffer;
+  ThreadBuffer& LocalBuffer();
+
+  inline static std::atomic<bool> g_enabled{false};
+  std::atomic<int64_t> epoch_nanos_;
+  std::atomic<uint64_t> root_ordinal_{0};
+  std::atomic<size_t> ring_capacity_{8192};
+
+  mutable std::mutex buffers_mu_;
+  std::vector<ThreadBuffer*> buffers_;  // leaked on purpose: records outlive threads
+};
+
+/// Deterministic span id: SplitMix64 over (parent id, name hash, ordinal).
+uint64_t DeriveSpanId(uint64_t parent_id, const char* name, uint64_t ordinal);
+
+/// RAII span. Measures [construction, destruction) on the monotonic clock
+/// and records itself into the calling thread's ring buffer on close.
+/// `name` must have static lifetime (string literals): records store the
+/// pointer, never a copy. Non-copyable, stack-only.
+class Span {
+ public:
+  struct RootTag {};
+
+  /// Child of the calling thread's innermost open span; a trace root when
+  /// there is none. The ordinal is the parent's running child count, which
+  /// is deterministic because one span's implicit children are always
+  /// created by the single thread that owns it.
+  explicit Span(const char* name);
+
+  /// Child of an explicit parent with a caller-chosen ordinal — the form
+  /// parallel sections must use, passing a schedule-independent ordinal
+  /// (chunk offset, query index) so ids do not depend on thread count.
+  Span(const char* name, const SpanContext& parent, uint64_t ordinal);
+
+  /// Deterministic trace root keyed by an explicit ordinal (e.g. the serve
+  /// engine's batch number) instead of the global root counter.
+  Span(const char* name, RootTag, uint64_t ordinal);
+
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Adds `delta` to the span counter `name` (static string; at most
+  /// SpanRecord::kMaxCounters distinct names per span, extras are dropped).
+  void AddCount(const char* name, uint64_t delta);
+
+  /// Handle for parenting cross-thread children. Invalid when inactive.
+  SpanContext context() const;
+
+  /// False when the tracer was disabled at construction: every method is a
+  /// no-op and nothing records.
+  bool active() const { return active_; }
+
+ private:
+  void Open(const char* name, uint64_t trace_id, uint64_t parent_id,
+            uint64_t ordinal);
+
+  SpanRecord record_;
+  Span* prev_ = nullptr;        // enclosing span on this thread
+  uint64_t next_child_ = 0;     // ordinals of implicit children
+  bool active_ = false;
+};
+
+/// Records a span directly from explicit timestamps — for lifetimes that
+/// cross threads and cannot be an RAII scope (e.g. a serve request from
+/// enqueue on the client thread to completion on the worker). No-op while
+/// the tracer is disabled.
+void EmitSpan(const char* name, const SpanContext& parent, uint64_t ordinal,
+              SteadyTime start, SteadyTime end);
+
+}  // namespace ember::obs
+
+#endif  // EMBER_OBS_TRACE_H_

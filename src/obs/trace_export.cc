@@ -1,0 +1,138 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+namespace ember::obs {
+
+namespace {
+
+void AppendEscaped(std::string& out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendHexId(std::string& out, uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "\"0x%" PRIx64 "\"", id);
+  out += buf;
+}
+
+void AppendMicros(std::string& out, double micros) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", micros);
+  out += buf;
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const std::vector<SpanRecord>& records) {
+  std::string out;
+  out.reserve(records.size() * 192 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& record : records) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":\"";
+    AppendEscaped(out, record.name == nullptr ? "(unnamed)" : record.name);
+    out += "\",\"cat\":\"ember\",\"ph\":\"X\",\"ts\":";
+    AppendMicros(out, record.start_micros);
+    out += ",\"dur\":";
+    AppendMicros(out, record.duration_micros);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(record.thread_index);
+    out += ",\"args\":{\"trace_id\":";
+    AppendHexId(out, record.trace_id);
+    out += ",\"span_id\":";
+    AppendHexId(out, record.span_id);
+    out += ",\"parent_id\":";
+    AppendHexId(out, record.parent_id);
+    for (const SpanRecord::Counter& counter : record.counters) {
+      if (counter.name == nullptr) continue;
+      out += ",\"";
+      AppendEscaped(out, counter.name);
+      out += "\":";
+      out += std::to_string(counter.value);
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const std::vector<SpanRecord>& records,
+                        const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IoError("cannot open trace file: " + path);
+  const std::string json = ToChromeTraceJson(records);
+  file.write(json.data(), static_cast<std::streamsize>(json.size()));
+  file.flush();
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+std::vector<StageBreakdownRow> StageBreakdown(
+    const std::vector<SpanRecord>& records) {
+  // Child time per parent span, so a stage's self time excludes sub-stages.
+  std::unordered_map<uint64_t, double> child_micros;
+  child_micros.reserve(records.size());
+  for (const SpanRecord& record : records) {
+    if (record.parent_id != 0) {
+      child_micros[record.parent_id] += record.duration_micros;
+    }
+  }
+  std::unordered_map<std::string, StageBreakdownRow> by_name;
+  for (const SpanRecord& record : records) {
+    const char* name = record.name == nullptr ? "(unnamed)" : record.name;
+    StageBreakdownRow& row = by_name[name];
+    row.name = name;
+    ++row.spans;
+    row.total_micros += record.duration_micros;
+    double self = record.duration_micros;
+    auto it = child_micros.find(record.span_id);
+    if (it != child_micros.end()) self -= it->second;
+    row.self_micros += self > 0 ? self : 0;
+  }
+  std::vector<StageBreakdownRow> rows;
+  rows.reserve(by_name.size());
+  for (auto& [name, row] : by_name) rows.push_back(row);
+  std::sort(rows.begin(), rows.end(),
+            [](const StageBreakdownRow& a, const StageBreakdownRow& b) {
+              if (a.total_micros != b.total_micros) {
+                return a.total_micros > b.total_micros;
+              }
+              return std::strcmp(a.name, b.name) < 0;
+            });
+  return rows;
+}
+
+}  // namespace ember::obs

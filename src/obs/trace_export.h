@@ -1,0 +1,41 @@
+#ifndef EMBER_OBS_TRACE_EXPORT_H_
+#define EMBER_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace ember::obs {
+
+/// Renders drained span records as Chrome trace_event JSON (the
+/// `{"traceEvents": [...]}` object form): one complete-duration "X" event
+/// per span, `ts`/`dur` in microseconds, `tid` = the span's ring-buffer
+/// thread index, span/trace/parent ids and counters in `args`. The output
+/// opens directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+std::string ToChromeTraceJson(const std::vector<SpanRecord>& records);
+
+/// ToChromeTraceJson written to `path` (plain write, fails with IoError).
+Status WriteChromeTrace(const std::vector<SpanRecord>& records,
+                        const std::string& path);
+
+/// Aggregate view of a record stream: per span name, the number of spans
+/// and the total/self time — the per-stage latency attribution the paper's
+/// time-breakdown tables report, regenerated from spans instead of
+/// hand-placed timers. Self time excludes child span time (children are
+/// matched by parent_id), so nested stages do not double-count.
+struct StageBreakdownRow {
+  const char* name = nullptr;
+  uint64_t spans = 0;
+  double total_micros = 0;
+  double self_micros = 0;
+};
+
+/// Rows sorted by descending total time.
+std::vector<StageBreakdownRow> StageBreakdown(
+    const std::vector<SpanRecord>& records);
+
+}  // namespace ember::obs
+
+#endif  // EMBER_OBS_TRACE_EXPORT_H_

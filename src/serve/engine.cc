@@ -6,8 +6,92 @@
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace ember::serve {
+
+namespace {
+
+/// Samples an EngineMetrics into registry exposition form. Counter names
+/// follow Prometheus conventions (_total suffix on monotone counters); the
+/// stage histograms keep their EngineMetrics field names.
+std::vector<obs::Sample> MetricsToSamples(const EngineMetrics& metrics,
+                                          const std::string& instance) {
+  const obs::Labels labels = {{"engine", instance}};
+  std::vector<obs::Sample> samples;
+  auto counter = [&](const char* name, const char* help, uint64_t value) {
+    obs::Sample sample;
+    sample.name = name;
+    sample.help = help;
+    sample.kind = obs::MetricKind::kCounter;
+    sample.labels = labels;
+    sample.value = static_cast<double>(value);
+    samples.push_back(std::move(sample));
+  };
+  auto histogram = [&](const char* name, const char* help,
+                       const HistogramSnapshot& snapshot) {
+    obs::Sample sample;
+    sample.name = name;
+    sample.help = help;
+    sample.kind = obs::MetricKind::kHistogram;
+    sample.labels = labels;
+    sample.histogram = snapshot;
+    samples.push_back(std::move(sample));
+  };
+  counter("ember_serve_submitted_total", "Requests accepted into the queue",
+          metrics.submitted);
+  counter("ember_serve_completed_total", "Requests answered with neighbors",
+          metrics.completed);
+  counter("ember_serve_rejected_total", "Requests refused at Submit",
+          metrics.rejected);
+  counter("ember_serve_expired_total", "Requests shed before embedding",
+          metrics.expired);
+  counter("ember_serve_failed_total", "Requests failed with an error",
+          metrics.failed);
+  counter("ember_serve_deadline_misses_total",
+          "Requests completed after their deadline", metrics.deadline_misses);
+  counter("ember_serve_batches_total", "Micro-batches processed",
+          metrics.batches);
+  counter("ember_serve_retries_total", "Embed/reload retry attempts",
+          metrics.retries);
+  counter("ember_serve_fallbacks_total",
+          "Requests answered by the degraded exact scan", metrics.fallbacks);
+  counter("ember_serve_breaker_trips_total",
+          "Circuit breaker open transitions", metrics.breaker_trips);
+  counter("ember_serve_short_circuits_total",
+          "Submits refused while the breaker was open",
+          metrics.short_circuits);
+  counter("ember_serve_reloads_total", "Successful hot snapshot swaps",
+          metrics.reloads);
+  counter("ember_serve_reload_failures_total", "Rejected snapshot reloads",
+          metrics.reload_failures);
+  {
+    obs::Sample sample;
+    sample.name = "ember_serve_health";
+    sample.help = "Engine health (0=serving 1=degraded 2=tripped 3=loading)";
+    sample.kind = obs::MetricKind::kGauge;
+    sample.labels = labels;
+    sample.value = static_cast<double>(metrics.health);
+    samples.push_back(std::move(sample));
+  }
+  histogram("ember_serve_queue_micros", "Submit to dequeue wait per request",
+            metrics.queue_micros);
+  histogram("ember_serve_embed_micros", "Vectorization time per batch",
+            metrics.embed_micros);
+  histogram("ember_serve_query_micros", "Index search time per batch",
+            metrics.query_micros);
+  histogram("ember_serve_postprocess_micros",
+            "Reply assembly / future completion time per batch",
+            metrics.postprocess_micros);
+  histogram("ember_serve_total_micros", "Submit to completion per request",
+            metrics.total_micros);
+  histogram("ember_serve_batch_size", "Live requests per processed batch",
+            metrics.batch_size);
+  return samples;
+}
+
+}  // namespace
 
 const char* HealthName(Health health) {
   switch (health) {
@@ -63,6 +147,11 @@ Engine::Engine(Snapshot snapshot, std::shared_ptr<embed::EmbeddingModel> model,
   options_.max_wait_micros = std::max<int64_t>(0, options_.max_wait_micros);
   k_ = options_.k > 0 ? options_.k
                       : std::max<size_t>(1, snapshot_->manifest().default_k);
+  static std::atomic<uint64_t> next_instance{0};
+  instance_ = std::to_string(next_instance.fetch_add(1));
+  collector_id_ = obs::Registry::Global().AddCollector(
+      [this] { return MetricsToSamples(Metrics(), instance_); });
+  collector_registered_.store(true, std::memory_order_release);
   workers_.reserve(options_.workers);
   for (size_t w = 0; w < options_.workers; ++w) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -72,6 +161,12 @@ Engine::Engine(Snapshot snapshot, std::shared_ptr<embed::EmbeddingModel> model,
 Engine::~Engine() { Stop(); }
 
 void Engine::Stop() {
+  // Unregister the metrics collector first: RemoveCollector is a barrier
+  // (the registry holds its mutex through every collection), so after this
+  // returns no scrape can touch a dying engine.
+  if (collector_registered_.exchange(false, std::memory_order_acq_rel)) {
+    obs::Registry::Global().RemoveCollector(collector_id_);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
@@ -152,21 +247,31 @@ void Engine::ProcessBatch(std::vector<Request> batch) {
   const SteadyTime drained = SteadyNow();
   const uint64_t batch_no = batches_.fetch_add(1, std::memory_order_relaxed);
 
+  // Trace root per batch, keyed by the batch number: span ids depend on
+  // (batch_no, stage name, stage order) only, so a fixed-seed run yields
+  // the same span tree at any worker/thread count.
+  obs::Span batch_span("serve/batch", obs::Span::RootTag{}, batch_no);
+  batch_span.AddCount("requests", batch.size());
+
   // Deadline shedding BEFORE the expensive embed: a request that already
   // missed its deadline gets its status immediately and costs no compute.
   std::vector<Request> live;
   live.reserve(batch.size());
-  for (Request& request : batch) {
-    queue_micros_.Record(MicrosBetween(request.enqueued, drained));
-    if (request.deadline < drained) {
-      expired_.fetch_add(1, std::memory_order_relaxed);
-      request.promise.set_value(
-          Status::DeadlineExceeded("shed before embedding"));
-    } else {
-      live.push_back(std::move(request));
+  {
+    obs::Span shed_span("serve/dequeue_shed");
+    for (Request& request : batch) {
+      queue_micros_.Record(MicrosBetween(request.enqueued, drained));
+      if (request.deadline < drained) {
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        request.promise.set_value(
+            Status::DeadlineExceeded("shed before embedding"));
+      } else {
+        live.push_back(std::move(request));
+      }
     }
   }
   if (live.empty()) return;
+  batch_span.AddCount("live", live.size());
   batch_size_.Record(static_cast<double>(live.size()));
 
   // Pin the snapshot for the whole batch: a concurrent ReloadSnapshot may
@@ -185,15 +290,20 @@ void Engine::ProcessBatch(std::vector<Request> batch) {
   WallTimer timer;
   la::Matrix vectors;
   uint64_t embed_retries = 0;
-  const Status embedded = RetryStatus(
-      options_.embed_retry, batch_no,
-      [&] {
-        Status injected = fail::Check("engine/embed");
-        if (!injected.ok()) return injected;
-        vectors = model_->VectorizeAll(sentences);
-        return Status::Ok();
-      },
-      &embed_retries);
+  Status embedded = Status::Ok();
+  {
+    obs::Span embed_span("serve/embed");
+    embedded = RetryStatus(
+        options_.embed_retry, batch_no,
+        [&] {
+          Status injected = fail::Check("engine/embed");
+          if (!injected.ok()) return injected;
+          vectors = model_->VectorizeAll(sentences);
+          return Status::Ok();
+        },
+        &embed_retries);
+    embed_span.AddCount("retries", embed_retries);
+  }
   retries_.fetch_add(embed_retries, std::memory_order_relaxed);
   embed_micros_.Record(timer.Restart() * 1e6);
   if (!embedded.ok()) {
@@ -215,34 +325,46 @@ void Engine::ProcessBatch(std::vector<Request> batch) {
   // bit-identical anyway.
   std::vector<std::vector<index::Neighbor>> neighbors;
   bool via_fallback = false;
-  const Status query_fault = fail::Check("engine/query");
-  if (query_fault.ok()) {
-    neighbors = snap->QueryBatch(vectors, k);
-  } else if (options_.allow_degraded) {
-    neighbors = snap->FallbackQueryBatch(vectors, k);
-    via_fallback = true;
-    fallbacks_.fetch_add(live.size(), std::memory_order_relaxed);
-    EMBER_WARN("primary index query failed (%s); served by exact fallback",
-               query_fault.ToString().c_str());
-  } else {
-    breaker_.RecordFailure(SteadyNow());
-    failed_.fetch_add(live.size(), std::memory_order_relaxed);
-    for (Request& request : live) request.promise.set_value(query_fault);
-    return;
+  {
+    obs::Span query_span("serve/query");
+    const Status query_fault = fail::Check("engine/query");
+    if (query_fault.ok()) {
+      neighbors = snap->QueryBatch(vectors, k);
+    } else if (options_.allow_degraded) {
+      neighbors = snap->FallbackQueryBatch(vectors, k);
+      via_fallback = true;
+      fallbacks_.fetch_add(live.size(), std::memory_order_relaxed);
+      EMBER_WARN("primary index query failed (%s); served by exact fallback",
+                 query_fault.ToString().c_str());
+    } else {
+      breaker_.RecordFailure(SteadyNow());
+      failed_.fetch_add(live.size(), std::memory_order_relaxed);
+      for (Request& request : live) request.promise.set_value(query_fault);
+      return;
+    }
   }
   degraded_.store(via_fallback, std::memory_order_relaxed);
-  query_micros_.Record(timer.Seconds() * 1e6);
+  query_micros_.Record(timer.Restart() * 1e6);
 
   const SteadyTime done = SteadyNow();
   breaker_.RecordSuccess(done);
-  for (size_t i = 0; i < live.size(); ++i) {
-    if (live[i].deadline < done) {
-      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+  {
+    obs::Span complete_span("serve/complete");
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (live[i].deadline < done) {
+        deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      }
+      total_micros_.Record(MicrosBetween(live[i].enqueued, done));
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      // The request's own span runs from enqueue (client thread) to
+      // completion (this worker) — an explicit-timestamp emit, parented
+      // under the batch and keyed by the in-batch slot.
+      obs::EmitSpan("serve/request", batch_span.context(), i,
+                    live[i].enqueued, done);
+      live[i].promise.set_value(QueryReply{std::move(neighbors[i])});
     }
-    total_micros_.Record(MicrosBetween(live[i].enqueued, done));
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    live[i].promise.set_value(QueryReply{std::move(neighbors[i])});
   }
+  postprocess_micros_.Record(timer.Seconds() * 1e6);
 }
 
 Status Engine::ReloadSnapshot(const std::string& path,
@@ -337,6 +459,7 @@ EngineMetrics Engine::Metrics() const {
   metrics.queue_micros = queue_micros_.Snapshot();
   metrics.embed_micros = embed_micros_.Snapshot();
   metrics.query_micros = query_micros_.Snapshot();
+  metrics.postprocess_micros = postprocess_micros_.Snapshot();
   metrics.total_micros = total_micros_.Snapshot();
   metrics.batch_size = batch_size_.Snapshot();
   return metrics;

@@ -96,6 +96,7 @@ struct EngineMetrics {
   HistogramSnapshot queue_micros;  // submit -> drained from the queue
   HistogramSnapshot embed_micros;  // per batch: vectorization
   HistogramSnapshot query_micros;  // per batch: index search
+  HistogramSnapshot postprocess_micros;  // per batch: reply assembly/futures
   HistogramSnapshot total_micros;  // submit -> future completed
   HistogramSnapshot batch_size;    // live requests per processed batch
 };
@@ -164,6 +165,11 @@ class Engine {
   /// Point-in-time metrics (concurrent-safe; counters are monotone).
   EngineMetrics Metrics() const;
 
+  /// The `engine=` label value this instance exports under in the global
+  /// obs::Registry (engines self-register a metrics collector on Create
+  /// and unregister on Stop).
+  const std::string& instance() const { return instance_; }
+
   /// The currently served snapshot, pinned: a reload may swap the engine
   /// past it, but the returned pointer stays valid for as long as the
   /// caller holds it.
@@ -201,6 +207,10 @@ class Engine {
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 
+  std::string instance_;  // registry label, "0", "1", ... per process
+  uint64_t collector_id_ = 0;
+  std::atomic<bool> collector_registered_{false};
+
   CircuitBreaker breaker_;
   std::mutex reload_mu_;  // serializes ReloadSnapshot callers
   std::atomic<bool> reloading_{false};
@@ -223,6 +233,7 @@ class Engine {
   LatencyHistogram queue_micros_;
   LatencyHistogram embed_micros_;
   LatencyHistogram query_micros_;
+  LatencyHistogram postprocess_micros_;
   LatencyHistogram total_micros_;
   LatencyHistogram batch_size_;
 };

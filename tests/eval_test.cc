@@ -60,6 +60,30 @@ TEST(MetricsTest, RankMatrixAveragesTies) {
   EXPECT_DOUBLE_EQ(ranks[0].back(), (2.0 + 1.5) / 2);
 }
 
+// Regression (PR 5): ragged score rows used to index past the end of the
+// short rows (RankMatrix assumed scores[0].size() everywhere). Only the
+// columns every row has are ranked now.
+TEST(MetricsTest, RankMatrixHandlesRaggedRows) {
+  const auto ranks = RankMatrix({{0.9, 0.5, 0.7}, {0.1}});
+  ASSERT_EQ(ranks.size(), 2u);
+  // One common column -> one rank + the mean slot.
+  ASSERT_EQ(ranks[0].size(), 2u);
+  EXPECT_DOUBLE_EQ(ranks[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1][0], 2.0);
+  EXPECT_DOUBLE_EQ(ranks[0].back(), 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1].back(), 2.0);
+}
+
+TEST(MetricsTest, RankMatrixEmptyAndZeroColumnInputs) {
+  EXPECT_TRUE(RankMatrix({}).empty());
+  const auto ranks = RankMatrix({{}, {}});
+  ASSERT_EQ(ranks.size(), 2u);
+  // No columns: only the mean slot, defined as 0.
+  ASSERT_EQ(ranks[0].size(), 1u);
+  EXPECT_DOUBLE_EQ(ranks[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(ranks[1][0], 0.0);
+}
+
 TEST(MetricsTest, PearsonCorrelation) {
   EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-9);
   EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-9);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <set>
 #include <string_view>
@@ -11,6 +12,7 @@
 
 #include "common/binary_io.h"
 #include "common/rng.h"
+#include "proptest.h"
 #include "index/hnsw_index.h"
 #include "index/lsh_index.h"
 #include "index/overlap_blocker.h"
@@ -27,48 +29,165 @@ la::Matrix RandomUnitRows(size_t rows, size_t cols, uint64_t seed) {
   return m;
 }
 
-TEST(ExactIndexTest, SelfIsNearestNeighbor) {
-  const la::Matrix data = RandomUnitRows(50, 32, 1);
-  ExactIndex idx;
-  idx.Build(data);
+la::Matrix RandomUnitRowsFrom(Rng& rng, size_t rows, size_t cols) {
+  la::Matrix m(rows, cols);
+  m.FillGaussian(rng, 1.f);
+  for (size_t r = 0; r < rows; ++r) la::NormalizeInPlace(m.Row(r), cols);
+  return m;
+}
+
+/// Reference scan: the definitional top-k (1 - dot against every corpus
+/// row, stable-sorted by (distance, id)), written independently of the
+/// index implementations so agreement is meaningful.
+std::vector<Neighbor> NaiveTopK(const la::Matrix& data, const float* query,
+                                size_t k) {
+  std::vector<Neighbor> all;
+  all.reserve(data.rows());
   for (size_t r = 0; r < data.rows(); ++r) {
-    const auto neighbors = idx.Query(data.Row(r), 3);
-    ASSERT_EQ(neighbors.size(), 3u);
-    EXPECT_EQ(neighbors[0].id, r);
-    EXPECT_NEAR(neighbors[0].distance, 0.f, 1e-5f);
+    all.push_back({static_cast<uint32_t>(r),
+                   1.f - la::Dot(query, data.Row(r), data.cols())});
   }
+  std::sort(all.begin(), all.end(), CloserThan);
+  if (all.size() > k) all.resize(k);
+  return all;
 }
 
-TEST(ExactIndexTest, DistancesAscendingAndKRespected) {
-  const la::Matrix data = RandomUnitRows(100, 16, 2);
-  ExactIndex idx;
-  idx.Build(data);
-  const la::Matrix queries = RandomUnitRows(5, 16, 3);
-  for (size_t q = 0; q < queries.rows(); ++q) {
-    const auto neighbors = idx.Query(queries.Row(q), 10);
-    ASSERT_EQ(neighbors.size(), 10u);
-    for (size_t i = 1; i < neighbors.size(); ++i) {
-      EXPECT_LE(neighbors[i - 1].distance, neighbors[i].distance);
+// Property: the nearest neighbor of a vector that IS in the corpus is that
+// vector itself, at distance ~0 — for every corpus row, across randomly
+// sized/shaped corpora. (Generalizes the old fixed 50x32 example.)
+TEST(ExactIndexPropertyTest, Top1OfCorpusVectorIsItself) {
+  proptest::Config config;
+  config.cases = 60;
+  config.max_size = 80;
+  proptest::ForAll("exact top-1 of a corpus vector is itself", config,
+                   [](Rng& rng, size_t n) {
+    const size_t cols = 8 + rng.Below(25);
+    const la::Matrix data = RandomUnitRowsFrom(rng, n, cols);
+    ExactIndex idx;
+    idx.Build(data);
+    for (size_t r = 0; r < data.rows(); ++r) {
+      const auto neighbors = idx.Query(data.Row(r), 1);
+      if (neighbors.size() != 1) return false;
+      if (neighbors[0].id != r) return false;
+      if (std::abs(neighbors[0].distance) > 1e-5f) return false;
     }
-  }
-  EXPECT_EQ(idx.Query(queries.Row(0), 500).size(), data.rows());
+    return true;
+  });
 }
 
-TEST(ExactIndexTest, QueryBatchMatchesSingleQueries) {
-  const la::Matrix data = RandomUnitRows(200, 24, 4);
-  ExactIndex idx;
-  idx.Build(data);
-  const la::Matrix queries = RandomUnitRows(33, 24, 5);
-  const auto batch = idx.QueryBatch(queries, 7);
-  ASSERT_EQ(batch.size(), queries.rows());
-  for (size_t q = 0; q < queries.rows(); ++q) {
-    const auto single = idx.Query(queries.Row(q), 7);
-    ASSERT_EQ(batch[q].size(), single.size());
-    for (size_t i = 0; i < single.size(); ++i) {
-      EXPECT_EQ(batch[q][i].id, single[i].id);
-      EXPECT_EQ(batch[q][i].distance, single[i].distance);
+// Metamorphic property: QueryBatch at a smaller k is exactly the prefix of
+// QueryBatch at a larger k — growing k may only extend the result list,
+// never reorder or change it. Subsumes the old ascending-distance and
+// k-respected examples (a prefix-consistent family with the naive scan at
+// the top k is automatically both).
+TEST(ExactIndexPropertyTest, QueryBatchPrefixMonotoneInK) {
+  proptest::Config config;
+  config.cases = 40;
+  config.min_size = 1;
+  config.max_size = 120;
+  proptest::ForAll("QueryBatch(k) monotone in k", config,
+                   [](Rng& rng, size_t n) {
+    const size_t cols = 4 + rng.Below(29);
+    const la::Matrix data = RandomUnitRowsFrom(rng, n, cols);
+    const la::Matrix queries =
+        RandomUnitRowsFrom(rng, 1 + rng.Below(20), cols);
+    ExactIndex idx;
+    idx.Build(data);
+    const size_t k_hi = 1 + rng.Below(2 * n);
+    const size_t k_lo = 1 + rng.Below(k_hi);
+    const auto hi = idx.QueryBatch(queries, k_hi);
+    const auto lo = idx.QueryBatch(queries, k_lo);
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      if (hi[q].size() != std::min(k_hi, n)) return false;
+      if (lo[q].size() != std::min(k_lo, n)) return false;
+      for (size_t i = 0; i < lo[q].size(); ++i) {
+        if (lo[q][i].id != hi[q][i].id) return false;
+        if (lo[q][i].distance != hi[q][i].distance) return false;
+      }
+      for (size_t i = 1; i < hi[q].size(); ++i) {
+        if (CloserThan(hi[q][i], hi[q][i - 1])) return false;
+      }
     }
-  }
+    return true;
+  });
+}
+
+// 200 random corpora: the naive definitional scan, the blocked single-query
+// path, and the GemmBt batch path must agree bitwise (ids AND float
+// distances) — the batch tiling is an optimization, never an approximation.
+// (Replaces the old single-example QueryBatchMatchesSingleQueries.)
+TEST(ExactIndexPropertyTest, BruteForceAndExactIndexAgreeOn200Corpora) {
+  proptest::Config config;
+  config.cases = 200;
+  config.min_size = 1;
+  config.max_size = 90;
+  proptest::ForAll("naive == Query == QueryBatch on random corpora", config,
+                   [](Rng& rng, size_t n) {
+    const size_t cols = 3 + rng.Below(30);
+    const la::Matrix data = RandomUnitRowsFrom(rng, n, cols);
+    const la::Matrix queries =
+        RandomUnitRowsFrom(rng, 1 + rng.Below(8), cols);
+    const size_t k = 1 + rng.Below(n + 3);
+    ExactIndex idx;
+    idx.Build(data);
+    const auto batch = idx.QueryBatch(queries, k);
+    if (batch.size() != queries.rows()) return false;
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      const auto naive = NaiveTopK(data, queries.Row(q), k);
+      const auto single = idx.Query(queries.Row(q), k);
+      if (batch[q].size() != naive.size()) return false;
+      if (single.size() != naive.size()) return false;
+      for (size_t i = 0; i < naive.size(); ++i) {
+        if (batch[q][i].id != naive[i].id) return false;
+        if (batch[q][i].distance != naive[i].distance) return false;
+        if (single[i].id != naive[i].id) return false;
+        if (single[i].distance != naive[i].distance) return false;
+      }
+    }
+    return true;
+  });
+}
+
+// Every index kind must report distances that are literally
+// 1 - dot(query, corpus[id]) for the ids it returns: results are claims
+// about the corpus, re-checkable from the returned id alone.
+TEST(IndexPropertyTest, ReportedDistancesMatchRecomputation) {
+  proptest::Config config;
+  config.cases = 30;
+  config.min_size = 2;
+  config.max_size = 64;
+  proptest::ForAll("distance == 1 - dot(query, data[id])", config,
+                   [](Rng& rng, size_t n) {
+    const size_t cols = 8 + rng.Below(17);
+    const la::Matrix data = RandomUnitRowsFrom(rng, n, cols);
+    const la::Matrix queries =
+        RandomUnitRowsFrom(rng, 1 + rng.Below(4), cols);
+    const size_t k = 1 + rng.Below(n);
+    ExactIndex exact;
+    exact.Build(data);
+    HnswOptions hnsw_options;
+    hnsw_options.seed = rng.Next();
+    HnswIndex hnsw(hnsw_options);
+    hnsw.Build(data);
+    LshOptions lsh_options;
+    lsh_options.seed = rng.Next();
+    LshIndex lsh(lsh_options);
+    lsh.Build(data);
+    const auto check = [&](const std::vector<std::vector<Neighbor>>& all) {
+      for (size_t q = 0; q < all.size(); ++q) {
+        for (const Neighbor& nb : all[q]) {
+          if (nb.id >= data.rows()) return false;
+          const float expect =
+              1.f - la::Dot(queries.Row(q), data.Row(nb.id), cols);
+          if (nb.distance != expect) return false;
+        }
+      }
+      return true;
+    };
+    return check(exact.QueryBatch(queries, k)) &&
+           check(hnsw.QueryBatch(queries, k)) &&
+           check(lsh.QueryBatch(queries, k));
+  });
 }
 
 TEST(ExactIndexTest, TiesBrokenByAscendingId) {
@@ -82,6 +201,46 @@ TEST(ExactIndexTest, TiesBrokenByAscendingId) {
   EXPECT_EQ(neighbors[0].id, 0u);
   EXPECT_EQ(neighbors[1].id, 1u);
   EXPECT_EQ(neighbors[2].id, 2u);
+}
+
+// HNSW metamorphic property: with k capped at ef_search, raising k only
+// extends the beam's returned prefix, so recall against a FIXED exact truth
+// set is nondecreasing in k.
+TEST(HnswIndexPropertyTest, RecallMonotoneInK) {
+  proptest::Config config;
+  config.cases = 15;
+  config.min_size = 20;
+  config.max_size = 200;
+  proptest::ForAll("hnsw recall monotone in k", config,
+                   [](Rng& rng, size_t n) {
+    const size_t cols = 16;
+    const la::Matrix data = RandomUnitRowsFrom(rng, n, cols);
+    const la::Matrix queries = RandomUnitRowsFrom(rng, 5, cols);
+    const size_t k_max = std::min<size_t>(16, n);
+    ExactIndex exact;
+    exact.Build(data);
+    const auto truth = exact.QueryBatch(queries, k_max);
+    HnswOptions options;
+    options.seed = rng.Next();
+    HnswIndex hnsw(options);
+    hnsw.Build(data);
+    double last_recall = -1.0;
+    for (size_t k = 1; k <= k_max; k *= 2) {
+      const auto approx = hnsw.QueryBatch(queries, k);
+      size_t hits = 0;
+      for (size_t q = 0; q < queries.rows(); ++q) {
+        std::set<uint32_t> truth_ids;
+        for (const Neighbor& nb : truth[q]) truth_ids.insert(nb.id);
+        for (const Neighbor& nb : approx[q]) hits += truth_ids.count(nb.id);
+      }
+      const double recall =
+          static_cast<double>(hits) /
+          static_cast<double>(truth.size() * truth[0].size());
+      if (recall < last_recall) return false;
+      last_recall = recall;
+    }
+    return true;
+  });
 }
 
 TEST(HnswIndexTest, HighRecallAgainstExact) {

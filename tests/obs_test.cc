@@ -1,0 +1,561 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "embed/embedding_model.h"
+#include "index/exact_index.h"
+#include "la/matrix.h"
+#include "la/vector_ops.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
+
+namespace ember {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Golden fixture plumbing. Fixtures live in tests/golden/ (committed);
+// EMBER_REGEN_GOLDEN=1 rewrites them from the current output instead of
+// comparing, for intentional format changes.
+// ---------------------------------------------------------------------------
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(EMBER_TEST_GOLDEN_DIR) + "/" + name;
+}
+
+void CheckGolden(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("EMBER_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << actual;
+    out.close();
+    ASSERT_TRUE(out.good()) << "could not write " << path;
+    std::fprintf(stderr, "[golden] regenerated %s (%zu bytes)\n", path.c_str(),
+                 actual.size());
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden fixture " << path
+                         << "; run with EMBER_REGEN_GOLDEN=1 to create it";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "output diverged from " << path
+      << "; if the change is intentional, regenerate with "
+         "EMBER_REGEN_GOLDEN=1";
+}
+
+// ---------------------------------------------------------------------------
+// Tracer fixture: every test starts from a cleared, enabled tracer at the
+// default ring capacity and leaves the global tracer disabled again.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kDefaultRing = 8192;
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Tracer::Global().SetRingCapacity(kDefaultRing);
+    obs::Tracer::Global().Clear();
+    obs::Tracer::Global().SetEnabled(true);
+  }
+  void TearDown() override {
+    obs::Tracer::Global().SetEnabled(false);
+    obs::Tracer::Global().SetRingCapacity(kDefaultRing);
+    obs::Tracer::Global().Clear();
+    SetThreads(0);
+  }
+};
+
+const obs::SpanRecord* FindSpan(const std::vector<obs::SpanRecord>& records,
+                                const char* name) {
+  for (const auto& r : records) {
+    if (std::strcmp(r.name, name) == 0) return &r;
+  }
+  return nullptr;
+}
+
+uint64_t CounterValue(const obs::SpanRecord& record, const char* name) {
+  for (const auto& c : record.counters) {
+    if (c.name != nullptr && std::strcmp(c.name, name) == 0) return c.value;
+  }
+  return 0;
+}
+
+TEST_F(TraceTest, NestedSpansRecordParentageAndCounters) {
+  {
+    obs::Span root("test/root");
+    root.AddCount("items", 3);
+    {
+      obs::Span child_a("test/child_a");
+      { obs::Span grandchild("test/grandchild"); }
+    }
+    { obs::Span child_b("test/child_b"); }
+  }
+  const auto records = obs::Tracer::Global().Drain();
+  ASSERT_EQ(records.size(), 4u);
+
+  const obs::SpanRecord* root = FindSpan(records, "test/root");
+  const obs::SpanRecord* child_a = FindSpan(records, "test/child_a");
+  const obs::SpanRecord* child_b = FindSpan(records, "test/child_b");
+  const obs::SpanRecord* grandchild = FindSpan(records, "test/grandchild");
+  ASSERT_TRUE(root && child_a && child_b && grandchild);
+
+  EXPECT_EQ(root->parent_id, 0u);
+  EXPECT_EQ(child_a->parent_id, root->span_id);
+  EXPECT_EQ(child_b->parent_id, root->span_id);
+  EXPECT_EQ(grandchild->parent_id, child_a->span_id);
+  // Siblings get distinct ids (different ordinals under the same parent).
+  EXPECT_NE(child_a->span_id, child_b->span_id);
+  // One trace: every span inherits the root's trace id.
+  for (const auto& r : records) EXPECT_EQ(r.trace_id, root->trace_id);
+  EXPECT_EQ(CounterValue(*root, "items"), 3u);
+  // Containment on the clock: children start no earlier and end no later.
+  EXPECT_GE(child_a->start_micros, root->start_micros);
+  EXPECT_LE(child_a->start_micros + child_a->duration_micros,
+            root->start_micros + root->duration_micros + 1e-6);
+}
+
+TEST_F(TraceTest, DisabledTracerIsNoOp) {
+  obs::Tracer::Global().SetEnabled(false);
+  EXPECT_FALSE(obs::Tracer::Enabled());
+  {
+    obs::Span span("test/noop");
+    EXPECT_FALSE(span.active());
+    EXPECT_FALSE(span.context().valid());
+    span.AddCount("ignored", 1);  // must not crash
+    obs::Span child("test/noop_child", span.context(), 0);
+    EXPECT_FALSE(child.active());
+  }
+  obs::EmitSpan("test/noop_emit", obs::SpanContext{}, 0, SteadyNow(),
+                SteadyNow());
+  EXPECT_TRUE(obs::Tracer::Global().Drain().empty());
+  EXPECT_EQ(obs::Tracer::Global().DroppedCount(), 0u);
+}
+
+TEST_F(TraceTest, EmitSpanRecordsExplicitInterval) {
+  obs::SpanContext parent;
+  {
+    obs::Span root("test/emit_root");
+    parent = root.context();
+    const SteadyTime start = SteadyNow();
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+    obs::EmitSpan("test/emitted", parent, 7, start, SteadyNow());
+  }
+  const auto records = obs::Tracer::Global().Drain();
+  const obs::SpanRecord* emitted = FindSpan(records, "test/emitted");
+  ASSERT_NE(emitted, nullptr);
+  EXPECT_EQ(emitted->parent_id, parent.span_id);
+  EXPECT_EQ(emitted->trace_id, parent.trace_id);
+  EXPECT_GE(emitted->duration_micros, 400.0);
+}
+
+TEST_F(TraceTest, RingWraparoundKeepsNewestAndCountsDropped) {
+  obs::Tracer::Global().SetRingCapacity(16);
+  obs::Tracer::Global().Clear();
+  for (int i = 0; i < 50; ++i) {
+    obs::Span span("test/wrap");
+    span.AddCount("i", static_cast<uint64_t>(i));
+  }
+  const auto records = obs::Tracer::Global().Drain();
+  EXPECT_EQ(records.size(), 16u);
+  EXPECT_EQ(obs::Tracer::Global().DroppedCount(), 34u);
+  // The ring keeps the newest spans: the drained i-counters are 34..49.
+  std::vector<uint64_t> kept;
+  for (const auto& r : records) kept.push_back(CounterValue(r, "i"));
+  std::sort(kept.begin(), kept.end());
+  ASSERT_EQ(kept.size(), 16u);
+  EXPECT_EQ(kept.front(), 34u);
+  EXPECT_EQ(kept.back(), 49u);
+  // Clear resets the drop counter too.
+  obs::Tracer::Global().Clear();
+  EXPECT_EQ(obs::Tracer::Global().DroppedCount(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic ids across thread counts. The instrumentation contract
+// (trace.h) is that parallel sections key span ids off the data partition,
+// never the schedule — so the exact same span set must come out at 1, 2, 4,
+// and 8 threads.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kDim = 16;
+
+embed::ModelInfo HashModelInfo(const std::string& code) {
+  embed::ModelInfo info;
+  info.code = code;
+  info.name = "hash-test-model";
+  info.dim = kDim;
+  return info;
+}
+
+// Same deterministic toy model the serve tests use: instant and
+// schedule-independent, so traces exercise the instrumentation, not math.
+class HashModel : public embed::EmbeddingModel {
+ public:
+  explicit HashModel(std::string code = "HT")
+      : EmbeddingModel(HashModelInfo(code)) {}
+
+  void EncodeInto(const std::string& sentence, float* out) const override {
+    for (size_t d = 0; d < kDim; ++d) out[d] = 0.f;
+    uint64_t hash = 1469598103934665603ull;
+    for (const char c : sentence) {
+      hash = (hash ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+      out[hash % kDim] += 1.f + static_cast<float>((hash >> 32) & 0xff);
+    }
+    la::NormalizeInPlace(out, kDim);
+  }
+
+ protected:
+  void BuildWeights() override {}
+};
+
+std::vector<std::string> Sentences(size_t n, const std::string& tag) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(tag + " record " + std::to_string(i) + " token" +
+                  std::to_string(i % 23));
+  }
+  return out;
+}
+
+// Identity-only view of a drained trace: everything that must be schedule
+// independent (names, ids, linkage, counters) and nothing that may not be
+// (timestamps, durations, thread indices).
+std::vector<std::string> CanonicalSpans(
+    const std::vector<obs::SpanRecord>& records) {
+  std::vector<std::string> out;
+  out.reserve(records.size());
+  for (const auto& r : records) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s span=%016" PRIx64 " parent=%016" PRIx64
+                  " trace=%016" PRIx64,
+                  r.name, r.span_id, r.parent_id, r.trace_id);
+    std::string line = buf;
+    for (const auto& c : r.counters) {
+      if (c.name == nullptr) continue;
+      line += " ";
+      line += c.name;
+      line += "=" + std::to_string(c.value);
+    }
+    out.push_back(std::move(line));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST_F(TraceTest, SpanIdsAreDeterministicAcrossThreadCounts) {
+  HashModel model;
+  model.Initialize();
+  const std::vector<std::string> corpus_text = Sentences(37, "corpus");
+  const std::vector<std::string> query_text = Sentences(11, "query");
+
+  std::vector<std::vector<std::string>> per_thread_count;
+  for (const int threads : {1, 2, 4, 8}) {
+    SetThreads(threads);
+    obs::Tracer::Global().Clear();
+    index::ExactIndex index;
+    index.Build(model.VectorizeAll(corpus_text));
+    const la::Matrix queries = model.VectorizeAll(query_text);
+    (void)index.QueryBatch(queries, 5);
+    per_thread_count.push_back(CanonicalSpans(obs::Tracer::Global().Drain()));
+    EXPECT_FALSE(per_thread_count.back().empty());
+  }
+  SetThreads(0);
+  for (size_t i = 1; i < per_thread_count.size(); ++i) {
+    EXPECT_EQ(per_thread_count[0], per_thread_count[i])
+        << "span identity diverged between 1 thread and " << (1u << i)
+        << " threads";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry exporters, golden-checked against committed fixtures.
+// ---------------------------------------------------------------------------
+
+void PopulateTestRegistry(obs::Registry& registry) {
+  registry.GetCounter("ember_test_hits_total", "Cache hits.", {{"shard", "a"}})
+      .Add(41);
+  registry.GetCounter("ember_test_hits_total", "Cache hits.", {{"shard", "b"}})
+      .Increment();
+  registry.GetGauge("ember_test_queue_depth", "Queued requests.").Set(3.5);
+  auto& latency = registry.GetHistogram(
+      "ember_test_latency_micros", "Stage latency in microseconds.",
+      {{"stage", "embed"}});
+  for (const double v : {0.5, 2.0, 8.0, 8.5, 4096.0}) latency.Record(v);
+  registry.AddCollector([] {
+    obs::Sample sample;
+    sample.name = "ember_test_external_total";
+    sample.help = "Spliced in by a collector.";
+    sample.kind = obs::MetricKind::kCounter;
+    sample.value = 7;
+    return std::vector<obs::Sample>{sample};
+  });
+}
+
+TEST(RegistryTest, PrometheusExportMatchesGolden) {
+  obs::Registry registry;
+  PopulateTestRegistry(registry);
+  CheckGolden("registry.prom", registry.ToPrometheusText());
+}
+
+TEST(RegistryTest, JsonExportMatchesGolden) {
+  obs::Registry registry;
+  PopulateTestRegistry(registry);
+  CheckGolden("registry.json", registry.ToJson());
+}
+
+TEST(RegistryTest, HandlesAreStableAndCountersAccumulate) {
+  obs::Registry registry;
+  obs::Counter& a = registry.GetCounter("ember_test_stable_total", "help");
+  obs::Counter& b = registry.GetCounter("ember_test_stable_total", "help");
+  EXPECT_EQ(&a, &b);
+  a.Add(2);
+  b.Add(3);
+  EXPECT_EQ(a.Value(), 5u);
+  const auto samples = registry.Collect();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(samples[0].value, 5.0);
+}
+
+TEST(RegistryTest, RemoveCollectorIsACleanBarrier) {
+  obs::Registry registry;
+  const uint64_t id = registry.AddCollector([] {
+    obs::Sample sample;
+    sample.name = "ember_test_removed_total";
+    sample.kind = obs::MetricKind::kCounter;
+    return std::vector<obs::Sample>{sample};
+  });
+  EXPECT_EQ(registry.Collect().size(), 1u);
+  registry.RemoveCollector(id);
+  EXPECT_TRUE(registry.Collect().empty());
+}
+
+using RegistryDeathTest = ::testing::Test;
+
+TEST(RegistryDeathTest, KindMismatchAborts) {
+  EXPECT_DEATH(
+      {
+        obs::Registry registry;
+        registry.GetCounter("ember_test_kind", "help");
+        registry.GetGauge("ember_test_kind", "help");
+      },
+      "re-requested as gauge");
+}
+
+// ---------------------------------------------------------------------------
+// Golden end-to-end serve trace: a fixed two-batch run through the real
+// engine must produce this exact span tree — names, parentage, per-span
+// counters, and span counts; never durations, timestamps, or thread ids.
+// ---------------------------------------------------------------------------
+
+serve::Snapshot MakeExactSnapshot(size_t rows) {
+  HashModel model;
+  model.Initialize();
+  la::Matrix corpus = model.VectorizeAll(Sentences(rows, "corpus"));
+  serve::SnapshotManifest manifest;
+  manifest.model_code = "HT";
+  manifest.default_k = 5;
+  manifest.kind = serve::IndexKind::kExact;
+  manifest.dataset = "obs-test";
+  return serve::Snapshot::Build(std::move(manifest), std::move(corpus), {},
+                                {});
+}
+
+// Renders the span forest as indented "name counter=value" lines. Roots are
+// ordered by start time (batches are sequential on one worker, so this is
+// deterministic); siblings by span id, which is itself deterministic.
+std::string RenderSpanTree(const std::vector<obs::SpanRecord>& records) {
+  std::map<uint64_t, std::vector<const obs::SpanRecord*>> children;
+  std::vector<const obs::SpanRecord*> roots;
+  std::map<uint64_t, bool> present;
+  for (const auto& r : records) present[r.span_id] = true;
+  for (const auto& r : records) {
+    if (r.parent_id != 0 && present.count(r.parent_id)) {
+      children[r.parent_id].push_back(&r);
+    } else {
+      roots.push_back(&r);
+    }
+  }
+  for (auto& [id, kids] : children) {
+    std::sort(kids.begin(), kids.end(),
+              [](const obs::SpanRecord* a, const obs::SpanRecord* b) {
+                return a->span_id < b->span_id;
+              });
+  }
+  std::sort(roots.begin(), roots.end(),
+            [](const obs::SpanRecord* a, const obs::SpanRecord* b) {
+              return a->start_micros != b->start_micros
+                         ? a->start_micros < b->start_micros
+                         : a->span_id < b->span_id;
+            });
+  std::string out;
+  const std::function<void(const obs::SpanRecord*, size_t)> render =
+      [&](const obs::SpanRecord* r, size_t depth) {
+        out.append(depth * 2, ' ');
+        out += r->name;
+        for (const auto& c : r->counters) {
+          if (c.name == nullptr) continue;
+          out += " ";
+          out += c.name;
+          out += "=" + std::to_string(c.value);
+        }
+        out += "\n";
+        auto it = children.find(r->span_id);
+        if (it == children.end()) return;
+        for (const obs::SpanRecord* kid : it->second) render(kid, depth + 1);
+      };
+  for (const obs::SpanRecord* root : roots) render(root, 0);
+  return out;
+}
+
+TEST_F(TraceTest, GoldenTwoBatchServeTrace) {
+  // Build everything BEFORE arming the trace so only the serve path records.
+  serve::EngineOptions options;
+  options.max_batch = 4;
+  options.max_wait_micros = 60'000'000;  // force exactly-4 batches
+  options.workers = 1;
+  auto engine = serve::Engine::Create(MakeExactSnapshot(40),
+                                      std::make_shared<HashModel>(), options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  obs::Tracer::Global().Clear();
+  for (int batch = 0; batch < 2; ++batch) {
+    std::vector<std::future<Result<serve::QueryReply>>> futures;
+    for (size_t i = 0; i < 4; ++i) {
+      auto submitted = engine.value()->Submit("query " + std::to_string(batch) +
+                                         "/" + std::to_string(i));
+      ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+      futures.push_back(std::move(submitted).value());
+    }
+    for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+  }
+  obs::Tracer::Global().SetEnabled(false);
+  engine.value()->Stop();
+
+  const auto records = obs::Tracer::Global().Drain();
+  EXPECT_EQ(obs::Tracer::Global().DroppedCount(), 0u);
+  CheckGolden("serve_trace.txt", RenderSpanTree(records));
+
+  // The same records must export as well-formed Chrome JSON (smoke-level:
+  // bench/ci validate with a real JSON parser).
+  const std::string json = obs::ToChromeTraceJson(records);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("serve/batch"), std::string::npos);
+
+  // And the stage breakdown must attribute every stage we know ran.
+  const auto breakdown = obs::StageBreakdown(records);
+  for (const char* stage :
+       {"serve/batch", "serve/embed", "serve/query", "serve/request",
+        "embed/vectorize_all", "index/exact_query_batch"}) {
+    bool found = false;
+    for (const auto& row : breakdown) {
+      if (std::strcmp(row.name, stage) == 0) {
+        found = true;
+        EXPECT_GT(row.spans, 0u) << stage;
+      }
+    }
+    EXPECT_TRUE(found) << "stage missing from breakdown: " << stage;
+  }
+}
+
+// The engine self-registers a metrics collector in the GLOBAL registry on
+// Create and must unregister it on Stop — scraping is how operators see
+// EngineMetrics, so the splice has to carry every family and the instance
+// label, and a stopped engine must vanish from the scrape.
+TEST(RegistryTest, EngineExportsMetricsToGlobalRegistryUntilStop) {
+  serve::EngineOptions options;
+  options.max_batch = 2;
+  options.max_wait_micros = 1000;
+  auto engine = serve::Engine::Create(MakeExactSnapshot(20),
+                                      std::make_shared<HashModel>(), options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  std::vector<std::future<Result<serve::QueryReply>>> futures;
+  for (size_t i = 0; i < 2; ++i) {
+    auto submitted = engine.value()->Submit("probe " + std::to_string(i));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+
+  const std::string label = "{engine=\"" + engine.value()->instance() + "\"}";
+  const std::string text = obs::Registry::Global().ToPrometheusText();
+  EXPECT_NE(text.find("ember_serve_submitted_total" + label + " 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ember_serve_completed_total" + label + " 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("ember_serve_health" + label + " 0"),
+            std::string::npos);
+  for (const char* family :
+       {"ember_serve_queue_micros", "ember_serve_embed_micros",
+        "ember_serve_query_micros", "ember_serve_postprocess_micros",
+        "ember_serve_total_micros", "ember_serve_batch_size"}) {
+    EXPECT_NE(text.find(std::string(family) + "_count" + label),
+              std::string::npos)
+        << family;
+  }
+  // The JSON exporter sees the same spliced samples.
+  EXPECT_NE(obs::Registry::Global().ToJson().find(
+                "\"ember_serve_batches_total\""),
+            std::string::npos);
+
+  engine.value()->Stop();
+  EXPECT_EQ(obs::Registry::Global().ToPrometheusText().find(label),
+            std::string::npos)
+      << "stopped engine still exported";
+
+  EXPECT_STREQ(serve::HealthName(serve::Health::kServing), "serving");
+  EXPECT_STREQ(serve::HealthName(serve::Health::kDegraded), "degraded");
+  EXPECT_STREQ(serve::HealthName(serve::Health::kTripped), "tripped");
+  EXPECT_STREQ(serve::HealthName(serve::Health::kLoading), "loading");
+}
+
+// Re-running the identical workload must reproduce the identical tree —
+// the property the golden file relies on, checked directly so a fixture
+// mismatch can be told apart from nondeterminism.
+TEST_F(TraceTest, ServeTraceIsReproducibleAcrossRuns) {
+  std::vector<std::string> rendered;
+  for (int run = 0; run < 2; ++run) {
+    serve::EngineOptions options;
+    options.max_batch = 4;
+    options.max_wait_micros = 60'000'000;
+    options.workers = 1;
+    auto engine = serve::Engine::Create(
+        MakeExactSnapshot(40), std::make_shared<HashModel>(), options);
+    ASSERT_TRUE(engine.ok());
+    obs::Tracer::Global().Clear();
+    std::vector<std::future<Result<serve::QueryReply>>> futures;
+    for (size_t i = 0; i < 4; ++i) {
+      auto submitted = engine.value()->Submit("query " + std::to_string(i));
+      ASSERT_TRUE(submitted.ok());
+      futures.push_back(std::move(submitted).value());
+    }
+    for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+    engine.value()->Stop();
+    rendered.push_back(RenderSpanTree(obs::Tracer::Global().Drain()));
+  }
+  EXPECT_EQ(rendered[0], rendered[1]);
+  EXPECT_FALSE(rendered[0].empty());
+}
+
+}  // namespace
+}  // namespace ember

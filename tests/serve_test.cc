@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include <unistd.h>
 
 #include <atomic>
@@ -516,6 +518,55 @@ TEST(HistogramTest, EdgeValuesClampIntoRange) {
   // Percentile never exceeds the observed max even for the open-ended
   // top bucket.
   EXPECT_LE(snap.Percentile(0.999), 1e12);
+}
+
+// Regression: edge cases must return defined values (PR 5). An empty
+// histogram has no percentile but must not crash or invent one; a single
+// sample IS every percentile; an all-zero histogram must never report a
+// positive latency interpolated out of bucket 0.
+TEST(HistogramTest, EmptyHistogramPercentileIsZero) {
+  const HistogramSnapshot snap = LatencyHistogram().Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleIsEveryPercentile) {
+  LatencyHistogram histogram;
+  histogram.Record(123.0);
+  const HistogramSnapshot snap = histogram.Snapshot();
+  for (const double p : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(snap.Percentile(p), 123.0) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, AllZeroSamplesReportZeroPercentiles) {
+  LatencyHistogram histogram;
+  for (int i = 0; i < 10; ++i) histogram.Record(0.0);
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+  // Interpolation inside bucket 0 (upper bound ~1.19) must not leak a
+  // positive value past the observed max of 0.
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.99), 0.0);
+}
+
+TEST(HistogramTest, AllMassInLastBucketInterpolatesTowardMax) {
+  LatencyHistogram histogram;
+  // 2^24 is the last bucket's lower edge; everything above clamps into it.
+  const double giant = 1e9;
+  for (int i = 0; i < 100; ++i) histogram.Record(giant);
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.counts[HistogramSnapshot::kBuckets - 1], 100u);
+  const double p99 = snap.Percentile(0.99);
+  // Defined, ordered, and never beyond the observed max; the open-ended
+  // bucket interpolates toward max instead of collapsing to 2^24.
+  EXPECT_GE(p99, std::exp2(24.0) * 0.99);
+  EXPECT_LE(p99, giant);
+  EXPECT_GT(p99, snap.Percentile(0.10));
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), giant);
 }
 
 TEST(HistogramTest, MergeAddsCounts) {

@@ -14,6 +14,19 @@
 //       Freeze the blocking pipeline into a snapshot (built, or loaded
 //       from --snapshot when the file exists), start the online serving
 //       engine, drive an open-loop load, and dump latency metrics.
+//       --trace <path> additionally records spans and writes a Chrome
+//       trace_event JSON (open it at ui.perfetto.dev); --metrics prints
+//       the Prometheus exposition of the metrics registry after the run.
+//   ember_cli metrics-dump <D1..D10> [--json] [--requests n] [--scale f]
+//       [--seed n] [--k n] [--index exact|hnsw|lsh]
+//       Run a short closed-loop serve workload and print the global
+//       metrics registry: Prometheus text exposition by default, the
+//       JSON exporter with --json.
+//   ember_cli trace-dump <D1..D10> [--out path] [--requests n] [--scale f]
+//       [--seed n] [--k n] [--index exact|hnsw|lsh]
+//       Run the same workload with tracing enabled and write the span
+//       stream as Chrome trace_event JSON (default trace.json), plus a
+//       per-stage time breakdown on stdout.
 //
 // When the build compiles failpoints in (the default), the EMBER_FAILPOINTS
 // environment variable arms fault-injection sites before any command runs;
@@ -34,6 +47,9 @@
 #include "embed/embedding_model.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "serve/engine.h"
 #include "serve/snapshot.h"
 
@@ -50,8 +66,13 @@ int Usage(const char* argv0) {
                "       %s serve-bench <D1..D10> [--scale f] [--seed n] "
                "[--k n] [--index exact|hnsw|lsh] [--snapshot path]\n"
                "           [--qps n] [--duration s] [--batch n] [--wait-us n] "
-               "[--queue n] [--deadline-ms f] [--workers n]\n",
-               argv0, argv0, argv0, argv0);
+               "[--queue n] [--deadline-ms f] [--workers n]\n"
+               "           [--trace path] [--metrics]\n"
+               "       %s metrics-dump <D1..D10> [--json] [--requests n] "
+               "[--scale f] [--seed n] [--k n] [--index exact|hnsw|lsh]\n"
+               "       %s trace-dump <D1..D10> [--out path] [--requests n] "
+               "[--scale f] [--seed n] [--k n] [--index exact|hnsw|lsh]\n",
+               argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -72,6 +93,12 @@ struct CliArgs {
   size_t max_queue = 256;
   double deadline_ms = 50;
   size_t workers = 1;
+  // observability
+  std::string trace_path;   // serve-bench --trace
+  bool dump_metrics = false;  // serve-bench --metrics
+  bool json = false;          // metrics-dump --json
+  std::string out_path = "trace.json";  // trace-dump --out
+  size_t requests = 64;       // metrics-dump/trace-dump workload size
 };
 
 bool ParseCli(int argc, char** argv, int first, CliArgs& args) {
@@ -107,6 +134,16 @@ bool ParseCli(int argc, char** argv, int first, CliArgs& args) {
       args.deadline_ms = std::atof(argv[++i]);
     } else if (arg == "--workers" && i + 1 < argc) {
       args.workers = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--trace" && i + 1 < argc) {
+      args.trace_path = argv[++i];
+    } else if (arg == "--metrics") {
+      args.dump_metrics = true;
+    } else if (arg == "--json") {
+      args.json = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      args.out_path = argv[++i];
+    } else if (arg == "--requests" && i + 1 < argc) {
+      args.requests = static_cast<size_t>(std::atoi(argv[++i]));
     } else {
       return false;
     }
@@ -265,6 +302,11 @@ int RunServeBench(const CliArgs& args) {
     return 1;
   }
 
+  if (!args.trace_path.empty()) {
+    obs::Tracer::Global().Clear();
+    obs::Tracer::Global().SetEnabled(true);
+  }
+
   // Open-loop load: submissions fire on the offered-QPS schedule no matter
   // how the engine is doing, so overload shows up as rejections and
   // deadline misses instead of a silently slowed generator.
@@ -293,9 +335,29 @@ int RunServeBench(const CliArgs& args) {
     ok += future.get().ok() ? 1 : 0;
   }
   const double wall = MicrosBetween(start, SteadyNow()) / 1e6;
+  // Scrape before Stop(): the engine unregisters its registry collector
+  // when it stops.
+  std::string prometheus;
+  if (args.dump_metrics) prometheus = obs::Registry::Global().ToPrometheusText();
   engine.value()->Stop();
   const serve::EngineMetrics metrics = engine.value()->Metrics();
   missed = metrics.expired;
+
+  if (!args.trace_path.empty()) {
+    obs::Tracer::Global().SetEnabled(false);
+    const auto spans = obs::Tracer::Global().Drain();
+    const Status written = obs::WriteChromeTrace(spans, args.trace_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   written.ToString().c_str());
+    } else {
+      std::printf("trace: %zu spans -> %s (open at ui.perfetto.dev; %llu "
+                  "dropped by ring wraparound)\n",
+                  spans.size(), args.trace_path.c_str(),
+                  static_cast<unsigned long long>(
+                      obs::Tracer::Global().DroppedCount()));
+    }
+  }
 
   std::printf(
       "\n%s %s k=%zu: offered %.0f qps for %.1fs -> achieved %.0f qps\n",
@@ -326,7 +388,108 @@ int RunServeBench(const CliArgs& args) {
   dump("queue", metrics.queue_micros);
   dump("embed", metrics.embed_micros);
   dump("query", metrics.query_micros);
+  dump("postproc", metrics.postprocess_micros);
   dump("total", metrics.total_micros);
+  if (args.dump_metrics) std::printf("\n%s", prometheus.c_str());
+  return 0;
+}
+
+/// Shared workload for metrics-dump / trace-dump: snapshot + engine over
+/// the dataset's right side, then a closed-loop submit of `args.requests`
+/// queries from the left side. Returns the engine so callers can scrape or
+/// drain before stopping it; null on failure.
+std::unique_ptr<serve::Engine> RunSmallServe(const CliArgs& args) {
+  const auto spec = datagen::CleanCleanSpecById(args.dataset);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "unknown dataset '%s'\n", args.dataset.c_str());
+    return nullptr;
+  }
+  const auto kind = serve::IndexKindFromString(args.index_kind);
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    return nullptr;
+  }
+  const datagen::CleanCleanDataset data =
+      datagen::GenerateCleanClean(spec.value(), args.scale, args.seed);
+  auto model = std::shared_ptr<embed::EmbeddingModel>(
+      embed::CreateModel(embed::ModelId::kSGtrT5));
+  model->Initialize();
+  la::Matrix corpus = model->VectorizeAll(data.right.AllSentences());
+  serve::SnapshotManifest manifest;
+  manifest.model_code = model->info().code;
+  manifest.default_k = static_cast<uint32_t>(args.k);
+  manifest.kind = kind.value();
+  manifest.dataset = args.dataset;
+  index::HnswOptions hnsw_options;
+  hnsw_options.seed = args.seed;
+  index::LshOptions lsh_options;
+  lsh_options.seed = args.seed;
+  serve::Snapshot snapshot = serve::Snapshot::Build(
+      std::move(manifest), std::move(corpus), hnsw_options, lsh_options);
+
+  serve::EngineOptions options;
+  options.k = args.k;
+  options.max_batch = args.max_batch;
+  options.max_wait_micros = args.wait_micros;
+  options.workers = args.workers;
+  auto engine = serve::Engine::Create(std::move(snapshot), model, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return nullptr;
+  }
+  const std::vector<std::string> queries = data.left.AllSentences();
+  if (queries.empty()) {
+    std::fprintf(stderr, "dataset has no query records\n");
+    return nullptr;
+  }
+  std::vector<std::future<Result<serve::QueryReply>>> futures;
+  futures.reserve(args.requests);
+  for (size_t i = 0; i < args.requests; ++i) {
+    auto submitted = engine.value()->Submit(queries[i % queries.size()]);
+    if (submitted.ok()) futures.push_back(std::move(submitted).value());
+  }
+  for (auto& future : futures) future.get();
+  return std::move(engine).value();
+}
+
+int RunMetricsDump(const CliArgs& args) {
+  auto engine = RunSmallServe(args);
+  if (engine == nullptr) return 1;
+  // Scrape while the engine is live (Stop unregisters its collector).
+  const std::string text = args.json
+                               ? obs::Registry::Global().ToJson()
+                               : obs::Registry::Global().ToPrometheusText();
+  engine->Stop();
+  std::fputs(text.c_str(), stdout);
+  return 0;
+}
+
+int RunTraceDump(const CliArgs& args) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  auto engine = RunSmallServe(args);
+  tracer.SetEnabled(false);
+  if (engine == nullptr) return 1;
+  engine->Stop();
+  const auto spans = tracer.Drain();
+  const Status written = obs::WriteChromeTrace(spans, args.out_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "trace write failed: %s\n",
+                 written.ToString().c_str());
+    return 1;
+  }
+  std::printf("trace: %zu spans -> %s (open at ui.perfetto.dev; %llu dropped "
+              "by ring wraparound)\n\n",
+              spans.size(), args.out_path.c_str(),
+              static_cast<unsigned long long>(tracer.DroppedCount()));
+  std::printf("%-28s %8s %14s %14s\n", "stage", "spans", "total_ms",
+              "self_ms");
+  for (const obs::StageBreakdownRow& row : obs::StageBreakdown(spans)) {
+    std::printf("%-28s %8llu %14.3f %14.3f\n", row.name,
+                static_cast<unsigned long long>(row.spans),
+                row.total_micros / 1e3, row.self_micros / 1e3);
+  }
   return 0;
 }
 
@@ -350,5 +513,7 @@ int main(int argc, char** argv) {
   if (command == "block") return RunBlock(args);
   if (command == "pipeline") return RunPipeline(args);
   if (command == "serve-bench") return RunServeBench(args);
+  if (command == "metrics-dump") return RunMetricsDump(args);
+  if (command == "trace-dump") return RunTraceDump(args);
   return Usage(argv[0]);
 }
