@@ -71,22 +71,24 @@ echo "==> ctest build-tsan (parallel/determinism once; serve/fault x3)"
 (cd build-tsan && ctest --output-on-failure -R '^(parallel|determinism)_test$')
 (cd build-tsan && ctest --output-on-failure --repeat until-fail:3 -R '^(serve|fault|obs)_test$')
 
-# Coverage leg: Debug + gcov, run the obs/serve suites, and hold the line
-# on the subsystems this repo treats as infrastructure — src/obs and
-# src/serve each need >= 85% line coverage, so untested exporter or engine
-# paths fail the gate instead of rotting silently.
+# Coverage leg: Debug + gcov, run the obs/serve/la suites, and hold the
+# line on the subsystems this repo treats as infrastructure — src/obs,
+# src/serve (including the EMBS0002 mmap loader) and src/la (including the
+# quantization kernels) each need >= 85% line coverage, so untested
+# exporter, container, or kernel paths fail the gate instead of rotting
+# silently.
 echo "==> configure build-cov (EMBER_COVERAGE=ON)"
 cmake -B build-cov -S . -DCMAKE_BUILD_TYPE=Debug -DEMBER_COVERAGE=ON >/dev/null
 echo "==> build build-cov"
-cmake --build build-cov -j "${JOBS}" --target obs_test serve_test fault_test
-echo "==> ctest build-cov (obs/serve/fault) + coverage floor"
+cmake --build build-cov -j "${JOBS}" --target obs_test serve_test fault_test la_test index_test
+echo "==> ctest build-cov (obs/serve/fault/la/index) + coverage floor"
 (cd build-cov && find . -name '*.gcda' -delete && \
-  ctest --output-on-failure -R '^(obs|serve|fault)_test$')
+  ctest --output-on-failure -R '^(obs|serve|fault|la|index)_test$')
 python3 - <<'PYEOF'
 import glob, re, subprocess, sys
 floor = 85.0
 failed = False
-for d in ["obs", "serve"]:
+for d in ["obs", "serve", "la"]:
     gcda = glob.glob(f"build-cov/src/{d}/CMakeFiles/ember_{d}.dir/*.gcda")
     out = subprocess.run(["gcov", "-n"] + gcda, capture_output=True,
                          text=True).stdout
@@ -125,6 +127,9 @@ echo "==> exp23 resilience smoke (Release)"
 echo "==> exp24 observability smoke (Release)"
 ./build-release/bench/exp24_observability --scale 0.05
 
+echo "==> exp25 memory smoke (Release)"
+./build-release/bench/exp25_memory --scale 0.05
+
 echo "==> metrics/trace CLI smoke (Release): exporters must be parseable"
 ./build-release/tools/ember_cli metrics-dump D2 --scale 0.05 > /tmp/ember_metrics.prom
 grep -q '^# TYPE ember_serve_submitted_total counter$' /tmp/ember_metrics.prom
@@ -148,5 +153,20 @@ echo "==> serve CLI smoke (Release)"
   --duration 1 --snapshot build-release/d2_smoke.snap
 ./build-release/tools/ember_cli serve-bench D2 --scale 0.05 --qps 50 \
   --duration 1 --snapshot build-release/d2_smoke.snap
+
+echo "==> snapshot-convert round trip + quantized mmap serving (Release)"
+# d2_smoke.snap is EMBS0002 (the default). Convert to the legacy container
+# and back, then build the int8 tier and serve from the mmap'ed quantized
+# snapshot; the ASan mmap loader already ran above via fault/serve tests.
+./build-release/tools/ember_cli snapshot-convert \
+  build-release/d2_smoke.snap build-release/d2_smoke_v1.snap --to v1
+./build-release/tools/ember_cli snapshot-convert \
+  build-release/d2_smoke_v1.snap build-release/d2_smoke_i8.snap --quantize int8
+./build-release/tools/ember_cli serve-bench D2 --scale 0.05 --qps 50 \
+  --duration 1 --storage int8 --snapshot build-release/d2_smoke_i8.snap
+# The quantized container must refuse to downgrade to EMBS0001.
+./build-release/tools/ember_cli snapshot-convert \
+  build-release/d2_smoke_i8.snap /dev/null --to v1 >/dev/null 2>&1 \
+  && { echo "int8 snapshot converted to v1 but EMBS0001 cannot carry it" >&2; exit 1; }
 
 echo "==> all checks passed"

@@ -20,20 +20,14 @@ uint64_t Fnv1a64(const void* data, size_t n) {
   return hash;
 }
 
-Status WriteFileAtomic(const std::string& path, const char (&magic)[8],
-                       const std::string& payload) {
+Status WriteBytesAtomic(const std::string& path, const std::string& bytes) {
   EMBER_FAILPOINT("binary_io/write");
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return Status::IoError("cannot open " + tmp);
-    const uint64_t length = payload.size();
-    const uint64_t checksum = Fnv1a64(payload.data(), payload.size());
-    out.write(magic, sizeof(magic));
-    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    out.write(reinterpret_cast<const char*>(&length), sizeof(length));
-    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
     out.flush();
     if (!out) {
       out.close();
@@ -56,6 +50,19 @@ Status WriteFileAtomic(const std::string& path, const char (&magic)[8],
                            ec.message());
   }
   return Status::Ok();
+}
+
+Status WriteFileAtomic(const std::string& path, const char (&magic)[8],
+                       const std::string& payload) {
+  const uint64_t length = payload.size();
+  const uint64_t checksum = Fnv1a64(payload.data(), payload.size());
+  std::string bytes;
+  bytes.reserve(sizeof(magic) + payload.size() + 2 * sizeof(uint64_t));
+  bytes.append(magic, sizeof(magic));
+  bytes.append(payload);
+  bytes.append(reinterpret_cast<const char*>(&length), sizeof(length));
+  bytes.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  return WriteBytesAtomic(path, bytes);
 }
 
 Result<std::string> ReadFileVerified(const std::string& path,

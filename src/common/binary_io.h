@@ -132,6 +132,14 @@ class BinaryReader {
 Status WriteFileAtomic(const std::string& path, const char (&magic)[8],
                        const std::string& payload);
 
+/// The atomic temp+rename publish step alone, with no container framing:
+/// `bytes` is written verbatim. Formats that embed their own header and
+/// checksums (the EMBS0002 snapshot container, whose trailer-free layout is
+/// what makes it mmap-able) use this; everything else should prefer
+/// WriteFileAtomic. Shares the "binary_io/write" and "binary_io/rename"
+/// failpoints with WriteFileAtomic.
+Status WriteBytesAtomic(const std::string& path, const std::string& bytes);
+
 /// Reads and verifies a container written by WriteFileAtomic. Fails closed:
 /// wrong magic, short file, length mismatch, or checksum mismatch all
 /// return a non-OK status without touching the payload.

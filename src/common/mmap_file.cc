@@ -1,0 +1,66 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace ember {
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<char*>(data_), size_);
+    }
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  EMBER_FAILPOINT("mmap/open");
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("fstat " + path + ": " + std::strerror(err));
+  }
+  MmapFile file;
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (file.size_ > 0) {
+    // MAP_SHARED + PROT_READ: pages come straight from (and stay in) the
+    // shared page cache, so concurrent processes serving one snapshot hold
+    // one physical copy. The fd can be closed once the mapping exists.
+    void* mapped =
+        ::mmap(nullptr, file.size_, PROT_READ, MAP_SHARED, fd, 0);
+    if (mapped == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IoError("mmap " + path + ": " + std::strerror(err));
+    }
+    file.data_ = static_cast<const char*>(mapped);
+  }
+  ::close(fd);
+  return file;
+}
+
+}  // namespace ember

@@ -1,0 +1,46 @@
+#ifndef EMBER_COMMON_MMAP_FILE_H_
+#define EMBER_COMMON_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ember {
+
+/// Read-only memory mapping of a whole file (RAII). The KenLM idiom behind
+/// zero-copy snapshots: the kernel pages bytes in lazily on first touch,
+/// start-up cost is independent of file size, and N processes mapping the
+/// same file share one physical copy through the page cache.
+///
+/// Movable, not copyable; shared ownership (several index views over one
+/// mapping) goes through std::shared_ptr<MmapFile>. The mapping is
+/// PROT_READ, so any write through a view is a segfault, never silent
+/// corruption.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only. Fails closed (NotFound / IoError) on any
+  /// open/stat/mmap error; a zero-length file maps successfully with
+  /// data() == nullptr and size() == 0.
+  static Result<MmapFile> Open(const std::string& path);
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace ember
+
+#endif  // EMBER_COMMON_MMAP_FILE_H_

@@ -5,6 +5,7 @@
 
 #include "index/neighbor.h"
 #include "la/matrix.h"
+#include "la/quantize.h"
 
 namespace ember {
 class BinaryReader;
@@ -41,6 +42,19 @@ class ExactIndex {
   /// Build).
   const la::Matrix& data() const { return data_; }
 
+  /// Builds the int8 scan tier from the indexed float vectors. Queries then
+  /// run the scan over 4x-smaller codes and rescore the top candidates with
+  /// the float rows, keeping recall@k effectively lossless (see DESIGN.md
+  /// §12 for the error model).
+  void Quantize();
+
+  /// Attaches a prebuilt quantized scan tier (the mmap'ed EMBS0002 path).
+  /// Shape must match the indexed data; the caller keeps view storage alive.
+  void AttachQuantized(la::QuantizedMatrix quantized);
+
+  bool quantized() const { return !quantized_.empty(); }
+  const la::QuantizedMatrix& quantized_matrix() const { return quantized_; }
+
   /// Top-k by ascending cosine distance, ties by ascending id. Returns
   /// min(k, size()) neighbors.
   std::vector<Neighbor> Query(const float* query, size_t k) const;
@@ -60,7 +74,11 @@ class ExactIndex {
   bool Load(BinaryReader& reader);
 
  private:
+  std::vector<std::vector<Neighbor>> QueryBatchQuantized(
+      const la::Matrix& queries, size_t k) const;
+
   la::Matrix data_;
+  la::QuantizedMatrix quantized_;
 };
 
 }  // namespace ember::index

@@ -65,7 +65,7 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query,
     frontier.pop_back();
     if (best.size() >= ef && CloserThan(best.front(), current)) break;
     if (stats != nullptr) ++stats->hops;
-    for (const uint32_t next : NeighborsOf(current.id, level)) {
+    for (const uint32_t next : Links(current.id, level)) {
       if (visited.TestAndSet(next)) continue;
       if (stats != nullptr) ++stats->distance_evals;
       const Neighbor candidate{next, DistanceTo(query, next)};
@@ -94,7 +94,7 @@ void HnswIndex::Insert(uint32_t node, size_t node_level) {
     bool improved = true;
     while (improved) {
       improved = false;
-      for (const uint32_t next : NeighborsOf(entry.id, level)) {
+      for (const uint32_t next : Links(entry.id, level)) {
         const float d = DistanceTo(vec, next);
         if (d < entry.distance) {
           entry = {next, d};
@@ -142,6 +142,7 @@ void HnswIndex::Build(la::Matrix data) {
   span.AddCount("rows", data.rows());
   data_ = std::move(data);
   links_.assign(data_.rows(), {});
+  flat_ = FlatLinks();
   if (data_.rows() == 0) return;
 
   const double level_mult = 1.0 / std::log(static_cast<double>(options_.m));
@@ -171,7 +172,7 @@ std::vector<Neighbor> HnswIndex::Query(const float* query, size_t k,
     while (improved) {
       improved = false;
       if (stats != nullptr) ++stats->hops;
-      for (const uint32_t next : NeighborsOf(entry.id, level)) {
+      for (const uint32_t next : Links(entry.id, level)) {
         const float d = DistanceTo(query, next);
         if (stats != nullptr) ++stats->distance_evals;
         if (d < entry.distance) {
@@ -227,9 +228,17 @@ void HnswIndex::Save(BinaryWriter& writer) const {
   la::WriteMatrix(writer, data_);
   writer.WriteU32(entry_);
   writer.WriteU64(max_level_);
-  for (const auto& levels : links_) {
-    writer.WriteU64(levels.size());
-    for (const auto& neighbors : levels) writer.WritePodVector(neighbors);
+  // Written through the storage-neutral accessors, so a flat-attached
+  // (mmap'ed) index saves the exact bytes a heap-built one would — the v1
+  // format stays the conversion oracle in both directions.
+  for (uint32_t node = 0; node < data_.rows(); ++node) {
+    const size_t levels = LevelCount(node);
+    writer.WriteU64(levels);
+    for (size_t level = 0; level < levels; ++level) {
+      const LinkView view = Links(node, level);
+      writer.WriteU64(view.count);
+      writer.WriteRaw(view.data, view.count * sizeof(uint32_t));
+    }
   }
 }
 
@@ -297,17 +306,88 @@ bool HnswIndex::Load(BinaryReader& reader) {
 
 bool HnswIndex::ValidateGraph() const {
   const size_t rows = data_.rows();
-  if (links_.size() != rows) return false;
+  if (!flat_.active && links_.size() != rows) return false;
   if (rows == 0) return true;
-  if (entry_ >= rows || links_[entry_].empty() ||
-      max_level_ >= links_[entry_].size()) {
+  if (entry_ >= rows || LevelCount(entry_) == 0 ||
+      max_level_ >= LevelCount(entry_)) {
     return false;
   }
+  for (uint32_t node = 0; node < rows; ++node) {
+    const size_t levels = LevelCount(node);
+    if (levels == 0) return false;
+    for (size_t level = 0; level < levels; ++level) {
+      for (const uint32_t target : Links(node, level)) {
+        if (target >= rows || LevelCount(target) <= level) return false;
+      }
+    }
+  }
+  return true;
+}
+
+HnswIndex::FlatGraph HnswIndex::Flatten() const {
+  FlatGraph flat;
+  const size_t rows = data_.rows();
+  flat.levels.reserve(rows);
+  flat.entry_base.reserve(rows + 1);
+  flat.entry_base.push_back(0);
+  for (uint32_t node = 0; node < rows; ++node) {
+    const size_t levels = LevelCount(node);
+    flat.levels.push_back(static_cast<uint32_t>(levels));
+    flat.entry_base.push_back(flat.entry_base.back() + levels);
+  }
+  flat.starts.reserve(flat.entry_base.back() + 1);
+  flat.starts.push_back(0);
+  for (uint32_t node = 0; node < rows; ++node) {
+    for (size_t level = 0; level < LevelCount(node); ++level) {
+      const LinkView view = Links(node, level);
+      flat.adj.insert(flat.adj.end(), view.begin(), view.end());
+      flat.starts.push_back(flat.adj.size());
+    }
+  }
+  return flat;
+}
+
+bool HnswIndex::AttachFlat(la::Matrix data, const HnswOptions& options,
+                           uint32_t entry, size_t max_level,
+                           const uint32_t* levels, const uint64_t* entry_base,
+                           const uint64_t* starts, uint64_t starts_count,
+                           const uint32_t* adj, uint64_t adj_count) {
+  *this = HnswIndex();
+  const size_t rows = data.rows();
+  // Structural validation before a single pointer is trusted: the CSR
+  // arrays come straight out of an mmap'ed file, so every invariant the
+  // nested-vector Load() enforces is re-checked here against the flat
+  // encoding. Anything off leaves the index empty (fail closed).
+  if (entry_base[0] != 0) return false;
   for (size_t node = 0; node < rows; ++node) {
-    if (links_[node].empty()) return false;
-    for (size_t level = 0; level < links_[node].size(); ++level) {
-      for (const uint32_t target : links_[node][level]) {
-        if (target >= rows || links_[target].size() <= level) return false;
+    const uint32_t count = levels[node];
+    if (count == 0 || count > kMaxLevels) return false;
+    if (entry_base[node + 1] != entry_base[node] + count) return false;
+  }
+  if (starts_count != entry_base[rows] + 1) return false;
+  if (starts[0] != 0 || starts[starts_count - 1] != adj_count) return false;
+  for (uint64_t i = 0; i + 1 < starts_count; ++i) {
+    if (starts[i] > starts[i + 1]) return false;
+  }
+  for (uint64_t i = 0; i < adj_count; ++i) {
+    if (adj[i] >= rows) return false;
+  }
+  if (rows > 0 && (entry >= rows || max_level >= levels[entry])) return false;
+  // Cross-level check (level-l links target nodes that exist on level l)
+  // runs through the accessors, so activate the flat view first; on failure
+  // the index is reset to empty below.
+  data_ = std::move(data);
+  options_ = options;
+  entry_ = entry;
+  max_level_ = max_level;
+  flat_ = FlatLinks{true, levels, entry_base, starts, adj};
+  for (uint32_t node = 0; node < rows; ++node) {
+    for (size_t level = 0; level < levels[node]; ++level) {
+      for (const uint32_t target : Links(node, level)) {
+        if (levels[target] <= level) {
+          *this = HnswIndex();
+          return false;
+        }
       }
     }
   }

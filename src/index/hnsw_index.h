@@ -82,6 +82,37 @@ class HnswIndex {
   /// Build).
   const la::Matrix& data() const { return data_; }
 
+  const HnswOptions& options() const { return options_; }
+  uint32_t entry() const { return entry_; }
+  size_t max_level() const { return max_level_; }
+
+  /// The graph re-laid-out as one flat CSR: `levels[n]` level-lists per
+  /// node, `entry_base` the exclusive prefix sum of those counts (rows + 1
+  /// entries), `starts[entry_base[n] + l]` the adjacency offset of node n's
+  /// level-l list (entry_base[rows] + 1 entries total), and `adj` the
+  /// concatenated neighbor ids. This is the shape the EMBS0002 container
+  /// stores, because four aligned POD arrays can be mmap'ed and searched in
+  /// place where nested vectors cannot.
+  struct FlatGraph {
+    std::vector<uint32_t> levels;
+    std::vector<uint64_t> entry_base;
+    std::vector<uint64_t> starts;
+    std::vector<uint32_t> adj;
+  };
+  FlatGraph Flatten() const;
+
+  /// Adopts a flat CSR graph over externally-owned arrays (the mmap'ed
+  /// snapshot path; the caller keeps the arrays alive). Revalidates every
+  /// structural invariant Load() would — prefix-sum consistency, offsets
+  /// monotone and in bounds, every link target in bounds with a list on
+  /// that level, entry point on max_level — and fails closed: on any
+  /// violation the index is left empty and false is returned.
+  bool AttachFlat(la::Matrix data, const HnswOptions& options, uint32_t entry,
+                  size_t max_level, const uint32_t* levels,
+                  const uint64_t* entry_base, const uint64_t* starts,
+                  uint64_t starts_count, const uint32_t* adj,
+                  uint64_t adj_count);
+
   /// `stats`, when non-null, accumulates the search's hop/distance-eval
   /// counts (it is not reset: callers aggregate across queries).
   std::vector<Neighbor> Query(const float* query, size_t k,
@@ -107,6 +138,30 @@ class HnswIndex {
   bool ValidateGraph() const;
 
  private:
+  /// Bounds-known view of one node's level-l adjacency list, independent of
+  /// which storage backs it. All const search/save/validate paths read the
+  /// graph only through Links()/LevelCount(), which is what lets one search
+  /// implementation serve both heap-built and mmap-attached indexes.
+  struct LinkView {
+    const uint32_t* data = nullptr;
+    size_t count = 0;
+    const uint32_t* begin() const { return data; }
+    const uint32_t* end() const { return data + count; }
+  };
+  LinkView Links(uint32_t node, size_t level) const {
+    if (flat_.active) {
+      const uint64_t base = flat_.entry_base[node] + level;
+      return {flat_.adj + flat_.starts[base],
+              static_cast<size_t>(flat_.starts[base + 1] -
+                                  flat_.starts[base])};
+    }
+    const std::vector<uint32_t>& v = links_[node][level];
+    return {v.data(), v.size()};
+  }
+  size_t LevelCount(uint32_t node) const {
+    return flat_.active ? flat_.levels[node] : links_[node].size();
+  }
+
   float DistanceTo(const float* query, uint32_t node) const;
   /// Beam search on one level starting from `entry`; returns up to `ef`
   /// closest nodes, ascending. `visited` is caller-provided scratch.
@@ -121,7 +176,19 @@ class HnswIndex {
   HnswOptions options_;
   la::Matrix data_;
   /// links_[node][level] -> neighbor ids; node exists on [0, levels(node)].
+  /// Mutable nested storage used by Build/Insert and the v1 Load path;
+  /// empty when the graph is flat-attached.
   std::vector<std::vector<std::vector<uint32_t>>> links_;
+  /// Read-only CSR pointers when the graph was AttachFlat'ed (EMBS0002
+  /// mmap path); the snapshot owns the backing arrays.
+  struct FlatLinks {
+    bool active = false;
+    const uint32_t* levels = nullptr;
+    const uint64_t* entry_base = nullptr;
+    const uint64_t* starts = nullptr;
+    const uint32_t* adj = nullptr;
+  };
+  FlatLinks flat_;
   uint32_t entry_ = 0;
   size_t max_level_ = 0;
   /// Scratch for the sequential Build/Insert path (queries use a

@@ -83,18 +83,15 @@ std::vector<std::vector<Neighbor>> LshIndex::QueryBatch(
 }
 
 namespace {
-constexpr uint32_t kLshFormatVersion = 1;
-}  // namespace
 
-void LshIndex::Save(BinaryWriter& writer) const {
-  writer.WriteU32(kLshFormatVersion);
-  writer.WriteU64(options_.tables);
-  writer.WriteU64(options_.bits);
-  writer.WriteU64(options_.seed);
-  la::WriteMatrix(writer, data_);
-  la::WriteMatrix(writer, planes_);
-  writer.WriteU64(buckets_.size());
-  for (const auto& table : buckets_) {
+constexpr uint32_t kLshFormatVersion = 1;
+
+using BucketTables =
+    std::vector<std::unordered_map<uint32_t, std::vector<uint32_t>>>;
+
+void WriteBuckets(BinaryWriter& writer, const BucketTables& buckets) {
+  writer.WriteU64(buckets.size());
+  for (const auto& table : buckets) {
     // Sorted by hash so the byte image is deterministic regardless of the
     // unordered_map's iteration order (snapshots of equal indexes are
     // byte-equal, which the round-trip tests exploit).
@@ -108,6 +105,54 @@ void LshIndex::Save(BinaryWriter& writer) const {
       writer.WritePodVector(table.at(hash));
     }
   }
+}
+
+bool ReadBuckets(BinaryReader& reader, size_t expected_tables, size_t rows,
+                 BucketTables* out) {
+  const uint64_t tables = reader.ReadU64();
+  if (!reader.ok() || tables != expected_tables ||
+      tables > reader.remaining()) {  // each table costs >= 1 byte
+    reader.Fail();
+    return false;
+  }
+  BucketTables buckets(tables);
+  for (auto& table : buckets) {
+    const uint64_t entries = reader.ReadU64();
+    if (!reader.ok() || entries > reader.remaining() / sizeof(uint32_t)) {
+      reader.Fail();
+      return false;
+    }
+    table.reserve(entries);
+    for (uint64_t e = 0; e < entries; ++e) {
+      const uint32_t hash = reader.ReadU32();
+      std::vector<uint32_t> ids = reader.ReadPodVector<uint32_t>();
+      for (const uint32_t id : ids) {
+        if (id >= rows) {
+          reader.Fail();
+          return false;
+        }
+      }
+      if (!table.emplace(hash, std::move(ids)).second) {
+        reader.Fail();  // duplicate bucket hash
+        return false;
+      }
+    }
+  }
+  if (!reader.ok()) return false;
+  *out = std::move(buckets);
+  return true;
+}
+
+}  // namespace
+
+void LshIndex::Save(BinaryWriter& writer) const {
+  writer.WriteU32(kLshFormatVersion);
+  writer.WriteU64(options_.tables);
+  writer.WriteU64(options_.bits);
+  writer.WriteU64(options_.seed);
+  la::WriteMatrix(writer, data_);
+  la::WriteMatrix(writer, planes_);
+  WriteBuckets(writer, buckets_);
 }
 
 bool LshIndex::Load(BinaryReader& reader) {
@@ -128,37 +173,53 @@ bool LshIndex::Load(BinaryReader& reader) {
   if (!la::ReadMatrix(reader, data) || !la::ReadMatrix(reader, planes)) {
     return false;
   }
-  const uint64_t tables = reader.ReadU64();
-  if (!reader.ok() || tables != options.tables ||
-      tables > reader.remaining()) {  // each table costs >= 1 byte
+  BucketTables buckets;
+  if (!ReadBuckets(reader, options.tables, data.rows(), &buckets)) {
+    return false;
+  }
+  options_ = options;
+  data_ = std::move(data);
+  planes_ = std::move(planes);
+  buckets_ = std::move(buckets);
+  return true;
+}
+
+void LshIndex::SaveAux(BinaryWriter& writer) const {
+  writer.WriteU32(kLshFormatVersion);
+  writer.WriteU64(options_.tables);
+  writer.WriteU64(options_.bits);
+  writer.WriteU64(options_.seed);
+  WriteBuckets(writer, buckets_);
+}
+
+bool LshIndex::LoadAux(BinaryReader& reader, la::Matrix data,
+                       la::Matrix planes) {
+  *this = LshIndex();
+  if (!fail::Check("index/load").ok()) {
     reader.Fail();
     return false;
   }
-  std::vector<std::unordered_map<uint32_t, std::vector<uint32_t>>> buckets(
-      tables);
-  for (auto& table : buckets) {
-    const uint64_t entries = reader.ReadU64();
-    if (!reader.ok() || entries > reader.remaining() / sizeof(uint32_t)) {
-      reader.Fail();
-      return false;
-    }
-    table.reserve(entries);
-    for (uint64_t e = 0; e < entries; ++e) {
-      const uint32_t hash = reader.ReadU32();
-      std::vector<uint32_t> ids = reader.ReadPodVector<uint32_t>();
-      for (const uint32_t id : ids) {
-        if (id >= data.rows()) {
-          reader.Fail();
-          return false;
-        }
-      }
-      if (!table.emplace(hash, std::move(ids)).second) {
-        reader.Fail();  // duplicate bucket hash
-        return false;
-      }
-    }
+  if (reader.ReadU32() != kLshFormatVersion) {
+    reader.Fail();
+    return false;
   }
+  LshOptions options;
+  options.tables = reader.ReadU64();
+  options.bits = reader.ReadU64();
+  options.seed = reader.ReadU64();
   if (!reader.ok()) return false;
+  // Shape cross-checks the v1 path gets implicitly from its own writer:
+  // the plane matrix must cover tables * bits hyperplanes of the data's
+  // dimensionality whenever the index is non-empty.
+  if (data.rows() > 0 && (planes.rows() != options.tables * options.bits ||
+                          planes.cols() != data.cols())) {
+    reader.Fail();
+    return false;
+  }
+  BucketTables buckets;
+  if (!ReadBuckets(reader, options.tables, data.rows(), &buckets)) {
+    return false;
+  }
   options_ = options;
   data_ = std::move(data);
   planes_ = std::move(planes);

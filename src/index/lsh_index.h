@@ -53,6 +53,21 @@ class LshIndex {
   /// leaves the index empty on truncated/corrupt payloads.
   bool Load(BinaryReader& reader);
 
+  const la::Matrix& planes() const { return planes_; }
+
+  /// The v1 image minus the two matrices: options + buckets. The EMBS0002
+  /// container stores data and hyperplanes as aligned mmap-able sections
+  /// and keeps only this residue as an opaque aux blob (the bucket maps are
+  /// pointer-heavy and rebuild as heap structures either way).
+  void SaveAux(BinaryWriter& writer) const;
+
+  /// Counterpart of SaveAux: adopts externally-provided data/planes
+  /// matrices (typically zero-copy views over an mmap'ed snapshot) and
+  /// reads options + buckets from the aux blob. Fail-closed with the same
+  /// guarantees as Load(), plus cross-shape checks between the matrices
+  /// and the options.
+  bool LoadAux(BinaryReader& reader, la::Matrix data, la::Matrix planes);
+
  private:
   uint32_t HashOf(const float* vector, size_t table) const;
 

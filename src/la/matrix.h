@@ -2,57 +2,130 @@
 #define EMBER_LA_MATRIX_H_
 
 #include <cstddef>
+#include <cstring>
+#include <new>
 #include <vector>
 
 #include "common/rng.h"
 
 namespace ember::la {
 
+/// Alignment of every owned matrix allocation and of every matrix payload
+/// in the EMBS0002 snapshot container. One cache line / one full AVX-512
+/// vector: the kernels in vector_ops.h and quantize.h get
+/// vectorization-friendly base addresses by construction instead of by
+/// allocator luck, and an mmap'ed section at a 64-byte file offset lands on
+/// a 64-byte address (mappings are page-aligned).
+inline constexpr size_t kMatrixAlign = 64;
+
+// Row stride math: rows are stored back to back with stride == cols, so
+// Row(r) == data() + r * cols. For that pointer arithmetic to preserve
+// element alignment from an aligned base, the base alignment must be a
+// power of two and a multiple of the element size.
+static_assert((kMatrixAlign & (kMatrixAlign - 1)) == 0,
+              "kMatrixAlign must be a power of two");
+static_assert(kMatrixAlign % sizeof(float) == 0 &&
+                  kMatrixAlign % alignof(float) == 0,
+              "aligned base + r * cols * sizeof(float) must stay "
+              "float-aligned for every row");
+
+/// Minimal C++17 allocator handing out kMatrixAlign-aligned blocks via the
+/// aligned operator new. Used by Matrix and QuantizedMatrix so owned
+/// numeric payloads match the alignment guarantee of mmap'ed ones.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}  // NOLINT(runtime/explicit)
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kMatrixAlign}));
+  }
+  void deallocate(T* p, size_t) {
+    ::operator delete(p, std::align_val_t{kMatrixAlign});
+  }
+
+  bool operator==(const AlignedAllocator&) const { return true; }
+  bool operator!=(const AlignedAllocator&) const { return false; }
+};
+
 /// Dense row-major float matrix. Rows are contiguous, so Row(r) is a valid
 /// length-cols() float span for the kernels in vector_ops.h.
+///
+/// Two storage modes share the read API:
+///   - owned (default): a 64-byte-aligned heap block this object manages;
+///   - view (Matrix::View): a non-owning, read-only window over memory
+///     someone else keeps alive (an mmap'ed snapshot section). Views make
+///     zero-copy serving possible: an index holds a view Matrix over the
+///     mapped file instead of deserializing a private copy.
+/// Mutating accessors (non-const Row/At/data, Resize, FillGaussian) are
+/// only valid on owned matrices; callers must not mutate through a view.
 class Matrix {
  public:
   Matrix() = default;
   Matrix(size_t rows, size_t cols)
       : rows_(rows), cols_(cols), data_(rows * cols, 0.f) {}
 
+  /// Non-owning read-only view over `data` (row-major, rows x cols). The
+  /// caller guarantees `data` outlives every copy of the view. `data` may
+  /// be null only when rows * cols == 0.
+  static Matrix View(const float* data, size_t rows, size_t cols) {
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.view_ = data;
+    return m;
+  }
+
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
-  bool empty() const { return data_.empty(); }
+  bool empty() const { return rows_ * cols_ == 0; }
+  /// Whether this matrix borrows its storage (see Matrix::View).
+  bool is_view() const { return view_ != nullptr; }
 
   float* Row(size_t r) { return data_.data() + r * cols_; }
-  const float* Row(size_t r) const { return data_.data() + r * cols_; }
+  const float* Row(size_t r) const { return data() + r * cols_; }
 
   /// Reshapes to (rows x cols) reusing the existing heap block whenever the
   /// new size fits its capacity, so workspaces that were warmed up at their
   /// peak shape never reallocate. Contents are unspecified afterwards —
-  /// callers must overwrite every entry they read.
+  /// callers must overwrite every entry they read. Owned matrices only.
   void Resize(size_t rows, size_t cols) {
     rows_ = rows;
     cols_ = cols;
     data_.resize(rows * cols);
+    view_ = nullptr;
   }
 
   float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
-  float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  float At(size_t r, size_t c) const { return data()[r * cols_ + c]; }
 
   float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  const float* data() const { return view_ != nullptr ? view_ : data_.data(); }
 
   /// Fills every entry with an independent N(0, stddev^2) draw from rng.
+  /// Owned matrices only.
   void FillGaussian(Rng& rng, float stddev) {
     for (float& v : data_) v = static_cast<float>(rng.Gaussian()) * stddev;
   }
 
+  /// Element-wise equality over the read view, so an owned matrix and a
+  /// view over its serialized image compare equal.
   bool operator==(const Matrix& other) const {
-    return rows_ == other.rows_ && cols_ == other.cols_ &&
-           data_ == other.data_;
+    if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+    const size_t n = rows_ * cols_;
+    return n == 0 || std::memcmp(data(), other.data(), n * sizeof(float)) == 0;
   }
 
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
-  std::vector<float> data_;
+  std::vector<float, AlignedAllocator<float>> data_;
+  /// Non-null in view mode; data_ stays empty then.
+  const float* view_ = nullptr;
 };
 
 }  // namespace ember::la

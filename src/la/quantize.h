@@ -1,0 +1,118 @@
+#ifndef EMBER_LA_QUANTIZE_H_
+#define EMBER_LA_QUANTIZE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace ember::la {
+
+/// Int8 scalar quantization of embedding matrices (DESIGN.md §12).
+///
+/// Each row is quantized independently with an affine scale + zero-point:
+///
+///   q_i = clamp(round((x_i - zero_point) / scale), -127, 127)
+///   x_i ≈ zero_point + scale * q_i,   |error| <= scale / 2 per element
+///
+/// with scale = (max - min) / 254 and zero_point = (max + min) / 2 over the
+/// row, so the full int8 range is spent on the row's actual dynamic range.
+/// A constant row quantizes exactly (scale 0, all-zero codes).
+///
+/// Dot products against quantized rows expand to one integer kernel plus
+/// three precomputed correction terms:
+///
+///   dot(x, y) ≈ n*zx*zy + zx*sy*sum(qy) + zy*sx*sum(qx) + sx*sy*dot(qx, qy)
+///
+/// which is why QuantParams carries the code sum: the corpus-side sums are
+/// computed once at quantization time, and the only per-candidate work at
+/// query time is the int8 dot (DotI8 / GemmBtI8Strided below). All integer
+/// arithmetic is exact, so quantized scores are bit-identical across the
+/// portable and AVX2 kernels and across thread counts.
+
+/// Per-row quantization parameters, stored POD so the EMBS0002 container
+/// can keep the whole array as one aligned, mmap-able section.
+struct QuantParams {
+  float scale = 0.f;
+  float zero_point = 0.f;
+  int32_t code_sum = 0;  // sum of the row's int8 codes
+  int32_t reserved = 0;  // keeps the struct 16 bytes; always 0 on disk
+};
+static_assert(sizeof(QuantParams) == 16, "QuantParams is an on-disk POD");
+
+/// Quantizes x[0..n) into codes + params (see file comment for the model).
+void QuantizeRow(const float* x, size_t n, int8_t* codes, QuantParams* params);
+
+/// Reconstructs x̂ from one quantized row.
+void DequantizeRow(const int8_t* codes, const QuantParams& params, size_t n,
+                   float* out);
+
+/// Int8 dot product with kDotLanes independent int32 partial sums. Integer
+/// accumulation is exact, so any lane order gives the same answer; the
+/// AVX2 path (compiled when EMBER_SIMD targets a host with AVX2) and the
+/// portable baseline agree bit-for-bit. n*127^2 fits int32 for every
+/// embedding dimensionality in this codebase (n < 2^17).
+int32_t DotI8(const int8_t* a, const int8_t* b, size_t n);
+
+/// C = A * B^T over int8 panels: row i of A starts at a + i * lda (k valid
+/// codes), row j of B at b + j * ldb, and C(i, j) lands at c[i * ldc + j].
+/// Cache-tiled; every entry equals DotI8(row_i, row_j, k) exactly.
+void GemmBtI8Strided(const int8_t* a, size_t m, size_t lda, const int8_t* b,
+                     size_t n, size_t ldb, size_t k, int32_t* c, size_t ldc);
+
+/// The approximate float dot product reconstructed from two quantized rows
+/// and their integer dot (the expansion in the file comment).
+inline float ApproxDot(const QuantParams& a, const QuantParams& b,
+                       int32_t dot_i8, size_t n) {
+  return static_cast<float>(n) * a.zero_point * b.zero_point +
+         a.zero_point * b.scale * static_cast<float>(b.code_sum) +
+         b.zero_point * a.scale * static_cast<float>(a.code_sum) +
+         a.scale * b.scale * static_cast<float>(dot_i8);
+}
+
+/// Row-major int8 code matrix plus per-row QuantParams. Same two storage
+/// modes as Matrix: owned (Quantize) with 64-byte-aligned allocations, or
+/// a non-owning view (View) over mmap'ed snapshot sections.
+class QuantizedMatrix {
+ public:
+  QuantizedMatrix() = default;
+
+  /// Quantizes every row of `m` (owned storage).
+  static QuantizedMatrix Quantize(const Matrix& m);
+
+  /// Non-owning view over externally-owned codes + params (one params entry
+  /// per row). The caller keeps both alive for the view's lifetime.
+  static QuantizedMatrix View(const int8_t* codes, const QuantParams* params,
+                              size_t rows, size_t cols);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+  bool is_view() const { return view_codes_ != nullptr; }
+
+  const int8_t* Row(size_t r) const { return codes() + r * cols_; }
+  const QuantParams& Params(size_t r) const { return params()[r]; }
+
+  const int8_t* codes() const {
+    return view_codes_ != nullptr ? view_codes_ : codes_.data();
+  }
+  const QuantParams* params() const {
+    return view_params_ != nullptr ? view_params_ : params_.data();
+  }
+
+  /// Reconstructs the full float matrix (testing / error analysis).
+  Matrix Dequantize() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<int8_t, AlignedAllocator<int8_t>> codes_;
+  std::vector<QuantParams, AlignedAllocator<QuantParams>> params_;
+  const int8_t* view_codes_ = nullptr;
+  const QuantParams* view_params_ = nullptr;
+};
+
+}  // namespace ember::la
+
+#endif  // EMBER_LA_QUANTIZE_H_

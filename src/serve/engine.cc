@@ -17,8 +17,13 @@ namespace {
 /// follow Prometheus conventions (_total suffix on monotone counters); the
 /// stage histograms keep their EngineMetrics field names.
 std::vector<obs::Sample> MetricsToSamples(const EngineMetrics& metrics,
-                                          const std::string& instance) {
-  const obs::Labels labels = {{"engine", instance}};
+                                          const std::string& instance,
+                                          const Snapshot& snapshot) {
+  // The storage label distinguishes f32 from int8-serving engines in one
+  // scrape, so throughput/latency series can be compared per tier.
+  const obs::Labels labels = {
+      {"engine", instance},
+      {"storage", StorageKindName(snapshot.manifest().storage)}};
   std::vector<obs::Sample> samples;
   auto counter = [&](const char* name, const char* help, uint64_t value) {
     obs::Sample sample;
@@ -66,15 +71,24 @@ std::vector<obs::Sample> MetricsToSamples(const EngineMetrics& metrics,
           metrics.reloads);
   counter("ember_serve_reload_failures_total", "Rejected snapshot reloads",
           metrics.reload_failures);
-  {
+  auto gauge = [&](const char* name, const char* help, double value) {
     obs::Sample sample;
-    sample.name = "ember_serve_health";
-    sample.help = "Engine health (0=serving 1=degraded 2=tripped 3=loading)";
+    sample.name = name;
+    sample.help = help;
     sample.kind = obs::MetricKind::kGauge;
     sample.labels = labels;
-    sample.value = static_cast<double>(metrics.health);
+    sample.value = value;
     samples.push_back(std::move(sample));
-  }
+  };
+  gauge("ember_serve_health",
+        "Engine health (0=serving 1=degraded 2=tripped 3=loading)",
+        static_cast<double>(metrics.health));
+  gauge("ember_serve_snapshot_load_micros",
+        "Wall-clock load time of the serving snapshot",
+        static_cast<double>(snapshot.load_micros()));
+  gauge("ember_serve_snapshot_bytes_mapped",
+        "Bytes mmap'ed by the serving snapshot (0 = heap-loaded)",
+        static_cast<double>(snapshot.bytes_mapped()));
   histogram("ember_serve_queue_micros", "Submit to dequeue wait per request",
             metrics.queue_micros);
   histogram("ember_serve_embed_micros", "Vectorization time per batch",
@@ -150,7 +164,9 @@ Engine::Engine(Snapshot snapshot, std::shared_ptr<embed::EmbeddingModel> model,
   static std::atomic<uint64_t> next_instance{0};
   instance_ = std::to_string(next_instance.fetch_add(1));
   collector_id_ = obs::Registry::Global().AddCollector(
-      [this] { return MetricsToSamples(Metrics(), instance_); });
+      [this] {
+        return MetricsToSamples(Metrics(), instance_, *this->snapshot());
+      });
   collector_registered_.store(true, std::memory_order_release);
   workers_.reserve(options_.workers);
   for (size_t w = 0; w < options_.workers; ++w) {

@@ -1,17 +1,22 @@
 #include "serve/snapshot.h"
 
+#include <chrono>
+#include <cstring>
 #include <utility>
 
 #include "common/binary_io.h"
 #include "common/failpoint.h"
+#include "common/logging.h"
 #include "common/rng.h"
+#include "serve/snapshot_internal.h"
 
 namespace ember::serve {
 
-namespace {
+namespace internal {
 
-constexpr char kMagic[8] = {'E', 'M', 'B', 'S', '0', '0', '0', '1'};
+namespace {
 constexpr uint32_t kManifestVersion = 1;
+}  // namespace
 
 void WriteManifest(BinaryWriter& writer, const SnapshotManifest& manifest) {
   writer.WriteU32(kManifestVersion);
@@ -42,7 +47,7 @@ bool ReadManifest(BinaryReader& reader, SnapshotManifest& manifest) {
   return true;
 }
 
-}  // namespace
+}  // namespace internal
 
 const char* IndexKindName(IndexKind kind) {
   switch (kind) {
@@ -63,9 +68,27 @@ Result<IndexKind> IndexKindFromString(const std::string& text) {
   return Status::InvalidArgument("unknown index kind '" + text + "'");
 }
 
+const char* StorageKindName(StorageKind kind) {
+  switch (kind) {
+    case StorageKind::kFloat32:
+      return "f32";
+    case StorageKind::kInt8:
+      return "int8";
+  }
+  return "unknown";
+}
+
+Result<StorageKind> StorageKindFromString(const std::string& text) {
+  if (text == "f32") return StorageKind::kFloat32;
+  if (text == "int8") return StorageKind::kInt8;
+  return Status::InvalidArgument("unknown storage kind '" + text + "'");
+}
+
 Snapshot Snapshot::Build(SnapshotManifest manifest, la::Matrix corpus,
                          const index::HnswOptions& hnsw_options,
                          const index::LshOptions& lsh_options) {
+  EMBER_CHECK(manifest.storage == StorageKind::kFloat32 ||
+              manifest.kind == IndexKind::kExact);
   Snapshot snapshot;
   manifest.rows = corpus.rows();
   manifest.dim = static_cast<uint32_t>(corpus.cols());
@@ -73,6 +96,9 @@ Snapshot Snapshot::Build(SnapshotManifest manifest, la::Matrix corpus,
   switch (snapshot.manifest_.kind) {
     case IndexKind::kExact:
       snapshot.exact_.Build(std::move(corpus));
+      if (snapshot.manifest_.storage == StorageKind::kInt8) {
+        snapshot.exact_.Quantize();
+      }
       break;
     case IndexKind::kHnsw:
       snapshot.hnsw_ = index::HnswIndex(hnsw_options);
@@ -86,10 +112,27 @@ Snapshot Snapshot::Build(SnapshotManifest manifest, la::Matrix corpus,
   return snapshot;
 }
 
-Status Snapshot::SaveTo(const std::string& path) const {
+Status Snapshot::Quantize() {
+  if (manifest_.kind != IndexKind::kExact) {
+    return Status::InvalidArgument(
+        std::string("int8 storage requires an exact snapshot, not ") +
+        IndexKindName(manifest_.kind));
+  }
+  exact_.Quantize();
+  manifest_.storage = StorageKind::kInt8;
+  return Status::Ok();
+}
+
+Status Snapshot::SaveTo(const std::string& path,
+                        SnapshotFormat format) const {
   EMBER_FAILPOINT("snapshot/save");
+  if (format == SnapshotFormat::kV2) return SaveToV2(path);
+  if (manifest_.storage != StorageKind::kFloat32) {
+    return Status::InvalidArgument(
+        "the EMBS0001 format cannot carry int8 storage; save as EMBS0002");
+  }
   BinaryWriter writer;
-  WriteManifest(writer, manifest_);
+  internal::WriteManifest(writer, manifest_);
   switch (manifest_.kind) {
     case IndexKind::kExact:
       exact_.Save(writer);
@@ -101,46 +144,79 @@ Status Snapshot::SaveTo(const std::string& path) const {
       lsh_.Save(writer);
       break;
   }
-  return WriteFileAtomic(path, kMagic, writer.buffer());
+  return WriteFileAtomic(path, internal::kMagicV1, writer.buffer());
 }
 
 Result<Snapshot> Snapshot::LoadFrom(const std::string& path) {
+  return LoadFrom(path, LoadOptions{});
+}
+
+Result<Snapshot> Snapshot::LoadFrom(const std::string& path,
+                                    const LoadOptions& options) {
   EMBER_FAILPOINT("snapshot/load");
-  Result<std::string> payload = ReadFileVerified(path, kMagic);
+  const auto start = std::chrono::steady_clock::now();
+  Result<Snapshot> loaded = [&]() -> Result<Snapshot> {
+    Result<MmapFile> file = MmapFile::Open(path);
+    if (!file.ok()) return file.status();
+    if (file.value().size() >= sizeof(internal::kMagicV2) &&
+        std::memcmp(file.value().data(), internal::kMagicV2,
+                    sizeof(internal::kMagicV2)) == 0) {
+      return LoadFromV2(path, options, std::move(file.value()));
+    }
+    // Anything that is not EMBS0002 goes down the v1 path, which re-reads
+    // the file and produces the precise magic/truncation diagnostics.
+    Snapshot snapshot;
+    const Status v1 = LoadV1Into(path, snapshot);
+    if (!v1.ok()) return v1;
+    return snapshot;
+  }();
+  if (!loaded.ok()) return loaded;
+  loaded.value().load_micros_ = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return loaded;
+}
+
+Status Snapshot::LoadV1Into(const std::string& path, Snapshot& snapshot) {
+  Result<std::string> payload = ReadFileVerified(path, internal::kMagicV1);
   if (!payload.ok()) return payload.status();
   BinaryReader reader(payload.value());
-  Snapshot snapshot;
-  if (!ReadManifest(reader, snapshot.manifest_)) {
+  SnapshotManifest manifest;
+  if (!internal::ReadManifest(reader, manifest)) {
     return Status::IoError(path + ": corrupt snapshot manifest");
   }
-  bool loaded = false;
+  Snapshot loaded;
+  loaded.manifest_ = std::move(manifest);
+  bool ok = false;
   size_t rows = 0, cols = 0;
-  switch (snapshot.manifest_.kind) {
+  switch (loaded.manifest_.kind) {
     case IndexKind::kExact:
-      loaded = snapshot.exact_.Load(reader);
-      rows = snapshot.exact_.size();
-      cols = snapshot.exact_.data().cols();
+      ok = loaded.exact_.Load(reader);
+      rows = loaded.exact_.size();
+      cols = loaded.exact_.data().cols();
       break;
     case IndexKind::kHnsw:
-      loaded = snapshot.hnsw_.Load(reader);
-      rows = snapshot.hnsw_.size();
-      cols = snapshot.hnsw_.data().cols();
+      ok = loaded.hnsw_.Load(reader);
+      rows = loaded.hnsw_.size();
+      cols = loaded.hnsw_.data().cols();
       break;
     case IndexKind::kLsh:
-      loaded = snapshot.lsh_.Load(reader);
-      rows = snapshot.lsh_.size();
-      cols = snapshot.lsh_.data().cols();
+      ok = loaded.lsh_.Load(reader);
+      rows = loaded.lsh_.size();
+      cols = loaded.lsh_.data().cols();
       break;
   }
   // Cross-checking the index against the manifest (and requiring the
   // payload fully consumed) keeps a snapshot whose sections disagree from
   // ever serving.
-  if (!loaded || !reader.ok() || reader.remaining() != 0 ||
-      rows != snapshot.manifest_.rows ||
-      (rows > 0 && cols != snapshot.manifest_.dim)) {
+  if (!ok || !reader.ok() || reader.remaining() != 0 ||
+      rows != loaded.manifest_.rows ||
+      (rows > 0 && cols != loaded.manifest_.dim)) {
     return Status::IoError(path + ": corrupt snapshot index payload");
   }
-  return snapshot;
+  snapshot = std::move(loaded);
+  return Status::Ok();
 }
 
 Result<Snapshot> Snapshot::LoadWithRetry(const std::string& path,
@@ -187,6 +263,17 @@ Status Snapshot::Validate() const {
   if (manifest_.kind == IndexKind::kHnsw && !hnsw_.ValidateGraph()) {
     return Status::Internal("snapshot validation: HNSW graph invariants"
                             " violated");
+  }
+  const bool want_i8 = manifest_.storage == StorageKind::kInt8;
+  if (want_i8 && manifest_.kind != IndexKind::kExact) {
+    return Status::Internal("snapshot validation: int8 storage on a "
+                            "non-exact index");
+  }
+  if (manifest_.kind == IndexKind::kExact && exact_.quantized() != want_i8) {
+    return Status::Internal(
+        std::string("snapshot validation: manifest claims ") +
+        StorageKindName(manifest_.storage) + " storage but the index " +
+        (exact_.quantized() ? "has" : "lacks") + " a quantized tier");
   }
   return Status::Ok();
 }

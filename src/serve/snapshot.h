@@ -2,9 +2,11 @@
 #define EMBER_SERVE_SNAPSHOT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/mmap_file.h"
 #include "common/retry.h"
 #include "common/status.h"
 #include "index/exact_index.h"
@@ -21,6 +23,32 @@ enum class IndexKind : uint32_t { kExact = 0, kHnsw = 1, kLsh = 2 };
 const char* IndexKindName(IndexKind kind);
 Result<IndexKind> IndexKindFromString(const std::string& text);
 
+/// How the corpus vectors are stored for scanning. kInt8 keeps the float
+/// rows too (rescoring needs them), but the scan tier reads only the 4x
+/// smaller int8 codes — under mmap the float pages are simply never
+/// touched until a rescore asks for them.
+enum class StorageKind : uint32_t { kFloat32 = 0, kInt8 = 1 };
+
+const char* StorageKindName(StorageKind kind);
+Result<StorageKind> StorageKindFromString(const std::string& text);
+
+/// On-disk container revisions. kV1 is the original EMBS0001 heap-load
+/// format (kept bit-identical as the compatibility oracle); kV2 is the
+/// EMBS0002 layout with 64-byte-aligned sections that LoadFrom maps into
+/// place instead of deserializing.
+enum class SnapshotFormat : uint32_t { kV1 = 1, kV2 = 2 };
+
+/// Knobs for LoadFrom. The default is maximally paranoid.
+struct LoadOptions {
+  /// Verify the full-payload FNV-1a checksum on open (fail-closed against
+  /// bit flips, same guarantee as EMBS0001). Turning it off skips the only
+  /// O(file-size) pass in the EMBS0002 load path — that is the O(1)
+  /// cold-start mode for files this process just wrote or already
+  /// verified. Header checksum, file-length and section bounds checks
+  /// always run regardless.
+  bool verify_checksum = true;
+};
+
 /// Provenance and defaults bundled with the serialized index. The engine
 /// refuses to serve a snapshot with a model/dim that does not match its
 /// query-side embedding model, so a stale snapshot fails loudly at startup
@@ -32,14 +60,22 @@ struct SnapshotManifest {
   IndexKind kind = IndexKind::kExact;
   uint64_t rows = 0;       // corpus size
   std::string dataset;     // free-form provenance tag (e.g. "D2@0.25")
+  /// Scan-tier storage. Only EMBS0002 can carry kInt8 (and only for
+  /// kExact); EMBS0001 snapshots are always kFloat32.
+  StorageKind storage = StorageKind::kFloat32;
 };
 
 /// A built blocking pipeline frozen into one loadable unit: the manifest
-/// plus exactly one index, which owns the corpus embedding matrix. Stored
-/// in the checksummed "EMBS0001" container (common/binary_io.h), written
-/// atomically — LoadFrom fails closed on truncation or bit flips and a
-/// loaded snapshot answers QueryBatch bit-identically to the freshly built
-/// pipeline it was saved from.
+/// plus exactly one index, which owns (or, when mmap'ed, views) the corpus
+/// embedding matrix. Two checksummed containers exist: the legacy
+/// "EMBS0001" stream (heap deserialization) and the section-aligned
+/// "EMBS0002" layout that LoadFrom maps read-only and serves in place —
+/// no copy, lazy page-in, and N processes share one physical copy of the
+/// corpus. Both are written atomically; LoadFrom sniffs the magic, fails
+/// closed on truncation or bit flips in either format, and a loaded
+/// snapshot answers QueryBatch bit-identically to the freshly built
+/// pipeline it was saved from (for float storage; int8 storage rescores to
+/// recall@10 >= 0.99 of the float oracle).
 class Snapshot {
  public:
   Snapshot() = default;
@@ -51,9 +87,19 @@ class Snapshot {
                         const index::HnswOptions& hnsw_options = {},
                         const index::LshOptions& lsh_options = {});
 
-  Status SaveTo(const std::string& path) const;
+  /// Builds the int8 scan tier (kExact snapshots only) and flips the
+  /// manifest to StorageKind::kInt8; SaveTo then persists both tiers.
+  Status Quantize();
+
+  /// Writes the EMBS0002 container by default; pass kV1 for the legacy
+  /// stream (valid only for float storage — the v1 format cannot carry the
+  /// int8 tier).
+  Status SaveTo(const std::string& path,
+                SnapshotFormat format = SnapshotFormat::kV2) const;
 
   static Result<Snapshot> LoadFrom(const std::string& path);
+  static Result<Snapshot> LoadFrom(const std::string& path,
+                                   const LoadOptions& options);
 
   /// LoadFrom under a retry policy: transient load failures (I/O blips,
   /// injected faults) back off and retry; corrupt-payload failures are
@@ -65,6 +111,13 @@ class Snapshot {
 
   const SnapshotManifest& manifest() const { return manifest_; }
   size_t size() const { return manifest_.rows; }
+
+  /// Wall-clock cost of the last LoadFrom that produced this snapshot
+  /// (microseconds), and the bytes mmap'ed by it (0 for heap-loaded
+  /// EMBS0001 snapshots). Exported by the engine as
+  /// ember_serve_snapshot_load_micros / ember_serve_snapshot_bytes_mapped.
+  uint64_t load_micros() const { return load_micros_; }
+  uint64_t bytes_mapped() const { return bytes_mapped_; }
 
   /// The corpus matrix owned by whichever index is active (the degraded
   /// serving path brute-force scans it directly).
@@ -90,11 +143,27 @@ class Snapshot {
       const la::Matrix& queries, size_t k) const;
 
  private:
+  /// EMBS0002 writer/loader, defined in snapshot_v2.cc. The loader takes
+  /// ownership of the mapping and builds every index view in place.
+  Status SaveToV2(const std::string& path) const;
+  static Result<Snapshot> LoadFromV2(const std::string& path,
+                                     const LoadOptions& options,
+                                     MmapFile file);
+  /// The EMBS0001 heap-deserialization path (the compatibility oracle the
+  /// mmap loader is tested against). `snapshot` must be default-ctored.
+  static Status LoadV1Into(const std::string& path, Snapshot& snapshot);
+
   SnapshotManifest manifest_;
   // Exactly one is populated, per manifest_.kind.
   index::ExactIndex exact_;
   index::HnswIndex hnsw_;
   index::LshIndex lsh_;
+  /// Backing mapping when loaded from EMBS0002: the indexes hold raw views
+  /// into it, so it is shared (Snapshot stays copyable; the last copy
+  /// munmaps). Null for built or EMBS0001-loaded snapshots.
+  std::shared_ptr<MmapFile> mapping_;
+  uint64_t load_micros_ = 0;
+  uint64_t bytes_mapped_ = 0;
 };
 
 }  // namespace ember::serve

@@ -1,0 +1,22 @@
+#ifndef EMBER_SERVE_SNAPSHOT_INTERNAL_H_
+#define EMBER_SERVE_SNAPSHOT_INTERNAL_H_
+
+#include "common/binary_io.h"
+#include "serve/snapshot.h"
+
+/// Shared between snapshot.cc (the EMBS0001 stream) and snapshot_v2.cc
+/// (the EMBS0002 section container). Not part of the public serve API.
+
+namespace ember::serve::internal {
+
+inline constexpr char kMagicV1[8] = {'E', 'M', 'B', 'S', '0', '0', '0', '1'};
+inline constexpr char kMagicV2[8] = {'E', 'M', 'B', 'S', '0', '0', '0', '2'};
+
+/// v1 manifest fields (no storage kind — EMBS0001 is always float32). The
+/// EMBS0002 manifest blob is these fields plus a trailing storage u32.
+void WriteManifest(BinaryWriter& writer, const SnapshotManifest& manifest);
+bool ReadManifest(BinaryReader& reader, SnapshotManifest& manifest);
+
+}  // namespace ember::serve::internal
+
+#endif  // EMBER_SERVE_SNAPSHOT_INTERNAL_H_

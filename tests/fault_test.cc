@@ -582,9 +582,8 @@ TEST(LogTokenBucketTest, BurstsThenDropsThenRefills) {
 // hang, or huge allocation. (Runs in the ASan CI leg; needs no failpoints.)
 // ---------------------------------------------------------------------------
 
-TEST(CorruptionSweepTest, EveryTruncationAndByteFlipFailsClosed) {
-  const Snapshot built = MakeSnapshot(IndexKind::kHnsw, 6);
-  const std::string path = TempPath("sweep_src");
+void ExhaustiveSweep(const Snapshot& built, const std::string& tag) {
+  const std::string path = TempPath("sweep_src_" + tag);
   ASSERT_TRUE(built.SaveTo(path).ok());
   const std::string image = ReadAll(path);
   std::filesystem::remove(path);
@@ -592,7 +591,7 @@ TEST(CorruptionSweepTest, EveryTruncationAndByteFlipFailsClosed) {
   ASSERT_LT(image.size(), 16384u) << "sweep corpus grew too big to be "
                                      "exhaustive; shrink the snapshot";
 
-  const std::string victim = TempPath("sweep_victim");
+  const std::string victim = TempPath("sweep_victim_" + tag);
   for (size_t len = 0; len < image.size(); ++len) {
     WriteAll(victim, image.substr(0, len));
     EXPECT_FALSE(Snapshot::LoadFrom(victim).ok()) << "truncated to " << len;
@@ -607,6 +606,20 @@ TEST(CorruptionSweepTest, EveryTruncationAndByteFlipFailsClosed) {
   WriteAll(victim, image);
   EXPECT_TRUE(Snapshot::LoadFrom(victim).ok());  // sweep harness is sound
   std::filesystem::remove(victim);
+}
+
+TEST(CorruptionSweepTest, EveryTruncationAndByteFlipFailsClosed) {
+  // SaveTo defaults to EMBS0002, so this sweep drives the mmap loader: the
+  // graph-carrying HNSW kind has the most sections to get wrong.
+  ExhaustiveSweep(MakeSnapshot(IndexKind::kHnsw, 6), "hnsw");
+}
+
+TEST(CorruptionSweepTest, QuantizedSnapshotSweepFailsClosed) {
+  // The int8 tier adds two more sections (codes + params) and a storage
+  // field in the manifest; every byte of those must also be covered.
+  Snapshot built = MakeSnapshot(IndexKind::kExact, 6);
+  ASSERT_TRUE(built.Quantize().ok());
+  ExhaustiveSweep(built, "int8");
 }
 
 // ---------------------------------------------------------------------------

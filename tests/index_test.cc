@@ -148,6 +148,93 @@ TEST(ExactIndexPropertyTest, BruteForceAndExactIndexAgreeOn200Corpora) {
   });
 }
 
+// The int8 scan tier is an approximation with a float rescore on top, so
+// the contract is statistical: across many random corpora, rescored
+// quantized top-10 must recover at least 99% of the definitional top-10
+// ids. (The rescore width of 4k makes a true neighbor falling outside the
+// candidate set the only loss mode, and int8 error on unit vectors is far
+// smaller than typical neighbor gaps.)
+TEST(ExactIndexPropertyTest, QuantizedTopKRecallAtLeast99Percent) {
+  size_t hits = 0, total = 0;
+  proptest::Config config;
+  config.cases = 60;
+  config.min_size = 12;
+  config.max_size = 120;
+  proptest::ForAll("quantized rescored top-10 recall >= 0.99", config,
+                   [&](Rng& rng, size_t n) {
+    const size_t cols = 16 + rng.Below(64);
+    const la::Matrix data = RandomUnitRowsFrom(rng, n, cols);
+    const la::Matrix queries =
+        RandomUnitRowsFrom(rng, 1 + rng.Below(6), cols);
+    const size_t k = std::min<size_t>(10, n);
+    ExactIndex idx;
+    idx.Build(data);
+    idx.Quantize();
+    if (!idx.quantized()) return false;
+    const auto approx = idx.QueryBatch(queries, k);
+    const auto exact = BruteForceTopK(data, queries, k);
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      if (approx[q].size() != exact[q].size()) return false;
+      std::set<uint32_t> truth;
+      for (const Neighbor& nb : exact[q]) truth.insert(nb.id);
+      for (const Neighbor& nb : approx[q]) {
+        // Rescored distances are exact float recomputations.
+        const float expect =
+            1.f - la::Dot(queries.Row(q), data.Row(nb.id), cols);
+        if (nb.distance != expect) return false;
+        hits += truth.count(nb.id);
+      }
+      total += exact[q].size();
+    }
+    return true;
+  });
+  ASSERT_GT(total, 0u);
+  EXPECT_GE(static_cast<double>(hits) / static_cast<double>(total), 0.99)
+      << hits << "/" << total;
+}
+
+// The quantized scan must give the same answer through the single-query
+// and batched paths: same integer kernel results, same rescore, bit for
+// bit — parallel tiling is never allowed to change results.
+TEST(ExactIndexPropertyTest, QuantizedSingleQueryMatchesBatch) {
+  proptest::Config config;
+  config.cases = 40;
+  config.min_size = 1;
+  config.max_size = 90;
+  proptest::ForAll("quantized Query == QueryBatch", config,
+                   [](Rng& rng, size_t n) {
+    const size_t cols = 4 + rng.Below(40);
+    const la::Matrix data = RandomUnitRowsFrom(rng, n, cols);
+    const la::Matrix queries =
+        RandomUnitRowsFrom(rng, 1 + rng.Below(20), cols);
+    const size_t k = 1 + rng.Below(n + 2);
+    ExactIndex idx;
+    idx.Build(data);
+    idx.Quantize();
+    const auto batch = idx.QueryBatch(queries, k);
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      const auto single = idx.Query(queries.Row(q), k);
+      if (single.size() != batch[q].size()) return false;
+      for (size_t i = 0; i < single.size(); ++i) {
+        if (single[i].id != batch[q][i].id) return false;
+        if (single[i].distance != batch[q][i].distance) return false;
+      }
+    }
+    return true;
+  });
+}
+
+// Rebuilding an index drops the quantized tier: the codes describe the old
+// corpus and must never be consulted for the new one.
+TEST(ExactIndexTest, BuildResetsQuantizedTier) {
+  ExactIndex idx;
+  idx.Build(RandomUnitRows(20, 16, 7));
+  idx.Quantize();
+  EXPECT_TRUE(idx.quantized());
+  idx.Build(RandomUnitRows(10, 16, 9));
+  EXPECT_FALSE(idx.quantized());
+}
+
 // Every index kind must report distances that are literally
 // 1 - dot(query, corpus[id]) for the ids it returns: results are claims
 // about the corpus, re-checkable from the returned id alone.

@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "common/rng.h"
 #include "la/matrix.h"
+#include "la/quantize.h"
+#include "proptest.h"
 
 namespace ember::la {
 namespace {
@@ -168,6 +172,44 @@ TEST(VectorOpsTest, AxpyAndScale) {
   EXPECT_FLOAT_EQ(x[1], 21.f);
 }
 
+TEST(VectorOpsTest, SquaredDistanceMatchesDotExpansion) {
+  Matrix m = RandomMatrix(2, 100, 11);
+  const float* a = m.Row(0);
+  const float* b = m.Row(1);
+  // ||a-b||^2 == ||a||^2 + ||b||^2 - 2<a,b>, and the lane split must handle
+  // a tail that is not a multiple of kDotLanes (100 = 12*8 + 4).
+  const float expanded =
+      Dot(a, a, 100) + Dot(b, b, 100) - 2.f * Dot(a, b, 100);
+  EXPECT_NEAR(SquaredDistance(a, b, 100), expanded, 1e-3f);
+  EXPECT_EQ(SquaredDistance(a, a, 100), 0.f);
+  EXPECT_EQ(SquaredDistance(a, b, 0), 0.f);
+}
+
+TEST(VectorOpsTest, LayerNormInPlaceNormalizesAndAppliesGainBias) {
+  Matrix m = RandomMatrix(1, 64, 13);
+  std::vector<float> plain(m.Row(0), m.Row(0) + 64);
+  LayerNormInPlace(plain.data(), 64, nullptr, nullptr);
+  double mean = 0, var = 0;
+  for (const float x : plain) mean += x;
+  mean /= 64;
+  for (const float x : plain) var += (x - mean) * (x - mean);
+  EXPECT_NEAR(mean, 0.0, 1e-5);
+  EXPECT_NEAR(var / 64, 1.0, 1e-3);
+
+  // gain/bias scale and shift the normalized values elementwise.
+  std::vector<float> affine(m.Row(0), m.Row(0) + 64);
+  std::vector<float> gain(64), bias(64);
+  for (size_t i = 0; i < 64; ++i) {
+    gain[i] = 0.5f + 0.01f * static_cast<float>(i);
+    bias[i] = 1.f - 0.02f * static_cast<float>(i);
+  }
+  LayerNormInPlace(affine.data(), 64, gain.data(), bias.data());
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(affine[i], plain[i] * gain[i] + bias[i], 1e-4f);
+  }
+  LayerNormInPlace(plain.data(), 0, nullptr, nullptr);  // n == 0 is a no-op
+}
+
 TEST(VectorOpsTest, SoftmaxSumsToOne) {
   float v[] = {1.f, 2.f, 3.f, 4.f};
   SoftmaxInPlace(v, 4);
@@ -175,6 +217,137 @@ TEST(VectorOpsTest, SoftmaxSumsToOne) {
   for (const float x : v) sum += x;
   EXPECT_NEAR(sum, 1.f, 1e-5f);
   EXPECT_GT(v[3], v[0]);
+}
+
+bool Aligned64(const void* p) {
+  return reinterpret_cast<uintptr_t>(p) % kMatrixAlign == 0;
+}
+
+TEST(MatrixTest, OwnedStorageIs64ByteAligned) {
+  // The kernels and the EMBS0002 container both assume every owned numeric
+  // payload starts on a cache line; Resize must preserve that through the
+  // capacity-reuse path as well as reallocation.
+  for (const size_t cols : {1ul, 3ul, 17ul, 768ul}) {
+    Matrix m(5, cols);
+    EXPECT_TRUE(Aligned64(m.data())) << "cols=" << cols;
+    m.Resize(2, cols);
+    EXPECT_TRUE(Aligned64(m.data())) << "shrink cols=" << cols;
+    m.Resize(64, cols + 1);
+    EXPECT_TRUE(Aligned64(m.data())) << "grow cols=" << cols;
+  }
+  const QuantizedMatrix q = QuantizedMatrix::Quantize(RandomMatrix(9, 33, 3));
+  EXPECT_TRUE(Aligned64(q.codes()));
+  EXPECT_TRUE(Aligned64(q.params()));
+}
+
+TEST(QuantizeTest, DotI8MatchesNaiveIntegerLoop) {
+  // Exactness contract: DotI8 is plain int32 accumulation, so it must equal
+  // the scalar loop bit for bit at sizes around every blocking boundary.
+  Rng rng(0xd07);
+  for (const size_t n : {0ul, 1ul, 7ul, 8ul, 15ul, 32ul, 100ul, 768ul}) {
+    std::vector<int8_t> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<int8_t>(static_cast<int>(rng.Next() % 255) - 127);
+      b[i] = static_cast<int8_t>(static_cast<int>(rng.Next() % 255) - 127);
+    }
+    int32_t expected = 0;
+    for (size_t i = 0; i < n; ++i) {
+      expected += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+    }
+    EXPECT_EQ(DotI8(a.data(), b.data(), n), expected) << "n=" << n;
+  }
+}
+
+TEST(QuantizeTest, GemmBtI8StridedMatchesDotI8) {
+  // The batched scan kernel must agree with the single-row kernel exactly,
+  // including when rows are strided wider than the dot length (the tile
+  // slicing the quantized scan uses).
+  Rng rng(0xd08);
+  const size_t m = 13, n = 37, k = 29, lda = 40, ldb = 33;
+  std::vector<int8_t> a(m * lda), b(n * ldb);
+  for (int8_t& v : a) {
+    v = static_cast<int8_t>(static_cast<int>(rng.Next() % 255) - 127);
+  }
+  for (int8_t& v : b) {
+    v = static_cast<int8_t>(static_cast<int>(rng.Next() % 255) - 127);
+  }
+  std::vector<int32_t> c(m * n, -1);
+  GemmBtI8Strided(a.data(), m, lda, b.data(), n, ldb, k, c.data(), n);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(c[i * n + j], DotI8(a.data() + i * lda, b.data() + j * ldb, k))
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(QuantizeTest, RoundTripErrorWithinPerRowScaleBound) {
+  // The quantization model's promise: |x - dequantize(quantize(x))| is at
+  // most scale/2 per element (rounding), with a hair of float slack.
+  proptest::Config config;
+  config.max_size = 96;
+  proptest::ForAll(
+      "quantize->dequantize error <= scale/2", config,
+      [](Rng& rng, size_t n) {
+        std::vector<float> x(n);
+        // Mix magnitudes so rows exercise very different dynamic ranges.
+        const float spread = 0.01f + static_cast<float>(rng.Next() % 1000);
+        for (float& v : x) {
+          v = static_cast<float>(rng.Gaussian()) * spread;
+        }
+        std::vector<int8_t> codes(n);
+        QuantParams params;
+        QuantizeRow(x.data(), n, codes.data(), &params);
+        int32_t sum = 0;
+        for (const int8_t c : codes) sum += c;
+        if (sum != params.code_sum) return false;
+        std::vector<float> back(n);
+        DequantizeRow(codes.data(), params, n, back.data());
+        const float bound = params.scale * 0.5f + spread * 1e-5f;
+        for (size_t i = 0; i < n; ++i) {
+          if (std::fabs(x[i] - back[i]) > bound) return false;
+        }
+        return true;
+      });
+}
+
+TEST(QuantizeTest, ConstantRowQuantizesExactly) {
+  std::vector<float> x(19, 3.25f);
+  std::vector<int8_t> codes(x.size());
+  QuantParams params;
+  QuantizeRow(x.data(), x.size(), codes.data(), &params);
+  EXPECT_EQ(params.scale, 0.f);
+  std::vector<float> back(x.size());
+  DequantizeRow(codes.data(), params, x.size(), back.data());
+  for (const float v : back) EXPECT_EQ(v, 3.25f);
+}
+
+TEST(QuantizeTest, QuantizedMatrixViewIsBitIdenticalToOwned) {
+  // The mmap path serves QuantizedMatrix::View over the owned layout's
+  // bytes; both modes must describe the exact same codes and params.
+  const Matrix m = RandomMatrix(11, 48, 0xd09);
+  const QuantizedMatrix owned = QuantizedMatrix::Quantize(m);
+  const QuantizedMatrix view = QuantizedMatrix::View(
+      owned.codes(), owned.params(), owned.rows(), owned.cols());
+  ASSERT_TRUE(view.is_view());
+  ASSERT_FALSE(owned.is_view());
+  for (size_t r = 0; r < owned.rows(); ++r) {
+    EXPECT_EQ(std::memcmp(view.Row(r), owned.Row(r), owned.cols()), 0);
+    EXPECT_EQ(view.Params(r).scale, owned.Params(r).scale);
+    EXPECT_EQ(view.Params(r).zero_point, owned.Params(r).zero_point);
+    EXPECT_EQ(view.Params(r).code_sum, owned.Params(r).code_sum);
+  }
+  // And ApproxDot over the reconstruction tracks the float dot to within
+  // the accumulated per-element error budget.
+  const Matrix deq = owned.Dequantize();
+  ASSERT_EQ(deq.rows(), m.rows());
+  for (size_t r = 0; r + 1 < m.rows(); ++r) {
+    const float exact = Dot(deq.Row(r), deq.Row(r + 1), m.cols());
+    const float approx =
+        ApproxDot(owned.Params(r), owned.Params(r + 1),
+                  DotI8(owned.Row(r), owned.Row(r + 1), m.cols()), m.cols());
+    EXPECT_NEAR(approx, exact, 1e-2f * (1.f + std::fabs(exact))) << r;
+  }
 }
 
 TEST(VectorOpsTest, GemvMatchesManual) {

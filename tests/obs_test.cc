@@ -496,7 +496,8 @@ TEST(RegistryTest, EngineExportsMetricsToGlobalRegistryUntilStop) {
   }
   for (auto& f : futures) ASSERT_TRUE(f.get().ok());
 
-  const std::string label = "{engine=\"" + engine.value()->instance() + "\"}";
+  const std::string label = "{engine=\"" + engine.value()->instance() +
+                            "\",storage=\"f32\"}";
   const std::string text = obs::Registry::Global().ToPrometheusText();
   EXPECT_NE(text.find("ember_serve_submitted_total" + label + " 2"),
             std::string::npos)
@@ -504,6 +505,12 @@ TEST(RegistryTest, EngineExportsMetricsToGlobalRegistryUntilStop) {
   EXPECT_NE(text.find("ember_serve_completed_total" + label + " 2"),
             std::string::npos);
   EXPECT_NE(text.find("ember_serve_health" + label + " 0"),
+            std::string::npos);
+  // Snapshot provenance gauges: a built (not loaded) snapshot maps zero
+  // bytes, and load time is only meaningful after LoadFrom.
+  EXPECT_NE(text.find("ember_serve_snapshot_load_micros" + label),
+            std::string::npos);
+  EXPECT_NE(text.find("ember_serve_snapshot_bytes_mapped" + label + " 0"),
             std::string::npos);
   for (const char* family :
        {"ember_serve_queue_micros", "ember_serve_embed_micros",

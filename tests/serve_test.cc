@@ -191,10 +191,15 @@ INSTANTIATE_TEST_SUITE_P(AllIndexKinds, SnapshotKindTest,
                            return std::string(IndexKindName(info.param));
                          });
 
-TEST(SnapshotCorruptionTest, TruncationAndBitFlipsFailClosed) {
-  const Snapshot built = MakeSnapshot(IndexKind::kHnsw, 80);
-  const std::string path = TempPath("corruption");
-  ASSERT_TRUE(built.SaveTo(path).ok());
+// Shared fail-closed sweep: every prefix truncation and a stride of
+// single-bit flips across the image must be rejected by LoadFrom, and the
+// pristine image must still load (so the rejections are real detections,
+// not an unrelated I/O problem).
+void SweepTruncationsAndBitFlips(const Snapshot& built,
+                                 SnapshotFormat format,
+                                 const std::string& tag) {
+  const std::string path = TempPath("corruption_" + tag);
+  ASSERT_TRUE(built.SaveTo(path, format).ok());
   std::string image;
   {
     std::ifstream in(path, std::ios::binary);
@@ -204,7 +209,7 @@ TEST(SnapshotCorruptionTest, TruncationAndBitFlipsFailClosed) {
   }
   ASSERT_GT(image.size(), 100u);
 
-  const std::string victim = TempPath("corruption_victim");
+  const std::string victim = TempPath("corruption_victim_" + tag);
   const auto write_victim = [&](const std::string& bytes) {
     std::ofstream out(victim, std::ios::binary | std::ios::trunc);
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
@@ -215,24 +220,150 @@ TEST(SnapshotCorruptionTest, TruncationAndBitFlipsFailClosed) {
        {size_t{0}, size_t{5}, size_t{23}, image.size() / 2,
         image.size() - 17, image.size() - 1}) {
     write_victim(image.substr(0, len));
-    EXPECT_FALSE(Snapshot::LoadFrom(victim).ok()) << "truncated to " << len;
+    EXPECT_FALSE(Snapshot::LoadFrom(victim).ok())
+        << tag << " truncated to " << len;
   }
 
-  // Single-bit flips across the file (magic, manifest, matrix payload,
-  // graph, trailer) must all be caught by the container checksum.
+  // Single-bit flips across the file (magic, header, manifest, section
+  // table, matrix payload, graph) must all be caught by a checksum.
   for (size_t pos = 0; pos < image.size(); pos += image.size() / 37 + 1) {
     std::string flipped = image;
     flipped[pos] = static_cast<char>(flipped[pos] ^ 0x10);
     write_victim(flipped);
-    EXPECT_FALSE(Snapshot::LoadFrom(victim).ok()) << "bit flip at " << pos;
+    EXPECT_FALSE(Snapshot::LoadFrom(victim).ok())
+        << tag << " bit flip at " << pos;
   }
 
-  // The pristine image still loads (the victims above were real failures,
-  // not some unrelated I/O problem).
   write_victim(image);
   EXPECT_TRUE(Snapshot::LoadFrom(victim).ok());
   std::filesystem::remove(path);
   std::filesystem::remove(victim);
+}
+
+TEST(SnapshotCorruptionTest, TruncationAndBitFlipsFailClosed) {
+  // EMBS0002 is the default format, so this drives the mmap loader.
+  SweepTruncationsAndBitFlips(MakeSnapshot(IndexKind::kHnsw, 80),
+                              SnapshotFormat::kV2, "v2_hnsw");
+}
+
+TEST(SnapshotCorruptionTest, LegacyV1SweepStillFailsClosed) {
+  SweepTruncationsAndBitFlips(MakeSnapshot(IndexKind::kHnsw, 80),
+                              SnapshotFormat::kV1, "v1_hnsw");
+}
+
+TEST(SnapshotCorruptionTest, QuantizedV2SweepFailsClosed) {
+  Snapshot built = MakeSnapshot(IndexKind::kExact, 80);
+  ASSERT_TRUE(built.Quantize().ok());
+  SweepTruncationsAndBitFlips(built, SnapshotFormat::kV2, "v2_int8");
+}
+
+TEST(SnapshotFormatTest, V2LoadIsBitIdenticalToV1AndConvertsBothWays) {
+  HashModel model;
+  model.Initialize();
+  const la::Matrix queries = model.VectorizeAll(Sentences(25, "query"));
+  for (const IndexKind kind :
+       {IndexKind::kExact, IndexKind::kHnsw, IndexKind::kLsh}) {
+    const Snapshot built = MakeSnapshot(kind, 90);
+    const std::string v1_path = TempPath("fmt_v1");
+    const std::string v2_path = TempPath("fmt_v2");
+    ASSERT_TRUE(built.SaveTo(v1_path, SnapshotFormat::kV1).ok());
+    ASSERT_TRUE(built.SaveTo(v2_path, SnapshotFormat::kV2).ok());
+    auto v1 = Snapshot::LoadFrom(v1_path);
+    auto v2 = Snapshot::LoadFrom(v2_path);
+    ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+    ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+
+    // The heap loader is the compatibility oracle: the mmap'ed container
+    // must answer every query bit-identically.
+    ExpectSameResults(v1.value().QueryBatch(queries, 5),
+                      v2.value().QueryBatch(queries, 5));
+
+    // Provenance metrics: v2 maps the file, v1 copies onto the heap.
+    EXPECT_GT(v2.value().bytes_mapped(), 0u) << IndexKindName(kind);
+    EXPECT_EQ(v1.value().bytes_mapped(), 0u);
+    EXPECT_GT(v2.value().load_micros(), 0u);
+
+    // Conversion oracle both directions: a v2-loaded (mmap-backed)
+    // snapshot re-saved as v1 must be byte-identical to the direct v1
+    // save, so EMBS0001 <-> EMBS0002 round trips lose nothing.
+    const std::string back_path = TempPath("fmt_v1_back");
+    ASSERT_TRUE(v2.value().SaveTo(back_path, SnapshotFormat::kV1).ok());
+    std::ifstream a(v1_path, std::ios::binary), b(back_path, std::ios::binary);
+    std::stringstream sa, sb;
+    sa << a.rdbuf();
+    sb << b.rdbuf();
+    EXPECT_EQ(sa.str(), sb.str()) << IndexKindName(kind);
+
+    std::filesystem::remove(v1_path);
+    std::filesystem::remove(v2_path);
+    std::filesystem::remove(back_path);
+  }
+}
+
+TEST(SnapshotFormatTest, TrustedLoadSkipsPayloadChecksumButKeepsBounds) {
+  const Snapshot built = MakeSnapshot(IndexKind::kExact, 60);
+  const std::string path = TempPath("fmt_trusted");
+  ASSERT_TRUE(built.SaveTo(path).ok());
+  LoadOptions trusted;
+  trusted.verify_checksum = false;
+  auto loaded = Snapshot::LoadFrom(path, trusted);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_GT(loaded.value().bytes_mapped(), 0u);
+  HashModel model;
+  model.Initialize();
+  const la::Matrix queries = model.VectorizeAll(Sentences(10, "query"));
+  ExpectSameResults(built.QueryBatch(queries, 5),
+                    loaded.value().QueryBatch(queries, 5));
+  // Even in trusted mode the header is checksummed: corrupting a section
+  // offset must never redirect a read.
+  std::string image;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    image = buffer.str();
+  }
+  image[40] = static_cast<char>(image[40] ^ 0x01);  // table_offset bytes
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+  }
+  EXPECT_FALSE(Snapshot::LoadFrom(path, trusted).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotQuantizedTest, Int8SnapshotRoundTripsAndMatchesInMemory) {
+  Snapshot built = MakeSnapshot(IndexKind::kExact, 120);
+  ASSERT_TRUE(built.Quantize().ok());
+  EXPECT_EQ(built.manifest().storage, StorageKind::kInt8);
+  ASSERT_TRUE(built.Validate().ok());
+
+  // EMBS0001 has no section for the quantized tier; the save must refuse
+  // rather than silently drop it.
+  const std::string path = TempPath("quantized");
+  EXPECT_EQ(built.SaveTo(path, SnapshotFormat::kV1).code(),
+            Status::Code::kInvalidArgument);
+
+  ASSERT_TRUE(built.SaveTo(path).ok());
+  auto loaded = Snapshot::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().manifest().storage, StorageKind::kInt8);
+  ASSERT_TRUE(loaded.value().Validate().ok());
+
+  // The mmap'ed int8 tier must reproduce the in-memory quantized scan
+  // (same codes, same integer kernels, same float rescore) bit for bit.
+  HashModel model;
+  model.Initialize();
+  const la::Matrix queries = model.VectorizeAll(Sentences(30, "query"));
+  ExpectSameResults(built.QueryBatch(queries, 5),
+                    loaded.value().QueryBatch(queries, 5));
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotQuantizedTest, QuantizeRejectsNonExactKinds) {
+  Snapshot hnsw = MakeSnapshot(IndexKind::kHnsw, 20);
+  EXPECT_EQ(hnsw.Quantize().code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(hnsw.manifest().storage, StorageKind::kFloat32);
 }
 
 // ---------------------------------------------------------------------------

@@ -8,8 +8,8 @@
 //   ember_cli pipeline <D1..D10> [--scale f] [--seed n] [--auto]
 //       End-to-end blocking + matching with Unique Mapping Clustering.
 //   ember_cli serve-bench <D1..D10> [--scale f] [--seed n] [--k n]
-//       [--index exact|hnsw|lsh] [--snapshot path] [--qps n]
-//       [--duration s] [--batch n] [--wait-us n] [--queue n]
+//       [--index exact|hnsw|lsh] [--storage f32|int8] [--snapshot path]
+//       [--qps n] [--duration s] [--batch n] [--wait-us n] [--queue n]
 //       [--deadline-ms f] [--workers n]
 //       Freeze the blocking pipeline into a snapshot (built, or loaded
 //       from --snapshot when the file exists), start the online serving
@@ -27,6 +27,11 @@
 //       Run the same workload with tracing enabled and write the span
 //       stream as Chrome trace_event JSON (default trace.json), plus a
 //       per-stage time breakdown on stdout.
+//   ember_cli snapshot-convert <in> <out> [--quantize int8] [--to v1|v2]
+//       Re-encode a snapshot between container formats: EMBS0001 (heap
+//       stream) <-> EMBS0002 (mmap-able sections), optionally building the
+//       int8 scan tier for exact snapshots (--quantize int8 forces --to
+//       v2, the only container that can carry it).
 //
 // When the build compiles failpoints in (the default), the EMBER_FAILPOINTS
 // environment variable arms fault-injection sites before any command runs;
@@ -64,15 +69,18 @@ int Usage(const char* argv0) {
                "[--hnsw]\n"
                "       %s pipeline <D1..D10> [--scale f] [--seed n] [--auto]\n"
                "       %s serve-bench <D1..D10> [--scale f] [--seed n] "
-               "[--k n] [--index exact|hnsw|lsh] [--snapshot path]\n"
+               "[--k n] [--index exact|hnsw|lsh] [--storage f32|int8] "
+               "[--snapshot path]\n"
                "           [--qps n] [--duration s] [--batch n] [--wait-us n] "
                "[--queue n] [--deadline-ms f] [--workers n]\n"
                "           [--trace path] [--metrics]\n"
                "       %s metrics-dump <D1..D10> [--json] [--requests n] "
                "[--scale f] [--seed n] [--k n] [--index exact|hnsw|lsh]\n"
                "       %s trace-dump <D1..D10> [--out path] [--requests n] "
-               "[--scale f] [--seed n] [--k n] [--index exact|hnsw|lsh]\n",
-               argv0, argv0, argv0, argv0, argv0, argv0);
+               "[--scale f] [--seed n] [--k n] [--index exact|hnsw|lsh]\n"
+               "       %s snapshot-convert <in> <out> [--quantize int8] "
+               "[--to v1|v2]\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -85,6 +93,7 @@ struct CliArgs {
   bool auto_threshold = false;
   // serve-bench
   std::string index_kind = "exact";
+  std::string storage = "f32";
   std::string snapshot_path;
   double qps = 200;
   double duration_seconds = 3;
@@ -118,6 +127,8 @@ bool ParseCli(int argc, char** argv, int first, CliArgs& args) {
       args.auto_threshold = true;
     } else if (arg == "--index" && i + 1 < argc) {
       args.index_kind = argv[++i];
+    } else if (arg == "--storage" && i + 1 < argc) {
+      args.storage = argv[++i];
     } else if (arg == "--snapshot" && i + 1 < argc) {
       args.snapshot_path = argv[++i];
     } else if (arg == "--qps" && i + 1 < argc) {
@@ -240,6 +251,11 @@ int RunServeBench(const CliArgs& args) {
     std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
     return 1;
   }
+  const auto storage = serve::StorageKindFromString(args.storage);
+  if (!storage.ok()) {
+    std::fprintf(stderr, "%s\n", storage.status().ToString().c_str());
+    return 1;
+  }
   const datagen::CleanCleanDataset data =
       datagen::GenerateCleanClean(spec.value(), args.scale, args.seed);
   auto model = std::shared_ptr<embed::EmbeddingModel>(
@@ -288,6 +304,16 @@ int RunServeBench(const CliArgs& args) {
         std::printf("snapshot: saved to %s\n", args.snapshot_path.c_str());
       }
     }
+  }
+  if (storage.value() == serve::StorageKind::kInt8 &&
+      snapshot.manifest().storage != serve::StorageKind::kInt8) {
+    const Status quantized = snapshot.Quantize();
+    if (!quantized.ok()) {
+      std::fprintf(stderr, "%s\n", quantized.ToString().c_str());
+      return 1;
+    }
+    std::printf("snapshot: int8 scan tier built (storage=%s)\n",
+                serve::StorageKindName(snapshot.manifest().storage));
   }
 
   serve::EngineOptions options;
@@ -493,6 +519,72 @@ int RunTraceDump(const CliArgs& args) {
   return 0;
 }
 
+// snapshot-convert takes two positional paths instead of a dataset id, so
+// it parses its own tail rather than going through ParseCli.
+int RunSnapshotConvert(int argc, char** argv) {
+  if (argc < 4) return Usage(argv[0]);
+  const std::string in_path = argv[2];
+  const std::string out_path = argv[3];
+  std::string quantize;
+  std::string to = "v2";
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quantize" && i + 1 < argc) {
+      quantize = argv[++i];
+    } else if (arg == "--to" && i + 1 < argc) {
+      to = argv[++i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (!quantize.empty() && quantize != "int8") {
+    std::fprintf(stderr, "--quantize supports only int8, not '%s'\n",
+                 quantize.c_str());
+    return 2;
+  }
+  serve::SnapshotFormat format = serve::SnapshotFormat::kV2;
+  if (to == "v1") {
+    format = serve::SnapshotFormat::kV1;
+  } else if (to != "v2") {
+    std::fprintf(stderr, "--to must be v1 or v2, not '%s'\n", to.c_str());
+    return 2;
+  }
+
+  WallTimer timer;
+  auto loaded = serve::Snapshot::LoadFrom(in_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  serve::Snapshot snapshot = std::move(loaded).value();
+  const double load_seconds = timer.Restart();
+  if (!quantize.empty()) {
+    const Status quantized = snapshot.Quantize();
+    if (!quantized.ok()) {
+      std::fprintf(stderr, "%s\n", quantized.ToString().c_str());
+      return 1;
+    }
+  }
+  const Status saved = snapshot.SaveTo(out_path, format);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  const serve::SnapshotManifest& manifest = snapshot.manifest();
+  std::printf("converted %s -> %s (%s)\n", in_path.c_str(), out_path.c_str(),
+              format == serve::SnapshotFormat::kV2 ? "EMBS0002" : "EMBS0001");
+  std::printf("  kind=%s storage=%s rows=%llu dim=%u dataset=%s\n",
+              IndexKindName(manifest.kind),
+              serve::StorageKindName(manifest.storage),
+              static_cast<unsigned long long>(manifest.rows), manifest.dim,
+              manifest.dataset.c_str());
+  std::printf("  load %.1f ms (%s) + convert/save %.1f ms\n",
+              load_seconds * 1e3,
+              snapshot.bytes_mapped() > 0 ? "mmap" : "heap",
+              timer.Seconds() * 1e3);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -508,6 +600,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage(argv[0]);
   const std::string command = argv[1];
   if (command == "models") return RunModels();
+  if (command == "snapshot-convert") return RunSnapshotConvert(argc, argv);
   CliArgs args;
   if (!ParseCli(argc, argv, 2, args)) return Usage(argv[0]);
   if (command == "block") return RunBlock(args);
