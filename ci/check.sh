@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Local CI gate: build Release and Debug+sanitizers, run the full test suite
 # in both, run the fault-injection suite and an $EMBER_FAILPOINTS env smoke
-# under ASan, run the concurrency suites under ThreadSanitizer (serve/fault
-# repeated until-fail:3), prove the -DEMBER_FAILPOINTS_ENABLED=OFF build,
+# under ASan, run the concurrency suites under ThreadSanitizer (serve/fault/
+# router repeated until-fail:3), prove the -DEMBER_FAILPOINTS_ENABLED=OFF
+# build,
 # then smoke-run the micro-benchmarks and the serving/resilience/
 # observability benches on the Release build, validate the metrics-dump /
 # trace-dump exporter output with a real parser, and hold src/obs+src/serve
@@ -66,10 +67,10 @@ EMBER_FAILPOINTS="snapshot/save=error:io" \
 echo "==> configure build-tsan (EMBER_SANITIZE=tsan)"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DEMBER_SANITIZE=tsan >/dev/null
 echo "==> build build-tsan"
-cmake --build build-tsan -j "${JOBS}" --target parallel_test serve_test fault_test determinism_test obs_test
-echo "==> ctest build-tsan (parallel/determinism once; serve/fault x3)"
+cmake --build build-tsan -j "${JOBS}" --target parallel_test serve_test fault_test determinism_test obs_test router_test
+echo "==> ctest build-tsan (parallel/determinism once; serve/fault/router x3)"
 (cd build-tsan && ctest --output-on-failure -R '^(parallel|determinism)_test$')
-(cd build-tsan && ctest --output-on-failure --repeat until-fail:3 -R '^(serve|fault|obs)_test$')
+(cd build-tsan && ctest --output-on-failure --repeat until-fail:3 -R '^(serve|fault|obs|router)_test$')
 
 # Coverage leg: Debug + gcov, run the obs/serve/la suites, and hold the
 # line on the subsystems this repo treats as infrastructure — src/obs,
@@ -80,10 +81,10 @@ echo "==> ctest build-tsan (parallel/determinism once; serve/fault x3)"
 echo "==> configure build-cov (EMBER_COVERAGE=ON)"
 cmake -B build-cov -S . -DCMAKE_BUILD_TYPE=Debug -DEMBER_COVERAGE=ON >/dev/null
 echo "==> build build-cov"
-cmake --build build-cov -j "${JOBS}" --target obs_test serve_test fault_test la_test index_test
-echo "==> ctest build-cov (obs/serve/fault/la/index) + coverage floor"
+cmake --build build-cov -j "${JOBS}" --target obs_test serve_test fault_test la_test index_test router_test
+echo "==> ctest build-cov (obs/serve/fault/la/index/router) + coverage floor"
 (cd build-cov && find . -name '*.gcda' -delete && \
-  ctest --output-on-failure -R '^(obs|serve|fault|la|index)_test$')
+  ctest --output-on-failure -R '^(obs|serve|fault|la|index|router)_test$')
 python3 - <<'PYEOF'
 import glob, re, subprocess, sys
 floor = 85.0
@@ -130,6 +131,9 @@ echo "==> exp24 observability smoke (Release)"
 echo "==> exp25 memory smoke (Release)"
 ./build-release/bench/exp25_memory --scale 0.05
 
+echo "==> exp26 sharded scaling smoke (Release)"
+./build-release/bench/exp26_scaling --scale 0.05
+
 echo "==> metrics/trace CLI smoke (Release): exporters must be parseable"
 ./build-release/tools/ember_cli metrics-dump D2 --scale 0.05 > /tmp/ember_metrics.prom
 grep -q '^# TYPE ember_serve_submitted_total counter$' /tmp/ember_metrics.prom
@@ -168,5 +172,26 @@ echo "==> snapshot-convert round trip + quantized mmap serving (Release)"
 ./build-release/tools/ember_cli snapshot-convert \
   build-release/d2_smoke_i8.snap /dev/null --to v1 >/dev/null 2>&1 \
   && { echo "int8 snapshot converted to v1 but EMBS0001 cannot carry it" >&2; exit 1; }
+
+echo "==> sharded serving smoke (Release): shard set + router scatter-gather"
+# Build a 4-shard set; the CLI round-trips it and bit-compares the k-way
+# merge against the unsharded oracle.
+./build-release/tools/ember_cli snapshot-shard D2 --scale 0.05 --shards 4 \
+  --prefix build-release/d2_shards > /tmp/ember_shard.out
+grep -q 'bit-identical to the unsharded oracle' /tmp/ember_shard.out
+# Serve through the router from the saved set (4 shards x 2 replicas) and
+# spot-check the routed merge.
+./build-release/tools/ember_cli serve-bench D2 --scale 0.05 --qps 50 \
+  --duration 1 --shards 4 --replicas 2 \
+  --snapshot build-release/d2_shards > /tmp/ember_router.out
+grep -q 'shard set: loaded 4 shards' /tmp/ember_router.out
+grep -q 'routed queries match the shard merge' /tmp/ember_router.out
+# Fail-closed: duplicating one shard file makes the set incoherent
+# (duplicate shard_id), and the router must refuse to serve from it.
+cp build-release/d2_shards.s0-of-4.snap build-release/d2_shards.s1-of-4.snap
+./build-release/tools/ember_cli serve-bench D2 --scale 0.05 --qps 50 \
+  --duration 1 --shards 4 --replicas 2 \
+  --snapshot build-release/d2_shards >/dev/null 2>&1 \
+  && { echo "incoherent shard set was served instead of refused" >&2; exit 1; }
 
 echo "==> all checks passed"

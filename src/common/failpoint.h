@@ -59,6 +59,7 @@ inline constexpr const char* kCatalog[] = {
     "snapshot/validate",  // serve::Snapshot::Validate entry
     "engine/embed",       // serve::Engine embed stage (retried, breaker)
     "engine/query",       // serve::Engine query stage (degraded fallback)
+    "router/embed",       // serve::Router embed-once stage (retried)
 };
 
 /// What an armed point does when its policy fires.

@@ -1,0 +1,40 @@
+#include "core/sharding.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace ember::core {
+
+std::vector<la::Matrix> PartitionRoundRobin(const la::Matrix& corpus,
+                                            uint32_t shard_count) {
+  EMBER_CHECK(shard_count >= 1);
+  const ShardPlan plan{shard_count, corpus.rows()};
+  std::vector<la::Matrix> shards;
+  shards.reserve(shard_count);
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    shards.emplace_back(plan.RowsInShard(s), corpus.cols());
+  }
+  for (uint64_t g = 0; g < corpus.rows(); ++g) {
+    la::Matrix& shard = shards[plan.ShardOfRow(g)];
+    std::memcpy(shard.Row(plan.LocalIndex(g)), corpus.Row(g),
+                corpus.cols() * sizeof(float));
+  }
+  return shards;
+}
+
+std::vector<std::vector<std::string>> PartitionRoundRobin(
+    const std::vector<std::string>& rows, uint32_t shard_count) {
+  EMBER_CHECK(shard_count >= 1);
+  const ShardPlan plan{shard_count, rows.size()};
+  std::vector<std::vector<std::string>> shards(shard_count);
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    shards[s].reserve(plan.RowsInShard(s));
+  }
+  for (uint64_t g = 0; g < rows.size(); ++g) {
+    shards[plan.ShardOfRow(g)].push_back(rows[g]);
+  }
+  return shards;
+}
+
+}  // namespace ember::core

@@ -1,0 +1,52 @@
+#ifndef EMBER_CORE_SHARDING_H_
+#define EMBER_CORE_SHARDING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace ember::core {
+
+/// Deterministic round-robin shard plan over a row-indexed corpus
+/// (DESIGN.md §13): global row g lives in shard g % shard_count at local
+/// index g / shard_count. Round-robin (rather than contiguous ranges) keeps
+/// shard sizes balanced to within one row for ANY corpus size, and makes
+/// the local -> global mapping a pure stride — global = shard + local *
+/// shard_count — so per-shard neighbor ids remap to global space with one
+/// multiply-add and no lookup table.
+struct ShardPlan {
+  uint32_t shard_count = 1;
+  uint64_t total_rows = 0;
+
+  uint32_t ShardOfRow(uint64_t global) const {
+    return static_cast<uint32_t>(global % shard_count);
+  }
+  uint64_t LocalIndex(uint64_t global) const { return global / shard_count; }
+  uint64_t GlobalId(uint32_t shard, uint64_t local) const {
+    return shard + local * shard_count;
+  }
+  /// Rows landing in `shard`: ceil((total_rows - shard) / shard_count).
+  uint64_t RowsInShard(uint32_t shard) const {
+    return shard < total_rows
+               ? (total_rows - shard + shard_count - 1) / shard_count
+               : 0;
+  }
+};
+
+/// Splits `corpus` into `shard_count` row-major matrices under ShardPlan
+/// (shard s owns global rows s, s+N, s+2N, ...). Rows are copied; the
+/// result is independent of the input's storage mode. shard_count must be
+/// >= 1; shards beyond the corpus size come back empty (0 x cols).
+std::vector<la::Matrix> PartitionRoundRobin(const la::Matrix& corpus,
+                                            uint32_t shard_count);
+
+/// The same plan over raw records, for partitioning sentences before
+/// embedding shard-locally.
+std::vector<std::vector<std::string>> PartitionRoundRobin(
+    const std::vector<std::string>& rows, uint32_t shard_count);
+
+}  // namespace ember::core
+
+#endif  // EMBER_CORE_SHARDING_H_

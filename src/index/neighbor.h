@@ -20,6 +20,20 @@ inline bool CloserThan(const Neighbor& a, const Neighbor& b) {
          (a.distance == b.distance && a.id < b.id);
 }
 
+/// Remaps shard-local neighbor ids into the global id space of a
+/// round-robin shard plan (core/sharding.h, DESIGN.md §13):
+/// global = row_offset + local * shard_count. The offset/stride form makes
+/// the unsharded case (offset 0, count 1) an identity, and because the map
+/// is strictly increasing in the local id, it preserves the CloserThan
+/// tie-break order within one shard's result list.
+inline void RemapToGlobal(std::vector<Neighbor>& neighbors,
+                          uint64_t row_offset, uint32_t shard_count) {
+  for (Neighbor& n : neighbors) {
+    n.id = static_cast<uint32_t>(row_offset +
+                                 static_cast<uint64_t>(n.id) * shard_count);
+  }
+}
+
 }  // namespace ember::index
 
 #endif  // EMBER_INDEX_NEIGHBOR_H_

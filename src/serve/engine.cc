@@ -195,6 +195,28 @@ void Engine::Stop() {
 
 Result<std::future<Result<QueryReply>>> Engine::Submit(std::string record,
                                                        SteadyTime deadline) {
+  Request request;
+  request.record = std::move(record);
+  request.deadline = deadline;
+  return Enqueue(std::move(request));
+}
+
+Result<std::future<Result<QueryReply>>> Engine::SubmitEmbedded(
+    std::vector<float> embedding, SteadyTime deadline) {
+  if (embedding.size() != model_->info().dim) {
+    return Status::InvalidArgument(
+        "pre-embedded query has dim " + std::to_string(embedding.size()) +
+        " but the engine's model produces dim " +
+        std::to_string(model_->info().dim));
+  }
+  Request request;
+  request.embedding = std::move(embedding);
+  request.pre_embedded = true;
+  request.deadline = deadline;
+  return Enqueue(std::move(request));
+}
+
+Result<std::future<Result<QueryReply>>> Engine::Enqueue(Request request) {
   // Breaker fast-fail outside the queue lock: while the embed/query stages
   // are known-broken, shedding here keeps the queue from filling with work
   // that would only be failed milliseconds later.
@@ -202,9 +224,6 @@ Result<std::future<Result<QueryReply>>> Engine::Submit(std::string record,
     short_circuits_.fetch_add(1, std::memory_order_relaxed);
     return Status::Unavailable("circuit breaker open");
   }
-  Request request;
-  request.record = std::move(record);
-  request.deadline = deadline;
   request.enqueued = SteadyNow();
   std::future<Result<QueryReply>> future = request.promise.get_future();
   {
@@ -296,28 +315,51 @@ void Engine::ProcessBatch(std::vector<Request> batch) {
   const std::shared_ptr<const Snapshot> snap = snapshot();
   const size_t k = k_.load(std::memory_order_relaxed);
 
+  // A batch can mix Submit records with SubmitEmbedded vectors (the Router
+  // fan-out path): only the records go through the model; pre-embedded rows
+  // are copied into their slots and pay no embed cost — and an all-
+  // pre-embedded batch never evaluates the engine/embed failpoint, because
+  // nothing fallible runs (embed faults belong to whoever embedded).
   std::vector<std::string> sentences;
-  sentences.reserve(live.size());
-  for (const Request& request : live) sentences.push_back(request.record);
+  std::vector<size_t> embed_slots;
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (live[i].pre_embedded) continue;
+    embed_slots.push_back(i);
+    sentences.push_back(live[i].record);
+  }
 
   // Embed stage, under the retry policy. VectorizeAll itself cannot fail
   // (pure compute), so the fallible part is the boundary the failpoint
   // models: upstream tokenizer/model-server hiccups.
   WallTimer timer;
-  la::Matrix vectors;
+  la::Matrix vectors(live.size(), model_->info().dim);
   uint64_t embed_retries = 0;
   Status embedded = Status::Ok();
   {
     obs::Span embed_span("serve/embed");
-    embedded = RetryStatus(
-        options_.embed_retry, batch_no,
-        [&] {
-          Status injected = fail::Check("engine/embed");
-          if (!injected.ok()) return injected;
-          vectors = model_->VectorizeAll(sentences);
-          return Status::Ok();
-        },
-        &embed_retries);
+    if (!embed_slots.empty()) {
+      la::Matrix fresh;
+      embedded = RetryStatus(
+          options_.embed_retry, batch_no,
+          [&] {
+            Status injected = fail::Check("engine/embed");
+            if (!injected.ok()) return injected;
+            fresh = model_->VectorizeAll(sentences);
+            return Status::Ok();
+          },
+          &embed_retries);
+      if (embedded.ok()) {
+        for (size_t slot = 0; slot < embed_slots.size(); ++slot) {
+          std::memcpy(vectors.Row(embed_slots[slot]), fresh.Row(slot),
+                      vectors.cols() * sizeof(float));
+        }
+      }
+    }
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (!live[i].pre_embedded) continue;
+      std::memcpy(vectors.Row(i), live[i].embedding.data(),
+                  vectors.cols() * sizeof(float));
+    }
     embed_span.AddCount("retries", embed_retries);
   }
   retries_.fetch_add(embed_retries, std::memory_order_relaxed);

@@ -141,6 +141,15 @@ class Engine {
   Result<std::future<Result<QueryReply>>> Submit(
       std::string record, SteadyTime deadline = kNoDeadline);
 
+  /// Non-blocking submit of one already-embedded query vector — the sharded
+  /// Router's fan-out path (DESIGN.md §13): the router embeds a record once
+  /// and each shard engine skips its embed stage for that request. Same
+  /// admission rules and reply semantics as Submit; fails with
+  /// InvalidArgument when the vector's dimensionality does not match the
+  /// engine's model.
+  Result<std::future<Result<QueryReply>>> SubmitEmbedded(
+      std::vector<float> embedding, SteadyTime deadline = kNoDeadline);
+
   /// Hot snapshot reload: loads `path` (retrying transient failures under
   /// `policy`), validates it against the manifest, the engine's model, and
   /// the index invariants, warms it with a probe query, then swaps it in
@@ -180,6 +189,9 @@ class Engine {
  private:
   struct Request {
     std::string record;
+    /// Populated instead of `record` on the SubmitEmbedded path.
+    std::vector<float> embedding;
+    bool pre_embedded = false;
     SteadyTime deadline;
     SteadyTime enqueued;
     std::promise<Result<QueryReply>> promise;
@@ -190,6 +202,9 @@ class Engine {
 
   void WorkerLoop();
   void ProcessBatch(std::vector<Request> batch);
+  /// Common admission tail of Submit/SubmitEmbedded: breaker gate, queue
+  /// bound, enqueue + wake a worker.
+  Result<std::future<Result<QueryReply>>> Enqueue(Request request);
   /// Validates a snapshot against the engine's embedding model (same checks
   /// as Create) — shared by Create and ReloadSnapshot.
   static Status CheckModelCompatible(const SnapshotManifest& manifest,

@@ -1,0 +1,644 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <cstring>
+#include <queue>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "core/sharding.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace ember::serve {
+
+namespace {
+
+/// Every 16th pick per shard group ignores replica health, so a replica
+/// whose breaker is open keeps receiving the trickle of probe traffic its
+/// half-open recovery path needs.
+constexpr uint64_t kProbeEvery = 16;
+
+std::vector<obs::Sample> RouterMetricsToSamples(const RouterMetrics& metrics,
+                                                const std::string& instance) {
+  const obs::Labels labels = {{"router", instance}};
+  std::vector<obs::Sample> samples;
+  auto counter = [&](const char* name, const char* help, uint64_t value) {
+    obs::Sample sample;
+    sample.name = name;
+    sample.help = help;
+    sample.kind = obs::MetricKind::kCounter;
+    sample.labels = labels;
+    sample.value = static_cast<double>(value);
+    samples.push_back(std::move(sample));
+  };
+  auto histogram = [&](const char* name, const char* help,
+                       const HistogramSnapshot& snapshot, obs::Labels extra) {
+    obs::Sample sample;
+    sample.name = name;
+    sample.help = help;
+    sample.kind = obs::MetricKind::kHistogram;
+    sample.labels = std::move(extra);
+    sample.labels.insert(labels.begin(), labels.end());
+    sample.histogram = snapshot;
+    samples.push_back(std::move(sample));
+  };
+  counter("ember_router_submitted_total", "Requests accepted into the queue",
+          metrics.submitted);
+  counter("ember_router_completed_total", "Requests answered with neighbors",
+          metrics.completed);
+  counter("ember_router_rejected_total", "Requests refused at Submit",
+          metrics.rejected);
+  counter("ember_router_expired_total", "Requests shed before embedding",
+          metrics.expired);
+  counter("ember_router_failed_total", "Requests failed with an error",
+          metrics.failed);
+  counter("ember_router_deadline_misses_total",
+          "Requests completed after their deadline", metrics.deadline_misses);
+  counter("ember_router_batches_total", "Micro-batches processed",
+          metrics.batches);
+  counter("ember_router_retries_total", "Embed retry attempts",
+          metrics.retries);
+  counter("ember_router_partial_total",
+          "Replies merged with at least one shard group missing",
+          metrics.partial);
+  counter("ember_router_shards_degraded_total",
+          "(request, shard group) pairs no replica answered",
+          metrics.shards_degraded);
+  counter("ember_router_sibling_retries_total",
+          "Replica fail-overs during fan-out or gather",
+          metrics.sibling_retries);
+  histogram("ember_router_queue_micros", "Submit to dequeue wait per request",
+            metrics.queue_micros, {});
+  histogram("ember_router_embed_micros", "Embed-once time per batch",
+            metrics.embed_micros, {});
+  histogram("ember_router_fanout_micros", "Scatter submit time per batch",
+            metrics.fanout_micros, {});
+  histogram("ember_router_gather_micros",
+            "Shard future wait time per batch", metrics.gather_micros, {});
+  histogram("ember_router_merge_micros",
+            "K-way merge + completion time per batch", metrics.merge_micros,
+            {});
+  histogram("ember_router_total_micros", "Submit to completion per request",
+            metrics.total_micros, {});
+  histogram("ember_router_batch_size", "Live requests per processed batch",
+            metrics.batch_size, {});
+  for (size_t s = 0; s < metrics.shard_micros.size(); ++s) {
+    for (size_t r = 0; r < metrics.shard_micros[s].size(); ++r) {
+      histogram("ember_router_shard_micros",
+                "Per-replica round trip observed from the router's gather",
+                metrics.shard_micros[s][r],
+                {{"shard", std::to_string(s)},
+                 {"replica", std::to_string(r)}});
+    }
+  }
+  return samples;
+}
+
+}  // namespace
+
+std::vector<index::Neighbor> MergeTopK(
+    const std::vector<std::vector<index::Neighbor>>& per_shard, size_t k) {
+  // Heads of the still-live lists; the heap pops the globally closest head.
+  // CloserThan never compares equal elements across lists (ids are unique
+  // after global remap), so the pop order — and therefore the result — is
+  // independent of shard count and arrival order.
+  struct Head {
+    size_t list;
+    size_t pos;
+  };
+  auto after = [&](const Head& a, const Head& b) {
+    // priority_queue keeps the LARGEST on top, so "a after b" = b closer.
+    return index::CloserThan(per_shard[b.list][b.pos],
+                             per_shard[a.list][a.pos]);
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(after)> heap(after);
+  for (size_t l = 0; l < per_shard.size(); ++l) {
+    if (!per_shard[l].empty()) heap.push({l, 0});
+  }
+  std::vector<index::Neighbor> merged;
+  merged.reserve(k);
+  while (merged.size() < k && !heap.empty()) {
+    Head head = heap.top();
+    heap.pop();
+    merged.push_back(per_shard[head.list][head.pos]);
+    if (++head.pos < per_shard[head.list].size()) heap.push(head);
+  }
+  return merged;
+}
+
+Result<std::vector<Snapshot>> BuildShardSnapshots(
+    SnapshotManifest base, const la::Matrix& corpus, uint32_t shard_count,
+    const index::HnswOptions& hnsw_options,
+    const index::LshOptions& lsh_options) {
+  if (shard_count == 0) {
+    return Status::InvalidArgument("shard_count must be >= 1");
+  }
+  std::vector<la::Matrix> parts = core::PartitionRoundRobin(corpus,
+                                                            shard_count);
+  std::vector<Snapshot> shards;
+  shards.reserve(shard_count);
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    SnapshotManifest manifest = base;
+    manifest.shard_id = s;
+    manifest.shard_count = shard_count;
+    manifest.row_offset = s;
+    shards.push_back(Snapshot::Build(std::move(manifest), std::move(parts[s]),
+                                     hnsw_options, lsh_options));
+  }
+  return shards;
+}
+
+Result<std::vector<Snapshot>> LoadShardSet(
+    const std::vector<std::string>& paths, const LoadOptions& options) {
+  if (paths.empty()) {
+    return Status::InvalidArgument("shard set has no files");
+  }
+  std::vector<Snapshot> shards;
+  shards.reserve(paths.size());
+  for (const std::string& path : paths) {
+    Result<Snapshot> loaded = Snapshot::LoadFrom(path, options);
+    if (!loaded.ok()) {
+      return Status::IoError("shard '" + path +
+                             "': " + loaded.status().ToString());
+    }
+    shards.push_back(std::move(loaded.value()));
+  }
+  const SnapshotManifest& first = shards.front().manifest();
+  if (first.shard_count != shards.size()) {
+    return Status::InvalidArgument(
+        "shard set has " + std::to_string(shards.size()) +
+        " files but the manifests declare " +
+        std::to_string(first.shard_count) + " shards");
+  }
+  std::vector<bool> seen(shards.size(), false);
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const SnapshotManifest& m = shards[i].manifest();
+    if (m.shard_count != first.shard_count) {
+      return Status::InvalidArgument(
+          "shard '" + paths[i] + "' declares shard_count " +
+          std::to_string(m.shard_count) + " but the set has " +
+          std::to_string(first.shard_count));
+    }
+    if (m.model_code != first.model_code || m.dim != first.dim) {
+      return Status::InvalidArgument(
+          "shard '" + paths[i] + "' model fingerprint " + m.model_code +
+          "/" + std::to_string(m.dim) + " does not match " +
+          first.model_code + "/" + std::to_string(first.dim));
+    }
+    if (m.kind != first.kind || m.storage != first.storage ||
+        m.default_k != first.default_k) {
+      return Status::InvalidArgument(
+          "shard '" + paths[i] +
+          "' disagrees on index kind/storage/default_k with the set");
+    }
+    if (seen[m.shard_id]) {
+      return Status::InvalidArgument("duplicate shard_id " +
+                                     std::to_string(m.shard_id) +
+                                     " in shard set ('" + paths[i] + "')");
+    }
+    seen[m.shard_id] = true;
+  }
+  // shard_id < shard_count is a load-time manifest invariant, so N distinct
+  // ids over N files is full coverage; sort into plan order.
+  std::sort(shards.begin(), shards.end(),
+            [](const Snapshot& a, const Snapshot& b) {
+              return a.manifest().shard_id < b.manifest().shard_id;
+            });
+  return shards;
+}
+
+Result<std::unique_ptr<Router>> Router::Create(
+    std::vector<std::unique_ptr<Engine>> engines,
+    std::shared_ptr<embed::EmbeddingModel> model,
+    const RouterOptions& options) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("router requires an embed-once model");
+  }
+  if (engines.empty()) {
+    return Status::InvalidArgument("router requires at least one engine");
+  }
+  for (const auto& engine : engines) {
+    if (engine == nullptr) {
+      return Status::InvalidArgument("router engine list holds a null");
+    }
+  }
+  const SnapshotManifest first = engines.front()->snapshot()->manifest();
+  const uint32_t shard_count = first.shard_count;
+  std::vector<ShardGroup> groups(shard_count);
+  uint64_t total_rows = 0;
+  for (auto& engine : engines) {
+    const SnapshotManifest m = engine->snapshot()->manifest();
+    if (m.shard_count != shard_count) {
+      return Status::InvalidArgument(
+          "engine shard_count " + std::to_string(m.shard_count) +
+          " does not match the fleet's " + std::to_string(shard_count));
+    }
+    if (m.model_code != first.model_code || m.dim != first.dim) {
+      return Status::InvalidArgument(
+          "engine model fingerprint " + m.model_code + "/" +
+          std::to_string(m.dim) + " does not match " + first.model_code +
+          "/" + std::to_string(first.dim));
+    }
+    if (m.kind != first.kind || m.storage != first.storage) {
+      return Status::InvalidArgument(
+          "engines disagree on index kind/storage across the fleet");
+    }
+    ShardGroup& group = groups[m.shard_id];
+    if (group.engines.empty()) {
+      group.row_offset = m.row_offset;
+      total_rows += m.rows;
+    } else {
+      const SnapshotManifest peer =
+          group.engines.front()->snapshot()->manifest();
+      if (m.rows != peer.rows || m.row_offset != peer.row_offset) {
+        return Status::InvalidArgument(
+            "replicas of shard " + std::to_string(m.shard_id) +
+            " disagree on rows/row_offset");
+      }
+    }
+    group.engines.push_back(std::move(engine));
+  }
+  if (model->info().code != first.model_code) {
+    return Status::InvalidArgument(
+        "shards were built with model '" + first.model_code +
+        "' but the router embeds with '" + model->info().code + "'");
+  }
+  if (model->info().dim != first.dim && first.rows > 0) {
+    return Status::InvalidArgument("router model/shard dim mismatch");
+  }
+  const core::ShardPlan plan{shard_count, total_rows};
+  const size_t k = options.k > 0 ? options.k
+                                 : std::max<size_t>(1, first.default_k);
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    if (groups[s].engines.empty()) {
+      return Status::InvalidArgument("shard " + std::to_string(s) +
+                                     " has no replicas");
+    }
+    const SnapshotManifest m = groups[s].engines.front()->snapshot()->manifest();
+    if (m.rows != plan.RowsInShard(s)) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(s) + " holds " + std::to_string(m.rows) +
+          " rows but the round-robin plan over " +
+          std::to_string(total_rows) + " expects " +
+          std::to_string(plan.RowsInShard(s)));
+    }
+    for (const auto& engine : groups[s].engines) {
+      const size_t engine_k = engine->options().k > 0
+                                  ? engine->options().k
+                                  : std::max<size_t>(1, m.default_k);
+      if (engine_k < k) {
+        return Status::InvalidArgument(
+            "shard " + std::to_string(s) + " replica answers top-" +
+            std::to_string(engine_k) + " but the router merges top-" +
+            std::to_string(k) + " — per-shard k must be >= the merged k");
+      }
+    }
+  }
+  model->Initialize();
+  return std::unique_ptr<Router>(
+      new Router(std::move(groups), std::move(model), options));
+}
+
+Router::Router(std::vector<ShardGroup> groups,
+               std::shared_ptr<embed::EmbeddingModel> model,
+               const RouterOptions& options)
+    : groups_(std::move(groups)),
+      model_(std::move(model)),
+      options_(options),
+      shard_count_(static_cast<uint32_t>(groups_.size())) {
+  options_.max_queue = std::max<size_t>(1, options_.max_queue);
+  options_.max_batch = std::max<size_t>(1, options_.max_batch);
+  options_.workers = std::max<size_t>(1, options_.workers);
+  options_.max_wait_micros = std::max<int64_t>(0, options_.max_wait_micros);
+  const SnapshotManifest& first =
+      groups_.front().engines.front()->snapshot()->manifest();
+  k_ = options_.k > 0 ? options_.k : std::max<size_t>(1, first.default_k);
+  shard_micros_.resize(groups_.size());
+  for (size_t s = 0; s < groups_.size(); ++s) {
+    for (size_t r = 0; r < groups_[s].engines.size(); ++r) {
+      shard_micros_[s].push_back(std::make_unique<LatencyHistogram>());
+    }
+  }
+  static std::atomic<uint64_t> next_instance{0};
+  instance_ = std::to_string(next_instance.fetch_add(1));
+  collector_id_ = obs::Registry::Global().AddCollector(
+      [this] { return RouterMetricsToSamples(Metrics(), instance_); });
+  collector_registered_.store(true, std::memory_order_release);
+  workers_.reserve(options_.workers);
+  for (size_t w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Router::~Router() { Stop(); }
+
+void Router::Stop() {
+  if (collector_registered_.exchange(false, std::memory_order_acq_rel)) {
+    obs::Registry::Global().RemoveCollector(collector_id_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  // Engines stop after the router drains: in-flight fan-outs keep their
+  // shard queues alive until every router promise is settled.
+  for (ShardGroup& group : groups_) {
+    for (auto& engine : group.engines) engine->Stop();
+  }
+}
+
+Result<std::future<Result<RouterReply>>> Router::Submit(std::string record,
+                                                        SteadyTime deadline) {
+  Request request;
+  request.record = std::move(record);
+  request.deadline = deadline;
+  request.enqueued = SteadyNow();
+  std::future<Result<RouterReply>> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("router is stopped");
+    }
+    if (queue_.size() >= options_.max_queue) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("queue full (" +
+                                 std::to_string(options_.max_queue) + ")");
+    }
+    queue_.push_back(std::move(request));
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void Router::WorkerLoop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      const SteadyTime window_end =
+          AfterMicros(queue_.front().enqueued, options_.max_wait_micros);
+      queue_cv_.wait_until(lock, window_end, [this] {
+        return stopping_ || queue_.size() >= options_.max_batch;
+      });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      const size_t take = std::min(queue_.size(), options_.max_batch);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    ProcessBatch(std::move(batch));
+  }
+}
+
+std::vector<size_t> Router::ReplicaOrder(ShardGroup& group) const {
+  const size_t replicas = group.engines.size();
+  const uint64_t ticket = group.rotation.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  std::vector<size_t> order;
+  order.reserve(replicas);
+  for (size_t i = 0; i < replicas; ++i) {
+    order.push_back((ticket + i) % replicas);
+  }
+  if (replicas > 1 && ticket % kProbeEvery != 0) {
+    std::stable_partition(order.begin(), order.end(), [&](size_t r) {
+      return group.engines[r]->health() != Health::kTripped;
+    });
+  }
+  return order;
+}
+
+void Router::ProcessBatch(std::vector<Request> batch) {
+  const SteadyTime drained = SteadyNow();
+  const uint64_t batch_no = batches_.fetch_add(1, std::memory_order_relaxed);
+  obs::Span batch_span("router/batch", obs::Span::RootTag{}, batch_no);
+  batch_span.AddCount("requests", batch.size());
+
+  std::vector<Request> live;
+  live.reserve(batch.size());
+  {
+    obs::Span shed_span("router/dequeue_shed");
+    for (Request& request : batch) {
+      queue_micros_.Record(MicrosBetween(request.enqueued, drained));
+      if (request.deadline < drained) {
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        request.promise.set_value(
+            Status::DeadlineExceeded("shed before embedding"));
+      } else {
+        live.push_back(std::move(request));
+      }
+    }
+  }
+  if (live.empty()) return;
+  batch_span.AddCount("live", live.size());
+  batch_size_.Record(static_cast<double>(live.size()));
+
+  std::vector<std::string> sentences;
+  sentences.reserve(live.size());
+  for (const Request& request : live) sentences.push_back(request.record);
+
+  // Embed ONCE for the whole fleet — the scatter ships vectors, not
+  // records, so the (dominant) embed cost does not multiply with N.
+  WallTimer timer;
+  la::Matrix vectors;
+  uint64_t embed_retries = 0;
+  Status embedded = Status::Ok();
+  {
+    obs::Span embed_span("router/embed");
+    embedded = RetryStatus(
+        options_.embed_retry, batch_no,
+        [&] {
+          Status injected = fail::Check("router/embed");
+          if (!injected.ok()) return injected;
+          vectors = model_->VectorizeAll(sentences);
+          return Status::Ok();
+        },
+        &embed_retries);
+    embed_span.AddCount("retries", embed_retries);
+  }
+  retries_.fetch_add(embed_retries, std::memory_order_relaxed);
+  embed_micros_.Record(timer.Restart() * 1e6);
+  if (!embedded.ok()) {
+    failed_.fetch_add(live.size(), std::memory_order_relaxed);
+    for (Request& request : live) request.promise.set_value(embedded);
+    EMBER_WARN("router embed stage failed after %llu retries: %s",
+               static_cast<unsigned long long>(embed_retries),
+               embedded.ToString().c_str());
+    return;
+  }
+  const size_t dim = vectors.cols();
+
+  // Scatter: one replica per shard group per request, health-aware with
+  // sibling fail-over at submit time (a refused replica — breaker open,
+  // queue full, stopped — costs one extra Submit, not a failed request).
+  struct Pending {
+    std::future<Result<QueryReply>> future;
+    size_t replica = 0;
+    bool valid = false;
+  };
+  std::vector<std::vector<Pending>> pending(live.size());
+  for (auto& row : pending) row.resize(groups_.size());
+  {
+    obs::Span fanout_span("router/fanout");
+    for (size_t i = 0; i < live.size(); ++i) {
+      for (size_t g = 0; g < groups_.size(); ++g) {
+        const std::vector<size_t> order = ReplicaOrder(groups_[g]);
+        for (size_t attempt = 0; attempt < order.size(); ++attempt) {
+          const size_t r = order[attempt];
+          std::vector<float> row(vectors.Row(i), vectors.Row(i) + dim);
+          auto submitted = groups_[g].engines[r]->SubmitEmbedded(
+              std::move(row));
+          if (submitted.ok()) {
+            pending[i][g].future = std::move(submitted.value());
+            pending[i][g].replica = r;
+            pending[i][g].valid = true;
+            break;
+          }
+          sibling_retries_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+  const SteadyTime scattered = SteadyNow();
+  fanout_micros_.Record(timer.Restart() * 1e6);
+
+  // Gather: wait on every shard future; a replica that accepted but then
+  // failed gets one synchronous fail-over pass through its siblings.
+  std::vector<std::vector<std::vector<index::Neighbor>>> lists(
+      live.size(),
+      std::vector<std::vector<index::Neighbor>>(groups_.size()));
+  std::vector<std::vector<bool>> answered(
+      live.size(), std::vector<bool>(groups_.size(), false));
+  {
+    obs::Span gather_span("router/gather");
+    for (size_t i = 0; i < live.size(); ++i) {
+      for (size_t g = 0; g < groups_.size(); ++g) {
+        Result<QueryReply> reply = Status::Unavailable("no replica accepted");
+        size_t replica = pending[i][g].replica;
+        if (pending[i][g].valid) {
+          reply = pending[i][g].future.get();
+        }
+        if (!reply.ok()) {
+          for (size_t r = 0; r < groups_[g].engines.size() && !reply.ok();
+               ++r) {
+            if (pending[i][g].valid && r == pending[i][g].replica) continue;
+            std::vector<float> row(vectors.Row(i), vectors.Row(i) + dim);
+            auto retried =
+                groups_[g].engines[r]->SubmitEmbedded(std::move(row));
+            sibling_retries_.fetch_add(1, std::memory_order_relaxed);
+            if (!retried.ok()) continue;
+            reply = retried.value().get();
+            replica = r;
+          }
+        }
+        if (reply.ok()) {
+          shard_micros_[g][replica]->Record(
+              MicrosBetween(scattered, SteadyNow()));
+          lists[i][g] = std::move(reply.value().neighbors);
+          index::RemapToGlobal(lists[i][g], groups_[g].row_offset,
+                               shard_count_);
+          answered[i][g] = true;
+        }
+      }
+    }
+  }
+  gather_micros_.Record(timer.Restart() * 1e6);
+
+  // Merge + complete. A request missing a whole shard group either degrades
+  // to a partial merge over the survivors or fails, per allow_partial.
+  {
+    obs::Span merge_span("router/merge");
+    uint64_t merged_count = 0;
+    const SteadyTime done = SteadyNow();
+    for (size_t i = 0; i < live.size(); ++i) {
+      size_t missing = 0;
+      for (size_t g = 0; g < groups_.size(); ++g) {
+        if (!answered[i][g]) ++missing;
+      }
+      shards_degraded_.fetch_add(missing, std::memory_order_relaxed);
+      if (missing > 0 && !options_.allow_partial) {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        live[i].promise.set_value(Status::Unavailable(
+            std::to_string(missing) + " shard group(s) down"));
+        continue;
+      }
+      RouterReply reply;
+      reply.neighbors = MergeTopK(lists[i], k_);
+      reply.partial = missing > 0;
+      if (reply.partial) partial_.fetch_add(1, std::memory_order_relaxed);
+      ++merged_count;
+      if (live[i].deadline < done) {
+        deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      }
+      total_micros_.Record(MicrosBetween(live[i].enqueued, done));
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      obs::EmitSpan("router/request", batch_span.context(), i,
+                    live[i].enqueued, done);
+      live[i].promise.set_value(std::move(reply));
+    }
+    merge_span.AddCount("merged", merged_count);
+  }
+  merge_micros_.Record(timer.Restart() * 1e6);
+}
+
+Health Router::health() const {
+  for (const ShardGroup& group : groups_) {
+    bool any_up = false;
+    for (const auto& engine : group.engines) {
+      if (engine->health() != Health::kTripped) {
+        any_up = true;
+        break;
+      }
+    }
+    if (!any_up) return Health::kDegraded;
+  }
+  return Health::kServing;
+}
+
+RouterMetrics Router::Metrics() const {
+  RouterMetrics metrics;
+  metrics.submitted = submitted_.load(std::memory_order_relaxed);
+  metrics.completed = completed_.load(std::memory_order_relaxed);
+  metrics.rejected = rejected_.load(std::memory_order_relaxed);
+  metrics.expired = expired_.load(std::memory_order_relaxed);
+  metrics.failed = failed_.load(std::memory_order_relaxed);
+  metrics.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+  metrics.batches = batches_.load(std::memory_order_relaxed);
+  metrics.retries = retries_.load(std::memory_order_relaxed);
+  metrics.partial = partial_.load(std::memory_order_relaxed);
+  metrics.shards_degraded = shards_degraded_.load(std::memory_order_relaxed);
+  metrics.sibling_retries = sibling_retries_.load(std::memory_order_relaxed);
+  metrics.queue_micros = queue_micros_.Snapshot();
+  metrics.embed_micros = embed_micros_.Snapshot();
+  metrics.fanout_micros = fanout_micros_.Snapshot();
+  metrics.gather_micros = gather_micros_.Snapshot();
+  metrics.merge_micros = merge_micros_.Snapshot();
+  metrics.total_micros = total_micros_.Snapshot();
+  metrics.batch_size = batch_size_.Snapshot();
+  metrics.shard_micros.resize(shard_micros_.size());
+  for (size_t s = 0; s < shard_micros_.size(); ++s) {
+    for (const auto& histogram : shard_micros_[s]) {
+      metrics.shard_micros[s].push_back(histogram->Snapshot());
+    }
+  }
+  return metrics;
+}
+
+}  // namespace ember::serve

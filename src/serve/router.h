@@ -1,0 +1,247 @@
+#ifndef EMBER_SERVE_ROUTER_H_
+#define EMBER_SERVE_ROUTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/retry.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "embed/embedding_model.h"
+#include "index/neighbor.h"
+#include "la/matrix.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
+
+namespace ember::serve {
+
+/// K-way merge of per-shard top-k lists, each already sorted by CloserThan
+/// (ascending distance, ties by ascending id). Returns the global top-k.
+/// Deterministic and exact: CloserThan is a total order once ids are
+/// globally unique, and a round-robin shard set partitions the corpus, so
+/// the merged list is bit-identical to the unsharded scan's — every
+/// (id, distance) pair is computed by the same scalar-order dot product
+/// regardless of which shard holds the row (DESIGN.md §13).
+std::vector<index::Neighbor> MergeTopK(
+    const std::vector<std::vector<index::Neighbor>>& per_shard, size_t k);
+
+/// Builds N shard snapshots from one corpus under the round-robin plan:
+/// shard s gets global rows {s, s+N, ...}, its manifest gains
+/// shard_id=s/shard_count=N/row_offset=s, and rows/dim are overwritten from
+/// its partition (storage/kind/index options apply per shard).
+Result<std::vector<Snapshot>> BuildShardSnapshots(
+    SnapshotManifest base, const la::Matrix& corpus, uint32_t shard_count,
+    const index::HnswOptions& hnsw_options = {},
+    const index::LshOptions& lsh_options = {});
+
+/// Loads a shard set fail-closed: every file must load cleanly, declare the
+/// same shard_count (== the number of paths), agree on the model
+/// fingerprint (model_code + dim), index kind, storage and default_k, and
+/// the shard_ids must cover 0..N-1 exactly once (duplicates refused).
+/// Returns the snapshots sorted by shard_id.
+Result<std::vector<Snapshot>> LoadShardSet(
+    const std::vector<std::string>& paths, const LoadOptions& options = {});
+
+struct RouterOptions {
+  /// Per-query neighbor count; 0 uses the shard manifests' default_k.
+  size_t k = 0;
+  /// Router admission queue bound (same backpressure contract as Engine).
+  size_t max_queue = 1024;
+  /// Router-side batching window: one drained batch embeds once and fans
+  /// out together.
+  size_t max_batch = 32;
+  int64_t max_wait_micros = 2000;
+  /// Router batcher threads (each embeds + scatters + merges whole batches).
+  size_t workers = 1;
+  /// Retry policy around the router's embed-once stage.
+  RetryPolicy embed_retry;
+  /// When a whole shard group is down, complete requests from the surviving
+  /// shards with RouterReply.partial=true instead of failing them. OFF
+  /// fails such requests with Unavailable.
+  bool allow_partial = true;
+};
+
+/// A merged scatter-gather answer. `partial` is true when at least one
+/// shard group contributed nothing (every replica down) and the router was
+/// configured to degrade rather than fail.
+struct RouterReply {
+  std::vector<index::Neighbor> neighbors;
+  bool partial = false;
+};
+
+/// Monotone counters + latency histograms for the router, readable at any
+/// time. Counter identity: submitted == completed + expired + failed +
+/// still-in-flight. `shard_micros[s][r]` observes per-replica round trips
+/// as seen from the router's gather loop (fan-out start to that replica's
+/// future resolving).
+struct RouterMetrics {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;       // refused at Submit (queue full / stopped)
+  uint64_t expired = 0;        // shed before embedding
+  uint64_t failed = 0;         // futures failed with an error
+  uint64_t deadline_misses = 0;
+  uint64_t batches = 0;
+  uint64_t retries = 0;          // embed attempts beyond each batch's first
+  uint64_t partial = 0;          // replies completed with a missing shard
+  uint64_t shards_degraded = 0;  // (request, shard group) pairs unanswered
+  uint64_t sibling_retries = 0;  // replica fail-overs (submit or gather)
+
+  HistogramSnapshot queue_micros;   // submit -> drained from the queue
+  HistogramSnapshot embed_micros;   // per batch: embed-once
+  HistogramSnapshot fanout_micros;  // per batch: scatter submits
+  HistogramSnapshot gather_micros;  // per batch: waiting on shard futures
+  HistogramSnapshot merge_micros;   // per batch: k-way merges + completion
+  HistogramSnapshot total_micros;   // submit -> future completed
+  HistogramSnapshot batch_size;     // live requests per processed batch
+  std::vector<std::vector<HistogramSnapshot>> shard_micros;  // [shard][rep]
+};
+
+/// Scatter-gather front end over sharded Engines (DESIGN.md §13): producers
+/// Submit() records; a router worker drains a micro-batch, embeds it ONCE,
+/// fans each embedding to one replica of every shard group via
+/// Engine::SubmitEmbedded, gathers the per-shard top-k, remaps local ids to
+/// global space and k-way heap-merges them with the CloserThan tie-break —
+/// so exact shard sets answer bit-identically to one unsharded engine.
+///
+/// Replicas and health (the PR4 signals, per replica): each shard group
+/// holds R interchangeable engines. The router rotates across them,
+/// preferring replicas whose health() is not kTripped; a refused or failed
+/// replica fails over to its siblings (sibling_retries). Every 16th pick
+/// per group ignores health so an open breaker keeps receiving the probe
+/// traffic its half-open recovery needs. Only when NO replica of a group
+/// answers does the reply degrade: partial=true + shards_degraded, or an
+/// Unavailable failure when allow_partial is off.
+///
+/// In-process today, ownership-clean for a process boundary later: the
+/// router owns its engines, talks to them only through Submit*/health()/
+/// Metrics(), and never touches their snapshots beyond the manifest.
+class Router {
+ public:
+  /// Takes ownership of the engines (any order; replicas of shard s are the
+  /// engines whose snapshot manifest has shard_id == s) and shares the
+  /// embed-once model. Fails closed on an incoherent fleet: mismatched
+  /// shard_count or model fingerprint, a shard group with no replicas,
+  /// replicas disagreeing on rows/kind/storage, a model that does not match
+  /// the manifests, or per-shard row counts that contradict the round-robin
+  /// plan. Workers start immediately on success.
+  static Result<std::unique_ptr<Router>> Create(
+      std::vector<std::unique_ptr<Engine>> engines,
+      std::shared_ptr<embed::EmbeddingModel> model,
+      const RouterOptions& options);
+
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Non-blocking submit of one record; Unavailable on a full queue or
+  /// stopped router (backpressure, never blocking).
+  Result<std::future<Result<RouterReply>>> Submit(
+      std::string record, SteadyTime deadline = kNoDeadline);
+
+  /// Coarse fleet health: kServing while every shard group has at least one
+  /// replica not kTripped, kDegraded otherwise.
+  Health health() const;
+
+  /// Stops the router workers (draining the queue), then every engine.
+  void Stop();
+
+  RouterMetrics Metrics() const;
+
+  /// The `router=` label this instance exports under in the obs::Registry.
+  const std::string& instance() const { return instance_; }
+
+  uint32_t shard_count() const {
+    return static_cast<uint32_t>(groups_.size());
+  }
+  size_t replica_count(uint32_t shard) const {
+    return groups_[shard].engines.size();
+  }
+  /// The replica engines of `shard` (router retains ownership).
+  const std::vector<std::unique_ptr<Engine>>& replicas(uint32_t shard) const {
+    return groups_[shard].engines;
+  }
+
+  const RouterOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    std::string record;
+    SteadyTime deadline;
+    SteadyTime enqueued;
+    std::promise<Result<RouterReply>> promise;
+  };
+
+  /// One shard's replica group plus the shared plan facts every replica's
+  /// manifest agreed on at Create time.
+  struct ShardGroup {
+    std::vector<std::unique_ptr<Engine>> engines;
+    uint64_t row_offset = 0;
+    /// Round-robin replica rotation ticket (per group, so one hot shard
+    /// cannot skew its siblings' load).
+    std::atomic<uint64_t> rotation{0};
+  };
+
+  Router(std::vector<ShardGroup> groups,
+         std::shared_ptr<embed::EmbeddingModel> model,
+         const RouterOptions& options);
+
+  void WorkerLoop();
+  void ProcessBatch(std::vector<Request> batch);
+  /// Replica visit order for one pick: rotation offset, tripped replicas
+  /// moved (stably) to the back — except on probe ticks, which keep the
+  /// plain rotation so open breakers still see traffic.
+  std::vector<size_t> ReplicaOrder(ShardGroup& group) const;
+
+  std::vector<ShardGroup> groups_;
+  std::shared_ptr<embed::EmbeddingModel> model_;
+  RouterOptions options_;
+  uint32_t shard_count_ = 1;
+  size_t k_ = 10;
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  std::string instance_;
+  uint64_t collector_id_ = 0;
+  std::atomic<bool> collector_registered_{false};
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> deadline_misses_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> partial_{0};
+  std::atomic<uint64_t> shards_degraded_{0};
+  std::atomic<uint64_t> sibling_retries_{0};
+  LatencyHistogram queue_micros_;
+  LatencyHistogram embed_micros_;
+  LatencyHistogram fanout_micros_;
+  LatencyHistogram gather_micros_;
+  LatencyHistogram merge_micros_;
+  LatencyHistogram total_micros_;
+  LatencyHistogram batch_size_;
+  /// [shard][replica] round-trip histograms (LatencyHistogram is atomic and
+  /// therefore pinned in place — hence unique_ptr storage).
+  std::vector<std::vector<std::unique_ptr<LatencyHistogram>>> shard_micros_;
+};
+
+}  // namespace ember::serve
+
+#endif  // EMBER_SERVE_ROUTER_H_

@@ -15,7 +15,10 @@ namespace ember::serve {
 namespace internal {
 
 namespace {
-constexpr uint32_t kManifestVersion = 1;
+// v2 added the shard-plan fields (shard_id/shard_count/row_offset). The
+// reader is strict: v1 files fail closed instead of silently loading with a
+// guessed plan — rebuild the snapshot (they are derived artifacts).
+constexpr uint32_t kManifestVersion = 2;
 }  // namespace
 
 void WriteManifest(BinaryWriter& writer, const SnapshotManifest& manifest) {
@@ -26,6 +29,9 @@ void WriteManifest(BinaryWriter& writer, const SnapshotManifest& manifest) {
   writer.WriteU32(static_cast<uint32_t>(manifest.kind));
   writer.WriteU64(manifest.rows);
   writer.WriteString(manifest.dataset);
+  writer.WriteU32(manifest.shard_id);
+  writer.WriteU32(manifest.shard_count);
+  writer.WriteU64(manifest.row_offset);
 }
 
 bool ReadManifest(BinaryReader& reader, SnapshotManifest& manifest) {
@@ -39,7 +45,18 @@ bool ReadManifest(BinaryReader& reader, SnapshotManifest& manifest) {
   const uint32_t kind = reader.ReadU32();
   manifest.rows = reader.ReadU64();
   manifest.dataset = reader.ReadString();
+  manifest.shard_id = reader.ReadU32();
+  manifest.shard_count = reader.ReadU32();
+  manifest.row_offset = reader.ReadU64();
   if (!reader.ok() || kind > static_cast<uint32_t>(IndexKind::kLsh)) {
+    reader.Fail();
+    return false;
+  }
+  // Shard-plan coherence is part of the format: only the round-robin plan
+  // exists, under which row_offset is exactly the shard id.
+  if (manifest.shard_count == 0 ||
+      manifest.shard_id >= manifest.shard_count ||
+      manifest.row_offset != manifest.shard_id) {
     reader.Fail();
     return false;
   }
@@ -259,6 +276,15 @@ Status Snapshot::Validate() const {
                             std::to_string(corpus.cols()) +
                             " != manifest dim " +
                             std::to_string(manifest_.dim));
+  }
+  if (manifest_.shard_count == 0 ||
+      manifest_.shard_id >= manifest_.shard_count ||
+      manifest_.row_offset != manifest_.shard_id) {
+    return Status::Internal(
+        "snapshot validation: incoherent shard plan (shard " +
+        std::to_string(manifest_.shard_id) + " of " +
+        std::to_string(manifest_.shard_count) + ", row_offset " +
+        std::to_string(manifest_.row_offset) + ")");
   }
   if (manifest_.kind == IndexKind::kHnsw && !hnsw_.ValidateGraph()) {
     return Status::Internal("snapshot validation: HNSW graph invariants"

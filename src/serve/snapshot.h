@@ -63,6 +63,15 @@ struct SnapshotManifest {
   /// Scan-tier storage. Only EMBS0002 can carry kInt8 (and only for
   /// kExact); EMBS0001 snapshots are always kFloat32.
   StorageKind storage = StorageKind::kFloat32;
+  /// Shard plan (DESIGN.md §13). An unsharded snapshot is the degenerate
+  /// 1-shard plan (shard_id 0, shard_count 1, row_offset 0). Shard s of N
+  /// under the round-robin partitioner (core/sharding.h) holds the global
+  /// rows {s, s+N, s+2N, ...}, so row_offset == shard_id and a local row j
+  /// maps back to global id `row_offset + j * shard_count`. The Router
+  /// refuses shard sets whose manifests disagree on the plan.
+  uint32_t shard_id = 0;
+  uint32_t shard_count = 1;
+  uint64_t row_offset = 0;
 };
 
 /// A built blocking pipeline frozen into one loadable unit: the manifest

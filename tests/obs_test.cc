@@ -24,6 +24,7 @@
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "serve/engine.h"
+#include "serve/router.h"
 #include "serve/snapshot.h"
 
 namespace ember {
@@ -534,6 +535,85 @@ TEST(RegistryTest, EngineExportsMetricsToGlobalRegistryUntilStop) {
   EXPECT_STREQ(serve::HealthName(serve::Health::kDegraded), "degraded");
   EXPECT_STREQ(serve::HealthName(serve::Health::kTripped), "tripped");
   EXPECT_STREQ(serve::HealthName(serve::Health::kLoading), "loading");
+}
+
+// The router self-registers like the engine does, under its own `router=`
+// instance label, and its per-replica round-trip histograms carry the
+// {shard=,replica=} labels operators slice by. Labels render sorted
+// (std::map), so the shard histogram reads {replica=,router=,shard=}.
+TEST(RegistryTest, RouterExportsShardLabeledMetricsUntilStop) {
+  HashModel model_builder;
+  model_builder.Initialize();
+  la::Matrix corpus =
+      model_builder.VectorizeAll(Sentences(20, "router-corpus"));
+  serve::SnapshotManifest manifest;
+  manifest.model_code = "HT";
+  manifest.default_k = 5;
+  manifest.kind = serve::IndexKind::kExact;
+  manifest.dataset = "obs-test";
+  auto shards = serve::BuildShardSnapshots(manifest, corpus, 2);
+  ASSERT_TRUE(shards.ok());
+  auto model = std::make_shared<HashModel>();
+  model->Initialize();
+  std::vector<std::unique_ptr<serve::Engine>> engines;
+  for (size_t r = 0; r < 2; ++r) {
+    for (const serve::Snapshot& shard : shards.value()) {
+      auto engine = serve::Engine::Create(shard, model, {});
+      ASSERT_TRUE(engine.ok());
+      engines.push_back(std::move(engine).value());
+    }
+  }
+  serve::RouterOptions options;
+  options.k = 5;
+  auto router = serve::Router::Create(std::move(engines), model, options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  std::vector<std::future<Result<serve::RouterReply>>> futures;
+  for (size_t i = 0; i < 4; ++i) {
+    auto submitted = router.value()->Submit("probe " + std::to_string(i));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+
+  const std::string instance = router.value()->instance();
+  const std::string label = "{router=\"" + instance + "\"}";
+  const std::string text = obs::Registry::Global().ToPrometheusText();
+  EXPECT_NE(text.find("ember_router_submitted_total" + label + " 4"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ember_router_completed_total" + label + " 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("ember_router_partial_total" + label + " 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("ember_router_shards_degraded_total" + label + " 0"),
+            std::string::npos);
+  for (const char* family :
+       {"ember_router_queue_micros", "ember_router_embed_micros",
+        "ember_router_fanout_micros", "ember_router_gather_micros",
+        "ember_router_merge_micros", "ember_router_total_micros",
+        "ember_router_batch_size"}) {
+    EXPECT_NE(text.find(std::string(family) + "_count" + label),
+              std::string::npos)
+        << family;
+  }
+  // Every (shard, replica) pair exports its round-trip histogram.
+  for (const char* shard : {"0", "1"}) {
+    for (const char* replica : {"0", "1"}) {
+      const std::string shard_label =
+          std::string("{replica=\"") + replica + "\",router=\"" + instance +
+          "\",shard=\"" + shard + "\"}";
+      EXPECT_NE(
+          text.find("ember_router_shard_micros_count" + shard_label),
+          std::string::npos)
+          << shard_label;
+    }
+  }
+
+  router.value()->Stop();
+  EXPECT_EQ(obs::Registry::Global().ToPrometheusText().find(
+                "router=\"" + instance + "\""),
+            std::string::npos)
+      << "stopped router still exported";
 }
 
 // Re-running the identical workload must reproduce the identical tree —

@@ -1,0 +1,805 @@
+// Sharded scatter-gather serving tests (DESIGN.md §13): the round-robin
+// shard plan and partitioner, global-id remapping, the k-way MergeTopK
+// (proptest: bit-identical to the unsharded oracle across shard counts,
+// ragged sizes, and duplicate scores), fail-closed shard-set loading,
+// Router fleet validation, end-to-end router-vs-oracle equality, replica
+// fail-over under a tripped breaker, and partial-result degradation when a
+// whole shard group is down.
+
+#include "serve/router.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "core/sharding.h"
+#include "la/vector_ops.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "proptest.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
+
+#define SKIP_IF_FAILPOINTS_OFF()                               \
+  do {                                                         \
+    if (!::ember::fail::kEnabled) {                            \
+      GTEST_SKIP() << "failpoints compiled out of this build"; \
+    }                                                          \
+  } while (0)
+
+namespace ember {
+namespace {
+
+using serve::BuildShardSnapshots;
+using serve::Engine;
+using serve::EngineOptions;
+using serve::Health;
+using serve::IndexKind;
+using serve::LoadShardSet;
+using serve::MergeTopK;
+using serve::Router;
+using serve::RouterOptions;
+using serve::RouterReply;
+using serve::Snapshot;
+using serve::SnapshotManifest;
+
+constexpr size_t kDim = 16;
+
+embed::ModelInfo HashModelInfo(const std::string& code) {
+  embed::ModelInfo info;
+  info.code = code;
+  info.name = "hash-test-model";
+  info.dim = kDim;
+  return info;
+}
+
+class HashModel : public embed::EmbeddingModel {
+ public:
+  explicit HashModel(std::string code = "HT")
+      : EmbeddingModel(HashModelInfo(code)) {}
+
+  void EncodeInto(const std::string& sentence, float* out) const override {
+    for (size_t d = 0; d < kDim; ++d) out[d] = 0.f;
+    uint64_t hash = 1469598103934665603ull;
+    for (const char c : sentence) {
+      hash = (hash ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+      out[hash % kDim] += 1.f + static_cast<float>((hash >> 32) & 0xff);
+    }
+    la::NormalizeInPlace(out, kDim);
+  }
+
+ protected:
+  void BuildWeights() override {}
+};
+
+std::vector<std::string> Sentences(size_t n, const std::string& tag) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(tag + " record " + std::to_string(i) + " token" +
+                  std::to_string(i % 23) + " value" +
+                  std::to_string((i * 13) % 41));
+  }
+  return out;
+}
+
+/// Sentences with repeats, so several corpus rows share one embedding and
+/// neighbor lists carry duplicate distances (the tie-break path).
+std::vector<std::string> DuplicateHeavySentences(size_t n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  const size_t distinct = n / 2 + 1;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back("dup record " + std::to_string(i % distinct));
+  }
+  return out;
+}
+
+SnapshotManifest BaseManifest(uint32_t default_k = 5,
+                              const std::string& model_code = "HT") {
+  SnapshotManifest manifest;
+  manifest.model_code = model_code;
+  manifest.default_k = default_k;
+  manifest.kind = IndexKind::kExact;
+  manifest.dataset = "router-test";
+  return manifest;
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("ember_router_test_" + name + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+/// Per-shard exact top-k, remapped to global ids and k-way merged — the
+/// reference scatter-gather computation the Router must reproduce.
+std::vector<std::vector<index::Neighbor>> ShardedQuery(
+    const std::vector<Snapshot>& shards, const la::Matrix& queries,
+    size_t k) {
+  std::vector<std::vector<std::vector<index::Neighbor>>> per_shard;
+  for (const Snapshot& shard : shards) {
+    auto lists = shard.QueryBatch(queries, k);
+    for (auto& list : lists) {
+      index::RemapToGlobal(list, shard.manifest().row_offset,
+                           shard.manifest().shard_count);
+    }
+    per_shard.push_back(std::move(lists));
+  }
+  std::vector<std::vector<index::Neighbor>> merged(queries.rows());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    std::vector<std::vector<index::Neighbor>> lists;
+    for (auto& shard_lists : per_shard) {
+      lists.push_back(std::move(shard_lists[q]));
+    }
+    merged[q] = MergeTopK(lists, k);
+  }
+  return merged;
+}
+
+bool SameResults(const std::vector<index::Neighbor>& a,
+                 const std::vector<index::Neighbor>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].distance != b[i].distance) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Shard plan + partitioner
+// ---------------------------------------------------------------------------
+
+TEST(ShardPlan, RoundTripsEveryRowAndBalancesSizes) {
+  proptest::ForAll(
+      "plan round trip", {.cases = 50, .min_size = 1, .max_size = 200},
+      [](Rng& rng, size_t n) {
+        const uint32_t count = static_cast<uint32_t>(rng.Below(9) + 1);
+        const core::ShardPlan plan{count, n};
+        uint64_t covered = 0;
+        for (uint32_t s = 0; s < count; ++s) covered += plan.RowsInShard(s);
+        if (covered != n) return false;
+        for (uint64_t g = 0; g < n; ++g) {
+          const uint32_t s = plan.ShardOfRow(g);
+          const uint64_t local = plan.LocalIndex(g);
+          if (s >= count) return false;
+          if (local >= plan.RowsInShard(s)) return false;
+          if (plan.GlobalId(s, local) != g) return false;
+        }
+        // Round-robin balance: shard sizes differ by at most one row.
+        uint64_t lo = n, hi = 0;
+        for (uint32_t s = 0; s < count; ++s) {
+          lo = std::min(lo, plan.RowsInShard(s));
+          hi = std::max(hi, plan.RowsInShard(s));
+        }
+        return hi - lo <= 1;
+      });
+}
+
+TEST(ShardPlan, PartitionReassemblesCorpus) {
+  HashModel model;
+  model.Initialize();
+  const la::Matrix corpus = model.VectorizeAll(Sentences(37, "corpus"));
+  for (uint32_t count : {1u, 2u, 3u, 5u, 8u, 41u}) {
+    const auto parts = core::PartitionRoundRobin(corpus, count);
+    ASSERT_EQ(parts.size(), count);
+    const core::ShardPlan plan{count, corpus.rows()};
+    for (uint32_t s = 0; s < count; ++s) {
+      ASSERT_EQ(parts[s].rows(), plan.RowsInShard(s));
+      for (size_t local = 0; local < parts[s].rows(); ++local) {
+        const uint64_t global = plan.GlobalId(s, local);
+        for (size_t d = 0; d < corpus.cols(); ++d) {
+          ASSERT_EQ(parts[s].Row(local)[d], corpus.Row(global)[d])
+              << "shard " << s << " local " << local;
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardPlan, PartitionStringsMatchesPlan) {
+  const auto rows = Sentences(11, "rec");
+  const auto parts = core::PartitionRoundRobin(rows, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  const core::ShardPlan plan{4, rows.size()};
+  for (uint32_t s = 0; s < 4; ++s) {
+    ASSERT_EQ(parts[s].size(), plan.RowsInShard(s));
+    for (size_t local = 0; local < parts[s].size(); ++local) {
+      EXPECT_EQ(parts[s][local], rows[plan.GlobalId(s, local)]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MergeTopK: the satellite proptest — bit-identical to the unsharded
+// QueryBatch across shard counts, ragged sizes, and duplicate scores.
+// ---------------------------------------------------------------------------
+
+TEST(MergeTopK, BitIdenticalToUnshardedOracleAcrossShardCounts) {
+  HashModel model;
+  model.Initialize();
+  proptest::ForAll(
+      "sharded merge == unsharded oracle",
+      {.cases = 30, .min_size = 2, .max_size = 48},
+      [&](Rng& rng, size_t n) {
+        // Duplicate-heavy corpus: equal distances are common, so the
+        // (distance, global id) tie-break is genuinely exercised.
+        const la::Matrix corpus =
+            model.VectorizeAll(DuplicateHeavySentences(n));
+        const size_t k = rng.Below(n + 3) + 1;
+        std::vector<std::string> query_sentences =
+            Sentences(3, "query" + std::to_string(rng.Next() % 1000));
+        query_sentences.push_back("dup record 0");  // exact-hit duplicates
+        const la::Matrix queries = model.VectorizeAll(query_sentences);
+
+        la::Matrix oracle_corpus(corpus.rows(), corpus.cols());
+        std::copy(corpus.data(), corpus.data() + corpus.rows() * corpus.cols(),
+                  oracle_corpus.data());
+        const Snapshot oracle =
+            Snapshot::Build(BaseManifest(), std::move(oracle_corpus));
+        const auto expect = oracle.QueryBatch(queries, k);
+
+        for (uint32_t count : {1u, 2u, 3u, 5u, 8u}) {
+          auto shards = BuildShardSnapshots(BaseManifest(), corpus, count);
+          if (!shards.ok()) return false;
+          const auto merged = ShardedQuery(shards.value(), queries, k);
+          for (size_t q = 0; q < queries.rows(); ++q) {
+            if (!SameResults(merged[q], expect[q])) return false;
+          }
+        }
+        return true;
+      });
+}
+
+TEST(MergeTopK, EdgeCases) {
+  const std::vector<std::vector<index::Neighbor>> empty_lists(3);
+  EXPECT_TRUE(MergeTopK(empty_lists, 5).empty());
+  EXPECT_TRUE(MergeTopK({}, 5).empty());
+
+  // k larger than the total pool: every element comes back, in order.
+  const std::vector<std::vector<index::Neighbor>> lists = {
+      {{0, 0.1f}, {2, 0.3f}},
+      {},
+      {{1, 0.1f}, {3, 0.2f}},
+  };
+  const auto merged = MergeTopK(lists, 10);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].id, 0u);  // 0.1 ties broken by id
+  EXPECT_EQ(merged[1].id, 1u);
+  EXPECT_EQ(merged[2].id, 3u);
+  EXPECT_EQ(merged[3].id, 2u);
+  EXPECT_EQ(MergeTopK(lists, 2).size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Shard-set build / load (fail-closed)
+// ---------------------------------------------------------------------------
+
+la::Matrix TestCorpus(size_t rows) {
+  HashModel model;
+  model.Initialize();
+  return model.VectorizeAll(Sentences(rows, "corpus"));
+}
+
+TEST(ShardSet, BuildSetsPlanManifests) {
+  const la::Matrix corpus = TestCorpus(10);
+  auto shards = BuildShardSnapshots(BaseManifest(), corpus, 4);
+  ASSERT_TRUE(shards.ok());
+  ASSERT_EQ(shards.value().size(), 4u);
+  for (uint32_t s = 0; s < 4; ++s) {
+    const SnapshotManifest& m = shards.value()[s].manifest();
+    EXPECT_EQ(m.shard_id, s);
+    EXPECT_EQ(m.shard_count, 4u);
+    EXPECT_EQ(m.row_offset, s);
+    EXPECT_EQ(m.rows, (core::ShardPlan{4, 10}).RowsInShard(s));
+    EXPECT_TRUE(shards.value()[s].Validate().ok());
+  }
+  EXPECT_FALSE(BuildShardSnapshots(BaseManifest(), corpus, 0).ok());
+}
+
+std::vector<std::string> SaveShardSet(const std::vector<Snapshot>& shards,
+                                      const std::string& tag) {
+  std::vector<std::string> paths;
+  for (size_t s = 0; s < shards.size(); ++s) {
+    paths.push_back(TempPath(tag + "_s" + std::to_string(s)));
+    EXPECT_TRUE(shards[s].SaveTo(paths[s]).ok());
+  }
+  return paths;
+}
+
+TEST(ShardSet, RoundTripsThroughDiskSorted) {
+  const la::Matrix corpus = TestCorpus(13);
+  auto built = BuildShardSnapshots(BaseManifest(), corpus, 3);
+  ASSERT_TRUE(built.ok());
+  auto paths = SaveShardSet(built.value(), "roundtrip");
+  // Shuffled path order must come back sorted by shard_id.
+  std::swap(paths[0], paths[2]);
+  auto loaded = LoadShardSet(paths);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 3u);
+  for (uint32_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(loaded.value()[s].manifest().shard_id, s);
+  }
+  HashModel model;
+  model.Initialize();
+  const la::Matrix queries = model.VectorizeAll(Sentences(5, "q"));
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    EXPECT_TRUE(SameResults(ShardedQuery(loaded.value(), queries, 4)[q],
+                            ShardedQuery(built.value(), queries, 4)[q]));
+  }
+  for (const auto& path : paths) std::filesystem::remove(path);
+}
+
+TEST(ShardSet, RefusesDuplicateShardId) {
+  const la::Matrix corpus = TestCorpus(9);
+  auto built = BuildShardSnapshots(BaseManifest(), corpus, 3);
+  ASSERT_TRUE(built.ok());
+  auto paths = SaveShardSet(built.value(), "dup");
+  auto loaded = LoadShardSet({paths[0], paths[1], paths[0]});
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("duplicate shard_id"),
+            std::string::npos);
+  for (const auto& path : paths) std::filesystem::remove(path);
+}
+
+TEST(ShardSet, RefusesWrongFileCount) {
+  const la::Matrix corpus = TestCorpus(9);
+  auto built = BuildShardSnapshots(BaseManifest(), corpus, 3);
+  ASSERT_TRUE(built.ok());
+  auto paths = SaveShardSet(built.value(), "count");
+  EXPECT_FALSE(LoadShardSet({paths[0], paths[1]}).ok());
+  EXPECT_FALSE(LoadShardSet(std::vector<std::string>{}).ok());
+  for (const auto& path : paths) std::filesystem::remove(path);
+}
+
+TEST(ShardSet, RefusesMismatchedModelFingerprint) {
+  const la::Matrix corpus = TestCorpus(9);
+  auto built = BuildShardSnapshots(BaseManifest(), corpus, 3);
+  ASSERT_TRUE(built.ok());
+  auto paths = SaveShardSet(built.value(), "fp");
+  // Same plan position, different model fingerprint.
+  auto impostor =
+      BuildShardSnapshots(BaseManifest(5, "HX"), corpus, 3);
+  ASSERT_TRUE(impostor.ok());
+  ASSERT_TRUE(impostor.value()[1].SaveTo(paths[1]).ok());
+  auto loaded = LoadShardSet(paths);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("fingerprint"),
+            std::string::npos);
+  for (const auto& path : paths) std::filesystem::remove(path);
+}
+
+TEST(ShardSet, RefusesMixedShardCounts) {
+  const la::Matrix corpus = TestCorpus(8);
+  auto three = BuildShardSnapshots(BaseManifest(), corpus, 3);
+  auto two = BuildShardSnapshots(BaseManifest(), corpus, 2);
+  ASSERT_TRUE(three.ok());
+  ASSERT_TRUE(two.ok());
+  auto paths3 = SaveShardSet(three.value(), "mix3");
+  auto paths2 = SaveShardSet(two.value(), "mix2");
+  EXPECT_FALSE(LoadShardSet({paths3[0], paths2[1], paths3[2]}).ok());
+  EXPECT_FALSE(LoadShardSet({paths2[0], paths2[1], paths3[2]}).ok());
+  for (const auto& path : paths3) std::filesystem::remove(path);
+  for (const auto& path : paths2) std::filesystem::remove(path);
+}
+
+TEST(ShardSet, ManifestLoadRejectsIncoherentPlan) {
+  // A manifest whose plan is self-contradictory must fail at load, not
+  // surface later as wrong global ids.
+  const la::Matrix corpus = TestCorpus(6);
+  SnapshotManifest bad = BaseManifest();
+  bad.shard_id = 5;
+  bad.shard_count = 2;  // shard_id >= shard_count
+  bad.row_offset = 5;
+  la::Matrix copy(corpus.rows(), corpus.cols());
+  std::copy(corpus.data(), corpus.data() + corpus.rows() * corpus.cols(),
+            copy.data());
+  const Snapshot snapshot = Snapshot::Build(bad, std::move(copy));
+  EXPECT_FALSE(snapshot.Validate().ok());
+  const std::string path = TempPath("incoherent");
+  ASSERT_TRUE(snapshot.SaveTo(path).ok());
+  EXPECT_FALSE(Snapshot::LoadFrom(path).ok());
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Router: fleet validation and end-to-end oracle equality
+// ---------------------------------------------------------------------------
+
+struct Fleet {
+  std::vector<std::unique_ptr<Engine>> engines;
+  std::shared_ptr<embed::EmbeddingModel> model;
+  std::vector<Snapshot> shards;
+};
+
+Fleet MakeFleet(size_t rows, uint32_t shard_count, size_t replicas,
+                size_t k = 5, EngineOptions engine_options = {}) {
+  Fleet fleet;
+  fleet.model = std::make_shared<HashModel>();
+  fleet.model->Initialize();
+  auto built =
+      BuildShardSnapshots(BaseManifest(), TestCorpus(rows), shard_count);
+  EXPECT_TRUE(built.ok());
+  fleet.shards = std::move(built).value();
+  engine_options.k = k;
+  for (size_t r = 0; r < replicas; ++r) {
+    for (const Snapshot& shard : fleet.shards) {
+      auto engine = Engine::Create(shard, fleet.model, engine_options);
+      EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+      fleet.engines.push_back(std::move(engine).value());
+    }
+  }
+  return fleet;
+}
+
+TEST(Router, CreateFailsClosedOnIncoherentFleets) {
+  RouterOptions options;
+  options.k = 5;
+  {
+    Fleet fleet = MakeFleet(12, 2, 1);
+    EXPECT_FALSE(
+        Router::Create(std::move(fleet.engines), nullptr, options).ok());
+  }
+  {
+    std::vector<std::unique_ptr<Engine>> none;
+    auto model = std::make_shared<HashModel>();
+    EXPECT_FALSE(Router::Create(std::move(none), model, options).ok());
+  }
+  {
+    // Dropping shard 1's only engine shrinks the observed total, so the
+    // surviving shards contradict the round-robin plan — refused.
+    Fleet fleet = MakeFleet(12, 3, 1);
+    fleet.engines.erase(fleet.engines.begin() + 1);
+    auto created = Router::Create(std::move(fleet.engines), fleet.model,
+                                  options);
+    ASSERT_FALSE(created.ok());
+    EXPECT_NE(created.status().ToString().find("round-robin plan"),
+              std::string::npos);
+  }
+  {
+    // A 2-row corpus over 3 shards leaves shard 2 empty, so dropping its
+    // engine keeps the plan arithmetic consistent — the empty group itself
+    // is what must be refused.
+    Fleet fleet = MakeFleet(2, 3, 1);
+    ASSERT_EQ(fleet.engines.size(), 3u);
+    fleet.engines.pop_back();
+    auto created = Router::Create(std::move(fleet.engines), fleet.model,
+                                  options);
+    ASSERT_FALSE(created.ok());
+    EXPECT_NE(created.status().ToString().find("no replicas"),
+              std::string::npos);
+  }
+  {
+    // Mixed shard_count across engines.
+    Fleet three = MakeFleet(12, 3, 1);
+    Fleet two = MakeFleet(12, 2, 1);
+    three.engines.push_back(std::move(two.engines[0]));
+    EXPECT_FALSE(Router::Create(std::move(three.engines), three.model,
+                                options)
+                     .ok());
+  }
+  {
+    // Engine answering a smaller top-k than the router merges.
+    EngineOptions small;
+    Fleet fleet = MakeFleet(12, 2, 1, /*k=*/3, small);
+    RouterOptions big = options;
+    big.k = 8;
+    auto created =
+        Router::Create(std::move(fleet.engines), fleet.model, big);
+    ASSERT_FALSE(created.ok());
+    EXPECT_NE(created.status().ToString().find("per-shard k"),
+              std::string::npos);
+  }
+  {
+    // Router model whose fingerprint disagrees with the shard manifests.
+    Fleet fleet = MakeFleet(12, 2, 1);
+    auto other = std::make_shared<HashModel>("HX");
+    EXPECT_FALSE(
+        Router::Create(std::move(fleet.engines), other, options).ok());
+  }
+}
+
+TEST(Router, MatchesUnshardedOracleEndToEnd) {
+  for (uint32_t shard_count : {1u, 3u}) {
+    const size_t rows = 42, k = 7;
+    Fleet fleet = MakeFleet(rows, shard_count, 1, k);
+    // Unsharded oracle over the same corpus and model.
+    const Snapshot oracle =
+        Snapshot::Build(BaseManifest(), TestCorpus(rows));
+    RouterOptions options;
+    options.k = k;
+    auto router =
+        Router::Create(std::move(fleet.engines), fleet.model, options);
+    ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+    const auto query_sentences = Sentences(24, "query");
+    const la::Matrix queries = fleet.model->VectorizeAll(query_sentences);
+    const auto expect = oracle.QueryBatch(queries, k);
+    std::vector<std::future<Result<RouterReply>>> futures;
+    for (const auto& sentence : query_sentences) {
+      auto submitted = router.value()->Submit(sentence);
+      ASSERT_TRUE(submitted.ok());
+      futures.push_back(std::move(submitted).value());
+    }
+    for (size_t q = 0; q < futures.size(); ++q) {
+      auto reply = futures[q].get();
+      ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+      EXPECT_FALSE(reply.value().partial);
+      EXPECT_TRUE(SameResults(reply.value().neighbors, expect[q]))
+          << "query " << q << " at shard_count " << shard_count;
+    }
+    router.value()->Stop();
+    const auto metrics = router.value()->Metrics();
+    EXPECT_EQ(metrics.submitted, query_sentences.size());
+    EXPECT_EQ(metrics.completed, query_sentences.size());
+    EXPECT_EQ(metrics.failed, 0u);
+    EXPECT_EQ(metrics.partial, 0u);
+    EXPECT_EQ(metrics.shards_degraded, 0u);
+  }
+}
+
+TEST(Router, ShardHistogramsAndSpansPopulate) {
+  obs::Tracer::Global().Clear();
+  obs::Tracer::Global().SetEnabled(true);
+  {
+    const size_t k = 4;
+    Fleet fleet = MakeFleet(20, 2, 1, k);
+    RouterOptions options;
+    options.k = k;
+    auto router =
+        Router::Create(std::move(fleet.engines), fleet.model, options);
+    ASSERT_TRUE(router.ok());
+    std::vector<std::future<Result<RouterReply>>> futures;
+    for (const auto& sentence : Sentences(8, "probe")) {
+      auto submitted = router.value()->Submit(sentence);
+      ASSERT_TRUE(submitted.ok());
+      futures.push_back(std::move(submitted).value());
+    }
+    for (auto& future : futures) EXPECT_TRUE(future.get().ok());
+    router.value()->Stop();
+    const auto metrics = router.value()->Metrics();
+    ASSERT_EQ(metrics.shard_micros.size(), 2u);
+    for (size_t s = 0; s < 2; ++s) {
+      ASSERT_EQ(metrics.shard_micros[s].size(), 1u);
+      EXPECT_EQ(metrics.shard_micros[s][0].count, 8u)
+          << "every request must visit shard " << s;
+    }
+  }
+  obs::Tracer::Global().SetEnabled(false);
+  const auto spans = obs::Tracer::Global().Drain();
+  bool merge_attributed = false, fanout_seen = false, gather_seen = false;
+  for (const obs::StageBreakdownRow& row : obs::StageBreakdown(spans)) {
+    const std::string name = row.name;
+    if (name == "router/merge") merge_attributed = row.spans > 0;
+    if (name == "router/fanout") fanout_seen = row.spans > 0;
+    if (name == "router/gather") gather_seen = row.spans > 0;
+  }
+  EXPECT_TRUE(merge_attributed) << "StageBreakdown must attribute merge time";
+  EXPECT_TRUE(fanout_seen);
+  EXPECT_TRUE(gather_seen);
+}
+
+// ---------------------------------------------------------------------------
+// Engine::SubmitEmbedded
+// ---------------------------------------------------------------------------
+
+TEST(SubmitEmbedded, MatchesSubmitBitIdentically) {
+  auto model = std::make_shared<HashModel>();
+  model->Initialize();
+  la::Matrix corpus = model->VectorizeAll(Sentences(30, "corpus"));
+  auto engine = Engine::Create(
+      Snapshot::Build(BaseManifest(), std::move(corpus)), model, {});
+  ASSERT_TRUE(engine.ok());
+  const auto query_sentences = Sentences(12, "query");
+  const la::Matrix queries = model->VectorizeAll(query_sentences);
+  // Interleave record and pre-embedded submissions so mixed batches form.
+  std::vector<std::future<Result<serve::QueryReply>>> by_record;
+  std::vector<std::future<Result<serve::QueryReply>>> by_vector;
+  for (size_t q = 0; q < query_sentences.size(); ++q) {
+    auto record = engine.value()->Submit(query_sentences[q]);
+    ASSERT_TRUE(record.ok());
+    by_record.push_back(std::move(record).value());
+    auto vector = engine.value()->SubmitEmbedded(std::vector<float>(
+        queries.Row(q), queries.Row(q) + queries.cols()));
+    ASSERT_TRUE(vector.ok());
+    by_vector.push_back(std::move(vector).value());
+  }
+  for (size_t q = 0; q < query_sentences.size(); ++q) {
+    auto record = by_record[q].get();
+    auto vector = by_vector[q].get();
+    ASSERT_TRUE(record.ok());
+    ASSERT_TRUE(vector.ok());
+    EXPECT_TRUE(SameResults(record.value().neighbors,
+                            vector.value().neighbors))
+        << "query " << q;
+  }
+  engine.value()->Stop();
+}
+
+TEST(SubmitEmbedded, RejectsWrongDimensionality) {
+  auto model = std::make_shared<HashModel>();
+  model->Initialize();
+  la::Matrix corpus = model->VectorizeAll(Sentences(8, "corpus"));
+  auto engine = Engine::Create(
+      Snapshot::Build(BaseManifest(), std::move(corpus)), model, {});
+  ASSERT_TRUE(engine.ok());
+  auto submitted = engine.value()->SubmitEmbedded(std::vector<float>(7, 0.f));
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_EQ(submitted.status().code(), Status::Code::kInvalidArgument);
+  engine.value()->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Replica outage and partial results
+// ---------------------------------------------------------------------------
+
+/// Trips `engine`'s breaker by injecting engine/query faults with degraded
+/// mode off: each submission fails a batch until the breaker opens. The
+/// failpoint is disarmed before returning.
+void TripBreaker(Engine& engine) {
+  ASSERT_TRUE(
+      fail::ConfigureSpec("engine/query", "error:io").ok());
+  for (int attempt = 0; attempt < 32 && engine.health() != Health::kTripped;
+       ++attempt) {
+    auto submitted = engine.Submit("trip probe " + std::to_string(attempt));
+    if (submitted.ok()) submitted.value().wait();
+  }
+  fail::Disarm("engine/query");
+  ASSERT_EQ(engine.health(), Health::kTripped);
+}
+
+TEST(Router, FullAvailabilityThroughSingleReplicaOutage) {
+  SKIP_IF_FAILPOINTS_OFF();
+  // R=2: replica 0 of shard 0 is created breaker-fragile (no degraded
+  // fallback, 1-failure trip, effectively-infinite open window) and tripped
+  // before the router starts; health-aware routing must keep availability
+  // at 100% on the sibling.
+  auto model = std::make_shared<HashModel>();
+  model->Initialize();
+  auto built = BuildShardSnapshots(BaseManifest(), TestCorpus(24), 2);
+  ASSERT_TRUE(built.ok());
+  EngineOptions fragile;
+  fragile.k = 5;
+  fragile.allow_degraded = false;
+  fragile.breaker.window = 8;
+  fragile.breaker.min_samples = 1;
+  fragile.breaker.trip_ratio = 0.5;
+  fragile.breaker.open_micros = int64_t{1} << 40;  // stays open for the test
+  fragile.embed_retry.max_attempts = 1;
+  EngineOptions healthy;
+  healthy.k = 5;
+  std::vector<std::unique_ptr<Engine>> engines;
+  auto victim = Engine::Create(built.value()[0], model, fragile);
+  ASSERT_TRUE(victim.ok());
+  TripBreaker(*victim.value());
+  engines.push_back(std::move(victim).value());
+  engines.push_back(
+      std::move(Engine::Create(built.value()[1], model, healthy)).value());
+  engines.push_back(
+      std::move(Engine::Create(built.value()[0], model, healthy)).value());
+  engines.push_back(
+      std::move(Engine::Create(built.value()[1], model, healthy)).value());
+
+  RouterOptions options;
+  options.k = 5;
+  auto router = Router::Create(std::move(engines), model, options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  EXPECT_EQ(router.value()->health(), Health::kServing);
+
+  const Snapshot oracle = Snapshot::Build(BaseManifest(), TestCorpus(24));
+  const auto query_sentences = Sentences(40, "outage");
+  const la::Matrix queries = model->VectorizeAll(query_sentences);
+  const auto expect = oracle.QueryBatch(queries, 5);
+  std::vector<std::future<Result<RouterReply>>> futures;
+  for (const auto& sentence : query_sentences) {
+    auto submitted = router.value()->Submit(sentence);
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  for (size_t q = 0; q < futures.size(); ++q) {
+    auto reply = futures[q].get();
+    ASSERT_TRUE(reply.ok()) << "100% availability violated at query " << q
+                            << ": " << reply.status().ToString();
+    EXPECT_FALSE(reply.value().partial);
+    EXPECT_TRUE(SameResults(reply.value().neighbors, expect[q]));
+  }
+  router.value()->Stop();
+  const auto metrics = router.value()->Metrics();
+  EXPECT_EQ(metrics.completed, query_sentences.size());
+  EXPECT_EQ(metrics.failed, 0u);
+  EXPECT_EQ(metrics.partial, 0u);
+  EXPECT_EQ(metrics.shards_degraded, 0u);
+}
+
+TEST(Router, WholeGroupDownDegradesToPartial) {
+  const size_t k = 6;
+  Fleet fleet = MakeFleet(20, 2, 2, k);
+  RouterOptions options;
+  options.k = k;
+  auto router =
+      Router::Create(std::move(fleet.engines), fleet.model, options);
+  ASSERT_TRUE(router.ok());
+  // Take out BOTH replicas of shard 1 — a whole group outage.
+  for (const auto& engine : router.value()->replicas(1)) engine->Stop();
+
+  const size_t requests = 10;
+  std::vector<std::future<Result<RouterReply>>> futures;
+  for (const auto& sentence : Sentences(requests, "partial")) {
+    auto submitted = router.value()->Submit(sentence);
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  for (auto& future : futures) {
+    auto reply = future.get();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_TRUE(reply.value().partial);
+    for (const auto& neighbor : reply.value().neighbors) {
+      // Survivors only: shard 0 of 2 owns the even global ids.
+      EXPECT_EQ(neighbor.id % 2, 0u);
+    }
+  }
+  router.value()->Stop();
+  const auto metrics = router.value()->Metrics();
+  EXPECT_EQ(metrics.completed, requests);
+  EXPECT_EQ(metrics.partial, requests);
+  EXPECT_EQ(metrics.shards_degraded, requests);
+  EXPECT_GT(metrics.sibling_retries, 0u);
+}
+
+TEST(Router, WholeGroupDownFailsWhenPartialDisallowed) {
+  Fleet fleet = MakeFleet(20, 2, 1);
+  RouterOptions options;
+  options.k = 5;
+  options.allow_partial = false;
+  auto router =
+      Router::Create(std::move(fleet.engines), fleet.model, options);
+  ASSERT_TRUE(router.ok());
+  for (const auto& engine : router.value()->replicas(0)) engine->Stop();
+  auto submitted = router.value()->Submit("strict query");
+  ASSERT_TRUE(submitted.ok());
+  auto reply = submitted.value().get();
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), Status::Code::kUnavailable);
+  router.value()->Stop();
+  EXPECT_EQ(router.value()->Metrics().failed, 1u);
+}
+
+TEST(Router, EmbedFailpointIsLiveAndRetried) {
+  SKIP_IF_FAILPOINTS_OFF();
+  Fleet fleet = MakeFleet(16, 2, 1);
+  RouterOptions options;
+  options.k = 5;
+  options.embed_retry.max_attempts = 3;
+  auto router =
+      Router::Create(std::move(fleet.engines), fleet.model, options);
+  ASSERT_TRUE(router.ok());
+  // One transient fault: the retry inside the router absorbs it.
+  ASSERT_TRUE(
+      fail::ConfigureSpec("router/embed", "error:unavailable,max=1").ok());
+  auto submitted = router.value()->Submit("retried query");
+  ASSERT_TRUE(submitted.ok());
+  EXPECT_TRUE(submitted.value().get().ok());
+  EXPECT_GE(fail::Stats("router/embed").fires, 1u);
+  // Persistent fault: the request fails loudly with the injected error.
+  ASSERT_TRUE(fail::ConfigureSpec("router/embed", "error:io").ok());
+  auto doomed = router.value()->Submit("doomed query");
+  ASSERT_TRUE(doomed.ok());
+  auto reply = doomed.value().get();
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), Status::Code::kIoError);
+  fail::Disarm("router/embed");
+  router.value()->Stop();
+  const auto metrics = router.value()->Metrics();
+  EXPECT_GE(metrics.retries, 1u);
+  EXPECT_EQ(metrics.failed, 1u);
+}
+
+}  // namespace
+}  // namespace ember

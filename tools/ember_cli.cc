@@ -32,6 +32,18 @@
 //       stream) <-> EMBS0002 (mmap-able sections), optionally building the
 //       int8 scan tier for exact snapshots (--quantize int8 forces --to
 //       v2, the only container that can carry it).
+//   ember_cli snapshot-shard <D1..D10> --shards N [--prefix p] [--scale f]
+//       [--seed n] [--k n] [--index exact|hnsw|lsh] [--storage f32|int8]
+//       Partition the dataset's corpus round-robin into N shard snapshots
+//       (<prefix>.s<i>-of-<N>.snap), then validate the set by loading it
+//       back fail-closed and, for exact indexes, spot-checking that the
+//       k-way merged per-shard top-k is bit-identical to the unsharded
+//       oracle.
+//
+//   serve-bench additionally accepts --shards N --replicas R: the corpus is
+//   served by a serve::Router over N shard groups x R replica engines
+//   (health-aware scatter-gather) instead of a single engine. --snapshot
+//   then names the shard-set prefix.
 //
 // When the build compiles failpoints in (the default), the EMBER_FAILPOINTS
 // environment variable arms fault-injection sites before any command runs;
@@ -56,6 +68,7 @@
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "serve/engine.h"
+#include "serve/router.h"
 #include "serve/snapshot.h"
 
 using namespace ember;
@@ -79,8 +92,13 @@ int Usage(const char* argv0) {
                "       %s trace-dump <D1..D10> [--out path] [--requests n] "
                "[--scale f] [--seed n] [--k n] [--index exact|hnsw|lsh]\n"
                "       %s snapshot-convert <in> <out> [--quantize int8] "
-               "[--to v1|v2]\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               "[--to v1|v2]\n"
+               "       %s snapshot-shard <D1..D10> --shards N [--prefix p] "
+               "[--scale f] [--seed n] [--k n] [--index exact|hnsw|lsh] "
+               "[--storage f32|int8]\n"
+               "       (serve-bench also takes --shards N --replicas R for "
+               "routed scatter-gather serving)\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -108,6 +126,10 @@ struct CliArgs {
   bool json = false;          // metrics-dump --json
   std::string out_path = "trace.json";  // trace-dump --out
   size_t requests = 64;       // metrics-dump/trace-dump workload size
+  // sharded serving
+  size_t shards = 1;     // serve-bench/snapshot-shard shard count
+  size_t replicas = 1;   // serve-bench replicas per shard
+  std::string prefix;    // snapshot-shard output prefix
 };
 
 bool ParseCli(int argc, char** argv, int first, CliArgs& args) {
@@ -155,6 +177,12 @@ bool ParseCli(int argc, char** argv, int first, CliArgs& args) {
       args.out_path = argv[++i];
     } else if (arg == "--requests" && i + 1 < argc) {
       args.requests = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--shards" && i + 1 < argc) {
+      args.shards = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--replicas" && i + 1 < argc) {
+      args.replicas = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--prefix" && i + 1 < argc) {
+      args.prefix = argv[++i];
     } else {
       return false;
     }
@@ -420,6 +448,430 @@ int RunServeBench(const CliArgs& args) {
   return 0;
 }
 
+std::string ShardPath(const std::string& prefix, size_t shard, size_t count) {
+  return prefix + ".s" + std::to_string(shard) + "-of-" +
+         std::to_string(count) + ".snap";
+}
+
+/// Merged per-shard answers straight off the shard snapshots (no engines):
+/// the oracle-comparison path snapshot-shard and the sharded serve-bench
+/// spot check share.
+std::vector<std::vector<index::Neighbor>> MergeAcrossShards(
+    const std::vector<serve::Snapshot>& shards, const la::Matrix& queries,
+    size_t k) {
+  std::vector<std::vector<std::vector<index::Neighbor>>> per_shard;
+  per_shard.reserve(shards.size());
+  for (const serve::Snapshot& shard : shards) {
+    auto lists = shard.QueryBatch(queries, k);
+    for (auto& list : lists) {
+      index::RemapToGlobal(list, shard.manifest().row_offset,
+                           shard.manifest().shard_count);
+    }
+    per_shard.push_back(std::move(lists));
+  }
+  std::vector<std::vector<index::Neighbor>> merged(queries.rows());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    std::vector<std::vector<index::Neighbor>> lists;
+    lists.reserve(shards.size());
+    for (auto& shard_lists : per_shard) {
+      lists.push_back(std::move(shard_lists[q]));
+    }
+    merged[q] = serve::MergeTopK(lists, k);
+  }
+  return merged;
+}
+
+int RunSnapshotShard(const CliArgs& args) {
+  if (args.shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
+  const auto spec = datagen::CleanCleanSpecById(args.dataset);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "unknown dataset '%s'\n", args.dataset.c_str());
+    return 1;
+  }
+  const auto kind = serve::IndexKindFromString(args.index_kind);
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    return 1;
+  }
+  const auto storage = serve::StorageKindFromString(args.storage);
+  if (!storage.ok()) {
+    std::fprintf(stderr, "%s\n", storage.status().ToString().c_str());
+    return 1;
+  }
+  const std::string prefix =
+      args.prefix.empty() ? args.dataset + "_shards" : args.prefix;
+  const datagen::CleanCleanDataset data =
+      datagen::GenerateCleanClean(spec.value(), args.scale, args.seed);
+  auto model = std::shared_ptr<embed::EmbeddingModel>(
+      embed::CreateModel(embed::ModelId::kSGtrT5));
+  model->Initialize();
+  WallTimer timer;
+  const la::Matrix corpus = model->VectorizeAll(data.right.AllSentences());
+  const double embed_seconds = timer.Restart();
+
+  serve::SnapshotManifest base;
+  base.model_code = model->info().code;
+  base.default_k = static_cast<uint32_t>(args.k);
+  base.kind = kind.value();
+  base.dataset = args.dataset;
+  index::HnswOptions hnsw_options;
+  hnsw_options.seed = args.seed;
+  index::LshOptions lsh_options;
+  lsh_options.seed = args.seed;
+  auto built = serve::BuildShardSnapshots(
+      base, corpus, static_cast<uint32_t>(args.shards), hnsw_options,
+      lsh_options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::string> paths;
+  for (size_t s = 0; s < built.value().size(); ++s) {
+    serve::Snapshot& shard = built.value()[s];
+    if (storage.value() == serve::StorageKind::kInt8) {
+      const Status quantized = shard.Quantize();
+      if (!quantized.ok()) {
+        std::fprintf(stderr, "%s\n", quantized.ToString().c_str());
+        return 1;
+      }
+    }
+    paths.push_back(ShardPath(prefix, s, args.shards));
+    const Status saved = shard.SaveTo(paths.back());
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("shard %zu/%zu: %llu rows -> %s\n", s, args.shards,
+                static_cast<unsigned long long>(shard.manifest().rows),
+                paths.back().c_str());
+  }
+  std::printf("built %zu shards in %.1f ms embed + %.1f ms index+save\n",
+              args.shards, embed_seconds * 1e3, timer.Restart() * 1e3);
+
+  // Round-trip validation: the set we just wrote must load back as a
+  // coherent fleet (fail-closed on any mismatch).
+  auto reloaded = serve::LoadShardSet(paths);
+  if (!reloaded.ok()) {
+    std::fprintf(stderr, "shard set round trip FAILED: %s\n",
+                 reloaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("round trip: %zu shards load as a coherent set\n",
+              reloaded.value().size());
+
+  // Exact indexes admit a bit-identity check against the unsharded oracle;
+  // approximate indexes (per-shard graphs/tables differ structurally from
+  // one global build) get only the structural round trip above.
+  if (kind.value() == serve::IndexKind::kExact && corpus.rows() > 0) {
+    const auto query_sentences = data.left.AllSentences();
+    const size_t probe = std::min<size_t>(32, query_sentences.size());
+    const la::Matrix queries = model->VectorizeAll(
+        {query_sentences.begin(), query_sentences.begin() + probe});
+    serve::Snapshot oracle = serve::Snapshot::Build(base, corpus);
+    const auto expect = oracle.QueryBatch(queries, args.k);
+    const auto merged = MergeAcrossShards(reloaded.value(), queries, args.k);
+    for (size_t q = 0; q < probe; ++q) {
+      if (merged[q].size() != expect[q].size()) {
+        std::fprintf(stderr, "spot-check FAILED: query %zu merged %zu "
+                     "neighbors, oracle %zu\n",
+                     q, merged[q].size(), expect[q].size());
+        return 1;
+      }
+      for (size_t j = 0; j < merged[q].size(); ++j) {
+        if (merged[q][j].id != expect[q][j].id ||
+            merged[q][j].distance != expect[q][j].distance) {
+          std::fprintf(stderr, "spot-check FAILED: query %zu rank %zu "
+                       "diverges from the unsharded oracle\n", q, j);
+          return 1;
+        }
+      }
+    }
+    std::printf("spot-check: %zu queries merge bit-identical to the "
+                "unsharded oracle\n", probe);
+  } else {
+    std::printf("spot-check: skipped (bit-identity holds for exact "
+                "indexes only)\n");
+  }
+  return 0;
+}
+
+int RunServeBenchSharded(const CliArgs& args) {
+  const auto spec = datagen::CleanCleanSpecById(args.dataset);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "unknown dataset '%s'\n", args.dataset.c_str());
+    return 1;
+  }
+  const auto kind = serve::IndexKindFromString(args.index_kind);
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    return 1;
+  }
+  const auto storage = serve::StorageKindFromString(args.storage);
+  if (!storage.ok()) {
+    std::fprintf(stderr, "%s\n", storage.status().ToString().c_str());
+    return 1;
+  }
+  const datagen::CleanCleanDataset data =
+      datagen::GenerateCleanClean(spec.value(), args.scale, args.seed);
+  auto model = std::shared_ptr<embed::EmbeddingModel>(
+      embed::CreateModel(embed::ModelId::kSGtrT5));
+  model->Initialize();
+
+  // Shard-set acquisition: --snapshot names the set's prefix; load when all
+  // N files exist (fail-closed set validation), else build and persist.
+  std::vector<serve::Snapshot> shards;
+  WallTimer timer;
+  serve::SnapshotManifest base;
+  base.model_code = model->info().code;
+  base.default_k = static_cast<uint32_t>(args.k);
+  base.kind = kind.value();
+  base.dataset = args.dataset;
+  bool loaded = false;
+  if (!args.snapshot_path.empty()) {
+    std::vector<std::string> paths;
+    bool all_exist = true;
+    for (size_t s = 0; s < args.shards; ++s) {
+      paths.push_back(ShardPath(args.snapshot_path, s, args.shards));
+      std::FILE* probe = std::fopen(paths.back().c_str(), "rb");
+      if (probe == nullptr) {
+        all_exist = false;
+      } else {
+        std::fclose(probe);
+      }
+    }
+    if (all_exist) {
+      auto set = serve::LoadShardSet(paths);
+      if (!set.ok()) {
+        std::fprintf(stderr, "shard set rejected: %s\n",
+                     set.status().ToString().c_str());
+        return 1;
+      }
+      shards = std::move(set).value();
+      loaded = true;
+      std::printf("shard set: loaded %zu shards from %s.s*.snap in %.1f ms\n",
+                  shards.size(), args.snapshot_path.c_str(),
+                  timer.Restart() * 1e3);
+    }
+  }
+  if (!loaded) {
+    la::Matrix corpus = model->VectorizeAll(data.right.AllSentences());
+    index::HnswOptions hnsw_options;
+    hnsw_options.seed = args.seed;
+    index::LshOptions lsh_options;
+    lsh_options.seed = args.seed;
+    auto built = serve::BuildShardSnapshots(
+        base, corpus, static_cast<uint32_t>(args.shards), hnsw_options,
+        lsh_options);
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    shards = std::move(built).value();
+    for (size_t s = 0; s < shards.size(); ++s) {
+      if (storage.value() == serve::StorageKind::kInt8) {
+        const Status quantized = shards[s].Quantize();
+        if (!quantized.ok()) {
+          std::fprintf(stderr, "%s\n", quantized.ToString().c_str());
+          return 1;
+        }
+      }
+      if (!args.snapshot_path.empty()) {
+        const Status saved =
+            shards[s].SaveTo(ShardPath(args.snapshot_path, s, args.shards));
+        if (!saved.ok()) {
+          std::fprintf(stderr, "shard save failed: %s\n",
+                       saved.ToString().c_str());
+        }
+      }
+    }
+    std::printf("shard set: built %zu shards in %.1f ms\n", shards.size(),
+                timer.Restart() * 1e3);
+  }
+
+  // N x R engines (Snapshot is copyable — mmap'ed sets share one mapping),
+  // then the Router on top. Engine k matches the router's merge k.
+  serve::EngineOptions engine_options;
+  engine_options.k = args.k;
+  engine_options.max_queue = args.max_queue;
+  engine_options.max_batch = args.max_batch;
+  engine_options.max_wait_micros = args.wait_micros;
+  std::vector<std::unique_ptr<serve::Engine>> engines;
+  for (size_t r = 0; r < std::max<size_t>(1, args.replicas); ++r) {
+    for (const serve::Snapshot& shard : shards) {
+      auto engine = serve::Engine::Create(shard, model, engine_options);
+      if (!engine.ok()) {
+        std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+        return 1;
+      }
+      engines.push_back(std::move(engine).value());
+    }
+  }
+  serve::RouterOptions router_options;
+  router_options.k = args.k;
+  router_options.max_queue = args.max_queue;
+  router_options.max_batch = args.max_batch;
+  router_options.max_wait_micros = args.wait_micros;
+  router_options.workers = args.workers;
+  auto router =
+      serve::Router::Create(std::move(engines), model, router_options);
+  if (!router.ok()) {
+    std::fprintf(stderr, "%s\n", router.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("router: %u shards x %zu replicas, health=%s\n",
+              router.value()->shard_count(),
+              router.value()->replica_count(0),
+              serve::HealthName(router.value()->health()));
+
+  // Merged-result spot check through the live router: for exact indexes a
+  // handful of routed queries must answer bit-identically to the merge
+  // computed straight off the shard snapshots.
+  if (kind.value() == serve::IndexKind::kExact) {
+    const auto query_sentences = data.left.AllSentences();
+    const size_t probe = std::min<size_t>(8, query_sentences.size());
+    if (probe > 0) {
+      const la::Matrix probe_vectors = model->VectorizeAll(
+          {query_sentences.begin(), query_sentences.begin() + probe});
+      const auto expect = MergeAcrossShards(shards, probe_vectors, args.k);
+      std::vector<std::future<Result<serve::RouterReply>>> checks;
+      for (size_t q = 0; q < probe; ++q) {
+        auto submitted = router.value()->Submit(query_sentences[q]);
+        if (!submitted.ok()) {
+          std::fprintf(stderr, "spot-check submit failed: %s\n",
+                       submitted.status().ToString().c_str());
+          return 1;
+        }
+        checks.push_back(std::move(submitted).value());
+      }
+      for (size_t q = 0; q < probe; ++q) {
+        auto reply = checks[q].get();
+        if (!reply.ok() || reply.value().partial) {
+          std::fprintf(stderr, "spot-check FAILED: query %zu not fully "
+                       "answered\n", q);
+          return 1;
+        }
+        const auto& got = reply.value().neighbors;
+        if (got.size() != expect[q].size()) {
+          std::fprintf(stderr, "spot-check FAILED: query %zu size "
+                       "mismatch\n", q);
+          return 1;
+        }
+        for (size_t j = 0; j < got.size(); ++j) {
+          if (got[j].id != expect[q][j].id ||
+              got[j].distance != expect[q][j].distance) {
+            std::fprintf(stderr, "spot-check FAILED: query %zu rank %zu "
+                         "diverges\n", q, j);
+            return 1;
+          }
+        }
+      }
+      std::printf("spot-check: %zu routed queries match the shard merge\n",
+                  probe);
+    }
+  }
+
+  if (!args.trace_path.empty()) {
+    obs::Tracer::Global().Clear();
+    obs::Tracer::Global().SetEnabled(true);
+  }
+
+  const std::vector<std::string> queries = data.left.AllSentences();
+  if (queries.empty()) {
+    std::fprintf(stderr, "dataset has no query records\n");
+    return 1;
+  }
+  const auto total =
+      static_cast<size_t>(args.qps * args.duration_seconds + 0.5);
+  std::vector<std::future<Result<serve::RouterReply>>> futures;
+  futures.reserve(total);
+  const SteadyTime start = SteadyNow();
+  for (size_t i = 0; i < total; ++i) {
+    const SteadyTime at =
+        AfterMicros(start, static_cast<int64_t>(i * 1e6 / args.qps));
+    std::this_thread::sleep_until(at);
+    auto submitted = router.value()->Submit(
+        queries[i % queries.size()],
+        AfterMicros(SteadyNow(),
+                    static_cast<int64_t>(args.deadline_ms * 1e3)));
+    if (submitted.ok()) futures.push_back(std::move(submitted).value());
+  }
+  size_t ok = 0, partial = 0;
+  for (auto& future : futures) {
+    auto reply = future.get();
+    if (reply.ok()) {
+      ++ok;
+      partial += reply.value().partial ? 1 : 0;
+    }
+  }
+  const double wall = MicrosBetween(start, SteadyNow()) / 1e6;
+  std::string prometheus;
+  if (args.dump_metrics) {
+    prometheus = obs::Registry::Global().ToPrometheusText();
+  }
+  router.value()->Stop();
+  const serve::RouterMetrics metrics = router.value()->Metrics();
+
+  if (!args.trace_path.empty()) {
+    obs::Tracer::Global().SetEnabled(false);
+    const auto spans = obs::Tracer::Global().Drain();
+    const Status written = obs::WriteChromeTrace(spans, args.trace_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   written.ToString().c_str());
+    } else {
+      std::printf("trace: %zu spans -> %s\n", spans.size(),
+                  args.trace_path.c_str());
+    }
+  }
+
+  std::printf(
+      "\n%s %s k=%zu shards=%zu replicas=%zu: offered %.0f qps for %.1fs -> "
+      "achieved %.0f qps\n",
+      args.dataset.c_str(), args.index_kind.c_str(), args.k, args.shards,
+      args.replicas, args.qps, args.duration_seconds,
+      static_cast<double>(ok) / wall);
+  std::printf("accepted=%llu completed=%llu rejected=%llu expired=%llu "
+              "late=%llu batches=%llu mean_batch=%.1f\n",
+              static_cast<unsigned long long>(metrics.submitted),
+              static_cast<unsigned long long>(metrics.completed),
+              static_cast<unsigned long long>(metrics.rejected),
+              static_cast<unsigned long long>(metrics.expired),
+              static_cast<unsigned long long>(metrics.deadline_misses),
+              static_cast<unsigned long long>(metrics.batches),
+              metrics.batch_size.Mean());
+  std::printf("failed=%llu partial=%llu shards_degraded=%llu "
+              "sibling_retries=%llu embed_retries=%llu\n",
+              static_cast<unsigned long long>(metrics.failed),
+              static_cast<unsigned long long>(metrics.partial),
+              static_cast<unsigned long long>(metrics.shards_degraded),
+              static_cast<unsigned long long>(metrics.sibling_retries),
+              static_cast<unsigned long long>(metrics.retries));
+  const auto dump = [](const char* name, const HistogramSnapshot& h) {
+    std::printf("%-12s p50=%8.0f us  p99=%8.0f us  max=%8.0f us\n", name,
+                h.Percentile(0.5), h.Percentile(0.99), h.max);
+  };
+  dump("queue", metrics.queue_micros);
+  dump("embed", metrics.embed_micros);
+  dump("fanout", metrics.fanout_micros);
+  dump("gather", metrics.gather_micros);
+  dump("merge", metrics.merge_micros);
+  dump("total", metrics.total_micros);
+  for (size_t s = 0; s < metrics.shard_micros.size(); ++s) {
+    for (size_t r = 0; r < metrics.shard_micros[s].size(); ++r) {
+      const auto& h = metrics.shard_micros[s][r];
+      std::printf("shard=%zu replica=%zu p50=%8.0f us  p99=%8.0f us  "
+                  "count=%llu\n",
+                  s, r, h.Percentile(0.5), h.Percentile(0.99),
+                  static_cast<unsigned long long>(h.count));
+    }
+  }
+  if (args.dump_metrics) std::printf("\n%s", prometheus.c_str());
+  return 0;
+}
+
 /// Shared workload for metrics-dump / trace-dump: snapshot + engine over
 /// the dataset's right side, then a closed-loop submit of `args.requests`
 /// queries from the left side. Returns the engine so callers can scrape or
@@ -605,7 +1057,11 @@ int main(int argc, char** argv) {
   if (!ParseCli(argc, argv, 2, args)) return Usage(argv[0]);
   if (command == "block") return RunBlock(args);
   if (command == "pipeline") return RunPipeline(args);
-  if (command == "serve-bench") return RunServeBench(args);
+  if (command == "serve-bench") {
+    return args.shards > 1 || args.replicas > 1 ? RunServeBenchSharded(args)
+                                                : RunServeBench(args);
+  }
+  if (command == "snapshot-shard") return RunSnapshotShard(args);
   if (command == "metrics-dump") return RunMetricsDump(args);
   if (command == "trace-dump") return RunTraceDump(args);
   return Usage(argv[0]);
