@@ -1,0 +1,423 @@
+// Streaming / live-corpus benchmark (beyond the paper; DESIGN.md §14):
+// turns the frozen D2 snapshot into a live corpus and measures the three
+// costs the mutable tier introduces:
+//
+//   (a) mutation throughput — closed-loop upserts (full path: embed through
+//       the micro-batcher, then the delta append) and deletes (tombstone
+//       publication) with P producers;
+//   (b) the delta tax — query latency (p50/p99) as the brute-force delta
+//       tier grows from 0 to 4096 rows on top of the indexed base, i.e.
+//       what you pay for freshness between compactions;
+//   (c) availability across compaction — a closed-loop query+upsert load
+//       runs while the base is repeatedly rewritten and hot-swapped;
+//       reports availability (must be 100%), latency with and without
+//       concurrent compaction, and the compaction durations themselves.
+//
+// Every phase EMBER_CHECKs the engine's counter identity (submitted ==
+// completed + expired + failed) after draining, so lost-request bugs fail
+// the bench rather than skewing it.
+//
+// Artifacts: exp27_mutation.csv, exp27_delta_tax.csv, exp27_compaction.csv.
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "la/vector_ops.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
+
+namespace {
+
+using namespace ember;
+
+constexpr double kPhaseSeconds = 2.0;
+constexpr size_t kProducers = 4;
+constexpr size_t kK = 10;
+
+serve::SnapshotManifest BaseManifest(const std::string& model_code) {
+  serve::SnapshotManifest manifest;
+  manifest.model_code = model_code;
+  manifest.default_k = kK;
+  manifest.kind = serve::IndexKind::kExact;
+  manifest.dataset = "D2";
+  return manifest;
+}
+
+std::unique_ptr<serve::Engine> MakeLiveEngine(
+    const serve::Snapshot& snapshot,
+    std::shared_ptr<embed::EmbeddingModel> model) {
+  serve::EngineOptions options;
+  options.k = kK;
+  options.live = true;
+  auto engine = serve::Engine::Create(snapshot, std::move(model), options);
+  EMBER_CHECK_MSG(engine.ok(), "engine create: %s",
+                  engine.status().ToString().c_str());
+  return std::move(engine).value();
+}
+
+void CheckIdentity(const serve::Engine& engine, const char* phase) {
+  const serve::EngineMetrics m = engine.Metrics();
+  EMBER_CHECK_MSG(m.submitted == m.completed + m.expired + m.failed,
+                  "%s: counter identity broken (submitted=%llu completed=%llu "
+                  "expired=%llu failed=%llu)",
+                  phase, static_cast<unsigned long long>(m.submitted),
+                  static_cast<unsigned long long>(m.completed),
+                  static_cast<unsigned long long>(m.expired),
+                  static_cast<unsigned long long>(m.failed));
+}
+
+std::vector<float> RandomUnit(Rng& rng, size_t dim) {
+  std::vector<float> v(dim);
+  for (float& x : v) x = static_cast<float>(rng.Uniform()) - 0.5f;
+  la::NormalizeInPlace(v.data(), dim);
+  return v;
+}
+
+double Percentile(std::vector<double>& sorted_micros, double p) {
+  if (sorted_micros.empty()) return 0;
+  const size_t at = std::min(
+      sorted_micros.size() - 1,
+      static_cast<size_t>(p / 100.0 * static_cast<double>(
+                                          sorted_micros.size() - 1) +
+                          0.5));
+  return sorted_micros[at];
+}
+
+// ---------------------------------------------------------------------------
+// (a) Mutation throughput
+// ---------------------------------------------------------------------------
+
+struct MutationPoint {
+  double upserts_per_sec = 0;
+  double embedded_upserts_per_sec = 0;
+  double deletes_per_sec = 0;
+};
+
+MutationPoint MutationThroughput(const serve::Snapshot& base,
+                                 std::shared_ptr<embed::EmbeddingModel> model,
+                                 const std::vector<std::string>& records) {
+  MutationPoint point;
+  const size_t dim = model->info().dim;
+  {
+    // Full-path upserts: the record is embedded inside the batcher.
+    auto engine = MakeLiveEngine(base, model);
+    std::atomic<uint64_t> done{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> producers;
+    const SteadyTime start = SteadyNow();
+    for (size_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        size_t i = p;
+        while (!stop.load(std::memory_order_relaxed)) {
+          auto submitted = engine->Upsert(
+              records[i % records.size()] + " streamed " + std::to_string(i));
+          i += kProducers;
+          if (!submitted.ok()) continue;
+          if (submitted.value().get().ok()) {
+            done.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(kPhaseSeconds));
+    stop.store(true);
+    for (auto& t : producers) t.join();
+    point.upserts_per_sec = static_cast<double>(done.load()) /
+                            MicrosBetween(start, SteadyNow()) * 1e6;
+    engine->Stop();
+    CheckIdentity(*engine, "upsert throughput");
+  }
+  {
+    // Pre-embedded upserts isolate the delta append + batcher from the
+    // embed cost (the router's fan-out path).
+    auto engine = MakeLiveEngine(base, model);
+    std::atomic<uint64_t> done{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> producers;
+    const SteadyTime start = SteadyNow();
+    for (size_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        Rng rng(0x27a + p);
+        while (!stop.load(std::memory_order_relaxed)) {
+          auto submitted = engine->UpsertEmbedded(RandomUnit(rng, dim));
+          if (!submitted.ok()) continue;
+          if (submitted.value().get().ok()) {
+            done.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(kPhaseSeconds));
+    stop.store(true);
+    for (auto& t : producers) t.join();
+    point.embedded_upserts_per_sec = static_cast<double>(done.load()) /
+                                     MicrosBetween(start, SteadyNow()) * 1e6;
+
+    // Deletes against everything just admitted: each publishes one
+    // tombstone through the same batcher.
+    const uint64_t admitted = engine->LiveStats().delta_rows;
+    std::atomic<uint64_t> deleted{0};
+    std::atomic<uint64_t> next{base.manifest().rows};
+    std::vector<std::thread> deleters;
+    const SteadyTime delete_start = SteadyNow();
+    const uint64_t last = base.manifest().rows + admitted;
+    for (size_t p = 0; p < kProducers; ++p) {
+      deleters.emplace_back([&] {
+        while (true) {
+          const uint64_t id =
+              next.fetch_add(1, std::memory_order_relaxed);
+          if (id >= last) break;
+          auto submitted = engine->Delete(id);
+          if (!submitted.ok()) continue;
+          if (submitted.value().get().ok()) {
+            deleted.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : deleters) t.join();
+    point.deletes_per_sec = static_cast<double>(deleted.load()) /
+                            MicrosBetween(delete_start, SteadyNow()) * 1e6;
+    engine->Stop();
+    CheckIdentity(*engine, "delete throughput");
+  }
+  return point;
+}
+
+// ---------------------------------------------------------------------------
+// (b) Query latency vs delta size
+// ---------------------------------------------------------------------------
+
+struct DeltaTaxPoint {
+  size_t delta_rows = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+DeltaTaxPoint DeltaTax(const serve::Snapshot& base,
+                       std::shared_ptr<embed::EmbeddingModel> model,
+                       const std::vector<std::string>& queries,
+                       size_t delta_rows) {
+  auto engine = MakeLiveEngine(base, model);
+  const size_t dim = model->info().dim;
+  Rng rng(0x27b);
+  for (size_t i = 0; i < delta_rows; ++i) {
+    auto submitted = engine->UpsertEmbedded(RandomUnit(rng, dim));
+    EMBER_CHECK(submitted.ok());
+    EMBER_CHECK(submitted.value().get().ok());
+  }
+  EMBER_CHECK(engine->LiveStats().delta_rows == delta_rows);
+
+  // Single closed-loop producer: per-request latency is the full
+  // submit -> future path, so the delta scan rides inside real batches.
+  std::vector<double> latencies;
+  const SteadyTime start = SteadyNow();
+  size_t i = 0;
+  while (MicrosBetween(start, SteadyNow()) < kPhaseSeconds * 1e6) {
+    const SteadyTime t0 = SteadyNow();
+    auto submitted = engine->Submit(queries[i++ % queries.size()]);
+    if (!submitted.ok()) continue;
+    if (submitted.value().get().ok()) {
+      latencies.push_back(MicrosBetween(t0, SteadyNow()));
+    }
+  }
+  engine->Stop();
+  CheckIdentity(*engine, "delta tax");
+
+  DeltaTaxPoint point;
+  point.delta_rows = delta_rows;
+  point.qps = static_cast<double>(latencies.size()) /
+              MicrosBetween(start, SteadyNow()) * 1e6;
+  std::sort(latencies.begin(), latencies.end());
+  point.p50_ms = Percentile(latencies, 50) / 1e3;
+  point.p99_ms = Percentile(latencies, 99) / 1e3;
+  return point;
+}
+
+// ---------------------------------------------------------------------------
+// (c) Availability across compaction hot-swaps
+// ---------------------------------------------------------------------------
+
+struct CompactionRun {
+  uint64_t answered = 0;
+  uint64_t failed = 0;
+  double query_p50_ms = 0;
+  double query_p99_ms = 0;
+  double query_max_ms = 0;
+  uint64_t compactions = 0;
+  double compact_mean_ms = 0;
+  double compact_max_ms = 0;
+  uint64_t final_base_rows = 0;
+  uint64_t final_generation = 0;
+};
+
+CompactionRun CompactionAvailability(
+    const serve::Snapshot& base, std::shared_ptr<embed::EmbeddingModel> model,
+    const std::vector<std::string>& queries, const bench::BenchEnv& env) {
+  auto engine = MakeLiveEngine(base, model);
+  const size_t dim = model->info().dim;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> failed{0};
+  std::vector<double> latencies;
+
+  std::thread querier([&] {
+    size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const SteadyTime t0 = SteadyNow();
+      auto submitted = engine->Submit(queries[i++ % queries.size()]);
+      if (!submitted.ok()) {
+        failed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (submitted.value().get().ok()) {
+        latencies.push_back(MicrosBetween(t0, SteadyNow()));
+      } else {
+        failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::thread upserter([&] {
+    Rng rng(0x27c);
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto submitted = engine->UpsertEmbedded(RandomUnit(rng, dim));
+      if (submitted.ok()) submitted.value().get();
+    }
+  });
+
+  // Compact as often as the corpus allows for the whole window: every
+  // cycle rewrites base+delta and hot-swaps the result in under load.
+  const std::string path = env.artifacts_dir + "/exp27_compacted.snap";
+  std::vector<double> compact_ms;
+  const SteadyTime start = SteadyNow();
+  while (MicrosBetween(start, SteadyNow()) < kPhaseSeconds * 1e6) {
+    const SteadyTime t0 = SteadyNow();
+    const Status compacted = engine->Compact(path);
+    if (compacted.ok()) {
+      compact_ms.push_back(MicrosBetween(t0, SteadyNow()) / 1e3);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  stop.store(true);
+  querier.join();
+  upserter.join();
+  engine->Stop();
+  CheckIdentity(*engine, "compaction availability");
+  std::remove(path.c_str());
+
+  CompactionRun run;
+  run.answered = latencies.size();
+  run.failed = failed.load();
+  std::sort(latencies.begin(), latencies.end());
+  run.query_p50_ms = Percentile(latencies, 50) / 1e3;
+  run.query_p99_ms = Percentile(latencies, 99) / 1e3;
+  run.query_max_ms = latencies.empty() ? 0 : latencies.back() / 1e3;
+  run.compactions = compact_ms.size();
+  for (const double ms : compact_ms) run.compact_mean_ms += ms;
+  if (!compact_ms.empty()) {
+    run.compact_mean_ms /= static_cast<double>(compact_ms.size());
+    run.compact_max_ms =
+        *std::max_element(compact_ms.begin(), compact_ms.end());
+  }
+  const stream::LiveStats stats = engine->LiveStats();
+  run.final_base_rows = stats.base_rows;
+  run.final_generation = stats.base_generation;
+  return run;
+}
+
+std::string Fixed(double value, int digits = 2) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchEnv env = bench::ParseArgs(argc, argv);
+  bench::PrintBanner(env, "exp27_streaming",
+                     "live corpus: mutation throughput, delta tax, "
+                     "availability across compaction hot-swaps (D2, "
+                     "S-GTR-T5, exact base)");
+
+  const datagen::CleanCleanDataset& dataset = bench::GetDataset("D2", env);
+  auto model = std::shared_ptr<embed::EmbeddingModel>(
+      embed::CreateModel(embed::ModelId::kSGtrT5));
+  model->Initialize();
+  const la::Matrix corpus =
+      bench::Vectors(*model, dataset, /*left_side=*/false, env);
+  const std::vector<std::string> queries = dataset.left.AllSentences();
+  const serve::Snapshot base =
+      serve::Snapshot::Build(BaseManifest(model->info().code), corpus);
+
+  // (a) Mutation throughput.
+  const MutationPoint mutation =
+      MutationThroughput(base, model, dataset.left.AllSentences());
+  eval::Table mutation_table("exp27: mutation throughput (closed loop, " +
+                             std::to_string(kProducers) + " producers)");
+  mutation_table.SetHeader(
+      {"path", "ops_per_sec"});
+  mutation_table.AddRow(
+      {"upsert (embed in batcher)", Fixed(mutation.upserts_per_sec, 0)});
+  mutation_table.AddRow({"upsert (pre-embedded)",
+                         Fixed(mutation.embedded_upserts_per_sec, 0)});
+  mutation_table.AddRow(
+      {"delete (tombstone)", Fixed(mutation.deletes_per_sec, 0)});
+  mutation_table.Print();
+  EMBER_CHECK(bench::SaveArtifact(env, "exp27_mutation", mutation_table).ok());
+
+  // (b) Delta tax.
+  eval::Table tax_table("exp27: query latency vs delta size (base " +
+                        std::to_string(corpus.rows()) + " rows)");
+  tax_table.SetHeader({"delta_rows", "qps", "p50_ms", "p99_ms"});
+  for (const size_t delta_rows : {size_t{0}, size_t{256}, size_t{1024},
+                                  size_t{4096}}) {
+    const DeltaTaxPoint point = DeltaTax(base, model, queries, delta_rows);
+    tax_table.AddRow({std::to_string(point.delta_rows), Fixed(point.qps, 0),
+                      Fixed(point.p50_ms), Fixed(point.p99_ms)});
+  }
+  tax_table.Print();
+  EMBER_CHECK(bench::SaveArtifact(env, "exp27_delta_tax", tax_table).ok());
+
+  // (c) Availability across compaction.
+  const CompactionRun run =
+      CompactionAvailability(base, model, queries, env);
+  const double availability =
+      run.answered + run.failed == 0
+          ? 0
+          : 100.0 * static_cast<double>(run.answered) /
+                static_cast<double>(run.answered + run.failed);
+  eval::Table compact_table("exp27: availability across compaction swaps");
+  compact_table.SetHeader({"metric", "value"});
+  compact_table.AddRow({"queries answered", std::to_string(run.answered)});
+  compact_table.AddRow({"queries failed", std::to_string(run.failed)});
+  compact_table.AddRow({"availability_pct", Fixed(availability)});
+  compact_table.AddRow({"query p50 ms", Fixed(run.query_p50_ms)});
+  compact_table.AddRow({"query p99 ms", Fixed(run.query_p99_ms)});
+  compact_table.AddRow({"query max ms", Fixed(run.query_max_ms)});
+  compact_table.AddRow({"compactions", std::to_string(run.compactions)});
+  compact_table.AddRow({"compact mean ms", Fixed(run.compact_mean_ms)});
+  compact_table.AddRow({"compact max ms", Fixed(run.compact_max_ms)});
+  compact_table.AddRow(
+      {"final base rows", std::to_string(run.final_base_rows)});
+  compact_table.AddRow(
+      {"final base generation", std::to_string(run.final_generation)});
+  compact_table.Print();
+  EMBER_CHECK(bench::SaveArtifact(env, "exp27_compaction", compact_table).ok());
+
+  EMBER_CHECK_MSG(run.failed == 0,
+                  "availability across compaction swaps must be 100%%");
+  std::printf("\nexp27 done: %llu compactions under load, availability "
+              "%.2f%%\n",
+              static_cast<unsigned long long>(run.compactions), availability);
+  return 0;
+}

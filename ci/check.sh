@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # Local CI gate: build Release and Debug+sanitizers, run the full test suite
-# in both, run the fault-injection suite and an $EMBER_FAILPOINTS env smoke
-# under ASan, run the concurrency suites under ThreadSanitizer (serve/fault/
-# router repeated until-fail:3), prove the -DEMBER_FAILPOINTS_ENABLED=OFF
-# build,
+# in both, run the fault-injection suites (fault + stream failpoints) and an
+# $EMBER_FAILPOINTS env smoke under ASan, run the concurrency suites under
+# ThreadSanitizer (serve/fault/router/stream repeated until-fail:3), prove
+# the -DEMBER_FAILPOINTS_ENABLED=OFF build,
 # then smoke-run the micro-benchmarks and the serving/resilience/
-# observability benches on the Release build, validate the metrics-dump /
-# trace-dump exporter output with a real parser, and hold src/obs+src/serve
-# to a >= 85% line-coverage floor (Debug+gcov leg). New warnings in src/la
+# observability/streaming benches on the Release build (stream-dedup holds
+# an incremental-F1 floor), validate the metrics-dump / trace-dump exporter
+# output with a real parser, and hold src/obs+src/serve+src/stream to a
+# >= 85% line-coverage floor (Debug+gcov leg). New warnings in src/la
 # and src/nn fail the build (-Werror on those targets).
 # Usage: ci/check.sh [-j N]
 set -euo pipefail
@@ -35,11 +36,13 @@ run_config build-release -DCMAKE_BUILD_TYPE=Release
 run_config build-asan -DCMAKE_BUILD_TYPE=Debug -DEMBER_SANITIZE=ON -DEMBER_FAILPOINTS_ENABLED=ON
 
 # Fault-injection leg: the fault suite (failpoints, retries, breaker,
-# degraded mode, hot reload, the exhaustive corruption sweep) under ASan so
-# every injected error path is also leak/UB-clean, plus an env-spec smoke
-# proving $EMBER_FAILPOINTS reaches the engine through the CLI.
-echo "==> fault-injection suite under ASan"
-(cd build-asan && ctest --output-on-failure -R '^fault_test$')
+# degraded mode, hot reload, the exhaustive corruption sweep) plus the
+# stream suite (delta-insert/tombstone/compaction failpoints, compacted-
+# snapshot corruption sweep) under ASan so every injected error path is
+# also leak/UB-clean, plus an env-spec smoke proving $EMBER_FAILPOINTS
+# reaches the engine through the CLI.
+echo "==> fault-injection suites under ASan"
+(cd build-asan && ctest --output-on-failure -R '^(fault|stream)_test$')
 echo "==> EMBER_FAILPOINTS env smoke"
 # A malformed spec must refuse to start.
 EMBER_FAILPOINTS="not a valid spec" \
@@ -61,35 +64,38 @@ EMBER_FAILPOINTS="snapshot/save=error:io" \
 
 # ThreadSanitizer leg: only the suites that exercise real concurrency (the
 # thread pool, the serving engine's MPMC queue/batcher, the fault/reload
-# paths, and the thread-count-invariance sweeps) — TSan on the full numeric
-# suite is slow without adding coverage. serve/fault repeat until-fail:3 to
-# shake out schedule-dependent races in the breaker/reload machinery.
+# paths, the live-corpus mutation/compaction machinery, and the thread-
+# count-invariance sweeps) — TSan on the full numeric suite is slow without
+# adding coverage. serve/fault/stream repeat until-fail:3 to shake out
+# schedule-dependent races in the breaker/reload/hot-swap machinery; the
+# stream suite includes compaction and reload swaps under live mutation
+# traffic.
 echo "==> configure build-tsan (EMBER_SANITIZE=tsan)"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DEMBER_SANITIZE=tsan >/dev/null
 echo "==> build build-tsan"
-cmake --build build-tsan -j "${JOBS}" --target parallel_test serve_test fault_test determinism_test obs_test router_test
-echo "==> ctest build-tsan (parallel/determinism once; serve/fault/router x3)"
+cmake --build build-tsan -j "${JOBS}" --target parallel_test serve_test fault_test determinism_test obs_test router_test stream_test
+echo "==> ctest build-tsan (parallel/determinism once; serve/fault/router/stream x3)"
 (cd build-tsan && ctest --output-on-failure -R '^(parallel|determinism)_test$')
-(cd build-tsan && ctest --output-on-failure --repeat until-fail:3 -R '^(serve|fault|obs|router)_test$')
+(cd build-tsan && ctest --output-on-failure --repeat until-fail:3 -R '^(serve|fault|obs|router|stream)_test$')
 
-# Coverage leg: Debug + gcov, run the obs/serve/la suites, and hold the
-# line on the subsystems this repo treats as infrastructure — src/obs,
-# src/serve (including the EMBS0002 mmap loader) and src/la (including the
-# quantization kernels) each need >= 85% line coverage, so untested
-# exporter, container, or kernel paths fail the gate instead of rotting
-# silently.
+# Coverage leg: Debug + gcov, run the obs/serve/stream/la suites, and hold
+# the line on the subsystems this repo treats as infrastructure — src/obs,
+# src/serve (including the EMBS0002 mmap loader), src/stream (delta tier,
+# tombstones, compaction) and src/la (including the quantization kernels)
+# each need >= 85% line coverage, so untested exporter, container, overlay,
+# or kernel paths fail the gate instead of rotting silently.
 echo "==> configure build-cov (EMBER_COVERAGE=ON)"
 cmake -B build-cov -S . -DCMAKE_BUILD_TYPE=Debug -DEMBER_COVERAGE=ON >/dev/null
 echo "==> build build-cov"
-cmake --build build-cov -j "${JOBS}" --target obs_test serve_test fault_test la_test index_test router_test
-echo "==> ctest build-cov (obs/serve/fault/la/index/router) + coverage floor"
+cmake --build build-cov -j "${JOBS}" --target obs_test serve_test fault_test la_test index_test router_test stream_test
+echo "==> ctest build-cov (obs/serve/fault/la/index/router/stream) + coverage floor"
 (cd build-cov && find . -name '*.gcda' -delete && \
-  ctest --output-on-failure -R '^(obs|serve|fault|la|index|router)_test$')
+  ctest --output-on-failure -R '^(obs|serve|fault|la|index|router|stream)_test$')
 python3 - <<'PYEOF'
 import glob, re, subprocess, sys
 floor = 85.0
 failed = False
-for d in ["obs", "serve", "la"]:
+for d in ["obs", "serve", "stream", "la"]:
     gcda = glob.glob(f"build-cov/src/{d}/CMakeFiles/ember_{d}.dir/*.gcda")
     out = subprocess.run(["gcov", "-n"] + gcda, capture_output=True,
                          text=True).stdout
@@ -112,9 +118,9 @@ PYEOF
 echo "==> configure build-nofp (EMBER_FAILPOINTS_ENABLED=OFF)"
 cmake -B build-nofp -S . -DCMAKE_BUILD_TYPE=Release -DEMBER_FAILPOINTS_ENABLED=OFF >/dev/null
 echo "==> build build-nofp"
-cmake --build build-nofp -j "${JOBS}" --target serve_test fault_test exp22_serving ember_cli
-echo "==> ctest build-nofp (serve/fault)"
-(cd build-nofp && ctest --output-on-failure -R '^(serve|fault)_test$')
+cmake --build build-nofp -j "${JOBS}" --target serve_test fault_test stream_test exp22_serving ember_cli
+echo "==> ctest build-nofp (serve/fault/stream)"
+(cd build-nofp && ctest --output-on-failure -R '^(serve|fault|stream)_test$')
 
 echo "==> exp20 micro-kernel smoke (Release)"
 ./build-release/bench/exp20_micro_kernels --benchmark_min_time=0.01
@@ -133,6 +139,38 @@ echo "==> exp25 memory smoke (Release)"
 
 echo "==> exp26 sharded scaling smoke (Release)"
 ./build-release/bench/exp26_scaling --scale 0.05
+
+echo "==> exp27 streaming smoke (Release)"
+# Asserts internally: counter identity per phase and 100% availability
+# across the compaction hot-swaps.
+./build-release/bench/exp27_streaming --scale 0.05
+
+echo "==> stream-dedup smoke (Release): live incremental ER + F1 floor"
+# Streams D2 one record at a time against the live corpus with background
+# compaction; the run self-checks counter identity and availability. The
+# final incremental pairwise F1 at the default threshold must clear 0.90
+# (measured 1.00 at this scale), so a regression in the merged base+delta
+# query path or the cluster bookkeeping fails the gate.
+./build-release/tools/ember_cli stream-dedup D2 --scale 0.05 \
+  --compact-rows 32 > /tmp/ember_stream_dedup.out
+grep -q 'stream-dedup final' /tmp/ember_stream_dedup.out
+python3 - <<'PYEOF'
+import re
+out = open("/tmp/ember_stream_dedup.out").read()
+m = re.search(r"stream-dedup final precision=([\d.]+) recall=([\d.]+) "
+              r"f1=([\d.]+)", out)
+assert m, f"no final metrics line in:\n{out}"
+f1 = float(m.group(3))
+assert f1 >= 0.90, f"stream-dedup F1 {f1:.4f} below the 0.90 floor"
+print(f"stream-dedup smoke: F1 {f1:.4f} (floor 0.90)")
+PYEOF
+# A stream-side env-armed failpoint must fail mutations closed: with the
+# delta insert refusing service, no record can be admitted and the run
+# must exit nonzero rather than silently dropping the stream.
+EMBER_FAILPOINTS="stream/delta_insert=error:unavailable" \
+  ./build-release/tools/ember_cli stream-dedup D2 --scale 0.05 \
+  >/dev/null 2>&1 \
+  && { echo "stream-dedup served with delta_insert failing" >&2; exit 1; }
 
 echo "==> metrics/trace CLI smoke (Release): exporters must be parseable"
 ./build-release/tools/ember_cli metrics-dump D2 --scale 0.05 > /tmp/ember_metrics.prom

@@ -60,6 +60,10 @@ inline constexpr const char* kCatalog[] = {
     "engine/embed",       // serve::Engine embed stage (retried, breaker)
     "engine/query",       // serve::Engine query stage (degraded fallback)
     "router/embed",       // serve::Router embed-once stage (retried)
+    "stream/delta_insert",  // stream::LiveCorpus upsert into the delta tier
+    "stream/tombstone",     // stream::LiveCorpus tombstone publish (delete)
+    "compaction/write",     // serve::Engine compaction snapshot write
+    "compaction/swap",      // serve::Engine compaction hot-swap commit
 };
 
 /// What an armed point does when its policy fires.

@@ -1,0 +1,84 @@
+#include "core/stream_clusters.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ember::core {
+
+void StreamClusters::Add(uint64_t handle, bool left, uint32_t index) {
+  EMBER_CHECK_MSG(nodes_.count(handle) == 0,
+                  "stream cluster handle %llu added twice",
+                  static_cast<unsigned long long>(handle));
+  Node node;
+  node.parent = handle;
+  (left ? node.left : node.right).push_back(index);
+  nodes_.emplace(handle, std::move(node));
+}
+
+uint64_t StreamClusters::Find(uint64_t handle) {
+  uint64_t root = handle;
+  while (nodes_.at(root).parent != root) root = nodes_.at(root).parent;
+  // Path compression keeps the amortized cost near-constant.
+  while (nodes_.at(handle).parent != root) {
+    uint64_t next = nodes_.at(handle).parent;
+    nodes_.at(handle).parent = root;
+    handle = next;
+  }
+  return root;
+}
+
+void StreamClusters::Merge(uint64_t a, uint64_t b) {
+  uint64_t ra = Find(a);
+  uint64_t rb = Find(b);
+  if (ra == rb) return;
+  Node& na = nodes_.at(ra);
+  Node& nb = nodes_.at(rb);
+  // Score exactly the pairs this merge creates: cross-side members across
+  // the two clusters. Same-side pairs predict nothing in Clean-Clean ER.
+  for (uint32_t l : na.left) {
+    for (uint32_t r : nb.right) {
+      ++predicted_;
+      if (truth_->ContainsCleanClean(l, r)) ++tp_;
+    }
+  }
+  for (uint32_t l : nb.left) {
+    for (uint32_t r : na.right) {
+      ++predicted_;
+      if (truth_->ContainsCleanClean(l, r)) ++tp_;
+    }
+  }
+  // Union by rank; the absorbed root's member lists move to the winner.
+  uint64_t winner = ra;
+  uint64_t loser = rb;
+  if (nodes_.at(ra).rank < nodes_.at(rb).rank) std::swap(winner, loser);
+  Node& w = nodes_.at(winner);
+  Node& l = nodes_.at(loser);
+  if (w.rank == l.rank) ++w.rank;
+  l.parent = winner;
+  w.left.insert(w.left.end(), l.left.begin(), l.left.end());
+  w.right.insert(w.right.end(), l.right.begin(), l.right.end());
+  l.left.clear();
+  l.left.shrink_to_fit();
+  l.right.clear();
+  l.right.shrink_to_fit();
+}
+
+eval::PrfMetrics StreamClusters::Metrics() const {
+  eval::PrfMetrics metrics;
+  if (predicted_ > 0) {
+    metrics.precision =
+        static_cast<double>(tp_) / static_cast<double>(predicted_);
+  }
+  if (truth_->size() > 0) {
+    metrics.recall =
+        static_cast<double>(tp_) / static_cast<double>(truth_->size());
+  }
+  if (metrics.precision + metrics.recall > 0) {
+    metrics.f1 = 2 * metrics.precision * metrics.recall /
+                 (metrics.precision + metrics.recall);
+  }
+  return metrics;
+}
+
+}  // namespace ember::core

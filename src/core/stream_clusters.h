@@ -1,0 +1,65 @@
+#ifndef EMBER_CORE_STREAM_CLUSTERS_H_
+#define EMBER_CORE_STREAM_CLUSTERS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace ember::core {
+
+/// Incremental cluster bookkeeping for streaming ER (the stream-dedup
+/// scenario): records arrive one at a time, each keyed by the live corpus's
+/// global id, and a resolved match merges two clusters. Pairwise
+/// precision/recall are maintained INCREMENTALLY — a merge of clusters A
+/// and B adds exactly the new cross pairs (A.left x B.right plus
+/// A.right x B.left) to the predicted count and checks only those against
+/// the ground truth — so Metrics() is O(1) at any point in the stream
+/// instead of O(pairs) per probe.
+///
+/// Clean-Clean semantics: every record belongs to the left or the right
+/// collection, and only left-right pairs are scorable (same-side co-cluster
+/// members predict nothing, matching EvaluateCleanCleanMatches).
+class StreamClusters {
+ public:
+  /// `truth` must outlive this object.
+  explicit StreamClusters(const eval::GroundTruth& truth) : truth_(&truth) {}
+
+  /// Registers a newly streamed record as its own singleton cluster.
+  /// `handle` is any unique key (the stream-dedup CLI uses the live
+  /// corpus's global id); `index` is the record's index within its side's
+  /// collection.
+  void Add(uint64_t handle, bool left, uint32_t index);
+
+  /// Merges the clusters containing `a` and `b` (no-op when already
+  /// co-clustered). Both handles must have been Add'ed.
+  void Merge(uint64_t a, uint64_t b);
+
+  /// Pairwise precision/recall/F1 of the clustering so far.
+  eval::PrfMetrics Metrics() const;
+
+  uint64_t predicted_pairs() const { return predicted_; }
+  uint64_t true_pairs() const { return tp_; }
+  size_t records() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    uint64_t parent = 0;
+    uint64_t rank = 0;
+    /// Member record indices per side; populated only on roots.
+    std::vector<uint32_t> left;
+    std::vector<uint32_t> right;
+  };
+
+  uint64_t Find(uint64_t handle);
+
+  const eval::GroundTruth* truth_;
+  std::unordered_map<uint64_t, Node> nodes_;
+  uint64_t predicted_ = 0;  // cross-side pairs predicted by merges
+  uint64_t tp_ = 0;         // of those, pairs present in the truth
+};
+
+}  // namespace ember::core
+
+#endif  // EMBER_CORE_STREAM_CLUSTERS_H_

@@ -4,8 +4,11 @@
 #include <cmath>
 #include <utility>
 
+#include <cstring>
+
 #include "common/binary_io.h"
 #include "common/failpoint.h"
+#include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "la/matrix_io.h"
@@ -137,19 +140,14 @@ void HnswIndex::Insert(uint32_t node, size_t node_level) {
   }
 }
 
-void HnswIndex::Build(la::Matrix data) {
-  obs::Span span("index/hnsw_build");
-  span.AddCount("rows", data.rows());
-  data_ = std::move(data);
-  links_.assign(data_.rows(), {});
-  flat_ = FlatLinks();
-  if (data_.rows() == 0) return;
-
+void HnswIndex::LinkRows(size_t first) {
   const double level_mult = 1.0 / std::log(static_cast<double>(options_.m));
   Rng rng(SplitMix64(options_.seed ^ 0x6a57ULL));
-  entry_ = 0;
-  max_level_ = 0;
-  for (uint32_t node = 0; node < data_.rows(); ++node) {
+  // One Uniform() per already-linked node: fast-forwarding the stream makes
+  // node n draw the same level whether it arrived in the original Build or
+  // in a later AddBatch.
+  for (size_t i = 0; i < first; ++i) rng.Uniform();
+  for (uint32_t node = first; node < data_.rows(); ++node) {
     double u = rng.Uniform();
     if (u <= 1e-12) u = 1e-12;
     const size_t node_level = static_cast<size_t>(-std::log(u) * level_mult);
@@ -160,6 +158,61 @@ void HnswIndex::Build(la::Matrix data) {
     }
     Insert(node, node_level);
   }
+}
+
+void HnswIndex::Build(la::Matrix data) {
+  obs::Span span("index/hnsw_build");
+  span.AddCount("rows", data.rows());
+  data_ = std::move(data);
+  links_.assign(data_.rows(), {});
+  flat_ = FlatLinks();
+  if (data_.rows() == 0) return;
+  entry_ = 0;
+  max_level_ = 0;
+  LinkRows(0);
+}
+
+void HnswIndex::Thaw() {
+  if (flat_.active) {
+    const size_t rows = data_.rows();
+    std::vector<std::vector<std::vector<uint32_t>>> links(rows);
+    for (uint32_t node = 0; node < rows; ++node) {
+      links[node].resize(flat_.levels[node]);
+      for (size_t level = 0; level < flat_.levels[node]; ++level) {
+        const LinkView view = Links(node, level);
+        links[node][level].assign(view.begin(), view.end());
+      }
+    }
+    links_ = std::move(links);
+    flat_ = FlatLinks();
+  }
+  if (data_.is_view()) {
+    la::Matrix owned(data_.rows(), data_.cols());
+    std::memcpy(owned.data(), data_.data(),
+                data_.rows() * data_.cols() * sizeof(float));
+    data_ = std::move(owned);
+  }
+}
+
+void HnswIndex::AddBatch(const la::Matrix& rows) {
+  Thaw();
+  if (rows.rows() == 0) return;
+  const size_t old_rows = data_.rows();
+  const size_t cols = old_rows > 0 ? data_.cols() : rows.cols();
+  EMBER_CHECK(rows.cols() == cols);
+  la::Matrix grown(old_rows + rows.rows(), cols);
+  if (old_rows > 0) {
+    std::memcpy(grown.data(), data_.data(), old_rows * cols * sizeof(float));
+  }
+  std::memcpy(grown.Row(old_rows), rows.data(),
+              rows.rows() * cols * sizeof(float));
+  data_ = std::move(grown);
+  links_.resize(data_.rows());
+  if (old_rows == 0) {
+    entry_ = 0;
+    max_level_ = 0;
+  }
+  LinkRows(old_rows);
 }
 
 std::vector<Neighbor> HnswIndex::Query(const float* query, size_t k,

@@ -113,6 +113,23 @@ class HnswIndex {
                   uint64_t starts_count, const uint32_t* adj,
                   uint64_t adj_count);
 
+  /// Converts the index to mutable owned storage: a flat-attached (mmap'ed)
+  /// graph is materialized into nested heap links and view-backed vectors
+  /// are copied into an owned matrix — the copy-on-write guard in front of
+  /// every online insert. No-op when the index already owns nested storage.
+  /// The streaming tier clones a serving snapshot's graph, thaws the clone,
+  /// and mutates only the clone while readers keep the frozen original
+  /// (RCU; DESIGN.md §14).
+  void Thaw();
+
+  /// Online insert: appends `rows` vectors and links each into the graph.
+  /// Levels continue the exact seeded stream Build draws from, so
+  /// Build(A) + AddBatch(B) produces a graph bit-identical to
+  /// Build(A concat B) — incremental insertion is testable against the
+  /// batch rebuild oracle. Thaws the index first; NOT thread-safe against
+  /// concurrent queries on the same object (mutate a private copy).
+  void AddBatch(const la::Matrix& rows);
+
   /// `stats`, when non-null, accumulates the search's hop/distance-eval
   /// counts (it is not reset: callers aggregate across queries).
   std::vector<Neighbor> Query(const float* query, size_t k,
@@ -170,6 +187,11 @@ class HnswIndex {
                                     VisitedSet& visited,
                                     SearchStats* stats = nullptr) const;
   void Insert(uint32_t node, size_t node_level);
+  /// Draws levels for and links nodes [first, rows) — the shared tail of
+  /// Build and AddBatch. Skips the first `first` draws of the seeded level
+  /// stream, which is what makes incremental insertion bit-identical to a
+  /// batch rebuild.
+  void LinkRows(size_t first);
   std::vector<uint32_t>& NeighborsOf(uint32_t node, size_t level);
   const std::vector<uint32_t>& NeighborsOf(uint32_t node, size_t level) const;
 

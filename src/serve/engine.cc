@@ -1,6 +1,7 @@
 #include "serve/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -71,6 +72,18 @@ std::vector<obs::Sample> MetricsToSamples(const EngineMetrics& metrics,
           metrics.reloads);
   counter("ember_serve_reload_failures_total", "Rejected snapshot reloads",
           metrics.reload_failures);
+  counter("ember_serve_upserts_total", "Rows admitted to the delta tier",
+          metrics.upserts);
+  counter("ember_serve_deletes_total", "Tombstones published",
+          metrics.deletes);
+  counter("ember_serve_mutation_failures_total",
+          "Upserts/deletes refused fail-closed", metrics.mutation_failures);
+  counter("ember_serve_compactions_total",
+          "Compacted bases hot-swapped in", metrics.compactions);
+  counter("ember_serve_compaction_failures_total",
+          "Compactions rolled back", metrics.compaction_failures);
+  counter("ember_serve_absorbs_total",
+          "HNSW delta absorptions published", metrics.absorbs);
   auto gauge = [&](const char* name, const char* help, double value) {
     obs::Sample sample;
     sample.name = name;
@@ -95,6 +108,9 @@ std::vector<obs::Sample> MetricsToSamples(const EngineMetrics& metrics,
             metrics.embed_micros);
   histogram("ember_serve_query_micros", "Index search time per batch",
             metrics.query_micros);
+  histogram("ember_serve_mutate_micros",
+            "Delta/tombstone application time per batch",
+            metrics.mutate_micros);
   histogram("ember_serve_postprocess_micros",
             "Reply assembly / future completion time per batch",
             metrics.postprocess_micros);
@@ -155,6 +171,9 @@ Engine::Engine(Snapshot snapshot, std::shared_ptr<embed::EmbeddingModel> model,
       model_(std::move(model)),
       options_(options),
       breaker_(options.breaker) {
+  if (options_.live) {
+    live_ = std::make_shared<stream::LiveCorpus>(snapshot_);
+  }
   options_.max_queue = std::max<size_t>(1, options_.max_queue);
   options_.max_batch = std::max<size_t>(1, options_.max_batch);
   options_.workers = std::max<size_t>(1, options_.workers);
@@ -198,7 +217,10 @@ Result<std::future<Result<QueryReply>>> Engine::Submit(std::string record,
   Request request;
   request.record = std::move(record);
   request.deadline = deadline;
-  return Enqueue(std::move(request));
+  std::future<Result<QueryReply>> future = request.promise.get_future();
+  Status admitted = Enqueue(std::move(request));
+  if (!admitted.ok()) return admitted;
+  return future;
 }
 
 Result<std::future<Result<QueryReply>>> Engine::SubmitEmbedded(
@@ -213,10 +235,64 @@ Result<std::future<Result<QueryReply>>> Engine::SubmitEmbedded(
   request.embedding = std::move(embedding);
   request.pre_embedded = true;
   request.deadline = deadline;
-  return Enqueue(std::move(request));
+  std::future<Result<QueryReply>> future = request.promise.get_future();
+  Status admitted = Enqueue(std::move(request));
+  if (!admitted.ok()) return admitted;
+  return future;
 }
 
-Result<std::future<Result<QueryReply>>> Engine::Enqueue(Request request) {
+Result<std::future<Result<MutateReply>>> Engine::Upsert(std::string record,
+                                                        SteadyTime deadline) {
+  Request request;
+  request.kind = Request::Kind::kUpsert;
+  request.record = std::move(record);
+  request.deadline = deadline;
+  return EnqueueMutation(std::move(request));
+}
+
+Result<std::future<Result<MutateReply>>> Engine::UpsertEmbedded(
+    std::vector<float> embedding, SteadyTime deadline) {
+  if (embedding.size() != model_->info().dim) {
+    return Status::InvalidArgument(
+        "pre-embedded upsert has dim " + std::to_string(embedding.size()) +
+        " but the engine's model produces dim " +
+        std::to_string(model_->info().dim));
+  }
+  Request request;
+  request.kind = Request::Kind::kUpsert;
+  request.embedding = std::move(embedding);
+  request.pre_embedded = true;
+  request.deadline = deadline;
+  return EnqueueMutation(std::move(request));
+}
+
+Result<std::future<Result<MutateReply>>> Engine::Delete(uint64_t global_id,
+                                                        SteadyTime deadline) {
+  Request request;
+  request.kind = Request::Kind::kDelete;
+  request.delete_id = global_id;
+  // Deletes carry no record to embed; mark pre-embedded so the embed stage
+  // skips them.
+  request.pre_embedded = true;
+  request.deadline = deadline;
+  return EnqueueMutation(std::move(request));
+}
+
+Result<std::future<Result<MutateReply>>> Engine::EnqueueMutation(
+    Request request) {
+  if (live_ == nullptr) {
+    return Status::InvalidArgument(
+        "engine serves a frozen snapshot (EngineOptions.live = false); "
+        "mutations need a live corpus");
+  }
+  std::future<Result<MutateReply>> future =
+      request.mutate_promise.get_future();
+  Status admitted = Enqueue(std::move(request));
+  if (!admitted.ok()) return admitted;
+  return future;
+}
+
+Status Engine::Enqueue(Request request) {
   // Breaker fast-fail outside the queue lock: while the embed/query stages
   // are known-broken, shedding here keeps the queue from filling with work
   // that would only be failed milliseconds later.
@@ -225,7 +301,6 @@ Result<std::future<Result<QueryReply>>> Engine::Enqueue(Request request) {
     return Status::Unavailable("circuit breaker open");
   }
   request.enqueued = SteadyNow();
-  std::future<Result<QueryReply>> future = request.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
@@ -241,7 +316,15 @@ Result<std::future<Result<QueryReply>>> Engine::Enqueue(Request request) {
     submitted_.fetch_add(1, std::memory_order_relaxed);
   }
   queue_cv_.notify_one();
-  return future;
+  return Status::Ok();
+}
+
+void Engine::FailRequest(Request& request, const Status& status) {
+  if (request.kind == Request::Kind::kQuery) {
+    request.promise.set_value(status);
+  } else {
+    request.mutate_promise.set_value(status);
+  }
 }
 
 void Engine::WorkerLoop() {
@@ -298,8 +381,7 @@ void Engine::ProcessBatch(std::vector<Request> batch) {
       queue_micros_.Record(MicrosBetween(request.enqueued, drained));
       if (request.deadline < drained) {
         expired_.fetch_add(1, std::memory_order_relaxed);
-        request.promise.set_value(
-            Status::DeadlineExceeded("shed before embedding"));
+        FailRequest(request, Status::DeadlineExceeded("shed before embedding"));
       } else {
         live.push_back(std::move(request));
       }
@@ -316,13 +398,22 @@ void Engine::ProcessBatch(std::vector<Request> batch) {
   const size_t k = k_.load(std::memory_order_relaxed);
 
   // A batch can mix Submit records with SubmitEmbedded vectors (the Router
-  // fan-out path): only the records go through the model; pre-embedded rows
-  // are copied into their slots and pay no embed cost — and an all-
-  // pre-embedded batch never evaluates the engine/embed failpoint, because
-  // nothing fallible runs (embed faults belong to whoever embedded).
+  // fan-out path) and, in live mode, upserts and deletes: only the records
+  // go through the model — upserted records ride the same embed stage as
+  // queries; pre-embedded rows are copied into their slots and pay no embed
+  // cost; deletes carry no vector at all. An all-pre-embedded batch never
+  // evaluates the engine/embed failpoint, because nothing fallible runs
+  // (embed faults belong to whoever embedded).
   std::vector<std::string> sentences;
   std::vector<size_t> embed_slots;
+  std::vector<size_t> query_slots;
+  bool has_mutations = false;
   for (size_t i = 0; i < live.size(); ++i) {
+    if (live[i].kind == Request::Kind::kQuery) {
+      query_slots.push_back(i);
+    } else {
+      has_mutations = true;
+    }
     if (live[i].pre_embedded) continue;
     embed_slots.push_back(i);
     sentences.push_back(live[i].record);
@@ -356,7 +447,7 @@ void Engine::ProcessBatch(std::vector<Request> batch) {
       }
     }
     for (size_t i = 0; i < live.size(); ++i) {
-      if (!live[i].pre_embedded) continue;
+      if (!live[i].pre_embedded || live[i].embedding.empty()) continue;
       std::memcpy(vectors.Row(i), live[i].embedding.data(),
                   vectors.cols() * sizeof(float));
     }
@@ -370,85 +461,161 @@ void Engine::ProcessBatch(std::vector<Request> batch) {
     // batch loudly — never silently drop it.
     breaker_.RecordFailure(SteadyNow());
     failed_.fetch_add(live.size(), std::memory_order_relaxed);
-    for (Request& request : live) request.promise.set_value(embedded);
+    for (Request& request : live) FailRequest(request, embedded);
     EMBER_WARN("embed stage failed after %llu retries: %s",
                static_cast<unsigned long long>(embed_retries),
                embedded.ToString().c_str());
     return;
   }
 
-  // Query stage. A failing primary index degrades to the exact brute-force
-  // scan of the same corpus (options_.allow_degraded) instead of failing
-  // the batch: availability first, and for exact snapshots the fallback is
-  // bit-identical anyway.
+  // Mutation stage (live mode): apply the batch's upserts and deletes to
+  // the live corpus in arrival order, BEFORE the batch's queries run, so a
+  // client that upserted then queried observes its own write even inside
+  // one batch window. Each mutation succeeds or fails individually — an
+  // injected delta/tombstone fault refuses that one request fail-closed and
+  // never feeds the circuit breaker (the serving path is healthy; only the
+  // mutation was refused).
+  std::vector<Result<MutateReply>> mutate_results(
+      has_mutations ? live.size() : 0, Status::Internal("not a mutation"));
+  if (has_mutations) {
+    obs::Span mutate_span("serve/mutate");
+    uint64_t applied = 0;
+    uint64_t refused = 0;
+    for (size_t i = 0; i < live.size(); ++i) {
+      Request& request = live[i];
+      if (request.kind == Request::Kind::kUpsert) {
+        Result<uint64_t> id = live_->Upsert(vectors.Row(i), vectors.cols());
+        if (id.ok()) {
+          mutate_results[i] = MutateReply{id.value()};
+          upserts_.fetch_add(1, std::memory_order_relaxed);
+          ++applied;
+        } else {
+          mutate_results[i] = id.status();
+          mutation_failures_.fetch_add(1, std::memory_order_relaxed);
+          ++refused;
+        }
+      } else if (request.kind == Request::Kind::kDelete) {
+        Status deleted = live_->Delete(request.delete_id);
+        if (deleted.ok()) {
+          mutate_results[i] = MutateReply{request.delete_id};
+          deletes_.fetch_add(1, std::memory_order_relaxed);
+          ++applied;
+        } else {
+          mutate_results[i] = std::move(deleted);
+          mutation_failures_.fetch_add(1, std::memory_order_relaxed);
+          ++refused;
+        }
+      }
+    }
+    mutate_span.AddCount("applied", applied);
+    mutate_span.AddCount("refused", refused);
+    mutate_micros_.Record(timer.Restart() * 1e6);
+  }
+
+  // Query stage, over the batch's query subset. A failing primary index
+  // degrades to the exact brute-force scan of the same corpus
+  // (options_.allow_degraded) instead of failing the batch: availability
+  // first, and for exact snapshots the fallback is bit-identical anyway.
+  // In live mode both paths answer through the corpus's merged
+  // base+delta−tombstones view.
   std::vector<std::vector<index::Neighbor>> neighbors;
   bool via_fallback = false;
-  {
+  if (!query_slots.empty()) {
+    // Mutations in the batch leave holes in `vectors`; queries run on the
+    // compacted query-row matrix. A mutation-free batch skips the copy.
+    la::Matrix query_vectors;
+    const la::Matrix* query_rows = &vectors;
+    if (query_slots.size() != live.size()) {
+      query_vectors = la::Matrix(query_slots.size(), vectors.cols());
+      for (size_t slot = 0; slot < query_slots.size(); ++slot) {
+        std::memcpy(query_vectors.Row(slot), vectors.Row(query_slots[slot]),
+                    vectors.cols() * sizeof(float));
+      }
+      query_rows = &query_vectors;
+    }
     obs::Span query_span("serve/query");
     const Status query_fault = fail::Check("engine/query");
     if (query_fault.ok()) {
-      neighbors = snap->QueryBatch(vectors, k);
+      neighbors = live_ != nullptr ? live_->QueryBatch(*query_rows, k)
+                                   : snap->QueryBatch(*query_rows, k);
     } else if (options_.allow_degraded) {
-      neighbors = snap->FallbackQueryBatch(vectors, k);
+      neighbors = live_ != nullptr
+                      ? live_->FallbackQueryBatch(*query_rows, k)
+                      : snap->FallbackQueryBatch(*query_rows, k);
       via_fallback = true;
-      fallbacks_.fetch_add(live.size(), std::memory_order_relaxed);
+      fallbacks_.fetch_add(query_slots.size(), std::memory_order_relaxed);
       EMBER_WARN("primary index query failed (%s); served by exact fallback",
                  query_fault.ToString().c_str());
     } else {
+      // The query stage failed permanently: fail the queries, but deliver
+      // the mutation outcomes — those already applied and must not be
+      // reported lost.
       breaker_.RecordFailure(SteadyNow());
-      failed_.fetch_add(live.size(), std::memory_order_relaxed);
-      for (Request& request : live) request.promise.set_value(query_fault);
+      for (size_t i = 0; i < live.size(); ++i) {
+        if (live[i].kind == Request::Kind::kQuery) {
+          failed_.fetch_add(1, std::memory_order_relaxed);
+          live[i].promise.set_value(query_fault);
+        } else if (mutate_results[i].ok()) {
+          completed_.fetch_add(1, std::memory_order_relaxed);
+          live[i].mutate_promise.set_value(std::move(mutate_results[i]));
+        } else {
+          failed_.fetch_add(1, std::memory_order_relaxed);
+          live[i].mutate_promise.set_value(std::move(mutate_results[i]));
+        }
+      }
       return;
     }
+    degraded_.store(via_fallback, std::memory_order_relaxed);
+    query_micros_.Record(timer.Restart() * 1e6);
   }
-  degraded_.store(via_fallback, std::memory_order_relaxed);
-  query_micros_.Record(timer.Restart() * 1e6);
 
   const SteadyTime done = SteadyNow();
   breaker_.RecordSuccess(done);
   {
     obs::Span complete_span("serve/complete");
+    size_t query_slot = 0;
     for (size_t i = 0; i < live.size(); ++i) {
       if (live[i].deadline < done) {
         deadline_misses_.fetch_add(1, std::memory_order_relaxed);
       }
       total_micros_.Record(MicrosBetween(live[i].enqueued, done));
-      completed_.fetch_add(1, std::memory_order_relaxed);
       // The request's own span runs from enqueue (client thread) to
       // completion (this worker) — an explicit-timestamp emit, parented
       // under the batch and keyed by the in-batch slot.
       obs::EmitSpan("serve/request", batch_span.context(), i,
                     live[i].enqueued, done);
-      live[i].promise.set_value(QueryReply{std::move(neighbors[i])});
+      if (live[i].kind == Request::Kind::kQuery) {
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        live[i].promise.set_value(
+            QueryReply{std::move(neighbors[query_slot++])});
+      } else if (mutate_results[i].ok()) {
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        live[i].mutate_promise.set_value(std::move(mutate_results[i]));
+      } else {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        live[i].mutate_promise.set_value(std::move(mutate_results[i]));
+      }
     }
   }
   postprocess_micros_.Record(timer.Seconds() * 1e6);
 }
 
-Status Engine::ReloadSnapshot(const std::string& path,
-                              const RetryPolicy& policy) {
-  // One reload at a time; serving continues on the old snapshot throughout.
-  std::lock_guard<std::mutex> reload_lock(reload_mu_);
-  reloading_.store(true, std::memory_order_release);
-  struct ClearLoading {
-    std::atomic<bool>& flag;
-    ~ClearLoading() { flag.store(false, std::memory_order_release); }
-  } clear_loading{reloading_};
-
+Result<std::shared_ptr<const Snapshot>> Engine::LoadValidated(
+    const std::string& path, const RetryPolicy& policy) {
   uint64_t load_retries = 0;
-  Result<Snapshot> loaded = Snapshot::LoadWithRetry(path, policy,
-                                                    &load_retries);
+  // Note: the paranoid LoadOptions default (full checksum verification) is
+  // deliberate and non-negotiable here — this is the gate every hot swap
+  // (reload AND compaction commit) passes through, and trusted mode is only
+  // for cold starts on already-verified files.
+  Result<Snapshot> loaded =
+      Snapshot::LoadWithRetry(path, policy, &load_retries);
   retries_.fetch_add(load_retries, std::memory_order_relaxed);
   Status status = loaded.status();
-  if (status.ok()) status = CheckModelCompatible(loaded.value().manifest(), *model_);
-  if (status.ok()) status = loaded.value().Validate();
-  if (!status.ok()) {
-    reload_failures_.fetch_add(1, std::memory_order_relaxed);
-    EMBER_WARN("snapshot reload from '%s' rejected (still serving the old "
-               "snapshot): %s",
-               path.c_str(), status.ToString().c_str());
-    return status;
+  if (status.ok()) {
+    status = CheckModelCompatible(loaded.value().manifest(), *model_);
   }
+  if (status.ok()) status = loaded.value().Validate();
+  if (!status.ok()) return status;
 
   auto fresh = std::make_shared<const Snapshot>(std::move(loaded.value()));
 
@@ -465,16 +632,47 @@ Status Engine::ReloadSnapshot(const std::string& path,
         std::min<size_t>(k_.load(std::memory_order_relaxed), corpus.rows());
     const auto warm = fresh->QueryBatch(probe, std::max<size_t>(1, probe_k));
     if (warm.size() != probe_rows) {
-      reload_failures_.fetch_add(1, std::memory_order_relaxed);
-      return Status::Internal("snapshot reload: warm probe returned " +
+      return Status::Internal("snapshot swap: warm probe returned " +
                               std::to_string(warm.size()) + " results for " +
                               std::to_string(probe_rows) + " queries");
     }
   }
+  return fresh;
+}
 
-  {
+Status Engine::ReloadSnapshot(const std::string& path,
+                              const RetryPolicy& policy) {
+  // One reload at a time; serving continues on the old snapshot throughout.
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  reloading_.store(true, std::memory_order_release);
+  struct ClearLoading {
+    std::atomic<bool>& flag;
+    ~ClearLoading() { flag.store(false, std::memory_order_release); }
+  } clear_loading{reloading_};
+
+  Result<std::shared_ptr<const Snapshot>> fresh = LoadValidated(path, policy);
+  if (!fresh.ok()) {
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    EMBER_WARN("snapshot reload from '%s' rejected (still serving the old "
+               "snapshot): %s",
+               path.c_str(), fresh.status().ToString().c_str());
+    return fresh.status();
+  }
+
+  if (live_ != nullptr) {
+    // A live corpus cannot adopt an arbitrary replacement — the delta and
+    // tombstone overlay is only meaningful against a base with the same row
+    // identity. ReplaceBase enforces that and refuses anything else.
+    Status replaced = live_->ReplaceBase(std::move(fresh).value());
+    if (!replaced.ok()) {
+      reload_failures_.fetch_add(1, std::memory_order_relaxed);
+      EMBER_WARN("live snapshot reload from '%s' rejected: %s", path.c_str(),
+                 replaced.ToString().c_str());
+      return replaced;
+    }
+  } else {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
-    snapshot_ = std::move(fresh);
+    snapshot_ = std::move(fresh).value();
     if (options_.k == 0) {
       k_.store(std::max<size_t>(1, snapshot_->manifest().default_k),
                std::memory_order_relaxed);
@@ -482,6 +680,82 @@ Status Engine::ReloadSnapshot(const std::string& path,
   }
   reloads_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
+}
+
+Status Engine::Compact(const std::string& path) {
+  if (live_ == nullptr) {
+    return Status::InvalidArgument("compaction needs a live engine");
+  }
+  // One compaction/absorb at a time; serving (including mutations) continues
+  // on the current tiers throughout.
+  std::lock_guard<std::mutex> compaction_lock(compaction_mu_);
+
+  // Phase 1: capture the plan and write the merged base+delta−tombstones
+  // snapshot. Failure here costs only the attempt — nothing was published.
+  Status wrote = [&]() -> Status {
+    EMBER_FAILPOINT("compaction/write");
+    stream::CompactionPlan plan = live_->PlanCompaction();
+    SnapshotManifest manifest = plan.manifest;
+    const bool quantized = manifest.storage == StorageKind::kInt8;
+    manifest.storage = StorageKind::kFloat32;
+    if (manifest.kind == IndexKind::kLsh) {
+      // An LSH base cannot be rebuilt faithfully: its hash tables depend on
+      // build options the snapshot does not carry. Refuse rather than
+      // silently change the blocking behavior.
+      return Status::InvalidArgument(
+          "compaction cannot rebuild an LSH base; serve LSH corpora frozen");
+    }
+    index::HnswOptions hnsw_options;
+    if (manifest.kind == IndexKind::kHnsw) {
+      hnsw_options = live_->base()->hnsw_options();
+    }
+    Snapshot merged =
+        Snapshot::Build(manifest, std::move(plan.corpus), hnsw_options);
+    if (quantized) {
+      Status requantized = merged.Quantize();
+      if (!requantized.ok()) return requantized;
+    }
+    Status saved = merged.SaveTo(path);
+    if (!saved.ok()) return saved;
+    // Phase 2: trust pipeline + atomic install. The file on disk is
+    // re-loaded through the exact same gate as a hot reload (checksums,
+    // model compat, Validate, warm probe) — the compactor's own output gets
+    // zero trust. InstallCompacted then swaps base + truncates the covered
+    // delta prefix + drops folded tombstones under one lock, and refuses
+    // stale plans (a concurrent absorb swapped the base first).
+    EMBER_FAILPOINT("compaction/swap");
+    Result<std::shared_ptr<const Snapshot>> fresh =
+        LoadValidated(path, RetryPolicy{});
+    if (!fresh.ok()) return fresh.status();
+    return live_->InstallCompacted(std::move(fresh).value(), plan);
+  }();
+  if (!wrote.ok()) {
+    compaction_failures_.fetch_add(1, std::memory_order_relaxed);
+    std::remove(path.c_str());  // never leave a half-written/untrusted base
+    EMBER_WARN("compaction to '%s' rolled back (old base keeps serving): %s",
+               path.c_str(), wrote.ToString().c_str());
+    return wrote;
+  }
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status Engine::AbsorbDelta() {
+  if (live_ == nullptr) {
+    return Status::InvalidArgument("delta absorption needs a live engine");
+  }
+  std::lock_guard<std::mutex> compaction_lock(compaction_mu_);
+  Status absorbed = live_->AbsorbDelta();
+  if (!absorbed.ok()) {
+    compaction_failures_.fetch_add(1, std::memory_order_relaxed);
+    return absorbed;
+  }
+  absorbs_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+stream::LiveStats Engine::LiveStats() const {
+  return live_ != nullptr ? live_->Stats() : stream::LiveStats{};
 }
 
 Health Engine::health() const {
@@ -494,6 +768,9 @@ Health Engine::health() const {
 }
 
 std::shared_ptr<const Snapshot> Engine::snapshot() const {
+  // Live mode: the corpus owns the serving base (compaction and absorption
+  // swap it underneath the engine's original snapshot_).
+  if (live_ != nullptr) return live_->base();
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   return snapshot_;
 }
@@ -514,9 +791,18 @@ EngineMetrics Engine::Metrics() const {
   metrics.short_circuits = short_circuits_.load(std::memory_order_relaxed);
   metrics.reloads = reloads_.load(std::memory_order_relaxed);
   metrics.reload_failures = reload_failures_.load(std::memory_order_relaxed);
+  metrics.upserts = upserts_.load(std::memory_order_relaxed);
+  metrics.deletes = deletes_.load(std::memory_order_relaxed);
+  metrics.mutation_failures =
+      mutation_failures_.load(std::memory_order_relaxed);
+  metrics.compactions = compactions_.load(std::memory_order_relaxed);
+  metrics.compaction_failures =
+      compaction_failures_.load(std::memory_order_relaxed);
+  metrics.absorbs = absorbs_.load(std::memory_order_relaxed);
   metrics.queue_micros = queue_micros_.Snapshot();
   metrics.embed_micros = embed_micros_.Snapshot();
   metrics.query_micros = query_micros_.Snapshot();
+  metrics.mutate_micros = mutate_micros_.Snapshot();
   metrics.postprocess_micros = postprocess_micros_.Snapshot();
   metrics.total_micros = total_micros_.Snapshot();
   metrics.batch_size = batch_size_.Snapshot();

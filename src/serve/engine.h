@@ -20,6 +20,7 @@
 #include "index/neighbor.h"
 #include "serve/circuit_breaker.h"
 #include "serve/snapshot.h"
+#include "stream/live_corpus.h"
 
 namespace ember::serve {
 
@@ -63,11 +64,22 @@ struct EngineOptions {
   /// an exact brute-force scan of the snapshot's corpus matrix instead of
   /// failing the batch. OFF fails the batch with the stage error.
   bool allow_degraded = true;
+  /// Live corpus mode (DESIGN.md §14): wrap the snapshot in a
+  /// stream::LiveCorpus so Upsert/Delete are accepted through the batcher
+  /// and queries merge base + delta with tombstone filtering. OFF keeps the
+  /// frozen-snapshot engine bit-for-bit unchanged.
+  bool live = false;
 };
 
 /// A completed query: top-k corpus neighbors of the submitted record.
 struct QueryReply {
   std::vector<index::Neighbor> neighbors;
+};
+
+/// A completed mutation: the global id the row was admitted (or deleted)
+/// under.
+struct MutateReply {
+  uint64_t id = 0;
 };
 
 /// Monotone counters + latency histograms, readable at any time. Counter
@@ -93,9 +105,20 @@ struct EngineMetrics {
   uint64_t reloads = 0;          // successful hot snapshot swaps
   uint64_t reload_failures = 0;  // rejected reloads (old snapshot kept)
 
+  // Streaming counters (PR 8). Upserts/deletes participate in the counter
+  // identity above exactly like queries (submitted -> completed/expired/
+  // failed); mutation_failures additionally breaks out the failed ones.
+  uint64_t upserts = 0;              // mutations applied to the delta tier
+  uint64_t deletes = 0;              // tombstones published
+  uint64_t mutation_failures = 0;    // upserts/deletes refused fail-closed
+  uint64_t compactions = 0;          // base rewrites hot-swapped in
+  uint64_t compaction_failures = 0;  // compactions rolled back
+  uint64_t absorbs = 0;              // HNSW delta absorptions published
+
   HistogramSnapshot queue_micros;  // submit -> drained from the queue
   HistogramSnapshot embed_micros;  // per batch: vectorization
   HistogramSnapshot query_micros;  // per batch: index search
+  HistogramSnapshot mutate_micros;  // per batch: delta/tombstone application
   HistogramSnapshot postprocess_micros;  // per batch: reply assembly/futures
   HistogramSnapshot total_micros;  // submit -> future completed
   HistogramSnapshot batch_size;    // live requests per processed batch
@@ -150,6 +173,42 @@ class Engine {
   Result<std::future<Result<QueryReply>>> SubmitEmbedded(
       std::vector<float> embedding, SteadyTime deadline = kNoDeadline);
 
+  /// Live mode only: admits one record into the live corpus through the
+  /// same micro-batcher as queries (embedded in the batch's embed stage,
+  /// applied in arrival order before the batch's queries run). The future
+  /// carries the global id the row was admitted under. Same admission rules
+  /// as Submit; InvalidArgument when the engine is not live.
+  Result<std::future<Result<MutateReply>>> Upsert(
+      std::string record, SteadyTime deadline = kNoDeadline);
+
+  /// Pre-embedded upsert (the Router's mutation fan-out path).
+  Result<std::future<Result<MutateReply>>> UpsertEmbedded(
+      std::vector<float> embedding, SteadyTime deadline = kNoDeadline);
+
+  /// Live mode only: publishes a tombstone for `global_id` through the
+  /// batcher. NotFound (via the future) when the id is unknown or already
+  /// dead.
+  Result<std::future<Result<MutateReply>>> Delete(
+      uint64_t global_id, SteadyTime deadline = kNoDeadline);
+
+  /// Live mode only: rewrites base + delta − tombstones into a merged
+  /// EMBS0002 snapshot at `path` and hot-swaps it in as the new base via
+  /// the same validate+warm pipeline as ReloadSnapshot. Serving continues
+  /// throughout; on ANY failure (write, validation, install race) the old
+  /// base + delta keep serving, the partial file is removed, and the error
+  /// is returned. Serialized with other compactions and absorbs.
+  Status Compact(const std::string& path);
+
+  /// Live mode, HNSW bases only: folds the delta tier into a copy of the
+  /// base graph via online insert (RCU copy-on-write publish) without
+  /// touching disk. Tombstones remain as an overlay until a full Compact.
+  Status AbsorbDelta();
+
+  /// Live-corpus shape (all-zero when the engine is not live).
+  stream::LiveStats LiveStats() const;
+
+  bool live() const { return live_ != nullptr; }
+
   /// Hot snapshot reload: loads `path` (retrying transient failures under
   /// `policy`), validates it against the manifest, the engine's model, and
   /// the index invariants, warms it with a probe query, then swaps it in
@@ -188,13 +247,19 @@ class Engine {
 
  private:
   struct Request {
+    enum class Kind : uint8_t { kQuery = 0, kUpsert = 1, kDelete = 2 };
+    Kind kind = Kind::kQuery;
     std::string record;
     /// Populated instead of `record` on the SubmitEmbedded path.
     std::vector<float> embedding;
     bool pre_embedded = false;
+    /// kDelete only: the global id to tombstone.
+    uint64_t delete_id = 0;
     SteadyTime deadline;
     SteadyTime enqueued;
+    /// Exactly one promise is armed, per kind.
     std::promise<Result<QueryReply>> promise;
+    std::promise<Result<MutateReply>> mutate_promise;
   };
 
   Engine(Snapshot snapshot, std::shared_ptr<embed::EmbeddingModel> model,
@@ -204,14 +269,30 @@ class Engine {
   void ProcessBatch(std::vector<Request> batch);
   /// Common admission tail of Submit/SubmitEmbedded: breaker gate, queue
   /// bound, enqueue + wake a worker.
-  Result<std::future<Result<QueryReply>>> Enqueue(Request request);
+  Status Enqueue(Request request);
+  /// Mutation-path admission: arms the mutate promise, refuses when the
+  /// engine is not live, then shares Enqueue.
+  Result<std::future<Result<MutateReply>>> EnqueueMutation(Request request);
+  /// Fails one request through whichever promise its kind armed.
+  static void FailRequest(Request& request, const Status& status);
   /// Validates a snapshot against the engine's embedding model (same checks
   /// as Create) — shared by Create and ReloadSnapshot.
   static Status CheckModelCompatible(const SnapshotManifest& manifest,
                                      const embed::EmbeddingModel& model);
+  /// The shared trust pipeline in front of every base swap: load under the
+  /// retry policy (ALWAYS with the paranoid LoadOptions default — bytes
+  /// about to serve are never trusted), check model compatibility, run
+  /// Validate(), then warm-probe the index. Used by ReloadSnapshot and the
+  /// compaction commit, so a compacted base clears the exact same bar as a
+  /// hot reload.
+  Result<std::shared_ptr<const Snapshot>> LoadValidated(
+      const std::string& path, const RetryPolicy& policy);
 
   std::shared_ptr<const Snapshot> snapshot_;  // swapped by ReloadSnapshot
   mutable std::mutex snapshot_mu_;            // guards snapshot_ and k_
+  /// Non-null iff options.live: the mutable overlay every batch reads and
+  /// writes through. The base inside it is what snapshot() returns.
+  std::shared_ptr<stream::LiveCorpus> live_;
   std::shared_ptr<embed::EmbeddingModel> model_;
   EngineOptions options_;
   std::atomic<size_t> k_{10};
@@ -228,6 +309,7 @@ class Engine {
 
   CircuitBreaker breaker_;
   std::mutex reload_mu_;  // serializes ReloadSnapshot callers
+  std::mutex compaction_mu_;  // serializes Compact/AbsorbDelta callers
   std::atomic<bool> reloading_{false};
   std::atomic<bool> degraded_{false};
 
@@ -245,9 +327,16 @@ class Engine {
   std::atomic<uint64_t> short_circuits_{0};
   std::atomic<uint64_t> reloads_{0};
   std::atomic<uint64_t> reload_failures_{0};
+  std::atomic<uint64_t> upserts_{0};
+  std::atomic<uint64_t> deletes_{0};
+  std::atomic<uint64_t> mutation_failures_{0};
+  std::atomic<uint64_t> compactions_{0};
+  std::atomic<uint64_t> compaction_failures_{0};
+  std::atomic<uint64_t> absorbs_{0};
   LatencyHistogram queue_micros_;
   LatencyHistogram embed_micros_;
   LatencyHistogram query_micros_;
+  LatencyHistogram mutate_micros_;
   LatencyHistogram postprocess_micros_;
   LatencyHistogram total_micros_;
   LatencyHistogram batch_size_;

@@ -69,6 +69,16 @@ std::vector<obs::Sample> RouterMetricsToSamples(const RouterMetrics& metrics,
   counter("ember_router_sibling_retries_total",
           "Replica fail-overs during fan-out or gather",
           metrics.sibling_retries);
+  counter("ember_router_upserts_total",
+          "Upserts admitted by their owning shard group", metrics.upserts);
+  counter("ember_router_deletes_total",
+          "Deletes published by their owning shard group", metrics.deletes);
+  counter("ember_router_mutation_failures_total",
+          "Mutations refused fail-closed (owning group down)",
+          metrics.mutation_failures);
+  counter("ember_router_mutation_divergence_total",
+          "Mutations whose replicas disagreed or partially failed",
+          metrics.mutation_divergence);
   histogram("ember_router_queue_micros", "Submit to dequeue wait per request",
             metrics.queue_micros, {});
   histogram("ember_router_embed_micros", "Embed-once time per batch",
@@ -378,6 +388,110 @@ Result<std::future<Result<RouterReply>>> Router::Submit(std::string record,
   return future;
 }
 
+Result<uint64_t> Router::BroadcastMutation(
+    ShardGroup& group,
+    const std::function<Result<std::future<Result<MutateReply>>>(Engine&)>&
+        apply) {
+  // Serialize mutations within the group: replicas assign local ids from
+  // their own monotone counters, so they must observe upserts in one order
+  // to stay interchangeable for reads.
+  std::lock_guard<std::mutex> lock(group.mutate_mu);
+  bool any_ok = false;
+  bool any_failed = false;
+  bool divergent = false;
+  uint64_t winner = 0;
+  Status last_error = Status::Unavailable("shard group has no replicas");
+  for (auto& engine : group.engines) {
+    Result<std::future<Result<MutateReply>>> submitted = apply(*engine);
+    if (!submitted.ok()) {
+      last_error = submitted.status();
+      any_failed = true;
+      continue;
+    }
+    Result<MutateReply> reply = submitted.value().get();
+    if (!reply.ok()) {
+      last_error = reply.status();
+      any_failed = true;
+      continue;
+    }
+    if (!any_ok) {
+      any_ok = true;
+      winner = reply.value().id;
+    } else if (reply.value().id != winner) {
+      divergent = true;
+    }
+  }
+  // Any mix of success and failure means some replica missed the mutation,
+  // regardless of iteration order.
+  divergent = divergent || (any_ok && any_failed);
+  if (!any_ok) {
+    // Fail-closed: the owning group is fully down (or unanimously refused)
+    // and the mutation landed NOWHERE — the caller can safely retry.
+    mutation_failures_.fetch_add(1, std::memory_order_relaxed);
+    return last_error;
+  }
+  if (divergent) {
+    // Some replica missed or disagreed on the mutation: the group's
+    // replicas are no longer bit-interchangeable until the next rebuild.
+    // Surfaced as a counter, not a failure — the mutation IS durable on the
+    // winners.
+    mutation_divergence_.fetch_add(1, std::memory_order_relaxed);
+    EMBER_WARN("shard replicas diverged on a mutation (winner id %llu)",
+               static_cast<unsigned long long>(winner));
+  }
+  return winner;
+}
+
+Result<uint64_t> Router::Upsert(const std::string& record) {
+  const uint64_t ticket =
+      mutation_ticket_.fetch_add(1, std::memory_order_relaxed);
+  // Embed once, under the same failpoint/retry regime as the query path —
+  // the owning group's replicas all receive the identical vector.
+  la::Matrix vectors;
+  uint64_t embed_retries = 0;
+  Status embedded = RetryStatus(
+      options_.embed_retry, ticket,
+      [&] {
+        Status injected = fail::Check("router/embed");
+        if (!injected.ok()) return injected;
+        vectors = model_->VectorizeAll({record});
+        return Status::Ok();
+      },
+      &embed_retries);
+  retries_.fetch_add(embed_retries, std::memory_order_relaxed);
+  if (!embedded.ok()) {
+    mutation_failures_.fetch_add(1, std::memory_order_relaxed);
+    return embedded;
+  }
+  std::vector<float> embedding(vectors.Row(0),
+                               vectors.Row(0) + vectors.cols());
+  // Owner = round-robin over groups, mirroring how the build-time
+  // partitioner spreads rows. The global id comes back out of the shard's
+  // local assignment: global = shard + local * N, the inverse of the
+  // query-path remap (DESIGN.md §13).
+  const uint32_t shard = static_cast<uint32_t>(ticket % groups_.size());
+  Result<uint64_t> local =
+      BroadcastMutation(groups_[shard], [&](Engine& engine) {
+        return engine.UpsertEmbedded(embedding);
+      });
+  if (!local.ok()) return local.status();
+  upserts_.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<uint64_t>(shard) +
+         local.value() * static_cast<uint64_t>(groups_.size());
+}
+
+Status Router::Delete(uint64_t global_id) {
+  const uint32_t shard = static_cast<uint32_t>(global_id % groups_.size());
+  const uint64_t local = global_id / groups_.size();
+  Result<uint64_t> done =
+      BroadcastMutation(groups_[shard], [&](Engine& engine) {
+        return engine.Delete(local);
+      });
+  if (!done.ok()) return done.status();
+  deletes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
 void Router::WorkerLoop() {
   for (;;) {
     std::vector<Request> batch;
@@ -625,6 +739,12 @@ RouterMetrics Router::Metrics() const {
   metrics.partial = partial_.load(std::memory_order_relaxed);
   metrics.shards_degraded = shards_degraded_.load(std::memory_order_relaxed);
   metrics.sibling_retries = sibling_retries_.load(std::memory_order_relaxed);
+  metrics.upserts = upserts_.load(std::memory_order_relaxed);
+  metrics.deletes = deletes_.load(std::memory_order_relaxed);
+  metrics.mutation_failures =
+      mutation_failures_.load(std::memory_order_relaxed);
+  metrics.mutation_divergence =
+      mutation_divergence_.load(std::memory_order_relaxed);
   metrics.queue_micros = queue_micros_.Snapshot();
   metrics.embed_micros = embed_micros_.Snapshot();
   metrics.fanout_micros = fanout_micros_.Snapshot();

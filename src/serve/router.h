@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -95,6 +96,10 @@ struct RouterMetrics {
   uint64_t partial = 0;          // replies completed with a missing shard
   uint64_t shards_degraded = 0;  // (request, shard group) pairs unanswered
   uint64_t sibling_retries = 0;  // replica fail-overs (submit or gather)
+  uint64_t upserts = 0;              // rows admitted to an owning shard
+  uint64_t deletes = 0;              // tombstones routed to an owning shard
+  uint64_t mutation_failures = 0;    // mutations refused fail-closed
+  uint64_t mutation_divergence = 0;  // replicas disagreed on a mutation
 
   HistogramSnapshot queue_micros;   // submit -> drained from the queue
   HistogramSnapshot embed_micros;   // per batch: embed-once
@@ -149,6 +154,22 @@ class Router {
   Result<std::future<Result<RouterReply>>> Submit(
       std::string record, SteadyTime deadline = kNoDeadline);
 
+  /// Routes one upsert to its owning shard group (round-robin mutation
+  /// ticket) and applies it on EVERY replica of that group, serialized per
+  /// group so all replicas assign the same local id. Returns the global id
+  /// (shard + local * shard_count — the inverse of the query-path remap).
+  /// Synchronous (blocks on the replica futures) and fail-closed: when no
+  /// replica of the owning group accepts — the group is fully down — the
+  /// mutation is refused with Unavailable and nothing was admitted
+  /// anywhere. Requires live engines (EngineOptions.live).
+  Result<uint64_t> Upsert(const std::string& record);
+
+  /// Routes a delete to the shard that owns `global_id` under the
+  /// round-robin plan (shard = id % N, local = id / N) and publishes the
+  /// tombstone on every replica of that group. Same fail-closed contract as
+  /// Upsert; NotFound when the id is unknown to the owning shard.
+  Status Delete(uint64_t global_id);
+
   /// Coarse fleet health: kServing while every shard group has at least one
   /// replica not kTripped, kDegraded otherwise.
   Health health() const;
@@ -190,6 +211,9 @@ class Router {
     /// Round-robin replica rotation ticket (per group, so one hot shard
     /// cannot skew its siblings' load).
     std::atomic<uint64_t> rotation{0};
+    /// Serializes mutations within the group: replicas must see upserts in
+    /// one order or their local id assignments diverge.
+    std::mutex mutate_mu;
   };
 
   Router(std::vector<ShardGroup> groups,
@@ -198,6 +222,14 @@ class Router {
 
   void WorkerLoop();
   void ProcessBatch(std::vector<Request> batch);
+  /// Shared broadcast tail of Upsert/Delete: applies `apply` to every
+  /// replica of `group` under its mutation lock; first success wins the
+  /// returned id, zero successes is the fail-closed Unavailable, and
+  /// successful replicas disagreeing on the id bumps mutation_divergence.
+  Result<uint64_t> BroadcastMutation(
+      ShardGroup& group,
+      const std::function<Result<std::future<Result<MutateReply>>>(Engine&)>&
+          apply);
   /// Replica visit order for one pick: rotation offset, tripped replicas
   /// moved (stably) to the back — except on probe ticks, which keep the
   /// plain rotation so open breakers still see traffic.
@@ -230,6 +262,13 @@ class Router {
   std::atomic<uint64_t> partial_{0};
   std::atomic<uint64_t> shards_degraded_{0};
   std::atomic<uint64_t> sibling_retries_{0};
+  std::atomic<uint64_t> upserts_{0};
+  std::atomic<uint64_t> deletes_{0};
+  std::atomic<uint64_t> mutation_failures_{0};
+  std::atomic<uint64_t> mutation_divergence_{0};
+  /// Round-robin owner ticket for upserts (mutations spread across groups
+  /// the same way the corpus rows do).
+  std::atomic<uint64_t> mutation_ticket_{0};
   LatencyHistogram queue_micros_;
   LatencyHistogram embed_micros_;
   LatencyHistogram fanout_micros_;

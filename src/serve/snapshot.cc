@@ -239,15 +239,51 @@ Status Snapshot::LoadV1Into(const std::string& path, Snapshot& snapshot) {
 Result<Snapshot> Snapshot::LoadWithRetry(const std::string& path,
                                          const RetryPolicy& policy,
                                          uint64_t* retries) {
+  return LoadWithRetry(path, policy, LoadOptions{}, retries);
+}
+
+Result<Snapshot> Snapshot::LoadWithRetry(const std::string& path,
+                                         const RetryPolicy& policy,
+                                         const LoadOptions& load_options,
+                                         uint64_t* retries) {
   Result<Snapshot> loaded = Status::Internal("snapshot load never attempted");
   RetryStatus(
       policy, HashBytes(path.data(), path.size()),
       [&] {
-        loaded = LoadFrom(path);
+        loaded = LoadFrom(path, load_options);
         return loaded.status();
       },
       retries);
   return loaded;
+}
+
+Result<Snapshot> Snapshot::AdoptHnsw(SnapshotManifest manifest,
+                                     index::HnswIndex hnsw) {
+  if (!hnsw.ValidateGraph()) {
+    return Status::Internal(
+        "AdoptHnsw: graph invariants violated; refusing to serve it");
+  }
+  Snapshot snapshot;
+  manifest.kind = IndexKind::kHnsw;
+  manifest.storage = StorageKind::kFloat32;
+  manifest.rows = hnsw.size();
+  manifest.dim = static_cast<uint32_t>(hnsw.data().cols());
+  snapshot.manifest_ = std::move(manifest);
+  snapshot.hnsw_ = std::move(hnsw);
+  return snapshot;
+}
+
+Result<index::HnswIndex> Snapshot::ThawedHnsw() const {
+  if (manifest_.kind != IndexKind::kHnsw) {
+    return Status::InvalidArgument(
+        std::string("ThawedHnsw on a ") + IndexKindName(manifest_.kind) +
+        " snapshot");
+  }
+  index::HnswIndex copy = hnsw_;
+  // Thaw while `this` (and its mmap, if any) is alive: afterwards the copy
+  // owns every byte it reads.
+  copy.Thaw();
+  return copy;
 }
 
 const la::Matrix& Snapshot::data() const {

@@ -118,8 +118,32 @@ class Snapshot {
                                         const RetryPolicy& policy,
                                         uint64_t* retries = nullptr);
 
+  /// Same, with explicit LoadOptions. Swap boundaries (hot reload,
+  /// compaction commit) always pass the paranoid default here — trusted
+  /// mode is a cold-start optimization for files a process just verified,
+  /// never for bytes about to replace a serving corpus (DESIGN.md §14).
+  static Result<Snapshot> LoadWithRetry(const std::string& path,
+                                        const RetryPolicy& policy,
+                                        const LoadOptions& load_options,
+                                        uint64_t* retries);
+
+  /// Wraps an online-built HNSW graph (Thaw + AddBatch) as a serving
+  /// snapshot — the delta-absorption publish path of the streaming tier.
+  /// rows/dim are overwritten from the index; fails closed when the graph
+  /// invariants do not hold.
+  static Result<Snapshot> AdoptHnsw(SnapshotManifest manifest,
+                                    index::HnswIndex hnsw);
+
+  /// kHnsw only: a deep, mutable (thawed) copy of the graph, safe to
+  /// AddBatch into while this snapshot keeps serving the frozen original.
+  Result<index::HnswIndex> ThawedHnsw() const;
+
   const SnapshotManifest& manifest() const { return manifest_; }
   size_t size() const { return manifest_.rows; }
+
+  /// Build parameters of the carried HNSW graph (meaningful for kHnsw
+  /// snapshots; compaction reuses them when rebuilding a merged base).
+  const index::HnswOptions& hnsw_options() const { return hnsw_.options(); }
 
   /// Wall-clock cost of the last LoadFrom that produced this snapshot
   /// (microseconds), and the bytes mmap'ed by it (0 for heap-loaded

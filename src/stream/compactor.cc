@@ -1,0 +1,61 @@
+#include "stream/compactor.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ember::stream {
+
+Compactor::Compactor(StatsFn stats, CompactFn compact,
+                     CompactorOptions options)
+    : stats_(std::move(stats)),
+      compact_(std::move(compact)),
+      options_(options) {}
+
+Compactor::~Compactor() { Stop(); }
+
+void Compactor::Start() {
+  std::lock_guard lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Compactor::Stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (!started_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard lock(mu_);
+  started_ = false;
+}
+
+void Compactor::Loop() {
+  for (;;) {
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait_for(lock, std::chrono::microseconds(options_.interval_micros),
+                   [this] { return stop_; });
+      if (stop_) return;
+    }
+    const LiveStats stats = stats_();
+    if (stats.delta_rows < options_.max_delta_rows &&
+        stats.tombstones < options_.max_tombstones) {
+      continue;
+    }
+    const Status status = compact_();
+    runs_.fetch_add(1, std::memory_order_relaxed);
+    if (!status.ok()) {
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      EMBER_WARN("background compaction failed (serving continues): %s",
+                 status.message().c_str());
+    }
+  }
+}
+
+}  // namespace ember::stream

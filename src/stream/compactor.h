@@ -1,0 +1,72 @@
+#ifndef EMBER_STREAM_COMPACTOR_H_
+#define EMBER_STREAM_COMPACTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "stream/live_corpus.h"
+
+namespace ember::stream {
+
+struct CompactorOptions {
+  /// Compact once the delta tier holds this many rows.
+  size_t max_delta_rows = 1024;
+  /// Compact once this many tombstones have accumulated.
+  size_t max_tombstones = 1024;
+  /// How often the trigger is re-evaluated.
+  uint64_t interval_micros = 50'000;
+};
+
+/// Background compaction driver. The Compactor owns only the policy loop —
+/// WHAT a compaction does is injected by the owner (the serving engine wires
+/// CompactFn to its write+validate+hot-swap pipeline), which keeps this class
+/// free of any dependency on the engine and trivially testable.
+///
+/// The loop wakes every `interval_micros`, polls StatsFn, and invokes
+/// CompactFn when the delta or tombstone count crosses its threshold. A
+/// CompactFn failure is counted and retried on the next tick — the live
+/// corpus keeps serving from the un-compacted tiers, so failure costs
+/// nothing but memory.
+class Compactor {
+ public:
+  using StatsFn = std::function<LiveStats()>;
+  using CompactFn = std::function<Status()>;
+
+  Compactor(StatsFn stats, CompactFn compact, CompactorOptions options);
+  ~Compactor();
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  void Start();
+  /// Stops the loop; joins the thread. Idempotent.
+  void Stop();
+
+  uint64_t runs() const { return runs_.load(std::memory_order_relaxed); }
+  uint64_t failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  StatsFn stats_;
+  CompactFn compact_;
+  CompactorOptions options_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+  std::atomic<uint64_t> runs_{0};
+  std::atomic<uint64_t> failures_{0};
+};
+
+}  // namespace ember::stream
+
+#endif  // EMBER_STREAM_COMPACTOR_H_

@@ -1,0 +1,45 @@
+#include "stream/delta_index.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ember::stream {
+
+void DeltaIndex::Append(const float* vec, size_t dim, uint64_t id,
+                        uint64_t seq) {
+  if (rows_ == 0 && dim_ == 0) dim_ = dim;
+  EMBER_CHECK_MSG(dim == dim_, "delta row dim %zu != tier dim %zu", dim,
+                  dim_);
+  EMBER_CHECK(ids_.empty() || (id > ids_.back() && seq > seqs_.back()));
+  if (rows_ == capacity_) {
+    const size_t grown = capacity_ == 0 ? 16 : capacity_ * 2;
+    la::Matrix next(grown, dim_);
+    if (rows_ > 0) {
+      std::memcpy(next.data(), store_.data(), rows_ * dim_ * sizeof(float));
+    }
+    store_ = std::move(next);
+    capacity_ = grown;
+  }
+  std::memcpy(store_.Row(rows_), vec, dim_ * sizeof(float));
+  ids_.push_back(id);
+  seqs_.push_back(seq);
+  id_set_.insert(id);
+  ++rows_;
+}
+
+void DeltaIndex::TruncatePrefix(size_t n) {
+  if (n == 0) return;
+  EMBER_CHECK(n <= rows_);
+  const size_t kept = rows_ - n;
+  if (kept > 0) {
+    std::memmove(store_.Row(0), store_.Row(n), kept * dim_ * sizeof(float));
+  }
+  for (size_t i = 0; i < n; ++i) id_set_.erase(ids_[i]);
+  ids_.erase(ids_.begin(), ids_.begin() + static_cast<ptrdiff_t>(n));
+  seqs_.erase(seqs_.begin(), seqs_.begin() + static_cast<ptrdiff_t>(n));
+  rows_ = kept;
+}
+
+}  // namespace ember::stream

@@ -1,0 +1,66 @@
+#ifndef EMBER_STREAM_DELTA_INDEX_H_
+#define EMBER_STREAM_DELTA_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace ember::stream {
+
+/// The mutable tier of a live corpus (DESIGN.md §14): an append-only,
+/// exactly-scanned buffer of rows upserted since the base snapshot froze.
+/// Rows carry the global id and mutation sequence number the LiveCorpus
+/// assigned them; compaction and HNSW absorption remove a PREFIX (appends
+/// are in sequence order, so "everything up to seq S" is always a prefix).
+///
+/// Storage is a 64-byte-aligned owned matrix grown by doubling, and View()
+/// exposes the live rows as a borrowed la::Matrix — the same zero-copy shape
+/// the mmap'ed snapshot path uses — so index::BruteForceTopK scans the delta
+/// with the identical scalar-order kernels that scan the base. That shared
+/// accumulation order is what makes base+delta merges bit-identical to a
+/// rebuilt exact index.
+///
+/// Not internally synchronized: LiveCorpus guards every call.
+class DeltaIndex {
+ public:
+  size_t rows() const { return rows_; }
+  size_t dim() const { return dim_; }
+
+  /// Appends one row. The first append latches the dimensionality; ids and
+  /// seqs must be strictly increasing across appends (LiveCorpus assigns
+  /// them from monotone counters).
+  void Append(const float* vec, size_t dim, uint64_t id, uint64_t seq);
+
+  /// Drops the first `n` rows — the prefix a compaction or absorption just
+  /// folded into the base.
+  void TruncatePrefix(size_t n);
+
+  bool Contains(uint64_t id) const { return id_set_.count(id) > 0; }
+
+  uint64_t id_at(size_t row) const { return ids_[row]; }
+  uint64_t seq_at(size_t row) const { return seqs_[row]; }
+  const std::vector<uint64_t>& ids() const { return ids_; }
+  const float* Row(size_t row) const { return store_.Row(row); }
+
+  /// Borrowed read-only matrix over the live rows (valid until the next
+  /// Append/TruncatePrefix).
+  la::Matrix View() const {
+    return la::Matrix::View(rows_ > 0 ? store_.data() : nullptr, rows_, dim_);
+  }
+
+ private:
+  la::Matrix store_;  // capacity_ x dim_; the first rows_ rows are live
+  size_t rows_ = 0;
+  size_t capacity_ = 0;
+  size_t dim_ = 0;
+  std::vector<uint64_t> ids_;
+  std::vector<uint64_t> seqs_;
+  std::unordered_set<uint64_t> id_set_;
+};
+
+}  // namespace ember::stream
+
+#endif  // EMBER_STREAM_DELTA_INDEX_H_

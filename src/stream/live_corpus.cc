@@ -1,0 +1,310 @@
+#include "stream/live_corpus.h"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <numeric>
+#include <unordered_set>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "index/exact_index.h"
+
+namespace ember::stream {
+
+namespace {
+
+/// Merges two CloserThan-sorted neighbor lists into the top-k. Both sides
+/// carry global ids, so CloserThan is a total order and the merge is
+/// deterministic.
+std::vector<index::Neighbor> MergeTwo(const std::vector<index::Neighbor>& a,
+                                      const std::vector<index::Neighbor>& b,
+                                      size_t k) {
+  std::vector<index::Neighbor> merged;
+  merged.reserve(std::min(k, a.size() + b.size()));
+  size_t i = 0, j = 0;
+  while (merged.size() < k && (i < a.size() || j < b.size())) {
+    if (j == b.size() ||
+        (i < a.size() && index::CloserThan(a[i], b[j]))) {
+      merged.push_back(a[i++]);
+    } else {
+      merged.push_back(b[j++]);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+LiveCorpus::LiveCorpus(std::shared_ptr<const serve::Snapshot> base)
+    : base_(std::move(base)) {
+  const uint64_t rows = base_->manifest().rows;
+  auto ids = std::make_shared<std::vector<uint64_t>>(rows);
+  std::iota(ids->begin(), ids->end(), uint64_t{0});
+  base_ids_ = std::move(ids);
+  next_id_ = rows;
+  dim_ = base_->manifest().dim;
+}
+
+Result<uint64_t> LiveCorpus::Upsert(const float* vec, size_t dim) {
+  std::unique_lock lock(mu_);
+  if (dim_ == 0) dim_ = dim;  // empty zero-dim base: first row decides
+  if (dim != dim_) {
+    return Status::InvalidArgument(
+        "upsert dim " + std::to_string(dim) + " != corpus dim " +
+        std::to_string(dim_));
+  }
+  // Fail-closed boundary: fires BEFORE any state changes, so a refused
+  // upsert leaves the corpus untouched.
+  EMBER_FAILPOINT("stream/delta_insert");
+  const uint64_t id = next_id_++;
+  delta_.Append(vec, dim, id, next_seq_++);
+  return id;
+}
+
+Status LiveCorpus::Delete(uint64_t global_id) {
+  std::unique_lock lock(mu_);
+  const bool in_base = std::binary_search(base_ids_->begin(),
+                                          base_ids_->end(), global_id);
+  const bool in_delta = !in_base && delta_.Contains(global_id);
+  if (!in_base && !in_delta) {
+    return Status::NotFound("id " + std::to_string(global_id) +
+                            " is not in the live corpus");
+  }
+  if (tombstones_.count(global_id) > 0) {
+    return Status::NotFound("id " + std::to_string(global_id) +
+                            " is already deleted");
+  }
+  // Fail-closed boundary: a refused delete publishes nothing.
+  EMBER_FAILPOINT("stream/tombstone");
+  tombstones_.emplace(global_id, next_seq_++);
+  if (in_base) {
+    ++base_dead_;
+  } else {
+    ++delta_dead_;
+  }
+  return Status::Ok();
+}
+
+std::vector<std::vector<index::Neighbor>> LiveCorpus::QueryBatch(
+    const la::Matrix& queries, size_t k) const {
+  return MergedQuery(queries, k, /*fallback_base=*/false);
+}
+
+std::vector<std::vector<index::Neighbor>> LiveCorpus::FallbackQueryBatch(
+    const la::Matrix& queries, size_t k) const {
+  return MergedQuery(queries, k, /*fallback_base=*/true);
+}
+
+std::vector<std::vector<index::Neighbor>> LiveCorpus::MergedQuery(
+    const la::Matrix& queries, size_t k, bool fallback_base) const {
+  const size_t nq = queries.rows();
+  std::shared_ptr<const serve::Snapshot> base;
+  std::shared_ptr<const std::vector<uint64_t>> ids;
+  size_t base_dead = 0;
+  std::unordered_set<uint64_t> dead;
+  std::vector<std::vector<index::Neighbor>> delta_hits(nq);
+  {
+    // Phase 1, shared lock: pin the base tier and linearize the overlay —
+    // the delta scan (cheap: the delta is small by construction) and the
+    // tombstone copy happen inside the lock so one query batch sees one
+    // coherent mutation prefix.
+    std::shared_lock lock(mu_);
+    base = base_;
+    ids = base_ids_;
+    base_dead = base_dead_;
+    dead.reserve(tombstones_.size());
+    for (const auto& [id, seq] : tombstones_) dead.insert(id);
+    if (delta_.rows() > 0 && k > 0) {
+      // Inflate k by the dead-row count so filtering can never starve the
+      // merge below min(k, live delta rows) survivors.
+      const size_t dk = std::min(delta_.rows(), k + delta_dead_);
+      const auto raw = index::BruteForceTopK(delta_.View(), queries, dk);
+      for (size_t q = 0; q < nq; ++q) {
+        auto& out = delta_hits[q];
+        for (const index::Neighbor& n : raw[q]) {
+          const uint64_t gid = delta_.id_at(n.id);
+          if (dead.count(gid) > 0) continue;
+          out.push_back({static_cast<uint32_t>(gid), n.distance});
+          if (out.size() == k) break;
+        }
+      }
+    }
+  }
+  // Phase 2, no lock: the expensive base query runs on the pinned snapshot.
+  // A concurrent swap (reload/compaction/absorb) retires the old base only
+  // after this batch drops its pin (RCU).
+  std::vector<std::vector<index::Neighbor>> base_hits(nq);
+  if (base->size() > 0 && k > 0) {
+    const size_t bk = std::min<size_t>(base->size(), k + base_dead);
+    const auto raw = fallback_base ? base->FallbackQueryBatch(queries, bk)
+                                   : base->QueryBatch(queries, bk);
+    for (size_t q = 0; q < nq; ++q) {
+      auto& out = base_hits[q];
+      for (const index::Neighbor& n : raw[q]) {
+        const uint64_t gid = (*ids)[n.id];
+        if (dead.count(gid) > 0) continue;
+        out.push_back({static_cast<uint32_t>(gid), n.distance});
+        if (out.size() == k) break;
+      }
+    }
+  }
+  std::vector<std::vector<index::Neighbor>> results(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    results[q] = MergeTwo(base_hits[q], delta_hits[q], k);
+  }
+  return results;
+}
+
+LiveStats LiveCorpus::Stats() const {
+  std::shared_lock lock(mu_);
+  LiveStats stats;
+  stats.base_rows = base_->manifest().rows;
+  stats.delta_rows = delta_.rows();
+  stats.tombstones = tombstones_.size();
+  stats.live_rows =
+      stats.base_rows + stats.delta_rows - base_dead_ - delta_dead_;
+  stats.next_id = next_id_;
+  stats.base_generation = base_generation_;
+  return stats;
+}
+
+std::shared_ptr<const serve::Snapshot> LiveCorpus::base() const {
+  std::shared_lock lock(mu_);
+  return base_;
+}
+
+CompactionPlan LiveCorpus::PlanCompaction() const {
+  std::shared_lock lock(mu_);
+  CompactionPlan plan;
+  plan.upto_seq = next_seq_ - 1;
+  plan.base_generation = base_generation_;
+  plan.delta_prefix = delta_.rows();
+  plan.manifest = base_->manifest();
+  const la::Matrix& base_data = base_->data();
+  const size_t dim = dim_ != 0 ? dim_ : base_data.cols();
+  std::vector<const float*> rows;
+  rows.reserve(base_ids_->size() + delta_.rows());
+  for (size_t local = 0; local < base_ids_->size(); ++local) {
+    const uint64_t gid = (*base_ids_)[local];
+    if (tombstones_.count(gid) > 0) continue;
+    plan.survivor_ids.push_back(gid);
+    rows.push_back(base_data.Row(local));
+  }
+  for (size_t r = 0; r < delta_.rows(); ++r) {
+    const uint64_t gid = delta_.id_at(r);
+    if (tombstones_.count(gid) > 0) continue;
+    plan.survivor_ids.push_back(gid);
+    rows.push_back(delta_.Row(r));
+  }
+  plan.corpus = la::Matrix(rows.size(), dim);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::memcpy(plan.corpus.Row(i), rows[i], dim * sizeof(float));
+  }
+  return plan;
+}
+
+Status LiveCorpus::InstallCompacted(
+    std::shared_ptr<const serve::Snapshot> compacted,
+    const CompactionPlan& plan) {
+  std::unique_lock lock(mu_);
+  if (plan.base_generation != base_generation_) {
+    return Status::Unavailable(
+        "compaction plan is stale: the base was swapped while it ran");
+  }
+  if (compacted->manifest().rows != plan.survivor_ids.size()) {
+    return Status::Internal(
+        "compacted snapshot holds " +
+        std::to_string(compacted->manifest().rows) + " rows but the plan "
+        "kept " + std::to_string(plan.survivor_ids.size()));
+  }
+  base_ = std::move(compacted);
+  base_ids_ =
+      std::make_shared<const std::vector<uint64_t>>(plan.survivor_ids);
+  ++base_generation_;
+  delta_.TruncatePrefix(plan.delta_prefix);
+  for (auto it = tombstones_.begin(); it != tombstones_.end();) {
+    it = it->second <= plan.upto_seq ? tombstones_.erase(it) : std::next(it);
+  }
+  RecountDead();
+  return Status::Ok();
+}
+
+Status LiveCorpus::ReplaceBase(std::shared_ptr<const serve::Snapshot> fresh) {
+  std::unique_lock lock(mu_);
+  if (fresh->manifest().rows != base_->manifest().rows) {
+    return Status::InvalidArgument(
+        "live base replacement must preserve the row count (" +
+        std::to_string(base_->manifest().rows) + " -> " +
+        std::to_string(fresh->manifest().rows) +
+        "); run a compaction instead");
+  }
+  if (fresh->manifest().rows > 0 &&
+      fresh->manifest().dim != base_->manifest().dim) {
+    return Status::InvalidArgument(
+        "live base replacement changes the dimensionality");
+  }
+  base_ = std::move(fresh);
+  ++base_generation_;
+  return Status::Ok();
+}
+
+Status LiveCorpus::AbsorbDelta() {
+  std::shared_ptr<const serve::Snapshot> base;
+  uint64_t generation = 0;
+  size_t absorb_rows = 0;
+  la::Matrix rows;
+  {
+    std::shared_lock lock(mu_);
+    if (base_->manifest().kind != serve::IndexKind::kHnsw) {
+      return Status::InvalidArgument(
+          "AbsorbDelta requires an HNSW base; exact/LSH bases compact "
+          "instead");
+    }
+    if (delta_.rows() == 0) return Status::Ok();
+    base = base_;
+    generation = base_generation_;
+    absorb_rows = delta_.rows();
+    rows = la::Matrix(absorb_rows, delta_.dim());
+    std::memcpy(rows.data(), delta_.Row(0),
+                absorb_rows * delta_.dim() * sizeof(float));
+  }
+  // Copy-on-write: the clone is thawed and grown off-lock while readers
+  // keep querying the frozen original.
+  Result<index::HnswIndex> thawed = base->ThawedHnsw();
+  if (!thawed.ok()) return thawed.status();
+  thawed.value().AddBatch(rows);
+  Result<serve::Snapshot> grown =
+      serve::Snapshot::AdoptHnsw(base->manifest(), std::move(thawed).value());
+  if (!grown.ok()) return grown.status();
+  auto published =
+      std::make_shared<const serve::Snapshot>(std::move(grown).value());
+  std::unique_lock lock(mu_);
+  if (generation != base_generation_) {
+    return Status::Unavailable(
+        "absorb raced a base swap; retry against the new base");
+  }
+  auto ids = std::make_shared<std::vector<uint64_t>>(*base_ids_);
+  ids->insert(ids->end(), delta_.ids().begin(),
+              delta_.ids().begin() + static_cast<ptrdiff_t>(absorb_rows));
+  base_ids_ = std::move(ids);
+  base_ = std::move(published);
+  ++base_generation_;
+  delta_.TruncatePrefix(absorb_rows);
+  RecountDead();
+  return Status::Ok();
+}
+
+void LiveCorpus::RecountDead() {
+  base_dead_ = 0;
+  delta_dead_ = 0;
+  for (const auto& [id, seq] : tombstones_) {
+    if (std::binary_search(base_ids_->begin(), base_ids_->end(), id)) {
+      ++base_dead_;
+    } else if (delta_.Contains(id)) {
+      ++delta_dead_;
+    }
+  }
+}
+
+}  // namespace ember::stream

@@ -1,0 +1,151 @@
+#ifndef EMBER_STREAM_LIVE_CORPUS_H_
+#define EMBER_STREAM_LIVE_CORPUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "index/neighbor.h"
+#include "la/matrix.h"
+#include "serve/snapshot.h"
+#include "stream/delta_index.h"
+
+namespace ember::stream {
+
+/// Point-in-time shape of a live corpus, cheap enough for a compaction
+/// trigger to poll.
+struct LiveStats {
+  uint64_t base_rows = 0;   // rows frozen in the base snapshot
+  uint64_t delta_rows = 0;  // rows in the mutable delta tier
+  uint64_t tombstones = 0;  // published deletes not yet compacted away
+  uint64_t live_rows = 0;   // base + delta - tombstoned
+  uint64_t next_id = 0;     // id the next upsert will receive
+  uint64_t base_generation = 0;  // bumped on every base swap
+};
+
+/// Everything a compaction needs, captured atomically: the survivor set
+/// (base + delta minus tombstones, ascending global ids), their vectors in
+/// that order, and the coordinates for the later install — the sequence
+/// cutoff, the delta prefix it covers, and the base generation the plan was
+/// computed against (InstallCompacted rejects a plan whose base has since
+/// been swapped by an absorb or reload).
+struct CompactionPlan {
+  uint64_t upto_seq = 0;
+  uint64_t base_generation = 0;
+  size_t delta_prefix = 0;
+  std::vector<uint64_t> survivor_ids;
+  la::Matrix corpus;
+  serve::SnapshotManifest manifest;
+};
+
+/// A frozen serve::Snapshot turned into a mutable corpus (DESIGN.md §14):
+/// the immutable base is overlaid by a DeltaIndex of upserted rows and a
+/// tombstone set of deleted ids. Reads merge base and delta results with
+/// tombstone filtering; for exact bases the merged answer is bit-identical
+/// to a freshly rebuilt exact index over the surviving rows, because both
+/// tiers score with the same scalar-order kernels and the local-to-global
+/// id maps are strictly increasing (they preserve the CloserThan
+/// tie-break).
+///
+/// Id and ordering model: every row ever admitted has a unique, monotone
+/// global id (base rows of a fresh corpus are 0..B-1; upserts continue from
+/// there; compaction preserves survivor ids). Every mutation gets a
+/// monotone sequence number, so "all mutations up to seq S" is always a
+/// delta prefix plus a tombstone subset — the unit compaction folds into a
+/// new base.
+///
+/// Concurrency: one shared_mutex guards the overlay. Mutations take it
+/// exclusively for O(row) work; queries pin the base (shared_ptr) and scan
+/// the delta under a shared lock, then run the expensive base query
+/// lock-free on the pinned snapshot — a base swap (reload, compaction
+/// install, absorb) never tears an in-flight query (RCU).
+class LiveCorpus {
+ public:
+  /// Wraps `base` (already validated by the engine). An empty base with a
+  /// zero-dim manifest latches its dimensionality from the first upsert.
+  explicit LiveCorpus(std::shared_ptr<const serve::Snapshot> base);
+
+  /// Appends one embedded row to the delta tier and returns its global id.
+  /// Fail-closed: the "stream/delta_insert" failpoint fires before any
+  /// state changes.
+  Result<uint64_t> Upsert(const float* vec, size_t dim);
+
+  /// Publishes a tombstone for `global_id`. NotFound when the id was never
+  /// admitted or is already dead; the "stream/tombstone" failpoint fires
+  /// before the tombstone becomes visible.
+  Status Delete(uint64_t global_id);
+
+  /// Merged top-k over base + delta with tombstone filtering. Neighbor ids
+  /// are global. Thread-safe against concurrent mutations and base swaps.
+  std::vector<std::vector<index::Neighbor>> QueryBatch(
+      const la::Matrix& queries, size_t k) const;
+
+  /// Degraded-mode merged top-k: brute-force scan of the base corpus matrix
+  /// instead of its index (the serving engine's fallback path), plus the
+  /// same delta/tombstone overlay.
+  std::vector<std::vector<index::Neighbor>> FallbackQueryBatch(
+      const la::Matrix& queries, size_t k) const;
+
+  LiveStats Stats() const;
+
+  /// The current base, pinned (stays valid while the caller holds it).
+  std::shared_ptr<const serve::Snapshot> base() const;
+
+  /// Captures a compaction plan under a shared lock (serving continues).
+  CompactionPlan PlanCompaction() const;
+
+  /// Atomically installs a compacted base: swaps the snapshot, truncates
+  /// the covered delta prefix, and drops the folded tombstones — all under
+  /// one exclusive lock, so no query ever sees a row twice or loses one.
+  /// Rejects (Unavailable) a plan computed against a base generation that a
+  /// concurrent absorb or reload has since replaced, and rejects
+  /// (Internal) a snapshot whose row count contradicts the plan.
+  Status InstallCompacted(std::shared_ptr<const serve::Snapshot> compacted,
+                          const CompactionPlan& plan);
+
+  /// Replaces the base wholesale (hot reload on a live corpus). The overlay
+  /// keeps its meaning only when the replacement has exactly the current
+  /// base's row count and dimensionality; anything else is refused with
+  /// InvalidArgument ("compact instead").
+  Status ReplaceBase(std::shared_ptr<const serve::Snapshot> fresh);
+
+  /// HNSW online insert (kHnsw bases only): clones the base graph, thaws
+  /// the clone (copy-on-write adjacency guard), inserts the current delta
+  /// rows with the deterministic level stream, and RCU-publishes the grown
+  /// snapshot, truncating the absorbed prefix. Tombstones are untouched —
+  /// the graph cannot unlink, so deleted rows stay filtered at query time
+  /// until a full compaction. Ok with no effect on an empty delta.
+  Status AbsorbDelta();
+
+ private:
+  /// Shared tail of QueryBatch/FallbackQueryBatch; `exact_base` selects the
+  /// brute-force scan over the base index.
+  std::vector<std::vector<index::Neighbor>> MergedQuery(
+      const la::Matrix& queries, size_t k, bool fallback_base) const;
+
+  /// Recounts base/delta tombstone membership after a base swap changed the
+  /// partition. Caller holds the exclusive lock.
+  void RecountDead();
+
+  mutable std::shared_mutex mu_;
+  std::shared_ptr<const serve::Snapshot> base_;
+  /// Ascending global id of each base row (shared so queries can pin it
+  /// across a swap). Strictly increasing — the order-preserving map.
+  std::shared_ptr<const std::vector<uint64_t>> base_ids_;
+  uint64_t base_generation_ = 1;
+  DeltaIndex delta_;
+  std::unordered_map<uint64_t, uint64_t> tombstones_;  // id -> seq
+  size_t base_dead_ = 0;   // tombstoned ids living in the base
+  size_t delta_dead_ = 0;  // tombstoned ids living in the delta
+  uint64_t next_id_ = 0;
+  uint64_t next_seq_ = 1;
+  size_t dim_ = 0;
+};
+
+}  // namespace ember::stream
+
+#endif  // EMBER_STREAM_LIVE_CORPUS_H_

@@ -801,5 +801,149 @@ TEST(Router, EmbedFailpointIsLiveAndRetried) {
   EXPECT_EQ(metrics.failed, 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Mutations through the router (live fleets, DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+EngineOptions LiveEngineOptions() {
+  EngineOptions options;
+  options.live = true;
+  return options;
+}
+
+TEST(RouterMutation, UpsertRoutesRoundRobinAndIsQueryable) {
+  // 12 rows over 2 shards: each shard holds 6, so the first upsert (ticket
+  // 0 -> group 0, local id 6) gets global id 6*2+0 = 12 and the second
+  // (group 1) gets 13 — the inverse of the query-path remap.
+  const size_t k = 5;
+  Fleet fleet = MakeFleet(12, 2, 2, k, LiveEngineOptions());
+  RouterOptions options;
+  options.k = k;
+  auto router =
+      Router::Create(std::move(fleet.engines), fleet.model, options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  auto first = router.value()->Upsert("streamed record A");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first.value(), 12u);
+  auto second = router.value()->Upsert("streamed record B");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), 13u);
+
+  // The admitted rows resolve through the normal query path, under their
+  // global ids.
+  auto submitted = router.value()->Submit("streamed record A");
+  ASSERT_TRUE(submitted.ok());
+  auto reply = submitted.value().get();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_FALSE(reply.value().neighbors.empty());
+  EXPECT_EQ(reply.value().neighbors[0].id, 12u);
+
+  router.value()->Stop();
+  const auto metrics = router.value()->Metrics();
+  EXPECT_EQ(metrics.upserts, 2u);
+  EXPECT_EQ(metrics.mutation_failures, 0u);
+  EXPECT_EQ(metrics.mutation_divergence, 0u);
+}
+
+TEST(RouterMutation, DeleteRemovesRowFromEveryReplica) {
+  const size_t k = 6;
+  Fleet fleet = MakeFleet(12, 2, 2, k, LiveEngineOptions());
+  RouterOptions options;
+  options.k = k;
+  auto router =
+      Router::Create(std::move(fleet.engines), fleet.model, options);
+  ASSERT_TRUE(router.ok());
+
+  // Global id 4 lives in shard 0 (4 % 2) at local row 2 (4 / 2). Its exact
+  // sentence ranks it first before the delete; afterwards it must be gone.
+  const std::string sentence = Sentences(12, "corpus")[4];
+  auto before = router.value()->Submit(sentence);
+  ASSERT_TRUE(before.ok());
+  auto reply = before.value().get();
+  ASSERT_TRUE(reply.ok());
+  ASSERT_FALSE(reply.value().neighbors.empty());
+  EXPECT_EQ(reply.value().neighbors[0].id, 4u);
+
+  ASSERT_TRUE(router.value()->Delete(4).ok());
+  auto after = router.value()->Submit(sentence);
+  ASSERT_TRUE(after.ok());
+  auto post = after.value().get();
+  ASSERT_TRUE(post.ok());
+  for (const auto& neighbor : post.value().neighbors) {
+    EXPECT_NE(neighbor.id, 4u);
+  }
+
+  // A second delete of the same id fails on every replica and is reported,
+  // not swallowed.
+  const Status twice = router.value()->Delete(4);
+  ASSERT_FALSE(twice.ok());
+  EXPECT_EQ(twice.code(), Status::Code::kNotFound);
+
+  router.value()->Stop();
+  const auto metrics = router.value()->Metrics();
+  EXPECT_EQ(metrics.deletes, 1u);
+  EXPECT_EQ(metrics.mutation_failures, 1u);
+  EXPECT_EQ(metrics.mutation_divergence, 0u);
+}
+
+TEST(RouterMutation, FailsClosedWhenOwningGroupFullyDown) {
+  // Single-replica groups: stopping group 0's engine takes the owner of
+  // ticket 0 (and of every even global id) fully down. Mutations bound for
+  // it must be refused loudly — never buffered, never rerouted to a shard
+  // that does not own the id — while group 1 keeps accepting.
+  const size_t k = 5;
+  Fleet fleet = MakeFleet(12, 2, 1, k, LiveEngineOptions());
+  RouterOptions options;
+  options.k = k;
+  auto router =
+      Router::Create(std::move(fleet.engines), fleet.model, options);
+  ASSERT_TRUE(router.ok());
+  for (const auto& engine : router.value()->replicas(0)) engine->Stop();
+
+  auto refused = router.value()->Upsert("doomed record");
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), Status::Code::kUnavailable);
+  const Status dead_delete = router.value()->Delete(4);  // 4 % 2 -> group 0
+  ASSERT_FALSE(dead_delete.ok());
+  EXPECT_EQ(dead_delete.code(), Status::Code::kUnavailable);
+
+  // The healthy group still owns its ids: ticket 1 routes to group 1.
+  auto healthy = router.value()->Upsert("second record");
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  EXPECT_EQ(healthy.value() % 2, 1u);
+  EXPECT_TRUE(router.value()->Delete(5).ok());  // 5 % 2 -> group 1
+
+  router.value()->Stop();
+  const auto metrics = router.value()->Metrics();
+  EXPECT_EQ(metrics.upserts, 1u);
+  EXPECT_EQ(metrics.deletes, 1u);
+  EXPECT_EQ(metrics.mutation_failures, 2u);
+}
+
+TEST(RouterMutation, ReplicaOutageSurfacesDivergence) {
+  // R=2 with one replica of the owning group stopped: the mutation still
+  // lands on the survivor (availability), but the replica sets have now
+  // drifted — the router must say so.
+  const size_t k = 5;
+  Fleet fleet = MakeFleet(12, 2, 2, k, LiveEngineOptions());
+  RouterOptions options;
+  options.k = k;
+  auto router =
+      Router::Create(std::move(fleet.engines), fleet.model, options);
+  ASSERT_TRUE(router.ok());
+  router.value()->replicas(0)[0]->Stop();
+
+  auto admitted = router.value()->Upsert("divergent record");
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+  EXPECT_EQ(admitted.value(), 12u);
+
+  router.value()->Stop();
+  const auto metrics = router.value()->Metrics();
+  EXPECT_EQ(metrics.upserts, 1u);
+  EXPECT_EQ(metrics.mutation_failures, 0u);
+  EXPECT_GE(metrics.mutation_divergence, 1u);
+}
+
 }  // namespace
 }  // namespace ember

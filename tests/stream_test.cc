@@ -1,0 +1,802 @@
+// Live corpus / streaming tier tests (DESIGN.md §14): the bit-identity
+// oracle (query-after-upsert/delete == freshly rebuilt exact index), the
+// proptest over random upsert/delete/query/compact interleavings against a
+// naive oracle, HNSW online insert vs batch-rebuild equality, compaction
+// hot-swap correctness and rollback, the corruption sweep over compactor
+// output, fail-closed armed-failpoint behavior at every new boundary, the
+// background Compactor trigger, and counter-identity under concurrent
+// mutation + reload/compaction traffic (the TSan leg).
+
+#include "stream/live_corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "index/exact_index.h"
+#include "index/hnsw_index.h"
+#include "la/vector_ops.h"
+#include "proptest.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
+#include "stream/compactor.h"
+
+#define SKIP_IF_FAILPOINTS_OFF()                               \
+  do {                                                         \
+    if (!::ember::fail::kEnabled) {                            \
+      GTEST_SKIP() << "failpoints compiled out of this build"; \
+    }                                                          \
+  } while (0)
+
+namespace ember {
+namespace {
+
+using serve::Engine;
+using serve::EngineMetrics;
+using serve::EngineOptions;
+using serve::IndexKind;
+using serve::MutateReply;
+using serve::QueryReply;
+using serve::Snapshot;
+using serve::SnapshotManifest;
+using stream::Compactor;
+using stream::CompactorOptions;
+using stream::LiveCorpus;
+using stream::LiveStats;
+
+constexpr size_t kDim = 16;
+
+embed::ModelInfo HashModelInfo(const std::string& code) {
+  embed::ModelInfo info;
+  info.code = code;
+  info.name = "hash-test-model";
+  info.dim = kDim;
+  return info;
+}
+
+class HashModel : public embed::EmbeddingModel {
+ public:
+  explicit HashModel(std::string code = "HT")
+      : EmbeddingModel(HashModelInfo(code)) {}
+
+  void EncodeInto(const std::string& sentence, float* out) const override {
+    for (size_t d = 0; d < kDim; ++d) out[d] = 0.f;
+    uint64_t hash = 1469598103934665603ull;
+    for (const char c : sentence) {
+      hash = (hash ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+      out[hash % kDim] += 1.f + static_cast<float>((hash >> 32) & 0xff);
+    }
+    la::NormalizeInPlace(out, kDim);
+  }
+
+ protected:
+  void BuildWeights() override {}
+};
+
+std::vector<std::string> Sentences(size_t n, const std::string& tag) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(tag + " record " + std::to_string(i) + " token" +
+                  std::to_string(i % 23) + " value" +
+                  std::to_string((i * 13) % 41));
+  }
+  return out;
+}
+
+SnapshotManifest BaseManifest(IndexKind kind = IndexKind::kExact,
+                              uint32_t default_k = 5) {
+  SnapshotManifest manifest;
+  manifest.model_code = "HT";
+  manifest.default_k = default_k;
+  manifest.kind = kind;
+  manifest.dataset = "stream-test";
+  return manifest;
+}
+
+Snapshot MakeSnapshot(IndexKind kind, size_t rows,
+                      const std::string& tag = "corpus") {
+  HashModel model;
+  model.Initialize();
+  la::Matrix corpus = model.VectorizeAll(Sentences(rows, tag));
+  index::HnswOptions hnsw_options;
+  hnsw_options.seed = 7;
+  index::LshOptions lsh_options;
+  lsh_options.seed = 7;
+  return Snapshot::Build(BaseManifest(kind), std::move(corpus), hnsw_options,
+                         lsh_options);
+}
+
+std::unique_ptr<Engine> MakeLiveEngine(Snapshot snapshot, size_t k = 5) {
+  auto model = std::make_shared<HashModel>();
+  EngineOptions options;
+  options.k = k;
+  options.max_wait_micros = 200;
+  options.live = true;
+  auto created = Engine::Create(std::move(snapshot), model, options);
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  return std::move(created).value();
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("ember_stream_test_" + name + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+uint64_t MustUpsert(Engine& engine, const std::string& record) {
+  auto submitted = engine.Upsert(record);
+  EXPECT_TRUE(submitted.ok()) << submitted.status().ToString();
+  auto outcome = submitted.value().get();
+  EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+  return outcome.value().id;
+}
+
+Status MustDelete(Engine& engine, uint64_t id) {
+  auto submitted = engine.Delete(id);
+  EXPECT_TRUE(submitted.ok()) << submitted.status().ToString();
+  auto outcome = submitted.value().get();
+  return outcome.ok() ? Status::Ok() : outcome.status();
+}
+
+std::vector<index::Neighbor> MustQuery(Engine& engine,
+                                       const std::string& record) {
+  auto submitted = engine.Submit(record);
+  EXPECT_TRUE(submitted.ok()) << submitted.status().ToString();
+  auto reply = submitted.value().get();
+  EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+  return reply.value().neighbors;
+}
+
+void ExpectSameNeighbors(const std::vector<index::Neighbor>& got,
+                         const std::vector<index::Neighbor>& want,
+                         const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << context << " rank " << i;
+    EXPECT_EQ(got[i].distance, want[i].distance) << context << " rank " << i;
+  }
+}
+
+/// Every test starts and ends with no failpoint armed, even on failure.
+class StreamFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fail::DisarmAll(); }
+  void TearDown() override { fail::DisarmAll(); }
+};
+
+// ---------------------------------------------------------------------------
+// The correctness oracle: a live corpus after upserts/deletes answers
+// bit-identically to an exact index freshly rebuilt over the survivors.
+// ---------------------------------------------------------------------------
+
+TEST(LiveOracle, QueryAfterUpsertBitIdenticalToRebuilt) {
+  const size_t base_rows = 10, upserts = 6, k = 5;
+  auto engine = MakeLiveEngine(MakeSnapshot(IndexKind::kExact, base_rows), k);
+  const auto fresh = Sentences(upserts, "fresh");
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(MustUpsert(*engine, fresh[i]), base_rows + i);
+  }
+
+  // Oracle: one exact snapshot over base ∥ upserts, in admission order.
+  HashModel model;
+  model.Initialize();
+  auto all = Sentences(base_rows, "corpus");
+  all.insert(all.end(), fresh.begin(), fresh.end());
+  const Snapshot oracle =
+      Snapshot::Build(BaseManifest(), model.VectorizeAll(all));
+
+  const auto queries = Sentences(12, "query");
+  const auto expect = oracle.QueryBatch(model.VectorizeAll(queries), k);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ExpectSameNeighbors(MustQuery(*engine, queries[q]), expect[q],
+                        "query " + std::to_string(q));
+  }
+  const LiveStats stats = engine->LiveStats();
+  EXPECT_EQ(stats.base_rows, base_rows);
+  EXPECT_EQ(stats.delta_rows, upserts);
+  EXPECT_EQ(stats.live_rows, base_rows + upserts);
+  engine->Stop();
+}
+
+TEST(LiveOracle, QueryAfterDeleteBitIdenticalToRebuilt) {
+  const size_t base_rows = 10, upserts = 6, k = 4;
+  auto engine = MakeLiveEngine(MakeSnapshot(IndexKind::kExact, base_rows), k);
+  const auto fresh = Sentences(upserts, "fresh");
+  for (const auto& record : fresh) MustUpsert(*engine, record);
+  // Tombstone rows in both tiers: base ids 1, 3 and delta ids 10, 13.
+  for (const uint64_t dead : {1ull, 3ull, 10ull, 13ull}) {
+    EXPECT_TRUE(MustDelete(*engine, dead).ok()) << dead;
+  }
+
+  // Oracle: exact snapshot over the SURVIVORS (ascending global id), with
+  // the strictly-increasing local->global remap applied to its answers.
+  HashModel model;
+  model.Initialize();
+  auto all = Sentences(base_rows, "corpus");
+  all.insert(all.end(), fresh.begin(), fresh.end());
+  std::vector<std::string> survivors;
+  std::vector<uint64_t> survivor_ids;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (i == 1 || i == 3 || i == 10 || i == 13) continue;
+    survivors.push_back(all[i]);
+    survivor_ids.push_back(i);
+  }
+  const Snapshot oracle =
+      Snapshot::Build(BaseManifest(), model.VectorizeAll(survivors));
+
+  const auto queries = Sentences(12, "query");
+  const auto raw = oracle.QueryBatch(model.VectorizeAll(queries), k);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    std::vector<index::Neighbor> expect = raw[q];
+    for (auto& neighbor : expect) {
+      neighbor.id = static_cast<uint32_t>(survivor_ids[neighbor.id]);
+    }
+    ExpectSameNeighbors(MustQuery(*engine, queries[q]), expect,
+                        "query " + std::to_string(q));
+  }
+  const LiveStats stats = engine->LiveStats();
+  EXPECT_EQ(stats.tombstones, 4u);
+  EXPECT_EQ(stats.live_rows, base_rows + upserts - 4);
+  engine->Stop();
+}
+
+TEST(LiveOracle, EmptyBaseColdStartServes) {
+  // The stream-dedup scenario starts from a zero-row snapshot whose dim
+  // latches from the first upsert's embedding.
+  auto engine =
+      MakeLiveEngine(Snapshot::Build(BaseManifest(), la::Matrix(0, kDim)), 3);
+  EXPECT_TRUE(MustQuery(*engine, "anything").empty());
+  const auto fresh = Sentences(4, "fresh");
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(MustUpsert(*engine, fresh[i]), i);
+  }
+  HashModel model;
+  model.Initialize();
+  const Snapshot oracle =
+      Snapshot::Build(BaseManifest(), model.VectorizeAll(fresh));
+  const auto expect = oracle.QueryBatch(model.VectorizeAll({fresh[2]}), 3);
+  ExpectSameNeighbors(MustQuery(*engine, fresh[2]), expect[0], "cold start");
+  engine->Stop();
+}
+
+TEST(LiveOracle, MutationArgumentErrorsFailClosed) {
+  auto engine = MakeLiveEngine(MakeSnapshot(IndexKind::kExact, 6), 3);
+  // Unknown id, then double delete.
+  EXPECT_EQ(MustDelete(*engine, 99).code(), Status::Code::kNotFound);
+  EXPECT_TRUE(MustDelete(*engine, 2).ok());
+  EXPECT_EQ(MustDelete(*engine, 2).code(), Status::Code::kNotFound);
+  // Wrong-dim pre-embedded upsert is refused at submit time.
+  auto bad = engine->UpsertEmbedded(std::vector<float>(kDim + 1, 0.1f));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), Status::Code::kInvalidArgument);
+  engine->Stop();
+
+  // A frozen (non-live) engine refuses mutations at submit time.
+  auto model = std::make_shared<HashModel>();
+  EngineOptions options;
+  options.k = 3;
+  auto frozen =
+      Engine::Create(MakeSnapshot(IndexKind::kExact, 6), model, options);
+  ASSERT_TRUE(frozen.ok());
+  EXPECT_EQ(frozen.value()->Upsert("nope").status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(frozen.value()->Delete(0).status().code(),
+            Status::Code::kInvalidArgument);
+  frozen.value()->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Proptest: random upsert/delete/query/compact interleavings against a
+// naive always-rebuilt oracle, at the LiveCorpus level.
+// ---------------------------------------------------------------------------
+
+TEST(LiveProptest, InterleavingsMatchNaiveRebuiltOracle) {
+  proptest::Config config;
+  config.cases = 40;
+  config.max_size = 48;
+  proptest::ForAll(
+      "live corpus == naive rebuilt oracle", config,
+      [](Rng& rng, size_t size) {
+        auto base = std::make_shared<const Snapshot>(
+            Snapshot::Build(BaseManifest(), la::Matrix(0, kDim)));
+        LiveCorpus corpus(base);
+        // Naive model: every live row as (global id, vector), in id order.
+        std::vector<std::pair<uint64_t, std::vector<float>>> naive;
+
+        const auto random_unit = [&rng] {
+          std::vector<float> v(kDim);
+          for (float& x : v) x = static_cast<float>(rng.Uniform()) - 0.5f;
+          la::NormalizeInPlace(v.data(), kDim);
+          return v;
+        };
+
+        for (size_t op = 0; op < size; ++op) {
+          const double pick = rng.Uniform();
+          if (pick < 0.45 || naive.empty()) {
+            const auto v = random_unit();
+            auto id = corpus.Upsert(v.data(), kDim);
+            if (!id.ok()) return false;
+            naive.emplace_back(id.value(), v);
+          } else if (pick < 0.60) {
+            const size_t victim = rng.Next() % naive.size();
+            if (!corpus.Delete(naive[victim].first).ok()) return false;
+            naive.erase(naive.begin() + victim);
+          } else if (pick < 0.70) {
+            // Fold everything into a fresh exact base mid-stream.
+            stream::CompactionPlan plan = corpus.PlanCompaction();
+            auto compacted = std::make_shared<const Snapshot>(Snapshot::Build(
+                std::move(plan.manifest), std::move(plan.corpus)));
+            stream::CompactionPlan coords;
+            coords.upto_seq = plan.upto_seq;
+            coords.base_generation = plan.base_generation;
+            coords.delta_prefix = plan.delta_prefix;
+            coords.survivor_ids = plan.survivor_ids;
+            if (!corpus.InstallCompacted(compacted, coords).ok()) {
+              return false;
+            }
+          } else {
+            const size_t k = 1 + rng.Next() % 8;
+            la::Matrix query(1, kDim);
+            const auto v = random_unit();
+            std::copy(v.begin(), v.end(), query.Row(0));
+            const auto got = corpus.QueryBatch(query, k)[0];
+
+            la::Matrix flat(naive.size(), kDim);
+            for (size_t i = 0; i < naive.size(); ++i) {
+              std::copy(naive[i].second.begin(), naive[i].second.end(),
+                        flat.Row(i));
+            }
+            auto expect = naive.empty()
+                              ? std::vector<index::Neighbor>{}
+                              : index::BruteForceTopK(flat, query, k)[0];
+            for (auto& neighbor : expect) {
+              neighbor.id =
+                  static_cast<uint32_t>(naive[neighbor.id].first);
+            }
+            if (got.size() != expect.size()) return false;
+            for (size_t i = 0; i < got.size(); ++i) {
+              if (got[i].id != expect[i].id ||
+                  got[i].distance != expect[i].distance) {
+                return false;
+              }
+            }
+          }
+        }
+        return true;
+      });
+}
+
+// ---------------------------------------------------------------------------
+// HNSW online insert: incremental == batch rebuild, and the serving path
+// through AbsorbDelta.
+// ---------------------------------------------------------------------------
+
+TEST(HnswOnline, IncrementalInsertBitIdenticalToRebuild) {
+  HashModel model;
+  model.Initialize();
+  const la::Matrix head = model.VectorizeAll(Sentences(24, "corpus"));
+  const la::Matrix tail = model.VectorizeAll(Sentences(9, "fresh"));
+  la::Matrix all(head.rows() + tail.rows(), kDim);
+  for (size_t r = 0; r < head.rows(); ++r) {
+    std::copy(head.Row(r), head.Row(r) + kDim, all.Row(r));
+  }
+  for (size_t r = 0; r < tail.rows(); ++r) {
+    std::copy(tail.Row(r), tail.Row(r) + kDim, all.Row(head.rows() + r));
+  }
+
+  index::HnswOptions options;
+  options.seed = 11;
+  index::HnswIndex incremental(options);
+  incremental.Build(head);
+  incremental.AddBatch(tail);
+  index::HnswIndex rebuilt(options);
+  rebuilt.Build(std::move(all));
+
+  ASSERT_EQ(incremental.size(), rebuilt.size());
+  EXPECT_EQ(incremental.entry(), rebuilt.entry());
+  EXPECT_EQ(incremental.max_level(), rebuilt.max_level());
+  const auto flat_a = incremental.Flatten();
+  const auto flat_b = rebuilt.Flatten();
+  EXPECT_EQ(flat_a.levels, flat_b.levels);
+  EXPECT_EQ(flat_a.entry_base, flat_b.entry_base);
+  EXPECT_EQ(flat_a.starts, flat_b.starts);
+  EXPECT_EQ(flat_a.adj, flat_b.adj);
+
+  const la::Matrix queries = model.VectorizeAll(Sentences(8, "query"));
+  const auto got = incremental.QueryBatch(queries, 5);
+  const auto want = rebuilt.QueryBatch(queries, 5);
+  for (size_t q = 0; q < got.size(); ++q) {
+    ExpectSameNeighbors(got[q], want[q], "hnsw query " + std::to_string(q));
+  }
+}
+
+TEST(HnswOnline, AbsorbDeltaMatchesBatchRebuild) {
+  const size_t base_rows = 24, upserts = 9, k = 5;
+  auto engine = MakeLiveEngine(MakeSnapshot(IndexKind::kHnsw, base_rows), k);
+  const auto fresh = Sentences(upserts, "fresh");
+  for (const auto& record : fresh) MustUpsert(*engine, record);
+  ASSERT_TRUE(engine->AbsorbDelta().ok());
+  const LiveStats stats = engine->LiveStats();
+  EXPECT_EQ(stats.base_rows, base_rows + upserts);
+  EXPECT_EQ(stats.delta_rows, 0u);
+  EXPECT_EQ(stats.base_generation, 2u);
+  EXPECT_EQ(engine->Metrics().absorbs, 1u);
+
+  // Oracle: the SAME HNSW options over base ∥ upserts — the deterministic
+  // level stream makes incremental insertion exactly reproducible.
+  HashModel model;
+  model.Initialize();
+  auto all = Sentences(base_rows, "corpus");
+  all.insert(all.end(), fresh.begin(), fresh.end());
+  index::HnswOptions hnsw_options;
+  hnsw_options.seed = 7;
+  const Snapshot oracle =
+      Snapshot::Build(BaseManifest(IndexKind::kHnsw),
+                      model.VectorizeAll(all), hnsw_options);
+  const auto queries = Sentences(10, "query");
+  const auto expect = oracle.QueryBatch(model.VectorizeAll(queries), k);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ExpectSameNeighbors(MustQuery(*engine, queries[q]), expect[q],
+                        "absorbed query " + std::to_string(q));
+  }
+  engine->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Compaction: hot-swap correctness, id continuity, rollback, corruption.
+// ---------------------------------------------------------------------------
+
+TEST(Compaction, FoldsOverlayAndKeepsServingBitIdentically) {
+  const size_t base_rows = 10, upserts = 6, k = 4;
+  auto engine = MakeLiveEngine(MakeSnapshot(IndexKind::kExact, base_rows), k);
+  const auto fresh = Sentences(upserts, "fresh");
+  for (const auto& record : fresh) MustUpsert(*engine, record);
+  for (const uint64_t dead : {2ull, 12ull}) {
+    ASSERT_TRUE(MustDelete(*engine, dead).ok());
+  }
+  const auto queries = Sentences(10, "query");
+  std::vector<std::vector<index::Neighbor>> before;
+  for (const auto& query : queries) {
+    before.push_back(MustQuery(*engine, query));
+  }
+
+  const std::string path = TempPath("compacted");
+  ASSERT_TRUE(engine->Compact(path).ok());
+  const LiveStats stats = engine->LiveStats();
+  EXPECT_EQ(stats.base_rows, base_rows + upserts - 2);
+  EXPECT_EQ(stats.delta_rows, 0u);
+  EXPECT_EQ(stats.tombstones, 0u);
+  EXPECT_EQ(stats.base_generation, 2u);
+  EXPECT_EQ(engine->Metrics().compactions, 1u);
+
+  // Identical answers from the rewritten base, including global ids.
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ExpectSameNeighbors(MustQuery(*engine, queries[q]), before[q],
+                        "post-compaction query " + std::to_string(q));
+  }
+  // Ids keep counting from where the pre-compaction corpus left off.
+  EXPECT_EQ(MustUpsert(*engine, "late arrival"), base_rows + upserts);
+  engine->Stop();
+  std::filesystem::remove(path);
+}
+
+TEST(Compaction, CompactedSnapshotCorruptionSweepFailsClosed) {
+  // The compactor's output gets zero trust: every truncation and byte flip
+  // of the file it writes must fail LoadFrom closed — this is the same
+  // paranoid loader Engine::Compact re-reads through before the swap, so a
+  // corrupt rewrite can never become the serving base.
+  auto engine = MakeLiveEngine(MakeSnapshot(IndexKind::kExact, 6), 3);
+  for (const auto& record : Sentences(3, "fresh")) {
+    MustUpsert(*engine, record);
+  }
+  ASSERT_TRUE(MustDelete(*engine, 1).ok());
+  const std::string path = TempPath("sweep_compacted");
+  ASSERT_TRUE(engine->Compact(path).ok());
+  engine->Stop();
+
+  const std::string image = ReadAll(path);
+  std::filesystem::remove(path);
+  ASSERT_GT(image.size(), 64u);
+  ASSERT_LT(image.size(), 16384u) << "sweep corpus grew too big to be "
+                                     "exhaustive; shrink the corpus";
+  const std::string victim = TempPath("sweep_victim");
+  for (size_t len = 0; len < image.size(); ++len) {
+    WriteAll(victim, image.substr(0, len));
+    EXPECT_FALSE(Snapshot::LoadFrom(victim).ok()) << "truncated to " << len;
+  }
+  std::string flipped = image;
+  for (size_t pos = 0; pos < image.size(); ++pos) {
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x5a);
+    WriteAll(victim, flipped);
+    EXPECT_FALSE(Snapshot::LoadFrom(victim).ok()) << "byte flip at " << pos;
+    flipped[pos] = image[pos];
+  }
+  WriteAll(victim, image);
+  EXPECT_TRUE(Snapshot::LoadFrom(victim).ok());  // harness is sound
+  std::filesystem::remove(victim);
+}
+
+// ---------------------------------------------------------------------------
+// Armed failpoints: every new fallible boundary fails closed with rollback.
+// ---------------------------------------------------------------------------
+
+TEST_F(StreamFaultTest, DeltaInsertFailpointFailsClosedWithoutBurningIds) {
+  SKIP_IF_FAILPOINTS_OFF();
+  auto engine = MakeLiveEngine(MakeSnapshot(IndexKind::kExact, 6), 3);
+  ASSERT_TRUE(
+      fail::ConfigureSpec("stream/delta_insert", "error:unavailable,max=1")
+          .ok());
+  auto refused = engine->Upsert("doomed record");
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(refused.value().get().status().code(),
+            Status::Code::kUnavailable);
+  const LiveStats after = engine->LiveStats();
+  EXPECT_EQ(after.delta_rows, 0u);  // fail-closed: nothing half-applied
+  EXPECT_EQ(engine->Metrics().mutation_failures, 1u);
+  // The refused upsert burned no id: the next one gets the first id.
+  EXPECT_EQ(MustUpsert(*engine, "second attempt"), 6u);
+  engine->Stop();
+}
+
+TEST_F(StreamFaultTest, TombstoneFailpointFailsClosedKeepsRowLive) {
+  SKIP_IF_FAILPOINTS_OFF();
+  auto engine = MakeLiveEngine(MakeSnapshot(IndexKind::kExact, 6), 3);
+  ASSERT_TRUE(
+      fail::ConfigureSpec("stream/tombstone", "error:io,max=1").ok());
+  EXPECT_EQ(MustDelete(*engine, 2).code(), Status::Code::kIoError);
+  EXPECT_EQ(engine->LiveStats().tombstones, 0u);
+  // The row is still live and deletable once the fault clears.
+  EXPECT_TRUE(MustDelete(*engine, 2).ok());
+  EXPECT_EQ(engine->LiveStats().tombstones, 1u);
+  engine->Stop();
+}
+
+TEST_F(StreamFaultTest, CompactionWriteFailpointRollsBack) {
+  SKIP_IF_FAILPOINTS_OFF();
+  auto engine = MakeLiveEngine(MakeSnapshot(IndexKind::kExact, 6), 3);
+  for (const auto& record : Sentences(3, "fresh")) {
+    MustUpsert(*engine, record);
+  }
+  const LiveStats before = engine->LiveStats();
+  const auto queries = Sentences(6, "query");
+  std::vector<std::vector<index::Neighbor>> expect;
+  for (const auto& query : queries) {
+    expect.push_back(MustQuery(*engine, query));
+  }
+
+  const std::string path = TempPath("failed_write");
+  ASSERT_TRUE(
+      fail::ConfigureSpec("compaction/write", "error:io,max=1").ok());
+  EXPECT_EQ(engine->Compact(path).code(), Status::Code::kIoError);
+  EXPECT_FALSE(std::filesystem::exists(path)) << "partial output left";
+  const LiveStats after = engine->LiveStats();
+  EXPECT_EQ(after.base_generation, before.base_generation);
+  EXPECT_EQ(after.delta_rows, before.delta_rows);
+  EXPECT_EQ(engine->Metrics().compaction_failures, 1u);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ExpectSameNeighbors(MustQuery(*engine, queries[q]), expect[q],
+                        "rollback query " + std::to_string(q));
+  }
+  // The fault cleared: the same compaction now lands.
+  EXPECT_TRUE(engine->Compact(path).ok());
+  EXPECT_EQ(engine->LiveStats().base_generation,
+            before.base_generation + 1);
+  engine->Stop();
+  std::filesystem::remove(path);
+}
+
+TEST_F(StreamFaultTest, CompactionSwapFailpointRollsBack) {
+  SKIP_IF_FAILPOINTS_OFF();
+  auto engine = MakeLiveEngine(MakeSnapshot(IndexKind::kExact, 6), 3);
+  for (const auto& record : Sentences(3, "fresh")) {
+    MustUpsert(*engine, record);
+  }
+  const LiveStats before = engine->LiveStats();
+  const std::string path = TempPath("failed_swap");
+  // The write succeeds; the failure hits at the swap boundary — the old
+  // base + delta must keep serving and the orphaned file must be removed.
+  ASSERT_TRUE(
+      fail::ConfigureSpec("compaction/swap", "error:unavailable,max=1")
+          .ok());
+  EXPECT_EQ(engine->Compact(path).code(), Status::Code::kUnavailable);
+  EXPECT_FALSE(std::filesystem::exists(path)) << "orphaned rewrite left";
+  const LiveStats after = engine->LiveStats();
+  EXPECT_EQ(after.base_generation, before.base_generation);
+  EXPECT_EQ(after.delta_rows, before.delta_rows);
+  EXPECT_EQ(engine->Metrics().compaction_failures, 1u);
+  engine->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Background compactor: threshold trigger, failure tolerance, idempotence.
+// ---------------------------------------------------------------------------
+
+TEST(CompactorTest, TriggersOnThresholdAndSurvivesFailures) {
+  std::atomic<uint64_t> delta_rows{0};
+  std::atomic<int> compact_calls{0};
+  std::atomic<bool> fail_next{true};
+  CompactorOptions options;
+  options.max_delta_rows = 8;
+  options.max_tombstones = 8;
+  options.interval_micros = 500;
+  Compactor compactor(
+      [&] {
+        LiveStats stats;
+        stats.delta_rows = delta_rows.load();
+        return stats;
+      },
+      [&]() -> Status {
+        ++compact_calls;
+        if (fail_next.exchange(false)) {
+          return Status::IoError("injected compaction failure");
+        }
+        delta_rows.store(0);
+        return Status::Ok();
+      },
+      options);
+  compactor.Start();
+  compactor.Start();  // idempotent
+  // Below threshold: no trigger.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(compact_calls.load(), 0);
+  // Cross it: first attempt fails (counted, serving continues), the retry
+  // on the next tick succeeds and resets the delta.
+  delta_rows.store(9);
+  for (int spin = 0; spin < 2000 && delta_rows.load() != 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(delta_rows.load(), 0u);
+  EXPECT_GE(compact_calls.load(), 2);
+  EXPECT_GE(compactor.runs(), 2u);
+  EXPECT_EQ(compactor.failures(), 1u);
+  compactor.Stop();
+  compactor.Stop();  // idempotent
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (the TSan leg): reload and compaction hot-swaps under live
+// mutation + query traffic, with the counter identity intact across swaps.
+// ---------------------------------------------------------------------------
+
+void ExpectIdentity(const EngineMetrics& metrics) {
+  EXPECT_EQ(metrics.submitted,
+            metrics.completed + metrics.expired + metrics.failed)
+      << "submitted=" << metrics.submitted
+      << " completed=" << metrics.completed << " expired=" << metrics.expired
+      << " failed=" << metrics.failed;
+}
+
+TEST(LiveConcurrency, CompactionHotSwapsUnderMutationTraffic) {
+  const size_t base_rows = 16;
+  auto engine = MakeLiveEngine(MakeSnapshot(IndexKind::kExact, base_rows), 3);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> answered{0};
+
+  std::thread querier([&] {
+    size_t i = 0;
+    while (!stop.load()) {
+      auto submitted = engine->Submit("query " + std::to_string(i++));
+      if (!submitted.ok()) continue;
+      if (submitted.value().get().ok()) ++answered;
+    }
+  });
+  std::thread upserter([&] {
+    size_t i = 0;
+    while (!stop.load()) {
+      auto submitted = engine->Upsert("churn " + std::to_string(i++));
+      if (submitted.ok()) submitted.value().get();
+    }
+  });
+  std::thread deleter([&] {
+    // Deletes race against upserts and compactions; NotFound and already-
+    // dead answers are expected — only crashes/hangs/corruption are bugs.
+    uint64_t id = 0;
+    while (!stop.load()) {
+      auto submitted = engine->Delete(id++ % (base_rows * 4));
+      if (submitted.ok()) submitted.value().get();
+    }
+  });
+
+  const std::string path = TempPath("concurrent_compact");
+  size_t compactions = 0;
+  for (int round = 0; round < 8; ++round) {
+    if (engine->Compact(path).ok()) ++compactions;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true);
+  querier.join();
+  upserter.join();
+  deleter.join();
+  engine->Stop();
+  std::filesystem::remove(path);
+
+  EXPECT_GT(compactions, 0u);
+  EXPECT_GT(answered.load(), 0u);
+  ExpectIdentity(engine->Metrics());
+  // The overlay still reconciles after every swap: what remains live is
+  // exactly base + delta - tombstones.
+  const LiveStats stats = engine->LiveStats();
+  EXPECT_EQ(stats.live_rows,
+            stats.base_rows + stats.delta_rows - stats.tombstones);
+}
+
+TEST(LiveConcurrency, ReloadSwapsBaseUnderMutationTraffic) {
+  // Satellite regression: a v2 (mmap, trusted-load-capable) snapshot
+  // reloaded while upserts/deletes/queries are in flight must neither tear
+  // a query nor lose a mutation — and the reload path must go through the
+  // paranoid (checksum-verifying) loader even though trusted mode exists.
+  const size_t base_rows = 16;
+  Snapshot base = MakeSnapshot(IndexKind::kExact, base_rows);
+  const std::string path = TempPath("reload_base");
+  ASSERT_TRUE(base.SaveTo(path).ok());  // EMBS0002 by default
+  auto engine = MakeLiveEngine(std::move(base), 3);
+
+  std::atomic<bool> stop{false};
+  std::thread querier([&] {
+    size_t i = 0;
+    while (!stop.load()) {
+      auto submitted = engine->Submit("query " + std::to_string(i++));
+      if (submitted.ok()) submitted.value().get();
+    }
+  });
+  std::thread upserter([&] {
+    size_t i = 0;
+    while (!stop.load()) {
+      auto submitted = engine->Upsert("churn " + std::to_string(i++));
+      if (submitted.ok()) submitted.value().get();
+    }
+  });
+  std::thread deleter([&] {
+    uint64_t id = 0;
+    while (!stop.load()) {
+      auto submitted = engine->Delete(id++ % (base_rows * 4));
+      if (submitted.ok()) submitted.value().get();
+    }
+  });
+
+  size_t reloads = 0;
+  for (int round = 0; round < 6; ++round) {
+    if (engine->ReloadSnapshot(path).ok()) ++reloads;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true);
+  querier.join();
+  upserter.join();
+  deleter.join();
+  engine->Stop();
+  std::filesystem::remove(path);
+
+  EXPECT_GT(reloads, 0u);
+  EXPECT_EQ(engine->Metrics().reloads, reloads);
+  ExpectIdentity(engine->Metrics());
+}
+
+}  // namespace
+}  // namespace ember

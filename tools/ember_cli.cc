@@ -32,6 +32,16 @@
 //       stream) <-> EMBS0002 (mmap-able sections), optionally building the
 //       int8 scan tier for exact snapshots (--quantize int8 forces --to
 //       v2, the only container that can carry it).
+//   ember_cli stream-dedup <D1..D10> [--scale f] [--seed n] [--k n]
+//       [--threshold t] [--report n] [--compact-rows n] [--snapshot path]
+//       Streaming ER against a live corpus (DESIGN.md §14): start from an
+//       EMPTY live snapshot, stream the dataset's records one at a time,
+//       resolve each against the corpus so far (best cross-side neighbor
+//       with sim = (1 + cos) / 2 >= --threshold => merge clusters), then
+//       admit the record via Engine::Upsert. A background Compactor folds
+//       the delta tier into fresh base snapshots (--snapshot path) while
+//       the stream runs. Reports incremental pairwise precision/recall/F1
+//       every --report records and a final greppable summary line.
 //   ember_cli snapshot-shard <D1..D10> --shards N [--prefix p] [--scale f]
 //       [--seed n] [--k n] [--index exact|hnsw|lsh] [--storage f32|int8]
 //       Partition the dataset's corpus round-robin into N shard snapshots
@@ -60,6 +70,7 @@
 #include "common/timer.h"
 #include "core/blocking.h"
 #include "core/pipeline.h"
+#include "core/stream_clusters.h"
 #include "datagen/benchmark_datasets.h"
 #include "embed/embedding_model.h"
 #include "eval/metrics.h"
@@ -70,6 +81,7 @@
 #include "serve/engine.h"
 #include "serve/router.h"
 #include "serve/snapshot.h"
+#include "stream/compactor.h"
 
 using namespace ember;
 
@@ -93,12 +105,15 @@ int Usage(const char* argv0) {
                "[--scale f] [--seed n] [--k n] [--index exact|hnsw|lsh]\n"
                "       %s snapshot-convert <in> <out> [--quantize int8] "
                "[--to v1|v2]\n"
+               "       %s stream-dedup <D1..D10> [--scale f] [--seed n] "
+               "[--k n] [--threshold t] [--report n] [--compact-rows n] "
+               "[--snapshot path]\n"
                "       %s snapshot-shard <D1..D10> --shards N [--prefix p] "
                "[--scale f] [--seed n] [--k n] [--index exact|hnsw|lsh] "
                "[--storage f32|int8]\n"
                "       (serve-bench also takes --shards N --replicas R for "
                "routed scatter-gather serving)\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -130,6 +145,10 @@ struct CliArgs {
   size_t shards = 1;     // serve-bench/snapshot-shard shard count
   size_t replicas = 1;   // serve-bench replicas per shard
   std::string prefix;    // snapshot-shard output prefix
+  // stream-dedup
+  double threshold = 0.75;   // match when sim = (1 + cos) / 2 >= threshold
+  size_t report_every = 0;   // 0: pick ~5 checkpoints from the stream length
+  size_t compact_rows = 256; // compactor delta-row trigger (0 disables)
 };
 
 bool ParseCli(int argc, char** argv, int first, CliArgs& args) {
@@ -183,6 +202,12 @@ bool ParseCli(int argc, char** argv, int first, CliArgs& args) {
       args.replicas = static_cast<size_t>(std::atoi(argv[++i]));
     } else if (arg == "--prefix" && i + 1 < argc) {
       args.prefix = argv[++i];
+    } else if (arg == "--threshold" && i + 1 < argc) {
+      args.threshold = std::atof(argv[++i]);
+    } else if (arg == "--report" && i + 1 < argc) {
+      args.report_every = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--compact-rows" && i + 1 < argc) {
+      args.compact_rows = static_cast<size_t>(std::atoi(argv[++i]));
     } else {
       return false;
     }
@@ -1037,6 +1062,206 @@ int RunSnapshotConvert(int argc, char** argv) {
   return 0;
 }
 
+/// Streaming ER over the live corpus (DESIGN.md §14). Records stream one
+/// at a time into an engine that started from an EMPTY snapshot: each
+/// record is first resolved against the corpus so far (query through the
+/// batcher; best cross-side neighbor with sim >= --threshold merges the
+/// two clusters), then admitted with Engine::Upsert so later arrivals can
+/// match it. A background Compactor keeps folding the delta tier into
+/// fresh base snapshots while the stream is live, so the scenario
+/// exercises query/upsert/compaction concurrency end to end. Pairwise
+/// precision/recall/F1 are maintained incrementally (core::StreamClusters)
+/// and printed at checkpoints plus a final greppable summary line.
+int RunStreamDedup(const CliArgs& args) {
+  const auto spec = datagen::CleanCleanSpecById(args.dataset);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "unknown dataset '%s'\n", args.dataset.c_str());
+    return 2;
+  }
+  const datagen::CleanCleanDataset data =
+      datagen::GenerateCleanClean(spec.value(), args.scale, args.seed);
+  eval::GroundTruth truth;
+  for (const auto& match : data.matches) {
+    truth.AddCleanCleanPair(match.first, match.second);
+  }
+  auto model = std::shared_ptr<embed::EmbeddingModel>(
+      embed::CreateModel(embed::ModelId::kSGtrT5));
+  model->Initialize();
+
+  // The live corpus starts EMPTY: zero rows, but the manifest carries the
+  // model's dim so the engine's compatibility check still holds.
+  serve::SnapshotManifest manifest;
+  manifest.model_code = model->info().code;
+  manifest.default_k = static_cast<uint32_t>(args.k);
+  manifest.kind = serve::IndexKind::kExact;
+  manifest.dataset = args.dataset;
+  serve::Snapshot empty = serve::Snapshot::Build(
+      std::move(manifest), la::Matrix(0, model->info().dim));
+
+  serve::EngineOptions options;
+  options.k = args.k;
+  options.max_batch = args.max_batch;
+  options.max_wait_micros = args.wait_micros;
+  options.workers = args.workers;
+  options.live = true;
+  auto created = serve::Engine::Create(std::move(empty), model, options);
+  if (!created.ok()) {
+    std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<serve::Engine> engine = std::move(created).value();
+
+  // Interleave the two collections so matches arrive from both directions.
+  struct StreamRecord {
+    bool left = false;
+    uint32_t index = 0;
+    const std::string* sentence = nullptr;
+  };
+  const std::vector<std::string> left = data.left.AllSentences();
+  const std::vector<std::string> right = data.right.AllSentences();
+  std::vector<StreamRecord> streamed;
+  streamed.reserve(left.size() + right.size());
+  for (size_t i = 0; i < std::max(left.size(), right.size()); ++i) {
+    if (i < right.size()) streamed.push_back({false, static_cast<uint32_t>(i),
+                                              &right[i]});
+    if (i < left.size()) streamed.push_back({true, static_cast<uint32_t>(i),
+                                             &left[i]});
+  }
+  const size_t report_every =
+      args.report_every > 0 ? args.report_every
+                            : std::max<size_t>(64, streamed.size() / 5);
+
+  // Background compaction runs against the same engine the stream mutates;
+  // every fold hot-swaps the base under live traffic.
+  const std::string base_path = args.snapshot_path.empty()
+                                    ? "stream-dedup.base.snap"
+                                    : args.snapshot_path;
+  stream::CompactorOptions compactor_options;
+  compactor_options.max_delta_rows =
+      args.compact_rows > 0 ? args.compact_rows : ~size_t{0};
+  compactor_options.max_tombstones = compactor_options.max_delta_rows;
+  compactor_options.interval_micros = 5'000;
+  stream::Compactor compactor(
+      [&engine] { return engine->LiveStats(); },
+      [&engine, &base_path] { return engine->Compact(base_path); },
+      compactor_options);
+  if (args.compact_rows > 0) compactor.Start();
+
+  core::StreamClusters clusters(truth);
+  // Global id -> (left?, index within its side). Ids survive compaction
+  // unchanged, so a flat vector indexed by id stays correct for the whole
+  // stream.
+  std::vector<std::pair<bool, uint32_t>> by_gid;
+  size_t merges = 0, query_failures = 0, upsert_failures = 0;
+  WallTimer timer;
+  for (size_t n = 0; n < streamed.size(); ++n) {
+    const StreamRecord& record = streamed[n];
+    // Resolve against the corpus so far. The neighbor list is sorted by
+    // ascending distance, so the first cross-side survivor is the best.
+    bool matched = false;
+    uint64_t best_gid = 0;
+    auto submitted = engine->Submit(*record.sentence);
+    if (submitted.ok()) {
+      auto reply = submitted.value().get();
+      if (reply.ok()) {
+        for (const index::Neighbor& neighbor : reply.value().neighbors) {
+          const uint64_t gid = neighbor.id;
+          if (gid >= by_gid.size() || by_gid[gid].first == record.left) {
+            continue;
+          }
+          const double sim = (2.0 - neighbor.distance) / 2.0;
+          if (sim >= args.threshold) {
+            matched = true;
+            best_gid = gid;
+          }
+          break;  // best cross-side candidate decides, match or not
+        }
+      } else {
+        ++query_failures;
+      }
+    } else {
+      ++query_failures;
+    }
+    // Always admit the record: both sides live in the corpus, so a future
+    // duplicate can resolve against either cluster member.
+    auto upserted = engine->Upsert(*record.sentence);
+    if (!upserted.ok()) {
+      ++upsert_failures;
+      continue;
+    }
+    auto outcome = upserted.value().get();
+    if (!outcome.ok()) {
+      ++upsert_failures;
+      continue;
+    }
+    const uint64_t gid = outcome.value().id;
+    if (gid >= by_gid.size()) by_gid.resize(gid + 1, {false, 0});
+    by_gid[gid] = {record.left, record.index};
+    clusters.Add(gid, record.left, record.index);
+    if (matched) {
+      clusters.Merge(gid, best_gid);
+      ++merges;
+    }
+    if ((n + 1) % report_every == 0 && n + 1 < streamed.size()) {
+      const eval::PrfMetrics m = clusters.Metrics();
+      const stream::LiveStats live = engine->LiveStats();
+      std::printf("  [%6zu/%zu] P=%.4f R=%.4f F1=%.4f  (delta=%llu "
+                  "tombstones=%llu generation=%llu)\n",
+                  n + 1, streamed.size(), m.precision, m.recall, m.f1,
+                  static_cast<unsigned long long>(live.delta_rows),
+                  static_cast<unsigned long long>(live.tombstones),
+                  static_cast<unsigned long long>(live.base_generation));
+    }
+  }
+  const double seconds = timer.Seconds();
+  compactor.Stop();
+
+  const eval::PrfMetrics metrics = clusters.Metrics();
+  const stream::LiveStats live = engine->LiveStats();
+  const serve::EngineMetrics em = engine->Metrics();
+  engine->Stop();
+  std::remove(base_path.c_str());
+
+  std::printf("stream-dedup %s scale=%.2f: %zu records in %.2fs "
+              "(%.0f rec/s), %zu merges, %zu query failures, %zu upsert "
+              "failures\n",
+              args.dataset.c_str(), args.scale, streamed.size(), seconds,
+              streamed.size() / std::max(seconds, 1e-9), merges,
+              query_failures, upsert_failures);
+  std::printf("  live corpus: base=%llu delta=%llu tombstones=%llu "
+              "generation=%llu; compactions=%llu (%llu failed)\n",
+              static_cast<unsigned long long>(live.base_rows),
+              static_cast<unsigned long long>(live.delta_rows),
+              static_cast<unsigned long long>(live.tombstones),
+              static_cast<unsigned long long>(live.base_generation),
+              static_cast<unsigned long long>(em.compactions),
+              static_cast<unsigned long long>(em.compaction_failures));
+  // Counter identity must close now that the stream has drained.
+  if (em.submitted != em.completed + em.expired + em.failed) {
+    std::fprintf(stderr,
+                 "counter identity violated: submitted=%llu != "
+                 "completed=%llu + expired=%llu + failed=%llu\n",
+                 static_cast<unsigned long long>(em.submitted),
+                 static_cast<unsigned long long>(em.completed),
+                 static_cast<unsigned long long>(em.expired),
+                 static_cast<unsigned long long>(em.failed));
+    return 1;
+  }
+  // A stream that admitted nothing (e.g. the delta tier refusing service)
+  // has no resolution result to report — fail instead of printing F1=0.
+  if (!streamed.empty() && upsert_failures == streamed.size()) {
+    std::fprintf(stderr, "no records admitted: all %zu upserts failed\n",
+                 upsert_failures);
+    return 1;
+  }
+  std::printf("stream-dedup final precision=%.4f recall=%.4f f1=%.4f "
+              "(threshold=%.2f, %llu predicted pairs, %llu true)\n",
+              metrics.precision, metrics.recall, metrics.f1, args.threshold,
+              static_cast<unsigned long long>(clusters.predicted_pairs()),
+              static_cast<unsigned long long>(clusters.true_pairs()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1062,6 +1287,7 @@ int main(int argc, char** argv) {
                                                 : RunServeBench(args);
   }
   if (command == "snapshot-shard") return RunSnapshotShard(args);
+  if (command == "stream-dedup") return RunStreamDedup(args);
   if (command == "metrics-dump") return RunMetricsDump(args);
   if (command == "trace-dump") return RunTraceDump(args);
   return Usage(argv[0]);
