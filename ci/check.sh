@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Local CI gate: build Release and Debug+sanitizers, run the full test suite
-# in both, run the fault-injection suites (fault + stream failpoints) and an
-# $EMBER_FAILPOINTS env smoke under ASan, run the concurrency suites under
-# ThreadSanitizer (serve/fault/router/stream repeated until-fail:3), prove
-# the -DEMBER_FAILPOINTS_ENABLED=OFF build,
-# then smoke-run the micro-benchmarks and the serving/resilience/
-# observability/streaming benches on the Release build (stream-dedup holds
-# an incremental-F1 floor), validate the metrics-dump / trace-dump exporter
-# output with a real parser, and hold src/obs+src/serve+src/stream to a
-# >= 85% line-coverage floor (Debug+gcov leg). New warnings in src/la
+# in both, run the fault-injection suites (fault + stream + recover
+# failpoints) and an $EMBER_FAILPOINTS env smoke under ASan, run the
+# concurrency suites under ThreadSanitizer (serve/fault/router/stream/
+# recover repeated until-fail:3), prove the -DEMBER_FAILPOINTS_ENABLED=OFF
+# build, then smoke-run the micro-benchmarks and the serving/resilience/
+# observability/streaming/recovery benches on the Release build
+# (stream-dedup holds an incremental-F1 floor; the recovery drill must
+# converge, and must fail closed with recover/replay armed), validate the
+# metrics-dump / trace-dump exporter output with a real parser, and hold
+# src/obs+src/serve+src/stream+src/recover+src/la to a >= 85%
+# line-coverage floor (Debug+gcov leg). New warnings in src/la
 # and src/nn fail the build (-Werror on those targets).
 # Usage: ci/check.sh [-j N]
 set -euo pipefail
@@ -42,7 +44,7 @@ run_config build-asan -DCMAKE_BUILD_TYPE=Debug -DEMBER_SANITIZE=ON -DEMBER_FAILP
 # also leak/UB-clean, plus an env-spec smoke proving $EMBER_FAILPOINTS
 # reaches the engine through the CLI.
 echo "==> fault-injection suites under ASan"
-(cd build-asan && ctest --output-on-failure -R '^(fault|stream)_test$')
+(cd build-asan && ctest --output-on-failure -R '^(fault|stream|recover)_test$')
 echo "==> EMBER_FAILPOINTS env smoke"
 # A malformed spec must refuse to start.
 EMBER_FAILPOINTS="not a valid spec" \
@@ -73,10 +75,10 @@ EMBER_FAILPOINTS="snapshot/save=error:io" \
 echo "==> configure build-tsan (EMBER_SANITIZE=tsan)"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DEMBER_SANITIZE=tsan >/dev/null
 echo "==> build build-tsan"
-cmake --build build-tsan -j "${JOBS}" --target parallel_test serve_test fault_test determinism_test obs_test router_test stream_test
-echo "==> ctest build-tsan (parallel/determinism once; serve/fault/router/stream x3)"
+cmake --build build-tsan -j "${JOBS}" --target parallel_test serve_test fault_test determinism_test obs_test router_test stream_test recover_test
+echo "==> ctest build-tsan (parallel/determinism once; serve/fault/router/stream/recover x3)"
 (cd build-tsan && ctest --output-on-failure -R '^(parallel|determinism)_test$')
-(cd build-tsan && ctest --output-on-failure --repeat until-fail:3 -R '^(serve|fault|obs|router|stream)_test$')
+(cd build-tsan && ctest --output-on-failure --repeat until-fail:3 -R '^(serve|fault|obs|router|stream|recover)_test$')
 
 # Coverage leg: Debug + gcov, run the obs/serve/stream/la suites, and hold
 # the line on the subsystems this repo treats as infrastructure — src/obs,
@@ -87,15 +89,15 @@ echo "==> ctest build-tsan (parallel/determinism once; serve/fault/router/stream
 echo "==> configure build-cov (EMBER_COVERAGE=ON)"
 cmake -B build-cov -S . -DCMAKE_BUILD_TYPE=Debug -DEMBER_COVERAGE=ON >/dev/null
 echo "==> build build-cov"
-cmake --build build-cov -j "${JOBS}" --target obs_test serve_test fault_test la_test index_test router_test stream_test
-echo "==> ctest build-cov (obs/serve/fault/la/index/router/stream) + coverage floor"
+cmake --build build-cov -j "${JOBS}" --target obs_test serve_test fault_test la_test index_test router_test stream_test recover_test
+echo "==> ctest build-cov (obs/serve/fault/la/index/router/stream/recover) + coverage floor"
 (cd build-cov && find . -name '*.gcda' -delete && \
-  ctest --output-on-failure -R '^(obs|serve|fault|la|index|router|stream)_test$')
+  ctest --output-on-failure -R '^(obs|serve|fault|la|index|router|stream|recover)_test$')
 python3 - <<'PYEOF'
 import glob, re, subprocess, sys
 floor = 85.0
 failed = False
-for d in ["obs", "serve", "stream", "la"]:
+for d in ["obs", "serve", "stream", "recover", "la"]:
     gcda = glob.glob(f"build-cov/src/{d}/CMakeFiles/ember_{d}.dir/*.gcda")
     out = subprocess.run(["gcov", "-n"] + gcda, capture_output=True,
                          text=True).stdout
@@ -118,9 +120,9 @@ PYEOF
 echo "==> configure build-nofp (EMBER_FAILPOINTS_ENABLED=OFF)"
 cmake -B build-nofp -S . -DCMAKE_BUILD_TYPE=Release -DEMBER_FAILPOINTS_ENABLED=OFF >/dev/null
 echo "==> build build-nofp"
-cmake --build build-nofp -j "${JOBS}" --target serve_test fault_test stream_test exp22_serving ember_cli
-echo "==> ctest build-nofp (serve/fault/stream)"
-(cd build-nofp && ctest --output-on-failure -R '^(serve|fault|stream)_test$')
+cmake --build build-nofp -j "${JOBS}" --target serve_test fault_test stream_test recover_test exp22_serving ember_cli
+echo "==> ctest build-nofp (serve/fault/stream/recover)"
+(cd build-nofp && ctest --output-on-failure -R '^(serve|fault|stream|recover)_test$')
 
 echo "==> exp20 micro-kernel smoke (Release)"
 ./build-release/bench/exp20_micro_kernels --benchmark_min_time=0.01
@@ -144,6 +146,28 @@ echo "==> exp27 streaming smoke (Release)"
 # Asserts internally: counter identity per phase and 100% availability
 # across the compaction hot-swaps.
 ./build-release/bench/exp27_streaming --scale 0.05
+
+echo "==> exp28 recovery smoke (Release)"
+# Asserts internally: 100% availability across the kill/rejoin cycle,
+# convergence of every heal, and anti-entropy detection of fabricated
+# divergence.
+./build-release/bench/exp28_recovery --scale 0.05
+
+echo "==> recovery drill smoke (Release): kill/rejoin through the CLI"
+# A replica killed at t/3 and rejoined at 2t/3 under query + upsert load
+# must catch up and converge, or the CLI exits nonzero.
+./build-release/tools/ember_cli serve-bench D2 --scale 0.05 --qps 100 \
+  --duration 2 --shards 2 --replicas 2 --kill-replica 0:1 \
+  --rejoin-replica > /tmp/ember_drill.out
+grep -q 'converged=yes' /tmp/ember_drill.out
+# With catch-up replay armed to fail, the heal must fail CLOSED: the
+# replica stays quarantined, and the drill exits nonzero instead of
+# declaring convergence it cannot prove.
+EMBER_FAILPOINTS="recover/replay=error:io" \
+  ./build-release/tools/ember_cli serve-bench D2 --scale 0.05 --qps 100 \
+  --duration 2 --shards 2 --replicas 2 --kill-replica 0:1 \
+  --rejoin-replica >/dev/null 2>&1 \
+  && { echo "drill converged with recover/replay failing" >&2; exit 1; }
 
 echo "==> stream-dedup smoke (Release): live incremental ER + F1 floor"
 # Streams D2 one record at a time against the live corpus with background

@@ -64,6 +64,10 @@ inline constexpr const char* kCatalog[] = {
     "stream/tombstone",     // stream::LiveCorpus tombstone publish (delete)
     "compaction/write",     // serve::Engine compaction snapshot write
     "compaction/swap",      // serve::Engine compaction hot-swap commit
+    "recover/log_append",   // recover::MutationLog append (before the ring)
+    "recover/replay",       // router recovery worker log replay tick
+    "recover/resync",       // router recovery worker snapshot resync
+    "recover/digest",       // engine corpus digest computation (anti-entropy)
 };
 
 /// What an armed point does when its policy fires.

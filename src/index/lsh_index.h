@@ -36,6 +36,11 @@ class LshIndex {
 
   size_t size() const { return data_.rows(); }
 
+  /// Build parameters. The hyperplanes derive deterministically from
+  /// options_.seed, so a rebuild with these options over the same data
+  /// reproduces the tables bit-identically (what compaction relies on).
+  const LshOptions& options() const { return options_; }
+
   /// The indexed vectors (e.g. for self-join querying after a move-in
   /// Build).
   const la::Matrix& data() const { return data_; }

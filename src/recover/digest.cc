@@ -1,0 +1,24 @@
+#include "recover/digest.h"
+
+#include "common/binary_io.h"
+
+namespace ember::recover {
+
+uint64_t RowHash(uint64_t id, const float* row, size_t dim) {
+  // Chain the two FNV folds: hashing the row bytes first and then folding
+  // the id into that state binds (id, content) together, so swapping the
+  // embeddings of two ids changes the hash even though a plain XOR of
+  // independent hashes would not.
+  uint64_t h = Fnv1a64(row, dim * sizeof(float));
+  h = (h ^ id) * 1099511628211ull;
+  // Avalanche the mix (SplitMix64 finalizer) so wrapping-add collisions
+  // between structured id patterns stay unlikely.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace ember::recover

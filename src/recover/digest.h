@@ -1,0 +1,35 @@
+#ifndef EMBER_RECOVER_DIGEST_H_
+#define EMBER_RECOVER_DIGEST_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ember::recover {
+
+/// Order-independent corpus digest — the anti-entropy fingerprint replicas
+/// of a shard group are compared by (DESIGN.md §15). `content` is a
+/// commutative (wrapping-add) fold of per-row hashes, so replicas that hold
+/// the same logical rows agree regardless of how the rows are laid out
+/// (base vs delta tier, pre- vs post-compaction, absorb order). That
+/// commutativity is what lets LiveCorpus maintain it incrementally in O(1)
+/// per mutation instead of rescanning the corpus at every probe tick.
+struct CorpusDigest {
+  uint64_t rows = 0;        // live rows (base + delta - tombstoned)
+  uint64_t tombstones = 0;  // pending tombstones (observability only)
+  uint64_t content = 0;     // commutative FNV fold over (id, row bytes)
+};
+
+/// Hash of one live row: FNV over the id bytes chained onto FNV over the
+/// embedding bytes. Feeds `content` by wrapping addition.
+uint64_t RowHash(uint64_t id, const float* row, size_t dim);
+
+/// Two replicas match when they hold the same live rows. Tombstone counts
+/// legitimately differ across siblings (compaction prunes them at different
+/// times), so they are deliberately excluded from the comparison.
+inline bool SameContent(const CorpusDigest& a, const CorpusDigest& b) {
+  return a.rows == b.rows && a.content == b.content;
+}
+
+}  // namespace ember::recover
+
+#endif  // EMBER_RECOVER_DIGEST_H_

@@ -1,0 +1,130 @@
+#include "recover/mutation_log.h"
+
+#include <utility>
+
+#include "common/binary_io.h"
+#include "common/failpoint.h"
+
+namespace ember::recover {
+namespace {
+
+constexpr char kLogMagic[8] = {'E', 'M', 'B', 'L', '0', '0', '0', '1'};
+constexpr uint32_t kLogVersion = 1;
+
+}  // namespace
+
+Result<uint64_t> MutationLog::Append(MutationRecord record) {
+  EMBER_FAILPOINT("recover/log_append");
+  std::lock_guard<std::mutex> lock(mu_);
+  record.seq = ++last_seq_;
+  records_.push_back(std::move(record));
+  if (records_.size() > capacity_) records_.pop_front();
+  return records_.back().seq;
+}
+
+void MutationLog::PopLast() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (records_.empty()) return;
+  records_.pop_back();
+  --last_seq_;
+}
+
+void MutationLog::PatchLastId(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!records_.empty()) records_.back().id = id;
+}
+
+Result<std::vector<MutationRecord>> MutationLog::ReadFrom(
+    uint64_t after_seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t first =
+      records_.empty() ? last_seq_ + 1 : records_.front().seq;
+  if (after_seq + 1 < first) {
+    return Status::NotFound(
+        "mutation log truncated: oldest retained seq " +
+        std::to_string(first) + " is past replay position " +
+        std::to_string(after_seq + 1) + "; snapshot resync required");
+  }
+  std::vector<MutationRecord> out;
+  for (const MutationRecord& record : records_) {
+    if (record.seq > after_seq) out.push_back(record);
+  }
+  return out;
+}
+
+uint64_t MutationLog::first_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.empty() ? last_seq_ + 1 : records_.front().seq;
+}
+
+uint64_t MutationLog::last_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_seq_;
+}
+
+size_t MutationLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+Status MutationLog::SaveTo(const std::string& path) const {
+  BinaryWriter writer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    writer.WriteU32(kLogVersion);
+    writer.WriteU64(last_seq_);
+    writer.WriteU64(records_.size());
+    for (const MutationRecord& record : records_) {
+      writer.WriteU64(record.seq);
+      writer.WriteU32(static_cast<uint32_t>(record.op));
+      writer.WriteU64(record.id);
+      writer.WritePodVector(record.embedding);
+    }
+  }
+  return WriteFileAtomic(path, kLogMagic, writer.buffer());
+}
+
+Status MutationLog::LoadFrom(const std::string& path) {
+  Result<std::string> payload = ReadFileVerified(path, kLogMagic);
+  if (!payload.ok()) return payload.status();
+  BinaryReader reader(payload.value());
+  if (reader.ReadU32() != kLogVersion) reader.Fail();
+  const uint64_t last_seq = reader.ReadU64();
+  const uint64_t count = reader.ReadU64();
+  std::deque<MutationRecord> records;
+  uint64_t prev_seq = 0;
+  for (uint64_t i = 0; i < count && reader.ok(); ++i) {
+    MutationRecord record;
+    record.seq = reader.ReadU64();
+    const uint32_t op = reader.ReadU32();
+    if (op > static_cast<uint32_t>(MutationRecord::Op::kDelete)) {
+      reader.Fail();
+      break;
+    }
+    record.op = static_cast<MutationRecord::Op>(op);
+    record.id = reader.ReadU64();
+    record.embedding = reader.ReadPodVector<float>();
+    // The segment must be one contiguous monotone run ending at last_seq;
+    // anything else means a torn or hand-edited file.
+    if (prev_seq != 0 && record.seq != prev_seq + 1) {
+      reader.Fail();
+      break;
+    }
+    prev_seq = record.seq;
+    records.push_back(std::move(record));
+  }
+  if (reader.ok() && !records.empty() && records.back().seq != last_seq) {
+    reader.Fail();
+  }
+  if (reader.ok() && records.empty() && count != 0) reader.Fail();
+  if (!reader.ok() || reader.remaining() != 0) {
+    return Status::IoError("mutation log segment corrupt: " + path);
+  }
+  while (records.size() > capacity_) records.pop_front();
+  std::lock_guard<std::mutex> lock(mu_);
+  records_ = std::move(records);
+  last_seq_ = last_seq;
+  return Status::Ok();
+}
+
+}  // namespace ember::recover

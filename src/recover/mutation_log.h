@@ -1,0 +1,83 @@
+#ifndef EMBER_RECOVER_MUTATION_LOG_H_
+#define EMBER_RECOVER_MUTATION_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ember::recover {
+
+/// One accepted mutation, as replayed to a catching-up replica. Ids are
+/// group-local (the shard's own row numbering); the router converts to and
+/// from global ids at its boundary.
+struct MutationRecord {
+  enum class Op : uint32_t { kUpsert = 0, kDelete = 1 };
+  uint64_t seq = 0;  // monotone per shard group, assigned by Append
+  Op op = Op::kUpsert;
+  uint64_t id = 0;
+  std::vector<float> embedding;  // upsert payload; empty for deletes
+};
+
+/// Per-shard-group sequenced mutation log (DESIGN.md §15): a bounded
+/// in-memory ring of every accepted Upsert/Delete, the source a quarantined
+/// replica replays from to rejoin bit-identical. When the ring has dropped
+/// entries past a replica's position, ReadFrom fails loudly and the caller
+/// falls back to snapshot resync. An optional checksummed on-disk segment
+/// (SaveTo/LoadFrom, EMBL0001 container) persists the ring across process
+/// restarts.
+///
+/// Thread safety: every method locks internally. Appends are additionally
+/// serialized by the router's group mutation lock, which is what makes the
+/// (append, apply, patch-id) triple atomic with respect to other writers.
+class MutationLog {
+ public:
+  explicit MutationLog(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  /// Assigns the next group sequence number to `record`, appends it, and
+  /// returns the assigned seq. Fires the fail-closed `recover/log_append`
+  /// failpoint BEFORE touching the ring: an injected fault means the
+  /// mutation was never logged, so the caller must refuse it.
+  Result<uint64_t> Append(MutationRecord record);
+
+  /// Rolls back the most recent Append — used when zero replicas accepted
+  /// the mutation, so the log must not claim it happened. Only valid under
+  /// the same group mutation lock as the Append it undoes.
+  void PopLast();
+
+  /// Patches the id of the most recent record to the id the replica fleet
+  /// actually assigned (the winner). Same locking contract as PopLast.
+  void PatchLastId(uint64_t id);
+
+  /// Every retained record with seq > after_seq, in sequence order. Fails
+  /// with NotFound when the ring has dropped records past that position —
+  /// the signal to fall back to snapshot resync.
+  Result<std::vector<MutationRecord>> ReadFrom(uint64_t after_seq) const;
+
+  /// Sequence of the oldest retained record; last_seq() + 1 when empty.
+  uint64_t first_seq() const;
+  /// Highest sequence ever assigned (0 before the first Append).
+  uint64_t last_seq() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Persists the ring as a checksummed EMBL0001 container (atomic publish).
+  Status SaveTo(const std::string& path) const;
+  /// Replaces the ring with a segment written by SaveTo. Fails closed on
+  /// any corruption or a non-contiguous sequence run; keeps this log's
+  /// capacity, trimming the oldest loaded records if the segment is larger.
+  Status LoadFrom(const std::string& path);
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<MutationRecord> records_;
+  uint64_t last_seq_ = 0;
+};
+
+}  // namespace ember::recover
+
+#endif  // EMBER_RECOVER_MUTATION_LOG_H_

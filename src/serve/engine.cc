@@ -682,7 +682,7 @@ Status Engine::ReloadSnapshot(const std::string& path,
   return Status::Ok();
 }
 
-Status Engine::Compact(const std::string& path) {
+Status Engine::Compact(const std::string& path, ResyncState* resync) {
   if (live_ == nullptr) {
     return Status::InvalidArgument("compaction needs a live engine");
   }
@@ -698,19 +698,21 @@ Status Engine::Compact(const std::string& path) {
     SnapshotManifest manifest = plan.manifest;
     const bool quantized = manifest.storage == StorageKind::kInt8;
     manifest.storage = StorageKind::kFloat32;
-    if (manifest.kind == IndexKind::kLsh) {
-      // An LSH base cannot be rebuilt faithfully: its hash tables depend on
-      // build options the snapshot does not carry. Refuse rather than
-      // silently change the blocking behavior.
-      return Status::InvalidArgument(
-          "compaction cannot rebuild an LSH base; serve LSH corpora frozen");
-    }
+    // The rebuilt base records the mutation position it covers, so a
+    // replica adopting it for resync knows where log replay must resume.
+    manifest.mutation_seq = plan.upto_seq;
     index::HnswOptions hnsw_options;
+    index::LshOptions lsh_options;
     if (manifest.kind == IndexKind::kHnsw) {
       hnsw_options = live_->base()->hnsw_options();
+    } else if (manifest.kind == IndexKind::kLsh) {
+      // The hyperplanes derive deterministically from the carried seed, so
+      // rebuilding with the base's own options reproduces the tables
+      // faithfully over the merged rows.
+      lsh_options = live_->base()->lsh_options();
     }
-    Snapshot merged =
-        Snapshot::Build(manifest, std::move(plan.corpus), hnsw_options);
+    Snapshot merged = Snapshot::Build(manifest, std::move(plan.corpus),
+                                      hnsw_options, lsh_options);
     if (quantized) {
       Status requantized = merged.Quantize();
       if (!requantized.ok()) return requantized;
@@ -727,7 +729,13 @@ Status Engine::Compact(const std::string& path) {
     Result<std::shared_ptr<const Snapshot>> fresh =
         LoadValidated(path, RetryPolicy{});
     if (!fresh.ok()) return fresh.status();
-    return live_->InstallCompacted(std::move(fresh).value(), plan);
+    Status installed = live_->InstallCompacted(std::move(fresh).value(), plan);
+    if (installed.ok() && resync != nullptr) {
+      resync->ids = std::move(plan.survivor_ids);
+      resync->next_id = plan.next_id;
+      resync->upto_seq = plan.upto_seq;
+    }
+    return installed;
   }();
   if (!wrote.ok()) {
     compaction_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -752,6 +760,47 @@ Status Engine::AbsorbDelta() {
   }
   absorbs_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
+}
+
+Status Engine::ResyncFrom(const std::string& path, std::vector<uint64_t> ids,
+                          uint64_t next_id) {
+  if (live_ == nullptr) {
+    return Status::InvalidArgument("resync needs a live engine");
+  }
+  std::lock_guard<std::mutex> compaction_lock(compaction_mu_);
+  // Zero trust in the donor's file: the same gate as a hot reload.
+  Result<std::shared_ptr<const Snapshot>> fresh =
+      LoadValidated(path, RetryPolicy{});
+  if (!fresh.ok()) return fresh.status();
+  Status adopted =
+      live_->AdoptBase(std::move(fresh).value(), std::move(ids), next_id);
+  if (!adopted.ok()) {
+    EMBER_WARN("resync from '%s' rejected (old tiers keep serving): %s",
+               path.c_str(), adopted.ToString().c_str());
+    return adopted;
+  }
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Result<recover::CorpusDigest> Engine::Digest() const {
+  EMBER_FAILPOINT("recover/digest");
+  if (live_ != nullptr) return live_->Digest();
+  // Frozen engine: the corpus only changes via ReloadSnapshot, so compute
+  // once per served snapshot and serve the cache until the pointer moves.
+  std::shared_ptr<const Snapshot> current = snapshot();
+  std::lock_guard<std::mutex> lock(digest_mu_);
+  if (digest_snapshot_ == current) return digest_cache_;
+  recover::CorpusDigest digest;
+  const la::Matrix& corpus = current->data();
+  digest.rows = corpus.rows();
+  for (size_t local = 0; local < corpus.rows(); ++local) {
+    digest.content +=
+        recover::RowHash(local, corpus.Row(local), corpus.cols());
+  }
+  digest_snapshot_ = std::move(current);
+  digest_cache_ = digest;
+  return digest;
 }
 
 stream::LiveStats Engine::LiveStats() const {

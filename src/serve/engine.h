@@ -18,6 +18,7 @@
 #include "common/timer.h"
 #include "embed/embedding_model.h"
 #include "index/neighbor.h"
+#include "recover/digest.h"
 #include "serve/circuit_breaker.h"
 #include "serve/snapshot.h"
 #include "stream/live_corpus.h"
@@ -80,6 +81,18 @@ struct QueryReply {
 /// under.
 struct MutateReply {
   uint64_t id = 0;
+};
+
+/// Donor-side coordinates of a compaction, handed to a resyncing replica
+/// alongside the snapshot file (DESIGN.md §15): the ascending id map of the
+/// compacted rows, the donor's id counter (so replayed upserts reproduce
+/// its id assignments), and the donor-local mutation sequence the snapshot
+/// covers. In-process hand-off today; a networked resync would ship this as
+/// a sidecar next to the snapshot.
+struct ResyncState {
+  std::vector<uint64_t> ids;
+  uint64_t next_id = 0;
+  uint64_t upto_seq = 0;
 };
 
 /// Monotone counters + latency histograms, readable at any time. Counter
@@ -196,8 +209,28 @@ class Engine {
   /// the same validate+warm pipeline as ReloadSnapshot. Serving continues
   /// throughout; on ANY failure (write, validation, install race) the old
   /// base + delta keep serving, the partial file is removed, and the error
-  /// is returned. Serialized with other compactions and absorbs.
-  Status Compact(const std::string& path);
+  /// is returned. Serialized with other compactions and absorbs. When
+  /// `resync` is non-null it receives the plan coordinates a sibling
+  /// replica needs to adopt the written snapshot via ResyncFrom (the
+  /// recovery donor path, DESIGN.md §15).
+  Status Compact(const std::string& path, ResyncState* resync = nullptr);
+
+  /// Live mode only: wholesale state adoption from a sibling's compacted
+  /// snapshot — the recovery resync path (DESIGN.md §15). Loads `path`
+  /// through the exact same trust pipeline as a hot reload (checksums,
+  /// model compat, Validate, warm probe), then replaces base + delta +
+  /// tombstones with the donor's state via LiveCorpus::AdoptBase. On ANY
+  /// failure the current tiers keep serving and the error is returned.
+  Status ResyncFrom(const std::string& path, std::vector<uint64_t> ids,
+                    uint64_t next_id);
+
+  /// Order-independent corpus digest for anti-entropy comparison across
+  /// replicas (DESIGN.md §15). Live engines answer in O(1) from the
+  /// incrementally maintained fold; frozen engines compute once per served
+  /// snapshot and cache it. The fail-closed `recover/digest` failpoint
+  /// fires first, so an injected fault yields an error — never a wrong
+  /// digest.
+  Result<recover::CorpusDigest> Digest() const;
 
   /// Live mode, HNSW bases only: folds the delta tier into a copy of the
   /// base graph via online insert (RCU copy-on-write publish) without
@@ -309,7 +342,11 @@ class Engine {
 
   CircuitBreaker breaker_;
   std::mutex reload_mu_;  // serializes ReloadSnapshot callers
-  std::mutex compaction_mu_;  // serializes Compact/AbsorbDelta callers
+  std::mutex compaction_mu_;  // serializes Compact/Absorb/Resync callers
+  /// Frozen-engine digest cache (live engines answer from the corpus).
+  mutable std::mutex digest_mu_;
+  mutable std::shared_ptr<const Snapshot> digest_snapshot_;
+  mutable recover::CorpusDigest digest_cache_;
   std::atomic<bool> reloading_{false};
   std::atomic<bool> degraded_{false};
 

@@ -1,7 +1,11 @@
 #include "serve/router.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <deque>
+#include <filesystem>
 #include <queue>
 #include <utility>
 
@@ -12,6 +16,16 @@
 #include "obs/trace.h"
 
 namespace ember::serve {
+
+const char* ReplicaStateName(ReplicaState state) {
+  switch (state) {
+    case ReplicaState::kActive: return "active";
+    case ReplicaState::kQuarantined: return "quarantined";
+    case ReplicaState::kCatchingUp: return "catching_up";
+    case ReplicaState::kKilled: return "killed";
+  }
+  return "unknown";
+}
 
 namespace {
 
@@ -79,6 +93,32 @@ std::vector<obs::Sample> RouterMetricsToSamples(const RouterMetrics& metrics,
   counter("ember_router_mutation_divergence_total",
           "Mutations whose replicas disagreed or partially failed",
           metrics.mutation_divergence);
+  counter("ember_router_quarantines_total",
+          "Replicas pulled from rotation pending recovery",
+          metrics.quarantines);
+  counter("ember_router_catchups_total",
+          "Replicas healed by mutation-log replay", metrics.catchups);
+  counter("ember_router_resyncs_total",
+          "Replicas healed by snapshot resync", metrics.resyncs);
+  counter("ember_router_replayed_mutations_total",
+          "Log records re-applied during catch-up",
+          metrics.replayed_mutations);
+  counter("ember_router_digest_mismatches_total",
+          "Anti-entropy digest probes that caught a divergent replica",
+          metrics.digest_mismatches);
+  for (size_t s = 0; s < metrics.last_applied_seq.size(); ++s) {
+    for (size_t r = 0; r < metrics.last_applied_seq[s].size(); ++r) {
+      obs::Sample sample;
+      sample.name = "ember_router_replica_last_applied_seq";
+      sample.help = "Last group mutation seq the replica has applied";
+      sample.kind = obs::MetricKind::kGauge;
+      sample.labels = {{"router", instance},
+                       {"shard", std::to_string(s)},
+                       {"replica", std::to_string(r)}};
+      sample.value = static_cast<double>(metrics.last_applied_seq[s][r]);
+      samples.push_back(std::move(sample));
+    }
+  }
   histogram("ember_router_queue_micros", "Submit to dequeue wait per request",
             metrics.queue_micros, {});
   histogram("ember_router_embed_micros", "Embed-once time per batch",
@@ -322,6 +362,7 @@ Router::Router(std::vector<ShardGroup> groups,
   options_.max_batch = std::max<size_t>(1, options_.max_batch);
   options_.workers = std::max<size_t>(1, options_.workers);
   options_.max_wait_micros = std::max<int64_t>(0, options_.max_wait_micros);
+  options_.log_capacity = std::max<size_t>(1, options_.log_capacity);
   const SnapshotManifest& first =
       groups_.front().engines.front()->snapshot()->manifest();
   k_ = options_.k > 0 ? options_.k : std::max<size_t>(1, first.default_k);
@@ -329,6 +370,13 @@ Router::Router(std::vector<ShardGroup> groups,
   for (size_t s = 0; s < groups_.size(); ++s) {
     for (size_t r = 0; r < groups_[s].engines.size(); ++r) {
       shard_micros_[s].push_back(std::make_unique<LatencyHistogram>());
+    }
+    groups_[s].log =
+        std::make_unique<recover::MutationLog>(options_.log_capacity);
+    groups_[s].expected_rows =
+        groups_[s].engines.front()->snapshot()->manifest().rows;
+    for (size_t r = 0; r < groups_[s].engines.size(); ++r) {
+      groups_[s].meta.push_back(std::make_unique<ReplicaMeta>());
     }
   }
   static std::atomic<uint64_t> next_instance{0};
@@ -340,6 +388,9 @@ Router::Router(std::vector<ShardGroup> groups,
   for (size_t w = 0; w < options_.workers; ++w) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  if (options_.recover_tick_micros > 0) {
+    recovery_worker_ = std::thread([this] { RecoveryLoop(); });
+  }
 }
 
 Router::~Router() { Stop(); }
@@ -348,6 +399,14 @@ void Router::Stop() {
   if (collector_registered_.exchange(false, std::memory_order_acq_rel)) {
     obs::Registry::Global().RemoveCollector(collector_id_);
   }
+  // The recovery worker goes first: it must not be mid-replay against an
+  // engine the shutdown sequence is about to stop.
+  {
+    std::lock_guard<std::mutex> lock(recovery_mu_);
+    recovery_stop_ = true;
+  }
+  recovery_cv_.notify_all();
+  if (recovery_worker_.joinable()) recovery_worker_.join();
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
@@ -388,53 +447,100 @@ Result<std::future<Result<RouterReply>>> Router::Submit(std::string record,
   return future;
 }
 
+void Router::Quarantine(ShardGroup& group, size_t replica, bool divergent,
+                        const char* reason) {
+  ReplicaMeta& meta = *group.meta[replica];
+  if (divergent) meta.divergent.store(true, std::memory_order_release);
+  uint32_t expected = static_cast<uint32_t>(ReplicaState::kActive);
+  if (meta.state.compare_exchange_strong(
+          expected, static_cast<uint32_t>(ReplicaState::kQuarantined),
+          std::memory_order_acq_rel)) {
+    quarantines_.fetch_add(1, std::memory_order_relaxed);
+    EMBER_WARN("replica quarantined (%s)", reason);
+  }
+}
+
 Result<uint64_t> Router::BroadcastMutation(
-    ShardGroup& group,
+    ShardGroup& group, recover::MutationRecord record,
     const std::function<Result<std::future<Result<MutateReply>>>(Engine&)>&
         apply) {
   // Serialize mutations within the group: replicas assign local ids from
   // their own monotone counters, so they must observe upserts in one order
   // to stay interchangeable for reads.
   std::lock_guard<std::mutex> lock(group.mutate_mu);
+  const bool is_upsert = record.op == recover::MutationRecord::Op::kUpsert;
+  // Log FIRST, fail-closed: a mutation the log cannot record must be
+  // refused, or a later catch-up would silently miss it (DESIGN.md §15).
+  Result<uint64_t> appended = group.log->Append(std::move(record));
+  if (!appended.ok()) {
+    mutation_failures_.fetch_add(1, std::memory_order_relaxed);
+    return appended.status();
+  }
+  const uint64_t seq = appended.value();
   bool any_ok = false;
-  bool any_failed = false;
   bool divergent = false;
   uint64_t winner = 0;
-  Status last_error = Status::Unavailable("shard group has no replicas");
-  for (auto& engine : group.engines) {
-    Result<std::future<Result<MutateReply>>> submitted = apply(*engine);
-    if (!submitted.ok()) {
-      last_error = submitted.status();
-      any_failed = true;
+  std::vector<size_t> missed;  // accepted nowhere-to-quarantine until any_ok
+  Status last_error = Status::Unavailable("shard group has no active replicas");
+  for (size_t r = 0; r < group.engines.size(); ++r) {
+    ReplicaMeta& meta = *group.meta[r];
+    if (meta.state.load(std::memory_order_acquire) !=
+        static_cast<uint32_t>(ReplicaState::kActive)) {
+      // Quarantined/killed replicas sit out the broadcast; the log entry is
+      // what they will replay during catch-up.
       continue;
     }
-    Result<MutateReply> reply = submitted.value().get();
+    Result<std::future<Result<MutateReply>>> submitted = apply(*group.engines[r]);
+    Result<MutateReply> reply =
+        submitted.ok() ? submitted.value().get()
+                       : Result<MutateReply>(submitted.status());
     if (!reply.ok()) {
       last_error = reply.status();
-      any_failed = true;
+      missed.push_back(r);
       continue;
     }
     if (!any_ok) {
       any_ok = true;
       winner = reply.value().id;
+      meta.last_applied.store(seq, std::memory_order_release);
     } else if (reply.value().id != winner) {
+      // The replica admitted the row under a different local id: its state
+      // machine has drifted and every answer it serves is suspect. Out of
+      // rotation immediately; only a snapshot resync may readmit it.
       divergent = true;
+      Quarantine(group, r, /*divergent=*/true, "mutation id divergence");
+    } else {
+      meta.last_applied.store(seq, std::memory_order_release);
     }
   }
-  // Any mix of success and failure means some replica missed the mutation,
-  // regardless of iteration order.
-  divergent = divergent || (any_ok && any_failed);
   if (!any_ok) {
     // Fail-closed: the owning group is fully down (or unanimously refused)
-    // and the mutation landed NOWHERE — the caller can safely retry.
+    // and the mutation landed NOWHERE — roll the log back so catch-up never
+    // replays a mutation that did not happen, and leave the replicas alone:
+    // a unanimous refusal means they still agree with each other.
+    group.log->PopLast();
     mutation_failures_.fetch_add(1, std::memory_order_relaxed);
     return last_error;
   }
+  // A replica that missed a mutation a sibling accepted is behind the log:
+  // quarantine it (satellite of DESIGN.md §15 — no more half-measure where
+  // a diverged replica kept serving queries).
+  for (size_t r : missed) {
+    divergent = true;
+    Quarantine(group, r, /*divergent=*/false, "replica missed a mutation");
+  }
+  // The log keeps the id the fleet actually assigned, so replay reproduces
+  // (and can verify) the winner's assignment.
+  group.log->PatchLastId(winner);
+  if (is_upsert) {
+    ++group.expected_rows;
+  } else if (group.expected_rows > 0) {
+    --group.expected_rows;
+  }
   if (divergent) {
-    // Some replica missed or disagreed on the mutation: the group's
-    // replicas are no longer bit-interchangeable until the next rebuild.
-    // Surfaced as a counter, not a failure — the mutation IS durable on the
-    // winners.
+    // Some replica missed or disagreed on the mutation. Surfaced as a
+    // counter, not a failure — the mutation IS durable on the winners and
+    // the recovery worker owns healing the stragglers.
     mutation_divergence_.fetch_add(1, std::memory_order_relaxed);
     EMBER_WARN("shard replicas diverged on a mutation (winner id %llu)",
                static_cast<unsigned long long>(winner));
@@ -470,10 +576,14 @@ Result<uint64_t> Router::Upsert(const std::string& record) {
   // local assignment: global = shard + local * N, the inverse of the
   // query-path remap (DESIGN.md §13).
   const uint32_t shard = static_cast<uint32_t>(ticket % groups_.size());
+  recover::MutationRecord logged;
+  logged.op = recover::MutationRecord::Op::kUpsert;
+  logged.embedding = embedding;
   Result<uint64_t> local =
-      BroadcastMutation(groups_[shard], [&](Engine& engine) {
-        return engine.UpsertEmbedded(embedding);
-      });
+      BroadcastMutation(groups_[shard], std::move(logged),
+                        [&](Engine& engine) {
+                          return engine.UpsertEmbedded(embedding);
+                        });
   if (!local.ok()) return local.status();
   upserts_.fetch_add(1, std::memory_order_relaxed);
   return static_cast<uint64_t>(shard) +
@@ -483,13 +593,373 @@ Result<uint64_t> Router::Upsert(const std::string& record) {
 Status Router::Delete(uint64_t global_id) {
   const uint32_t shard = static_cast<uint32_t>(global_id % groups_.size());
   const uint64_t local = global_id / groups_.size();
+  recover::MutationRecord record;
+  record.op = recover::MutationRecord::Op::kDelete;
+  record.id = local;
   Result<uint64_t> done =
-      BroadcastMutation(groups_[shard], [&](Engine& engine) {
-        return engine.Delete(local);
-      });
+      BroadcastMutation(groups_[shard], std::move(record),
+                        [&](Engine& engine) {
+                          return engine.Delete(local);
+                        });
   if (!done.ok()) return done.status();
   deletes_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
+}
+
+Status Router::KillReplica(uint32_t shard, size_t replica) {
+  if (shard >= groups_.size() || replica >= groups_[shard].engines.size()) {
+    return Status::InvalidArgument("no such replica");
+  }
+  // Under the group lock so an in-flight broadcast finishes first: the
+  // replica leaves rotation at a mutation boundary, never mid-record.
+  ShardGroup& group = groups_[shard];
+  std::lock_guard<std::mutex> lock(group.mutate_mu);
+  ReplicaMeta& meta = *group.meta[replica];
+  meta.state.store(static_cast<uint32_t>(ReplicaState::kKilled),
+                   std::memory_order_release);
+  return Status::Ok();
+}
+
+Status Router::RejoinReplica(uint32_t shard, size_t replica) {
+  if (shard >= groups_.size() || replica >= groups_[shard].engines.size()) {
+    return Status::InvalidArgument("no such replica");
+  }
+  ShardGroup& group = groups_[shard];
+  ReplicaMeta& meta = *group.meta[replica];
+  uint32_t expected = static_cast<uint32_t>(ReplicaState::kKilled);
+  if (!meta.state.compare_exchange_strong(
+          expected, static_cast<uint32_t>(ReplicaState::kQuarantined),
+          std::memory_order_acq_rel)) {
+    return Status::InvalidArgument("replica is not killed");
+  }
+  // It rejoins through quarantine: the recovery worker replays what it
+  // missed and only then returns it to rotation.
+  quarantines_.fetch_add(1, std::memory_order_relaxed);
+  recovery_cv_.notify_all();
+  return Status::Ok();
+}
+
+ReplicaState Router::replica_state(uint32_t shard, size_t replica) const {
+  return static_cast<ReplicaState>(
+      groups_[shard].meta[replica]->state.load(std::memory_order_acquire));
+}
+
+uint64_t Router::last_applied_seq(uint32_t shard, size_t replica) const {
+  return groups_[shard].meta[replica]->last_applied.load(
+      std::memory_order_acquire);
+}
+
+uint64_t Router::log_last_seq(uint32_t shard) const {
+  return groups_[shard].log->last_seq();
+}
+
+bool Router::Converged() const {
+  for (const ShardGroup& group : groups_) {
+    for (const auto& meta : group.meta) {
+      if (meta->state.load(std::memory_order_acquire) !=
+          static_cast<uint32_t>(ReplicaState::kActive)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Router::RecoveryLoop() {
+  std::unique_lock<std::mutex> lock(recovery_mu_);
+  for (;;) {
+    recovery_cv_.wait_for(
+        lock, std::chrono::microseconds(options_.recover_tick_micros),
+        [this] { return recovery_stop_; });
+    if (recovery_stop_) return;
+    lock.unlock();
+    RecoveryTick();
+    lock.lock();
+  }
+}
+
+void Router::RecoveryTick() {
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    ShardGroup& group = groups_[g];
+    // An open breaker means the replica has been refusing work — it may
+    // have missed broadcasts, so it is pulled from rotation proactively and
+    // readmitted through the same catch-up gate as everyone else.
+    for (size_t r = 0; r < group.engines.size(); ++r) {
+      if (group.engines[r]->health() == Health::kTripped) {
+        Quarantine(group, r, /*divergent=*/false, "circuit breaker tripped");
+      }
+    }
+    ProbeGroupDigests(g);
+    for (size_t r = 0; r < group.engines.size(); ++r) {
+      if (group.meta[r]->state.load(std::memory_order_acquire) ==
+          static_cast<uint32_t>(ReplicaState::kQuarantined)) {
+        TryHeal(g, r);
+      }
+    }
+  }
+}
+
+void Router::ProbeGroupDigests(size_t group_index) {
+  ShardGroup& group = groups_[group_index];
+  // Under the group lock: no broadcast is between replicas, so every active
+  // replica has applied exactly the same mutation prefix and matching
+  // digests are the expected steady state.
+  std::lock_guard<std::mutex> lock(group.mutate_mu);
+  struct Probe {
+    size_t replica;
+    recover::CorpusDigest digest;
+  };
+  std::vector<Probe> probes;
+  for (size_t r = 0; r < group.engines.size(); ++r) {
+    if (group.meta[r]->state.load(std::memory_order_acquire) !=
+        static_cast<uint32_t>(ReplicaState::kActive)) {
+      continue;
+    }
+    Result<recover::CorpusDigest> digest = group.engines[r]->Digest();
+    if (!digest.ok()) {
+      // Fail-closed (recover/digest failpoint lands here): with no digest
+      // there is no verdict — the replica is neither trusted nor condemned
+      // this tick.
+      return;
+    }
+    probes.push_back({r, digest.value()});
+  }
+  if (probes.size() < 2) return;
+  // Majority vote over (rows, content); ties prefer the digest whose row
+  // count matches the router's own mutation accounting, then the lowest
+  // replica index (deterministic).
+  size_t best = 0;
+  size_t best_votes = 0;
+  bool best_expected = false;
+  for (size_t i = 0; i < probes.size(); ++i) {
+    size_t votes = 0;
+    for (const Probe& other : probes) {
+      if (recover::SameContent(probes[i].digest, other.digest)) ++votes;
+    }
+    const bool expected = probes[i].digest.rows == group.expected_rows;
+    if (votes > best_votes ||
+        (votes == best_votes && expected && !best_expected)) {
+      best = i;
+      best_votes = votes;
+      best_expected = expected;
+    }
+  }
+  for (const Probe& probe : probes) {
+    if (recover::SameContent(probe.digest, probes[best].digest)) continue;
+    digest_mismatches_.fetch_add(1, std::memory_order_relaxed);
+    // A digest liar's corpus is wrong in an unknown way: replaying the log
+    // suffix cannot fix it, so it is marked divergent to force a resync.
+    Quarantine(group, probe.replica, /*divergent=*/true,
+               "anti-entropy digest mismatch");
+  }
+}
+
+bool Router::TryHeal(size_t group_index, size_t replica) {
+  ShardGroup& group = groups_[group_index];
+  Engine& target = *group.engines[replica];
+  ReplicaMeta& meta = *group.meta[replica];
+  uint32_t expected = static_cast<uint32_t>(ReplicaState::kQuarantined);
+  if (!meta.state.compare_exchange_strong(
+          expected, static_cast<uint32_t>(ReplicaState::kCatchingUp),
+          std::memory_order_acq_rel)) {
+    return false;
+  }
+  bool healed = false;
+  if (!target.live()) {
+    // Frozen replicas have no mutation stream to replay: readmission just
+    // requires a closed breaker and a digest that matches an active
+    // sibling's.
+    if (target.health() != Health::kTripped) {
+      Result<recover::CorpusDigest> mine = target.Digest();
+      if (mine.ok()) {
+        std::lock_guard<std::mutex> lock(group.mutate_mu);
+        for (size_t r = 0; r < group.engines.size(); ++r) {
+          if (r == replica ||
+              group.meta[r]->state.load(std::memory_order_acquire) !=
+                  static_cast<uint32_t>(ReplicaState::kActive)) {
+            continue;
+          }
+          Result<recover::CorpusDigest> theirs = group.engines[r]->Digest();
+          if (theirs.ok() &&
+              recover::SameContent(mine.value(), theirs.value())) {
+            meta.divergent.store(false, std::memory_order_release);
+            healed = true;
+            break;
+          }
+        }
+      }
+    }
+    if (healed) catchups_.fetch_add(1, std::memory_order_relaxed);
+  } else if (meta.divergent.load(std::memory_order_acquire) ||
+             group.log->first_seq() >
+                 meta.last_applied.load(std::memory_order_acquire) + 1) {
+    // Untrusted state or the ring already dropped records it needs: only a
+    // snapshot resync can readmit it.
+    healed = ResyncReplica(group, group_index, replica);
+  } else {
+    healed = ReplayReplica(group, replica);
+    if (!healed && (meta.divergent.load(std::memory_order_acquire) ||
+                    group.log->first_seq() >
+                        meta.last_applied.load(std::memory_order_acquire) +
+                            1)) {
+      // Replay disqualified itself (id mismatch, or a fast writer outran
+      // the ring): fall straight through to resync rather than waiting a
+      // tick.
+      healed = ResyncReplica(group, group_index, replica);
+    }
+  }
+  meta.state.store(static_cast<uint32_t>(healed ? ReplicaState::kActive
+                                                : ReplicaState::kQuarantined),
+                   std::memory_order_release);
+  return healed;
+}
+
+Status Router::ApplyRecords(
+    Engine& engine, ReplicaMeta& meta,
+    const std::vector<recover::MutationRecord>& records) {
+  // Submissions are pipelined: the engine's mutation queue is FIFO, so a
+  // window of in-flight futures preserves replay order while amortizing
+  // the batcher's max-wait across the window instead of paying it per
+  // record. After a failure the already-submitted suffix (bounded by the
+  // window) may still land on the replica; every failure path below either
+  // marks the replica divergent or leaves it quarantined, and the next
+  // replay attempt over the over-applied suffix trips the divergent-id
+  // check, so snapshot resync always covers the damage.
+  constexpr size_t kWindow = 64;
+  std::deque<std::pair<const recover::MutationRecord*,
+                       std::future<Result<MutateReply>>>>
+      inflight;
+  Status result = Status::Ok();
+  const auto drain_one = [&]() {
+    const recover::MutationRecord* record = inflight.front().first;
+    Result<MutateReply> reply = inflight.front().second.get();
+    inflight.pop_front();
+    if (!result.ok()) return;  // already failed: just drain the window
+    if (record->op == recover::MutationRecord::Op::kUpsert) {
+      if (!reply.ok()) {
+        result = reply.status();
+        return;
+      }
+      if (reply.value().id != record->id) {
+        // The replica's id counter disagrees with the fleet's history:
+        // replay cannot converge it. Resync takes over.
+        meta.divergent.store(true, std::memory_order_release);
+        result = Status::Internal("replayed upsert assigned a divergent id");
+        return;
+      }
+    } else if (!reply.ok()) {
+      if (reply.status().code() == Status::Code::kNotFound) {
+        // Deleting a row the replica never had means its state already
+        // drifted from the log's history.
+        meta.divergent.store(true, std::memory_order_release);
+      }
+      result = reply.status();
+      return;
+    }
+    meta.last_applied.store(record->seq, std::memory_order_release);
+    replayed_mutations_.fetch_add(1, std::memory_order_relaxed);
+  };
+  for (const recover::MutationRecord& record : records) {
+    if (!result.ok()) break;
+    auto submitted = record.op == recover::MutationRecord::Op::kUpsert
+                         ? engine.UpsertEmbedded(record.embedding)
+                         : engine.Delete(record.id);
+    if (!submitted.ok()) {
+      result = submitted.status();
+      break;
+    }
+    inflight.emplace_back(&record, std::move(submitted).value());
+    if (inflight.size() >= kWindow) drain_one();
+  }
+  while (!inflight.empty()) drain_one();
+  return result;
+}
+
+bool Router::ReplayReplica(ShardGroup& group, size_t replica) {
+  // Fail-closed: an armed recover/replay failpoint aborts the attempt
+  // before any record is re-applied — the replica simply stays quarantined.
+  Status injected = fail::Check("recover/replay");
+  if (!injected.ok()) return false;
+  Engine& target = *group.engines[replica];
+  ReplicaMeta& meta = *group.meta[replica];
+  // Bulk rounds off-lock: writers keep writing while the replica chews
+  // through the backlog. Bounded so a fast writer cannot stall the
+  // hand-off forever.
+  for (int round = 0; round < 4; ++round) {
+    Result<std::vector<recover::MutationRecord>> records =
+        group.log->ReadFrom(meta.last_applied.load(std::memory_order_acquire));
+    if (!records.ok()) return false;  // truncated: caller falls to resync
+    if (records.value().empty()) break;
+    if (!ApplyRecords(target, meta, records.value()).ok()) return false;
+  }
+  // Hand-off: the final tail replays under the group lock so no mutation
+  // can slip between the replica's last record and its reactivation — it
+  // rejoins exactly at log.last_seq().
+  std::lock_guard<std::mutex> lock(group.mutate_mu);
+  Result<std::vector<recover::MutationRecord>> tail =
+      group.log->ReadFrom(meta.last_applied.load(std::memory_order_acquire));
+  if (!tail.ok()) return false;
+  if (!ApplyRecords(target, meta, tail.value()).ok()) return false;
+  meta.last_applied.store(group.log->last_seq(), std::memory_order_release);
+  meta.divergent.store(false, std::memory_order_release);
+  catchups_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Router::ResyncReplica(ShardGroup& group, size_t group_index,
+                           size_t replica) {
+  // Fail-closed: an armed recover/resync failpoint refuses the attempt
+  // before the donor compacts or the target adopts anything.
+  Status injected = fail::Check("recover/resync");
+  if (!injected.ok()) return false;
+  // The whole resync runs under the group lock: the donor's compacted
+  // snapshot then covers exactly the log prefix [1, last_seq], so the
+  // target rejoins at last_seq with no replay tail to chase.
+  std::lock_guard<std::mutex> lock(group.mutate_mu);
+  Engine* donor = nullptr;
+  for (size_t r = 0; r < group.engines.size(); ++r) {
+    if (r == replica) continue;
+    if (group.meta[r]->state.load(std::memory_order_acquire) !=
+        static_cast<uint32_t>(ReplicaState::kActive)) {
+      continue;
+    }
+    if (!group.engines[r]->live()) continue;
+    donor = group.engines[r].get();
+    break;
+  }
+  if (donor == nullptr) return false;
+  std::string dir = options_.recovery_dir;
+  if (dir.empty()) {
+    std::error_code ec;
+    dir = std::filesystem::temp_directory_path(ec).string();
+    if (ec) return false;
+  }
+  const std::string path =
+      dir + "/ember_resync_" + instance_ + "_g" +
+      std::to_string(group_index) + "_" +
+      std::to_string(resync_file_counter_.fetch_add(
+          1, std::memory_order_relaxed)) +
+      ".embs";
+  ResyncState state;
+  Status compacted = donor->Compact(path, &state);
+  if (!compacted.ok()) {
+    std::remove(path.c_str());
+    EMBER_WARN("resync donor compaction failed: %s",
+               compacted.ToString().c_str());
+    return false;
+  }
+  Status adopted = group.engines[replica]->ResyncFrom(path, std::move(state.ids),
+                                                      state.next_id);
+  std::remove(path.c_str());
+  if (!adopted.ok()) {
+    EMBER_WARN("resync adoption failed: %s", adopted.ToString().c_str());
+    return false;
+  }
+  ReplicaMeta& meta = *group.meta[replica];
+  meta.last_applied.store(group.log->last_seq(), std::memory_order_release);
+  meta.divergent.store(false, std::memory_order_release);
+  resyncs_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 void Router::WorkerLoop() {
@@ -529,9 +999,19 @@ std::vector<size_t> Router::ReplicaOrder(ShardGroup& group) const {
   std::vector<size_t> order;
   order.reserve(replicas);
   for (size_t i = 0; i < replicas; ++i) {
-    order.push_back((ticket + i) % replicas);
+    const size_t r = (ticket + i) % replicas;
+    // Only kActive replicas serve reads. A quarantined replica's answers
+    // are suspect by definition — it gets ZERO query traffic until the
+    // recovery worker certifies it caught up (DESIGN.md §15). Tripped-but-
+    // active replicas stay in the list (moved back below) so their breaker
+    // still sees probe traffic.
+    if (group.meta[r]->state.load(std::memory_order_acquire) !=
+        static_cast<uint32_t>(ReplicaState::kActive)) {
+      continue;
+    }
+    order.push_back(r);
   }
-  if (replicas > 1 && ticket % kProbeEvery != 0) {
+  if (order.size() > 1 && ticket % kProbeEvery != 0) {
     std::stable_partition(order.begin(), order.end(), [&](size_t r) {
       return group.engines[r]->health() != Health::kTripped;
     });
@@ -653,6 +1133,10 @@ void Router::ProcessBatch(std::vector<Request> batch) {
           for (size_t r = 0; r < groups_[g].engines.size() && !reply.ok();
                ++r) {
             if (pending[i][g].valid && r == pending[i][g].replica) continue;
+            if (groups_[g].meta[r]->state.load(std::memory_order_acquire) !=
+                static_cast<uint32_t>(ReplicaState::kActive)) {
+              continue;  // never fail over onto a quarantined replica
+            }
             std::vector<float> row(vectors.Row(i), vectors.Row(i) + dim);
             auto retried =
                 groups_[g].engines[r]->SubmitEmbedded(std::move(row));
@@ -715,8 +1199,14 @@ void Router::ProcessBatch(std::vector<Request> batch) {
 Health Router::health() const {
   for (const ShardGroup& group : groups_) {
     bool any_up = false;
-    for (const auto& engine : group.engines) {
-      if (engine->health() != Health::kTripped) {
+    for (size_t r = 0; r < group.engines.size(); ++r) {
+      // Only kActive replicas count toward liveness: a quarantined replica
+      // is out of rotation and contributes nothing until it catches up.
+      if (group.meta[r]->state.load(std::memory_order_acquire) !=
+          static_cast<uint32_t>(ReplicaState::kActive)) {
+        continue;
+      }
+      if (group.engines[r]->health() != Health::kTripped) {
         any_up = true;
         break;
       }
@@ -745,6 +1235,23 @@ RouterMetrics Router::Metrics() const {
       mutation_failures_.load(std::memory_order_relaxed);
   metrics.mutation_divergence =
       mutation_divergence_.load(std::memory_order_relaxed);
+  metrics.quarantines = quarantines_.load(std::memory_order_relaxed);
+  metrics.catchups = catchups_.load(std::memory_order_relaxed);
+  metrics.resyncs = resyncs_.load(std::memory_order_relaxed);
+  metrics.replayed_mutations =
+      replayed_mutations_.load(std::memory_order_relaxed);
+  metrics.digest_mismatches =
+      digest_mismatches_.load(std::memory_order_relaxed);
+  metrics.last_applied_seq.resize(groups_.size());
+  metrics.replica_states.resize(groups_.size());
+  for (size_t s = 0; s < groups_.size(); ++s) {
+    for (const auto& meta : groups_[s].meta) {
+      metrics.last_applied_seq[s].push_back(
+          meta->last_applied.load(std::memory_order_acquire));
+      metrics.replica_states[s].push_back(static_cast<ReplicaState>(
+          meta->state.load(std::memory_order_acquire)));
+    }
+  }
   metrics.queue_micros = queue_micros_.Snapshot();
   metrics.embed_micros = embed_micros_.Snapshot();
   metrics.fanout_micros = fanout_micros_.Snapshot();

@@ -20,6 +20,7 @@
 #include "embed/embedding_model.h"
 #include "index/neighbor.h"
 #include "la/matrix.h"
+#include "recover/mutation_log.h"
 #include "serve/engine.h"
 #include "serve/snapshot.h"
 
@@ -69,7 +70,37 @@ struct RouterOptions {
   /// shards with RouterReply.partial=true instead of failing them. OFF
   /// fails such requests with Unavailable.
   bool allow_partial = true;
+  /// Recovery worker cadence (DESIGN.md §15): every tick it quarantines
+  /// tripped replicas, cross-checks replica digests (anti-entropy), and
+  /// replays or resyncs quarantined replicas back to kActive. 0 disables
+  /// the worker (replicas then stay quarantined until healed externally).
+  int64_t recover_tick_micros = 10'000;
+  /// Per-shard-group mutation log ring capacity. A replica that falls more
+  /// than this many mutations behind can no longer catch up by replay and
+  /// takes the snapshot-resync path instead.
+  size_t log_capacity = 4096;
+  /// Directory for resync snapshot hand-off files; empty uses the system
+  /// temp directory.
+  std::string recovery_dir;
 };
+
+/// Router-side replica lifecycle (DESIGN.md §15). Only kActive replicas
+/// receive query or mutation traffic and count toward group liveness:
+///   kActive      — in rotation, applying the mutation stream
+///   kQuarantined — out of rotation, awaiting recovery (missed a mutation,
+///                  failed the digest probe, tripped its breaker, or was
+///                  readmitted after an admin kill)
+///   kCatchingUp  — the recovery worker is replaying/resyncing it now
+///   kKilled      — administratively down (KillReplica); recovery ignores
+///                  it until RejoinReplica readmits it as kQuarantined
+enum class ReplicaState : uint32_t {
+  kActive = 0,
+  kQuarantined = 1,
+  kCatchingUp = 2,
+  kKilled = 3,
+};
+
+const char* ReplicaStateName(ReplicaState state);
 
 /// A merged scatter-gather answer. `partial` is true when at least one
 /// shard group contributed nothing (every replica down) and the router was
@@ -101,6 +132,13 @@ struct RouterMetrics {
   uint64_t mutation_failures = 0;    // mutations refused fail-closed
   uint64_t mutation_divergence = 0;  // replicas disagreed on a mutation
 
+  // Recovery counters (PR 9, DESIGN.md §15).
+  uint64_t quarantines = 0;         // replicas pulled from rotation
+  uint64_t catchups = 0;            // replicas healed by log replay
+  uint64_t resyncs = 0;             // replicas healed by snapshot resync
+  uint64_t replayed_mutations = 0;  // log records re-applied during catch-up
+  uint64_t digest_mismatches = 0;   // anti-entropy probes that found a liar
+
   HistogramSnapshot queue_micros;   // submit -> drained from the queue
   HistogramSnapshot embed_micros;   // per batch: embed-once
   HistogramSnapshot fanout_micros;  // per batch: scatter submits
@@ -109,6 +147,10 @@ struct RouterMetrics {
   HistogramSnapshot total_micros;   // submit -> future completed
   HistogramSnapshot batch_size;     // live requests per processed batch
   std::vector<std::vector<HistogramSnapshot>> shard_micros;  // [shard][rep]
+  /// Per-replica recovery gauges: the last group mutation seq each replica
+  /// has applied, and its lifecycle state. [shard][replica].
+  std::vector<std::vector<uint64_t>> last_applied_seq;
+  std::vector<std::vector<ReplicaState>> replica_states;
 };
 
 /// Scatter-gather front end over sharded Engines (DESIGN.md §13): producers
@@ -170,8 +212,32 @@ class Router {
   /// Upsert; NotFound when the id is unknown to the owning shard.
   Status Delete(uint64_t global_id);
 
+  /// Administratively removes a replica from rotation (kActive/kQuarantined
+  /// -> kKilled): it stops receiving queries and mutations and the recovery
+  /// worker leaves it alone — the outage half of a kill/rejoin drill.
+  Status KillReplica(uint32_t shard, size_t replica);
+
+  /// Readmits a killed replica as kQuarantined: the recovery worker replays
+  /// the mutation-log suffix it missed (or snapshot-resyncs when the ring
+  /// has dropped past its position) and only then returns it to rotation.
+  Status RejoinReplica(uint32_t shard, size_t replica);
+
+  ReplicaState replica_state(uint32_t shard, size_t replica) const;
+
+  /// Last group mutation seq the replica has applied (the catch-up gauge).
+  uint64_t last_applied_seq(uint32_t shard, size_t replica) const;
+
+  /// Highest mutation seq assigned by `shard`'s group log.
+  uint64_t log_last_seq(uint32_t shard) const;
+
+  /// True when every replica of every group is kActive — no quarantine,
+  /// catch-up, or admin kill outstanding. What the kill/rejoin drills and
+  /// the proptest poll for before comparing answers.
+  bool Converged() const;
+
   /// Coarse fleet health: kServing while every shard group has at least one
-  /// replica not kTripped, kDegraded otherwise.
+  /// kActive replica whose breaker is not open, kDegraded otherwise.
+  /// Quarantined/killed replicas do not count toward liveness.
   Health health() const;
 
   /// Stops the router workers (draining the queue), then every engine.
@@ -203,17 +269,41 @@ class Router {
     std::promise<Result<RouterReply>> promise;
   };
 
+  /// Per-replica recovery bookkeeping. Heap-pinned (unique_ptr storage)
+  /// because atomics must not move; mutated by the mutation path under the
+  /// group lock and by the recovery worker via CAS transitions.
+  struct ReplicaMeta {
+    std::atomic<uint32_t> state{
+        static_cast<uint32_t>(ReplicaState::kActive)};
+    /// Last group mutation seq this replica applied.
+    std::atomic<uint64_t> last_applied{0};
+    /// The replica returned an id that contradicts the group's winner (or
+    /// failed the digest probe): its state is untrusted and catch-up must
+    /// take the resync path, never replay.
+    std::atomic<bool> divergent{false};
+  };
+
   /// One shard's replica group plus the shared plan facts every replica's
   /// manifest agreed on at Create time.
   struct ShardGroup {
     std::vector<std::unique_ptr<Engine>> engines;
+    std::vector<std::unique_ptr<ReplicaMeta>> meta;
     uint64_t row_offset = 0;
     /// Round-robin replica rotation ticket (per group, so one hot shard
     /// cannot skew its siblings' load).
     std::atomic<uint64_t> rotation{0};
     /// Serializes mutations within the group: replicas must see upserts in
-    /// one order or their local id assignments diverge.
+    /// one order or their local id assignments diverge. Also taken by the
+    /// recovery worker at digest probes, replay hand-off, and resync, so
+    /// those see a quiescent cut of the mutation stream.
     std::mutex mutate_mu;
+    /// Sequenced record of every accepted mutation (DESIGN.md §15); the
+    /// replay source for catch-up. Created in the Router ctor (capacity
+    /// comes from options).
+    std::unique_ptr<recover::MutationLog> log;
+    /// Router-tracked live row count (under mutate_mu): the digest probe's
+    /// tie-breaker when two replicas disagree and neither holds a majority.
+    uint64_t expected_rows = 0;
   };
 
   Router(std::vector<ShardGroup> groups,
@@ -222,18 +312,48 @@ class Router {
 
   void WorkerLoop();
   void ProcessBatch(std::vector<Request> batch);
-  /// Shared broadcast tail of Upsert/Delete: applies `apply` to every
-  /// replica of `group` under its mutation lock; first success wins the
-  /// returned id, zero successes is the fail-closed Unavailable, and
-  /// successful replicas disagreeing on the id bumps mutation_divergence.
+  /// Shared broadcast tail of Upsert/Delete (DESIGN.md §15). Under the
+  /// group lock: appends `record` to the mutation log FIRST (fail-closed —
+  /// an unlogged mutation is refused), applies it to every kActive replica,
+  /// quarantines replicas that miss it (only when a sibling succeeded —
+  /// unanimous refusal means the replicas agree) or return a divergent id,
+  /// rolls the log back when zero replicas accepted, and patches the logged
+  /// id to the winner's.
   Result<uint64_t> BroadcastMutation(
-      ShardGroup& group,
+      ShardGroup& group, recover::MutationRecord record,
       const std::function<Result<std::future<Result<MutateReply>>>(Engine&)>&
           apply);
-  /// Replica visit order for one pick: rotation offset, tripped replicas
-  /// moved (stably) to the back — except on probe ticks, which keep the
-  /// plain rotation so open breakers still see traffic.
+  /// Replica visit order for one pick: rotation offset over the kActive
+  /// replicas only (quarantined/killed replicas receive ZERO query
+  /// traffic), tripped ones moved (stably) to the back — except on probe
+  /// ticks, which keep the plain rotation so open breakers still see
+  /// traffic.
   std::vector<size_t> ReplicaOrder(ShardGroup& group) const;
+
+  /// kActive -> kQuarantined (no-op otherwise). `divergent` marks the
+  /// replica's state untrusted, forcing the resync path.
+  void Quarantine(ShardGroup& group, size_t replica, bool divergent,
+                  const char* reason);
+  void RecoveryLoop();
+  void RecoveryTick();
+  /// Anti-entropy probe of one group: compares the digests of its kActive
+  /// replicas under the group lock and quarantines the minority. Fail-closed
+  /// per the recover/digest failpoint — a replica whose digest errs is
+  /// skipped, never judged.
+  void ProbeGroupDigests(size_t group_index);
+  /// Heals one quarantined replica (replay or resync). Returns true when
+  /// the replica was returned to rotation.
+  bool TryHeal(size_t group_index, size_t replica);
+  /// Log-replay catch-up: bulk rounds off-lock, final tail under the group
+  /// lock, activation at log.last_seq().
+  bool ReplayReplica(ShardGroup& group, size_t replica);
+  /// Snapshot resync: under the group lock, a kActive live donor Compacts
+  /// to a hand-off file and the target adopts it via Engine::ResyncFrom.
+  bool ResyncReplica(ShardGroup& group, size_t group_index, size_t replica);
+  /// Applies `records` to `engine` in order, verifying upsert id agreement;
+  /// advances meta.last_applied per record. Flags divergence on mismatch.
+  Status ApplyRecords(Engine& engine, ReplicaMeta& meta,
+                      const std::vector<recover::MutationRecord>& records);
 
   std::vector<ShardGroup> groups_;
   std::shared_ptr<embed::EmbeddingModel> model_;
@@ -266,6 +386,18 @@ class Router {
   std::atomic<uint64_t> deletes_{0};
   std::atomic<uint64_t> mutation_failures_{0};
   std::atomic<uint64_t> mutation_divergence_{0};
+  std::atomic<uint64_t> quarantines_{0};
+  std::atomic<uint64_t> catchups_{0};
+  std::atomic<uint64_t> resyncs_{0};
+  std::atomic<uint64_t> replayed_mutations_{0};
+  std::atomic<uint64_t> digest_mismatches_{0};
+  /// Names resync hand-off files uniquely within this router.
+  std::atomic<uint64_t> resync_file_counter_{0};
+  /// Recovery worker (started by the ctor when recover_tick_micros > 0).
+  std::thread recovery_worker_;
+  std::mutex recovery_mu_;
+  std::condition_variable recovery_cv_;
+  bool recovery_stop_ = false;
   /// Round-robin owner ticket for upserts (mutations spread across groups
   /// the same way the corpus rows do).
   std::atomic<uint64_t> mutation_ticket_{0};

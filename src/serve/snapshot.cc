@@ -15,10 +15,11 @@ namespace ember::serve {
 namespace internal {
 
 namespace {
-// v2 added the shard-plan fields (shard_id/shard_count/row_offset). The
-// reader is strict: v1 files fail closed instead of silently loading with a
-// guessed plan — rebuild the snapshot (they are derived artifacts).
-constexpr uint32_t kManifestVersion = 2;
+// v2 added the shard-plan fields (shard_id/shard_count/row_offset); v3
+// added the mutation-log position (mutation_seq). The reader is strict:
+// older files fail closed instead of silently loading with guessed fields —
+// rebuild the snapshot (they are derived artifacts).
+constexpr uint32_t kManifestVersion = 3;
 }  // namespace
 
 void WriteManifest(BinaryWriter& writer, const SnapshotManifest& manifest) {
@@ -32,6 +33,7 @@ void WriteManifest(BinaryWriter& writer, const SnapshotManifest& manifest) {
   writer.WriteU32(manifest.shard_id);
   writer.WriteU32(manifest.shard_count);
   writer.WriteU64(manifest.row_offset);
+  writer.WriteU64(manifest.mutation_seq);
 }
 
 bool ReadManifest(BinaryReader& reader, SnapshotManifest& manifest) {
@@ -48,6 +50,7 @@ bool ReadManifest(BinaryReader& reader, SnapshotManifest& manifest) {
   manifest.shard_id = reader.ReadU32();
   manifest.shard_count = reader.ReadU32();
   manifest.row_offset = reader.ReadU64();
+  manifest.mutation_seq = reader.ReadU64();
   if (!reader.ok() || kind > static_cast<uint32_t>(IndexKind::kLsh)) {
     reader.Fail();
     return false;

@@ -72,6 +72,11 @@ struct SnapshotManifest {
   uint32_t shard_id = 0;
   uint32_t shard_count = 1;
   uint64_t row_offset = 0;
+  /// Mutation-log position this snapshot covers (DESIGN.md §15): the group
+  /// sequence number of the last mutation folded in. A compacted snapshot
+  /// shipped for replica resync carries it so the receiver knows exactly
+  /// where log replay must resume; 0 for bases built offline.
+  uint64_t mutation_seq = 0;
 };
 
 /// A built blocking pipeline frozen into one loadable unit: the manifest
@@ -144,6 +149,12 @@ class Snapshot {
   /// Build parameters of the carried HNSW graph (meaningful for kHnsw
   /// snapshots; compaction reuses them when rebuilding a merged base).
   const index::HnswOptions& hnsw_options() const { return hnsw_.options(); }
+
+  /// Build parameters of the carried LSH tables (meaningful for kLsh
+  /// snapshots). The hyperplanes are derived deterministically from the
+  /// seed, so rebuilding with these options reproduces the index exactly —
+  /// what lets compaction and resync rebuild LSH bases faithfully.
+  const index::LshOptions& lsh_options() const { return lsh_.options(); }
 
   /// Wall-clock cost of the last LoadFrom that produced this snapshot
   /// (microseconds), and the bytes mmap'ed by it (0 for heap-loaded

@@ -25,7 +25,7 @@ void DeltaIndex::Append(const float* vec, size_t dim, uint64_t id,
   std::memcpy(store_.Row(rows_), vec, dim_ * sizeof(float));
   ids_.push_back(id);
   seqs_.push_back(seq);
-  id_set_.insert(id);
+  id_index_.emplace(id, rows_);
   ++rows_;
 }
 
@@ -36,10 +36,21 @@ void DeltaIndex::TruncatePrefix(size_t n) {
   if (kept > 0) {
     std::memmove(store_.Row(0), store_.Row(n), kept * dim_ * sizeof(float));
   }
-  for (size_t i = 0; i < n; ++i) id_set_.erase(ids_[i]);
+  for (size_t i = 0; i < n; ++i) id_index_.erase(ids_[i]);
   ids_.erase(ids_.begin(), ids_.begin() + static_cast<ptrdiff_t>(n));
   seqs_.erase(seqs_.begin(), seqs_.begin() + static_cast<ptrdiff_t>(n));
   rows_ = kept;
+  for (size_t i = 0; i < rows_; ++i) id_index_[ids_[i]] = i;
+}
+
+void DeltaIndex::Clear() {
+  store_ = la::Matrix();
+  rows_ = 0;
+  capacity_ = 0;
+  dim_ = 0;
+  ids_.clear();
+  seqs_.clear();
+  id_index_.clear();
 }
 
 }  // namespace ember::stream

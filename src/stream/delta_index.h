@@ -3,7 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "la/matrix.h"
@@ -38,7 +38,19 @@ class DeltaIndex {
   /// folded into the base.
   void TruncatePrefix(size_t n);
 
-  bool Contains(uint64_t id) const { return id_set_.count(id) > 0; }
+  /// Drops every row and resets the latched dimensionality — the resync
+  /// path installs a fresh base that already contains everything.
+  void Clear();
+
+  bool Contains(uint64_t id) const { return id_index_.count(id) > 0; }
+
+  /// Row index currently holding `id`, or kNotFound. The digest maintenance
+  /// in LiveCorpus uses this to hash the row being deleted in O(1).
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+  size_t IndexOf(uint64_t id) const {
+    const auto it = id_index_.find(id);
+    return it == id_index_.end() ? kNotFound : it->second;
+  }
 
   uint64_t id_at(size_t row) const { return ids_[row]; }
   uint64_t seq_at(size_t row) const { return seqs_[row]; }
@@ -58,7 +70,7 @@ class DeltaIndex {
   size_t dim_ = 0;
   std::vector<uint64_t> ids_;
   std::vector<uint64_t> seqs_;
-  std::unordered_set<uint64_t> id_set_;
+  std::unordered_map<uint64_t, size_t> id_index_;  // id -> live row index
 };
 
 }  // namespace ember::stream

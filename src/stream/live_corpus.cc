@@ -44,6 +44,7 @@ LiveCorpus::LiveCorpus(std::shared_ptr<const serve::Snapshot> base)
   base_ids_ = std::move(ids);
   next_id_ = rows;
   dim_ = base_->manifest().dim;
+  RecomputeDigest();
 }
 
 Result<uint64_t> LiveCorpus::Upsert(const float* vec, size_t dim) {
@@ -59,6 +60,7 @@ Result<uint64_t> LiveCorpus::Upsert(const float* vec, size_t dim) {
   EMBER_FAILPOINT("stream/delta_insert");
   const uint64_t id = next_id_++;
   delta_.Append(vec, dim, id, next_seq_++);
+  digest_content_ += recover::RowHash(id, vec, dim);
   return id;
 }
 
@@ -78,11 +80,17 @@ Status LiveCorpus::Delete(uint64_t global_id) {
   // Fail-closed boundary: a refused delete publishes nothing.
   EMBER_FAILPOINT("stream/tombstone");
   tombstones_.emplace(global_id, next_seq_++);
+  const float* row;
   if (in_base) {
     ++base_dead_;
+    const auto it = std::lower_bound(base_ids_->begin(), base_ids_->end(),
+                                     global_id);
+    row = base_->data().Row(static_cast<size_t>(it - base_ids_->begin()));
   } else {
     ++delta_dead_;
+    row = delta_.Row(delta_.IndexOf(global_id));
   }
+  digest_content_ -= recover::RowHash(global_id, row, dim_);
   return Status::Ok();
 }
 
@@ -180,6 +188,7 @@ CompactionPlan LiveCorpus::PlanCompaction() const {
   plan.upto_seq = next_seq_ - 1;
   plan.base_generation = base_generation_;
   plan.delta_prefix = delta_.rows();
+  plan.next_id = next_id_;
   plan.manifest = base_->manifest();
   const la::Matrix& base_data = base_->data();
   const size_t dim = dim_ != 0 ? dim_ : base_data.cols();
@@ -246,7 +255,45 @@ Status LiveCorpus::ReplaceBase(std::shared_ptr<const serve::Snapshot> fresh) {
   }
   base_ = std::move(fresh);
   ++base_generation_;
+  RecomputeDigest();
   return Status::Ok();
+}
+
+Status LiveCorpus::AdoptBase(std::shared_ptr<const serve::Snapshot> fresh,
+                             std::vector<uint64_t> ids, uint64_t next_id) {
+  std::unique_lock lock(mu_);
+  if (fresh->manifest().rows != ids.size()) {
+    return Status::InvalidArgument(
+        "adopted base holds " + std::to_string(fresh->manifest().rows) +
+        " rows but the id map names " + std::to_string(ids.size()));
+  }
+  for (const uint64_t id : ids) {
+    if (id >= next_id) {
+      return Status::InvalidArgument(
+          "adopted id counter " + std::to_string(next_id) +
+          " does not cover adopted id " + std::to_string(id));
+    }
+  }
+  base_ = std::move(fresh);
+  base_ids_ = std::make_shared<const std::vector<uint64_t>>(std::move(ids));
+  ++base_generation_;
+  delta_.Clear();
+  tombstones_.clear();
+  next_id_ = next_id;
+  if (base_->manifest().dim != 0) dim_ = base_->manifest().dim;
+  RecountDead();
+  RecomputeDigest();
+  return Status::Ok();
+}
+
+recover::CorpusDigest LiveCorpus::Digest() const {
+  std::shared_lock lock(mu_);
+  recover::CorpusDigest digest;
+  digest.rows = base_->manifest().rows + delta_.rows() - base_dead_ -
+                delta_dead_;
+  digest.tombstones = tombstones_.size();
+  digest.content = digest_content_;
+  return digest;
 }
 
 Status LiveCorpus::AbsorbDelta() {
@@ -293,6 +340,22 @@ Status LiveCorpus::AbsorbDelta() {
   delta_.TruncatePrefix(absorb_rows);
   RecountDead();
   return Status::Ok();
+}
+
+void LiveCorpus::RecomputeDigest() {
+  digest_content_ = 0;
+  const la::Matrix& base_data = base_->data();
+  const size_t dim = dim_ != 0 ? dim_ : base_data.cols();
+  for (size_t local = 0; local < base_ids_->size(); ++local) {
+    const uint64_t gid = (*base_ids_)[local];
+    if (tombstones_.count(gid) > 0) continue;
+    digest_content_ += recover::RowHash(gid, base_data.Row(local), dim);
+  }
+  for (size_t r = 0; r < delta_.rows(); ++r) {
+    const uint64_t gid = delta_.id_at(r);
+    if (tombstones_.count(gid) > 0) continue;
+    digest_content_ += recover::RowHash(gid, delta_.Row(r), dim);
+  }
 }
 
 void LiveCorpus::RecountDead() {

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "index/neighbor.h"
 #include "la/matrix.h"
+#include "recover/digest.h"
 #include "serve/snapshot.h"
 #include "stream/delta_index.h"
 
@@ -37,6 +38,7 @@ struct CompactionPlan {
   uint64_t upto_seq = 0;
   uint64_t base_generation = 0;
   size_t delta_prefix = 0;
+  uint64_t next_id = 0;  // id counter at plan time (resync hand-off)
   std::vector<uint64_t> survivor_ids;
   la::Matrix corpus;
   serve::SnapshotManifest manifest;
@@ -113,6 +115,21 @@ class LiveCorpus {
   /// InvalidArgument ("compact instead").
   Status ReplaceBase(std::shared_ptr<const serve::Snapshot> fresh);
 
+  /// Wholesale state adoption — the snapshot-resync path (DESIGN.md §15).
+  /// Installs `fresh` (already validated through the engine trust pipeline)
+  /// as the new base with `ids` as its ascending global-id map, clears the
+  /// delta tier and every tombstone (the donor's compaction already folded
+  /// them), and sets the id counter to the donor's `next_id` — even
+  /// backwards, since a diverged replica's inflated counter is precisely
+  /// the state being thrown away — so replayed upserts reproduce the
+  /// donor's id assignments exactly.
+  Status AdoptBase(std::shared_ptr<const serve::Snapshot> fresh,
+                   std::vector<uint64_t> ids, uint64_t next_id);
+
+  /// Order-independent anti-entropy digest over the LIVE rows (base + delta
+  /// minus tombstoned), maintained incrementally — O(1) here, no scan.
+  recover::CorpusDigest Digest() const;
+
   /// HNSW online insert (kHnsw bases only): clones the base graph, thaws
   /// the clone (copy-on-write adjacency guard), inserts the current delta
   /// rows with the deterministic level stream, and RCU-publishes the grown
@@ -131,6 +148,11 @@ class LiveCorpus {
   /// partition. Caller holds the exclusive lock.
   void RecountDead();
 
+  /// Full digest rescan — only for base swaps that may change row BYTES
+  /// (ReplaceBase, AdoptBase). Compaction/absorb keep the logical live set
+  /// and leave the incremental digest untouched. Caller holds the lock.
+  void RecomputeDigest();
+
   mutable std::shared_mutex mu_;
   std::shared_ptr<const serve::Snapshot> base_;
   /// Ascending global id of each base row (shared so queries can pin it
@@ -144,6 +166,8 @@ class LiveCorpus {
   uint64_t next_id_ = 0;
   uint64_t next_seq_ = 1;
   size_t dim_ = 0;
+  /// Commutative fold of RowHash over the live rows; see Digest().
+  uint64_t digest_content_ = 0;
 };
 
 }  // namespace ember::stream

@@ -1,0 +1,447 @@
+// Replica-recovery primitive tests (DESIGN.md §15): the sequenced
+// MutationLog ring and its EMBL0001 on-disk segment (round trip plus an
+// exhaustive byte-flip corruption sweep), the order-independent corpus
+// digest (incremental maintenance vs a from-scratch oracle, invariance
+// under compaction), the LSH compaction rebuild oracle, and the fail-closed
+// behavior of every recover/* failpoint at its primitive.
+
+#include "recover/mutation_log.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "index/lsh_index.h"
+#include "la/vector_ops.h"
+#include "recover/digest.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
+
+#define SKIP_IF_FAILPOINTS_OFF()                               \
+  do {                                                         \
+    if (!::ember::fail::kEnabled) {                            \
+      GTEST_SKIP() << "failpoints compiled out of this build"; \
+    }                                                          \
+  } while (0)
+
+namespace ember {
+namespace {
+
+using recover::CorpusDigest;
+using recover::MutationLog;
+using recover::MutationRecord;
+using serve::Engine;
+using serve::EngineOptions;
+using serve::IndexKind;
+using serve::Snapshot;
+using serve::SnapshotManifest;
+
+constexpr size_t kDim = 16;
+
+embed::ModelInfo HashModelInfo() {
+  embed::ModelInfo info;
+  info.code = "HT";
+  info.name = "hash-test-model";
+  info.dim = kDim;
+  return info;
+}
+
+class HashModel : public embed::EmbeddingModel {
+ public:
+  HashModel() : EmbeddingModel(HashModelInfo()) {}
+
+  void EncodeInto(const std::string& sentence, float* out) const override {
+    for (size_t d = 0; d < kDim; ++d) out[d] = 0.f;
+    uint64_t hash = 1469598103934665603ull;
+    for (const char c : sentence) {
+      hash = (hash ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+      out[hash % kDim] += 1.f + static_cast<float>((hash >> 32) & 0xff);
+    }
+    la::NormalizeInPlace(out, kDim);
+  }
+
+ protected:
+  void BuildWeights() override {}
+};
+
+std::vector<std::string> Sentences(size_t n, const std::string& tag) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(tag + " record " + std::to_string(i) + " token" +
+                  std::to_string(i % 23));
+  }
+  return out;
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("ember_recover_test_" + name + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+MutationRecord Upsert(uint64_t id, float seed) {
+  MutationRecord record;
+  record.op = MutationRecord::Op::kUpsert;
+  record.id = id;
+  record.embedding.assign(kDim, seed);
+  return record;
+}
+
+MutationRecord Delete(uint64_t id) {
+  MutationRecord record;
+  record.op = MutationRecord::Op::kDelete;
+  record.id = id;
+  return record;
+}
+
+// ---------------------------------------------------------------------------
+// MutationLog: sequencing, the bounded ring, and rollback
+// ---------------------------------------------------------------------------
+
+TEST(MutationLog, AssignsMonotoneSeqsAndReadsSuffixes) {
+  MutationLog log(16);
+  EXPECT_EQ(log.last_seq(), 0u);
+  EXPECT_EQ(log.first_seq(), 1u);
+  for (uint64_t i = 0; i < 5; ++i) {
+    auto seq = log.Append(Upsert(i, 0.5f));
+    ASSERT_TRUE(seq.ok());
+    EXPECT_EQ(seq.value(), i + 1);
+  }
+  EXPECT_EQ(log.size(), 5u);
+  auto all = log.ReadFrom(0);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.value().size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(all.value()[i].seq, i + 1);
+    EXPECT_EQ(all.value()[i].id, i);
+  }
+  auto tail = log.ReadFrom(3);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail.value().size(), 2u);
+  EXPECT_EQ(tail.value()[0].seq, 4u);
+  auto none = log.ReadFrom(5);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none.value().empty());
+}
+
+TEST(MutationLog, RingDropsOldestAndTruncationFailsLoudly) {
+  MutationLog log(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(log.Append(Upsert(i, 1.f)).ok());
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.first_seq(), 7u);
+  EXPECT_EQ(log.last_seq(), 10u);
+  // A replica at seq 6 can still replay (first retained record is 7)...
+  ASSERT_TRUE(log.ReadFrom(6).ok());
+  // ...but one at seq 5 needs records the ring dropped: NotFound, the
+  // signal to fall back to snapshot resync.
+  auto truncated = log.ReadFrom(5);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), Status::Code::kNotFound);
+}
+
+TEST(MutationLog, PopLastRollsBackAndPatchRewritesWinner) {
+  MutationLog log(8);
+  ASSERT_TRUE(log.Append(Upsert(1, 1.f)).ok());
+  ASSERT_TRUE(log.Append(Upsert(7, 2.f)).ok());
+  // The fleet assigned a different id than the record guessed: patch it so
+  // replay reproduces the actual assignment.
+  log.PatchLastId(9);
+  auto records = log.ReadFrom(0);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records.value()[1].id, 9u);
+  // Zero replicas accepted: the mutation never happened, the log must not
+  // claim it.
+  log.PopLast();
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.last_seq(), 1u);
+  auto seq = log.Append(Upsert(3, 3.f));
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(seq.value(), 2u) << "rolled-back seq must be reassigned";
+}
+
+// ---------------------------------------------------------------------------
+// MutationLog: the EMBL0001 on-disk segment
+// ---------------------------------------------------------------------------
+
+TEST(MutationLog, SegmentRoundTripsBitIdentically) {
+  MutationLog log(32);
+  for (uint64_t i = 0; i < 12; ++i) {
+    ASSERT_TRUE(log
+                    .Append(i % 3 == 2 ? Delete(i / 3)
+                                       : Upsert(i, 0.25f * (i + 1)))
+                    .ok());
+  }
+  const std::string path = TempPath("segment");
+  ASSERT_TRUE(log.SaveTo(path).ok());
+  MutationLog loaded(32);
+  ASSERT_TRUE(loaded.LoadFrom(path).ok());
+  EXPECT_EQ(loaded.last_seq(), log.last_seq());
+  EXPECT_EQ(loaded.first_seq(), log.first_seq());
+  auto a = log.ReadFrom(0);
+  auto b = loaded.ReadFrom(0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().size(), b.value().size());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_EQ(a.value()[i].seq, b.value()[i].seq);
+    EXPECT_EQ(a.value()[i].op, b.value()[i].op);
+    EXPECT_EQ(a.value()[i].id, b.value()[i].id);
+    EXPECT_EQ(a.value()[i].embedding, b.value()[i].embedding);
+  }
+  // A smaller-capacity log keeps only the newest records.
+  MutationLog small(4);
+  ASSERT_TRUE(small.LoadFrom(path).ok());
+  EXPECT_EQ(small.size(), 4u);
+  EXPECT_EQ(small.last_seq(), log.last_seq());
+  EXPECT_EQ(small.first_seq(), log.last_seq() - 3);
+  std::filesystem::remove(path);
+}
+
+TEST(MutationLog, SegmentFailsClosedOnEveryByteFlip) {
+  MutationLog log(8);
+  for (uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(log.Append(Upsert(i, 0.125f * (i + 1))).ok());
+  }
+  const std::string path = TempPath("corrupt");
+  ASSERT_TRUE(log.SaveTo(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 16u);
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string flipped = bytes;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x40);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(flipped.data(), static_cast<std::streamsize>(flipped.size()));
+    out.close();
+    MutationLog loaded(8);
+    EXPECT_FALSE(loaded.LoadFrom(path).ok())
+        << "byte flip at offset " << pos << " loaded anyway";
+    EXPECT_EQ(loaded.size(), 0u) << "failed load must leave the log empty";
+  }
+  // Truncations fail too.
+  for (size_t keep : {size_t{0}, size_t{7}, bytes.size() - 1}) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    MutationLog loaded(8);
+    EXPECT_FALSE(loaded.LoadFrom(path).ok());
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(MutationLog, AppendFailpointFailsClosed) {
+  SKIP_IF_FAILPOINTS_OFF();
+  MutationLog log(8);
+  ASSERT_TRUE(log.Append(Upsert(0, 1.f)).ok());
+  ASSERT_TRUE(fail::ConfigureSpec("recover/log_append", "error:io").ok());
+  auto refused = log.Append(Upsert(1, 2.f));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), Status::Code::kIoError);
+  fail::Disarm("recover/log_append");
+  // The fault fired BEFORE the ring was touched: no seq was burned.
+  EXPECT_EQ(log.last_seq(), 1u);
+  EXPECT_EQ(log.size(), 1u);
+  auto seq = log.Append(Upsert(1, 2.f));
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(seq.value(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Corpus digest: incremental fold vs from-scratch oracle
+// ---------------------------------------------------------------------------
+
+TEST(CorpusDigestTest, RowHashSeparatesIdAndContent) {
+  std::vector<float> a(kDim, 0.5f);
+  std::vector<float> b(kDim, 0.5f);
+  b[3] = 0.25f;
+  EXPECT_EQ(recover::RowHash(7, a.data(), kDim),
+            recover::RowHash(7, a.data(), kDim));
+  EXPECT_NE(recover::RowHash(7, a.data(), kDim),
+            recover::RowHash(8, a.data(), kDim));
+  EXPECT_NE(recover::RowHash(7, a.data(), kDim),
+            recover::RowHash(7, b.data(), kDim));
+  CorpusDigest x{3, 0, 123};
+  CorpusDigest y{3, 9, 123};  // tombstone counts excluded from comparison
+  EXPECT_TRUE(recover::SameContent(x, y));
+  y.content = 124;
+  EXPECT_FALSE(recover::SameContent(x, y));
+}
+
+/// The from-scratch oracle: fold RowHash over a mirror of the live set.
+CorpusDigest OracleDigest(
+    const std::map<uint64_t, std::vector<float>>& mirror) {
+  CorpusDigest digest;
+  digest.rows = mirror.size();
+  for (const auto& [id, row] : mirror) {
+    digest.content += recover::RowHash(id, row.data(), row.size());
+  }
+  return digest;
+}
+
+TEST(CorpusDigestTest, EngineMaintainsDigestIncrementally) {
+  auto model = std::make_shared<HashModel>();
+  model->Initialize();
+  const auto base_sentences = Sentences(12, "base");
+  la::Matrix corpus = model->VectorizeAll(base_sentences);
+  std::map<uint64_t, std::vector<float>> mirror;
+  for (size_t i = 0; i < corpus.rows(); ++i) {
+    mirror[i] = std::vector<float>(corpus.Row(i),
+                                   corpus.Row(i) + corpus.cols());
+  }
+  SnapshotManifest manifest;
+  manifest.model_code = "HT";
+  manifest.default_k = 5;
+  manifest.kind = IndexKind::kExact;
+  EngineOptions options;
+  options.live = true;
+  auto engine = Engine::Create(Snapshot::Build(manifest, std::move(corpus)),
+                               model, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  auto check = [&](const char* when) {
+    auto digest = engine.value()->Digest();
+    ASSERT_TRUE(digest.ok()) << digest.status().ToString();
+    const CorpusDigest expect = OracleDigest(mirror);
+    EXPECT_EQ(digest.value().rows, expect.rows) << when;
+    EXPECT_EQ(digest.value().content, expect.content) << when;
+  };
+  check("initial");
+
+  // Deterministic interleaving of upserts and deletes, with a compaction in
+  // the middle — the digest must be invariant under the base rewrite.
+  uint64_t step_hash = 0x9e3779b97f4a7c15ull;
+  for (int step = 0; step < 30; ++step) {
+    step_hash = step_hash * 6364136223846793005ull + 1442695040888963407ull;
+    if (step == 15) {
+      const std::string path = TempPath("digest_compact");
+      ASSERT_TRUE(engine.value()->Compact(path).ok());
+      std::filesystem::remove(path);
+      check("after compaction");
+    }
+    if (!mirror.empty() && step_hash % 3 == 0) {
+      auto victim = mirror.begin();
+      std::advance(victim, step_hash % mirror.size());
+      auto submitted = engine.value()->Delete(victim->first);
+      ASSERT_TRUE(submitted.ok());
+      ASSERT_TRUE(submitted.value().get().ok());
+      mirror.erase(victim);
+    } else {
+      std::vector<float> row(kDim, 0.f);
+      model->EncodeInto("streamed " + std::to_string(step), row.data());
+      auto submitted = engine.value()->UpsertEmbedded(row);
+      ASSERT_TRUE(submitted.ok());
+      auto reply = submitted.value().get();
+      ASSERT_TRUE(reply.ok());
+      mirror[reply.value().id] = row;
+    }
+  }
+  check("final");
+  engine.value()->Stop();
+}
+
+TEST(CorpusDigestTest, DigestFailpointFailsClosed) {
+  SKIP_IF_FAILPOINTS_OFF();
+  auto model = std::make_shared<HashModel>();
+  model->Initialize();
+  la::Matrix corpus = model->VectorizeAll(Sentences(6, "base"));
+  SnapshotManifest manifest;
+  manifest.model_code = "HT";
+  manifest.kind = IndexKind::kExact;
+  auto engine = Engine::Create(Snapshot::Build(manifest, std::move(corpus)),
+                               model, {});
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(fail::ConfigureSpec("recover/digest", "error:io").ok());
+  auto refused = engine.value()->Digest();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), Status::Code::kIoError);
+  fail::Disarm("recover/digest");
+  EXPECT_TRUE(engine.value()->Digest().ok());
+  engine.value()->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// LSH compaction rebuild: oracle equality with a from-scratch build
+// ---------------------------------------------------------------------------
+
+TEST(LshCompaction, CompactedBaseMatchesFromScratchBuild) {
+  auto model = std::make_shared<HashModel>();
+  model->Initialize();
+  const auto base_sentences = Sentences(40, "base");
+  la::Matrix corpus = model->VectorizeAll(base_sentences);
+  index::LshOptions lsh;
+  lsh.tables = 6;
+  lsh.bits = 8;
+  lsh.seed = 42;
+  SnapshotManifest manifest;
+  manifest.model_code = "HT";
+  manifest.default_k = 5;
+  manifest.kind = IndexKind::kLsh;
+  la::Matrix copy(corpus.rows(), corpus.cols());
+  std::copy(corpus.data(), corpus.data() + corpus.rows() * corpus.cols(),
+            copy.data());
+  EngineOptions options;
+  options.live = true;
+  options.k = 5;
+  auto engine = Engine::Create(
+      Snapshot::Build(manifest, std::move(copy), {}, lsh), model, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  const auto streamed = Sentences(9, "streamed");
+  for (const auto& sentence : streamed) {
+    auto submitted = engine.value()->Upsert(sentence);
+    ASSERT_TRUE(submitted.ok());
+    ASSERT_TRUE(submitted.value().get().ok());
+  }
+  const std::string path = TempPath("lsh_compact");
+  ASSERT_TRUE(engine.value()->Compact(path).ok())
+      << "LSH bases must now compact (options round-trip through the base)";
+
+  // From-scratch oracle over the merged corpus with the SAME LshOptions:
+  // the hyperplanes derive from the seed, so the rebuilt tables must answer
+  // bit-identically.
+  la::Matrix streamed_rows = model->VectorizeAll(streamed);
+  la::Matrix merged(corpus.rows() + streamed_rows.rows(), corpus.cols());
+  std::copy(corpus.data(), corpus.data() + corpus.rows() * corpus.cols(),
+            merged.data());
+  std::copy(streamed_rows.data(),
+            streamed_rows.data() + streamed_rows.rows() * streamed_rows.cols(),
+            merged.data() + corpus.rows() * corpus.cols());
+  const Snapshot oracle = Snapshot::Build(manifest, std::move(merged), {}, lsh);
+
+  auto compacted = Snapshot::LoadFrom(path);
+  ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+  EXPECT_EQ(compacted.value().manifest().kind, IndexKind::kLsh);
+  EXPECT_EQ(compacted.value().lsh_options().seed, lsh.seed);
+  EXPECT_EQ(compacted.value().lsh_options().tables, lsh.tables);
+
+  const la::Matrix queries =
+      model->VectorizeAll(Sentences(16, "probe"));
+  const auto expect = oracle.QueryBatch(queries, 5);
+  const auto got = compacted.value().QueryBatch(queries, 5);
+  ASSERT_EQ(expect.size(), got.size());
+  for (size_t q = 0; q < expect.size(); ++q) {
+    ASSERT_EQ(expect[q].size(), got[q].size()) << "query " << q;
+    for (size_t i = 0; i < expect[q].size(); ++i) {
+      EXPECT_EQ(expect[q][i].id, got[q][i].id) << "query " << q;
+      EXPECT_EQ(expect[q][i].distance, got[q][i].distance) << "query " << q;
+    }
+  }
+  engine.value()->Stop();
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace ember

@@ -13,10 +13,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <future>
+#include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/failpoint.h"
@@ -25,6 +28,7 @@
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "proptest.h"
+#include "recover/digest.h"
 #include "serve/engine.h"
 #include "serve/snapshot.h"
 
@@ -45,6 +49,7 @@ using serve::Health;
 using serve::IndexKind;
 using serve::LoadShardSet;
 using serve::MergeTopK;
+using serve::ReplicaState;
 using serve::Router;
 using serve::RouterOptions;
 using serve::RouterReply;
@@ -943,6 +948,564 @@ TEST(RouterMutation, ReplicaOutageSurfacesDivergence) {
   EXPECT_EQ(metrics.upserts, 1u);
   EXPECT_EQ(metrics.mutation_failures, 0u);
   EXPECT_GE(metrics.mutation_divergence, 1u);
+  // The half-measure is gone: the replica that missed the mutation was
+  // quarantined, not left serving stale answers.
+  EXPECT_EQ(router.value()->replica_state(0, 0), ReplicaState::kQuarantined);
+  EXPECT_GE(metrics.quarantines, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Replica recovery (DESIGN.md §15): quarantine, catch-up, anti-entropy
+// ---------------------------------------------------------------------------
+
+RouterOptions RecoveryRouterOptions(size_t k, int64_t tick_micros = 1000,
+                                    size_t log_capacity = 4096) {
+  RouterOptions options;
+  options.k = k;
+  options.recover_tick_micros = tick_micros;
+  options.log_capacity = log_capacity;
+  return options;
+}
+
+/// Polls until every replica is back in rotation (or the deadline passes).
+bool WaitConverged(Router& router, int64_t timeout_ms = 10000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (router.Converged()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return router.Converged();
+}
+
+/// Pairwise digest agreement across every replica of every group.
+::testing::AssertionResult GroupDigestsAgree(Router& router) {
+  for (uint32_t s = 0; s < router.shard_count(); ++s) {
+    const auto& engines = router.replicas(s);
+    auto first = engines[0]->Digest();
+    if (!first.ok()) {
+      return ::testing::AssertionFailure()
+             << "shard " << s << " replica 0 digest: "
+             << first.status().ToString();
+    }
+    for (size_t r = 1; r < engines.size(); ++r) {
+      auto other = engines[r]->Digest();
+      if (!other.ok()) {
+        return ::testing::AssertionFailure()
+               << "shard " << s << " replica " << r << " digest: "
+               << other.status().ToString();
+      }
+      if (!recover::SameContent(first.value(), other.value())) {
+        return ::testing::AssertionFailure()
+               << "shard " << s << " replica " << r << " diverged: rows "
+               << other.value().rows << " vs " << first.value().rows;
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(RouterRecovery, QuarantinedReplicaGetsZeroQueryTraffic) {
+  // Recovery disabled (tick 0): once quarantined, the replica stays out of
+  // rotation so the traffic assertion is deterministic.
+  const size_t k = 5;
+  Fleet fleet = MakeFleet(12, 1, 2, k, LiveEngineOptions());
+  auto router = Router::Create(std::move(fleet.engines), fleet.model,
+                               RecoveryRouterOptions(k, /*tick_micros=*/0));
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  // Fabricate id-counter drift on replica 1 behind the router's back; the
+  // next broadcast sees replica 1 assign a different local id and must
+  // quarantine it on the spot.
+  {
+    auto direct = router.value()->replicas(0)[1]->Upsert("fabricated row");
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(direct.value().get().ok());
+  }
+  auto admitted = router.value()->Upsert("legit record");
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+  EXPECT_EQ(router.value()->replica_state(0, 1), ReplicaState::kQuarantined);
+  EXPECT_EQ(router.value()->replica_state(0, 0), ReplicaState::kActive);
+  EXPECT_EQ(router.value()->health(), Health::kServing);
+
+  const uint64_t quarantined_before =
+      router.value()->replicas(0)[1]->Metrics().submitted;
+  const uint64_t active_before =
+      router.value()->replicas(0)[0]->Metrics().submitted;
+  const size_t queries = 24;
+  std::vector<std::future<Result<RouterReply>>> futures;
+  for (const auto& sentence : Sentences(queries, "quarantine probe")) {
+    auto submitted = router.value()->Submit(sentence);
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  for (auto& future : futures) {
+    auto reply = future.get();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_FALSE(reply.value().partial);
+  }
+  // Every query landed on the healthy replica; the quarantined one saw
+  // NOTHING — including the every-16th probe picks that tripped-but-active
+  // replicas still receive.
+  EXPECT_EQ(router.value()->replicas(0)[1]->Metrics().submitted,
+            quarantined_before);
+  EXPECT_EQ(router.value()->replicas(0)[0]->Metrics().submitted,
+            active_before + queries);
+  router.value()->Stop();
+  const auto metrics = router.value()->Metrics();
+  EXPECT_EQ(metrics.completed, queries);
+  EXPECT_GE(metrics.quarantines, 1u);
+  EXPECT_GE(metrics.mutation_divergence, 1u);
+}
+
+TEST(RouterRecovery, KilledReplicaCatchesUpByReplay) {
+  // Kill a replica mid-stream, mutate past it (including a donor-side
+  // compaction), rejoin it, and require bit-identical convergence.
+  const size_t k = 5;
+  Fleet fleet = MakeFleet(12, 2, 2, k, LiveEngineOptions());
+  auto router = Router::Create(std::move(fleet.engines), fleet.model,
+                               RecoveryRouterOptions(k));
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  std::vector<uint64_t> ids;
+  for (const auto& sentence : Sentences(4, "pre-kill")) {
+    auto admitted = router.value()->Upsert(sentence);
+    ASSERT_TRUE(admitted.ok());
+    ids.push_back(admitted.value());
+  }
+  ASSERT_TRUE(router.value()->KillReplica(0, 0).ok());
+  EXPECT_EQ(router.value()->replica_state(0, 0), ReplicaState::kKilled);
+
+  // Mutations the killed replica misses: upserts to both groups plus a
+  // delete owned by group 0.
+  const auto missed = Sentences(10, "missed");
+  for (const auto& sentence : missed) {
+    auto admitted = router.value()->Upsert(sentence);
+    ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+    ids.push_back(admitted.value());
+  }
+  ASSERT_TRUE(router.value()->Delete(ids[0]).ok());
+  // At least one compaction lands while the replica is away: the survivor
+  // rewrites its base, and replay must still converge the rejoiner.
+  const std::string compact_path = TempPath("catchup_compact");
+  ASSERT_TRUE(router.value()->replicas(0)[1]->Compact(compact_path).ok());
+  std::filesystem::remove(compact_path);
+
+  ASSERT_TRUE(router.value()->RejoinReplica(0, 0).ok());
+  ASSERT_TRUE(WaitConverged(*router.value()));
+  EXPECT_EQ(router.value()->replica_state(0, 0), ReplicaState::kActive);
+  EXPECT_EQ(router.value()->last_applied_seq(0, 0),
+            router.value()->log_last_seq(0));
+  EXPECT_TRUE(GroupDigestsAgree(*router.value()));
+
+  // Bit-identical replica answers: the same embedded probes through each
+  // group-0 replica directly.
+  const la::Matrix probes =
+      fleet.model->VectorizeAll(Sentences(6, "missed"));
+  for (size_t q = 0; q < probes.rows(); ++q) {
+    std::vector<std::vector<index::Neighbor>> per_replica;
+    for (const auto& engine : router.value()->replicas(0)) {
+      auto submitted = engine->SubmitEmbedded(std::vector<float>(
+          probes.Row(q), probes.Row(q) + probes.cols()));
+      ASSERT_TRUE(submitted.ok());
+      auto reply = submitted.value().get();
+      ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+      per_replica.push_back(reply.value().neighbors);
+    }
+    EXPECT_TRUE(SameResults(per_replica[0], per_replica[1]))
+        << "replicas disagree on probe " << q << " after catch-up";
+  }
+  // The rejoined replica serves router traffic again, and the record set
+  // reflects every mutation it missed.
+  auto lookup = router.value()->Submit(missed[3]);
+  ASSERT_TRUE(lookup.ok());
+  auto reply = lookup.value().get();
+  ASSERT_TRUE(reply.ok());
+  ASSERT_FALSE(reply.value().neighbors.empty());
+  EXPECT_EQ(reply.value().neighbors[0].id, ids[4 + 3]);
+  router.value()->Stop();
+  const auto metrics = router.value()->Metrics();
+  EXPECT_GE(metrics.catchups, 1u);
+  EXPECT_GE(metrics.replayed_mutations, 5u);
+  EXPECT_EQ(metrics.mutation_failures, 0u);
+}
+
+TEST(RouterRecovery, TruncatedLogForcesSnapshotResync) {
+  // log_capacity 2 with 12 missed mutations: the ring has long dropped the
+  // replica's position, so catch-up must take the snapshot-resync path.
+  const size_t k = 5;
+  Fleet fleet = MakeFleet(12, 1, 2, k, LiveEngineOptions());
+  auto router = Router::Create(
+      std::move(fleet.engines), fleet.model,
+      RecoveryRouterOptions(k, /*tick_micros=*/1000, /*log_capacity=*/2));
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  ASSERT_TRUE(router.value()->KillReplica(0, 1).ok());
+  std::vector<uint64_t> ids;
+  for (const auto& sentence : Sentences(12, "resync")) {
+    auto admitted = router.value()->Upsert(sentence);
+    ASSERT_TRUE(admitted.ok());
+    ids.push_back(admitted.value());
+  }
+  ASSERT_TRUE(router.value()->Delete(ids[1]).ok());
+  ASSERT_TRUE(router.value()->RejoinReplica(0, 1).ok());
+  ASSERT_TRUE(WaitConverged(*router.value()));
+  EXPECT_TRUE(GroupDigestsAgree(*router.value()));
+  EXPECT_EQ(router.value()->last_applied_seq(0, 1),
+            router.value()->log_last_seq(0));
+  router.value()->Stop();
+  const auto metrics = router.value()->Metrics();
+  EXPECT_GE(metrics.resyncs, 1u);
+  EXPECT_EQ(metrics.mutation_failures, 0u);
+}
+
+TEST(RouterRecovery, FabricatedDivergenceAutoDetectedAndHealed) {
+  // Silent corruption: a row injected into one replica behind the router's
+  // back, with NO router mutation to trip over it. Only the anti-entropy
+  // digest probe can catch it — and must, quarantining and resyncing the
+  // liar without the fleet serving its fabricated row afterwards.
+  const size_t k = 5;
+  Fleet fleet = MakeFleet(12, 1, 2, k, LiveEngineOptions());
+  auto router = Router::Create(std::move(fleet.engines), fleet.model,
+                               RecoveryRouterOptions(k));
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  const std::string probe = "fabricated corruption probe";
+  auto before = router.value()->Submit(probe);
+  ASSERT_TRUE(before.ok());
+  auto clean_reply = before.value().get();
+  ASSERT_TRUE(clean_reply.ok());
+
+  {
+    auto direct = router.value()->replicas(0)[1]->Upsert(probe);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(direct.value().get().ok());
+  }
+  // The probe tick quarantines the liar and the resync path heals it.
+  ASSERT_TRUE(WaitConverged(*router.value()));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (router.value()->Metrics().digest_mismatches == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(WaitConverged(*router.value()));
+  EXPECT_TRUE(GroupDigestsAgree(*router.value()));
+  auto healed_digest = router.value()->replicas(0)[1]->Digest();
+  ASSERT_TRUE(healed_digest.ok());
+  EXPECT_EQ(healed_digest.value().rows, 12u)
+      << "the fabricated row must be gone after resync";
+
+  // Post-heal answers are bit-identical to the pre-corruption ones — the
+  // fabricated row never leaks into a merged answer again.
+  for (int i = 0; i < 8; ++i) {
+    auto after = router.value()->Submit(probe);
+    ASSERT_TRUE(after.ok());
+    auto reply = after.value().get();
+    ASSERT_TRUE(reply.ok());
+    EXPECT_TRUE(SameResults(reply.value().neighbors,
+                            clean_reply.value().neighbors))
+        << "healed fleet disagrees with the clean oracle on probe " << i;
+  }
+  router.value()->Stop();
+  const auto metrics = router.value()->Metrics();
+  EXPECT_GE(metrics.digest_mismatches, 1u);
+  EXPECT_GE(metrics.resyncs, 1u);
+}
+
+TEST(RouterRecovery, LogAppendFailpointRefusesMutationFailClosed) {
+  SKIP_IF_FAILPOINTS_OFF();
+  const size_t k = 5;
+  Fleet fleet = MakeFleet(12, 1, 2, k, LiveEngineOptions());
+  auto router = Router::Create(std::move(fleet.engines), fleet.model,
+                               RecoveryRouterOptions(k));
+  ASSERT_TRUE(router.ok());
+  ASSERT_TRUE(fail::ConfigureSpec("recover/log_append", "error:io").ok());
+  auto refused = router.value()->Upsert("unloggable record");
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), Status::Code::kIoError);
+  fail::Disarm("recover/log_append");
+  // Fail-closed means NOWHERE: no log entry, no replica admitted the row.
+  EXPECT_EQ(router.value()->log_last_seq(0), 0u);
+  for (const auto& engine : router.value()->replicas(0)) {
+    auto digest = engine->Digest();
+    ASSERT_TRUE(digest.ok());
+    EXPECT_EQ(digest.value().rows, 12u);
+  }
+  auto admitted = router.value()->Upsert("loggable record");
+  ASSERT_TRUE(admitted.ok());
+  router.value()->Stop();
+  EXPECT_EQ(router.value()->Metrics().mutation_failures, 1u);
+}
+
+TEST(RouterRecovery, ReplayFailpointKeepsReplicaQuarantined) {
+  SKIP_IF_FAILPOINTS_OFF();
+  const size_t k = 5;
+  Fleet fleet = MakeFleet(12, 1, 2, k, LiveEngineOptions());
+  auto router = Router::Create(std::move(fleet.engines), fleet.model,
+                               RecoveryRouterOptions(k));
+  ASSERT_TRUE(router.ok());
+  ASSERT_TRUE(router.value()->KillReplica(0, 1).ok());
+  for (const auto& sentence : Sentences(4, "replay-blocked")) {
+    ASSERT_TRUE(router.value()->Upsert(sentence).ok());
+  }
+  ASSERT_TRUE(fail::ConfigureSpec("recover/replay", "error:io").ok());
+  ASSERT_TRUE(router.value()->RejoinReplica(0, 1).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Fail-closed: with replay injected to fail, not one record was
+  // re-applied and the replica never rejoined rotation.
+  EXPECT_NE(router.value()->replica_state(0, 1), ReplicaState::kActive);
+  EXPECT_EQ(router.value()->Metrics().replayed_mutations, 0u);
+  EXPECT_EQ(router.value()->Metrics().catchups, 0u);
+  fail::Disarm("recover/replay");
+  EXPECT_TRUE(WaitConverged(*router.value()));
+  EXPECT_TRUE(GroupDigestsAgree(*router.value()));
+  router.value()->Stop();
+  EXPECT_GE(router.value()->Metrics().catchups, 1u);
+}
+
+TEST(RouterRecovery, ResyncFailpointKeepsReplicaQuarantined) {
+  SKIP_IF_FAILPOINTS_OFF();
+  const size_t k = 5;
+  Fleet fleet = MakeFleet(12, 1, 2, k, LiveEngineOptions());
+  auto router = Router::Create(
+      std::move(fleet.engines), fleet.model,
+      RecoveryRouterOptions(k, /*tick_micros=*/1000, /*log_capacity=*/2));
+  ASSERT_TRUE(router.ok());
+  ASSERT_TRUE(router.value()->KillReplica(0, 1).ok());
+  for (const auto& sentence : Sentences(10, "resync-blocked")) {
+    ASSERT_TRUE(router.value()->Upsert(sentence).ok());
+  }
+  ASSERT_TRUE(fail::ConfigureSpec("recover/resync", "error:io").ok());
+  ASSERT_TRUE(router.value()->RejoinReplica(0, 1).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_NE(router.value()->replica_state(0, 1), ReplicaState::kActive);
+  EXPECT_EQ(router.value()->Metrics().resyncs, 0u);
+  fail::Disarm("recover/resync");
+  EXPECT_TRUE(WaitConverged(*router.value()));
+  EXPECT_TRUE(GroupDigestsAgree(*router.value()));
+  router.value()->Stop();
+  EXPECT_GE(router.value()->Metrics().resyncs, 1u);
+}
+
+TEST(RouterRecovery, DigestFailpointSkipsProbeFailClosed) {
+  SKIP_IF_FAILPOINTS_OFF();
+  // An armed digest failpoint must not produce verdicts: no replica gets
+  // condemned on missing information (and none gets acquitted either).
+  const size_t k = 5;
+  Fleet fleet = MakeFleet(12, 1, 2, k, LiveEngineOptions());
+  auto router = Router::Create(std::move(fleet.engines), fleet.model,
+                               RecoveryRouterOptions(k));
+  ASSERT_TRUE(router.ok());
+  ASSERT_TRUE(fail::ConfigureSpec("recover/digest", "error:io").ok());
+  {
+    auto direct = router.value()->replicas(0)[1]->Upsert("silent skew");
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(direct.value().get().ok());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(router.value()->Metrics().digest_mismatches, 0u);
+  EXPECT_EQ(router.value()->replica_state(0, 1), ReplicaState::kActive);
+  fail::Disarm("recover/digest");
+  // With the probe restored, detection and healing proceed.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (router.value()->Metrics().digest_mismatches == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(router.value()->Metrics().digest_mismatches, 1u);
+  EXPECT_TRUE(WaitConverged(*router.value()));
+  EXPECT_TRUE(GroupDigestsAgree(*router.value()));
+  router.value()->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// The recovery proptest: random interleavings of
+// {upsert, delete, outage, rejoin, compact, query} against a sequential
+// oracle — converged replicas must answer bit-identically.
+// ---------------------------------------------------------------------------
+
+TEST(RouterRecovery, RandomInterleavingsConvergeToSequentialOracle) {
+  auto model = std::make_shared<HashModel>();
+  model->Initialize();
+  proptest::ForAll(
+      "recovery interleavings == sequential oracle",
+      {.cases = 6, .min_size = 10, .max_size = 28},
+      [&](Rng& rng, size_t n) {
+        const uint32_t shards = 2;
+        const size_t replicas = 2, k = 4, base_rows = 6;
+        EngineOptions live = LiveEngineOptions();
+        live.k = k;
+        Fleet fleet;
+        fleet.model = model;
+        auto built = BuildShardSnapshots(BaseManifest(k),
+                                         TestCorpus(base_rows), shards);
+        if (!built.ok()) return false;
+        for (size_t r = 0; r < replicas; ++r) {
+          for (const Snapshot& shard : built.value()) {
+            auto engine = Engine::Create(shard, model, live);
+            if (!engine.ok()) return false;
+            fleet.engines.push_back(std::move(engine).value());
+          }
+        }
+        // Occasionally a tiny log, so some rejoins exercise resync.
+        const size_t log_capacity = rng.Below(3) == 0 ? 3 : 64;
+        auto created = Router::Create(
+            std::move(fleet.engines), model,
+            RecoveryRouterOptions(k, /*tick_micros=*/500, log_capacity));
+        if (!created.ok()) return false;
+        Router& router = *created.value();
+
+        // Sequential oracle state: the live (global id -> sentence) map,
+        // the upsert ticket, and each group's next local id.
+        std::map<uint64_t, std::string> mirror;
+        const auto base_sentences = Sentences(base_rows, "corpus");
+        for (size_t i = 0; i < base_rows; ++i) {
+          mirror[i] = base_sentences[i];
+        }
+        uint64_t ticket = 0;
+        std::vector<uint64_t> next_local;
+        for (uint32_t s = 0; s < shards; ++s) {
+          next_local.push_back((core::ShardPlan{shards, base_rows})
+                                   .RowsInShard(s));
+        }
+        std::vector<bool> killed(shards * replicas, false);
+        auto killed_at = [&](uint32_t s, size_t r) -> std::vector<bool>::reference {
+          return killed[s * replicas + r];
+        };
+
+        // Oracle query: exact top-k over the mirror via a freshly built
+        // snapshot, remapped through the sorted global-id list.
+        auto oracle_answer = [&](const std::string& sentence) {
+          std::vector<uint64_t> sorted_ids;
+          std::vector<std::string> rows;
+          for (const auto& [id, text] : mirror) {
+            sorted_ids.push_back(id);
+            rows.push_back(text);
+          }
+          la::Matrix corpus = model->VectorizeAll(rows);
+          const Snapshot oracle =
+              Snapshot::Build(BaseManifest(k), std::move(corpus));
+          const la::Matrix query = model->VectorizeAll({sentence});
+          auto lists = oracle.QueryBatch(query, k);
+          for (auto& neighbor : lists[0]) {
+            neighbor.id = sorted_ids[neighbor.id];
+          }
+          // Re-sort by (distance, global id): the remap can reorder ties.
+          std::sort(lists[0].begin(), lists[0].end(), index::CloserThan);
+          return lists[0];
+        };
+
+        bool pass = true;
+        for (size_t op = 0; op < n && pass; ++op) {
+          switch (rng.Below(6)) {
+            case 0:
+            case 1: {  // upsert (weighted: streams are write-heavy)
+              const std::string sentence =
+                  "streamed " + std::to_string(rng.Next());
+              const uint32_t owner =
+                  static_cast<uint32_t>(ticket % shards);
+              ++ticket;
+              auto admitted = router.Upsert(sentence);
+              if (!admitted.ok()) { pass = false; break; }
+              const uint64_t expect_gid =
+                  owner + next_local[owner]++ * shards;
+              if (admitted.value() != expect_gid) { pass = false; break; }
+              mirror[expect_gid] = sentence;
+              break;
+            }
+            case 2: {  // delete a random live row
+              if (mirror.empty()) break;
+              auto victim = mirror.begin();
+              std::advance(victim, rng.Below(mirror.size()));
+              if (!router.Delete(victim->first).ok()) { pass = false; break; }
+              mirror.erase(victim);
+              break;
+            }
+            case 3: {  // outage: kill one fully-converged replica
+              const uint32_t s = static_cast<uint32_t>(rng.Below(shards));
+              const size_t r = rng.Below(replicas);
+              if (killed_at(s, r) || killed_at(s, 1 - r)) break;
+              // Only kill when the sibling is active, so the group always
+              // keeps one serving replica (availability invariant).
+              if (router.replica_state(s, 1 - r) != ReplicaState::kActive ||
+                  router.replica_state(s, r) != ReplicaState::kActive) {
+                break;
+              }
+              if (!router.KillReplica(s, r).ok()) { pass = false; break; }
+              killed_at(s, r) = true;
+              break;
+            }
+            case 4: {  // rejoin a killed replica (recovery heals it)
+              for (uint32_t s = 0; s < shards; ++s) {
+                for (size_t r = 0; r < replicas; ++r) {
+                  if (killed_at(s, r)) {
+                    if (!router.RejoinReplica(s, r).ok()) pass = false;
+                    killed_at(s, r) = false;
+                    s = shards;
+                    break;
+                  }
+                }
+              }
+              break;
+            }
+            case 5: {  // compact an active replica, then query vs oracle
+              const uint32_t s = static_cast<uint32_t>(rng.Below(shards));
+              for (size_t r = 0; r < replicas; ++r) {
+                if (router.replica_state(s, r) == ReplicaState::kActive) {
+                  const std::string path = TempPath(
+                      "proptest_compact_" + std::to_string(rng.Next()));
+                  if (!router.replicas(s)[r]->Compact(path).ok()) {
+                    pass = false;
+                  }
+                  std::filesystem::remove(path);
+                  break;
+                }
+              }
+              if (!pass || mirror.empty()) break;
+              auto victim = mirror.begin();
+              std::advance(victim, rng.Below(mirror.size()));
+              auto submitted = router.Submit(victim->second);
+              if (!submitted.ok()) { pass = false; break; }
+              auto reply = submitted.value().get();
+              if (!reply.ok() || reply.value().partial) { pass = false; break; }
+              if (!SameResults(reply.value().neighbors,
+                               oracle_answer(victim->second))) {
+                pass = false;
+              }
+              break;
+            }
+          }
+        }
+        // Drain: rejoin everything, wait for convergence, and require the
+        // fleet to agree with itself and with the sequential oracle.
+        for (uint32_t s = 0; s < shards && pass; ++s) {
+          for (size_t r = 0; r < replicas; ++r) {
+            if (killed_at(s, r)) {
+              if (!router.RejoinReplica(s, r).ok()) pass = false;
+              killed_at(s, r) = false;
+            }
+          }
+        }
+        if (pass) pass = WaitConverged(router);
+        if (pass) pass = static_cast<bool>(GroupDigestsAgree(router));
+        if (pass) {
+          for (int probe = 0; probe < 4 && pass; ++probe) {
+            if (mirror.empty()) break;
+            auto target = mirror.begin();
+            std::advance(target, rng.Below(mirror.size()));
+            auto submitted = router.Submit(target->second);
+            if (!submitted.ok()) { pass = false; break; }
+            auto reply = submitted.value().get();
+            if (!reply.ok() || reply.value().partial) { pass = false; break; }
+            pass = SameResults(reply.value().neighbors,
+                               oracle_answer(target->second));
+          }
+        }
+        router.Stop();
+        return pass;
+      });
 }
 
 }  // namespace

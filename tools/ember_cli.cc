@@ -112,7 +112,8 @@ int Usage(const char* argv0) {
                "[--scale f] [--seed n] [--k n] [--index exact|hnsw|lsh] "
                "[--storage f32|int8]\n"
                "       (serve-bench also takes --shards N --replicas R for "
-               "routed scatter-gather serving)\n",
+               "routed scatter-gather serving, and --kill-replica s:r "
+               "[--rejoin-replica] for a recovery drill)\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
@@ -145,6 +146,10 @@ struct CliArgs {
   size_t shards = 1;     // serve-bench/snapshot-shard shard count
   size_t replicas = 1;   // serve-bench replicas per shard
   std::string prefix;    // snapshot-shard output prefix
+  // recovery drill (serve-bench): kill "s:r" at 1/3 of the run, mutate past
+  // it, optionally rejoin at 2/3 and require convergence before exit 0.
+  std::string kill_replica;
+  bool rejoin_replica = false;
   // stream-dedup
   double threshold = 0.75;   // match when sim = (1 + cos) / 2 >= threshold
   size_t report_every = 0;   // 0: pick ~5 checkpoints from the stream length
@@ -202,6 +207,10 @@ bool ParseCli(int argc, char** argv, int first, CliArgs& args) {
       args.replicas = static_cast<size_t>(std::atoi(argv[++i]));
     } else if (arg == "--prefix" && i + 1 < argc) {
       args.prefix = argv[++i];
+    } else if (arg == "--kill-replica" && i + 1 < argc) {
+      args.kill_replica = argv[++i];
+    } else if (arg == "--rejoin-replica") {
+      args.rejoin_replica = true;
     } else if (arg == "--threshold" && i + 1 < argc) {
       args.threshold = std::atof(argv[++i]);
     } else if (arg == "--report" && i + 1 < argc) {
@@ -718,11 +727,38 @@ int RunServeBenchSharded(const CliArgs& args) {
 
   // N x R engines (Snapshot is copyable — mmap'ed sets share one mapping),
   // then the Router on top. Engine k matches the router's merge k.
+  // Recovery drill: --kill-replica s:r takes one replica down a third of
+  // the way into the run while mutations keep flowing; --rejoin-replica
+  // brings it back at two thirds and the run only exits 0 once catch-up
+  // converged the fleet. Needs live engines (the mutation path) and R >= 2
+  // so the group keeps serving through the outage.
+  const bool drill = !args.kill_replica.empty();
+  uint32_t kill_shard = 0;
+  size_t kill_rep = 0;
+  if (drill) {
+    int s = -1, r = -1;
+    if (std::sscanf(args.kill_replica.c_str(), "%d:%d", &s, &r) != 2 ||
+        s < 0 || r < 0 || static_cast<size_t>(s) >= args.shards ||
+        static_cast<size_t>(r) >= args.replicas) {
+      std::fprintf(stderr,
+                   "--kill-replica wants s:r with s < %zu and r < %zu\n",
+                   args.shards, args.replicas);
+      return 1;
+    }
+    if (args.replicas < 2) {
+      std::fprintf(stderr, "--kill-replica needs --replicas >= 2\n");
+      return 1;
+    }
+    kill_shard = static_cast<uint32_t>(s);
+    kill_rep = static_cast<size_t>(r);
+  }
+
   serve::EngineOptions engine_options;
   engine_options.k = args.k;
   engine_options.max_queue = args.max_queue;
   engine_options.max_batch = args.max_batch;
   engine_options.max_wait_micros = args.wait_micros;
+  engine_options.live = drill;
   std::vector<std::unique_ptr<serve::Engine>> engines;
   for (size_t r = 0; r < std::max<size_t>(1, args.replicas); ++r) {
     for (const serve::Snapshot& shard : shards) {
@@ -810,6 +846,10 @@ int RunServeBenchSharded(const CliArgs& args) {
   }
   const auto total =
       static_cast<size_t>(args.qps * args.duration_seconds + 0.5);
+  const size_t kill_at = drill ? total / 3 : total + 1;
+  const size_t rejoin_at =
+      (drill && args.rejoin_replica) ? (2 * total) / 3 : total + 1;
+  size_t missed_mutations = 0;
   std::vector<std::future<Result<serve::RouterReply>>> futures;
   futures.reserve(total);
   const SteadyTime start = SteadyNow();
@@ -817,6 +857,27 @@ int RunServeBenchSharded(const CliArgs& args) {
     const SteadyTime at =
         AfterMicros(start, static_cast<int64_t>(i * 1e6 / args.qps));
     std::this_thread::sleep_until(at);
+    if (i == kill_at) {
+      const Status down = router.value()->KillReplica(kill_shard, kill_rep);
+      std::printf("drill: killed replica %u:%zu at query %zu (%s)\n",
+                  kill_shard, kill_rep, i,
+                  down.ok() ? "ok" : down.ToString().c_str());
+    }
+    if (i == rejoin_at) {
+      const Status up = router.value()->RejoinReplica(kill_shard, kill_rep);
+      std::printf("drill: rejoined replica %u:%zu at query %zu after %zu "
+                  "missed mutations (%s)\n",
+                  kill_shard, kill_rep, i, missed_mutations,
+                  up.ok() ? "ok" : up.ToString().c_str());
+    }
+    // The write stream never pauses: every 8th tick upserts, so a downed
+    // replica genuinely falls behind and has something to catch up on.
+    if (drill && i % 8 == 0) {
+      auto admitted = router.value()->Upsert(
+          "drill upsert " + std::to_string(i) + " " +
+          queries[i % queries.size()]);
+      if (admitted.ok() && i >= kill_at && i < rejoin_at) ++missed_mutations;
+    }
     auto submitted = router.value()->Submit(
         queries[i % queries.size()],
         AfterMicros(SteadyNow(),
@@ -832,6 +893,19 @@ int RunServeBenchSharded(const CliArgs& args) {
     }
   }
   const double wall = MicrosBetween(start, SteadyNow()) / 1e6;
+
+  // Drill verdict (before Stop(), which joins the recovery worker): with a
+  // rejoin requested the fleet must converge — catch-up replay or resync
+  // finishing with every replica active — or the whole run fails closed.
+  bool converged = true;
+  if (drill && args.rejoin_replica) {
+    const SteadyTime deadline = AfterMicros(SteadyNow(), 15'000'000);
+    while (!router.value()->Converged() &&
+           MicrosBetween(SteadyNow(), deadline) > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    converged = router.value()->Converged();
+  }
   std::string prometheus;
   if (args.dump_metrics) {
     prometheus = obs::Registry::Global().ToPrometheusText();
@@ -874,6 +948,26 @@ int RunServeBenchSharded(const CliArgs& args) {
               static_cast<unsigned long long>(metrics.shards_degraded),
               static_cast<unsigned long long>(metrics.sibling_retries),
               static_cast<unsigned long long>(metrics.retries));
+  if (drill) {
+    std::printf(
+        "drill: availability=%.4f quarantines=%llu catchups=%llu "
+        "resyncs=%llu replayed=%llu digest_mismatches=%llu converged=%s\n",
+        futures.empty() ? 0.0
+                        : static_cast<double>(ok - partial) / futures.size(),
+        static_cast<unsigned long long>(metrics.quarantines),
+        static_cast<unsigned long long>(metrics.catchups),
+        static_cast<unsigned long long>(metrics.resyncs),
+        static_cast<unsigned long long>(metrics.replayed_mutations),
+        static_cast<unsigned long long>(metrics.digest_mismatches),
+        converged ? "yes" : "NO");
+    if (!converged) {
+      std::fprintf(stderr,
+                   "drill FAILED: replica %u:%zu never converged after "
+                   "rejoin\n",
+                   kill_shard, kill_rep);
+      return 1;
+    }
+  }
   const auto dump = [](const char* name, const HistogramSnapshot& h) {
     std::printf("%-12s p50=%8.0f us  p99=%8.0f us  max=%8.0f us\n", name,
                 h.Percentile(0.5), h.Percentile(0.99), h.max);
