@@ -17,28 +17,38 @@ Result<uint64_t> MutationLog::Append(MutationRecord record) {
   EMBER_FAILPOINT("recover/log_append");
   std::lock_guard<std::mutex> lock(mu_);
   record.seq = ++last_seq_;
+  // Uncommitted until CommitLast: no eviction yet (a popped append must not
+  // have cost the oldest record its place in the replay window).
   records_.push_back(std::move(record));
-  if (records_.size() > capacity_) records_.pop_front();
   return records_.back().seq;
 }
 
 void MutationLog::PopLast() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (records_.empty()) return;
+  // Only the uncommitted in-flight record may be rolled back; committed
+  // history is immutable.
+  if (records_.empty() || records_.back().seq <= committed_seq_) return;
   records_.pop_back();
   --last_seq_;
 }
 
-void MutationLog::PatchLastId(uint64_t id) {
+void MutationLog::CommitLast(uint64_t winner_id) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!records_.empty()) records_.back().id = id;
+  if (records_.empty() || records_.back().seq <= committed_seq_) return;
+  records_.back().id = winner_id;
+  committed_seq_ = records_.back().seq;
+  // Deferred capacity eviction: only a committed append may push the
+  // oldest records out of the ring.
+  while (records_.size() > capacity_) records_.pop_front();
 }
 
 Result<std::vector<MutationRecord>> MutationLog::ReadFrom(
     uint64_t after_seq) const {
   std::lock_guard<std::mutex> lock(mu_);
+  const bool none_committed =
+      records_.empty() || records_.front().seq > committed_seq_;
   const uint64_t first =
-      records_.empty() ? last_seq_ + 1 : records_.front().seq;
+      none_committed ? committed_seq_ + 1 : records_.front().seq;
   if (after_seq + 1 < first) {
     return Status::NotFound(
         "mutation log truncated: oldest retained seq " +
@@ -47,19 +57,28 @@ Result<std::vector<MutationRecord>> MutationLog::ReadFrom(
   }
   std::vector<MutationRecord> out;
   for (const MutationRecord& record : records_) {
-    if (record.seq > after_seq) out.push_back(record);
+    if (record.seq > after_seq && record.seq <= committed_seq_) {
+      out.push_back(record);
+    }
   }
   return out;
 }
 
 uint64_t MutationLog::first_seq() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return records_.empty() ? last_seq_ + 1 : records_.front().seq;
+  const bool none_committed =
+      records_.empty() || records_.front().seq > committed_seq_;
+  return none_committed ? committed_seq_ + 1 : records_.front().seq;
 }
 
 uint64_t MutationLog::last_seq() const {
   std::lock_guard<std::mutex> lock(mu_);
   return last_seq_;
+}
+
+uint64_t MutationLog::committed_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_seq_;
 }
 
 size_t MutationLog::size() const {
@@ -71,10 +90,17 @@ Status MutationLog::SaveTo(const std::string& path) const {
   BinaryWriter writer;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    writer.WriteU32(kLogVersion);
-    writer.WriteU64(last_seq_);
-    writer.WriteU64(records_.size());
+    // Committed records only: an in-flight append may yet be popped, and a
+    // restart must never replay a mutation that was never acknowledged.
+    uint64_t committed = 0;
     for (const MutationRecord& record : records_) {
+      if (record.seq <= committed_seq_) ++committed;
+    }
+    writer.WriteU32(kLogVersion);
+    writer.WriteU64(committed_seq_);
+    writer.WriteU64(committed);
+    for (const MutationRecord& record : records_) {
+      if (record.seq > committed_seq_) continue;
       writer.WriteU64(record.seq);
       writer.WriteU32(static_cast<uint32_t>(record.op));
       writer.WriteU64(record.id);
@@ -124,6 +150,7 @@ Status MutationLog::LoadFrom(const std::string& path) {
   std::lock_guard<std::mutex> lock(mu_);
   records_ = std::move(records);
   last_seq_ = last_seq;
+  committed_seq_ = last_seq;  // a segment holds only committed records
   return Status::Ok();
 }
 

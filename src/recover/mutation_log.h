@@ -30,41 +30,62 @@ struct MutationRecord {
 /// (SaveTo/LoadFrom, EMBL0001 container) persists the ring across process
 /// restarts.
 ///
+/// Records move through a two-step protocol: Append assigns a seq but
+/// leaves the record UNCOMMITTED — invisible to ReadFrom/first_seq and
+/// never persisted — until the broadcast settles it with CommitLast (some
+/// replica accepted) or PopLast (unanimous refusal — the mutation never
+/// happened). A concurrent replay therefore cannot observe a record whose
+/// winner id is still a placeholder, or one that is about to be rolled
+/// back. Capacity eviction is deferred to CommitLast for the same reason:
+/// an append that ends up popped must not have cost the oldest retained
+/// record its place in the replay window.
+///
 /// Thread safety: every method locks internally. Appends are additionally
 /// serialized by the router's group mutation lock, which is what makes the
-/// (append, apply, patch-id) triple atomic with respect to other writers.
+/// (append, apply, commit/pop) triple atomic with respect to other writers
+/// and guarantees at most one uncommitted record at a time.
 class MutationLog {
  public:
   explicit MutationLog(size_t capacity) : capacity_(capacity ? capacity : 1) {}
 
-  /// Assigns the next group sequence number to `record`, appends it, and
-  /// returns the assigned seq. Fires the fail-closed `recover/log_append`
-  /// failpoint BEFORE touching the ring: an injected fault means the
-  /// mutation was never logged, so the caller must refuse it.
+  /// Assigns the next group sequence number to `record`, appends it
+  /// uncommitted, and returns the assigned seq. Fires the fail-closed
+  /// `recover/log_append` failpoint BEFORE touching the ring: an injected
+  /// fault means the mutation was never logged, so the caller must refuse
+  /// it.
   Result<uint64_t> Append(MutationRecord record);
 
-  /// Rolls back the most recent Append — used when zero replicas accepted
-  /// the mutation, so the log must not claim it happened. Only valid under
-  /// the same group mutation lock as the Append it undoes.
+  /// Rolls back an uncommitted Append — used when zero replicas accepted
+  /// the mutation, so the log must not claim it happened. A no-op when the
+  /// newest record is already committed. Only valid under the same group
+  /// mutation lock as the Append it undoes.
   void PopLast();
 
-  /// Patches the id of the most recent record to the id the replica fleet
-  /// actually assigned (the winner). Same locking contract as PopLast.
-  void PatchLastId(uint64_t id);
+  /// Commits the most recent Append, patching its id to the id the replica
+  /// fleet actually assigned (the winner) and evicting the oldest records
+  /// once the ring exceeds capacity. Same locking contract as PopLast.
+  void CommitLast(uint64_t winner_id);
 
-  /// Every retained record with seq > after_seq, in sequence order. Fails
+  /// Every committed record with seq > after_seq, in sequence order. Fails
   /// with NotFound when the ring has dropped records past that position —
-  /// the signal to fall back to snapshot resync.
+  /// the signal to fall back to snapshot resync. An in-flight uncommitted
+  /// record is never returned.
   Result<std::vector<MutationRecord>> ReadFrom(uint64_t after_seq) const;
 
-  /// Sequence of the oldest retained record; last_seq() + 1 when empty.
+  /// Sequence of the oldest committed retained record; committed_seq() + 1
+  /// when no committed records are retained.
   uint64_t first_seq() const;
-  /// Highest sequence ever assigned (0 before the first Append).
+  /// Highest sequence ever assigned (0 before the first Append). May run
+  /// one ahead of committed_seq() while a broadcast is in flight.
   uint64_t last_seq() const;
+  /// Highest committed sequence — the replay horizon ReadFrom honors.
+  uint64_t committed_seq() const;
   size_t size() const;
   size_t capacity() const { return capacity_; }
 
-  /// Persists the ring as a checksummed EMBL0001 container (atomic publish).
+  /// Persists the committed records as a checksummed EMBL0001 container
+  /// (atomic publish). An in-flight uncommitted record is skipped — a
+  /// restart must not replay a mutation that was never acknowledged.
   Status SaveTo(const std::string& path) const;
   /// Replaces the ring with a segment written by SaveTo. Fails closed on
   /// any corruption or a non-contiguous sequence run; keeps this log's
@@ -76,6 +97,9 @@ class MutationLog {
   mutable std::mutex mu_;
   std::deque<MutationRecord> records_;
   uint64_t last_seq_ = 0;
+  /// Replay horizon: records with seq > committed_seq_ are in-flight and
+  /// invisible to readers until CommitLast advances this.
+  uint64_t committed_seq_ = 0;
 };
 
 }  // namespace ember::recover

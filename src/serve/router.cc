@@ -529,9 +529,10 @@ Result<uint64_t> Router::BroadcastMutation(
     divergent = true;
     Quarantine(group, r, /*divergent=*/false, "replica missed a mutation");
   }
-  // The log keeps the id the fleet actually assigned, so replay reproduces
-  // (and can verify) the winner's assignment.
-  group.log->PatchLastId(winner);
+  // Commit exposes the record to replay with the id the fleet actually
+  // assigned, so replay reproduces (and can verify) the winner's
+  // assignment; until this point a concurrent catch-up could not see it.
+  group.log->CommitLast(winner);
   if (is_upsert) {
     ++group.expected_rows;
   } else if (group.expected_rows > 0) {
@@ -725,24 +726,55 @@ void Router::ProbeGroupDigests(size_t group_index) {
     probes.push_back({r, digest.value()});
   }
   if (probes.size() < 2) return;
-  // Majority vote over (rows, content); ties prefer the digest whose row
-  // count matches the router's own mutation accounting, then the lowest
-  // replica index (deterministic).
-  size_t best = 0;
-  size_t best_votes = 0;
-  bool best_expected = false;
+  // Majority vote over (rows, content). A strict majority (more than half
+  // the probes agreeing) is trusted outright. Without one, the router's
+  // own mutation accounting (expected_rows) may break the tie — but ONLY
+  // when it points at exactly one of the tied content classes. Otherwise
+  // there is NO verdict this tick: with two replicas and equal row counts
+  // (e.g. a silent bit flip) any deterministic tie-break can crown the
+  // corrupted replica, quarantine the healthy one, and then resync it FROM
+  // the corrupted donor — propagating the corruption group-wide. Failing
+  // closed leaves both serving until a sibling, a mutation mismatch, or an
+  // operator breaks the symmetry.
+  std::vector<size_t> votes(probes.size(), 0);
   for (size_t i = 0; i < probes.size(); ++i) {
-    size_t votes = 0;
     for (const Probe& other : probes) {
-      if (recover::SameContent(probes[i].digest, other.digest)) ++votes;
+      if (recover::SameContent(probes[i].digest, other.digest)) ++votes[i];
     }
-    const bool expected = probes[i].digest.rows == group.expected_rows;
-    if (votes > best_votes ||
-        (votes == best_votes && expected && !best_expected)) {
-      best = i;
-      best_votes = votes;
-      best_expected = expected;
+  }
+  const size_t max_votes = *std::max_element(votes.begin(), votes.end());
+  size_t best = probes.size();
+  if (max_votes > probes.size() / 2) {
+    // A strict majority is a single content class; its first member
+    // represents it.
+    for (size_t i = 0; i < probes.size(); ++i) {
+      if (votes[i] == max_votes) {
+        best = i;
+        break;
+      }
     }
+  } else {
+    // Distinct content classes among the max-vote contenders.
+    std::vector<size_t> leaders;
+    for (size_t i = 0; i < probes.size(); ++i) {
+      if (votes[i] != max_votes) continue;
+      bool seen = false;
+      for (size_t j : leaders) {
+        if (recover::SameContent(probes[j].digest, probes[i].digest)) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) leaders.push_back(i);
+    }
+    size_t expected_leaders = 0;
+    for (size_t i : leaders) {
+      if (probes[i].digest.rows == group.expected_rows) {
+        best = i;
+        ++expected_leaders;
+      }
+    }
+    if (expected_leaders != 1) return;  // fail closed: no verdict this tick
   }
   for (const Probe& probe : probes) {
     if (recover::SameContent(probe.digest, probes[best].digest)) continue;
@@ -752,6 +784,20 @@ void Router::ProbeGroupDigests(size_t group_index) {
     Quarantine(group, probe.replica, /*divergent=*/true,
                "anti-entropy digest mismatch");
   }
+}
+
+bool Router::Activate(ShardGroup& group, ReplicaMeta& meta) {
+  // Caller holds group.mutate_mu: no broadcast is in flight, so the log's
+  // last_seq IS the group's committed frontier and nothing can land between
+  // this store and the replica re-entering rotation.
+  meta.last_applied.store(group.log->last_seq(), std::memory_order_release);
+  meta.divergent.store(false, std::memory_order_release);
+  uint32_t expected = static_cast<uint32_t>(ReplicaState::kCatchingUp);
+  // CAS, not store: an admin KillReplica that landed mid-heal must stick —
+  // a healed-but-killed replica stays out of rotation.
+  return meta.state.compare_exchange_strong(
+      expected, static_cast<uint32_t>(ReplicaState::kActive),
+      std::memory_order_acq_rel);
 }
 
 bool Router::TryHeal(size_t group_index, size_t replica) {
@@ -782,8 +828,7 @@ bool Router::TryHeal(size_t group_index, size_t replica) {
           Result<recover::CorpusDigest> theirs = group.engines[r]->Digest();
           if (theirs.ok() &&
               recover::SameContent(mine.value(), theirs.value())) {
-            meta.divergent.store(false, std::memory_order_release);
-            healed = true;
+            healed = Activate(group, meta);
             break;
           }
         }
@@ -808,9 +853,14 @@ bool Router::TryHeal(size_t group_index, size_t replica) {
       healed = ResyncReplica(group, group_index, replica);
     }
   }
-  meta.state.store(static_cast<uint32_t>(healed ? ReplicaState::kActive
-                                                : ReplicaState::kQuarantined),
-                   std::memory_order_release);
+  if (!healed) {
+    // Back to quarantine for the next tick — CAS so an external transition
+    // (admin kill) that claimed the replica mid-heal sticks.
+    expected = static_cast<uint32_t>(ReplicaState::kCatchingUp);
+    meta.state.compare_exchange_strong(
+        expected, static_cast<uint32_t>(ReplicaState::kQuarantined),
+        std::memory_order_acq_rel);
+  }
   return healed;
 }
 
@@ -892,16 +942,15 @@ bool Router::ReplayReplica(ShardGroup& group, size_t replica) {
     if (records.value().empty()) break;
     if (!ApplyRecords(target, meta, records.value()).ok()) return false;
   }
-  // Hand-off: the final tail replays under the group lock so no mutation
-  // can slip between the replica's last record and its reactivation — it
-  // rejoins exactly at log.last_seq().
+  // Hand-off: the final tail replays AND the replica reactivates under the
+  // group lock, so no mutation can slip between the replica's last record
+  // and its return to rotation — it rejoins exactly at log.last_seq().
   std::lock_guard<std::mutex> lock(group.mutate_mu);
   Result<std::vector<recover::MutationRecord>> tail =
       group.log->ReadFrom(meta.last_applied.load(std::memory_order_acquire));
   if (!tail.ok()) return false;
   if (!ApplyRecords(target, meta, tail.value()).ok()) return false;
-  meta.last_applied.store(group.log->last_seq(), std::memory_order_release);
-  meta.divergent.store(false, std::memory_order_release);
+  if (!Activate(group, meta)) return false;
   catchups_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -955,9 +1004,7 @@ bool Router::ResyncReplica(ShardGroup& group, size_t group_index,
     EMBER_WARN("resync adoption failed: %s", adopted.ToString().c_str());
     return false;
   }
-  ReplicaMeta& meta = *group.meta[replica];
-  meta.last_applied.store(group.log->last_seq(), std::memory_order_release);
-  meta.divergent.store(false, std::memory_order_release);
+  if (!Activate(group, *group.meta[replica])) return false;
   resyncs_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }

@@ -212,9 +212,12 @@ class Router {
   /// Upsert; NotFound when the id is unknown to the owning shard.
   Status Delete(uint64_t global_id);
 
-  /// Administratively removes a replica from rotation (kActive/kQuarantined
-  /// -> kKilled): it stops receiving queries and mutations and the recovery
-  /// worker leaves it alone — the outage half of a kill/rejoin drill.
+  /// Administratively removes a replica from rotation (any state ->
+  /// kKilled): it stops receiving queries and mutations and the recovery
+  /// worker leaves it alone — the outage half of a kill/rejoin drill. A
+  /// kill landing while the recovery worker has the replica mid-heal
+  /// (kCatchingUp) sticks: every recovery transition is a CAS that treats
+  /// the kill as an external claim and backs off.
   Status KillReplica(uint32_t shard, size_t replica);
 
   /// Readmits a killed replica as kQuarantined: the recovery worker replays
@@ -317,8 +320,9 @@ class Router {
   /// an unlogged mutation is refused), applies it to every kActive replica,
   /// quarantines replicas that miss it (only when a sibling succeeded —
   /// unanimous refusal means the replicas agree) or return a divergent id,
-  /// rolls the log back when zero replicas accepted, and patches the logged
-  /// id to the winner's.
+  /// rolls the log back when zero replicas accepted, and otherwise commits
+  /// the record with the winner's id — only then does it become visible to
+  /// catch-up replay.
   Result<uint64_t> BroadcastMutation(
       ShardGroup& group, recover::MutationRecord record,
       const std::function<Result<std::future<Result<MutateReply>>>(Engine&)>&
@@ -337,18 +341,27 @@ class Router {
   void RecoveryLoop();
   void RecoveryTick();
   /// Anti-entropy probe of one group: compares the digests of its kActive
-  /// replicas under the group lock and quarantines the minority. Fail-closed
-  /// per the recover/digest failpoint — a replica whose digest errs is
-  /// skipped, never judged.
+  /// replicas under the group lock and quarantines the minority under a
+  /// strict-majority vote (expected_rows may break a no-majority tie only
+  /// when it singles out exactly one content class; otherwise no verdict).
+  /// Fail-closed per the recover/digest failpoint — a replica whose digest
+  /// errs is skipped, never judged.
   void ProbeGroupDigests(size_t group_index);
   /// Heals one quarantined replica (replay or resync). Returns true when
   /// the replica was returned to rotation.
   bool TryHeal(size_t group_index, size_t replica);
-  /// Log-replay catch-up: bulk rounds off-lock, final tail under the group
-  /// lock, activation at log.last_seq().
+  /// Final heal step, caller MUST hold group.mutate_mu: records the
+  /// caught-up position (log.last_seq()) and CASes kCatchingUp -> kActive.
+  /// Returns false when an external transition (admin kill) claimed the
+  /// replica mid-heal — the kill sticks and the replica stays out of
+  /// rotation.
+  bool Activate(ShardGroup& group, ReplicaMeta& meta);
+  /// Log-replay catch-up: bulk rounds off-lock, final tail + activation
+  /// under the group lock so nothing slips between them.
   bool ReplayReplica(ShardGroup& group, size_t replica);
   /// Snapshot resync: under the group lock, a kActive live donor Compacts
-  /// to a hand-off file and the target adopts it via Engine::ResyncFrom.
+  /// to a hand-off file and the target adopts it via Engine::ResyncFrom,
+  /// then activates before the lock is released.
   bool ResyncReplica(ShardGroup& group, size_t group_index, size_t replica);
   /// Applies `records` to `engine` in order, verifying upsert id agreement;
   /// advances meta.last_applied per record. Flags divergence on mismatch.

@@ -115,6 +115,7 @@ TEST(MutationLog, AssignsMonotoneSeqsAndReadsSuffixes) {
     auto seq = log.Append(Upsert(i, 0.5f));
     ASSERT_TRUE(seq.ok());
     EXPECT_EQ(seq.value(), i + 1);
+    log.CommitLast(i);
   }
   EXPECT_EQ(log.size(), 5u);
   auto all = log.ReadFrom(0);
@@ -133,10 +134,31 @@ TEST(MutationLog, AssignsMonotoneSeqsAndReadsSuffixes) {
   EXPECT_TRUE(none.value().empty());
 }
 
+TEST(MutationLog, UncommittedAppendInvisibleToReplay) {
+  // A record mid-broadcast (appended, not yet committed) must not reach a
+  // concurrent replay: its id is still the caller's placeholder and it may
+  // yet be rolled back by a unanimous refusal.
+  MutationLog log(8);
+  ASSERT_TRUE(log.Append(Upsert(1, 1.f)).ok());
+  log.CommitLast(1);
+  ASSERT_TRUE(log.Append(Upsert(7, 2.f)).ok());
+  EXPECT_EQ(log.last_seq(), 2u);
+  EXPECT_EQ(log.committed_seq(), 1u);
+  auto mid = log.ReadFrom(0);
+  ASSERT_TRUE(mid.ok());
+  ASSERT_EQ(mid.value().size(), 1u) << "in-flight record leaked to replay";
+  EXPECT_EQ(mid.value()[0].seq, 1u);
+  log.CommitLast(7);
+  auto after = log.ReadFrom(0);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().size(), 2u);
+}
+
 TEST(MutationLog, RingDropsOldestAndTruncationFailsLoudly) {
   MutationLog log(4);
   for (uint64_t i = 0; i < 10; ++i) {
     ASSERT_TRUE(log.Append(Upsert(i, 1.f)).ok());
+    log.CommitLast(i);
   }
   EXPECT_EQ(log.size(), 4u);
   EXPECT_EQ(log.first_seq(), 7u);
@@ -150,24 +172,54 @@ TEST(MutationLog, RingDropsOldestAndTruncationFailsLoudly) {
   EXPECT_EQ(truncated.status().code(), Status::Code::kNotFound);
 }
 
-TEST(MutationLog, PopLastRollsBackAndPatchRewritesWinner) {
+TEST(MutationLog, PopLastRollsBackAndCommitRewritesWinner) {
   MutationLog log(8);
   ASSERT_TRUE(log.Append(Upsert(1, 1.f)).ok());
+  log.CommitLast(1);
   ASSERT_TRUE(log.Append(Upsert(7, 2.f)).ok());
-  // The fleet assigned a different id than the record guessed: patch it so
-  // replay reproduces the actual assignment.
-  log.PatchLastId(9);
+  // The fleet assigned a different id than the record guessed: the commit
+  // patches it so replay reproduces the actual assignment.
+  log.CommitLast(9);
   auto records = log.ReadFrom(0);
   ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 2u);
   EXPECT_EQ(records.value()[1].id, 9u);
   // Zero replicas accepted: the mutation never happened, the log must not
   // claim it.
+  ASSERT_TRUE(log.Append(Upsert(5, 3.f)).ok());
   log.PopLast();
-  EXPECT_EQ(log.size(), 1u);
-  EXPECT_EQ(log.last_seq(), 1u);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.last_seq(), 2u);
+  // Committed history is immutable: a stray PopLast with no in-flight
+  // record is a no-op.
+  log.PopLast();
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.last_seq(), 2u);
   auto seq = log.Append(Upsert(3, 3.f));
   ASSERT_TRUE(seq.ok());
-  EXPECT_EQ(seq.value(), 2u) << "rolled-back seq must be reassigned";
+  EXPECT_EQ(seq.value(), 3u) << "rolled-back seq must be reassigned";
+}
+
+TEST(MutationLog, FailedBroadcastAtCapacityKeepsReplayWindow) {
+  // Eviction is deferred to commit: an append that ends up popped (zero
+  // replicas accepted) must not cost the oldest retained record — each
+  // failed mutation at capacity must NOT silently shrink the replay window.
+  MutationLog log(2);
+  for (uint64_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(log.Append(Upsert(i, 1.f)).ok());
+    log.CommitLast(i);
+  }
+  EXPECT_EQ(log.first_seq(), 1u);
+  ASSERT_TRUE(log.Append(Upsert(9, 9.f)).ok());
+  log.PopLast();
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.first_seq(), 1u) << "failed broadcast shrank the window";
+  ASSERT_TRUE(log.ReadFrom(0).ok());
+  // A committed append evicts as usual.
+  ASSERT_TRUE(log.Append(Upsert(2, 2.f)).ok());
+  log.CommitLast(2);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.first_seq(), 2u);
 }
 
 // ---------------------------------------------------------------------------
@@ -181,9 +233,14 @@ TEST(MutationLog, SegmentRoundTripsBitIdentically) {
                     .Append(i % 3 == 2 ? Delete(i / 3)
                                        : Upsert(i, 0.25f * (i + 1)))
                     .ok());
+    log.CommitLast(i % 3 == 2 ? i / 3 : i);
   }
+  // An in-flight uncommitted record must not be persisted: a restart would
+  // otherwise replay a mutation that was never acknowledged.
+  ASSERT_TRUE(log.Append(Upsert(99, 9.f)).ok());
   const std::string path = TempPath("segment");
   ASSERT_TRUE(log.SaveTo(path).ok());
+  log.PopLast();
   MutationLog loaded(32);
   ASSERT_TRUE(loaded.LoadFrom(path).ok());
   EXPECT_EQ(loaded.last_seq(), log.last_seq());
@@ -212,6 +269,7 @@ TEST(MutationLog, SegmentFailsClosedOnEveryByteFlip) {
   MutationLog log(8);
   for (uint64_t i = 0; i < 5; ++i) {
     ASSERT_TRUE(log.Append(Upsert(i, 0.125f * (i + 1))).ok());
+    log.CommitLast(i);
   }
   const std::string path = TempPath("corrupt");
   ASSERT_TRUE(log.SaveTo(path).ok());
@@ -246,6 +304,7 @@ TEST(MutationLog, AppendFailpointFailsClosed) {
   SKIP_IF_FAILPOINTS_OFF();
   MutationLog log(8);
   ASSERT_TRUE(log.Append(Upsert(0, 1.f)).ok());
+  log.CommitLast(0);
   ASSERT_TRUE(fail::ConfigureSpec("recover/log_append", "error:io").ok());
   auto refused = log.Append(Upsert(1, 2.f));
   ASSERT_FALSE(refused.ok());

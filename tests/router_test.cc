@@ -1213,6 +1213,118 @@ TEST(RouterRecovery, FabricatedDivergenceAutoDetectedAndHealed) {
   EXPECT_GE(metrics.resyncs, 1u);
 }
 
+TEST(RouterRecovery, SymmetricDivergenceWithTwoReplicasGetsNoVerdict) {
+  // Two replicas, same row count, different content (the bit-flip shape):
+  // the digest vote ties 1-1 and expected_rows cannot break it. The probe
+  // must return NO verdict — a deterministic tie-break could crown the
+  // corrupted replica, quarantine the healthy one, and resync it FROM the
+  // corrupted donor, propagating the corruption group-wide.
+  const size_t k = 5;
+  Fleet fleet = MakeFleet(12, 1, 2, k, LiveEngineOptions());
+  // Slow probe tick (100ms) so the two-step fabrication below completes
+  // between ticks: its intermediate state (11 vs 12 rows) WOULD earn a
+  // legitimate expected_rows verdict.
+  auto router =
+      Router::Create(std::move(fleet.engines), fleet.model,
+                     RecoveryRouterOptions(k, /*tick_micros=*/100'000));
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  // Equal-rows corruption on replica 1 behind the router's back: drop a
+  // row, fabricate a different one. Rows stay at 12 == expected_rows.
+  {
+    auto dropped = router.value()->replicas(0)[1]->Delete(0);
+    ASSERT_TRUE(dropped.ok());
+    ASSERT_TRUE(dropped.value().get().ok());
+    auto added =
+        router.value()->replicas(0)[1]->Upsert("fabricated replacement");
+    ASSERT_TRUE(added.ok());
+    ASSERT_TRUE(added.value().get().ok());
+  }
+  // Several probe ticks pass; with no majority and no row-count signal the
+  // probe must stay silent — no quarantine on a coin flip.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  EXPECT_EQ(router.value()->Metrics().digest_mismatches, 0u);
+  EXPECT_EQ(router.value()->replica_state(0, 0), ReplicaState::kActive);
+  EXPECT_EQ(router.value()->replica_state(0, 1), ReplicaState::kActive);
+  router.value()->Stop();
+  EXPECT_EQ(router.value()->Metrics().quarantines, 0u);
+}
+
+TEST(RouterRecovery, MajorityOutvotesEqualRowCorruption) {
+  // The same equal-rows corruption with THREE replicas: the two healthy
+  // siblings form a strict majority, so the corrupted replica is caught
+  // and healed even though every digest reports the same row count.
+  const size_t k = 5;
+  Fleet fleet = MakeFleet(12, 1, 3, k, LiveEngineOptions());
+  auto router = Router::Create(std::move(fleet.engines), fleet.model,
+                               RecoveryRouterOptions(k));
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  {
+    auto dropped = router.value()->replicas(0)[2]->Delete(0);
+    ASSERT_TRUE(dropped.ok());
+    ASSERT_TRUE(dropped.value().get().ok());
+    auto added =
+        router.value()->replicas(0)[2]->Upsert("fabricated replacement");
+    ASSERT_TRUE(added.ok());
+    ASSERT_TRUE(added.value().get().ok());
+  }
+  // A probe may legitimately fire on the fabrication's intermediate state
+  // too (the corrupted replica heals, then the second step re-corrupts
+  // it), so poll for the JOINT settled condition: every replica active AND
+  // every digest in agreement.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool settled = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (router.value()->Converged() && GroupDigestsAgree(*router.value())) {
+      settled = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(settled) << "fleet never converged on an agreed corpus";
+  EXPECT_GE(router.value()->Metrics().digest_mismatches, 1u);
+  auto healed = router.value()->replicas(0)[2]->Digest();
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(healed.value().rows, 12u);
+  router.value()->Stop();
+  EXPECT_GE(router.value()->Metrics().resyncs, 1u);
+}
+
+TEST(RouterRecovery, KillDuringCatchUpSticks) {
+  // An admin kill racing the recovery worker must win: a replica killed
+  // while kCatchingUp (or about to activate) stays out of rotation — the
+  // heal's activation is a CAS that backs off, never a blind store that
+  // would resurrect a killed replica.
+  const size_t k = 5;
+  Fleet fleet = MakeFleet(12, 1, 2, k, LiveEngineOptions());
+  auto router = Router::Create(std::move(fleet.engines), fleet.model,
+                               RecoveryRouterOptions(k, /*tick_micros=*/500));
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  ASSERT_TRUE(router.value()->KillReplica(0, 1).ok());
+  for (const auto& sentence : Sentences(6, "kill-race")) {
+    ASSERT_TRUE(router.value()->Upsert(sentence).ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(router.value()->RejoinReplica(0, 1).ok());
+    // Vary how deep into the heal the kill lands; some iterations hit the
+    // kCatchingUp window, all must leave the replica killed.
+    std::this_thread::sleep_for(std::chrono::microseconds(i * 300));
+    ASSERT_TRUE(router.value()->KillReplica(0, 1).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(router.value()->replica_state(0, 1), ReplicaState::kKilled)
+        << "heal overwrote an admin kill on iteration " << i;
+  }
+  ASSERT_TRUE(router.value()->RejoinReplica(0, 1).ok());
+  ASSERT_TRUE(WaitConverged(*router.value()));
+  EXPECT_TRUE(GroupDigestsAgree(*router.value()));
+  EXPECT_EQ(router.value()->last_applied_seq(0, 1),
+            router.value()->log_last_seq(0));
+  router.value()->Stop();
+}
+
 TEST(RouterRecovery, LogAppendFailpointRefusesMutationFailClosed) {
   SKIP_IF_FAILPOINTS_OFF();
   const size_t k = 5;
