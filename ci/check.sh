@@ -7,9 +7,11 @@
 # build, then smoke-run the micro-benchmarks and the serving/resilience/
 # observability/streaming/recovery benches on the Release build
 # (stream-dedup holds an incremental-F1 floor; the recovery drill must
-# converge, and must fail closed with recover/replay armed), validate the
+# converge, and must fail closed with recover/replay armed), run the
+# workload-harness smokes (trace-record byte-identity, trace-replay digest
+# identity, fail-closed on an armed load/trace_read, exp29), validate the
 # metrics-dump / trace-dump exporter output with a real parser, and hold
-# src/obs+src/serve+src/stream+src/recover+src/la to a >= 85%
+# src/obs+src/serve+src/stream+src/recover+src/la+src/load to a >= 85%
 # line-coverage floor (Debug+gcov leg). New warnings in src/la
 # and src/nn fail the build (-Werror on those targets).
 # Usage: ci/check.sh [-j N]
@@ -44,7 +46,7 @@ run_config build-asan -DCMAKE_BUILD_TYPE=Debug -DEMBER_SANITIZE=ON -DEMBER_FAILP
 # also leak/UB-clean, plus an env-spec smoke proving $EMBER_FAILPOINTS
 # reaches the engine through the CLI.
 echo "==> fault-injection suites under ASan"
-(cd build-asan && ctest --output-on-failure -R '^(fault|stream|recover)_test$')
+(cd build-asan && ctest --output-on-failure -R '^(fault|stream|recover|load)_test$')
 echo "==> EMBER_FAILPOINTS env smoke"
 # A malformed spec must refuse to start.
 EMBER_FAILPOINTS="not a valid spec" \
@@ -75,10 +77,10 @@ EMBER_FAILPOINTS="snapshot/save=error:io" \
 echo "==> configure build-tsan (EMBER_SANITIZE=tsan)"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DEMBER_SANITIZE=tsan >/dev/null
 echo "==> build build-tsan"
-cmake --build build-tsan -j "${JOBS}" --target parallel_test serve_test fault_test determinism_test obs_test router_test stream_test recover_test
-echo "==> ctest build-tsan (parallel/determinism once; serve/fault/router/stream/recover x3)"
+cmake --build build-tsan -j "${JOBS}" --target parallel_test serve_test fault_test determinism_test obs_test router_test stream_test recover_test load_test
+echo "==> ctest build-tsan (parallel/determinism once; serve/fault/router/stream/recover/load x3)"
 (cd build-tsan && ctest --output-on-failure -R '^(parallel|determinism)_test$')
-(cd build-tsan && ctest --output-on-failure --repeat until-fail:3 -R '^(serve|fault|obs|router|stream|recover)_test$')
+(cd build-tsan && ctest --output-on-failure --repeat until-fail:3 -R '^(serve|fault|obs|router|stream|recover|load)_test$')
 
 # Coverage leg: Debug + gcov, run the obs/serve/stream/la suites, and hold
 # the line on the subsystems this repo treats as infrastructure — src/obs,
@@ -89,15 +91,15 @@ echo "==> ctest build-tsan (parallel/determinism once; serve/fault/router/stream
 echo "==> configure build-cov (EMBER_COVERAGE=ON)"
 cmake -B build-cov -S . -DCMAKE_BUILD_TYPE=Debug -DEMBER_COVERAGE=ON >/dev/null
 echo "==> build build-cov"
-cmake --build build-cov -j "${JOBS}" --target obs_test serve_test fault_test la_test index_test router_test stream_test recover_test
-echo "==> ctest build-cov (obs/serve/fault/la/index/router/stream/recover) + coverage floor"
+cmake --build build-cov -j "${JOBS}" --target obs_test serve_test fault_test la_test index_test router_test stream_test recover_test load_test
+echo "==> ctest build-cov (obs/serve/fault/la/index/router/stream/recover/load) + coverage floor"
 (cd build-cov && find . -name '*.gcda' -delete && \
-  ctest --output-on-failure -R '^(obs|serve|fault|la|index|router|stream|recover)_test$')
+  ctest --output-on-failure -R '^(obs|serve|fault|la|index|router|stream|recover|load)_test$')
 python3 - <<'PYEOF'
 import glob, re, subprocess, sys
 floor = 85.0
 failed = False
-for d in ["obs", "serve", "stream", "recover", "la"]:
+for d in ["obs", "serve", "stream", "recover", "la", "load"]:
     gcda = glob.glob(f"build-cov/src/{d}/CMakeFiles/ember_{d}.dir/*.gcda")
     out = subprocess.run(["gcov", "-n"] + gcda, capture_output=True,
                          text=True).stdout
@@ -120,9 +122,9 @@ PYEOF
 echo "==> configure build-nofp (EMBER_FAILPOINTS_ENABLED=OFF)"
 cmake -B build-nofp -S . -DCMAKE_BUILD_TYPE=Release -DEMBER_FAILPOINTS_ENABLED=OFF >/dev/null
 echo "==> build build-nofp"
-cmake --build build-nofp -j "${JOBS}" --target serve_test fault_test stream_test recover_test exp22_serving ember_cli
-echo "==> ctest build-nofp (serve/fault/stream/recover)"
-(cd build-nofp && ctest --output-on-failure -R '^(serve|fault|stream|recover)_test$')
+cmake --build build-nofp -j "${JOBS}" --target serve_test fault_test stream_test recover_test load_test exp22_serving ember_cli
+echo "==> ctest build-nofp (serve/fault/stream/recover/load)"
+(cd build-nofp && ctest --output-on-failure -R '^(serve|fault|stream|recover|load)_test$')
 
 echo "==> exp20 micro-kernel smoke (Release)"
 ./build-release/bench/exp20_micro_kernels --benchmark_min_time=0.01
@@ -152,6 +154,37 @@ echo "==> exp28 recovery smoke (Release)"
 # convergence of every heal, and anti-entropy detection of fabricated
 # divergence.
 ./build-release/bench/exp28_recovery --scale 0.05
+
+echo "==> exp29 workload smoke (Release)"
+# Asserts internally: same-seed byte-identity of the trace artifact, the
+# every-byte-flip/truncation fail-closed sweep, and the structural
+# admission invariants of the EDF-vs-FIFO SLO table.
+./build-release/bench/exp29_workload --scale 0.05
+
+echo "==> trace record/replay round-trip smoke (Release)"
+# Same seed twice -> byte-identical trace files; two virtual replays of the
+# same trace -> identical admission digest + report signature.
+TRACE_FLAGS="--seed 7 --tenants 2 --rows 48 --qps 400 --duration 0.5 \
+  --zipf 1.1 --upserts 0.1 --deletes 0.03 --quota 150 --phases poisson,burst"
+./build-release/tools/ember_cli trace-record /tmp/ember_a.trace ${TRACE_FLAGS} >/dev/null
+./build-release/tools/ember_cli trace-record /tmp/ember_b.trace ${TRACE_FLAGS} >/dev/null
+cmp /tmp/ember_a.trace /tmp/ember_b.trace \
+  || { echo "same-seed trace-record runs differ" >&2; exit 1; }
+./build-release/tools/ember_cli trace-replay /tmp/ember_a.trace > /tmp/ember_replay1.out
+./build-release/tools/ember_cli trace-replay /tmp/ember_a.trace > /tmp/ember_replay2.out
+grep -q '^identity:' /tmp/ember_replay1.out
+diff <(grep '^identity:' /tmp/ember_replay1.out) \
+     <(grep '^identity:' /tmp/ember_replay2.out) \
+  || { echo "virtual replays of one trace diverged" >&2; exit 1; }
+# An armed load/trace_read failpoint must fail the load closed.
+EMBER_FAILPOINTS="load/trace_read=error:io" \
+  ./build-release/tools/ember_cli trace-replay /tmp/ember_a.trace \
+  >/dev/null 2>&1 \
+  && { echo "trace-replay served with load/trace_read failing" >&2; exit 1; }
+# serve-bench consumes a recorded trace in timed mode with per-tenant SLOs.
+./build-release/tools/ember_cli serve-bench D2 --scale 0.05 \
+  --trace-file /tmp/ember_a.trace > /tmp/ember_tracebench.out
+grep -q 'trace replay' /tmp/ember_tracebench.out
 
 echo "==> recovery drill smoke (Release): kill/rejoin through the CLI"
 # A replica killed at t/3 and rejoined at 2t/3 under query + upsert load

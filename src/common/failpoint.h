@@ -68,6 +68,8 @@ inline constexpr const char* kCatalog[] = {
     "recover/replay",       // router recovery worker log replay tick
     "recover/resync",       // router recovery worker snapshot resync
     "recover/digest",       // engine corpus digest computation (anti-entropy)
+    "load/trace_read",      // load::Trace::LoadFrom entry (workload replay)
+    "admit/bucket",         // per-tenant token-bucket admission (fail closed)
 };
 
 /// What an armed point does when its policy fires.

@@ -1,0 +1,186 @@
+#include "load/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ember::load {
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) {
+  if (n == 0) n = 1;
+  if (s < 0) s = 0;
+  cdf_.resize(n);
+  double total = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+uint64_t ZipfSampler::Sample(double uniform) const {
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), uniform);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+namespace {
+
+/// Instantaneous arrival rate of `phase` at offset `t` micros into it.
+double PhaseRate(const PhaseSpec& phase, int64_t t) {
+  const double base = std::max(1e-9, phase.rate_per_sec);
+  switch (phase.arrival) {
+    case PhaseSpec::Arrival::kPoisson:
+      return base;
+    case PhaseSpec::Arrival::kBurst: {
+      const int64_t period = std::max<int64_t>(1, phase.period_micros);
+      const double pos =
+          static_cast<double>(t % period) / static_cast<double>(period);
+      return pos < phase.burst_duty ? base * std::max(1.0, phase.burst_factor)
+                                    : base;
+    }
+    case PhaseSpec::Arrival::kDiurnal: {
+      const int64_t period = std::max<int64_t>(1, phase.period_micros);
+      const double pos =
+          static_cast<double>(t % period) / static_cast<double>(period);
+      const double swing =
+          std::min(0.99, std::max(0.0, phase.diurnal_swing));
+      return base * (1.0 + swing * std::sin(2.0 * 3.141592653589793 * pos));
+    }
+  }
+  return base;
+}
+
+/// Deterministic record text for (tenant, key): a stable pseudo-entity
+/// description, so replaying a trace embeds exactly the bytes the generator
+/// drew — the text scheme is baked into the trace, not the replayer.
+std::string SynthesizeRecord(const TenantSpec& tenant, uint64_t key,
+                             uint64_t seed) {
+  const uint64_t h = SplitMix64(key ^ SplitMix64(seed));
+  return tenant.name + " entity " + std::to_string(key) + " variant " +
+         std::to_string(h % 7) + " attr " + std::to_string((h >> 8) % 97);
+}
+
+/// Per-tenant generation state: the Zipf sampler plus the live-key ledger
+/// deletes draw from (swap-remove keeps picks O(1) and deterministic).
+struct TenantState {
+  ZipfSampler zipf;
+  std::vector<uint64_t> live_keys;
+  uint64_t next_key = 0;
+
+  TenantState(const TenantSpec& spec)
+      : zipf(std::max<uint64_t>(1, spec.corpus_rows), spec.zipf_s) {
+    const uint64_t rows = std::max<uint64_t>(1, spec.corpus_rows);
+    live_keys.resize(rows);
+    for (uint64_t i = 0; i < rows; ++i) live_keys[i] = i;
+    next_key = rows;
+  }
+};
+
+}  // namespace
+
+Trace GenerateTrace(const GeneratorOptions& options) {
+  Trace trace;
+  trace.manifest.seed = options.seed;
+  trace.manifest.notes = options.notes;
+
+  std::vector<TenantSpec> tenants = options.tenants;
+  if (tenants.empty()) tenants.push_back(TenantSpec{});
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    if (tenants[t].name.empty()) {
+      tenants[t].name = "tenant" + std::to_string(t);
+    }
+    TraceTenant manifest_tenant;
+    manifest_tenant.name = tenants[t].name;
+    manifest_tenant.dataset = tenants[t].dataset;
+    manifest_tenant.rate_per_sec = tenants[t].quota_rate_per_sec;
+    manifest_tenant.burst = tenants[t].quota_burst;
+    trace.manifest.tenants.push_back(std::move(manifest_tenant));
+  }
+
+  double total_weight = 0;
+  for (const TenantSpec& tenant : tenants) {
+    total_weight += std::max(0.0, tenant.weight);
+  }
+  if (total_weight <= 0) total_weight = 1;
+
+  std::vector<TenantState> states;
+  states.reserve(tenants.size());
+  for (const TenantSpec& tenant : tenants) states.emplace_back(tenant);
+
+  Rng rng(options.seed);
+  int64_t phase_start = 0;
+  for (const PhaseSpec& phase : options.phases.empty()
+                                    ? std::vector<PhaseSpec>{PhaseSpec{}}
+                                    : options.phases) {
+    const int64_t duration = std::max<int64_t>(0, phase.duration_micros);
+    if (phase.reload_marker) {
+      // One marker per tenant at the phase boundary: the replayer reloads
+      // each tenant's snapshot (cold-start) before the phase's traffic.
+      for (uint32_t t = 0; t < tenants.size(); ++t) {
+        TraceEvent marker;
+        marker.op = TraceEvent::Op::kReload;
+        marker.tenant = t;
+        marker.arrival_micros = phase_start;
+        trace.events.push_back(std::move(marker));
+      }
+    }
+    // Open-loop arrivals: exponential inter-arrival at the phase's
+    // instantaneous rate (evaluated at the current offset — exact for
+    // kPoisson, a fine-grained approximation for the modulated shapes).
+    int64_t t = 0;
+    for (;;) {
+      const double rate = PhaseRate(phase, t) / 1'000'000.0;  // per micro
+      double u = rng.Uniform();
+      if (u >= 1.0) u = 0.999999;
+      const double gap = -std::log(1.0 - u) / rate;
+      t += std::max<int64_t>(1, static_cast<int64_t>(gap));
+      if (t >= duration) break;
+
+      // Weighted tenant draw.
+      double pick = rng.Uniform() * total_weight;
+      size_t tenant_index = 0;
+      for (size_t i = 0; i < tenants.size(); ++i) {
+        pick -= std::max(0.0, tenants[i].weight);
+        if (pick <= 0) {
+          tenant_index = i;
+          break;
+        }
+      }
+      const TenantSpec& spec = tenants[tenant_index];
+      TenantState& state = states[tenant_index];
+
+      TraceEvent event;
+      event.tenant = static_cast<uint32_t>(tenant_index);
+      event.arrival_micros = phase_start + t;
+      event.deadline_micros = spec.deadline_micros;
+
+      const double op_draw = rng.Uniform();
+      if (op_draw < spec.upsert_fraction) {
+        event.op = TraceEvent::Op::kUpsert;
+        event.key = state.next_key++;
+        state.live_keys.push_back(event.key);
+        event.record = SynthesizeRecord(spec, event.key, options.seed);
+      } else if (op_draw < spec.upsert_fraction + spec.delete_fraction &&
+                 !state.live_keys.empty()) {
+        event.op = TraceEvent::Op::kDelete;
+        const size_t slot = rng.Below(state.live_keys.size());
+        event.key = state.live_keys[slot];
+        state.live_keys[slot] = state.live_keys.back();
+        state.live_keys.pop_back();
+      } else {
+        event.op = TraceEvent::Op::kQuery;
+        const uint64_t rank = state.zipf.Sample(rng.Uniform());
+        event.key = rank;
+        event.record = SynthesizeRecord(spec, rank, options.seed);
+      }
+      trace.events.push_back(std::move(event));
+    }
+    phase_start += duration;
+  }
+  trace.manifest.duration_micros = phase_start;
+  return trace;
+}
+
+}  // namespace ember::load

@@ -1,0 +1,95 @@
+#ifndef EMBER_LOAD_GENERATOR_H_
+#define EMBER_LOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "load/trace.h"
+
+/// Seeded synthetic workload generation (DESIGN.md §16): everything below
+/// is a pure function of GeneratorOptions — same options, same trace,
+/// byte-for-byte — so a benchmark's traffic is fully described by a seed
+/// and a handful of shape parameters.
+namespace ember::load {
+
+/// One open-loop arrival phase. Phases run back to back; the full schedule
+/// is the concatenation (e.g. warm Poisson -> 2x burst -> reload -> cold
+/// Poisson models the cold-start/post-reload experiment).
+struct PhaseSpec {
+  enum class Arrival : uint32_t {
+    /// Poisson process: exponential inter-arrivals at rate_per_sec.
+    kPoisson = 0,
+    /// Square-wave burst: rate_per_sec * burst_factor for burst_duty of
+    /// each burst_period_micros, the remainder at the base rate.
+    kBurst = 1,
+    /// Diurnal: sinusoidal rate between rate_per_sec * (1 ± diurnal_swing)
+    /// over period_micros — the day/night cycle compressed into a bench run.
+    kDiurnal = 2,
+  };
+  Arrival arrival = Arrival::kPoisson;
+  double rate_per_sec = 1000;
+  int64_t duration_micros = 1'000'000;
+  /// kBurst: multiplier while the burst is on, and the on-fraction.
+  double burst_factor = 2.0;
+  double burst_duty = 0.25;
+  /// kBurst/kDiurnal modulation period.
+  int64_t period_micros = 200'000;
+  /// kDiurnal amplitude in [0, 1).
+  double diurnal_swing = 0.5;
+  /// Emit a kReload phase marker at this phase's start (the replayer then
+  /// hot-reloads the tenant's snapshot — the cold-start boundary).
+  bool reload_marker = false;
+};
+
+/// One tenant's traffic shape within the shared arrival process.
+struct TenantSpec {
+  std::string name;
+  /// Dataset tag recorded in the manifest (which snapshot this tenant
+  /// queries in a multi-tenant replay).
+  std::string dataset;
+  /// Rows in the tenant's corpus: Zipf keys are drawn from [0, corpus_rows).
+  uint64_t corpus_rows = 1000;
+  /// Zipf skew exponent; 0 = uniform, ~1 = classic web skew.
+  double zipf_s = 1.0;
+  /// Relative share of the merged arrival stream.
+  double weight = 1.0;
+  /// Operation mix: fractions of this tenant's events that are upserts /
+  /// deletes (the rest are queries). Deletes are only drawn against keys
+  /// the generator knows to be live, so a generated trace never deletes a
+  /// missing row.
+  double upsert_fraction = 0;
+  double delete_fraction = 0;
+  /// Deadline budget stamped on this tenant's requests; 0 = no deadlines.
+  int64_t deadline_micros = 0;
+  /// Admission quota recorded in the manifest (0 rate = unlimited).
+  double quota_rate_per_sec = 0;
+  double quota_burst = 0;
+};
+
+struct GeneratorOptions {
+  uint64_t seed = 1;
+  std::vector<TenantSpec> tenants;
+  std::vector<PhaseSpec> phases;
+  std::string notes;
+};
+
+/// Zipfian sampler over [0, n): exact inverse-CDF via precomputed prefix
+/// sums + binary search. O(n) setup, O(log n) per draw, bit-deterministic.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s);
+  /// Maps a uniform draw in [0, 1) to a rank; rank 0 is the hottest key.
+  uint64_t Sample(double uniform) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Generates the merged multi-tenant trace. Pure: same options -> the same
+/// Trace, byte-for-byte (the determinism proptest's ground truth).
+Trace GenerateTrace(const GeneratorOptions& options);
+
+}  // namespace ember::load
+
+#endif  // EMBER_LOAD_GENERATOR_H_

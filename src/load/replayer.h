@@ -1,0 +1,93 @@
+#ifndef EMBER_LOAD_REPLAYER_H_
+#define EMBER_LOAD_REPLAYER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "load/trace.h"
+#include "serve/engine.h"
+
+/// Trace replay against live serve::Engines (DESIGN.md §16).
+///
+/// Two modes:
+///   kVirtual — no sleeping, no wall-clock deadlines: admission timestamps
+///     come from the trace's own arrival instants (virtual time), mutations
+///     are applied synchronously in trace order, and query futures are
+///     harvested under a bounded-outstanding window. Every admission
+///     decision and counter outcome is a pure function of (trace, quotas),
+///     so the same trace replays bit-identically at any worker count — the
+///     determinism property the proptest pins down.
+///   kTimed — open-loop load generation: each event is submitted at its
+///     arrival instant (scaled by `speed`) with real deadlines, measuring
+///     actual latency/SLO behavior. Timing-dependent by design.
+namespace ember::load {
+
+struct ReplayOptions {
+  enum class Mode : uint32_t { kVirtual = 0, kTimed = 1 };
+  Mode mode = Mode::kVirtual;
+  /// kTimed: arrival times are divided by this (2 = replay twice as fast).
+  double speed = 1.0;
+  /// Max query futures in flight before the replayer harvests the oldest.
+  /// Keep below the engine's max_queue to avoid replayer-induced rejects.
+  size_t max_outstanding = 64;
+  /// Per-tenant snapshot paths for kReload markers (index = tenant index);
+  /// missing/empty entries skip the reload and only count the marker.
+  std::vector<std::string> reload_paths;
+};
+
+/// Per-tenant replay tallies (decision + outcome counts).
+struct TenantReplay {
+  std::string name;
+  uint64_t submitted = 0;
+  uint64_t throttled = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+  uint64_t expired = 0;
+  uint64_t failed = 0;
+};
+
+struct ReplayReport {
+  // Trace composition.
+  uint64_t events = 0;
+  uint64_t queries = 0;
+  uint64_t upserts = 0;
+  uint64_t deletes = 0;
+  uint64_t reloads = 0;
+  // Admission decisions (at Submit).
+  uint64_t submitted = 0;
+  uint64_t throttled = 0;
+  uint64_t rejected = 0;
+  // Future outcomes.
+  uint64_t completed = 0;
+  uint64_t expired = 0;
+  uint64_t failed = 0;
+  /// Deletes whose upsert was refused earlier (no id to delete) — skipped
+  /// deterministically, never submitted.
+  uint64_t unmapped_deletes = 0;
+  /// SplitMix64 fold over (event index, admission decision) — the compact
+  /// identity of the full per-event decision sequence.
+  uint64_t admission_digest = 0;
+  double wall_seconds = 0;
+  std::vector<TenantReplay> per_tenant;
+
+  /// Order-stable hash of every deterministic field (everything except
+  /// wall_seconds): two replays of one trace must produce equal signatures.
+  uint64_t Signature() const;
+};
+
+/// Admission quotas declared in the trace manifest (rate 0 entries are
+/// skipped), ready for EngineOptions.quotas / RouterOptions.quotas.
+std::vector<serve::TenantQuota> QuotasFromTrace(const Trace& trace);
+
+/// Replays `trace` against one engine per tenant (tenant index i uses
+/// engines[min(i, engines.size()-1)], so a single shared engine is the
+/// degenerate multi-tenant case). Engines must outlive the call; quotas
+/// should come from QuotasFromTrace for the manifest's SLO setup.
+Result<ReplayReport> Replay(const Trace& trace,
+                            const std::vector<serve::Engine*>& engines,
+                            const ReplayOptions& options);
+
+}  // namespace ember::load
+
+#endif  // EMBER_LOAD_REPLAYER_H_

@@ -1,0 +1,108 @@
+#include "load/trace.h"
+
+#include "common/binary_io.h"
+#include "common/failpoint.h"
+#include "common/rng.h"
+
+namespace ember::load {
+
+namespace {
+
+constexpr char kTraceMagic[8] = {'E', 'M', 'B', 'T', '0', '0', '0', '1'};
+constexpr uint32_t kTraceVersion = 1;
+
+}  // namespace
+
+std::string Trace::Serialize() const {
+  BinaryWriter writer;
+  writer.WriteU32(kTraceVersion);
+  writer.WriteU64(manifest.seed);
+  writer.WriteU64(static_cast<uint64_t>(manifest.duration_micros));
+  writer.WriteString(manifest.notes);
+  writer.WriteU64(manifest.tenants.size());
+  for (const TraceTenant& tenant : manifest.tenants) {
+    writer.WriteString(tenant.name);
+    writer.WriteString(tenant.dataset);
+    writer.WriteF64(tenant.rate_per_sec);
+    writer.WriteF64(tenant.burst);
+  }
+  writer.WriteU64(events.size());
+  for (const TraceEvent& event : events) {
+    writer.WriteU32(static_cast<uint32_t>(event.op));
+    writer.WriteU32(event.tenant);
+    writer.WriteU64(static_cast<uint64_t>(event.arrival_micros));
+    writer.WriteU64(static_cast<uint64_t>(event.deadline_micros));
+    writer.WriteU64(event.key);
+    writer.WriteString(event.record);
+  }
+  return writer.buffer();
+}
+
+uint64_t Trace::Checksum() const {
+  const std::string payload = Serialize();
+  return Fnv1a64(payload.data(), payload.size());
+}
+
+Status Trace::SaveTo(const std::string& path) const {
+  return WriteFileAtomic(path, kTraceMagic, Serialize());
+}
+
+Result<Trace> Trace::LoadFrom(const std::string& path) {
+  EMBER_FAILPOINT("load/trace_read");
+  Result<std::string> payload = ReadFileVerified(path, kTraceMagic);
+  if (!payload.ok()) return payload.status();
+
+  BinaryReader reader(payload.value());
+  Trace trace;
+  const uint32_t version = reader.ReadU32();
+  if (version != kTraceVersion) {
+    return Status::IoError("trace '" + path + "': unsupported version " +
+                           std::to_string(version));
+  }
+  trace.manifest.seed = reader.ReadU64();
+  trace.manifest.duration_micros = static_cast<int64_t>(reader.ReadU64());
+  trace.manifest.notes = reader.ReadString();
+  const uint64_t tenant_count = reader.ReadU64();
+  // Bound by the remaining bytes: each tenant costs >= 32 bytes, so a
+  // corrupt count cannot force a huge allocation.
+  if (tenant_count > reader.remaining() / 32) reader.Fail();
+  for (uint64_t t = 0; reader.ok() && t < tenant_count; ++t) {
+    TraceTenant tenant;
+    tenant.name = reader.ReadString();
+    tenant.dataset = reader.ReadString();
+    tenant.rate_per_sec = reader.ReadF64();
+    tenant.burst = reader.ReadF64();
+    if (tenant.name.empty()) reader.Fail();  // "" is the default tenant
+    if (!(tenant.rate_per_sec >= 0) || !(tenant.burst >= 0)) reader.Fail();
+    trace.manifest.tenants.push_back(std::move(tenant));
+  }
+  const uint64_t event_count = reader.ReadU64();
+  // Each event costs >= 36 bytes on the wire.
+  if (event_count > reader.remaining() / 36) reader.Fail();
+  int64_t last_arrival = 0;
+  for (uint64_t e = 0; reader.ok() && e < event_count; ++e) {
+    TraceEvent event;
+    const uint32_t op = reader.ReadU32();
+    if (op > static_cast<uint32_t>(TraceEvent::Op::kReload)) reader.Fail();
+    event.op = static_cast<TraceEvent::Op>(op);
+    event.tenant = reader.ReadU32();
+    if (event.tenant >= trace.manifest.tenants.size()) reader.Fail();
+    event.arrival_micros = static_cast<int64_t>(reader.ReadU64());
+    event.deadline_micros = static_cast<int64_t>(reader.ReadU64());
+    if (event.arrival_micros < last_arrival || event.arrival_micros < 0 ||
+        event.deadline_micros < 0) {
+      reader.Fail();  // arrivals must be sorted; times are non-negative
+    }
+    last_arrival = event.arrival_micros;
+    event.key = reader.ReadU64();
+    event.record = reader.ReadString();
+    trace.events.push_back(std::move(event));
+  }
+  if (!reader.ok() || reader.remaining() != 0) {
+    return Status::IoError("trace '" + path +
+                           "': malformed payload (refused fail-closed)");
+  }
+  return trace;
+}
+
+}  // namespace ember::load

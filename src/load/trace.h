@@ -1,0 +1,91 @@
+#ifndef EMBER_LOAD_TRACE_H_
+#define EMBER_LOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// Deterministic workload traces (DESIGN.md §16): a recorded (or generated)
+/// sequence of timestamped serve operations, serialized to the checksummed
+/// EMBT0001 container so a benchmark's exact traffic can be committed as a
+/// fixture, shipped, and replayed bit-reproducibly anywhere.
+namespace ember::load {
+
+/// One timestamped operation in a trace. Times are RELATIVE micros from the
+/// trace's virtual epoch — a trace carries no wall-clock state, so the same
+/// file replays identically today and in a year.
+struct TraceEvent {
+  enum class Op : uint32_t {
+    kQuery = 0,
+    kUpsert = 1,
+    kDelete = 2,
+    /// Phase marker: the replayer triggers a hot snapshot reload (or just a
+    /// phase boundary in reports) — the cold-start/post-reload workload
+    /// shape. Carries no key/record.
+    kReload = 3,
+  };
+  Op op = Op::kQuery;
+  /// Index into TraceManifest.tenants.
+  uint32_t tenant = 0;
+  /// Open-loop arrival instant, micros from the trace epoch.
+  int64_t arrival_micros = 0;
+  /// Per-request deadline budget, micros from arrival; 0 = no deadline.
+  int64_t deadline_micros = 0;
+  /// Zipf-drawn corpus key: for queries the corpus row the record text
+  /// derives from; for deletes the generator-tracked live key to delete;
+  /// for upserts the generator-assigned key of the new row.
+  uint64_t key = 0;
+  /// The record text submitted (queries/upserts); deterministic synthesis
+  /// from (tenant, key) at generation time, stored verbatim so replay does
+  /// not depend on the generator's text scheme.
+  std::string record;
+};
+
+/// One tenant in a multi-tenant trace: a name (the `{tenant=}` label), the
+/// dataset snapshot it targets, and the admission quota the replayer
+/// configures for it (rate 0 = no quota).
+struct TraceTenant {
+  std::string name;
+  std::string dataset;
+  double rate_per_sec = 0;
+  double burst = 0;
+};
+
+/// Generation provenance, carried in the container so a fixture is
+/// self-describing.
+struct TraceManifest {
+  uint64_t seed = 0;
+  int64_t duration_micros = 0;
+  std::string notes;
+  std::vector<TraceTenant> tenants;
+};
+
+/// A workload trace: manifest + events sorted by arrival_micros (ties keep
+/// generation order). Value type; Serialize() is the canonical byte
+/// encoding, so byte-equality of two Serialize() outputs is the trace
+/// identity the determinism tests assert.
+struct Trace {
+  TraceManifest manifest;
+  std::vector<TraceEvent> events;
+
+  /// Canonical payload encoding (the bytes inside the EMBT0001 container).
+  std::string Serialize() const;
+
+  /// FNV-1a over Serialize() — a cheap identity for "same trace?" checks.
+  uint64_t Checksum() const;
+
+  /// Writes the EMBT0001 container atomically (temp + rename).
+  Status SaveTo(const std::string& path) const;
+
+  /// Loads and verifies an EMBT0001 container. Fail-closed: the
+  /// `load/trace_read` failpoint fires at entry, and any truncation, bit
+  /// flip, or structural violation (bad op/tenant index, unsorted arrivals)
+  /// returns an error — never a partial trace.
+  static Result<Trace> LoadFrom(const std::string& path);
+};
+
+}  // namespace ember::load
+
+#endif  // EMBER_LOAD_TRACE_H_

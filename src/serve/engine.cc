@@ -51,6 +51,9 @@ std::vector<obs::Sample> MetricsToSamples(const EngineMetrics& metrics,
           metrics.completed);
   counter("ember_serve_rejected_total", "Requests refused at Submit",
           metrics.rejected);
+  counter("ember_serve_throttled_total",
+          "Requests refused by the per-tenant token bucket",
+          metrics.throttled);
   counter("ember_serve_expired_total", "Requests shed before embedding",
           metrics.expired);
   counter("ember_serve_failed_total", "Requests failed with an error",
@@ -118,6 +121,50 @@ std::vector<obs::Sample> MetricsToSamples(const EngineMetrics& metrics,
             metrics.total_micros);
   histogram("ember_serve_batch_size", "Live requests per processed batch",
             metrics.batch_size);
+  // Per-tenant breakdown (DESIGN.md §16). Distinct metric families (the
+  // tenant_ prefix) keep the engine-wide series above label-stable; tenant
+  // rows only exist for tenant-aware traffic, so untenanted engines export
+  // exactly the pre-PR10 sample set.
+  for (const TenantCounters& tenant : metrics.tenants) {
+    obs::Labels tenant_labels = labels;
+    tenant_labels["tenant"] = tenant.tenant;
+    auto tenant_counter = [&](const char* name, const char* help,
+                              uint64_t value) {
+      obs::Sample sample;
+      sample.name = name;
+      sample.help = help;
+      sample.kind = obs::MetricKind::kCounter;
+      sample.labels = tenant_labels;
+      sample.value = static_cast<double>(value);
+      samples.push_back(std::move(sample));
+    };
+    tenant_counter("ember_serve_tenant_submitted_total",
+                   "Per-tenant requests accepted into the queue",
+                   tenant.submitted);
+    tenant_counter("ember_serve_tenant_completed_total",
+                   "Per-tenant requests completed", tenant.completed);
+    tenant_counter("ember_serve_tenant_throttled_total",
+                   "Per-tenant requests refused by the token bucket",
+                   tenant.throttled);
+    tenant_counter("ember_serve_tenant_rejected_total",
+                   "Per-tenant requests refused by backpressure",
+                   tenant.rejected);
+    tenant_counter("ember_serve_tenant_expired_total",
+                   "Per-tenant requests shed past their deadline",
+                   tenant.expired);
+    tenant_counter("ember_serve_tenant_failed_total",
+                   "Per-tenant requests failed with an error", tenant.failed);
+    tenant_counter("ember_serve_tenant_deadline_misses_total",
+                   "Per-tenant requests completed after their deadline",
+                   tenant.deadline_misses);
+    obs::Sample latency;
+    latency.name = "ember_serve_tenant_total_micros";
+    latency.help = "Per-tenant submit to completion latency";
+    latency.kind = obs::MetricKind::kHistogram;
+    latency.labels = tenant_labels;
+    latency.histogram = tenant.total_micros;
+    samples.push_back(std::move(latency));
+  }
   return samples;
 }
 
@@ -170,7 +217,8 @@ Engine::Engine(Snapshot snapshot, std::shared_ptr<embed::EmbeddingModel> model,
     : snapshot_(std::make_shared<const Snapshot>(std::move(snapshot))),
       model_(std::move(model)),
       options_(options),
-      breaker_(options.breaker) {
+      breaker_(options.breaker),
+      admission_(options.quotas) {
   if (options_.live) {
     live_ = std::make_shared<stream::LiveCorpus>(snapshot_);
   }
@@ -214,17 +262,32 @@ void Engine::Stop() {
 
 Result<std::future<Result<QueryReply>>> Engine::Submit(std::string record,
                                                        SteadyTime deadline) {
+  SubmitOptions opts;
+  opts.deadline = deadline;
+  return Submit(std::move(record), opts);
+}
+
+Result<std::future<Result<QueryReply>>> Engine::Submit(
+    std::string record, const SubmitOptions& opts) {
   Request request;
   request.record = std::move(record);
-  request.deadline = deadline;
+  request.deadline = opts.deadline;
+  request.tenant = opts.tenant;
   std::future<Result<QueryReply>> future = request.promise.get_future();
-  Status admitted = Enqueue(std::move(request));
+  Status admitted = Enqueue(std::move(request), opts.admit_time);
   if (!admitted.ok()) return admitted;
   return future;
 }
 
 Result<std::future<Result<QueryReply>>> Engine::SubmitEmbedded(
     std::vector<float> embedding, SteadyTime deadline) {
+  SubmitOptions opts;
+  opts.deadline = deadline;
+  return SubmitEmbedded(std::move(embedding), opts);
+}
+
+Result<std::future<Result<QueryReply>>> Engine::SubmitEmbedded(
+    std::vector<float> embedding, const SubmitOptions& opts) {
   if (embedding.size() != model_->info().dim) {
     return Status::InvalidArgument(
         "pre-embedded query has dim " + std::to_string(embedding.size()) +
@@ -234,24 +297,40 @@ Result<std::future<Result<QueryReply>>> Engine::SubmitEmbedded(
   Request request;
   request.embedding = std::move(embedding);
   request.pre_embedded = true;
-  request.deadline = deadline;
+  request.deadline = opts.deadline;
+  request.tenant = opts.tenant;
   std::future<Result<QueryReply>> future = request.promise.get_future();
-  Status admitted = Enqueue(std::move(request));
+  Status admitted = Enqueue(std::move(request), opts.admit_time);
   if (!admitted.ok()) return admitted;
   return future;
 }
 
 Result<std::future<Result<MutateReply>>> Engine::Upsert(std::string record,
                                                         SteadyTime deadline) {
+  SubmitOptions opts;
+  opts.deadline = deadline;
+  return Upsert(std::move(record), opts);
+}
+
+Result<std::future<Result<MutateReply>>> Engine::Upsert(
+    std::string record, const SubmitOptions& opts) {
   Request request;
   request.kind = Request::Kind::kUpsert;
   request.record = std::move(record);
-  request.deadline = deadline;
-  return EnqueueMutation(std::move(request));
+  request.deadline = opts.deadline;
+  request.tenant = opts.tenant;
+  return EnqueueMutation(std::move(request), opts.admit_time);
 }
 
 Result<std::future<Result<MutateReply>>> Engine::UpsertEmbedded(
     std::vector<float> embedding, SteadyTime deadline) {
+  SubmitOptions opts;
+  opts.deadline = deadline;
+  return UpsertEmbedded(std::move(embedding), opts);
+}
+
+Result<std::future<Result<MutateReply>>> Engine::UpsertEmbedded(
+    std::vector<float> embedding, const SubmitOptions& opts) {
   if (embedding.size() != model_->info().dim) {
     return Status::InvalidArgument(
         "pre-embedded upsert has dim " + std::to_string(embedding.size()) +
@@ -262,24 +341,33 @@ Result<std::future<Result<MutateReply>>> Engine::UpsertEmbedded(
   request.kind = Request::Kind::kUpsert;
   request.embedding = std::move(embedding);
   request.pre_embedded = true;
-  request.deadline = deadline;
-  return EnqueueMutation(std::move(request));
+  request.deadline = opts.deadline;
+  request.tenant = opts.tenant;
+  return EnqueueMutation(std::move(request), opts.admit_time);
 }
 
 Result<std::future<Result<MutateReply>>> Engine::Delete(uint64_t global_id,
                                                         SteadyTime deadline) {
+  SubmitOptions opts;
+  opts.deadline = deadline;
+  return Delete(global_id, opts);
+}
+
+Result<std::future<Result<MutateReply>>> Engine::Delete(
+    uint64_t global_id, const SubmitOptions& opts) {
   Request request;
   request.kind = Request::Kind::kDelete;
   request.delete_id = global_id;
   // Deletes carry no record to embed; mark pre-embedded so the embed stage
   // skips them.
   request.pre_embedded = true;
-  request.deadline = deadline;
-  return EnqueueMutation(std::move(request));
+  request.deadline = opts.deadline;
+  request.tenant = opts.tenant;
+  return EnqueueMutation(std::move(request), opts.admit_time);
 }
 
 Result<std::future<Result<MutateReply>>> Engine::EnqueueMutation(
-    Request request) {
+    Request request, SteadyTime admit_time) {
   if (live_ == nullptr) {
     return Status::InvalidArgument(
         "engine serves a frozen snapshot (EngineOptions.live = false); "
@@ -287,12 +375,30 @@ Result<std::future<Result<MutateReply>>> Engine::EnqueueMutation(
   }
   std::future<Result<MutateReply>> future =
       request.mutate_promise.get_future();
-  Status admitted = Enqueue(std::move(request));
+  Status admitted = Enqueue(std::move(request), admit_time);
   if (!admitted.ok()) return admitted;
   return future;
 }
 
-Status Engine::Enqueue(Request request) {
+Status Engine::Enqueue(Request request, SteadyTime admit_time) {
+  // Token-bucket admission FIRST (DESIGN.md §16), before the breaker and
+  // the queue bound: an over-quota tenant's verdict depends only on the
+  // quota and the admit timestamps — never on engine health or queue depth
+  // — so a replayed trace reproduces the same throttle decisions exactly.
+  // The caller-supplied admit_time (kAdmitNow = the real clock) is what
+  // makes virtual-time replay clock-independent.
+  const std::string tenant = request.tenant;
+  const bool tracked = admission_.enabled() || !tenant.empty();
+  if (admission_.enabled()) {
+    obs::Span admit_span("serve/admit");
+    const SteadyTime now = admit_time == kAdmitNow ? SteadyNow() : admit_time;
+    Status admitted = admission_.Admit(tenant, now);
+    if (!admitted.ok()) {
+      throttled_.fetch_add(1, std::memory_order_relaxed);
+      ledger_.Record(tenant, TenantLedger::Event::kThrottled);
+      return admitted;
+    }
+  }
   // Breaker fast-fail outside the queue lock: while the embed/query stages
   // are known-broken, shedding here keeps the queue from filling with work
   // that would only be failed milliseconds later.
@@ -305,15 +411,21 @@ Status Engine::Enqueue(Request request) {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
+      if (tracked) ledger_.Record(tenant, TenantLedger::Event::kRejected);
       return Status::Unavailable("engine is stopped");
     }
     if (queue_.size() >= options_.max_queue) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
+      if (tracked) ledger_.Record(tenant, TenantLedger::Event::kRejected);
       return Status::Unavailable("queue full (" +
                                  std::to_string(options_.max_queue) + ")");
     }
+    request.seq = queue_seq_++;
     queue_.push_back(std::move(request));
+    std::push_heap(queue_.begin(), queue_.end(),
+                   RequestUrgency{options_.queue_policy});
     submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (tracked) ledger_.Record(tenant, TenantLedger::Event::kSubmitted);
   }
   queue_cv_.notify_one();
   return Status::Ok();
@@ -338,9 +450,11 @@ void Engine::WorkerLoop() {
         continue;
       }
       // Micro-batch window: drain as soon as max_batch requests are ready,
-      // or once the OLDEST queued request has waited out max_wait_micros.
-      // wait_until releases the lock, so another worker may drain the queue
-      // meanwhile — hence the re-check below instead of assuming front().
+      // or once the MOST URGENT queued request (heap front: earliest
+      // deadline under kEdf, oldest arrival under kFifo or with no
+      // deadlines) has waited out max_wait_micros. wait_until releases the
+      // lock, so another worker may drain the queue meanwhile — hence the
+      // re-check below instead of assuming front().
       const SteadyTime window_end =
           AfterMicros(queue_.front().enqueued, options_.max_wait_micros);
       queue_cv_.wait_until(lock, window_end, [this] {
@@ -350,11 +464,16 @@ void Engine::WorkerLoop() {
         if (stopping_) return;
         continue;
       }
+      // Heap pops drain in urgency order, so the batch itself is ordered
+      // most-urgent-first (and therefore in arrival order when deadlines
+      // are absent or equal — mutations still apply in submission order).
+      const RequestUrgency urgency{options_.queue_policy};
       const size_t take = std::min(queue_.size(), options_.max_batch);
       batch.reserve(take);
       for (size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+        std::pop_heap(queue_.begin(), queue_.end(), urgency);
+        batch.push_back(std::move(queue_.back()));
+        queue_.pop_back();
       }
     }
     ProcessBatch(std::move(batch));
@@ -364,6 +483,16 @@ void Engine::WorkerLoop() {
 void Engine::ProcessBatch(std::vector<Request> batch) {
   const SteadyTime drained = SteadyNow();
   const uint64_t batch_no = batches_.fetch_add(1, std::memory_order_relaxed);
+
+  // Per-tenant accounting mirrors the engine-wide counters for tenant-aware
+  // traffic; untenanted engines (no quotas, no tenant names) skip the
+  // ledger entirely.
+  auto tenant_event = [this](const Request& request,
+                             TenantLedger::Event event) {
+    if (admission_.enabled() || !request.tenant.empty()) {
+      ledger_.Record(request.tenant, event);
+    }
+  };
 
   // Trace root per batch, keyed by the batch number: span ids depend on
   // (batch_no, stage name, stage order) only, so a fixed-seed run yields
@@ -381,6 +510,7 @@ void Engine::ProcessBatch(std::vector<Request> batch) {
       queue_micros_.Record(MicrosBetween(request.enqueued, drained));
       if (request.deadline < drained) {
         expired_.fetch_add(1, std::memory_order_relaxed);
+        tenant_event(request, TenantLedger::Event::kExpired);
         FailRequest(request, Status::DeadlineExceeded("shed before embedding"));
       } else {
         live.push_back(std::move(request));
@@ -461,7 +591,10 @@ void Engine::ProcessBatch(std::vector<Request> batch) {
     // batch loudly — never silently drop it.
     breaker_.RecordFailure(SteadyNow());
     failed_.fetch_add(live.size(), std::memory_order_relaxed);
-    for (Request& request : live) FailRequest(request, embedded);
+    for (Request& request : live) {
+      tenant_event(request, TenantLedger::Event::kFailed);
+      FailRequest(request, embedded);
+    }
     EMBER_WARN("embed stage failed after %llu retries: %s",
                static_cast<unsigned long long>(embed_retries),
                embedded.ToString().c_str());
@@ -554,12 +687,15 @@ void Engine::ProcessBatch(std::vector<Request> batch) {
       for (size_t i = 0; i < live.size(); ++i) {
         if (live[i].kind == Request::Kind::kQuery) {
           failed_.fetch_add(1, std::memory_order_relaxed);
+          tenant_event(live[i], TenantLedger::Event::kFailed);
           live[i].promise.set_value(query_fault);
         } else if (mutate_results[i].ok()) {
           completed_.fetch_add(1, std::memory_order_relaxed);
+          tenant_event(live[i], TenantLedger::Event::kCompleted);
           live[i].mutate_promise.set_value(std::move(mutate_results[i]));
         } else {
           failed_.fetch_add(1, std::memory_order_relaxed);
+          tenant_event(live[i], TenantLedger::Event::kFailed);
           live[i].mutate_promise.set_value(std::move(mutate_results[i]));
         }
       }
@@ -577,8 +713,13 @@ void Engine::ProcessBatch(std::vector<Request> batch) {
     for (size_t i = 0; i < live.size(); ++i) {
       if (live[i].deadline < done) {
         deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+        tenant_event(live[i], TenantLedger::Event::kDeadlineMiss);
       }
-      total_micros_.Record(MicrosBetween(live[i].enqueued, done));
+      const int64_t latency = MicrosBetween(live[i].enqueued, done);
+      total_micros_.Record(latency);
+      if (admission_.enabled() || !live[i].tenant.empty()) {
+        ledger_.RecordLatency(live[i].tenant, static_cast<double>(latency));
+      }
       // The request's own span runs from enqueue (client thread) to
       // completion (this worker) — an explicit-timestamp emit, parented
       // under the batch and keyed by the in-batch slot.
@@ -586,13 +727,16 @@ void Engine::ProcessBatch(std::vector<Request> batch) {
                     live[i].enqueued, done);
       if (live[i].kind == Request::Kind::kQuery) {
         completed_.fetch_add(1, std::memory_order_relaxed);
+        tenant_event(live[i], TenantLedger::Event::kCompleted);
         live[i].promise.set_value(
             QueryReply{std::move(neighbors[query_slot++])});
       } else if (mutate_results[i].ok()) {
         completed_.fetch_add(1, std::memory_order_relaxed);
+        tenant_event(live[i], TenantLedger::Event::kCompleted);
         live[i].mutate_promise.set_value(std::move(mutate_results[i]));
       } else {
         failed_.fetch_add(1, std::memory_order_relaxed);
+        tenant_event(live[i], TenantLedger::Event::kFailed);
         live[i].mutate_promise.set_value(std::move(mutate_results[i]));
       }
     }
@@ -829,6 +973,7 @@ EngineMetrics Engine::Metrics() const {
   metrics.submitted = submitted_.load(std::memory_order_relaxed);
   metrics.completed = completed_.load(std::memory_order_relaxed);
   metrics.rejected = rejected_.load(std::memory_order_relaxed);
+  metrics.throttled = throttled_.load(std::memory_order_relaxed);
   metrics.expired = expired_.load(std::memory_order_relaxed);
   metrics.failed = failed_.load(std::memory_order_relaxed);
   metrics.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
@@ -855,6 +1000,7 @@ EngineMetrics Engine::Metrics() const {
   metrics.postprocess_micros = postprocess_micros_.Snapshot();
   metrics.total_micros = total_micros_.Snapshot();
   metrics.batch_size = batch_size_.Snapshot();
+  metrics.tenants = ledger_.Snapshot();
   return metrics;
 }
 

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -19,6 +18,7 @@
 #include "embed/embedding_model.h"
 #include "index/neighbor.h"
 #include "recover/digest.h"
+#include "serve/admission.h"
 #include "serve/circuit_breaker.h"
 #include "serve/snapshot.h"
 #include "stream/live_corpus.h"
@@ -70,6 +70,14 @@ struct EngineOptions {
   /// and queries merge base + delta with tombstone filtering. OFF keeps the
   /// frozen-snapshot engine bit-for-bit unchanged.
   bool live = false;
+  /// Queue drain order (DESIGN.md §16). kEdf drains the most urgent queued
+  /// request first; deadline-free and equal-deadline requests keep arrival
+  /// order, so a workload without deadlines behaves exactly like kFifo.
+  QueuePolicy queue_policy = QueuePolicy::kEdf;
+  /// Per-tenant admission quotas. Empty (the default) disables the token
+  /// bucket gate entirely; tenants without a listed quota are never
+  /// throttled.
+  std::vector<TenantQuota> quotas;
 };
 
 /// A completed query: top-k corpus neighbors of the submitted record.
@@ -104,6 +112,7 @@ struct EngineMetrics {
   uint64_t submitted = 0;  // accepted into the queue
   uint64_t completed = 0;  // future fulfilled with neighbors
   uint64_t rejected = 0;   // refused at Submit (queue full / stopped)
+  uint64_t throttled = 0;  // refused at Submit by the token bucket (PR 10)
   uint64_t expired = 0;    // shed before embedding (deadline passed)
   uint64_t failed = 0;     // future fulfilled with a non-deadline error
   uint64_t deadline_misses = 0;  // completed, but after their deadline
@@ -135,6 +144,11 @@ struct EngineMetrics {
   HistogramSnapshot postprocess_micros;  // per batch: reply assembly/futures
   HistogramSnapshot total_micros;  // submit -> future completed
   HistogramSnapshot batch_size;    // live requests per processed batch
+
+  /// Per-tenant breakdown (PR 10), sorted by tenant name; the untenanted
+  /// default path appears as tenant "default". Each tenant satisfies the
+  /// same counter identity as the engine-wide counters above.
+  std::vector<TenantCounters> tenants;
 };
 
 /// Long-lived online ER query engine in the inference-server style:
@@ -177,6 +191,12 @@ class Engine {
   Result<std::future<Result<QueryReply>>> Submit(
       std::string record, SteadyTime deadline = kNoDeadline);
 
+  /// Tenant-aware submit (DESIGN.md §16): same admission rules as Submit
+  /// plus the per-tenant token bucket gate — an over-quota tenant gets
+  /// Unavailable immediately without enqueueing, counted as throttled.
+  Result<std::future<Result<QueryReply>>> Submit(std::string record,
+                                                 const SubmitOptions& opts);
+
   /// Non-blocking submit of one already-embedded query vector — the sharded
   /// Router's fan-out path (DESIGN.md §13): the router embeds a record once
   /// and each shard engine skips its embed stage for that request. Same
@@ -186,6 +206,9 @@ class Engine {
   Result<std::future<Result<QueryReply>>> SubmitEmbedded(
       std::vector<float> embedding, SteadyTime deadline = kNoDeadline);
 
+  Result<std::future<Result<QueryReply>>> SubmitEmbedded(
+      std::vector<float> embedding, const SubmitOptions& opts);
+
   /// Live mode only: admits one record into the live corpus through the
   /// same micro-batcher as queries (embedded in the batch's embed stage,
   /// applied in arrival order before the batch's queries run). The future
@@ -194,15 +217,24 @@ class Engine {
   Result<std::future<Result<MutateReply>>> Upsert(
       std::string record, SteadyTime deadline = kNoDeadline);
 
+  Result<std::future<Result<MutateReply>>> Upsert(std::string record,
+                                                  const SubmitOptions& opts);
+
   /// Pre-embedded upsert (the Router's mutation fan-out path).
   Result<std::future<Result<MutateReply>>> UpsertEmbedded(
       std::vector<float> embedding, SteadyTime deadline = kNoDeadline);
+
+  Result<std::future<Result<MutateReply>>> UpsertEmbedded(
+      std::vector<float> embedding, const SubmitOptions& opts);
 
   /// Live mode only: publishes a tombstone for `global_id` through the
   /// batcher. NotFound (via the future) when the id is unknown or already
   /// dead.
   Result<std::future<Result<MutateReply>>> Delete(
       uint64_t global_id, SteadyTime deadline = kNoDeadline);
+
+  Result<std::future<Result<MutateReply>>> Delete(uint64_t global_id,
+                                                  const SubmitOptions& opts);
 
   /// Live mode only: rewrites base + delta − tombstones into a merged
   /// EMBS0002 snapshot at `path` and hot-swaps it in as the new base via
@@ -290,9 +322,28 @@ class Engine {
     uint64_t delete_id = 0;
     SteadyTime deadline;
     SteadyTime enqueued;
+    /// Admission/accounting identity ("" = the default tenant).
+    std::string tenant;
+    /// Arrival order, assigned under mu_ — the EDF heap's tie-breaker and
+    /// the kFifo ordering key.
+    uint64_t seq = 0;
     /// Exactly one promise is armed, per kind.
     std::promise<Result<QueryReply>> promise;
     std::promise<Result<MutateReply>> mutate_promise;
+  };
+
+  /// Min-heap "greater" comparator over queued requests: under kEdf the
+  /// earliest deadline drains first (seq breaks ties, so deadline-free
+  /// traffic — every deadline == kNoDeadline — degenerates to arrival
+  /// order); under kFifo only seq matters.
+  struct RequestUrgency {
+    QueuePolicy policy;
+    bool operator()(const Request& a, const Request& b) const {
+      if (policy == QueuePolicy::kEdf && a.deadline != b.deadline) {
+        return a.deadline > b.deadline;
+      }
+      return a.seq > b.seq;
+    }
   };
 
   Engine(Snapshot snapshot, std::shared_ptr<embed::EmbeddingModel> model,
@@ -300,12 +351,14 @@ class Engine {
 
   void WorkerLoop();
   void ProcessBatch(std::vector<Request> batch);
-  /// Common admission tail of Submit/SubmitEmbedded: breaker gate, queue
-  /// bound, enqueue + wake a worker.
-  Status Enqueue(Request request);
+  /// Common admission tail of Submit/SubmitEmbedded: token bucket (at
+  /// `admit_time`; kAdmitNow = the real clock), breaker gate, queue bound,
+  /// heap push + wake a worker.
+  Status Enqueue(Request request, SteadyTime admit_time);
   /// Mutation-path admission: arms the mutate promise, refuses when the
   /// engine is not live, then shares Enqueue.
-  Result<std::future<Result<MutateReply>>> EnqueueMutation(Request request);
+  Result<std::future<Result<MutateReply>>> EnqueueMutation(
+      Request request, SteadyTime admit_time);
   /// Fails one request through whichever promise its kind armed.
   static void FailRequest(Request& request, const Status& status);
   /// Validates a snapshot against the engine's embedding model (same checks
@@ -332,7 +385,11 @@ class Engine {
 
   std::mutex mu_;
   std::condition_variable queue_cv_;
-  std::deque<Request> queue_;
+  /// Binary heap ordered by RequestUrgency (std::push_heap/pop_heap):
+  /// queue_.front() is always the next request to drain under the
+  /// configured policy.
+  std::vector<Request> queue_;
+  uint64_t queue_seq_ = 0;  // next arrival sequence number, under mu_
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 
@@ -341,6 +398,8 @@ class Engine {
   std::atomic<bool> collector_registered_{false};
 
   CircuitBreaker breaker_;
+  AdmissionController admission_;
+  TenantLedger ledger_;
   std::mutex reload_mu_;  // serializes ReloadSnapshot callers
   std::mutex compaction_mu_;  // serializes Compact/Absorb/Resync callers
   /// Frozen-engine digest cache (live engines answer from the corpus).
@@ -355,6 +414,7 @@ class Engine {
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> throttled_{0};
   std::atomic<uint64_t> expired_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> deadline_misses_{0};

@@ -64,6 +64,9 @@ std::vector<obs::Sample> RouterMetricsToSamples(const RouterMetrics& metrics,
           metrics.completed);
   counter("ember_router_rejected_total", "Requests refused at Submit",
           metrics.rejected);
+  counter("ember_router_throttled_total",
+          "Requests refused by the per-tenant token bucket",
+          metrics.throttled);
   counter("ember_router_expired_total", "Requests shed before embedding",
           metrics.expired);
   counter("ember_router_failed_total", "Requests failed with an error",
@@ -142,6 +145,48 @@ std::vector<obs::Sample> RouterMetricsToSamples(const RouterMetrics& metrics,
                 {{"shard", std::to_string(s)},
                  {"replica", std::to_string(r)}});
     }
+  }
+  // Per-tenant breakdown (DESIGN.md §16): rows exist only for tenant-aware
+  // traffic, so untenanted routers export the pre-PR10 sample set exactly.
+  for (const TenantCounters& tenant : metrics.tenants) {
+    const obs::Labels tenant_labels = {{"router", instance},
+                                       {"tenant", tenant.tenant}};
+    auto tenant_counter = [&](const char* name, const char* help,
+                              uint64_t value) {
+      obs::Sample sample;
+      sample.name = name;
+      sample.help = help;
+      sample.kind = obs::MetricKind::kCounter;
+      sample.labels = tenant_labels;
+      sample.value = static_cast<double>(value);
+      samples.push_back(std::move(sample));
+    };
+    tenant_counter("ember_router_tenant_submitted_total",
+                   "Per-tenant requests accepted into the queue",
+                   tenant.submitted);
+    tenant_counter("ember_router_tenant_completed_total",
+                   "Per-tenant requests completed", tenant.completed);
+    tenant_counter("ember_router_tenant_throttled_total",
+                   "Per-tenant requests refused by the token bucket",
+                   tenant.throttled);
+    tenant_counter("ember_router_tenant_rejected_total",
+                   "Per-tenant requests refused by backpressure",
+                   tenant.rejected);
+    tenant_counter("ember_router_tenant_expired_total",
+                   "Per-tenant requests shed past their deadline",
+                   tenant.expired);
+    tenant_counter("ember_router_tenant_failed_total",
+                   "Per-tenant requests failed with an error", tenant.failed);
+    tenant_counter("ember_router_tenant_deadline_misses_total",
+                   "Per-tenant requests completed after their deadline",
+                   tenant.deadline_misses);
+    obs::Sample latency;
+    latency.name = "ember_router_tenant_total_micros";
+    latency.help = "Per-tenant submit to completion latency";
+    latency.kind = obs::MetricKind::kHistogram;
+    latency.labels = tenant_labels;
+    latency.histogram = tenant.total_micros;
+    samples.push_back(std::move(latency));
   }
   return samples;
 }
@@ -357,7 +402,8 @@ Router::Router(std::vector<ShardGroup> groups,
     : groups_(std::move(groups)),
       model_(std::move(model)),
       options_(options),
-      shard_count_(static_cast<uint32_t>(groups_.size())) {
+      shard_count_(static_cast<uint32_t>(groups_.size())),
+      admission_(options.quotas) {
   options_.max_queue = std::max<size_t>(1, options_.max_queue);
   options_.max_batch = std::max<size_t>(1, options_.max_batch);
   options_.workers = std::max<size_t>(1, options_.workers);
@@ -424,24 +470,54 @@ void Router::Stop() {
 
 Result<std::future<Result<RouterReply>>> Router::Submit(std::string record,
                                                         SteadyTime deadline) {
+  SubmitOptions opts;
+  opts.deadline = deadline;
+  return Submit(std::move(record), opts);
+}
+
+Result<std::future<Result<RouterReply>>> Router::Submit(
+    std::string record, const SubmitOptions& opts) {
+  const std::string tenant = opts.tenant;
+  const bool tracked = admission_.enabled() || !tenant.empty();
+  // Token-bucket admission FIRST (DESIGN.md §16), before the queue bound:
+  // the throttle verdict depends only on the quota and admit timestamps,
+  // never on queue depth, so replayed traces reproduce it exactly.
+  if (admission_.enabled()) {
+    obs::Span admit_span("router/admit");
+    const SteadyTime now =
+        opts.admit_time == kAdmitNow ? SteadyNow() : opts.admit_time;
+    Status admitted = admission_.Admit(tenant, now);
+    if (!admitted.ok()) {
+      throttled_.fetch_add(1, std::memory_order_relaxed);
+      ledger_.Record(tenant, TenantLedger::Event::kThrottled);
+      return admitted;
+    }
+  }
   Request request;
   request.record = std::move(record);
-  request.deadline = deadline;
+  request.deadline = opts.deadline;
+  request.tenant = tenant;
   request.enqueued = SteadyNow();
   std::future<Result<RouterReply>> future = request.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
+      if (tracked) ledger_.Record(tenant, TenantLedger::Event::kRejected);
       return Status::Unavailable("router is stopped");
     }
     if (queue_.size() >= options_.max_queue) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
+      if (tracked) ledger_.Record(tenant, TenantLedger::Event::kRejected);
       return Status::Unavailable("queue full (" +
                                  std::to_string(options_.max_queue) + ")");
     }
+    request.seq = queue_seq_++;
     queue_.push_back(std::move(request));
+    std::push_heap(queue_.begin(), queue_.end(),
+                   RequestUrgency{options_.queue_policy});
     submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (tracked) ledger_.Record(tenant, TenantLedger::Event::kSubmitted);
   }
   queue_cv_.notify_one();
   return future;
@@ -1028,11 +1104,15 @@ void Router::WorkerLoop() {
         if (stopping_) return;
         continue;
       }
+      // Heap pops drain in urgency order (earliest deadline first under
+      // kEdf, arrival order otherwise).
+      const RequestUrgency urgency{options_.queue_policy};
       const size_t take = std::min(queue_.size(), options_.max_batch);
       batch.reserve(take);
       for (size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+        std::pop_heap(queue_.begin(), queue_.end(), urgency);
+        batch.push_back(std::move(queue_.back()));
+        queue_.pop_back();
       }
     }
     ProcessBatch(std::move(batch));
@@ -1072,6 +1152,14 @@ void Router::ProcessBatch(std::vector<Request> batch) {
   obs::Span batch_span("router/batch", obs::Span::RootTag{}, batch_no);
   batch_span.AddCount("requests", batch.size());
 
+  // Per-tenant accounting, active only for tenant-aware traffic.
+  auto tenant_event = [this](const Request& request,
+                             TenantLedger::Event event) {
+    if (admission_.enabled() || !request.tenant.empty()) {
+      ledger_.Record(request.tenant, event);
+    }
+  };
+
   std::vector<Request> live;
   live.reserve(batch.size());
   {
@@ -1080,6 +1168,7 @@ void Router::ProcessBatch(std::vector<Request> batch) {
       queue_micros_.Record(MicrosBetween(request.enqueued, drained));
       if (request.deadline < drained) {
         expired_.fetch_add(1, std::memory_order_relaxed);
+        tenant_event(request, TenantLedger::Event::kExpired);
         request.promise.set_value(
             Status::DeadlineExceeded("shed before embedding"));
       } else {
@@ -1118,7 +1207,10 @@ void Router::ProcessBatch(std::vector<Request> batch) {
   embed_micros_.Record(timer.Restart() * 1e6);
   if (!embedded.ok()) {
     failed_.fetch_add(live.size(), std::memory_order_relaxed);
-    for (Request& request : live) request.promise.set_value(embedded);
+    for (Request& request : live) {
+      tenant_event(request, TenantLedger::Event::kFailed);
+      request.promise.set_value(embedded);
+    }
     EMBER_WARN("router embed stage failed after %llu retries: %s",
                static_cast<unsigned long long>(embed_retries),
                embedded.ToString().c_str());
@@ -1220,6 +1312,7 @@ void Router::ProcessBatch(std::vector<Request> batch) {
       shards_degraded_.fetch_add(missing, std::memory_order_relaxed);
       if (missing > 0 && !options_.allow_partial) {
         failed_.fetch_add(1, std::memory_order_relaxed);
+        tenant_event(live[i], TenantLedger::Event::kFailed);
         live[i].promise.set_value(Status::Unavailable(
             std::to_string(missing) + " shard group(s) down"));
         continue;
@@ -1231,9 +1324,15 @@ void Router::ProcessBatch(std::vector<Request> batch) {
       ++merged_count;
       if (live[i].deadline < done) {
         deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+        tenant_event(live[i], TenantLedger::Event::kDeadlineMiss);
       }
-      total_micros_.Record(MicrosBetween(live[i].enqueued, done));
+      const int64_t latency = MicrosBetween(live[i].enqueued, done);
+      total_micros_.Record(latency);
+      if (admission_.enabled() || !live[i].tenant.empty()) {
+        ledger_.RecordLatency(live[i].tenant, static_cast<double>(latency));
+      }
       completed_.fetch_add(1, std::memory_order_relaxed);
+      tenant_event(live[i], TenantLedger::Event::kCompleted);
       obs::EmitSpan("router/request", batch_span.context(), i,
                     live[i].enqueued, done);
       live[i].promise.set_value(std::move(reply));
@@ -1268,6 +1367,7 @@ RouterMetrics Router::Metrics() const {
   metrics.submitted = submitted_.load(std::memory_order_relaxed);
   metrics.completed = completed_.load(std::memory_order_relaxed);
   metrics.rejected = rejected_.load(std::memory_order_relaxed);
+  metrics.throttled = throttled_.load(std::memory_order_relaxed);
   metrics.expired = expired_.load(std::memory_order_relaxed);
   metrics.failed = failed_.load(std::memory_order_relaxed);
   metrics.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
@@ -1312,6 +1412,7 @@ RouterMetrics Router::Metrics() const {
       metrics.shard_micros[s].push_back(histogram->Snapshot());
     }
   }
+  metrics.tenants = ledger_.Snapshot();
   return metrics;
 }
 

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
@@ -82,6 +81,12 @@ struct RouterOptions {
   /// Directory for resync snapshot hand-off files; empty uses the system
   /// temp directory.
   std::string recovery_dir;
+  /// Queue drain order (DESIGN.md §16): kEdf drains the most urgent queued
+  /// request first; deadline-free traffic behaves exactly like kFifo.
+  QueuePolicy queue_policy = QueuePolicy::kEdf;
+  /// Per-tenant admission quotas at the router's Submit; empty disables
+  /// the token bucket gate.
+  std::vector<TenantQuota> quotas;
 };
 
 /// Router-side replica lifecycle (DESIGN.md §15). Only kActive replicas
@@ -119,6 +124,7 @@ struct RouterMetrics {
   uint64_t submitted = 0;
   uint64_t completed = 0;
   uint64_t rejected = 0;       // refused at Submit (queue full / stopped)
+  uint64_t throttled = 0;      // refused at Submit by the token bucket
   uint64_t expired = 0;        // shed before embedding
   uint64_t failed = 0;         // futures failed with an error
   uint64_t deadline_misses = 0;
@@ -151,6 +157,8 @@ struct RouterMetrics {
   /// has applied, and its lifecycle state. [shard][replica].
   std::vector<std::vector<uint64_t>> last_applied_seq;
   std::vector<std::vector<ReplicaState>> replica_states;
+  /// Per-tenant breakdown (PR 10), sorted by tenant name.
+  std::vector<TenantCounters> tenants;
 };
 
 /// Scatter-gather front end over sharded Engines (DESIGN.md §13): producers
@@ -195,6 +203,12 @@ class Router {
   /// stopped router (backpressure, never blocking).
   Result<std::future<Result<RouterReply>>> Submit(
       std::string record, SteadyTime deadline = kNoDeadline);
+
+  /// Tenant-aware submit (DESIGN.md §16): same admission rules plus the
+  /// per-tenant token bucket — an over-quota tenant gets Unavailable
+  /// immediately without enqueueing, counted as throttled.
+  Result<std::future<Result<RouterReply>>> Submit(std::string record,
+                                                  const SubmitOptions& opts);
 
   /// Routes one upsert to its owning shard group (round-robin mutation
   /// ticket) and applies it on EVERY replica of that group, serialized per
@@ -269,7 +283,22 @@ class Router {
     std::string record;
     SteadyTime deadline;
     SteadyTime enqueued;
+    std::string tenant;  // "" = the default tenant
+    uint64_t seq = 0;    // arrival order (EDF tie-break / kFifo key)
     std::promise<Result<RouterReply>> promise;
+  };
+
+  /// Min-heap "greater" comparator (same semantics as the Engine's):
+  /// earliest deadline first under kEdf with seq as the tie-break, seq only
+  /// under kFifo.
+  struct RequestUrgency {
+    QueuePolicy policy;
+    bool operator()(const Request& a, const Request& b) const {
+      if (policy == QueuePolicy::kEdf && a.deadline != b.deadline) {
+        return a.deadline > b.deadline;
+      }
+      return a.seq > b.seq;
+    }
   };
 
   /// Per-replica recovery bookkeeping. Heap-pinned (unique_ptr storage)
@@ -376,7 +405,9 @@ class Router {
 
   std::mutex mu_;
   std::condition_variable queue_cv_;
-  std::deque<Request> queue_;
+  /// Binary heap ordered by RequestUrgency; front() is the next to drain.
+  std::vector<Request> queue_;
+  uint64_t queue_seq_ = 0;  // next arrival sequence number, under mu_
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 
@@ -384,9 +415,13 @@ class Router {
   uint64_t collector_id_ = 0;
   std::atomic<bool> collector_registered_{false};
 
+  AdmissionController admission_;
+  TenantLedger ledger_;
+
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> throttled_{0};
   std::atomic<uint64_t> expired_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> deadline_misses_{0};

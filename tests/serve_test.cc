@@ -606,6 +606,10 @@ TEST(EngineStressTest, MultiProducerNoLostNoDuplicatedAccounting) {
   for (auto& producer : producers) producer.join();
   engine.value()->Stop();
 
+  // Every reconciliation below is order-independent: with the EDF queue a
+  // deadline-tagged request may drain before earlier deadline-free ones, so
+  // nothing here may assume FIFO completion order — only that each accepted
+  // request settles exactly once in exactly one outcome bucket.
   const EngineMetrics metrics = engine.value()->Metrics();
   EXPECT_EQ(wrong.load(), 0u);
   EXPECT_EQ(accepted.load() + rejected.load(), kProducers * kPerProducer);
@@ -613,10 +617,94 @@ TEST(EngineStressTest, MultiProducerNoLostNoDuplicatedAccounting) {
   EXPECT_EQ(metrics.rejected, rejected.load());
   EXPECT_EQ(metrics.completed, completed_ok.load());
   EXPECT_EQ(metrics.expired, expired.load());
-  EXPECT_EQ(metrics.completed + metrics.expired, metrics.submitted);
+  EXPECT_EQ(metrics.failed, 0u);
+  // The counter identity with zero in-flight after Stop():
+  // submitted == completed + expired + failed.
+  EXPECT_EQ(metrics.completed + metrics.expired + metrics.failed,
+            metrics.submitted);
   // The histograms saw every accepted request exactly once.
   EXPECT_EQ(metrics.queue_micros.count, metrics.submitted);
   EXPECT_EQ(metrics.total_micros.count, metrics.completed);
+}
+
+TEST(EngineStressTest, AdmissionCounterIdentityUnderConcurrentTenants) {
+  // Multi-tenant producers against a token-bucket-limited engine: the
+  // engine-wide identity must extend to
+  //   attempts == submitted + rejected + throttled
+  //   submitted == completed + expired + failed        (after Stop)
+  // and each per-tenant ledger row must satisfy the same identities and
+  // sum back to the engine-wide counters.
+  constexpr size_t kProducers = 4;
+  constexpr size_t kPerProducer = 200;
+  EngineOptions options;
+  options.max_batch = 8;
+  options.max_wait_micros = 200;
+  options.max_queue = 64;
+  options.workers = 2;
+  // "hot" is deliberately under-provisioned so throttles actually happen;
+  // "cold" has no quota and must never be throttled.
+  options.quotas = {{"hot", 50.0, 4.0}};
+  auto engine = Engine::Create(MakeSnapshot(IndexKind::kExact, 64),
+                               std::make_shared<HashModel>(), options);
+  ASSERT_TRUE(engine.ok());
+
+  std::atomic<uint64_t> accepted{0}, refused{0}, throttled{0}, settled{0};
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (size_t i = 0; i < kPerProducer; ++i) {
+        SubmitOptions submit;
+        submit.tenant = (p + i) % 2 == 0 ? "hot" : "cold";
+        auto submitted = engine.value()->Submit(
+            "p" + std::to_string(p) + "i" + std::to_string(i), submit);
+        if (!submitted.ok()) {
+          if (submitted.status().message().find("over quota") !=
+              std::string::npos) {
+            throttled.fetch_add(1);
+          } else {
+            refused.fetch_add(1);
+          }
+          continue;
+        }
+        accepted.fetch_add(1);
+        (void)submitted.value().get();
+        settled.fetch_add(1);
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  engine.value()->Stop();
+
+  const EngineMetrics metrics = engine.value()->Metrics();
+  EXPECT_EQ(accepted.load() + refused.load() + throttled.load(),
+            kProducers * kPerProducer);
+  EXPECT_EQ(metrics.submitted, accepted.load());
+  EXPECT_EQ(metrics.rejected, refused.load());
+  EXPECT_EQ(metrics.throttled, throttled.load());
+  EXPECT_GT(metrics.throttled, 0u);
+  EXPECT_EQ(metrics.completed + metrics.expired + metrics.failed,
+            metrics.submitted);
+  EXPECT_EQ(settled.load(), metrics.submitted);
+
+  // Per-tenant ledger: same identities, and the rows sum to the whole.
+  uint64_t tenant_submitted = 0, tenant_throttled = 0, tenant_rejected = 0;
+  bool saw_cold = false;
+  for (const TenantCounters& tenant : metrics.tenants) {
+    EXPECT_EQ(tenant.completed + tenant.expired + tenant.failed,
+              tenant.submitted)
+        << "tenant " << tenant.tenant;
+    if (tenant.tenant == "cold") {
+      saw_cold = true;
+      EXPECT_EQ(tenant.throttled, 0u);  // quota-free tenants never throttle
+    }
+    tenant_submitted += tenant.submitted;
+    tenant_throttled += tenant.throttled;
+    tenant_rejected += tenant.rejected;
+  }
+  EXPECT_TRUE(saw_cold);
+  EXPECT_EQ(tenant_submitted, metrics.submitted);
+  EXPECT_EQ(tenant_throttled, metrics.throttled);
+  EXPECT_EQ(tenant_rejected, metrics.rejected);
 }
 
 // ---------------------------------------------------------------------------

@@ -50,18 +50,42 @@
 //       k-way merged per-shard top-k is bit-identical to the unsharded
 //       oracle.
 //
+//   ember_cli trace-record <out.trace> [--seed n] [--tenants n] [--rows n]
+//       [--qps f] [--duration s] [--zipf s] [--upserts f] [--deletes f]
+//       [--quota f] [--quota-burst f] [--deadline-ms f]
+//       [--phases poisson,burst,diurnal,cold] [--notes s]
+//       Generate a seeded multi-tenant workload trace (DESIGN.md §16) and
+//       write it as a checksummed EMBT0001 container. The same flags always
+//       produce byte-identical files.
+//   ember_cli trace-replay <in.trace> [--workers n] [--batch n] [--wait-us n]
+//       [--queue n] [--fifo] [--timed] [--speed f] [--outstanding n] [--rows n]
+//       Load a trace fail-closed and replay it against one live engine per
+//       tenant. Virtual-time by default (bit-reproducible admission
+//       decisions and counters — the replay signature is printed for
+//       comparison); --timed submits on the recorded open-loop schedule
+//       with real deadlines and reports per-tenant latency.
+//
 //   serve-bench additionally accepts --shards N --replicas R: the corpus is
 //   served by a serve::Router over N shard groups x R replica engines
 //   (health-aware scatter-gather) instead of a single engine. --snapshot
 //   then names the shard-set prefix.
 //
+//   serve-bench also takes the workload/admission flags: --tenants n tags
+//   the open-loop submissions round-robin across n tenants, --quota f
+//   [--quota-burst f] arms a per-tenant token bucket at that rate,
+//   --policy edf|fifo picks the queue drain order, and --trace-file path
+//   drives the engine from a recorded EMBT0001 trace (timed replay) instead
+//   of the synthetic query loop.
+//
 // When the build compiles failpoints in (the default), the EMBER_FAILPOINTS
 // environment variable arms fault-injection sites before any command runs;
 // see common/failpoint.h for the spec grammar.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -75,6 +99,9 @@
 #include "embed/embedding_model.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
+#include "load/generator.h"
+#include "load/replayer.h"
+#include "load/trace.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
@@ -111,10 +138,20 @@ int Usage(const char* argv0) {
                "       %s snapshot-shard <D1..D10> --shards N [--prefix p] "
                "[--scale f] [--seed n] [--k n] [--index exact|hnsw|lsh] "
                "[--storage f32|int8]\n"
+               "       %s trace-record <out.trace> [--seed n] [--tenants n] "
+               "[--rows n] [--qps f] [--duration s] [--zipf s] [--upserts f] "
+               "[--deletes f] [--quota f] [--quota-burst f] [--deadline-ms f] "
+               "[--phases poisson,burst,diurnal,cold] [--notes s]\n"
+               "       %s trace-replay <in.trace> [--workers n] [--batch n] "
+               "[--wait-us n] [--queue n] [--fifo] [--timed] [--speed f] "
+               "[--outstanding n] [--rows n]\n"
                "       (serve-bench also takes --shards N --replicas R for "
-               "routed scatter-gather serving, and --kill-replica s:r "
-               "[--rejoin-replica] for a recovery drill)\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               "routed scatter-gather serving, --kill-replica s:r "
+               "[--rejoin-replica] for a recovery drill, and --tenants n "
+               "--quota f --policy edf|fifo --trace-file path for the "
+               "workload/admission harness)\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
+               argv0, argv0);
   return 2;
 }
 
@@ -154,6 +191,21 @@ struct CliArgs {
   double threshold = 0.75;   // match when sim = (1 + cos) / 2 >= threshold
   size_t report_every = 0;   // 0: pick ~5 checkpoints from the stream length
   size_t compact_rows = 256; // compactor delta-row trigger (0 disables)
+  // workload harness (trace-record / trace-replay / serve-bench, PR 10)
+  std::string trace_file;    // serve-bench --trace-file
+  size_t tenants = 1;        // tenant count (generation or tagging)
+  size_t rows = 0;           // per-tenant corpus rows (0: infer/default)
+  double zipf = 1.0;         // Zipf skew exponent
+  double upserts = 0;        // upsert fraction of each tenant's events
+  double deletes = 0;        // delete fraction
+  double quota = 0;          // per-tenant token-bucket rate (0: no quota)
+  double quota_burst = 8;    // token-bucket burst capacity
+  std::string policy = "edf";  // queue drain order: edf | fifo
+  std::string phases = "poisson";  // comma list: poisson|burst|diurnal|cold
+  std::string notes;         // trace-record manifest notes
+  bool timed = false;        // trace-replay: wall-clock mode
+  double speed = 1.0;        // timed replay speedup
+  size_t outstanding = 64;   // replay max in-flight queries
 };
 
 bool ParseCli(int argc, char** argv, int first, CliArgs& args) {
@@ -217,6 +269,36 @@ bool ParseCli(int argc, char** argv, int first, CliArgs& args) {
       args.report_every = static_cast<size_t>(std::atoi(argv[++i]));
     } else if (arg == "--compact-rows" && i + 1 < argc) {
       args.compact_rows = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--trace-file" && i + 1 < argc) {
+      args.trace_file = argv[++i];
+    } else if (arg == "--tenants" && i + 1 < argc) {
+      args.tenants = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--rows" && i + 1 < argc) {
+      args.rows = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--zipf" && i + 1 < argc) {
+      args.zipf = std::atof(argv[++i]);
+    } else if (arg == "--upserts" && i + 1 < argc) {
+      args.upserts = std::atof(argv[++i]);
+    } else if (arg == "--deletes" && i + 1 < argc) {
+      args.deletes = std::atof(argv[++i]);
+    } else if (arg == "--quota" && i + 1 < argc) {
+      args.quota = std::atof(argv[++i]);
+    } else if (arg == "--quota-burst" && i + 1 < argc) {
+      args.quota_burst = std::atof(argv[++i]);
+    } else if (arg == "--policy" && i + 1 < argc) {
+      args.policy = argv[++i];
+    } else if (arg == "--fifo") {
+      args.policy = "fifo";
+    } else if (arg == "--phases" && i + 1 < argc) {
+      args.phases = argv[++i];
+    } else if (arg == "--notes" && i + 1 < argc) {
+      args.notes = argv[++i];
+    } else if (arg == "--timed") {
+      args.timed = true;
+    } else if (arg == "--speed" && i + 1 < argc) {
+      args.speed = std::atof(argv[++i]);
+    } else if (arg == "--outstanding" && i + 1 < argc) {
+      args.outstanding = static_cast<size_t>(std::atoi(argv[++i]));
     } else {
       return false;
     }
@@ -302,6 +384,32 @@ int RunPipeline(const CliArgs& args) {
   return 0;
 }
 
+serve::QueuePolicy PolicyFromFlag(const std::string& flag) {
+  return flag == "fifo" ? serve::QueuePolicy::kFifo : serve::QueuePolicy::kEdf;
+}
+
+/// Prints the per-tenant rows of an EngineMetrics snapshot (skipped when
+/// the engine saw no tenant-aware traffic).
+void PrintTenantTable(const serve::EngineMetrics& metrics) {
+  if (metrics.tenants.empty()) return;
+  eval::Table table("per-tenant admission + latency");
+  table.SetHeader({"tenant", "submitted", "throttled", "rejected", "completed",
+                   "expired", "failed", "late", "p50_ms", "p99_ms"});
+  for (const serve::TenantCounters& tenant : metrics.tenants) {
+    table.AddRow({tenant.tenant, std::to_string(tenant.submitted),
+                  std::to_string(tenant.throttled),
+                  std::to_string(tenant.rejected),
+                  std::to_string(tenant.completed),
+                  std::to_string(tenant.expired),
+                  std::to_string(tenant.failed),
+                  std::to_string(tenant.deadline_misses),
+                  eval::Table::Num(tenant.total_micros.Percentile(0.5) / 1e3, 2),
+                  eval::Table::Num(tenant.total_micros.Percentile(0.99) / 1e3,
+                                   2)});
+  }
+  table.Print();
+}
+
 int RunServeBench(const CliArgs& args) {
   const auto spec = datagen::CleanCleanSpecById(args.dataset);
   if (!spec.ok()) {
@@ -378,12 +486,38 @@ int RunServeBench(const CliArgs& args) {
                 serve::StorageKindName(snapshot.manifest().storage));
   }
 
+  // --trace-file swaps the synthetic open loop for a recorded workload,
+  // replayed in timed mode against this engine (all tenants merged onto
+  // it). Loaded before Create so the trace's quotas configure admission.
+  Result<load::Trace> trace = Status::InvalidArgument("no trace");
+  if (!args.trace_file.empty()) {
+    trace = load::Trace::LoadFrom(args.trace_file);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "trace load refused: %s\n",
+                   trace.status().ToString().c_str());
+      return 1;
+    }
+  }
+
   serve::EngineOptions options;
   options.k = args.k;
   options.max_queue = args.max_queue;
   options.max_batch = args.max_batch;
   options.max_wait_micros = args.wait_micros;
   options.workers = args.workers;
+  options.queue_policy = PolicyFromFlag(args.policy);
+  // Trace replay needs the mutable delta tier: traces carry upserts and
+  // deletes, which a frozen engine would refuse.
+  options.live = trace.ok();
+  if (args.quota > 0) {
+    // --quota gives every synthetic tenant (t0..tN-1) the same bucket.
+    for (size_t t = 0; t < std::max<size_t>(1, args.tenants); ++t) {
+      options.quotas.push_back(
+          {"t" + std::to_string(t), args.quota, args.quota_burst});
+    }
+  } else if (trace.ok()) {
+    options.quotas = load::QuotasFromTrace(trace.value());
+  }
   auto engine = serve::Engine::Create(std::move(snapshot), model, options);
   if (!engine.ok()) {
     std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
@@ -393,6 +527,39 @@ int RunServeBench(const CliArgs& args) {
   if (!args.trace_path.empty()) {
     obs::Tracer::Global().Clear();
     obs::Tracer::Global().SetEnabled(true);
+  }
+
+  if (trace.ok()) {
+    load::ReplayOptions replay_options;
+    replay_options.mode = load::ReplayOptions::Mode::kTimed;
+    replay_options.speed = args.speed;
+    replay_options.max_outstanding = args.outstanding;
+    const auto report =
+        load::Replay(trace.value(), {engine.value().get()}, replay_options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "replay: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::string trace_prometheus;
+    if (args.dump_metrics) {
+      trace_prometheus = obs::Registry::Global().ToPrometheusText();
+    }
+    engine.value()->Stop();
+    const load::ReplayReport& r = report.value();
+    std::printf("trace replay (%s, policy=%s): %llu events in %.2f s — "
+                "submitted=%llu throttled=%llu rejected=%llu "
+                "completed=%llu expired=%llu failed=%llu\n",
+                args.trace_file.c_str(), args.policy.c_str(),
+                static_cast<unsigned long long>(r.events), r.wall_seconds,
+                static_cast<unsigned long long>(r.submitted),
+                static_cast<unsigned long long>(r.throttled),
+                static_cast<unsigned long long>(r.rejected),
+                static_cast<unsigned long long>(r.completed),
+                static_cast<unsigned long long>(r.expired),
+                static_cast<unsigned long long>(r.failed));
+    PrintTenantTable(engine.value()->Metrics());
+    if (args.dump_metrics) std::printf("\n%s", trace_prometheus.c_str());
+    return 0;
   }
 
   // Open-loop load: submissions fire on the offered-QPS schedule no matter
@@ -412,10 +579,16 @@ int RunServeBench(const CliArgs& args) {
     const SteadyTime at =
         AfterMicros(start, static_cast<int64_t>(i * 1e6 / args.qps));
     std::this_thread::sleep_until(at);
-    auto submitted = engine.value()->Submit(
-        queries[i % queries.size()],
-        AfterMicros(SteadyNow(),
-                    static_cast<int64_t>(args.deadline_ms * 1e3)));
+    serve::SubmitOptions submit;
+    submit.deadline = AfterMicros(
+        SteadyNow(), static_cast<int64_t>(args.deadline_ms * 1e3));
+    // --tenants N tags submissions round-robin as t0..tN-1 so the
+    // per-tenant ledger (and any --quota buckets) see a multi-tenant mix.
+    if (args.tenants > 1 || args.quota > 0) {
+      submit.tenant = "t" + std::to_string(i % std::max<size_t>(1, args.tenants));
+    }
+    auto submitted =
+        engine.value()->Submit(queries[i % queries.size()], submit);
     if (submitted.ok()) futures.push_back(std::move(submitted).value());
   }
   size_t ok = 0, missed = 0;
@@ -451,11 +624,12 @@ int RunServeBench(const CliArgs& args) {
       "\n%s %s k=%zu: offered %.0f qps for %.1fs -> achieved %.0f qps\n",
       args.dataset.c_str(), args.index_kind.c_str(), args.k, args.qps,
       args.duration_seconds, static_cast<double>(ok) / wall);
-  std::printf("accepted=%llu completed=%llu rejected=%llu expired=%llu "
-              "late=%llu batches=%llu mean_batch=%.1f\n",
+  std::printf("accepted=%llu completed=%llu rejected=%llu throttled=%llu "
+              "expired=%llu late=%llu batches=%llu mean_batch=%.1f\n",
               static_cast<unsigned long long>(metrics.submitted),
               static_cast<unsigned long long>(metrics.completed),
               static_cast<unsigned long long>(metrics.rejected),
+              static_cast<unsigned long long>(metrics.throttled),
               static_cast<unsigned long long>(missed),
               static_cast<unsigned long long>(metrics.deadline_misses),
               static_cast<unsigned long long>(metrics.batches),
@@ -478,7 +652,207 @@ int RunServeBench(const CliArgs& args) {
   dump("query", metrics.query_micros);
   dump("postproc", metrics.postprocess_micros);
   dump("total", metrics.total_micros);
+  PrintTenantTable(metrics);
   if (args.dump_metrics) std::printf("\n%s", prometheus.c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Workload harness commands (DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+int RunTraceRecord(const CliArgs& args) {
+  load::GeneratorOptions options;
+  options.seed = args.seed;
+  options.notes = args.notes;
+  const size_t tenant_count = std::max<size_t>(1, args.tenants);
+  for (size_t t = 0; t < tenant_count; ++t) {
+    load::TenantSpec tenant;
+    tenant.name = "t";
+    tenant.name += std::to_string(t);
+    tenant.corpus_rows = args.rows > 0 ? args.rows : 256;
+    tenant.zipf_s = args.zipf;
+    tenant.upsert_fraction = args.upserts;
+    tenant.delete_fraction = args.deletes;
+    tenant.deadline_micros = static_cast<int64_t>(args.deadline_ms * 1e3);
+    if (args.quota > 0) {
+      tenant.quota_rate_per_sec = args.quota;
+      tenant.quota_burst = args.quota_burst;
+    }
+    options.tenants.push_back(std::move(tenant));
+  }
+  // --phases is a comma list; each entry becomes one equal-duration phase.
+  // "cold" is a Poisson phase opened by a reload marker (the cold-start /
+  // post-reload boundary).
+  std::vector<std::string> names;
+  for (size_t begin = 0; begin < args.phases.size();) {
+    const size_t comma = args.phases.find(',', begin);
+    const size_t end = comma == std::string::npos ? args.phases.size() : comma;
+    if (end > begin) names.push_back(args.phases.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  if (names.empty()) names.push_back("poisson");
+  for (const std::string& name : names) {
+    load::PhaseSpec phase;
+    if (name == "burst") {
+      phase.arrival = load::PhaseSpec::Arrival::kBurst;
+    } else if (name == "diurnal") {
+      phase.arrival = load::PhaseSpec::Arrival::kDiurnal;
+    } else if (name == "cold") {
+      phase.reload_marker = true;
+    } else if (name != "poisson") {
+      std::fprintf(stderr, "unknown phase '%s'\n", name.c_str());
+      return 1;
+    }
+    phase.rate_per_sec = args.qps;
+    phase.duration_micros = static_cast<int64_t>(
+        args.duration_seconds * 1e6 / static_cast<double>(names.size()));
+    options.phases.push_back(phase);
+  }
+
+  const load::Trace trace = load::GenerateTrace(options);
+  const Status saved = trace.SaveTo(args.dataset);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "trace save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  size_t queries = 0, upserts = 0, deletes = 0, reloads = 0;
+  for (const load::TraceEvent& event : trace.events) {
+    switch (event.op) {
+      case load::TraceEvent::Op::kQuery: ++queries; break;
+      case load::TraceEvent::Op::kUpsert: ++upserts; break;
+      case load::TraceEvent::Op::kDelete: ++deletes; break;
+      case load::TraceEvent::Op::kReload: ++reloads; break;
+    }
+  }
+  std::printf("trace: %zu events (%zu queries, %zu upserts, %zu deletes, "
+              "%zu reloads) over %.2f s, %zu tenants -> %s\n",
+              trace.events.size(), queries, upserts, deletes, reloads,
+              static_cast<double>(trace.manifest.duration_micros) / 1e6,
+              trace.manifest.tenants.size(), args.dataset.c_str());
+  std::printf("trace: seed=%llu checksum=%016llx (same flags always "
+              "reproduce these bytes)\n",
+              static_cast<unsigned long long>(trace.manifest.seed),
+              static_cast<unsigned long long>(trace.Checksum()));
+  return 0;
+}
+
+/// Infers how many base corpus rows a tenant's trace expects: upsert keys
+/// start exactly at the generator's corpus_rows, and query/delete base keys
+/// stay below it.
+uint64_t InferTenantRows(const load::Trace& trace, uint32_t tenant) {
+  uint64_t min_upsert = 0;
+  bool saw_upsert = false;
+  uint64_t max_key = 0;
+  for (const load::TraceEvent& event : trace.events) {
+    if (event.tenant != tenant) continue;
+    if (event.op == load::TraceEvent::Op::kUpsert) {
+      min_upsert = saw_upsert ? std::min(min_upsert, event.key) : event.key;
+      saw_upsert = true;
+    } else if (event.op != load::TraceEvent::Op::kReload) {
+      max_key = std::max(max_key, event.key);
+    }
+  }
+  if (saw_upsert) return std::max<uint64_t>(1, min_upsert);
+  return std::max<uint64_t>(16, max_key + 1);
+}
+
+int RunTraceReplay(const CliArgs& args) {
+  WallTimer timer;
+  auto loaded = load::Trace::LoadFrom(args.dataset);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "trace load refused: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const load::Trace& trace = loaded.value();
+  std::printf("trace: %s loaded in %.1f ms (%zu events, %zu tenants, "
+              "checksum %016llx)\n",
+              args.dataset.c_str(), timer.Seconds() * 1e3,
+              trace.events.size(), trace.manifest.tenants.size(),
+              static_cast<unsigned long long>(trace.Checksum()));
+
+  auto model = std::shared_ptr<embed::EmbeddingModel>(
+      embed::CreateModel(embed::ModelId::kSGtrT5));
+  model->Initialize();
+  // One live engine per tenant, its base corpus sized from the trace's own
+  // key space (or --rows), filled with deterministic synthetic rows.
+  const size_t tenant_count = std::max<size_t>(1, trace.manifest.tenants.size());
+  std::vector<std::unique_ptr<serve::Engine>> engines;
+  std::vector<serve::Engine*> engine_ptrs;
+  for (size_t t = 0; t < tenant_count; ++t) {
+    const uint64_t rows =
+        args.rows > 0 ? args.rows
+                      : InferTenantRows(trace, static_cast<uint32_t>(t));
+    std::vector<std::string> sentences;
+    sentences.reserve(rows);
+    for (uint64_t r = 0; r < rows; ++r) {
+      sentences.push_back("corpus tenant " + std::to_string(t) + " row " +
+                          std::to_string(r));
+    }
+    la::Matrix corpus = model->VectorizeAll(sentences);
+    serve::SnapshotManifest manifest;
+    manifest.model_code = model->info().code;
+    manifest.default_k = static_cast<uint32_t>(args.k);
+    manifest.kind = serve::IndexKind::kExact;
+    manifest.dataset = trace.manifest.tenants.empty()
+                           ? "trace"
+                           : trace.manifest.tenants[t].dataset;
+    serve::Snapshot snapshot = serve::Snapshot::Build(
+        std::move(manifest), std::move(corpus), {}, {});
+    serve::EngineOptions options;
+    options.k = args.k;
+    options.live = true;
+    options.workers = args.workers;
+    options.max_batch = args.max_batch;
+    options.max_wait_micros = args.wait_micros;
+    options.max_queue = args.max_queue;
+    options.queue_policy = PolicyFromFlag(args.policy);
+    options.quotas = load::QuotasFromTrace(trace);
+    auto engine = serve::Engine::Create(std::move(snapshot), model, options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+      return 1;
+    }
+    engines.push_back(std::move(engine).value());
+    engine_ptrs.push_back(engines.back().get());
+  }
+
+  load::ReplayOptions replay_options;
+  replay_options.mode = args.timed ? load::ReplayOptions::Mode::kTimed
+                                   : load::ReplayOptions::Mode::kVirtual;
+  replay_options.speed = args.speed;
+  replay_options.max_outstanding = args.outstanding;
+  const auto report = load::Replay(trace, engine_ptrs, replay_options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "replay: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  const load::ReplayReport& r = report.value();
+  std::printf("\nreplay (%s): %llu events in %.2f s\n",
+              args.timed ? "timed" : "virtual",
+              static_cast<unsigned long long>(r.events), r.wall_seconds);
+  std::printf("decisions: submitted=%llu throttled=%llu rejected=%llu "
+              "(skipped unmapped deletes=%llu)\n",
+              static_cast<unsigned long long>(r.submitted),
+              static_cast<unsigned long long>(r.throttled),
+              static_cast<unsigned long long>(r.rejected),
+              static_cast<unsigned long long>(r.unmapped_deletes));
+  std::printf("outcomes:  completed=%llu expired=%llu failed=%llu\n",
+              static_cast<unsigned long long>(r.completed),
+              static_cast<unsigned long long>(r.expired),
+              static_cast<unsigned long long>(r.failed));
+  std::printf("identity:  admission_digest=%016llx signature=%016llx\n",
+              static_cast<unsigned long long>(r.admission_digest),
+              static_cast<unsigned long long>(r.Signature()));
+  for (auto& engine : engines) engine->Stop();
+  for (size_t t = 0; t < engines.size(); ++t) {
+    std::printf("\nengine %zu (tenant %s):\n", t,
+                t < trace.manifest.tenants.size()
+                    ? trace.manifest.tenants[t].name.c_str()
+                    : "merged");
+    PrintTenantTable(engines[t]->Metrics());
+  }
   return 0;
 }
 
@@ -1384,5 +1758,7 @@ int main(int argc, char** argv) {
   if (command == "stream-dedup") return RunStreamDedup(args);
   if (command == "metrics-dump") return RunMetricsDump(args);
   if (command == "trace-dump") return RunTraceDump(args);
+  if (command == "trace-record") return RunTraceRecord(args);
+  if (command == "trace-replay") return RunTraceReplay(args);
   return Usage(argv[0]);
 }
